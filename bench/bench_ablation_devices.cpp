@@ -1,0 +1,63 @@
+// Extension — the paper's future work (§VI) asks how the algorithm
+// carries to other processors. The grouping policy is *derived* from the
+// device spec (§III-D), so porting is automatic: this bench prints the
+// derived group table and the proposal's performance on Kepler K40,
+// Pascal P100 and Volta V100 specs.
+//
+// Expected shapes: V100's 96 KB shared memory doubles every hash table
+// (numeric max 8192), pushing more rows onto the fast shared path; K40's
+// fewer/weaker SMs scale throughput down.
+#include "common.hpp"
+
+#include "core/grouping.hpp"
+
+namespace {
+
+using namespace nsparse;
+
+void print_policy(const char* name, const sim::DeviceSpec& spec)
+{
+    const auto num = core::GroupingPolicy::numeric(spec, sizeof(double));
+    std::printf("%-6s numeric groups:", name);
+    for (const auto& g : num.groups) {
+        if (g.assignment == core::Assignment::kPwarpRow) {
+            std::printf(" [pwarp<=%d]", g.max_count);
+        } else if (g.global_table) {
+            std::printf(" [global>%d]", g.min_count - 1);
+        } else {
+            std::printf(" [%d@%d]", g.table_size, g.block_size);
+        }
+    }
+    std::printf("  (max shared table %d)\n", num.max_shared_table);
+}
+
+}  // namespace
+
+int main()
+{
+    std::printf("Extension: device-spec sweep (paper §VI future work)\n\n");
+
+    const std::pair<const char*, sim::DeviceSpec> devices[] = {
+        {"K40", sim::DeviceSpec::kepler_k40()},
+        {"P100", sim::DeviceSpec::pascal_p100()},
+        {"V100", sim::DeviceSpec::volta_v100()},
+    };
+
+    for (const auto& [name, spec] : devices) { print_policy(name, spec); }
+    std::printf("\n");
+
+    std::printf("%-18s %10s %10s %10s   [PROPOSAL GFLOPS, double]\n", "Matrix", "K40", "P100",
+                "V100");
+    for (const auto* ds : {"Protein", "QCD", "Circuit", "Epidemiology"}) {
+        const auto a = bench::load_dataset<double>(ds);
+        const double scale = gen::effective_scale(ds);
+        std::printf("%-18s", ds);
+        for (const auto& [name, spec] : devices) {
+            sim::Device dev(spec, bench::scaled_cost(scale));
+            const auto stats = bench::run_algorithm<double>("PROPOSAL", dev, a);
+            std::printf(" %10.3f", stats ? stats->gflops() : 0.0);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation — partial-warp width sweep (§III-B preliminary evaluation).
+//
+// The paper evaluated 1/2/4/8/16 threads per row and found "4 threads per
+// row stably shows best performance". Swept on the short-row matrices
+// where the PWARP kernel dominates.
+#include "common.hpp"
+
+int main()
+{
+    using namespace nsparse;
+    std::printf("Ablation: PWARP width sweep (paper: width 4 is stably best)\n\n");
+    std::printf("%-18s %10s %10s %10s %10s %10s   [GFLOPS, double]\n", "Matrix", "pw=1",
+                "pw=2", "pw=4", "pw=8", "pw=16");
+    for (const auto& spec : gen::dataset_suite()) {
+        if (spec.large_graph || spec.high_throughput) { continue; }
+        const auto a = bench::load_dataset<double>(spec.name);
+        const double scale = gen::effective_scale(spec.name);
+        std::printf("%-18s", spec.name.c_str());
+        double best = 0.0;
+        int best_pw = 0;
+        for (const int pw : {1, 2, 4, 8, 16}) {
+            core::Options opt;
+            opt.pwarp_width = pw;
+            sim::Device dev = bench::make_device(scale);
+            const auto s = bench::run_algorithm<double>("PROPOSAL", dev, a, opt);
+            const double gf = s ? s->gflops() : 0.0;
+            std::printf(" %10.3f", gf);
+            if (gf > best) {
+                best = gf;
+                best_pw = pw;
+            }
+        }
+        std::printf("   best: pw=%d\n", best_pw);
+    }
+    return 0;
+}

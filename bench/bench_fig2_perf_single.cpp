@@ -1,0 +1,19 @@
+// Figure 2 — performance of SpGEMM computation in single precision.
+//
+// (a) the eight High-Throughput matrices, (b) the four Low-Throughput
+// matrices; FLOPS = 2 * intermediate products / simulated execution time,
+// squaring each matrix, for CUSP (ESC), cuSPARSE-like, BHSPARSE-like and
+// the proposal. Paper: proposal best on ALL matrices; speedup vs the best
+// existing library up to x4.3.
+#include "common.hpp"
+
+int main()
+{
+    using namespace nsparse;
+    std::printf("Figure 2: SpGEMM performance, single precision [GFLOPS, simulated P100]\n\n");
+    bench::run_perf_figure<float>("(a) High-Throughput Matrices", true);
+    bench::run_perf_figure<float>("(b) Low-Throughput Matrices", false);
+    std::printf("summary (single precision):\n");
+    bench::print_speedup_summary<float>();
+    return 0;
+}

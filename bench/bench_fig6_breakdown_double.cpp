@@ -1,0 +1,10 @@
+// Figure 6 — execution-time breakdown vs cuSPARSE, double precision.
+// Same layout and expectations as Figure 5.
+#include "fig_breakdown.hpp"
+
+int main()
+{
+    std::printf("Figure 6: execution-time breakdown vs cuSPARSE, double precision\n\n");
+    nsparse::bench::run_breakdown<double>();
+    return 0;
+}

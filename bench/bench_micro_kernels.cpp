@@ -1,0 +1,86 @@
+// Microbenchmarks (google-benchmark) of the primitives the algorithms are
+// built from: hash insert/accumulate, reference SpGEMM, generator
+// throughput, scheduler overhead. These measure *host* wall-clock of the
+// simulation substrate itself (useful when optimising the simulator), not
+// simulated GPU time.
+#include <benchmark/benchmark.h>
+
+#include "core/hash_table.hpp"
+#include "gpusim/scheduler.hpp"
+#include "matgen/generators.hpp"
+#include "matgen/rng.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace {
+
+using namespace nsparse;
+
+void BM_HashInsertKey(benchmark::State& state)
+{
+    const auto tsize = static_cast<std::size_t>(state.range(0));
+    gen::Pcg32 rng(1);
+    std::vector<index_t> table(tsize, kEmptySlot);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        if (i++ % (tsize / 2) == 0) { std::fill(table.begin(), table.end(), kEmptySlot); }
+        const auto key = to_index(rng.next() & 0xffffffU);
+        benchmark::DoNotOptimize(core::hash_insert_key(std::span<index_t>(table), key));
+    }
+}
+BENCHMARK(BM_HashInsertKey)->Arg(256)->Arg(4096);
+
+void BM_HashAccumulate(benchmark::State& state)
+{
+    std::vector<index_t> keys(4096, kEmptySlot);
+    std::vector<double> vals(4096, 0.0);
+    gen::Pcg32 rng(2);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        if (i++ % 2048 == 0) { std::fill(keys.begin(), keys.end(), kEmptySlot); }
+        const auto key = to_index(rng.next() & 0xffffffU);
+        benchmark::DoNotOptimize(core::hash_accumulate(
+            std::span<index_t>(keys), std::span<double>(vals), key, 1.0));
+    }
+}
+BENCHMARK(BM_HashAccumulate);
+
+void BM_ReferenceSpgemm(benchmark::State& state)
+{
+    const auto n = to_index(state.range(0));
+    const auto a = gen::uniform_random(n, n, 8, 1);
+    for (auto _ : state) { benchmark::DoNotOptimize(reference_spgemm(a, a)); }
+    state.SetItemsProcessed(state.iterations() * total_intermediate_products(a, a));
+}
+BENCHMARK(BM_ReferenceSpgemm)->Arg(256)->Arg(1024);
+
+void BM_GeneratorScaleFree(benchmark::State& state)
+{
+    gen::ScaleFreeParams p;
+    p.rows = to_index(state.range(0));
+    p.avg_degree = 4.0;
+    p.max_degree = p.rows / 8;
+    for (auto _ : state) {
+        p.seed++;
+        benchmark::DoNotOptimize(gen::scale_free(p));
+    }
+}
+BENCHMARK(BM_GeneratorScaleFree)->Arg(10000);
+
+void BM_SchedulerMakespan(benchmark::State& state)
+{
+    const auto blocks = to_index(state.range(0));
+    sim::KernelRecord k;
+    k.name = "bench";
+    k.cfg = {blocks, 128, 0};
+    k.blocks.assign(to_size(blocks), sim::BlockCost{1e5, 1e3, 0.0});
+    const std::vector<sim::KernelRecord> ks{k};
+    const auto spec = sim::DeviceSpec::pascal_p100();
+    const sim::CostModel cost;
+    for (auto _ : state) { benchmark::DoNotOptimize(sim::schedule(ks, spec, cost)); }
+    state.SetItemsProcessed(state.iterations() * blocks);
+}
+BENCHMARK(BM_SchedulerMakespan)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

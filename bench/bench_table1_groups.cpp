@@ -1,0 +1,53 @@
+// Table I — parameter setting for each group on Tesla P100.
+//
+// The group table is *derived* from the device spec (§III-D); this bench
+// prints the derivation next to the paper's published table so drift is
+// visible at a glance. (The unit test test_grouping.cpp asserts equality.)
+#include <cstdio>
+
+#include "core/grouping.hpp"
+
+int main()
+{
+    using namespace nsparse;
+    const auto spec = sim::DeviceSpec::pascal_p100();
+    const auto sym = core::GroupingPolicy::symbolic(spec);
+    const auto num = core::GroupingPolicy::numeric(spec, sizeof(double));
+
+    std::printf("Table I: parameter setting for each group on Tesla P100 (derived)\n\n");
+    std::printf("%-9s %-22s %-22s %-11s %-12s %-4s\n", "Group ID", "(3) products range",
+                "(6) nnz range", "Assignment", "TB size", "#TB");
+
+    const auto range = [](const core::GroupInfo& g) {
+        char buf[32];
+        if (g.max_count < 0) {
+            std::snprintf(buf, sizeof buf, "%d-", g.min_count);
+        } else {
+            std::snprintf(buf, sizeof buf, "%d-%d", g.min_count, g.max_count);
+        }
+        return std::string(buf);
+    };
+
+    for (std::size_t g = 0; g < sym.groups.size(); ++g) {
+        const auto& sg = sym.groups[g];
+        const auto& ng = num.groups[g];
+        std::printf("%-9zu %-22s %-22s %-11s %-12d %-4d\n", g, range(sg).c_str(),
+                    range(ng).c_str(),
+                    sg.assignment == core::Assignment::kPwarpRow ? "PWARP/ROW" : "TB/ROW",
+                    sg.block_size, sg.tb_per_sm);
+    }
+
+    std::printf("\npaper Table I:\n");
+    std::printf("  0: 8193-      4097-      TB/ROW    1024  2\n");
+    std::printf("  1: 4097-8192  2049-4096  TB/ROW    1024  2\n");
+    std::printf("  2: 2049-4096  1025-2048  TB/ROW     512  4\n");
+    std::printf("  3: 1025-2048   513-1024  TB/ROW     256  8\n");
+    std::printf("  4:  513-1024   257-512   TB/ROW     128 16\n");
+    std::printf("  5:   33-512     17-256   TB/ROW      64 32\n");
+    std::printf("  6:    0-32       0-16    PWARP/ROW  512  4\n");
+
+    std::printf("\nmax shared tables: symbolic %d entries (48KB/4B -> pow2), numeric %d "
+                "entries (48KB/12B -> pow2)\n",
+                sym.max_shared_table, num.max_shared_table);
+    return 0;
+}

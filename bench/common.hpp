@@ -1,0 +1,165 @@
+// Shared benchmark harness: dataset loading at scale, device construction,
+// the algorithm registry, and table printing in the paper's layout.
+//
+// Scaling protocol (see EXPERIMENTS.md): matrices are generated at
+// 1/default_scale of the paper's sizes so a single CPU core can execute
+// the simulation. Host-side constant costs (kernel launch, cudaMalloc
+// base) are divided by the same factor so their *relative* weight against
+// kernel time matches the full-size run; the Table III experiment also
+// divides the device-memory capacity by the scale so the paper's
+// out-of-memory behaviour reproduces.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/dataset_suite.hpp"
+#include "sparse/io_matrix_market.hpp"
+
+namespace nsparse::bench {
+
+inline const std::vector<std::string>& algo_names()
+{
+    static const std::vector<std::string> names = {"CUSP", "cuSPARSE", "BHSPARSE", "PROPOSAL"};
+    return names;
+}
+
+/// Host-side constant costs scaled with the dataset (see header comment).
+inline sim::CostModel scaled_cost(double scale)
+{
+    sim::CostModel m;
+    m.launch_overhead_us /= scale;
+    m.malloc_base_us /= scale;
+    m.free_base_us /= scale;
+    return m;
+}
+
+/// Device for a dataset at `scale`; optionally scale the memory capacity
+/// (Table III) so working-set : capacity matches the paper.
+inline sim::Device make_device(double scale, bool scale_capacity = false)
+{
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    if (scale_capacity) {
+        // The CUDA context and ECC metadata reserve ~5% of physical memory,
+        // so the usable capacity is below the nameplate 16 GB.
+        spec.memory_capacity = static_cast<std::size_t>(
+            0.95 * static_cast<double>(spec.memory_capacity) / scale);
+    }
+    return sim::Device(spec, scaled_cost(scale));
+}
+
+/// One algorithm run (squaring `a`); empty optional = device out of memory
+/// (the "-" entries of Table III).
+template <ValueType T>
+std::optional<SpgemmStats> run_algorithm(const std::string& name, sim::Device& dev,
+                                         const CsrMatrix<T>& a,
+                                         const core::Options& opt = {})
+{
+    try {
+        if (name == "CUSP") { return baseline::esc_spgemm<T>(dev, a, a).stats; }
+        if (name == "cuSPARSE") { return baseline::cusparse_spgemm<T>(dev, a, a).stats; }
+        if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<T>(dev, a, a).stats; }
+        if (name == "PROPOSAL") { return hash_spgemm<T>(dev, a, a, opt).stats; }
+        throw PreconditionError("unknown algorithm: " + name);
+    } catch (const DeviceOutOfMemory&) {
+        return std::nullopt;
+    }
+}
+
+template <ValueType T>
+CsrMatrix<T> load_dataset(const std::string& name)
+{
+    return convert_values<T>(gen::make_dataset(name));
+}
+
+/// GFLOPS table for one precision over a dataset list (Figure 2/3 layout).
+template <ValueType T>
+void run_perf_figure(const char* title, bool high_throughput)
+{
+    std::printf("%s\n", title);
+    std::printf("%-18s %10s %10s %10s %10s   %s\n", "Matrix", "CUSP", "cuSPARSE", "BHSPARSE",
+                "PROPOSAL", "best-baseline speedup");
+
+    double min_speedup = 1e30;
+    double max_speedup = 0.0;
+    double sum_log_speedup = 0.0;
+    int n = 0;
+
+    for (const auto& spec : gen::dataset_suite()) {
+        if (spec.large_graph || spec.high_throughput != high_throughput) { continue; }
+        const auto a = load_dataset<T>(spec.name);
+        const double scale = gen::effective_scale(spec.name);
+
+        std::printf("%-18s", spec.name.c_str());
+        double best_baseline = 0.0;
+        double proposal = 0.0;
+        for (const auto& alg : algo_names()) {
+            sim::Device dev = make_device(scale);
+            const auto stats = run_algorithm<T>(alg, dev, a);
+            if (!stats) {
+                std::printf(" %10s", "-");
+                continue;
+            }
+            const double gf = stats->gflops();
+            std::printf(" %10.3f", gf);
+            if (alg == "PROPOSAL") {
+                proposal = gf;
+            } else {
+                best_baseline = std::max(best_baseline, gf);
+            }
+        }
+        const double speedup = best_baseline > 0.0 ? proposal / best_baseline : 0.0;
+        std::printf("   x%.2f\n", speedup);
+        min_speedup = std::min(min_speedup, speedup);
+        max_speedup = std::max(max_speedup, speedup);
+        sum_log_speedup += std::log(speedup);
+        ++n;
+    }
+    if (n > 0) {
+        std::printf("speedup vs best baseline: min x%.2f, max x%.2f, geomean x%.2f\n\n",
+                    min_speedup, max_speedup, std::exp(sum_log_speedup / n));
+    }
+}
+
+/// Speedup summary vs each named baseline (the paper quotes these).
+template <ValueType T>
+void print_speedup_summary()
+{
+    for (const auto& base : {"CUSP", "cuSPARSE", "BHSPARSE"}) {
+        double max_s = 0.0;
+        double sum_log = 0.0;
+        int n = 0;
+        for (const auto& spec : gen::dataset_suite()) {
+            if (spec.large_graph) { continue; }
+            const auto a = load_dataset<T>(spec.name);
+            const double scale = gen::effective_scale(spec.name);
+            sim::Device d1 = make_device(scale);
+            sim::Device d2 = make_device(scale);
+            const auto sb = run_algorithm<T>(base, d1, a);
+            const auto sp = run_algorithm<T>("PROPOSAL", d2, a);
+            if (!sb || !sp) { continue; }
+            const double s = sp->gflops() / sb->gflops();
+            max_s = std::max(max_s, s);
+            sum_log += std::log(s);
+            ++n;
+        }
+        std::printf("vs %-9s max x%.1f, geomean x%.1f (paper: ", base, max_s,
+                    std::exp(sum_log / std::max(n, 1)));
+        if (std::string(base) == "CUSP") {
+            std::printf("max x32.3/x28.7, avg x15.7/x15.1 single/double)\n");
+        } else if (std::string(base) == "cuSPARSE") {
+            std::printf("max x8.1/x8.7, avg x3.2/x3.3 single/double)\n");
+        } else {
+            std::printf("max x4.3/x4.4, avg x2.3/x2.2 single/double)\n");
+        }
+    }
+}
+
+}  // namespace nsparse::bench

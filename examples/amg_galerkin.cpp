@@ -1,0 +1,113 @@
+// AMG Galerkin triple product — the paper's first motivating application
+// (§I: "Algebraic multigrid (AMG) method for preconditioner of iterative
+// method").
+//
+// Builds a 2-D Poisson operator A on an n x n grid, a piecewise-constant
+// prolongation P aggregating 2x2 cells, and computes the coarse operator
+//     A_c = R (A P),   R = P^T
+// with two hash-SpGEMM calls, repeating down a short multigrid hierarchy.
+// Verifies each level against the sequential reference.
+//
+//   $ ./examples/amg_galerkin [grid_side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/spgemm.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+#include "sparse/transpose.hpp"
+
+namespace {
+
+using namespace nsparse;
+
+/// 5-point 2-D Poisson matrix on an n x n grid.
+CsrMatrix<double> poisson2d(index_t n)
+{
+    CsrMatrix<double> m;
+    m.rows = m.cols = n * n;
+    m.rpt.assign(to_size(m.rows) + 1, 0);
+    const auto at = [n](index_t x, index_t y) { return y * n + x; };
+    for (index_t y = 0; y < n; ++y) {
+        for (index_t x = 0; x < n; ++x) {
+            const auto push = [&](index_t xx, index_t yy, double v) {
+                if (xx < 0 || xx >= n || yy < 0 || yy >= n) { return; }
+                m.col.push_back(at(xx, yy));
+                m.val.push_back(v);
+            };
+            push(x, y - 1, -1.0);
+            push(x - 1, y, -1.0);
+            push(x, y, 4.0);
+            push(x + 1, y, -1.0);
+            push(x, y + 1, -1.0);
+            m.rpt[to_size(at(x, y)) + 1] = to_index(m.col.size());
+        }
+    }
+    m.validate();
+    return m;
+}
+
+/// Piecewise-constant aggregation prolongation: fine (n x n) -> coarse
+/// (n/2 x n/2), each coarse dof averaging a 2x2 cell.
+CsrMatrix<double> aggregation_prolongation(index_t n)
+{
+    const index_t nc = n / 2;
+    CsrMatrix<double> p;
+    p.rows = n * n;
+    p.cols = nc * nc;
+    p.rpt.assign(to_size(p.rows) + 1, 0);
+    for (index_t y = 0; y < n; ++y) {
+        for (index_t x = 0; x < n; ++x) {
+            const index_t cx = std::min(x / 2, nc - 1);
+            const index_t cy = std::min(y / 2, nc - 1);
+            p.col.push_back(cy * nc + cx);
+            p.val.push_back(0.5);
+            p.rpt[to_size(y * n + x) + 1] = to_index(p.col.size());
+        }
+    }
+    p.validate();
+    return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    index_t n = argc > 1 ? static_cast<index_t>(std::atoi(argv[1])) : 128;
+    if (n < 8) { n = 8; }
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    CsrMatrix<double> a = poisson2d(n);
+    std::printf("AMG setup via Galerkin products (hash SpGEMM), fine grid %d x %d\n\n", n, n);
+    std::printf("%-6s %12s %12s %14s %12s %10s\n", "level", "rows", "nnz", "products", "ms",
+                "GFLOPS");
+
+    int level = 0;
+    while (n >= 8) {
+        const auto p = aggregation_prolongation(n);
+        const auto r = transpose(p);
+
+        const auto ap = hash_spgemm<double>(dev, a, p);
+        const auto ac = hash_spgemm<double>(dev, r, ap.matrix);
+
+        // verify against the sequential reference
+        const auto ref = reference_spgemm(r, reference_spgemm(a, p));
+        if (!approx_equal(ac.matrix, ref, 1e-10)) {
+            std::fprintf(stderr, "level %d: Galerkin product mismatch!\n", level);
+            return 1;
+        }
+
+        std::printf("%-6d %12d %12d %14lld %12.3f %10.2f\n", level, a.rows, a.nnz(),
+                    static_cast<long long>(ap.stats.intermediate_products +
+                                           ac.stats.intermediate_products),
+                    (ap.stats.seconds + ac.stats.seconds) * 1e3,
+                    (ap.stats.gflops() + ac.stats.gflops()) / 2.0);
+
+        a = ac.matrix;
+        n /= 2;
+        ++level;
+    }
+    std::printf("\ncoarsest operator: %d x %d with %d nonzeros — hierarchy verified.\n", a.rows,
+                a.cols, a.nnz());
+    return 0;
+}

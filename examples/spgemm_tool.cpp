@@ -1,0 +1,127 @@
+// Command-line exploration tool: generate (or load) a matrix, square it
+// with any of the four algorithms, print statistics.
+//
+//   $ ./examples/spgemm_tool --dataset Circuit --algo all
+//   $ ./examples/spgemm_tool --dataset webbase --algo proposal --no-streams
+//   $ ./examples/spgemm_tool --mtx path/to/matrix.mtx --algo cusparse --precision float
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/dataset_suite.hpp"
+#include "sparse/io_matrix_market.hpp"
+#include "sparse/stats.hpp"
+
+namespace {
+
+using namespace nsparse;
+
+void usage()
+{
+    std::printf(
+        "usage: spgemm_tool [--dataset NAME | --mtx FILE] [--algo "
+        "cusp|cusparse|bhsparse|proposal|all]\n"
+        "                   [--precision float|double] [--scale S] [--no-streams] "
+        "[--no-pwarp] [--profile] [--list]\n");
+}
+
+bool g_profile = false;
+
+template <ValueType T>
+void run_one(const std::string& algo, const CsrMatrix<double>& ad, const core::Options& opt)
+{
+    const CsrMatrix<T> a = convert_values<T>(ad);
+    const auto run = [&](const char* name, auto&& fn) {
+        if (algo != "all" && algo != name) { return; }
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        if (g_profile) { dev.enable_trace(); }
+        try {
+            const auto out = fn(dev, a);
+            std::printf("%-10s %10.3f ms  %8.2f GFLOPS  peak %8.2f MB  nnz(C) %lld\n", name,
+                        out.stats.seconds * 1e3, out.stats.gflops(),
+                        static_cast<double>(out.stats.peak_bytes) / (1024.0 * 1024.0),
+                        static_cast<long long>(out.stats.nnz_c));
+            std::printf("%-10s   setup %.3f  count %.3f  calc %.3f  malloc %.3f ms\n", "",
+                        out.stats.setup_seconds * 1e3, out.stats.count_seconds * 1e3,
+                        out.stats.calc_seconds * 1e3, out.stats.malloc_seconds * 1e3);
+            if (g_profile) { std::printf("%s\n", dev.trace().report().c_str()); }
+        } catch (const DeviceOutOfMemory&) {
+            std::printf("%-10s out of device memory\n", name);
+        }
+    };
+    run("cusp", [](sim::Device& d, const CsrMatrix<T>& m) {
+        return baseline::esc_spgemm<T>(d, m, m);
+    });
+    run("cusparse", [](sim::Device& d, const CsrMatrix<T>& m) {
+        return baseline::cusparse_spgemm<T>(d, m, m);
+    });
+    run("bhsparse", [](sim::Device& d, const CsrMatrix<T>& m) {
+        return baseline::bhsparse_spgemm<T>(d, m, m);
+    });
+    run("proposal", [&opt](sim::Device& d, const CsrMatrix<T>& m) {
+        return hash_spgemm<T>(d, m, m, opt);
+    });
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::string dataset = "Circuit";
+    std::string mtx;
+    std::string algo = "all";
+    std::string precision = "double";
+    double scale = 1.0;
+    core::Options opt;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "--dataset") {
+            dataset = next();
+        } else if (arg == "--mtx") {
+            mtx = next();
+        } else if (arg == "--algo") {
+            algo = next();
+        } else if (arg == "--precision") {
+            precision = next();
+        } else if (arg == "--scale") {
+            scale = std::atof(next());
+        } else if (arg == "--no-streams") {
+            opt.use_streams = false;
+        } else if (arg == "--no-pwarp") {
+            opt.use_pwarp = false;
+        } else if (arg == "--profile") {
+            g_profile = true;
+        } else if (arg == "--list") {
+            for (const auto& s : gen::dataset_suite()) { std::printf("%s\n", s.name.c_str()); }
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    try {
+        const CsrMatrix<double> a =
+            mtx.empty() ? gen::make_dataset(dataset, scale) : read_matrix_market_file(mtx);
+        const auto st = table2_stats(a, mtx.empty() ? dataset : mtx);
+        std::printf("%s\n%s\n\n", format_stats_header().c_str(), format_stats_row(st).c_str());
+
+        if (precision == "float") {
+            run_one<float>(algo, a, opt);
+        } else {
+            run_one<double>(algo, a, opt);
+        }
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,330 @@
+#include "baselines/bhsparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "baselines/common.hpp"
+
+namespace nsparse::baseline {
+
+namespace {
+
+/// Bin boundaries by upper-bound (intermediate-product) row size. A
+/// condensed version of Liu's 37 bins: what matters for the measured
+/// behaviour is which *method* a row gets.
+enum class Method { kEmpty, kCopy, kHeap, kBitonicEsc, kMergePath };
+
+struct Bin {
+    Method method;
+    index_t max_ub;  ///< inclusive upper bound of this bin; -1 = unbounded
+    int block_size;  ///< threads per simulated block
+    index_t rows_per_block;
+};
+
+const std::vector<Bin>& bins()
+{
+    static const std::vector<Bin> b = {
+        {Method::kEmpty, 0, 64, 64},
+        {Method::kCopy, 1, 128, 128},
+        {Method::kHeap, 64, 128, 128},        // one thread per row, serial heap
+        {Method::kBitonicEsc, 512, 128, 1},   // one block per row, shared ESC
+        {Method::kBitonicEsc, 2048, 256, 1},
+        {Method::kMergePath, -1, 256, 1},     // global-memory merge
+    };
+    return b;
+}
+
+int bin_of(index_t ub)
+{
+    for (std::size_t k = 0; k < bins().size(); ++k) {
+        if (bins()[k].max_ub < 0 || ub <= bins()[k].max_ub) { return static_cast<int>(k); }
+    }
+    return static_cast<int>(bins().size() - 1);
+}
+
+/// Functionally computes row i of C into `cols`/`vals` (sorted, combined)
+/// and returns the number of intermediate products consumed.
+template <ValueType T>
+index_t compute_row(const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b, index_t i,
+                    std::vector<index_t>& cols, std::vector<T>& vals)
+{
+    // Expansion + sort + combine: the functional outcome of the heap /
+    // bitonic-ESC / merge-path methods is identical.
+    std::vector<std::pair<index_t, T>> prods;
+    for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+        const index_t d = a.col[to_size(j)];
+        const T av = a.val[to_size(j)];
+        for (index_t k = b.rpt[to_size(d)]; k < b.rpt[to_size(d) + 1]; ++k) {
+            prods.emplace_back(b.col[to_size(k)], av * b.val[to_size(k)]);
+        }
+    }
+    std::sort(prods.begin(), prods.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    cols.clear();
+    vals.clear();
+    for (const auto& [cj, v] : prods) {
+        if (!cols.empty() && cols.back() == cj) {
+            vals.back() += v;
+        } else {
+            cols.push_back(cj);
+            vals.push_back(v);
+        }
+    }
+    return to_index(prods.size());
+}
+
+}  // namespace
+
+template <ValueType T>
+SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.reset_measurement();
+
+    SpgemmOutput<T> out;
+    wide_t total_products = 0;
+    sim::DeviceCsr<T> c;
+
+    {
+        sim::DeviceBuffer<index_t> products;
+        std::vector<std::vector<index_t>> bin_rows(bins().size());
+        std::vector<wide_t> ub_off;
+
+        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+
+        {
+            // ---- setup: upper bounds + binning ----
+            auto setup = dev.phase_scope("setup");
+            products = count_products(dev, da, db);
+            for (std::size_t i = 0; i < products.size(); ++i) {
+                total_products += products[i];
+            }
+            // Binning kernel: classify + scatter (like nsparse grouping but
+            // by upper bound).
+            constexpr int kBlock = 256;
+            const index_t grid = a.rows == 0 ? 0 : (a.rows + kBlock - 1) / kBlock;
+            dev.launch(dev.default_stream(), {grid, kBlock, 0}, "bh_binning",
+                       [&](sim::BlockCtx& blk) {
+                           const index_t begin = blk.block_idx() * kBlock;
+                           const int lanes = static_cast<int>(
+                               std::min(a.rows, begin + kBlock) - begin);
+                           if (lanes <= 0) { return; }
+                           blk.global_read(lanes, sizeof(index_t),
+                                           sim::MemPattern::kCoalesced);
+                           blk.int_ops(lanes, 8.0);
+                           blk.atomic_global(lanes, 1.0);
+                           blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kRandom);
+                       });
+            for (index_t i = 0; i < a.rows; ++i) {
+                bin_rows[to_size(bin_of(products[to_size(i)]))].push_back(i);
+            }
+            // Upper-bound output offsets (rows keep their natural order).
+            ub_off.assign(to_size(a.rows) + 1, 0);
+            for (index_t i = 0; i < a.rows; ++i) {
+                ub_off[to_size(i) + 1] = ub_off[to_size(i)] + products[to_size(i)];
+            }
+            dev.synchronize();
+        }
+
+        // Upper-bound CSR: THE BHSPARSE allocation (col+val at the total
+        // intermediate-product count).
+        sim::DeviceBuffer<index_t> ub_col(dev.allocator(), to_size(total_products));
+        sim::DeviceBuffer<T> ub_val(dev.allocator(), to_size(total_products));
+        sim::DeviceBuffer<index_t> row_nnz(dev.allocator(), to_size(a.rows));
+        row_nnz.fill(0);
+
+        // Iterative merge-path needs a ping-pong buffer covering the rows
+        // of its bin (merging cannot run in place).
+        wide_t merge_ub = 0;
+        for (const index_t i : bin_rows.back()) { merge_ub += products[to_size(i)]; }
+        sim::DeviceBuffer<index_t> merge_tmp_col(dev.allocator(), to_size(merge_ub));
+        sim::DeviceBuffer<T> merge_tmp_val(dev.allocator(), to_size(merge_ub));
+
+        {
+            // ---- calc: per-bin kernels (one-phase: values computed
+            // directly at the upper bound) ----
+            auto calc = dev.phase_scope("calc");
+            const auto& m = dev.cost_model();
+
+            for (std::size_t bi = 0; bi < bins().size(); ++bi) {
+                const Bin& bin = bins()[bi];
+                const auto& rows = bin_rows[bi];
+                if (rows.empty() || bin.method == Method::kEmpty) { continue; }
+                const auto n = to_index(rows.size());
+                const index_t grid = (n + bin.rows_per_block - 1) / bin.rows_per_block;
+                const sim::Stream stream = dev.create_stream();  // bins run concurrently
+                const std::size_t smem =
+                    bin.method == Method::kBitonicEsc
+                        ? to_size(bin.max_ub) * (sizeof(index_t) + sizeof(T))
+                        : 0;
+                dev.launch(stream, {grid, bin.block_size, smem}, "bh_bin",
+                           [&, bi, n, bin](sim::BlockCtx& blk) {
+                               std::vector<index_t> cols;
+                               std::vector<T> vals;
+                               double block_span = 0.0;
+                               double block_work = 0.0;
+                               for (index_t r = 0; r < bin.rows_per_block; ++r) {
+                                   const index_t idx =
+                                       blk.block_idx() * bin.rows_per_block + r;
+                                   if (idx >= n) { break; }
+                                   const index_t i = bin_rows[bi][to_size(idx)];
+                                   const index_t runs = da.row_nnz(i);
+                                   const index_t ub = compute_row(da, db, i, cols, vals);
+                                   row_nnz[to_size(i)] = to_index(cols.size());
+                                   const auto base = to_size(ub_off[to_size(i)]);
+                                   for (std::size_t s = 0; s < cols.size(); ++s) {
+                                       ub_col[base + s] = cols[s];
+                                       ub_val[base + s] = vals[s];
+                                   }
+                                   // Cost per method. Thread-per-row bins
+                                   // (copy/heap) access memory per-thread:
+                                   // neighbouring lanes stream *different*
+                                   // rows, so reads/writes are uncoalesced.
+                                   const bool per_thread = bin.rows_per_block > 1;
+                                   const double nd = static_cast<double>(ub);
+                                   // Expansion gathers scatter when the
+                                   // source B rows are short: each thread
+                                   // fetches from a different row, unlike
+                                   // nsparse's warp-per-row streaming.
+                                   const bool scattered =
+                                       per_thread ||
+                                       nd < 16.0 * static_cast<double>(std::max<index_t>(
+                                                       1, runs));
+                                   const double read = m.global_cost(
+                                       sizeof(index_t) + sizeof(T),
+                                       scattered ? sim::MemPattern::kRandom
+                                                 : sim::MemPattern::kCoalesced);
+                                   const double write = m.global_cost(
+                                       sizeof(index_t) + sizeof(T),
+                                       per_thread ? sim::MemPattern::kRandom
+                                                  : sim::MemPattern::kCoalesced);
+                                   const double logn =
+                                       std::log2(std::max(2.0, nd));
+                                   double work = 0.0;
+                                   double span = 0.0;
+                                   switch (bin.method) {
+                                       case Method::kCopy:
+                                           work = read + write;
+                                           span = work;
+                                           break;
+                                       case Method::kHeap: {
+                                           // serial per-thread heap merge:
+                                           // the heap has the BIN's size
+                                           // (64 entries) and cannot live
+                                           // in registers or shared memory,
+                                           // so each sift level is 2
+                                           // dependent local-memory (DRAM)
+                                           // accesses
+                                           const double levels = std::log2(
+                                               static_cast<double>(bin.max_ub));
+                                           work = nd * (read + levels *
+                                                              (2.0 * m.global_random +
+                                                               m.int_op) +
+                                                        m.flop) +
+                                                  nd * write;
+                                           span = work;  // one thread
+                                           break;
+                                       }
+                                       case Method::kBitonicEsc: {
+                                           // expand + bitonic sort + scan +
+                                           // compact, block-parallel. A
+                                           // compare-exchange is 2 shared
+                                           // reads + 2 conditional writes,
+                                           // ~4x a rank comparison.
+                                           // compare-exchange = 2 reads +
+                                           // 2 conditional writes, plus a
+                                           // block barrier per stage: ~8x
+                                           // a rank comparison
+                                           const double sort = nd * logn * logn * 8.0 *
+                                                               m.sort_compare_shared;
+                                           work = nd * (read + m.flop) + sort +
+                                                  nd * (2.0 * m.shared_access) + nd * write;
+                                           span = work / bin.block_size +
+                                                  logn * logn * m.barrier;
+                                           break;
+                                       }
+                                       case Method::kMergePath: {
+                                           // iterative pairwise merging of
+                                           // the row's nnzA(row) sorted
+                                           // runs: log2(runs) streaming
+                                           // (coalesced) passes over all
+                                           // products
+                                           const double passes = std::max(
+                                               1.0, std::ceil(std::log2(std::max(
+                                                        2.0, static_cast<double>(runs)))));
+                                           const double stream_cost = m.global_cost(
+                                               sizeof(index_t) + sizeof(T),
+                                               sim::MemPattern::kCoalesced);
+                                           work = nd * (read + m.flop) +
+                                                  nd * passes * (2.0 * stream_cost + m.int_op) +
+                                                  nd * write;
+                                           span = work / bin.block_size;
+                                           break;
+                                       }
+                                       case Method::kEmpty: break;
+                                   }
+                                   if (bin.rows_per_block > 1) {
+                                       // thread-per-row bins: rows run in
+                                       // parallel lanes
+                                       block_span = std::max(block_span, span);
+                                       block_work += work;
+                                   } else {
+                                       block_span += span;
+                                       block_work += work;
+                                   }
+                               }
+                               blk.charge_work_span(block_work, block_span);
+                           });
+            }
+            dev.synchronize();
+
+            // Compaction: row pointers + copy upper-bound rows into the
+            // final CSR.
+            const auto rpt = exclusive_scan(dev, row_nnz);
+            c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, rpt.back());
+            std::copy(rpt.begin(), rpt.end(), c.rpt.data());
+            constexpr int kBlock = 256;
+            const index_t grid = a.rows == 0 ? 0 : (a.rows + kBlock - 1) / kBlock;
+            dev.launch(dev.default_stream(), {grid, kBlock, 0}, "bh_compact",
+                       [&](sim::BlockCtx& blk) {
+                           const index_t begin = blk.block_idx() * kBlock;
+                           const index_t end = std::min(a.rows, begin + kBlock);
+                           double moved = 0.0;
+                           for (index_t i = begin; i < end; ++i) {
+                               const auto src = to_size(ub_off[to_size(i)]);
+                               const auto dst = to_size(c.rpt[to_size(i)]);
+                               const auto len = to_size(row_nnz[to_size(i)]);
+                               for (std::size_t s = 0; s < len; ++s) {
+                                   c.col[dst + s] = ub_col[src + s];
+                                   c.val[dst + s] = ub_val[src + s];
+                               }
+                               moved += static_cast<double>(len);
+                           }
+                           const int lanes = static_cast<int>(end - begin);
+                           if (lanes <= 0) { return; }
+                           const double per =
+                               m.global_cost(sizeof(index_t) + sizeof(T),
+                                             sim::MemPattern::kCoalesced) *
+                               2.0;
+                           blk.charge_work_span(moved * per, moved * per / blk.block_dim());
+                       });
+            dev.synchronize();
+        }
+    }
+
+    out.matrix = c.download();
+    out.stats.intermediate_products = total_products;
+    out.stats.nnz_c = out.matrix.nnz();
+    fill_stats_from_device(out.stats, dev);
+    return out;
+}
+
+template SpgemmOutput<float> bhsparse_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
+                                                    const CsrMatrix<float>&);
+template SpgemmOutput<double> bhsparse_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
+                                                      const CsrMatrix<double>&);
+
+}  // namespace nsparse::baseline

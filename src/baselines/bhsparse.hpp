@@ -1,0 +1,28 @@
+// BHSPARSE-style SpGEMM (Liu & Vinter, IPDPS'14; the paper's "BHSPARSE"
+// baseline, related work §V ¶3).
+//
+// Rows are assigned to bins by their *upper-bound* nonzero count (the
+// intermediate-product count) and each bin uses the algorithm that suits
+// its size: the heap method for short rows, bitonic ESC in shared memory
+// for medium rows, and iterative merge-path in global memory for the
+// largest rows. Output is first computed into a CSR allocated at the
+// upper bound and compacted afterwards — the allocation that makes
+// BHSPARSE run out of memory on cage15/wb-edu in Table III while giving it
+// good load balance (and the best baseline numbers) on irregular graphs.
+#pragma once
+
+#include "gpusim/algorithm.hpp"
+
+namespace nsparse::baseline {
+
+template <ValueType T>
+SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b);
+
+extern template SpgemmOutput<float> bhsparse_spgemm<float>(sim::Device&,
+                                                           const CsrMatrix<float>&,
+                                                           const CsrMatrix<float>&);
+extern template SpgemmOutput<double> bhsparse_spgemm<double>(sim::Device&,
+                                                             const CsrMatrix<double>&,
+                                                             const CsrMatrix<double>&);
+
+}  // namespace nsparse::baseline

@@ -1,0 +1,100 @@
+// Helpers shared by the baseline SpGEMM implementations (each library in
+// the paper has its own row-analysis step; the kernels here model the
+// common streaming parts).
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/algorithm.hpp"
+#include "gpusim/device_csr.hpp"
+
+namespace nsparse::baseline {
+
+/// Per-row intermediate-product upper bound (every baseline needs it: ESC
+/// for the expansion size, cuSPARSE for fallback sizing, BHSPARSE for its
+/// bins and upper-bound allocation).
+template <ValueType T>
+inline sim::DeviceBuffer<index_t> count_products(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                                                 const sim::DeviceCsr<T>& b)
+{
+    sim::DeviceBuffer<index_t> products(dev.allocator(), to_size(a.rows));
+    constexpr int kBlock = 256;
+    const index_t grid = a.rows == 0 ? 0 : (a.rows + kBlock - 1) / kBlock;
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "count_products",
+               [&](sim::BlockCtx& blk) {
+                   const index_t begin = blk.block_idx() * kBlock;
+                   const index_t end = std::min(a.rows, begin + kBlock);
+                   const int lanes = static_cast<int>(end - begin);
+                   if (lanes <= 0) { return; }
+                   double nnz_seen = 0.0;
+                   for (index_t i = begin; i < end; ++i) {
+                       wide_t n = 0;
+                       for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+                           const index_t d = a.col[to_size(j)];
+                           n += b.rpt[to_size(d) + 1] - b.rpt[to_size(d)];
+                       }
+                       products[to_size(i)] = to_index(n);
+                       nnz_seen += static_cast<double>(a.row_nnz(i));
+                   }
+                   const auto& m = blk.model();
+                   const double per_nnz =
+                       m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced) +
+                       m.global_cost(2 * sizeof(index_t), sim::MemPattern::kRandom);
+                   blk.global_read(lanes, 2 * sizeof(index_t), sim::MemPattern::kCoalesced);
+                   blk.charge_work_span(nnz_seen * per_nnz, nnz_seen / lanes * per_nnz);
+                   blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+               });
+    dev.synchronize();
+    return products;
+}
+
+/// Exclusive scan of per-row counts into row pointers, charged as a device
+/// scan kernel (functional result computed host-side).
+inline std::vector<index_t> exclusive_scan(sim::Device& dev,
+                                           const sim::DeviceBuffer<index_t>& counts)
+{
+    const auto rows = to_index(counts.size());
+    std::vector<index_t> rpt(to_size(rows) + 1, 0);
+    for (index_t i = 0; i < rows; ++i) {
+        rpt[to_size(i) + 1] = rpt[to_size(i)] + counts[to_size(i)];
+    }
+    constexpr int kBlock = 256;
+    const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "scan", [&](sim::BlockCtx& blk) {
+        const index_t begin = blk.block_idx() * kBlock;
+        const int lanes = static_cast<int>(std::min(rows, begin + kBlock) - begin);
+        if (lanes <= 0) { return; }
+        blk.global_read(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+        blk.shared_op(lanes, 16.0);
+        blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+    });
+    dev.synchronize();
+    return rpt;
+}
+
+/// 64-bit wide exclusive scan for the ESC expansion offsets (the total
+/// number of intermediate products can exceed 2^31).
+inline std::vector<wide_t> exclusive_scan_wide(sim::Device& dev,
+                                               const sim::DeviceBuffer<index_t>& counts)
+{
+    const auto rows = to_index(counts.size());
+    std::vector<wide_t> off(to_size(rows) + 1, 0);
+    for (index_t i = 0; i < rows; ++i) {
+        off[to_size(i) + 1] = off[to_size(i)] + counts[to_size(i)];
+    }
+    constexpr int kBlock = 256;
+    const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "scan_wide", [&](sim::BlockCtx& blk) {
+        const index_t begin = blk.block_idx() * kBlock;
+        const int lanes = static_cast<int>(std::min(rows, begin + kBlock) - begin);
+        if (lanes <= 0) { return; }
+        blk.global_read(lanes, sizeof(wide_t), sim::MemPattern::kCoalesced);
+        blk.shared_op(lanes, 16.0);
+        blk.global_write(lanes, sizeof(wide_t), sim::MemPattern::kCoalesced);
+    });
+    dev.synchronize();
+    return off;
+}
+
+}  // namespace nsparse::baseline

@@ -1,0 +1,288 @@
+#include "baselines/cusparse_like.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/common.hpp"
+#include "core/hash_table.hpp"
+#include "core/kernel_costs.hpp"
+#include "core/numeric.hpp"
+#include "core/symbolic.hpp"
+
+namespace nsparse::baseline {
+
+namespace {
+
+/// Rows per thread block (one warp per row, 128-thread blocks).
+constexpr index_t kRowsPerBlock = 4;
+constexpr int kBlockDim = 128;
+
+/// Shared symbolic table entries per warp/row: 48 KB / 4 rows / 4 B.
+constexpr index_t kSymTable = 3000;
+
+/// Shared numeric table entries per warp/row: 48 KB / 4 rows / (4+vs) B.
+template <ValueType T>
+constexpr index_t numeric_table_size()
+{
+    return to_index(std::size_t{48 * 1024} / to_size(kRowsPerBlock) /
+                    (sizeof(index_t) + sizeof(T)));
+}
+
+}  // namespace
+
+template <ValueType T>
+SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.reset_measurement();
+
+    // Modulus hashing (the paper's §III-D contrasts its pow2 bit-ops with
+    // this) — functionally identical distribution, costlier per probe.
+    const core::ElemCosts ec_sym =
+        core::ElemCosts::make(dev.cost_model(), false, sizeof(T), /*pow2_tables=*/false);
+    const core::ElemCosts ec_num =
+        core::ElemCosts::make(dev.cost_model(), true, sizeof(T), /*pow2_tables=*/false);
+
+    SpgemmOutput<T> out;
+    wide_t total_products = 0;
+    sim::DeviceCsr<T> c;
+
+    {
+        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+
+        sim::DeviceBuffer<index_t> row_nnz(dev.allocator(), to_size(a.rows));
+        row_nnz.fill(0);
+        std::vector<index_t> rpt;
+        sim::DeviceBuffer<index_t> products;
+
+        {
+            // ---- count phase (no setup/grouping: single kernel shape) ----
+            auto count_phase = dev.phase_scope("count");
+            products = count_products(dev, da, db);
+            for (std::size_t i = 0; i < products.size(); ++i) {
+                total_products += products[i];
+            }
+
+            sim::DeviceBuffer<index_t> fail(dev.allocator(), to_size(a.rows));
+            fail.fill(0);
+            // csrgemm's row analysis sizes the shared tables from the
+            // global maximum row size — coarse, matrix-wide adaptivity
+            // (per-row grouping is exactly what it lacks vs the proposal).
+            index_t max_products = 0;
+            for (std::size_t i = 0; i < products.size(); ++i) {
+                max_products = std::max(max_products, products[i]);
+            }
+            const index_t sym_table = std::min<index_t>(
+                kSymTable, std::max<index_t>(32, core::next_pow2(2 * max_products)));
+            const index_t grid =
+                a.rows == 0 ? 0 : (a.rows + kRowsPerBlock - 1) / kRowsPerBlock;
+            dev.launch(dev.default_stream(),
+                       {grid, kBlockDim,
+                        to_size(kRowsPerBlock) * to_size(sym_table) * sizeof(index_t)},
+                       "cusparse_count",
+                       [&](sim::BlockCtx& blk) {
+                           auto tables = blk.shared_alloc<index_t>(to_size(kRowsPerBlock) *
+                                                                   to_size(sym_table));
+                           std::fill(tables.begin(), tables.end(), kEmptySlot);
+                           // Tables are cleaned lazily: only slots the row
+                           // touched are re-initialised (cost charged with
+                           // the fill below), so tiny rows do not pay for
+                           // the full 3000-entry table.
+                           double block_span = 0.0;
+                           double block_work = 0.0;
+                           for (index_t w = 0; w < kRowsPerBlock; ++w) {
+                               const index_t i = blk.block_idx() * kRowsPerBlock + w;
+                               if (i >= a.rows) { break; }
+                               auto table = tables.subspan(
+                                   to_size(w) * to_size(sym_table), to_size(sym_table));
+                               std::vector<double> warp(1, 0.0);
+                               const index_t nz = core::detail::count_row_hashed(
+                                   da, db, i, table, /*pow2=*/false, ec_sym,
+                                   ec_sym.probe_shared, ec_sym.insert_shared, warp, 32);
+                               if (nz < 0) {
+                                   fail[to_size(i)] = 1;
+                               } else {
+                                   row_nnz[to_size(i)] = nz;
+                               }
+                               // lazy cleanup of touched slots
+                               const double touched =
+                                   static_cast<double>(nz < 0 ? sym_table : nz);
+                               warp[0] += touched / 32.0 * 2.0;
+                               block_span = std::max(block_span, warp[0]);
+                               block_work += warp[0] * 32.0;
+                           }
+                           blk.charge_work_span(block_work, block_span);
+                       });
+            dev.synchronize();
+
+            // Global-memory fallback: every saturated row gets a table
+            // sized by its product count (extra memory + random traffic).
+            std::vector<index_t> failed;
+            for (index_t i = 0; i < a.rows; ++i) {
+                if (fail[to_size(i)] != 0) { failed.push_back(i); }
+            }
+            if (!failed.empty()) {
+                std::vector<std::size_t> offs(failed.size() + 1, 0);
+                for (std::size_t r = 0; r < failed.size(); ++r) {
+                    offs[r + 1] = offs[r] +
+                                  to_size(core::next_pow2(products[to_size(failed[r])]));
+                }
+                sim::DeviceBuffer<index_t> gtab(dev.allocator(), offs.back());
+                gtab.fill(kEmptySlot);
+                dev.launch(dev.default_stream(), {to_index(failed.size()), 32, 0},
+                           "cusparse_count_global",
+                           [&](sim::BlockCtx& blk) {
+                               const auto r = to_size(blk.block_idx());
+                               const index_t i = failed[r];
+                               auto table = gtab.span().subspan(offs[r], offs[r + 1] - offs[r]);
+                               blk.global_write(
+                                   32, sizeof(index_t), sim::MemPattern::kCoalesced,
+                                   static_cast<double>(table.size()) / 32.0);
+                               std::vector<double> warp(1, 0.0);
+                               const index_t nz = core::detail::count_row_hashed(
+                                   da, db, i, table, /*pow2=*/false, ec_sym,
+                                   ec_sym.probe_global, ec_sym.insert_global, warp, 32);
+                               NSPARSE_ENSURES(nz >= 0, "global fallback table saturated");
+                               row_nnz[to_size(i)] = nz;
+                               blk.charge_work_span(warp[0] * 32.0, warp[0]);
+                           });
+                dev.synchronize();
+            }
+            rpt = exclusive_scan(dev, row_nnz);
+        }
+
+        c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, rpt.back());
+        std::copy(rpt.begin(), rpt.end(), c.rpt.data());
+
+        {
+            // ---- numeric phase. csrgemm keeps an internal unsorted-
+            // column workspace the size of C's column array and permutes
+            // into the user's buffers at the end — the extra allocation
+            // Figure 4 normalises against. (The simulation writes the
+            // final sorted row directly; the workspace buffer and the
+            // permute kernel below model the memory and traffic.) ----
+            auto calc_phase = dev.phase_scope("calc");
+            sim::DeviceBuffer<index_t> col_workspace(dev.allocator(), to_size(rpt.back()));
+            auto& ctmp = c;
+
+            index_t max_nnz = 0;
+            for (std::size_t i = 0; i < to_size(a.rows); ++i) {
+                max_nnz = std::max(max_nnz, row_nnz[i]);
+            }
+            const index_t tnum = std::min<index_t>(
+                numeric_table_size<T>(),
+                std::max<index_t>(16, core::next_pow2(2 * std::max<index_t>(1, max_nnz))));
+            // Route rows: shared path when the known nnz fits the table.
+            std::vector<index_t> shared_rows;
+            std::vector<index_t> global_rows;
+            for (index_t i = 0; i < a.rows; ++i) {
+                (row_nnz[to_size(i)] <= tnum ? shared_rows : global_rows).push_back(i);
+            }
+
+            if (!shared_rows.empty()) {
+                const auto n = to_index(shared_rows.size());
+                const index_t grid = (n + kRowsPerBlock - 1) / kRowsPerBlock;
+                dev.launch(dev.default_stream(),
+                           {grid, kBlockDim,
+                            to_size(kRowsPerBlock) * to_size(tnum) *
+                                (sizeof(index_t) + sizeof(T))},
+                           "cusparse_calc",
+                           [&, n](sim::BlockCtx& blk) {
+                               auto keys = blk.shared_alloc<index_t>(to_size(kRowsPerBlock) *
+                                                                     to_size(tnum));
+                               auto vals = blk.shared_alloc<T>(to_size(kRowsPerBlock) *
+                                                               to_size(tnum));
+                               std::fill(keys.begin(), keys.end(), kEmptySlot);
+                               // lazy per-row cleanup, charged in the loop
+                               double block_span = 0.0;
+                               double block_work = 0.0;
+                               for (index_t w = 0; w < kRowsPerBlock; ++w) {
+                                   const index_t idx = blk.block_idx() * kRowsPerBlock + w;
+                                   if (idx >= n) { break; }
+                                   const index_t i = shared_rows[to_size(idx)];
+                                   auto k = keys.subspan(to_size(w) * to_size(tnum),
+                                                         to_size(tnum));
+                                   auto v = vals.subspan(to_size(w) * to_size(tnum),
+                                                         to_size(tnum));
+                                   std::vector<double> warp(1, 0.0);
+                                   core::detail::fill_row_hashed(
+                                       da, db, i, k, v, /*pow2=*/false, ec_num,
+                                       ec_num.probe_shared, ec_num.insert_shared,
+                                       ec_num.accum_shared, warp, 32);
+                                   const auto [ew, es] = core::detail::emit_row<T>(
+                                       k, v, ctmp, i, dev.cost_model(), true, 32);
+                                   const double cleanup =
+                                       static_cast<double>(row_nnz[to_size(i)]) / 32.0 * 2.0;
+                                   block_span = std::max(block_span, warp[0] + es + cleanup);
+                                   block_work += (warp[0] + cleanup) * 32.0 + ew;
+                               }
+                               blk.charge_work_span(block_work, block_span);
+                           });
+            }
+            if (!global_rows.empty()) {
+                std::vector<std::size_t> offs(global_rows.size() + 1, 0);
+                for (std::size_t r = 0; r < global_rows.size(); ++r) {
+                    offs[r + 1] =
+                        offs[r] + to_size(core::next_pow2(
+                                      std::max<index_t>(1, row_nnz[to_size(global_rows[r])]) *
+                                      2));
+                }
+                sim::DeviceBuffer<index_t> gkeys(dev.allocator(), offs.back());
+                sim::DeviceBuffer<T> gvals(dev.allocator(), offs.back());
+                gkeys.fill(kEmptySlot);
+                dev.launch(dev.default_stream(), {to_index(global_rows.size()), 32, 0},
+                           "cusparse_calc_global",
+                           [&](sim::BlockCtx& blk) {
+                               const auto r = to_size(blk.block_idx());
+                               const index_t i = global_rows[r];
+                               auto k = gkeys.span().subspan(offs[r], offs[r + 1] - offs[r]);
+                               auto v = gvals.span().subspan(offs[r], offs[r + 1] - offs[r]);
+                               blk.global_write(32, sizeof(index_t),
+                                                sim::MemPattern::kCoalesced,
+                                                static_cast<double>(k.size()) / 32.0);
+                               std::vector<double> warp(1, 0.0);
+                               core::detail::fill_row_hashed(
+                                   da, db, i, k, v, /*pow2=*/false, ec_num,
+                                   ec_num.probe_global, ec_num.insert_global,
+                                   ec_num.accum_global, warp, 32);
+                               const auto [ew, es] = core::detail::emit_row<T>(
+                                   k, v, ctmp, i, dev.cost_model(), false, 32);
+                               blk.charge_work_span(warp[0] * 32.0 + ew, warp[0] + es);
+                           });
+            }
+            dev.synchronize();
+
+            // Permute workspace columns -> final output order.
+            const index_t nnz_c = rpt.back();
+            constexpr int kBlock = 256;
+            const index_t grid =
+                nnz_c == 0 ? 0 : (nnz_c + kBlock - 1) / kBlock;
+            dev.launch(dev.default_stream(), {grid, kBlock, 0}, "cusparse_permute",
+                       [&](sim::BlockCtx& blk) {
+                           const index_t begin = blk.block_idx() * kBlock;
+                           const index_t end = std::min(nnz_c, begin + kBlock);
+                           const int lanes = static_cast<int>(end - begin);
+                           if (lanes <= 0) { return; }
+                           blk.global_read(lanes, sizeof(index_t),
+                                           sim::MemPattern::kCoalesced);
+                           blk.global_write(lanes, sizeof(index_t),
+                                            sim::MemPattern::kCoalesced);
+                       });
+            dev.synchronize();
+        }
+    }
+
+    out.matrix = c.download();
+    out.stats.intermediate_products = total_products;
+    out.stats.nnz_c = out.matrix.nnz();
+    fill_stats_from_device(out.stats, dev);
+    return out;
+}
+
+template SpgemmOutput<float> cusparse_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
+                                                    const CsrMatrix<float>&);
+template SpgemmOutput<double> cusparse_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
+                                                      const CsrMatrix<double>&);
+
+}  // namespace nsparse::baseline

@@ -1,0 +1,27 @@
+// cuSPARSE-style two-phase hash SpGEMM (Demouth, GTC 2012; the paper's
+// "cuSPARSE" baseline and related work §V ¶1).
+//
+// One warp per row for *all* rows — no grouping — with a fixed-size shared
+// hash table per warp and a global-memory fallback for rows that do not
+// fit ("this algorithm causes many random global memory access and do not
+// efficiently utilize fast shared memory"). Uses true-modulus hashing
+// (not power-of-two bit-ops). The missing row grouping is what makes it
+// collapse on skewed matrices (webbase, cit-Patents) while staying strong
+// on regular ones, exactly as the paper's Figures 2-3 show.
+#pragma once
+
+#include "gpusim/algorithm.hpp"
+
+namespace nsparse::baseline {
+
+template <ValueType T>
+SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b);
+
+extern template SpgemmOutput<float> cusparse_spgemm<float>(sim::Device&,
+                                                           const CsrMatrix<float>&,
+                                                           const CsrMatrix<float>&);
+extern template SpgemmOutput<double> cusparse_spgemm<double>(sim::Device&,
+                                                             const CsrMatrix<double>&,
+                                                             const CsrMatrix<double>&);
+
+}  // namespace nsparse::baseline

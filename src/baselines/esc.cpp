@@ -1,0 +1,252 @@
+#include "baselines/esc.hpp"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+#include "baselines/common.hpp"
+
+namespace nsparse::baseline {
+
+namespace {
+
+/// Packed 64-bit (row, col) sort key.
+[[nodiscard]] inline std::uint64_t pack_key(index_t row, index_t col)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32U) |
+           static_cast<std::uint32_t>(col);
+}
+
+/// One LSD radix pass (histogram + scatter kernels) over the key/value
+/// triple buffers; functional byte-bucket scatter, cost charged as the two
+/// streaming kernels with a random scatter write.
+template <ValueType T>
+void radix_pass(sim::Device& dev, sim::DeviceBuffer<std::uint64_t>& keys_in,
+                sim::DeviceBuffer<T>& vals_in, sim::DeviceBuffer<std::uint64_t>& keys_out,
+                sim::DeviceBuffer<T>& vals_out, int shift)
+{
+    const std::size_t n = keys_in.size();
+    constexpr int kBlock = 256;
+    constexpr std::size_t kItemsPerBlock = 8 * kBlock;  // thrust-style tiling
+    const index_t grid =
+        n == 0 ? 0 : to_index((n + kItemsPerBlock - 1) / kItemsPerBlock);
+
+    std::array<std::size_t, 256> hist{};
+    for (std::size_t k = 0; k < n; ++k) {
+        ++hist[static_cast<std::size_t>((keys_in[k] >> shift) & 0xffU)];
+    }
+    std::array<std::size_t, 256> pos{};
+    std::size_t run = 0;
+    for (std::size_t d = 0; d < 256; ++d) {
+        pos[d] = run;
+        run += hist[d];
+    }
+
+    dev.launch(dev.default_stream(), {grid, kBlock, 256 * sizeof(index_t)}, "radix_histogram",
+               [&](sim::BlockCtx& blk) {
+                   const std::size_t begin = to_size(blk.block_idx()) * kItemsPerBlock;
+                   const double items =
+                       static_cast<double>(std::min(n, begin + kItemsPerBlock) - begin);
+                   if (items <= 0) { return; }
+                   const double per_lane = items / kBlock;
+                   blk.global_read(kBlock, sizeof(std::uint64_t), sim::MemPattern::kCoalesced,
+                                   per_lane);
+                   blk.atomic_shared(kBlock, per_lane);
+                   blk.int_ops(kBlock, 2.0 * per_lane);
+               });
+    dev.launch(dev.default_stream(), {grid, kBlock, 256 * sizeof(index_t)}, "radix_scatter",
+               [&](sim::BlockCtx& blk) {
+                   const std::size_t begin = to_size(blk.block_idx()) * kItemsPerBlock;
+                   const double items =
+                       static_cast<double>(std::min(n, begin + kItemsPerBlock) - begin);
+                   if (items <= 0) { return; }
+                   const double per_lane = items / kBlock;
+                   blk.global_read(kBlock, sizeof(std::uint64_t) + sizeof(T),
+                                   sim::MemPattern::kCoalesced, per_lane);
+                   blk.global_write(kBlock, sizeof(std::uint64_t) + sizeof(T),
+                                    sim::MemPattern::kRandom, per_lane);
+                   blk.int_ops(kBlock, 3.0 * per_lane);
+               });
+    // Functional scatter (sequential, stable).
+    for (std::size_t k = 0; k < n; ++k) {
+        const auto d = static_cast<std::size_t>((keys_in[k] >> shift) & 0xffU);
+        keys_out[pos[d]] = keys_in[k];
+        vals_out[pos[d]] = vals_in[k];
+        ++pos[d];
+    }
+    dev.synchronize();
+}
+
+}  // namespace
+
+template <ValueType T>
+SpgemmOutput<T> esc_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.reset_measurement();
+
+    SpgemmOutput<T> out;
+    wide_t total_products = 0;
+    sim::DeviceCsr<T> c;
+
+    {
+        auto setup = dev.phase_scope("setup");
+        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+        auto products = count_products(dev, da, db);
+        const auto expand_off = exclusive_scan_wide(dev, products);
+        total_products = expand_off.back();
+        const auto n_prod = to_size(total_products);
+
+        // The ESC working set: triple list + radix double buffer. This is
+        // the allocation that fails for cage15/wb-edu in Table III.
+        sim::DeviceBuffer<std::uint64_t> keys(dev.allocator(), n_prod);
+        sim::DeviceBuffer<T> vals(dev.allocator(), n_prod);
+        sim::DeviceBuffer<std::uint64_t> keys_tmp(dev.allocator(), n_prod);
+        sim::DeviceBuffer<T> vals_tmp(dev.allocator(), n_prod);
+
+        {
+            // ---- expansion (charged to "count") ----
+            auto expand_phase = dev.phase_scope("count");
+            constexpr int kBlock = 256;
+            const index_t grid =
+                a.rows == 0 ? 0 : (a.rows + kBlock - 1) / kBlock;
+            dev.launch(dev.default_stream(), {grid, kBlock, 0}, "esc_expand",
+                       [&](sim::BlockCtx& blk) {
+                           const index_t begin = blk.block_idx() * kBlock;
+                           const index_t end = std::min(a.rows, begin + kBlock);
+                           double n_elems = 0.0;
+                           for (index_t i = begin; i < end; ++i) {
+                               auto cursor = expand_off[to_size(i)];
+                               for (index_t j = da.rpt[to_size(i)];
+                                    j < da.rpt[to_size(i) + 1]; ++j) {
+                                   const index_t d = da.col[to_size(j)];
+                                   const T av = da.val[to_size(j)];
+                                   for (index_t k = db.rpt[to_size(d)];
+                                        k < db.rpt[to_size(d) + 1]; ++k) {
+                                       keys[to_size(cursor)] =
+                                           pack_key(i, db.col[to_size(k)]);
+                                       vals[to_size(cursor)] = av * db.val[to_size(k)];
+                                       ++cursor;
+                                       n_elems += 1.0;
+                                   }
+                               }
+                           }
+                           const int lanes = static_cast<int>(end - begin);
+                           if (lanes <= 0) { return; }
+                           const auto& m = blk.model();
+                           // CUSP's expansion assigns threads to products
+                           // evenly (gather offsets via binary search), so
+                           // the kernel is balanced: span = work / threads.
+                           const double per_elem =
+                               m.global_cost(sizeof(index_t) + sizeof(T),
+                                             sim::MemPattern::kCoalesced) +
+                               m.global_cost(sizeof(std::uint64_t) + sizeof(T),
+                                             sim::MemPattern::kCoalesced) +
+                               m.flop + 4.0 * m.int_op;
+                           blk.charge_work_span(n_elems * per_elem,
+                                                n_elems * per_elem / blk.block_dim());
+                           blk.add_global_bytes(n_elems * (sizeof(std::uint64_t) + sizeof(T)));
+                       });
+            dev.synchronize();
+        }
+
+        {
+            // ---- sort + contraction (charged to "calc") ----
+            auto calc_phase = dev.phase_scope("calc");
+
+            const int row_bits =
+                a.rows <= 1 ? 1 : static_cast<int>(std::bit_width(to_size(a.rows - 1)));
+            const int col_bits =
+                b.cols <= 1 ? 1 : static_cast<int>(std::bit_width(to_size(b.cols - 1)));
+            const int passes_col = (col_bits + 7) / 8;
+            const int passes_row = (row_bits + 7) / 8;
+            // LSD over the column byte(s) then the row byte(s).
+            int pass = 0;
+            for (int p = 0; p < passes_col + passes_row; ++p, ++pass) {
+                const int shift = p < passes_col ? 8 * p : 32 + 8 * (p - passes_col);
+                if (pass % 2 == 0) {
+                    radix_pass(dev, keys, vals, keys_tmp, vals_tmp, shift);
+                } else {
+                    radix_pass(dev, keys_tmp, vals_tmp, keys, vals, shift);
+                }
+            }
+            auto& skeys = (pass % 2 == 0) ? keys : keys_tmp;
+            auto& svals = (pass % 2 == 0) ? vals : vals_tmp;
+
+            // Contraction: flag run heads, segmented-sum values.
+            sim::DeviceBuffer<index_t> row_nnz(dev.allocator(), to_size(a.rows));
+            row_nnz.fill(0);
+            constexpr int kBlock = 256;
+            const index_t grid =
+                n_prod == 0 ? 0 : to_index((n_prod + kBlock - 1) / to_size(kBlock));
+            dev.launch(dev.default_stream(), {grid, kBlock, 0}, "esc_contract_count",
+                       [&](sim::BlockCtx& blk) {
+                           const std::size_t begin = to_size(blk.block_idx()) * kBlock;
+                           const std::size_t end = std::min(n_prod, begin + kBlock);
+                           const int lanes = static_cast<int>(end - begin);
+                           if (lanes <= 0) { return; }
+                           for (std::size_t k = begin; k < end; ++k) {
+                               if (k == 0 || skeys[k] != skeys[k - 1]) {
+                                   const auto row =
+                                       static_cast<index_t>(skeys[k] >> 32U);
+                                   // atomicAdd: blocks may share a row at
+                                   // their boundary
+                                   std::atomic_ref<index_t>(row_nnz[to_size(row)])
+                                       .fetch_add(1, std::memory_order_relaxed);
+                               }
+                           }
+                           blk.global_read(lanes, sizeof(std::uint64_t),
+                                           sim::MemPattern::kCoalesced);
+                           blk.atomic_global(lanes, 0.3);
+                           blk.int_ops(lanes, 2.0);
+                       });
+            dev.synchronize();
+
+            const auto rpt = exclusive_scan(dev, row_nnz);
+            c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, rpt.back());
+            std::copy(rpt.begin(), rpt.end(), c.rpt.data());
+
+            dev.launch(dev.default_stream(), {grid, kBlock, 0}, "esc_contract_write",
+                       [&](sim::BlockCtx& blk) {
+                           const std::size_t begin = to_size(blk.block_idx()) * kBlock;
+                           const std::size_t end = std::min(n_prod, begin + kBlock);
+                           const int lanes = static_cast<int>(end - begin);
+                           if (lanes <= 0) { return; }
+                           blk.global_read(lanes, sizeof(std::uint64_t) + sizeof(T),
+                                           sim::MemPattern::kCoalesced);
+                           blk.flops(lanes, 1.0);
+                           blk.global_write(lanes, sizeof(index_t) + sizeof(T),
+                                            sim::MemPattern::kCoalesced, 0.5);
+                       });
+            // Functional contraction (sequential over the sorted triples).
+            {
+                index_t w = -1;
+                for (std::size_t k = 0; k < n_prod; ++k) {
+                    if (k == 0 || skeys[k] != skeys[k - 1]) {
+                        ++w;
+                        c.col[to_size(w)] = static_cast<index_t>(skeys[k] & 0xffffffffU);
+                        c.val[to_size(w)] = svals[k];
+                    } else {
+                        c.val[to_size(w)] += svals[k];
+                    }
+                }
+            }
+            dev.synchronize();
+        }
+    }
+
+    out.matrix = c.download();
+    out.stats.intermediate_products = total_products;
+    out.stats.nnz_c = out.matrix.nnz();
+    fill_stats_from_device(out.stats, dev);
+    return out;
+}
+
+template SpgemmOutput<float> esc_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
+                                               const CsrMatrix<float>&);
+template SpgemmOutput<double> esc_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
+                                                 const CsrMatrix<double>&);
+
+}  // namespace nsparse::baseline

@@ -1,0 +1,25 @@
+// ESC (Expansion / Sorting / Contraction) SpGEMM — the algorithm of the
+// CUSP library (Bell, Dalton, Olson; paper §II-B and §IV baseline "CUSP").
+//
+// Every intermediate product is materialised as a (row, col, value) triple,
+// the triple list is radix-sorted by packed (row, col) key, and runs of
+// equal keys are contracted into output nonzeros. Throughput is therefore
+// almost independent of the matrix (the paper's "CUSP achieves constant
+// performance for all matrices") and memory grows with the number of
+// intermediate products — which is why CUSP cannot run cage15/wb-edu in
+// Table III.
+#pragma once
+
+#include "gpusim/algorithm.hpp"
+
+namespace nsparse::baseline {
+
+template <ValueType T>
+SpgemmOutput<T> esc_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b);
+
+extern template SpgemmOutput<float> esc_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
+                                                      const CsrMatrix<float>&);
+extern template SpgemmOutput<double> esc_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
+                                                        const CsrMatrix<double>&);
+
+}  // namespace nsparse::baseline

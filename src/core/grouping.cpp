@@ -1,0 +1,165 @@
+#include "core/grouping.hpp"
+
+#include <algorithm>
+
+#include "core/hash_table.hpp"
+
+namespace nsparse::core {
+
+GroupingPolicy GroupingPolicy::derive(const sim::DeviceSpec& spec, std::size_t entry_bytes,
+                                      index_t border, int pwarp_width, bool use_pwarp)
+{
+    GroupingPolicy p;
+    p.pwarp_width = pwarp_width;
+    p.pwarp_border = use_pwarp ? border : 0;
+
+    // Largest power-of-two table fitting the per-block shared-memory limit
+    // (§III-D: 48 KB / 12 B = 4096 for the numeric phase on P100).
+    p.max_shared_table = prev_pow2(to_index(spec.max_shared_per_block / entry_bytes));
+
+    const auto tb_for = [&spec](int block) {
+        return std::min(spec.max_threads_per_sm / block, spec.max_blocks_per_sm);
+    };
+
+    // Group 0: rows beyond the largest shared table -> global-memory tables.
+    p.groups.push_back(GroupInfo{
+        .id = 0,
+        .min_count = p.max_shared_table + 1,
+        .max_count = -1,
+        .assignment = Assignment::kTbRow,
+        .block_size = spec.max_threads_per_block,
+        .tb_per_sm = tb_for(spec.max_threads_per_block),
+        .table_size = 0,
+        .global_table = true,
+    });
+
+    // TB/ROW groups: halve table and block size until the per-SM block
+    // limit (32) is reached (§III-D).
+    index_t table = p.max_shared_table;
+    int block = spec.max_threads_per_block;
+    int id = 1;
+    while (true) {
+        const bool last = tb_for(block) >= spec.max_blocks_per_sm;
+        p.groups.push_back(GroupInfo{
+            .id = id,
+            .min_count = last ? p.pwarp_border + 1 : table / 2 + 1,
+            .max_count = table,
+            .assignment = Assignment::kTbRow,
+            .block_size = block,
+            .tb_per_sm = tb_for(block),
+            .table_size = table,
+            .global_table = false,
+        });
+        ++id;
+        if (last) { break; }
+        table /= 2;
+        block = std::max(block / 2, spec.warp_size * 2);
+    }
+
+    // PWARP/ROW group for the short rows.
+    p.groups.push_back(GroupInfo{
+        .id = id,
+        .min_count = 0,
+        .max_count = p.pwarp_border,
+        .assignment = Assignment::kPwarpRow,
+        .block_size = 512,
+        .tb_per_sm = tb_for(512),
+        .table_size = border,  // per-row mini table (32 symbolic / 16 numeric)
+        .global_table = false,
+    });
+    return p;
+}
+
+GroupingPolicy GroupingPolicy::symbolic(const sim::DeviceSpec& spec, int pwarp_width,
+                                        bool use_pwarp)
+{
+    return derive(spec, sizeof(index_t), 32, pwarp_width, use_pwarp);
+}
+
+GroupingPolicy GroupingPolicy::numeric(const sim::DeviceSpec& spec, std::size_t value_bytes,
+                                       int pwarp_width, bool use_pwarp)
+{
+    // The paper sizes numeric tables for double precision (12 B/entry) and
+    // uses the same Table I for both precisions; we honour the actual value
+    // size but P100 numbers coincide (prev_pow2(6144) == 4096).
+    return derive(spec, sizeof(index_t) + value_bytes, 16, pwarp_width, use_pwarp);
+}
+
+int GroupingPolicy::group_of(index_t count) const
+{
+    NSPARSE_EXPECTS(count >= 0, "negative row count");
+    if (count <= pwarp_border) { return groups.back().id; }
+    // Smallest shared table that fits the count; otherwise global group 0.
+    for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+        if (it->assignment == Assignment::kPwarpRow) { continue; }
+        if (!it->global_table && count <= it->max_count && count >= it->min_count) {
+            return it->id;
+        }
+    }
+    return 0;
+}
+
+GroupedRows group_rows(sim::Device& dev, const GroupingPolicy& policy,
+                       const sim::DeviceBuffer<index_t>& counts)
+{
+    const auto rows = to_index(counts.size());
+    const auto n_groups = to_index(policy.groups.size());
+
+    // Kernel 1: classify each row and histogram group sizes (global
+    // atomics). Kernel 2: scatter row ids to their group segment. Both are
+    // cheap streaming kernels; the paper calls this cost "setup" and shows
+    // it negligible (§IV-C).
+    std::vector<index_t> group_of_row(to_size(rows));
+    std::vector<index_t> sizes(to_size(n_groups), 0);
+
+    constexpr int kBlock = 256;
+    const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "grouping_classify",
+               [&](sim::BlockCtx& blk) {
+                   const index_t begin = blk.block_idx() * kBlock;
+                   const index_t end = std::min(rows, begin + kBlock);
+                   const int lanes = static_cast<int>(end - begin);
+                   if (lanes <= 0) { return; }
+                   for (index_t r = begin; r < end; ++r) {
+                       const int g = policy.group_of(counts[to_size(r)]);
+                       group_of_row[to_size(r)] = g;
+                       // (histogram accumulated on host below; charged as atomics)
+                   }
+                   blk.global_read(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+                   blk.int_ops(lanes, 6.0);  // range comparisons
+                   blk.atomic_global(lanes, 1.0);
+               });
+    for (index_t r = 0; r < rows; ++r) { ++sizes[to_size(group_of_row[to_size(r)])]; }
+
+    GroupedRows out;
+    out.offsets.assign(to_size(n_groups) + 1, 0);
+    for (index_t g = 0; g < n_groups; ++g) {
+        out.offsets[to_size(g) + 1] = out.offsets[to_size(g)] + sizes[to_size(g)];
+    }
+
+    // Scatter positions are precomputed sequentially (deterministic: each
+    // group segment stays sorted by row index, like a stable device scan);
+    // the kernel below charges the cost the GPU scatter would incur.
+    out.permutation = sim::DeviceBuffer<index_t>(dev.allocator(), to_size(rows));
+    {
+        std::vector<index_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+        for (index_t r = 0; r < rows; ++r) {
+            const index_t g = group_of_row[to_size(r)];
+            out.permutation[to_size(cursor[to_size(g)]++)] = r;
+        }
+    }
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "grouping_scatter",
+               [&](sim::BlockCtx& blk) {
+                   const index_t begin = blk.block_idx() * kBlock;
+                   const index_t end = std::min(rows, begin + kBlock);
+                   const int lanes = static_cast<int>(end - begin);
+                   if (lanes <= 0) { return; }
+                   blk.global_read(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+                   blk.atomic_global(lanes, 1.0);
+                   blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kRandom);
+               });
+    dev.synchronize();
+    return out;
+}
+
+}  // namespace nsparse::core

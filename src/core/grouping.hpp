@@ -1,0 +1,82 @@
+// Row grouping (paper §III-A, §III-D and Table I).
+//
+// Rows are divided into groups by the number of intermediate products
+// (before the symbolic phase) or by the number of output nonzeros (before
+// the numeric phase). Each group gets a thread assignment (PWARP/ROW or
+// TB/ROW), a thread-block size and a power-of-two hash-table size; the
+// whole table is *derived* from the device spec exactly as §III-D
+// describes, and a unit test asserts the derivation reproduces the paper's
+// Table I for the P100.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse::core {
+
+enum class Assignment { kPwarpRow, kTbRow };
+
+struct GroupInfo {
+    int id = 0;
+    index_t min_count = 0;   ///< inclusive lower bound of the count range
+    index_t max_count = 0;   ///< inclusive upper bound; -1 = unbounded (group 0)
+    Assignment assignment = Assignment::kTbRow;
+    int block_size = 0;      ///< CUDA thread-block size
+    int tb_per_sm = 0;       ///< Table I "#TB": min(maxThreads/SM / block, maxTB/SM)
+    index_t table_size = 0;  ///< shared hash-table entries per row (0: per-row global)
+    bool global_table = false;
+
+    [[nodiscard]] bool contains(index_t count) const
+    {
+        return count >= min_count && (max_count < 0 || count <= max_count);
+    }
+};
+
+/// The derived per-phase group table.
+struct GroupingPolicy {
+    std::vector<GroupInfo> groups;  ///< ordered by id: 0 (largest) .. N-1 (pwarp)
+    int pwarp_width = 4;
+    index_t pwarp_border = 0;  ///< counts <= border go to the PWARP/ROW group
+    index_t max_shared_table = 0;
+
+    /// Policy for the symbolic phase (key-only tables, 4 B/entry,
+    /// border 32).
+    static GroupingPolicy symbolic(const sim::DeviceSpec& spec, int pwarp_width = 4,
+                                   bool use_pwarp = true);
+
+    /// Policy for the numeric phase ((key,value) tables, 4+sizeof(T)
+    /// bytes/entry — the paper sizes for double, 12 B — border 16).
+    static GroupingPolicy numeric(const sim::DeviceSpec& spec, std::size_t value_bytes,
+                                  int pwarp_width = 4, bool use_pwarp = true);
+
+    /// Group id responsible for a row with `count` products/nonzeros.
+    [[nodiscard]] int group_of(index_t count) const;
+
+private:
+    static GroupingPolicy derive(const sim::DeviceSpec& spec, std::size_t entry_bytes,
+                                 index_t border, int pwarp_width, bool use_pwarp);
+};
+
+/// Result of partitioning the rows of a concrete matrix into groups:
+/// a permutation buffer in device memory (the "array of gathered row
+/// indices" of §III-A — the algorithm's only sizeable extra memory) plus
+/// per-group offsets.
+struct GroupedRows {
+    sim::DeviceBuffer<index_t> permutation;  ///< rows, grouped
+    std::vector<index_t> offsets;            ///< per-group start, size groups+1
+
+    [[nodiscard]] index_t group_size(int g) const
+    {
+        return offsets[to_size(g) + 1] - offsets[to_size(g)];
+    }
+};
+
+/// Partitions rows by `counts` according to `policy`, charging the
+/// classify/scatter kernels to the device's current phase.
+GroupedRows group_rows(sim::Device& dev, const GroupingPolicy& policy,
+                       const sim::DeviceBuffer<index_t>& counts);
+
+}  // namespace nsparse::core

@@ -1,0 +1,104 @@
+// Linear-probing hash table primitives (paper Algorithm 5).
+//
+// Column indices are inserted as keys into a table initialised to -1; the
+// initial slot is (key * HASH_SCAL) mod table-size and collisions probe the
+// next slot. Table sizes are powers of two so the modulus is a bit-and
+// (§III-D: "the modulus operation is expensive, we utilize lightweight bit
+// operations"); the cuSPARSE-like baseline deliberately uses true modulus
+// so the ablation bench can quantify the difference.
+//
+// These helpers are *functional*: they mutate the table exactly as the GPU
+// kernel would and report how many probes / whether an atomicCAS insert
+// happened, so the calling kernel can charge the simulated cost.
+#pragma once
+
+#include <bit>
+#include <span>
+
+#include "sparse/types.hpp"
+
+namespace nsparse::core {
+
+/// The multiplier the nsparse implementation uses.
+inline constexpr std::uint32_t kHashScale = 107;
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] constexpr index_t next_pow2(index_t n)
+{
+    return to_index(std::bit_ceil(to_size(n < 1 ? 1 : n)));
+}
+
+/// Largest power of two <= n (n >= 1).
+[[nodiscard]] constexpr index_t prev_pow2(index_t n)
+{
+    NSPARSE_EXPECTS(n >= 1, "prev_pow2 requires n >= 1");
+    return to_index(std::bit_floor(to_size(n)));
+}
+
+struct ProbeResult {
+    bool inserted = false;  ///< key was new and claimed a slot (atomicCAS)
+    bool found = false;     ///< key already present
+    bool full = false;      ///< table saturated: row must fall back (group 0)
+    int probes = 0;         ///< slots inspected (cost: one table read each)
+};
+
+[[nodiscard]] inline index_t hash_slot(index_t key, index_t table_size, bool pow2)
+{
+    const std::uint32_t h = static_cast<std::uint32_t>(key) * kHashScale;
+    if (pow2) { return static_cast<index_t>(h & static_cast<std::uint32_t>(table_size - 1)); }
+    return static_cast<index_t>(h % static_cast<std::uint32_t>(table_size));
+}
+
+/// Symbolic insert: keys only (counting distinct columns).
+[[nodiscard]] inline ProbeResult hash_insert_key(std::span<index_t> table, index_t key,
+                                                 bool pow2 = true)
+{
+    const auto tsize = to_index(table.size());
+    index_t h = hash_slot(key, tsize, pow2);
+    ProbeResult r;
+    while (r.probes < tsize) {
+        ++r.probes;
+        if (table[to_size(h)] == key) {
+            r.found = true;
+            return r;
+        }
+        if (table[to_size(h)] == kEmptySlot) {
+            table[to_size(h)] = key;  // atomicCAS succeeds (block-sequential)
+            r.inserted = true;
+            return r;
+        }
+        h = pow2 ? ((h + 1) & (tsize - 1)) : ((h + 1) % tsize);
+    }
+    r.full = true;
+    return r;
+}
+
+/// Numeric insert: accumulate `value` under `key` ((key,value) table).
+template <ValueType T>
+[[nodiscard]] inline ProbeResult hash_accumulate(std::span<index_t> keys, std::span<T> values,
+                                                 index_t key, T value, bool pow2 = true)
+{
+    NSPARSE_EXPECTS(keys.size() == values.size(), "key/value table size mismatch");
+    const auto tsize = to_index(keys.size());
+    index_t h = hash_slot(key, tsize, pow2);
+    ProbeResult r;
+    while (r.probes < tsize) {
+        ++r.probes;
+        if (keys[to_size(h)] == key) {
+            values[to_size(h)] += value;  // atomicAdd
+            r.found = true;
+            return r;
+        }
+        if (keys[to_size(h)] == kEmptySlot) {
+            keys[to_size(h)] = key;
+            values[to_size(h)] = value;
+            r.inserted = true;
+            return r;
+        }
+        h = pow2 ? ((h + 1) & (tsize - 1)) : ((h + 1) % tsize);
+    }
+    r.full = true;
+    return r;
+}
+
+}  // namespace nsparse::core

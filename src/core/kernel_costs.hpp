@@ -1,0 +1,62 @@
+// Per-element cycle-cost bundles shared by the symbolic and numeric
+// kernels, so every kernel charges consistent costs for the same simulated
+// machine operations.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "gpusim/cost_model.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse::core {
+
+namespace detail {
+
+inline double sum(std::span<const double> v)
+{
+    double s = 0.0;
+    for (const double x : v) { s += x; }
+    return s;
+}
+
+inline double max_of(std::span<const double> v)
+{
+    double s = 0.0;
+    for (const double x : v) { s = std::max(s, x); }
+    return s;
+}
+
+}  // namespace detail
+
+struct ElemCosts {
+    double read_a = 0.0;     ///< per A-nonzero: colA read + B row-pointer pair + first touch
+    double elem_b = 0.0;     ///< per B-element: colB (+valB) read + hash arithmetic
+    double probe_shared = 0.0;
+    double probe_global = 0.0;
+    double insert_shared = 0.0;  ///< atomicCAS claim of a slot
+    double insert_global = 0.0;
+    double accum_shared = 0.0;   ///< numeric value atomicAdd + multiply
+    double accum_global = 0.0;
+
+    static ElemCosts make(const sim::CostModel& m, bool numeric, std::size_t value_bytes,
+                          bool pow2_tables = true)
+    {
+        ElemCosts c;
+        c.read_a = m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced) +
+                   m.global_cost(2 * sizeof(index_t), sim::MemPattern::kRandom) +
+                   m.global_cost(sizeof(index_t), sim::MemPattern::kRandom);
+        const std::size_t b_bytes = sizeof(index_t) + (numeric ? value_bytes : 0);
+        const double hash_arith = pow2_tables ? 3.0 * m.int_op : 2.0 * m.int_op + m.modulus_op;
+        c.elem_b = m.global_cost(b_bytes, sim::MemPattern::kCoalesced) + hash_arith;
+        c.probe_shared = m.shared_access;
+        c.probe_global = m.global_cost(sizeof(index_t), sim::MemPattern::kRandom);
+        c.insert_shared = m.shared_atomic;
+        c.insert_global = m.global_atomic;
+        c.accum_shared = m.shared_atomic + m.flop;
+        c.accum_global = m.global_atomic + m.flop;
+        return c;
+    }
+};
+
+}  // namespace nsparse::core

@@ -1,0 +1,81 @@
+// Predicts the peak device-memory footprint of hash_spgemm without
+// running the numeric phase — the planning question the paper's
+// memory-saving claim answers: "does this multiply fit on my GPU?"
+//
+// The prediction walks the same allocation schedule the driver performs
+// (inputs, products, group permutations, row nnz, output CSR, the group-0
+// global-table arenas) using a cheap symbolic pass for the exact per-row
+// nnz. test_memory_estimator.cpp asserts it brackets the measured
+// allocator peak tightly.
+#pragma once
+
+#include <algorithm>
+
+#include "core/grouping.hpp"
+#include "core/hash_table.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse::core {
+
+struct MemoryEstimate {
+    std::size_t inputs = 0;          ///< A and B in CSR
+    std::size_t output = 0;          ///< C in CSR
+    std::size_t bookkeeping = 0;     ///< products, permutations, row nnz
+    std::size_t symbolic_global = 0; ///< group-0 fallback key tables
+    std::size_t numeric_global = 0;  ///< group-0 (key,value) tables
+    std::size_t peak = 0;            ///< predicted allocator peak
+};
+
+template <ValueType T>
+[[nodiscard]] MemoryEstimate estimate_hash_spgemm_memory(const CsrMatrix<T>& a,
+                                                         const CsrMatrix<T>& b,
+                                                         const sim::DeviceSpec& spec = {})
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    const auto sym = GroupingPolicy::symbolic(spec);
+    const auto num = GroupingPolicy::numeric(spec, sizeof(T));
+
+    MemoryEstimate e;
+    e.inputs = a.byte_size() + b.byte_size();
+
+    const auto rows = to_size(a.rows);
+    // products + symbolic permutation + row_nnz + numeric permutation
+    e.bookkeeping = 4 * rows * sizeof(index_t);
+
+    const auto products = intermediate_products_per_row(a, b);
+    const auto nnz = reference_row_nnz(a, b);
+
+    wide_t nnz_c = 0;
+    for (index_t i = 0; i < a.rows; ++i) {
+        nnz_c += nnz[to_size(i)];
+        // symbolic fallback: a group-0 row whose distinct-column count
+        // saturates the largest shared table
+        if (products[to_size(i)] > sym.max_shared_table &&
+            nnz[to_size(i)] >= sym.max_shared_table) {
+            e.symbolic_global +=
+                to_size(next_pow2(products[to_size(i)])) * sizeof(index_t);
+        }
+        if (nnz[to_size(i)] > num.max_shared_table) {
+            e.numeric_global += to_size(next_pow2(std::max<index_t>(1, nnz[to_size(i)]) * 2)) *
+                                (sizeof(index_t) + sizeof(T));
+        }
+    }
+    e.output = (rows + 1) * sizeof(index_t) +
+               to_size(nnz_c) * (sizeof(index_t) + sizeof(T));
+
+    // Symbolic-phase peak: everything before C exists, plus fail flags for
+    // the group-0 attempt and the fallback tables.
+    std::size_t group0_rows = 0;
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (products[to_size(i)] > sym.max_shared_table) { ++group0_rows; }
+    }
+    const std::size_t peak_symbolic = e.inputs + e.bookkeeping - rows * sizeof(index_t) +
+                                      group0_rows * sizeof(index_t) + e.symbolic_global;
+    // Numeric-phase peak: inputs + bookkeeping + C + numeric global arena.
+    const std::size_t peak_numeric =
+        e.inputs + e.bookkeeping + e.output + e.numeric_global;
+    e.peak = std::max(peak_symbolic, peak_numeric);
+    return e;
+}
+
+}  // namespace nsparse::core

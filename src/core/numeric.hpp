@@ -1,0 +1,247 @@
+// Numeric phase: compute the values of the output matrix (paper §III-C,
+// flow steps (6)-(7)).
+//
+// Three sub-steps per row, all on the row's hash table: (1) accumulate
+// values into a (key, value) table — same hashing as the symbolic phase
+// plus an atomicAdd per product; (2) gather the occupied slots; (3) sort
+// by column index with the paper's counting-rank scheme (each nonzero's
+// position = number of smaller column indices in the table) and write to
+// the output CSR. Rows grouped by their now-known nnz; group 0 rows use
+// per-row global-memory tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/grouping.hpp"
+#include "core/hash_table.hpp"
+#include "core/kernel_costs.hpp"
+#include "core/options.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_csr.hpp"
+
+namespace nsparse::core {
+
+namespace detail {
+
+/// Functionally accumulates row i's products into the (keys, values)
+/// table, tracking per-worker cycles like count_row_hashed.
+template <ValueType T>
+inline void fill_row_hashed(const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b, index_t i,
+                            std::span<index_t> keys, std::span<T> values, bool pow2,
+                            const ElemCosts& ec, double probe_cost, double insert_cost,
+                            double accum_cost, std::span<double> lane_cycles, int lane_div)
+{
+    const index_t a_begin = a.rpt[to_size(i)];
+    const index_t a_end = a.rpt[to_size(i) + 1];
+    const auto lanes = static_cast<index_t>(lane_cycles.size());
+    for (index_t j = a_begin; j < a_end; ++j) {
+        const auto lane = to_size((j - a_begin) % lanes);
+        const index_t d = a.col[to_size(j)];
+        const T av = a.val[to_size(j)];
+        const index_t b_begin = b.rpt[to_size(d)];
+        const index_t b_end = b.rpt[to_size(d) + 1];
+        const index_t len = b_end - b_begin;
+        double elem_cycles = 0.0;
+        for (index_t k = b_begin; k < b_end; ++k) {
+            const ProbeResult r =
+                hash_accumulate(keys, values, b.col[to_size(k)], av * b.val[to_size(k)], pow2);
+            NSPARSE_ENSURES(!r.full, "numeric hash table saturated (grouping bug)");
+            elem_cycles += ec.elem_b + r.probes * probe_cost + accum_cost +
+                           (r.inserted ? insert_cost : 0.0);
+        }
+        const double rounds = lane_div <= 1
+                                  ? static_cast<double>(len)
+                                  : std::ceil(static_cast<double>(len) /
+                                              static_cast<double>(lane_div));
+        const double avg_elem = len == 0 ? 0.0 : elem_cycles / static_cast<double>(len);
+        // read_a is a broadcast scalar load: once per worker, not per lane
+        lane_cycles[lane] += ec.read_a / static_cast<double>(std::max(lane_div, 1)) +
+                             rounds * avg_elem;
+    }
+}
+
+/// Gather + counting-rank sort + write of one finished row table; returns
+/// the (work, span) cycles of these steps. `workers` = parallel threads
+/// available for this row.
+template <ValueType T>
+[[nodiscard]] inline std::pair<double, double> emit_row(std::span<const index_t> keys,
+                                                        std::span<const T> values,
+                                                        sim::DeviceCsr<T>& c, index_t i,
+                                                        const sim::CostModel& m, bool shared,
+                                                        int workers)
+{
+    std::vector<std::pair<index_t, T>> row;
+    for (std::size_t s = 0; s < keys.size(); ++s) {
+        if (keys[s] != kEmptySlot) { row.emplace_back(keys[s], values[s]); }
+    }
+    std::sort(row.begin(), row.end());
+    const index_t base = c.rpt[to_size(i)];
+    NSPARSE_ENSURES(to_index(row.size()) == c.rpt[to_size(i) + 1] - base,
+                    "numeric nnz disagrees with symbolic count");
+    for (std::size_t s = 0; s < row.size(); ++s) {
+        c.col[to_size(base) + s] = row[s].first;
+        c.val[to_size(base) + s] = row[s].second;
+    }
+
+    const double tsize = static_cast<double>(keys.size());
+    const double nnz = static_cast<double>(row.size());
+    // Gather streams the table once (coalesced when global); the rank
+    // counting re-reads the same row's entries over and over, which on
+    // hardware is served from L2, not DRAM.
+    const double scan_access =
+        shared ? m.shared_access
+               : m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced);
+    const double rank_cmp = shared ? m.sort_compare_shared : m.sort_compare_global;
+    const double w = static_cast<double>(workers);
+    const double write =
+        m.global_cost(sizeof(index_t) + sizeof(T), sim::MemPattern::kCoalesced);
+    const double work = tsize * scan_access + nnz * nnz * rank_cmp + nnz * write;
+    const double span = std::ceil(tsize / w) * scan_access +
+                        std::ceil(nnz / w) * nnz * rank_cmp + std::ceil(nnz / w) * write;
+    return {work, span};
+}
+
+}  // namespace detail
+
+/// Launches the numeric kernels for every group; fills c.col / c.val
+/// (c.rpt must already hold the row pointers from the symbolic phase).
+template <ValueType T>
+void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b,
+                   const GroupingPolicy& policy, const GroupedRows& grouped,
+                   const sim::DeviceBuffer<index_t>& row_nnz, sim::DeviceCsr<T>& c,
+                   const Options& opt)
+{
+    const ElemCosts ec = ElemCosts::make(dev.cost_model(), /*numeric=*/true, sizeof(T));
+    const sim::CostModel& m = dev.cost_model();
+    const index_t* perm = grouped.permutation.data();
+
+    // Group 0 global tables: one arena, per-row next_pow2(2*nnz) entries.
+    sim::DeviceBuffer<index_t> g0_keys;
+    sim::DeviceBuffer<T> g0_vals;
+    std::vector<std::size_t> g0_offs;
+    {
+        const index_t g0 = grouped.group_size(0);
+        if (g0 > 0) {
+            g0_offs.assign(to_size(g0) + 1, 0);
+            for (index_t r = 0; r < g0; ++r) {
+                const index_t i = perm[to_size(grouped.offsets[0] + r)];
+                g0_offs[to_size(r) + 1] =
+                    g0_offs[to_size(r)] +
+                    to_size(next_pow2(std::max<index_t>(1, row_nnz[to_size(i)]) * 2));
+            }
+            g0_keys = sim::DeviceBuffer<index_t>(dev.allocator(), g0_offs.back());
+            g0_vals = sim::DeviceBuffer<T>(dev.allocator(), g0_offs.back());
+            g0_keys.fill(kEmptySlot);
+        }
+    }
+
+    for (const GroupInfo& g : policy.groups) {
+        const index_t size = grouped.group_size(g.id);
+        if (size == 0) { continue; }
+        const sim::Stream stream = opt.use_streams ? dev.create_stream() : dev.default_stream();
+        const index_t group_begin = grouped.offsets[to_size(g.id)];
+
+        if (g.assignment == Assignment::kPwarpRow) {
+            const int pw = policy.pwarp_width;
+            const auto max_rows_by_smem =
+                to_index(dev.spec().max_shared_per_block /
+                         (to_size(g.table_size) * (sizeof(index_t) + sizeof(T))));
+            const index_t rows_per_block =
+                std::min<index_t>(g.block_size / pw, max_rows_by_smem);
+            const int block_dim = static_cast<int>(rows_per_block) * pw;
+            const index_t grid = (size + rows_per_block - 1) / rows_per_block;
+            const std::size_t smem = to_size(rows_per_block) * to_size(g.table_size) *
+                                     (sizeof(index_t) + sizeof(T));
+            dev.launch(stream, {grid, block_dim, smem}, "numeric_pwarp",
+                       [&, group_begin, size, rows_per_block, pw,
+                        tsize = g.table_size](sim::BlockCtx& blk) {
+                           auto keys = blk.shared_alloc<index_t>(to_size(rows_per_block) *
+                                                                 to_size(tsize));
+                           auto vals = blk.shared_alloc<T>(to_size(rows_per_block) *
+                                                           to_size(tsize));
+                           std::fill(keys.begin(), keys.end(), kEmptySlot);
+                           blk.shared_op(blk.block_dim(), static_cast<double>(tsize) / pw);
+                           double block_span = 0.0;
+                           double block_work = 0.0;
+                           std::vector<double> lane(static_cast<std::size_t>(pw));
+                           for (index_t r = 0; r < rows_per_block; ++r) {
+                               const index_t idx = blk.block_idx() * rows_per_block + r;
+                               if (idx >= size) { break; }
+                               const index_t i = perm[to_size(group_begin + idx)];
+                               std::fill(lane.begin(), lane.end(), 0.0);
+                               auto k = keys.subspan(to_size(r) * to_size(tsize),
+                                                     to_size(tsize));
+                               auto v = vals.subspan(to_size(r) * to_size(tsize),
+                                                     to_size(tsize));
+                               detail::fill_row_hashed(a, b, i, k, v, true, ec,
+                                                       ec.probe_shared, ec.insert_shared,
+                                                       ec.accum_shared, lane, 1);
+                               const auto [ew, es] = detail::emit_row<T>(
+                                   k, v, c, i, m, /*shared=*/true, pw);
+                               block_span = std::max(block_span, detail::max_of(lane) + es);
+                               block_work += detail::sum(lane) + ew;
+                           }
+                           blk.charge_work_span(block_work, block_span);
+                       });
+            continue;
+        }
+
+        if (!g.global_table) {
+            const index_t tsize = g.table_size;
+            const std::size_t smem = to_size(tsize) * (sizeof(index_t) + sizeof(T));
+            const int warps = g.block_size / dev.spec().warp_size;
+            dev.launch(stream, {size, g.block_size, smem}, "numeric_tb",
+                       [&, group_begin, tsize, warps](sim::BlockCtx& blk) {
+                           const index_t i = perm[to_size(group_begin + blk.block_idx())];
+                           auto keys = blk.shared_alloc<index_t>(to_size(tsize));
+                           auto vals = blk.shared_alloc<T>(to_size(tsize));
+                           std::fill(keys.begin(), keys.end(), kEmptySlot);
+                           blk.shared_op(blk.block_dim(),
+                                         std::ceil(static_cast<double>(tsize) /
+                                                   blk.block_dim()));
+                           std::vector<double> warp_cycles(to_size(warps), 0.0);
+                           detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                   ec.probe_shared, ec.insert_shared,
+                                                   ec.accum_shared, warp_cycles,
+                                                   dev.spec().warp_size);
+                           const auto [ew, es] = detail::emit_row<T>(
+                               keys, vals, c, i, m, /*shared=*/true, blk.block_dim());
+                           const double tail = dev.cost_model().barrier * 2.0;
+                           // per-lane warp times -> full SIMT work is 32x
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
+                                                detail::max_of(warp_cycles) + es + tail);
+                       });
+            continue;
+        }
+
+        // Group 0: per-row global tables.
+        const int block = dev.spec().max_threads_per_block;
+        const int warps = block / dev.spec().warp_size;
+        dev.launch(stream, {size, block, 0}, "numeric_global",
+                   [&, group_begin, warps, block](sim::BlockCtx& blk) {
+                       const auto r = to_size(blk.block_idx());
+                       const index_t i = perm[to_size(group_begin) + r];
+                       auto keys = g0_keys.span().subspan(g0_offs[r],
+                                                          g0_offs[r + 1] - g0_offs[r]);
+                       auto vals = g0_vals.span().subspan(g0_offs[r],
+                                                          g0_offs[r + 1] - g0_offs[r]);
+                       blk.global_write(block, sizeof(index_t), sim::MemPattern::kCoalesced,
+                                        std::ceil(static_cast<double>(keys.size()) / block));
+                       std::vector<double> warp_cycles(to_size(warps), 0.0);
+                       detail::fill_row_hashed(a, b, i, keys, vals, true, ec, ec.probe_global,
+                                               ec.insert_global, ec.accum_global, warp_cycles,
+                                               dev.spec().warp_size);
+                       const auto [ew, es] =
+                           detail::emit_row<T>(keys, vals, c, i, m, /*shared=*/false, block);
+                       const double tail = dev.cost_model().barrier * 2.0;
+                       blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
+                                            detail::max_of(warp_cycles) + es + tail);
+                   });
+    }
+    dev.synchronize();
+}
+
+}  // namespace nsparse::core

@@ -1,0 +1,23 @@
+// User-facing knobs of the hash SpGEMM algorithm. The defaults are the
+// paper's configuration; the ablation benchmarks flip them to reproduce the
+// §IV-C claims (streams: x1.3 on Circuit, PWARP/ROW: x3.1 on Epidemiology,
+// partial-warp width sweep: 4 is best).
+#pragma once
+
+namespace nsparse::core {
+
+struct Options {
+    /// Launch each row group's kernels on an own CUDA stream so small
+    /// groups execute concurrently (§III-B: "launches multiple CUDA
+    /// kernels with different CUDA streams for each group").
+    bool use_streams = true;
+
+    /// Use the PWARP/ROW assignment for short rows; when false those rows
+    /// fall into the smallest TB/ROW group instead.
+    bool use_pwarp = true;
+
+    /// Threads per partial warp (the paper evaluated 1/2/4/8/16; 4 wins).
+    int pwarp_width = 4;
+};
+
+}  // namespace nsparse::core

@@ -1,0 +1,154 @@
+#include "core/spgemm.hpp"
+
+#include <numeric>
+
+#include "core/grouping.hpp"
+#include "core/numeric.hpp"
+#include "core/symbolic.hpp"
+#include "gpusim/device_csr.hpp"
+
+namespace nsparse {
+
+namespace {
+
+/// Kernel (1): per-row intermediate-product counts (paper Algorithm 2).
+template <ValueType T>
+sim::DeviceBuffer<index_t> count_products(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                                          const sim::DeviceCsr<T>& b)
+{
+    sim::DeviceBuffer<index_t> products(dev.allocator(), to_size(a.rows));
+    constexpr int kBlock = 256;
+    const index_t grid = a.rows == 0 ? 0 : (a.rows + kBlock - 1) / kBlock;
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "count_products",
+               [&](sim::BlockCtx& blk) {
+                   const index_t begin = blk.block_idx() * kBlock;
+                   const index_t end = std::min(a.rows, begin + kBlock);
+                   double nnz_seen = 0.0;
+                   for (index_t i = begin; i < end; ++i) {
+                       wide_t n = 0;
+                       for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+                           const index_t d = a.col[to_size(j)];
+                           n += b.rpt[to_size(d) + 1] - b.rpt[to_size(d)];
+                       }
+                       products[to_size(i)] = to_index(n);
+                       nnz_seen += static_cast<double>(a.row_nnz(i));
+                   }
+                   const int lanes = static_cast<int>(end - begin);
+                   if (lanes <= 0) { return; }
+                   const auto& m = blk.model();
+                   // per row: rptA pair; per nonzero: colA + rptB pair
+                   blk.global_read(lanes, 2 * sizeof(index_t), sim::MemPattern::kCoalesced);
+                   blk.charge_work_span(
+                       nnz_seen * (m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced) +
+                                   m.global_cost(2 * sizeof(index_t), sim::MemPattern::kRandom)),
+                       nnz_seen / lanes *
+                           (m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced) +
+                            m.global_cost(2 * sizeof(index_t), sim::MemPattern::kRandom)));
+                   blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+               });
+    dev.synchronize();
+    return products;
+}
+
+/// Kernel (4): exclusive scan of the per-row nnz into row pointers.
+/// Functionally done host-side; charged as a device scan.
+void scan_row_pointers(sim::Device& dev, const sim::DeviceBuffer<index_t>& row_nnz,
+                       std::vector<index_t>& rpt)
+{
+    const auto rows = to_index(row_nnz.size());
+    rpt.assign(to_size(rows) + 1, 0);
+    for (index_t i = 0; i < rows; ++i) { rpt[to_size(i) + 1] = rpt[to_size(i)] + row_nnz[to_size(i)]; }
+    constexpr int kBlock = 256;
+    const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "scan_rpt", [&](sim::BlockCtx& blk) {
+        const index_t begin = blk.block_idx() * kBlock;
+        const int lanes = static_cast<int>(std::min(rows, begin + kBlock) - begin);
+        if (lanes <= 0) { return; }
+        blk.global_read(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+        blk.shared_op(lanes, 16.0);  // log-depth block scan
+        blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
+    });
+    dev.synchronize();
+}
+
+}  // namespace
+
+template <ValueType T>
+SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                            const core::Options& opt)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.reset_measurement();
+
+    SpgemmOutput<T> out;
+    sim::DeviceCsr<T> c;
+    wide_t total_products = 0;
+
+    {
+        // ---- setup: upload, count products (1), group rows (2) ----
+        auto phase = dev.phase_scope("setup");
+        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+        auto products = count_products(dev, da, db);
+        for (std::size_t i = 0; i < products.size(); ++i) { total_products += products[i]; }
+
+        const auto sym_policy =
+            core::GroupingPolicy::symbolic(dev.spec(), opt.pwarp_width, opt.use_pwarp);
+        const auto sym_groups = core::group_rows(dev, sym_policy, products);
+
+        sim::DeviceBuffer<index_t> row_nnz(dev.allocator(), to_size(a.rows));
+        row_nnz.fill(0);
+
+        {
+            // ---- count: symbolic phase (3) ----
+            auto count_phase = dev.phase_scope("count");
+            core::symbolic_phase(dev, da, db, sym_policy, sym_groups, products, row_nnz, opt);
+        }
+
+        // ---- row pointers (4) + output allocation (5) ----
+        std::vector<index_t> rpt;
+        {
+            auto count_phase = dev.phase_scope("count");
+            scan_row_pointers(dev, row_nnz, rpt);
+        }
+        const index_t nnz_c = rpt.back();
+        c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, nnz_c);
+        std::copy(rpt.begin(), rpt.end(), c.rpt.data());
+
+        // ---- regroup by output nnz (6) ----
+        const auto num_policy = core::GroupingPolicy::numeric(dev.spec(), sizeof(T),
+                                                              opt.pwarp_width, opt.use_pwarp);
+        const auto num_groups = core::group_rows(dev, num_policy, row_nnz);
+
+        {
+            // ---- calc: numeric phase (7) ----
+            auto calc_phase = dev.phase_scope("calc");
+            core::numeric_phase(dev, da, db, num_policy, num_groups, row_nnz, c, opt);
+        }
+    }
+
+    out.matrix = c.download();
+    out.stats.intermediate_products = total_products;
+    out.stats.nnz_c = out.matrix.nnz();
+    fill_stats_from_device(out.stats, dev);
+    return out;
+}
+
+template <ValueType T>
+CsrMatrix<T> multiply(const CsrMatrix<T>& a, const CsrMatrix<T>& b, const core::Options& opt)
+{
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    return hash_spgemm<T>(dev, a, b, opt).matrix;
+}
+
+template SpgemmOutput<float> hash_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
+                                                const CsrMatrix<float>&, const core::Options&);
+template SpgemmOutput<double> hash_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
+                                                  const CsrMatrix<double>&,
+                                                  const core::Options&);
+template CsrMatrix<float> multiply<float>(const CsrMatrix<float>&, const CsrMatrix<float>&,
+                                          const core::Options&);
+template CsrMatrix<double> multiply<double>(const CsrMatrix<double>&, const CsrMatrix<double>&,
+                                            const core::Options&);
+
+}  // namespace nsparse

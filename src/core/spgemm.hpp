@@ -1,0 +1,51 @@
+// Public entry point of the paper's SpGEMM algorithm (the nsparse
+// contribution): two-phase hash SpGEMM with row grouping, PWARP/TB thread
+// assignments, shared-memory hash tables with global fallback, and
+// multi-stream per-group kernel launches.
+//
+// Flow (paper Figure 1):
+//   (1) count intermediate products per row          [phase "setup"]
+//   (2) group rows by product count                  [phase "setup"]
+//   (3) count nnz of each output row (hash tables)   [phase "count"]
+//   (4) row pointers of C by exclusive scan          [phase "count"]
+//   (5) allocate C                                   [malloc bucket]
+//   (6) regroup rows by output nnz                   [phase "setup"]
+//   (7) compute values, gather, sort                 [phase "calc"]
+//
+// Throws DeviceOutOfMemory when the simulated device cannot hold the
+// working set (the algorithm's whole point is that this happens much later
+// than for the baselines).
+#pragma once
+
+#include "core/options.hpp"
+#include "gpusim/algorithm.hpp"
+
+namespace nsparse {
+
+/// Runs C = A*B on the simulated device with the paper's algorithm.
+/// A.cols must equal B.rows. The returned matrix has sorted rows.
+template <ValueType T>
+SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                            const core::Options& opt = {});
+
+extern template SpgemmOutput<float> hash_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
+                                                       const CsrMatrix<float>&,
+                                                       const core::Options&);
+extern template SpgemmOutput<double> hash_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
+                                                         const CsrMatrix<double>&,
+                                                         const core::Options&);
+
+/// Convenience host-level API: creates a default P100 device internally and
+/// returns just the product matrix. This is the "I just want to multiply"
+/// quickstart entry point.
+template <ValueType T>
+CsrMatrix<T> multiply(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                      const core::Options& opt = {});
+
+extern template CsrMatrix<float> multiply<float>(const CsrMatrix<float>&,
+                                                 const CsrMatrix<float>&, const core::Options&);
+extern template CsrMatrix<double> multiply<double>(const CsrMatrix<double>&,
+                                                   const CsrMatrix<double>&,
+                                                   const core::Options&);
+
+}  // namespace nsparse

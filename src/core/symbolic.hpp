@@ -1,0 +1,234 @@
+// Symbolic phase: count the number of nonzeros of each output row with
+// hash tables (paper §III-B, Algorithms 3-5, flow steps (3)-(4)).
+//
+// Per row group the phase launches either the PWARP/ROW kernel (4 threads
+// per row, 32-entry per-row shared tables) or the TB/ROW kernel (one
+// thread block per row, group-sized shared table). Rows of group 0 first
+// *attempt* the maximum shared table; rows that saturate it are recorded
+// and re-counted with global-memory tables sized by their intermediate-
+// product count ("most of rows complete in the first phase").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/grouping.hpp"
+#include "core/hash_table.hpp"
+#include "core/kernel_costs.hpp"
+#include "core/options.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_csr.hpp"
+
+namespace nsparse::core {
+
+namespace detail {
+
+/// Functionally counts row i's distinct columns through `table` while
+/// accumulating per-lane cycles; returns the nnz or -1 if the table
+/// saturated. `lane_cycles` has one slot per parallel worker (pwarp lanes
+/// or warps); `lane_div` is the intra-worker SIMD width (1 for pwarp lanes,
+/// 32 for warps).
+template <ValueType T>
+[[nodiscard]] inline index_t count_row_hashed(const sim::DeviceCsr<T>& a,
+                                              const sim::DeviceCsr<T>& b, index_t i,
+                                              std::span<index_t> table, bool pow2,
+                                              const ElemCosts& ec, double probe_cost,
+                                              double insert_cost,
+                                              std::span<double> lane_cycles, int lane_div)
+{
+    index_t nz = 0;
+    const index_t a_begin = a.rpt[to_size(i)];
+    const index_t a_end = a.rpt[to_size(i) + 1];
+    const auto lanes = static_cast<index_t>(lane_cycles.size());
+    for (index_t j = a_begin; j < a_end; ++j) {
+        const auto lane = to_size((j - a_begin) % lanes);
+        const index_t d = a.col[to_size(j)];
+        const index_t b_begin = b.rpt[to_size(d)];
+        const index_t b_end = b.rpt[to_size(d) + 1];
+        const index_t len = b_end - b_begin;
+        double elem_cycles = 0.0;
+        for (index_t k = b_begin; k < b_end; ++k) {
+            const ProbeResult r = hash_insert_key(table, b.col[to_size(k)], pow2);
+            if (r.full) { return -1; }
+            elem_cycles += ec.elem_b + r.probes * probe_cost + (r.inserted ? insert_cost : 0.0);
+            if (r.inserted) { ++nz; }
+        }
+        // Within a worker of `lane_div` SIMD lanes the row is strided:
+        // critical path is the per-lane share, rounded up per stride round.
+        const double rounds = lane_div <= 1
+                                  ? static_cast<double>(len)
+                                  : std::ceil(static_cast<double>(len) /
+                                              static_cast<double>(lane_div));
+        const double avg_elem =
+            len == 0 ? 0.0 : elem_cycles / static_cast<double>(len);
+        // read_a is a broadcast scalar load (colA + B row pointers): one
+        // transaction per worker, not one per SIMT lane.
+        lane_cycles[lane] += ec.read_a / static_cast<double>(std::max(lane_div, 1)) +
+                             rounds * avg_elem;
+    }
+    return nz;
+}
+
+}  // namespace detail
+
+/// Launches the symbolic kernels for every group; fills `row_nnz[i]` for
+/// all rows. Group-0 fallback allocations are charged to the device's
+/// current phase/malloc bucket.
+template <ValueType T>
+void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b,
+                    const GroupingPolicy& policy, const GroupedRows& grouped,
+                    const sim::DeviceBuffer<index_t>& products,
+                    sim::DeviceBuffer<index_t>& row_nnz, const Options& opt)
+{
+    const ElemCosts ec = ElemCosts::make(dev.cost_model(), /*numeric=*/false, sizeof(T));
+    const index_t* perm = grouped.permutation.data();
+
+    // Group 0 shared-attempt failures, collected across blocks.
+    sim::DeviceBuffer<index_t> fail_flags;
+    index_t group0_size = 0;
+
+    for (const GroupInfo& g : policy.groups) {
+        const index_t size = grouped.group_size(g.id);
+        if (size == 0) { continue; }
+        const sim::Stream stream = opt.use_streams ? dev.create_stream() : dev.default_stream();
+        const index_t group_begin = grouped.offsets[to_size(g.id)];
+
+        if (g.assignment == Assignment::kPwarpRow) {
+            const int pw = policy.pwarp_width;
+            // Rows per block limited by both thread count and the shared
+            // memory the per-row mini tables need (matters for pw < 4).
+            const auto max_rows_by_smem = to_index(
+                dev.spec().max_shared_per_block / (to_size(g.table_size) * sizeof(index_t)));
+            const index_t rows_per_block =
+                std::min<index_t>(g.block_size / pw, max_rows_by_smem);
+            const int block_dim = static_cast<int>(rows_per_block) * pw;
+            const index_t grid = (size + rows_per_block - 1) / rows_per_block;
+            const std::size_t smem = to_size(rows_per_block) * to_size(g.table_size) *
+                                     sizeof(index_t);
+            dev.launch(stream, {grid, block_dim, smem}, "symbolic_pwarp",
+                       [&, group_begin, size, rows_per_block, pw, tsize = g.table_size](
+                           sim::BlockCtx& blk) {
+                           auto tables = blk.shared_alloc<index_t>(
+                               to_size(rows_per_block) * to_size(tsize));
+                           std::fill(tables.begin(), tables.end(), kEmptySlot);
+                           blk.shared_op(blk.block_dim(),
+                                         static_cast<double>(tsize) / pw);  // table init
+                           double block_span = 0.0;
+                           double block_work = 0.0;
+                           std::vector<double> lane(static_cast<std::size_t>(pw));
+                           for (index_t r = 0; r < rows_per_block; ++r) {
+                               const index_t idx =
+                                   blk.block_idx() * rows_per_block + r;
+                               if (idx >= size) { break; }
+                               const index_t i = perm[to_size(group_begin + idx)];
+                               std::fill(lane.begin(), lane.end(), 0.0);
+                               auto table = tables.subspan(to_size(r) * to_size(tsize),
+                                                           to_size(tsize));
+                               const index_t nz = detail::count_row_hashed(
+                                   a, b, i, table, true, ec, ec.probe_shared,
+                                   ec.insert_shared, lane, 1);
+                               NSPARSE_ENSURES(nz >= 0, "pwarp table can never saturate");
+                               row_nnz[to_size(i)] = nz;
+                               // pwarp-local shuffle reduce + one output write
+                               const double tail =
+                                   2.0 * dev.cost_model().warp_shuffle +
+                                   dev.cost_model().global_coalesced;
+                               block_span = std::max(block_span,
+                                                     detail::max_of(lane) + tail);
+                               block_work += detail::sum(lane) + pw * tail;
+                           }
+                           blk.charge_work_span(block_work, block_span);
+                       });
+            continue;
+        }
+
+        // TB/ROW groups. Group 0 runs the max-shared-table *attempt*.
+        const bool attempt = g.global_table;
+        const index_t tsize = attempt ? policy.max_shared_table : g.table_size;
+        if (attempt) {
+            fail_flags = sim::DeviceBuffer<index_t>(dev.allocator(), to_size(size));
+            fail_flags.fill(0);
+            group0_size = size;
+        }
+        const std::size_t smem = to_size(tsize) * sizeof(index_t);
+        const int warps = g.block_size / dev.spec().warp_size;
+        dev.launch(stream, {size, g.block_size, smem}, "symbolic_tb",
+                   [&, group_begin, tsize, warps, attempt](sim::BlockCtx& blk) {
+                       const index_t i = perm[to_size(group_begin + blk.block_idx())];
+                       auto table = blk.shared_alloc<index_t>(to_size(tsize));
+                       std::fill(table.begin(), table.end(), kEmptySlot);
+                       blk.shared_op(blk.block_dim(),
+                                     std::ceil(static_cast<double>(tsize) / blk.block_dim()));
+                       std::vector<double> warp_cycles(to_size(warps), 0.0);
+                       const index_t nz = detail::count_row_hashed(
+                           a, b, i, table, true, ec, ec.probe_shared, ec.insert_shared,
+                           warp_cycles, dev.spec().warp_size);
+                       if (nz < 0) {
+                           // Saturated: record for the global pass and stop
+                           // (the paper: "records the row index, and
+                           // immediately terminates its execution").
+                           fail_flags[to_size(blk.block_idx())] = 1;
+                       } else {
+                           row_nnz[to_size(i)] = nz;
+                       }
+                       const double tail = 2.0 * dev.cost_model().warp_shuffle +
+                                           dev.cost_model().barrier +
+                                           dev.cost_model().global_coalesced;
+                       // warp_cycles are per-lane times: all 32 SIMT lanes
+                       // issue for that long, so work = 32x their sum.
+                       blk.charge_work_span(
+                           (detail::sum(warp_cycles) + warps * tail) * 32.0,
+                           detail::max_of(warp_cycles) + tail);
+                   });
+    }
+    dev.synchronize();
+
+    // Global-table pass for the saturated group-0 rows.
+    if (group0_size > 0) {
+        const index_t group_begin = grouped.offsets[0];
+        std::vector<index_t> failed;
+        for (index_t r = 0; r < group0_size; ++r) {
+            if (fail_flags[to_size(r)] != 0) {
+                failed.push_back(perm[to_size(group_begin + r)]);
+            }
+        }
+        fail_flags.release();
+        if (!failed.empty()) {
+            // One big buffer; per-row table sized next_pow2(products).
+            std::vector<std::size_t> offs(failed.size() + 1, 0);
+            for (std::size_t r = 0; r < failed.size(); ++r) {
+                offs[r + 1] = offs[r] + to_size(next_pow2(products[to_size(failed[r])]));
+            }
+            sim::DeviceBuffer<index_t> tables(dev.allocator(), offs.back());
+            tables.fill(kEmptySlot);
+            const int block = dev.spec().max_threads_per_block;
+            const int warps = block / dev.spec().warp_size;
+            dev.launch(dev.default_stream(), {to_index(failed.size()), block, 0},
+                       "symbolic_global",
+                       [&, warps](sim::BlockCtx& blk) {
+                           const auto r = to_size(blk.block_idx());
+                           const index_t i = failed[r];
+                           auto table = tables.span().subspan(offs[r], offs[r + 1] - offs[r]);
+                           // init charged as global writes
+                           blk.global_write(blk.block_dim(), sizeof(index_t),
+                                            sim::MemPattern::kCoalesced,
+                                            std::ceil(static_cast<double>(table.size()) /
+                                                      blk.block_dim()));
+                           std::vector<double> warp_cycles(to_size(warps), 0.0);
+                           const index_t nz = detail::count_row_hashed(
+                               a, b, i, table, true, ec, ec.probe_global, ec.insert_global,
+                               warp_cycles, dev.spec().warp_size);
+                           NSPARSE_ENSURES(nz >= 0, "global symbolic table saturated");
+                           row_nnz[to_size(i)] = nz;
+                           const double tail = 2.0 * dev.cost_model().warp_shuffle +
+                                               dev.cost_model().barrier;
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                detail::max_of(warp_cycles) + tail);
+                       });
+            dev.synchronize();
+        }
+    }
+}
+
+}  // namespace nsparse::core

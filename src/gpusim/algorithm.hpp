@@ -1,0 +1,65 @@
+// Common result types and the uniform entry-point signature every SpGEMM
+// implementation (the paper's algorithm and the three baseline libraries)
+// exposes, so benchmarks and tests can sweep algorithms generically.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+
+/// Measurement record of one C = A*B execution on the simulated device.
+struct SpgemmStats {
+    wide_t intermediate_products = 0;
+    wide_t nnz_c = 0;
+    double seconds = 0.0;        ///< total simulated time
+    double setup_seconds = 0.0;  ///< grouping / binning / workspace prep
+    double count_seconds = 0.0;  ///< symbolic phase
+    double calc_seconds = 0.0;   ///< numeric phase (incl. sort/compact)
+    double malloc_seconds = 0.0; ///< cudaMalloc/cudaFree (Fig. 5/6 bucket)
+    std::size_t peak_bytes = 0;  ///< device peak incl. inputs and output
+
+    /// The paper's metric: FLOPS of squaring = 2 * intermediate products
+    /// divided by execution time.
+    [[nodiscard]] double gflops() const
+    {
+        return seconds <= 0.0 ? 0.0
+                              : 2.0 * static_cast<double>(intermediate_products) / seconds / 1e9;
+    }
+};
+
+template <ValueType T>
+struct SpgemmOutput {
+    CsrMatrix<T> matrix;
+    SpgemmStats stats;
+};
+
+/// Collects phase totals from the device timeline into stats (phases named
+/// "setup" / "count" / "calc" plus the device malloc bucket).
+inline void fill_stats_from_device(SpgemmStats& s, const sim::Device& dev)
+{
+    s.setup_seconds = dev.timeline().phase("setup");
+    s.count_seconds = dev.timeline().phase("count");
+    s.calc_seconds = dev.timeline().phase("calc");
+    s.malloc_seconds = dev.timeline().phase(sim::Device::kMallocPhase);
+    s.seconds = dev.elapsed();
+    s.peak_bytes = dev.allocator().peak_bytes();
+}
+
+/// Uniform callable type for sweeping algorithms in tests/benches.
+template <ValueType T>
+using SpgemmFn =
+    std::function<SpgemmOutput<T>(sim::Device&, const CsrMatrix<T>&, const CsrMatrix<T>&)>;
+
+template <ValueType T>
+struct NamedAlgorithm {
+    std::string name;
+    SpgemmFn<T> fn;
+};
+
+}  // namespace nsparse

@@ -1,0 +1,88 @@
+// Cost model: reciprocal-throughput cycle costs per simulated operation,
+// and the per-block cost accumulator kernels charge against.
+//
+// Kernels report (work, span) per thread block:
+//  * work — total thread-cycles executed by all active lanes; the SM
+//    scheduler drains work at DeviceSpec::sm_rate(), shared between
+//    resident blocks, so work models throughput.
+//  * span — critical-path cycles of the block (the longest lane); a block
+//    can never finish faster than its span, which is what makes a single
+//    4700-nonzero row dominate a warp-per-row kernel (the paper's webbase /
+//    cit-Patents load-imbalance story).
+//
+// The constants are reciprocal throughputs, not latencies; latency hiding
+// is modelled by the efficiency knob in DeviceSpec.
+#pragma once
+
+#include <cstddef>
+
+namespace nsparse::sim {
+
+enum class MemPattern {
+    kCoalesced,  ///< neighbouring lanes touch neighbouring addresses
+    kRandom      ///< independent addresses (hash-table probing, B-row gather)
+};
+
+struct CostModel {
+    // cycles per 4-byte element access
+    double global_coalesced = 2.0;
+    double global_random = 24.0;
+    /// repeated access to a small working set (row hash table in L2):
+    /// cheaper than DRAM-random, dearer than shared memory
+    double global_cached = 4.0;
+    double shared_access = 1.0;
+    double shared_atomic = 14.0;
+    double global_atomic = 64.0;
+    double flop = 1.0;
+    double int_op = 1.0;
+    double modulus_op = 18.0;  ///< why pow2 tables + bit-and win (§III-D)
+    double barrier = 8.0;
+    double warp_shuffle = 2.0;
+
+    /// Effective cycles per comparison in dense sorting loops (counting-
+    /// rank, bitonic stages). These loops are fully pipelined compute with
+    /// the row resident in shared memory/L1, so they run near peak issue
+    /// rate; since DeviceSpec::efficiency (the global work->time knob) is
+    /// calibrated for memory-stalled hash kernels, the per-op charge here
+    /// is pre-discounted to compensate.
+    double sort_compare_shared = 0.12;
+    double sort_compare_global = 0.2;
+
+    /// Fixed per-thread-block cost: kernel prologue/epilogue instructions
+    /// executed by every thread (index math, bounds checks, barrier
+    /// participation) plus the block's dispatch latency. This is what the
+    /// PWARP/ROW assignment amortizes over 128 rows per block — without
+    /// it, a 4-product row in a 64-thread block pays more for the block
+    /// than for the row (the paper's x3.1 Epidemiology effect, §IV-C).
+    double block_prologue_per_thread = 15.0;
+    double block_prologue_span = 200.0;
+
+    // host-side costs in microseconds
+    double launch_overhead_us = 4.0;
+    double malloc_base_us = 80.0;  ///< Pascal cudaMalloc is expensive (§IV-C)
+    double malloc_per_mb_us = 0.35;
+    double free_base_us = 40.0;
+
+    [[nodiscard]] double global_cost(std::size_t bytes, MemPattern p) const
+    {
+        const double per4 = p == MemPattern::kCoalesced ? global_coalesced : global_random;
+        const double words = static_cast<double>(bytes + 3) / 4.0;
+        return per4 * words;
+    }
+};
+
+/// Per-thread-block accumulated cost. Plain data; merged into the kernel
+/// record at launch time.
+struct BlockCost {
+    double work = 0.0;          ///< thread-cycles (throughput resource)
+    double span = 0.0;          ///< critical-path cycles (latency floor)
+    double global_bytes = 0.0;  ///< device-memory traffic, for reporting
+
+    void add(int lanes, double cycles_per_lane)
+    {
+        work += static_cast<double>(lanes) * cycles_per_lane;
+        span += cycles_per_lane;
+    }
+};
+
+}  // namespace nsparse::sim

@@ -1,0 +1,103 @@
+#include "gpusim/device.hpp"
+
+#include <cstdio>
+
+#ifdef NSPARSE_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace nsparse::sim {
+
+Device::Device(DeviceSpec spec, CostModel cost)
+    : spec_(spec), cost_(cost), alloc_(spec.memory_capacity)
+{
+    alloc_.set_hooks(
+        [this](std::size_t bytes) {
+            const double us =
+                cost_.malloc_base_us +
+                cost_.malloc_per_mb_us * static_cast<double>(bytes) / (1024.0 * 1024.0);
+            timeline_.add(kMallocPhase, us * 1e-6);
+        },
+        [this]() { timeline_.add(kMallocPhase, cost_.free_base_us * 1e-6); });
+}
+
+void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
+                    const std::function<void(BlockCtx&)>& fn)
+{
+    cfg.validate(spec_);
+    KernelRecord rec;
+    rec.name = std::move(name);
+    rec.stream_id = stream.id;
+    rec.cfg = cfg;
+    rec.blocks.resize(to_size(cfg.grid_dim));
+
+#if defined(NSPARSE_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 16)
+#endif
+    for (index_t b = 0; b < cfg.grid_dim; ++b) {
+        BlockCtx ctx(b, cfg, cost_);
+        fn(ctx);
+        BlockCost bc = ctx.cost();
+        bc.work += cfg.block_dim * cost_.block_prologue_per_thread;
+        bc.span += cost_.block_prologue_span;
+        rec.blocks[to_size(b)] = bc;
+    }
+
+    ++kernels_launched_;
+    blocks_executed_ += to_size(cfg.grid_dim);
+    global_bytes_ += rec.total_global_bytes();
+    pending_.push_back(std::move(rec));
+}
+
+double Device::synchronize()
+{
+    if (pending_.empty()) { return 0.0; }
+#ifdef NSPARSE_DEBUG_SYNC
+    for (auto& k : pending_) {
+        double span_max = 0;
+        for (auto& b : k.blocks) span_max = std::max(span_max, b.span);
+        fprintf(stderr, "[sync] %-20s stream=%d grid=%d block=%d work=%.3g max_span=%.3g\n",
+                k.name.c_str(), k.stream_id, k.cfg.grid_dim, k.cfg.block_dim, k.total_work(),
+                span_max);
+    }
+#endif
+    const ScheduleResult r = schedule(pending_, spec_, cost_);
+#ifdef NSPARSE_DEBUG_SYNC
+    fprintf(stderr, "[sync] done makespan=%g\n", r.makespan);
+#endif
+    if (trace_enabled_) {
+        for (std::size_t k = 0; k < pending_.size(); ++k) {
+            const auto& rec = pending_[k];
+            double max_span = 0.0;
+            for (const auto& b : rec.blocks) { max_span = std::max(max_span, b.span); }
+            trace_.record(KernelTraceEntry{
+                .name = rec.name,
+                .phase = current_phase_,
+                .stream_id = rec.stream_id,
+                .grid_dim = rec.cfg.grid_dim,
+                .block_dim = rec.cfg.block_dim,
+                .shared_bytes = rec.cfg.shared_bytes,
+                .total_work = rec.total_work(),
+                .max_span = max_span,
+                .start = r.kernels[k].start,
+                .finish = r.kernels[k].finish,
+            });
+        }
+    }
+    pending_.clear();
+    timeline_.add(current_phase_, r.makespan);
+    return r.makespan;
+}
+
+void Device::reset_measurement()
+{
+    synchronize();
+    trace_.clear();
+    timeline_.clear();
+    alloc_.reset_peak();
+    kernels_launched_ = 0;
+    blocks_executed_ = 0;
+    global_bytes_ = 0.0;
+}
+
+}  // namespace nsparse::sim

@@ -1,0 +1,129 @@
+// The simulated GPU device: owns the allocator, streams, pending kernel
+// records and the timeline. This is the only object algorithms talk to.
+//
+// Usage pattern (mirrors a CUDA host program):
+//
+//   sim::Device dev(sim::DeviceSpec::pascal_p100());
+//   auto phase = dev.phase_scope("count");
+//   sim::DeviceBuffer<index_t> rpt(dev.allocator(), host_rpt);
+//   dev.launch(stream, {grid, block, smem}, "count_nnz", [&](sim::BlockCtx& blk) { ... });
+//   dev.synchronize();              // schedules the batch, advances time
+//
+// launch() executes the functor for every block immediately (functional
+// result) and records per-block costs; synchronize() runs the makespan
+// scheduler over everything launched since the previous synchronize and
+// charges the result to the current phase.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/scheduler.hpp"
+#include "gpusim/timeline.hpp"
+#include "gpusim/trace.hpp"
+
+namespace nsparse::sim {
+
+/// Opaque stream handle; Device::create_stream() mints them.
+struct Stream {
+    int id = 0;
+};
+
+class Device {
+public:
+    explicit Device(DeviceSpec spec, CostModel cost = {});
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+    [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+    [[nodiscard]] DeviceAllocator& allocator() { return alloc_; }
+    [[nodiscard]] const DeviceAllocator& allocator() const { return alloc_; }
+
+    [[nodiscard]] Stream default_stream() const { return Stream{0}; }
+    [[nodiscard]] Stream create_stream() { return Stream{next_stream_id_++}; }
+
+    /// Executes `fn` for every thread block now, records costs for the next
+    /// synchronize(). Blocks may run on OpenMP threads; the functor must
+    /// only write block-disjoint data or use atomics.
+    void launch(Stream stream, const LaunchConfig& cfg, std::string name,
+                const std::function<void(BlockCtx&)>& fn);
+
+    /// Schedules everything launched since the previous synchronize and
+    /// charges the makespan to the current phase. Returns the makespan.
+    double synchronize();
+
+    // --- phases ---------------------------------------------------------
+
+    class PhaseScope {
+    public:
+        PhaseScope(Device& dev, std::string name) : dev_(dev), prev_(dev.current_phase_)
+        {
+            dev_.synchronize();  // do not leak pending work across phases
+            dev_.current_phase_ = std::move(name);
+        }
+        ~PhaseScope()
+        {
+            dev_.synchronize();
+            dev_.current_phase_ = prev_;
+        }
+        PhaseScope(const PhaseScope&) = delete;
+        PhaseScope& operator=(const PhaseScope&) = delete;
+
+    private:
+        Device& dev_;
+        std::string prev_;
+    };
+
+    [[nodiscard]] PhaseScope phase_scope(std::string name)
+    {
+        return PhaseScope(*this, std::move(name));
+    }
+
+    [[nodiscard]] const Timeline& timeline() const { return timeline_; }
+    [[nodiscard]] double malloc_seconds() const { return timeline_.phase(kMallocPhase); }
+
+    /// Total simulated seconds (kernels + allocation) so far.
+    [[nodiscard]] double elapsed() const { return timeline_.total(); }
+
+    /// Resets timeline and peak-memory watermark (start of a measurement).
+    void reset_measurement();
+
+    /// Name of the synthetic phase holding cudaMalloc/cudaFree time.
+    static constexpr const char* kMallocPhase = "malloc";
+
+    // --- tracing ---------------------------------------------------------
+
+    /// Enables per-kernel trace recording (off by default: it retains one
+    /// entry per launch).
+    void enable_trace() { trace_enabled_ = true; }
+    [[nodiscard]] const Trace& trace() const { return trace_; }
+
+    // --- counters (observability) ----------------------------------------
+    [[nodiscard]] std::uint64_t kernels_launched() const { return kernels_launched_; }
+    [[nodiscard]] std::uint64_t blocks_executed() const { return blocks_executed_; }
+    [[nodiscard]] double total_global_bytes() const { return global_bytes_; }
+
+private:
+    DeviceSpec spec_;
+    CostModel cost_;
+    DeviceAllocator alloc_;
+    Timeline timeline_;
+    std::string current_phase_ = "setup";
+    std::vector<KernelRecord> pending_;
+    int next_stream_id_ = 1;
+    std::uint64_t kernels_launched_ = 0;
+    std::uint64_t blocks_executed_ = 0;
+    double global_bytes_ = 0.0;
+    bool trace_enabled_ = false;
+    Trace trace_;
+};
+
+}  // namespace nsparse::sim

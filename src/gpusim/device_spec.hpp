@@ -1,0 +1,97 @@
+// Static description of the simulated GPU.
+//
+// Defaults describe the NVIDIA Tesla P100 (PCI-e) the paper evaluates on:
+// 56 SMs x 64 cores at 1.328 GHz, 64 KB shared memory per SM with a 48 KB
+// per-thread-block limit, warps of 32, at most 1024 threads / 32 thread
+// blocks / 2048 threads per SM, 16 GB device memory at 732 GB/s.
+//
+// `memory_capacity` is configurable because the benchmarks run scaled-down
+// matrices: the Table III out-of-memory behaviour reproduces when the
+// device memory is scaled by the same factor as the matrices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nsparse::sim {
+
+struct DeviceSpec {
+    int num_sms = 56;
+    int cores_per_sm = 64;
+    double clock_ghz = 1.328;
+    std::size_t shared_mem_per_sm = 64 * 1024;
+    std::size_t max_shared_per_block = 48 * 1024;
+    int warp_size = 32;
+    int max_threads_per_block = 1024;
+    int max_blocks_per_sm = 32;
+    int max_threads_per_sm = 2048;
+    std::size_t memory_capacity = std::size_t{16} * 1024 * 1024 * 1024;
+    double mem_bandwidth_gbps = 732.0;
+
+    /// Fraction of peak issue rate that memory-irregular SpGEMM kernels
+    /// sustain. This is the single absolute-scale calibration knob mapping
+    /// simulated work-cycles to seconds (see EXPERIMENTS.md §calibration);
+    /// relative results between algorithms do not depend on it.
+    double efficiency = 0.13;
+
+    [[nodiscard]] double clock_hz() const { return clock_ghz * 1e9; }
+
+    /// Work-retire rate of one SM in work-cycles per second.
+    [[nodiscard]] double sm_rate() const
+    {
+        return static_cast<double>(cores_per_sm) * clock_hz() * efficiency;
+    }
+
+    /// Retire-rate cap of a single simulated thread.
+    [[nodiscard]] double thread_rate() const { return clock_hz() * efficiency; }
+
+    [[nodiscard]] static DeviceSpec pascal_p100() { return DeviceSpec{}; }
+
+    /// Kepler Tesla K40: the previous-generation card (the paper notes
+    /// cudaMalloc got *more* expensive on Pascal; the spec differences
+    /// also shrink every Table-I-style table). 15 SMs x 192 cores.
+    [[nodiscard]] static DeviceSpec kepler_k40()
+    {
+        DeviceSpec s;
+        s.num_sms = 15;
+        s.cores_per_sm = 192;
+        s.clock_ghz = 0.745;
+        s.shared_mem_per_sm = 48 * 1024;
+        s.max_shared_per_block = 48 * 1024;
+        s.max_blocks_per_sm = 16;
+        s.memory_capacity = std::size_t{12} * 1024 * 1024 * 1024;
+        s.mem_bandwidth_gbps = 288.0;
+        return s;
+    }
+
+    /// Volta Tesla V100 (the paper's §VI future work asks how the
+    /// algorithm carries to other processors): 80 SMs, up to 96 KB shared
+    /// memory per block — the derived group table grows one level.
+    [[nodiscard]] static DeviceSpec volta_v100()
+    {
+        DeviceSpec s;
+        s.num_sms = 80;
+        s.cores_per_sm = 64;
+        s.clock_ghz = 1.53;
+        s.shared_mem_per_sm = 96 * 1024;
+        s.max_shared_per_block = 96 * 1024;
+        s.memory_capacity = std::size_t{16} * 1024 * 1024 * 1024;
+        s.mem_bandwidth_gbps = 900.0;
+        return s;
+    }
+
+    /// P100 with device memory (and allocation-latency scale) reduced by
+    /// `scale` — used when benchmarking matrices generated at 1/scale of
+    /// the paper's sizes.
+    [[nodiscard]] static DeviceSpec pascal_p100_scaled(double mem_scale)
+    {
+        DeviceSpec s;
+        if (mem_scale > 1.0) {
+            s.memory_capacity =
+                static_cast<std::size_t>(static_cast<double>(s.memory_capacity) / mem_scale);
+        }
+        return s;
+    }
+};
+
+}  // namespace nsparse::sim

@@ -1,0 +1,149 @@
+// Kernel-launch plumbing: launch configuration, the per-block execution
+// context handed to kernel functors, and the kernel record consumed by the
+// makespan scheduler.
+//
+// Kernels are ordinary C++ callables `void(BlockCtx&)` invoked once per
+// thread block. Inside, the functor writes real results into device buffers
+// (warp/lane structure expressed as loops) and *charges* the cost of what a
+// GPU would have done through the BlockCtx cost API.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "sparse/error.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse::sim {
+
+struct LaunchConfig {
+    index_t grid_dim = 1;              ///< number of thread blocks
+    int block_dim = 128;               ///< threads per block
+    std::size_t shared_bytes = 0;      ///< static+dynamic shared memory per block
+
+    void validate(const DeviceSpec& spec) const
+    {
+        NSPARSE_EXPECTS(grid_dim >= 0, "negative grid dimension");
+        NSPARSE_EXPECTS(block_dim > 0 && block_dim <= spec.max_threads_per_block,
+                        "block dimension out of range");
+        NSPARSE_EXPECTS(block_dim % spec.warp_size == 0 || block_dim < spec.warp_size,
+                        "block dimension should be a warp multiple");
+        NSPARSE_EXPECTS(shared_bytes <= spec.max_shared_per_block,
+                        "shared memory request exceeds per-block limit");
+    }
+};
+
+/// Execution context of one simulated thread block.
+class BlockCtx {
+public:
+    BlockCtx(index_t block_idx, const LaunchConfig& cfg, const CostModel& cost)
+        : block_idx_(block_idx), cfg_(cfg), cost_(cost)
+    {
+    }
+
+    [[nodiscard]] index_t block_idx() const { return block_idx_; }
+    [[nodiscard]] int block_dim() const { return cfg_.block_dim; }
+    [[nodiscard]] std::size_t shared_bytes() const { return cfg_.shared_bytes; }
+
+    // --- cost charging -------------------------------------------------
+    // `lanes` = number of threads doing this operation in parallel;
+    // `n` = operations per lane.
+
+    void charge(int lanes, double cycles_per_lane) { acc_.add(lanes, cycles_per_lane); }
+
+    /// Direct (work, span) charge for kernels that compute per-lane or
+    /// per-warp cycle totals themselves (exact load-imbalance modelling:
+    /// span is the max over parallel lanes, work the sum).
+    void charge_work_span(double work_cycles, double span_cycles)
+    {
+        acc_.work += work_cycles;
+        acc_.span += span_cycles;
+    }
+
+    /// Adds device-memory traffic bookkeeping without cycle cost (for
+    /// kernels that fold access cycles into charge_work_span).
+    void add_global_bytes(double bytes) { acc_.global_bytes += bytes; }
+
+    /// Cost-model constants, for kernels accumulating per-lane cycles.
+    [[nodiscard]] const CostModel& model() const { return cost_; }
+
+    void global_read(int lanes, std::size_t bytes_per_lane, MemPattern p, double n = 1.0)
+    {
+        acc_.add(lanes, n * cost_.global_cost(bytes_per_lane, p));
+        acc_.global_bytes += static_cast<double>(lanes) * n * static_cast<double>(bytes_per_lane);
+    }
+
+    void global_write(int lanes, std::size_t bytes_per_lane, MemPattern p, double n = 1.0)
+    {
+        global_read(lanes, bytes_per_lane, p, n);  // symmetric cost
+    }
+
+    void shared_op(int lanes, double n = 1.0) { acc_.add(lanes, n * cost_.shared_access); }
+    void atomic_shared(int lanes, double n = 1.0) { acc_.add(lanes, n * cost_.shared_atomic); }
+    void atomic_global(int lanes, double n = 1.0)
+    {
+        acc_.add(lanes, n * cost_.global_atomic);
+        acc_.global_bytes += static_cast<double>(lanes) * n * 4.0;
+    }
+    void flops(int lanes, double n = 1.0) { acc_.add(lanes, n * cost_.flop); }
+    void int_ops(int lanes, double n = 1.0) { acc_.add(lanes, n * cost_.int_op); }
+    void modulus(int lanes, double n = 1.0) { acc_.add(lanes, n * cost_.modulus_op); }
+    void warp_shuffle(int lanes, double n = 1.0) { acc_.add(lanes, n * cost_.warp_shuffle); }
+    void barrier() { acc_.add(cfg_.block_dim, cost_.barrier); }
+
+    [[nodiscard]] const BlockCost& cost() const { return acc_; }
+
+    // --- shared memory -------------------------------------------------
+
+    /// Allocates `n` elements of shared memory for this block. The total
+    /// must stay within the declared LaunchConfig::shared_bytes; this is
+    /// verified so kernels cannot silently use more shared memory than the
+    /// occupancy calculation assumed.
+    template <typename U>
+    [[nodiscard]] std::span<U> shared_alloc(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(U);
+        NSPARSE_EXPECTS(shared_used_ + bytes <= cfg_.shared_bytes,
+                        "kernel exceeded its declared shared memory");
+        shared_used_ += bytes;
+        shared_storage_.emplace_back(std::make_unique<std::byte[]>(bytes));
+        return {reinterpret_cast<U*>(shared_storage_.back().get()), n};
+    }
+
+private:
+    index_t block_idx_;
+    LaunchConfig cfg_;
+    const CostModel& cost_;
+    BlockCost acc_;
+    std::size_t shared_used_ = 0;
+    std::vector<std::unique_ptr<std::byte[]>> shared_storage_;
+};
+
+/// Everything the scheduler needs to place one kernel on the timeline.
+struct KernelRecord {
+    std::string name;
+    int stream_id = 0;
+    LaunchConfig cfg;
+    std::vector<BlockCost> blocks;  ///< per-block costs, filled by execution
+
+    [[nodiscard]] double total_work() const
+    {
+        double w = 0.0;
+        for (const auto& b : blocks) { w += b.work; }
+        return w;
+    }
+
+    [[nodiscard]] double total_global_bytes() const
+    {
+        double g = 0.0;
+        for (const auto& b : blocks) { g += b.global_bytes; }
+        return g;
+    }
+};
+
+}  // namespace nsparse::sim

@@ -1,0 +1,143 @@
+// Simulated device memory: an allocator with a hard capacity (throws
+// DeviceOutOfMemory like a failing cudaMalloc), live/peak accounting for
+// the paper's Figure 4, and RAII typed buffers.
+//
+// Buffer storage is ordinary host memory — what makes it "device" memory is
+// that every byte is charged against the device capacity and every
+// allocation costs simulated cudaMalloc time (charged to the owner Device's
+// current phase, §IV-C observes this cost is considerable on Pascal).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sparse/error.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse::sim {
+
+/// Tracks simulated device-memory usage. Not thread safe by design: all
+/// allocation happens on the (single) simulated host thread.
+class DeviceAllocator {
+public:
+    /// `on_alloc(bytes)` is invoked for every allocation so the Device can
+    /// charge cudaMalloc time; `on_free()` likewise.
+    using AllocHook = std::function<void(std::size_t)>;
+    using FreeHook = std::function<void()>;
+
+    explicit DeviceAllocator(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+    void set_hooks(AllocHook on_alloc, FreeHook on_free)
+    {
+        on_alloc_ = std::move(on_alloc);
+        on_free_ = std::move(on_free);
+    }
+
+    /// Registers an allocation; throws DeviceOutOfMemory beyond capacity.
+    void allocate(std::size_t bytes)
+    {
+        if (live_ + bytes > capacity_) {
+            throw DeviceOutOfMemory("device out of memory: requested " + std::to_string(bytes) +
+                                    " B with " + std::to_string(capacity_ - live_) +
+                                    " B free of " + std::to_string(capacity_) + " B");
+        }
+        live_ += bytes;
+        peak_ = std::max(peak_, live_);
+        if (on_alloc_) { on_alloc_(bytes); }
+    }
+
+    void deallocate(std::size_t bytes) noexcept
+    {
+        live_ -= std::min(live_, bytes);
+        if (on_free_) { on_free_(); }
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t live_bytes() const { return live_; }
+    [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+
+    /// Resets the peak-watermark to the current live amount (called at the
+    /// start of a measured multiply).
+    void reset_peak() { peak_ = live_; }
+
+private:
+    std::size_t capacity_;
+    std::size_t live_ = 0;
+    std::size_t peak_ = 0;
+    AllocHook on_alloc_;
+    FreeHook on_free_;
+};
+
+/// RAII typed device buffer. Move-only.
+template <typename T>
+class DeviceBuffer {
+public:
+    DeviceBuffer() = default;
+
+    DeviceBuffer(DeviceAllocator& alloc, std::size_t n) : alloc_(&alloc), data_(n)
+    {
+        alloc_->allocate(n * sizeof(T));
+    }
+
+    /// Allocates and fills from a host span.
+    DeviceBuffer(DeviceAllocator& alloc, std::span<const T> host)
+        : DeviceBuffer(alloc, host.size())
+    {
+        std::copy(host.begin(), host.end(), data_.begin());
+    }
+
+    DeviceBuffer(const DeviceBuffer&) = delete;
+    DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+    DeviceBuffer(DeviceBuffer&& other) noexcept { swap(other); }
+    DeviceBuffer& operator=(DeviceBuffer&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            swap(other);
+        }
+        return *this;
+    }
+
+    ~DeviceBuffer() { release(); }
+
+    void release() noexcept
+    {
+        if (alloc_ != nullptr) {
+            alloc_->deallocate(data_.size() * sizeof(T));
+            alloc_ = nullptr;
+        }
+        data_.clear();
+        data_.shrink_to_fit();
+    }
+
+    [[nodiscard]] std::size_t size() const { return data_.size(); }
+    [[nodiscard]] bool empty() const { return data_.empty(); }
+    [[nodiscard]] T* data() { return data_.data(); }
+    [[nodiscard]] const T* data() const { return data_.data(); }
+    [[nodiscard]] std::span<T> span() { return {data_.data(), data_.size()}; }
+    [[nodiscard]] std::span<const T> span() const { return {data_.data(), data_.size()}; }
+    [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+    [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+    void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+    /// Copies contents back to a host vector ("cudaMemcpy D2H").
+    [[nodiscard]] std::vector<T> to_host() const { return data_; }
+
+private:
+    void swap(DeviceBuffer& other) noexcept
+    {
+        std::swap(alloc_, other.alloc_);
+        std::swap(data_, other.data_);
+    }
+
+    DeviceAllocator* alloc_ = nullptr;
+    std::vector<T> data_;
+};
+
+}  // namespace nsparse::sim

@@ -1,0 +1,278 @@
+#include "gpusim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <queue>
+
+namespace nsparse::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ResidentBlock {
+    int kernel = 0;
+    double remaining_work = 0.0;
+    double span_deadline = 0.0;  ///< absolute time before which it cannot finish
+    int threads = 0;
+};
+
+struct Sm {
+    int free_threads = 0;
+    std::size_t free_shared = 0;
+    int free_slots = 0;
+    double last_update = 0.0;
+    std::vector<ResidentBlock> resident;
+    std::uint64_t generation = 0;
+
+    [[nodiscard]] bool fits(const LaunchConfig& cfg) const
+    {
+        return free_slots > 0 && cfg.block_dim <= free_threads && cfg.shared_bytes <= free_shared;
+    }
+};
+
+struct KernelState {
+    const KernelRecord* rec = nullptr;
+    double ready = 0.0;
+    double start = kInf;
+    index_t next_block = 0;
+    index_t blocks_done = 0;
+    double finish = kInf;
+
+    [[nodiscard]] bool fully_dispatched() const { return next_block >= rec->cfg.grid_dim; }
+    [[nodiscard]] bool done() const { return blocks_done >= rec->cfg.grid_dim; }
+};
+
+/// Per-block drain rate under processor sharing, capped by per-thread rate.
+double block_share(const Sm& sm, const ResidentBlock& b, const DeviceSpec& spec)
+{
+    double total_threads = 0.0;
+    for (const auto& r : sm.resident) { total_threads += static_cast<double>(r.threads); }
+    const double proportional =
+        spec.sm_rate() * static_cast<double>(b.threads) / std::max(total_threads, 1.0);
+    const double cap = static_cast<double>(b.threads) * spec.thread_rate();
+    return std::max(1.0, std::min(proportional, cap));  // floor avoids div-by-zero stalls
+}
+
+/// Earliest absolute time any resident block of `sm` can finish.
+double sm_next_finish(const Sm& sm, double now, const DeviceSpec& spec)
+{
+    double best = kInf;
+    for (const auto& b : sm.resident) {
+        const double drain = now + b.remaining_work / block_share(sm, b, spec);
+        best = std::min(best, std::max(drain, b.span_deadline));
+    }
+    return best;
+}
+
+/// Advances an SM's residents to `now`, draining work at current shares.
+void drain_sm(Sm& sm, double now, const DeviceSpec& spec)
+{
+    const double dt = now - sm.last_update;
+    if (dt > 0.0) {
+        for (auto& b : sm.resident) {
+            b.remaining_work = std::max(0.0, b.remaining_work - block_share(sm, b, spec) * dt);
+        }
+    }
+    sm.last_update = now;
+}
+
+}  // namespace
+
+ScheduleResult schedule(const std::vector<KernelRecord>& kernels, const DeviceSpec& spec,
+                        const CostModel& cost)
+{
+    ScheduleResult result;
+    result.kernels.resize(kernels.size());
+    if (kernels.empty()) { return result; }
+
+    const double cycles_to_sec = 1.0 / (spec.clock_hz() * spec.efficiency);
+
+    // Host-side serialized launches + per-stream serialization.
+    std::vector<KernelState> ks(kernels.size());
+    std::map<int, int> stream_tail;  // stream id -> last kernel index in that stream
+    {
+        double host_time = 0.0;
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+            host_time += cost.launch_overhead_us * 1e-6;
+            ks[i].rec = &kernels[i];
+            ks[i].ready = host_time;  // stream dependency folded in later
+            result.kernels[i].ready = host_time;
+        }
+    }
+
+    std::vector<Sm> sms(to_size(spec.num_sms));
+    for (auto& sm : sms) {
+        sm.free_threads = spec.max_threads_per_sm;
+        sm.free_shared = spec.shared_mem_per_sm;
+        sm.free_slots = spec.max_blocks_per_sm;
+    }
+
+    // Event queue of (time, sm index, generation) with lazy invalidation.
+    // sm index kSentinel marks a "kernel becomes ready" wake-up.
+    constexpr std::size_t kSentinel = std::numeric_limits<std::size_t>::max();
+    using Event = std::tuple<double, std::size_t, std::uint64_t>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+    auto push_sm_event = [&](std::size_t s, double now) {
+        const double t = sm_next_finish(sms[s], now, spec);
+        if (t < kInf) { events.emplace(t, s, sms[s].generation); }
+    };
+
+    // Effective readiness accounting for stream predecessors (resolved as
+    // predecessors finish).
+    auto effective_ready = [&](std::size_t i) {
+        double r = ks[i].ready;
+        const int sid = ks[i].rec->stream_id;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (ks[j].rec->stream_id == sid) { r = std::max(r, ks[j].finish); }
+        }
+        return r;
+    };
+
+    std::size_t done_count = 0;
+    double now = 0.0;
+    std::uint64_t iterations = 0;
+
+    auto try_dispatch = [&](double t) {
+        bool dispatched_any = false;
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+            auto& k = ks[i];
+            if (k.fully_dispatched()) { continue; }
+            if (effective_ready(i) > t) { continue; }
+            while (!k.fully_dispatched()) {
+                // Best-fit SM: most free threads that satisfies the config.
+                std::size_t best = sms.size();
+                int best_free = -1;
+                for (std::size_t s = 0; s < sms.size(); ++s) {
+                    if (sms[s].fits(k.rec->cfg) && sms[s].free_threads > best_free) {
+                        best = s;
+                        best_free = sms[s].free_threads;
+                    }
+                }
+                if (best == sms.size()) { break; }
+                Sm& sm = sms[best];
+                drain_sm(sm, t, spec);
+                const BlockCost& bc = k.rec->blocks[to_size(k.next_block)];
+                sm.free_threads -= k.rec->cfg.block_dim;
+                sm.free_shared -= k.rec->cfg.shared_bytes;
+                --sm.free_slots;
+                sm.resident.push_back(ResidentBlock{
+                    .kernel = static_cast<int>(i),
+                    .remaining_work = std::max(bc.work, 1.0),
+                    .span_deadline = t + bc.span * cycles_to_sec,
+                    .threads = k.rec->cfg.block_dim,
+                });
+                // remaining_work is in cycles; convert share-space: we keep
+                // work in cycles and rates in cycles/sec, so nothing to do.
+                ++k.next_block;
+                if (k.start == kInf) {
+                    k.start = t;
+                    result.kernels[i].start = t;
+                }
+                ++sm.generation;
+                dispatched_any = true;
+                push_sm_event(best, t);
+                if (k.rec->cfg.grid_dim == 0) { break; }
+            }
+        }
+        // Zero-block kernels complete as soon as they are ready.
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+            auto& k = ks[i];
+            if (!k.done() || k.finish < kInf) { continue; }
+            if (k.rec->cfg.grid_dim == 0 && effective_ready(i) <= t) {
+                k.finish = std::max(effective_ready(i), t);
+                k.start = k.finish;
+                result.kernels[i].start = k.start;
+                result.kernels[i].finish = k.finish;
+                ++done_count;
+                dispatched_any = true;
+            }
+        }
+        // Wake up again when the next not-yet-ready kernel becomes ready.
+        double next_ready = kInf;
+        for (std::size_t i = 0; i < ks.size(); ++i) {
+            if (!ks[i].fully_dispatched() || (ks[i].rec->cfg.grid_dim == 0 && !ks[i].done())) {
+                const double r = effective_ready(i);
+                if (r > t && r < kInf) { next_ready = std::min(next_ready, r); }
+            }
+        }
+        if (next_ready < kInf) { events.emplace(next_ready, kSentinel, 0); }
+        return dispatched_any;
+    };
+
+    try_dispatch(now);
+
+    while (done_count < ks.size()) {
+        if (++iterations > 200'000'000ULL) {
+            throw PreconditionError("scheduler livelock detected");
+        }
+        if (events.empty()) {
+            // Nothing running: jump to the next kernel-ready time.
+            double next_ready = kInf;
+            for (std::size_t i = 0; i < ks.size(); ++i) {
+                if (!ks[i].done() || ks[i].finish == kInf) {
+                    if (!ks[i].fully_dispatched() || ks[i].rec->cfg.grid_dim == 0) {
+                        next_ready = std::min(next_ready, effective_ready(i));
+                    }
+                }
+            }
+            NSPARSE_ENSURES(next_ready < kInf, "scheduler deadlock: no events and nothing ready");
+            now = std::max(now, next_ready);
+            try_dispatch(now);
+            continue;
+        }
+
+        auto [t, s, gen] = events.top();
+        events.pop();
+        if (s == kSentinel) {
+            now = std::max(now, t);
+            try_dispatch(now);
+            continue;
+        }
+        if (gen != sms[s].generation) { continue; }  // stale
+        now = std::max(now, t);
+        Sm& sm = sms[s];
+        drain_sm(sm, now, spec);
+
+        // Retire finished blocks on this SM. A block is work-complete when
+        // its residual drains to ~zero OR when the residual is too small to
+        // advance `now` by a representable amount (otherwise the event
+        // would re-fire at the same timestamp forever).
+        bool any_finished = false;
+        for (std::size_t r = 0; r < sm.resident.size();) {
+            const ResidentBlock& b = sm.resident[r];
+            const double drain_t = now + b.remaining_work / block_share(sm, b, spec);
+            const bool work_done = b.remaining_work <= 1e-9 || drain_t <= now;
+            if (work_done && now + 1e-15 >= b.span_deadline) {
+                auto& k = ks[to_size(b.kernel)];
+                ++k.blocks_done;
+                sm.free_threads += b.threads;
+                sm.free_shared += k.rec->cfg.shared_bytes;
+                ++sm.free_slots;
+                if (k.done()) {
+                    k.finish = now;
+                    result.kernels[to_size(b.kernel)].finish = now;
+                    ++done_count;
+                }
+                sm.resident[r] = sm.resident.back();
+                sm.resident.pop_back();
+                any_finished = true;
+            } else {
+                ++r;
+            }
+        }
+        ++sm.generation;
+        if (any_finished) { try_dispatch(now); }
+        push_sm_event(s, now);
+    }
+
+    double makespan = now;
+    for (const auto& k : ks) { makespan = std::max(makespan, k.finish); }
+    result.makespan = makespan;
+    return result;
+}
+
+}  // namespace nsparse::sim

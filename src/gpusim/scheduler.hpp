@@ -1,0 +1,40 @@
+// Resource-aware makespan scheduler for batches of simulated kernels.
+//
+// Models the parts of GPU execution the paper's evaluation depends on:
+//  * thread blocks are dispatched in launch order onto SMs with free
+//    residency (threads / shared memory / block slots) — Table I's
+//    occupancy reasoning emerges from these constraints;
+//  * each SM drains resident blocks' `work` by processor sharing at
+//    DeviceSpec::sm_rate(), each block additionally floored by its `span`
+//    (critical path) — so one enormous row really does stall a
+//    warp-per-row kernel (webbase, cit-Patents);
+//  * kernels on the same stream serialize; kernels on different streams
+//    co-schedule, which is how the multi-stream x1.3 of §IV-C arises;
+//  * host-side launch overhead serializes across all launches.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/launch.hpp"
+
+namespace nsparse::sim {
+
+/// Per-kernel placement result (for tests and tracing).
+struct KernelTiming {
+    double ready = 0.0;   ///< stream dependency + launch overhead satisfied
+    double start = 0.0;   ///< first block dispatched
+    double finish = 0.0;  ///< last block completed
+};
+
+struct ScheduleResult {
+    double makespan = 0.0;  ///< seconds from batch start to last completion
+    std::vector<KernelTiming> kernels;
+};
+
+/// Computes the makespan of `kernels` (in launch order) on an empty device.
+ScheduleResult schedule(const std::vector<KernelRecord>& kernels, const DeviceSpec& spec,
+                        const CostModel& cost);
+
+}  // namespace nsparse::sim

@@ -1,0 +1,53 @@
+// Simulated-time accounting, bucketed into named phases.
+//
+// The breakdown figures of the paper (Fig. 5/6) split execution into
+// `setup` / `count` / `calc` / `malloc`; algorithms open a phase scope and
+// every synchronized kernel batch, cudaMalloc and cudaFree inside it is
+// charged to that bucket (allocation time is reported both in-phase and in
+// the dedicated malloc bucket, matching the paper's "cudaMalloc of output
+// matrix" bar).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nsparse::sim {
+
+class Timeline {
+public:
+    void add(const std::string& phase, double seconds)
+    {
+        auto [it, inserted] = totals_.try_emplace(phase, 0.0);
+        it->second += seconds;
+        if (inserted) { order_.push_back(phase); }
+    }
+
+    [[nodiscard]] double total() const
+    {
+        double t = 0.0;
+        for (const auto& [_, v] : totals_) { t += v; }
+        return t;
+    }
+
+    [[nodiscard]] double phase(const std::string& name) const
+    {
+        const auto it = totals_.find(name);
+        return it == totals_.end() ? 0.0 : it->second;
+    }
+
+    /// Phases in first-use order.
+    [[nodiscard]] const std::vector<std::string>& phases() const { return order_; }
+
+    void clear()
+    {
+        totals_.clear();
+        order_.clear();
+    }
+
+private:
+    std::map<std::string, double> totals_;
+    std::vector<std::string> order_;
+};
+
+}  // namespace nsparse::sim

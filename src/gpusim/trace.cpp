@@ -1,0 +1,45 @@
+#include "gpusim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace nsparse::sim {
+
+std::string Trace::report() const
+{
+    struct Agg {
+        std::size_t launches = 0;
+        wide_t blocks = 0;
+        double work = 0.0;
+        double seconds = 0.0;
+    };
+    std::map<std::string, Agg> by_name;
+    double total_work = 0.0;
+    for (const auto& e : entries_) {
+        auto& a = by_name[e.name];
+        ++a.launches;
+        a.blocks += e.grid_dim;
+        a.work += e.total_work;
+        a.seconds += e.finish - e.start;
+        total_work += e.total_work;
+    }
+    std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& x, const auto& y) { return x.second.work > y.second.work; });
+
+    std::ostringstream os;
+    os << std::left << std::setw(24) << "kernel" << std::right << std::setw(10) << "launches"
+       << std::setw(12) << "blocks" << std::setw(14) << "work" << std::setw(9) << "share"
+       << '\n';
+    for (const auto& [name, a] : rows) {
+        os << std::left << std::setw(24) << name << std::right << std::setw(10) << a.launches
+           << std::setw(12) << a.blocks << std::setw(14) << std::scientific
+           << std::setprecision(2) << a.work << std::fixed << std::setprecision(1)
+           << std::setw(8) << (total_work > 0 ? 100.0 * a.work / total_work : 0.0) << "%\n";
+    }
+    return os.str();
+}
+
+}  // namespace nsparse::sim

@@ -1,0 +1,54 @@
+// Execution tracing: an optional per-kernel record of what ran on the
+// simulated device — grid/block shape, total work, worst block span,
+// scheduled start/finish — plus a text profile renderer. This is the
+// observability layer used by `spgemm_tool --profile` and by tests that
+// assert *which* kernels an algorithm launched.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace nsparse::sim {
+
+struct KernelTraceEntry {
+    std::string name;
+    std::string phase;
+    int stream_id = 0;
+    index_t grid_dim = 0;
+    int block_dim = 0;
+    std::size_t shared_bytes = 0;
+    double total_work = 0.0;   ///< work-cycles summed over blocks
+    double max_span = 0.0;     ///< worst block critical path (cycles)
+    double start = 0.0;        ///< seconds within its sync batch
+    double finish = 0.0;
+};
+
+class Trace {
+public:
+    void record(KernelTraceEntry entry) { entries_.push_back(std::move(entry)); }
+
+    [[nodiscard]] const std::vector<KernelTraceEntry>& entries() const { return entries_; }
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+    void clear() { entries_.clear(); }
+
+    /// Total launches of a kernel by (exact) name.
+    [[nodiscard]] std::size_t count(const std::string& name) const
+    {
+        std::size_t n = 0;
+        for (const auto& e : entries_) {
+            if (e.name == name) { ++n; }
+        }
+        return n;
+    }
+
+    /// Multi-line text profile: per kernel name, aggregated launches,
+    /// blocks, work share. Sorted by work, descending.
+    [[nodiscard]] std::string report() const;
+
+private:
+    std::vector<KernelTraceEntry> entries_;
+};
+
+}  // namespace nsparse::sim

@@ -1,0 +1,48 @@
+// Warp-level primitives used by the kernels.
+//
+// On the real GPU the per-lane partial nnz counts are combined with
+// __shfl_down_sync; here the lanes' partial values live in a small host
+// array and the helper charges the shuffle cost while producing the same
+// reduction result.
+#pragma once
+
+#include <numeric>
+#include <span>
+
+#include "gpusim/launch.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse::sim {
+
+/// Butterfly/down-shuffle reduction across `lanes` partial values; charges
+/// log2(width) shuffle steps to the block like the hardware instruction
+/// sequence would.
+template <typename T>
+[[nodiscard]] T warp_reduce_sum(BlockCtx& blk, std::span<const T> lane_values)
+{
+    const auto n = static_cast<int>(lane_values.size());
+    int steps = 0;
+    for (int w = 1; w < n; w <<= 1) { ++steps; }
+    blk.warp_shuffle(n, static_cast<double>(steps));
+    return std::accumulate(lane_values.begin(), lane_values.end(), T{0});
+}
+
+/// Exclusive prefix sum within a block (shared-memory scan); used when
+/// warps combine their partial sums. Charges a log-depth scan.
+template <typename T>
+void block_exclusive_scan(BlockCtx& blk, std::span<T> values)
+{
+    const auto n = static_cast<int>(values.size());
+    int steps = 0;
+    for (int w = 1; w < n; w <<= 1) { ++steps; }
+    blk.shared_op(n, 2.0 * static_cast<double>(steps));
+    blk.barrier();
+    T running{0};
+    for (auto& v : values) {
+        const T x = v;
+        v = running;
+        running += x;
+    }
+}
+
+}  // namespace nsparse::sim

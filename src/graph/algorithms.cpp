@@ -1,0 +1,221 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr_ops.hpp"
+#include "sparse/transpose.hpp"
+
+namespace nsparse::graph {
+
+namespace {
+
+SpgemmFn<double> default_engine(const SpgemmFn<double>& engine)
+{
+    if (engine) { return engine; }
+    return [](sim::Device& d, const CsrMatrix<double>& x, const CsrMatrix<double>& y) {
+        return hash_spgemm<double>(d, x, y);
+    };
+}
+
+void check_adjacency(const CsrMatrix<double>& a)
+{
+    NSPARSE_EXPECTS(a.rows == a.cols, "adjacency matrix must be square");
+}
+
+}  // namespace
+
+wide_t triangle_count(sim::Device& dev, const CsrMatrix<double>& adjacency,
+                      const SpgemmFn<double>& engine)
+{
+    check_adjacency(adjacency);
+    auto a = adjacency;
+    a.sort_rows();
+    // force 0/1 weights and no self loops
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            a.val[to_size(k)] = a.col[to_size(k)] == i ? 0.0 : 1.0;
+        }
+    }
+    const auto sq = default_engine(engine)(dev, a, a);
+
+    // sum (A^2)_ij over the edges of A (Hadamard mask), / 6.
+    double sum = 0.0;
+    for (index_t i = 0; i < a.rows; ++i) {
+        auto ec = a.row_cols(i);
+        auto ev = a.row_vals(i);
+        auto sc = sq.matrix.row_cols(i);
+        auto sv = sq.matrix.row_vals(i);
+        std::size_t x = 0;
+        for (std::size_t e = 0; e < ec.size(); ++e) {
+            if (ev[e] == 0.0) { continue; }
+            while (x < sc.size() && sc[x] < ec[e]) { ++x; }
+            if (x < sc.size() && sc[x] == ec[e]) { sum += sv[x]; }
+        }
+    }
+    return static_cast<wide_t>(std::llround(sum / 6.0));
+}
+
+BfsResult multi_source_bfs(sim::Device& dev, const CsrMatrix<double>& adjacency,
+                           std::span<const index_t> sources, const SpgemmFn<double>& engine)
+{
+    check_adjacency(adjacency);
+    const auto run = default_engine(engine);
+    const index_t n = adjacency.rows;
+    const auto s = to_index(sources.size());
+    NSPARSE_EXPECTS(s > 0, "bfs needs at least one source");
+    for (const index_t src : sources) {
+        NSPARSE_EXPECTS(src >= 0 && src < n, "bfs source out of range");
+    }
+    const auto at = transpose(adjacency);
+
+    BfsResult result;
+    result.distances.assign(to_size(s), std::vector<index_t>(to_size(n), -1));
+
+    // Frontier: n x s sparse matrix, one unit column entry per source.
+    CsrMatrix<double> frontier = CsrMatrix<double>::zero(n, s);
+    {
+        CooMatrix<double> coo;
+        coo.rows = n;
+        coo.cols = s;
+        for (index_t k = 0; k < s; ++k) {
+            coo.row.push_back(sources[to_size(k)]);
+            coo.col.push_back(k);
+            coo.val.push_back(1.0);
+            result.distances[to_size(k)][to_size(sources[to_size(k)])] = 0;
+        }
+        coo.sort();
+        frontier = to_csr(coo);
+    }
+
+    for (index_t level = 1; frontier.nnz() > 0 && level <= n; ++level) {
+        const auto next = run(dev, at, frontier);  // A^T F: reachable in one step
+        result.spgemm_products += next.stats.intermediate_products;
+        result.spgemm_seconds += next.stats.seconds;
+
+        // mask: keep only first-time visits, rebuild the frontier
+        CooMatrix<double> coo;
+        coo.rows = n;
+        coo.cols = s;
+        for (index_t v = 0; v < n; ++v) {
+            for (index_t k = next.matrix.rpt[to_size(v)];
+                 k < next.matrix.rpt[to_size(v) + 1]; ++k) {
+                const index_t src = next.matrix.col[to_size(k)];
+                auto& dist = result.distances[to_size(src)][to_size(v)];
+                if (dist < 0) {
+                    dist = level;
+                    coo.row.push_back(v);
+                    coo.col.push_back(src);
+                    coo.val.push_back(1.0);
+                }
+            }
+        }
+        coo.sort();
+        frontier = to_csr(coo);
+        if (frontier.nnz() == 0) { break; }
+        result.levels = level;  // a level only counts if it visited something
+    }
+    return result;
+}
+
+MclResult markov_clustering(sim::Device& dev, const CsrMatrix<double>& adjacency,
+                            const MclOptions& opt, const SpgemmFn<double>& engine)
+{
+    check_adjacency(adjacency);
+    const auto run = default_engine(engine);
+    const index_t n = adjacency.rows;
+
+    // column-stochastic start with self loops
+    CsrMatrix<double> m;
+    {
+        CooMatrix<double> coo = to_coo(adjacency);
+        for (index_t i = 0; i < n; ++i) {
+            coo.row.push_back(i);
+            coo.col.push_back(i);
+            coo.val.push_back(1.0);
+        }
+        coo.compress();
+        m = to_csr(coo);
+    }
+    const auto normalize_columns = [n](CsrMatrix<double>& x) {
+        std::vector<double> colsum(to_size(n), 0.0);
+        for (std::size_t k = 0; k < x.col.size(); ++k) { colsum[to_size(x.col[k])] += x.val[k]; }
+        for (std::size_t k = 0; k < x.col.size(); ++k) {
+            if (colsum[to_size(x.col[k])] > 0.0) { x.val[k] /= colsum[to_size(x.col[k])]; }
+        }
+    };
+    normalize_columns(m);
+
+    MclResult result;
+    for (int it = 0; it < opt.max_iterations; ++it) {
+        const auto sq = run(dev, m, m);  // expansion
+        result.spgemm_products += sq.stats.intermediate_products;
+        result.spgemm_seconds += sq.stats.seconds;
+        ++result.iterations;
+
+        // inflation: elementwise power, column renormalise, prune
+        CsrMatrix<double> next;
+        next.rows = next.cols = n;
+        next.rpt.assign(to_size(n) + 1, 0);
+        std::vector<double> colsum(to_size(n), 0.0);
+        for (std::size_t k = 0; k < sq.matrix.col.size(); ++k) {
+            colsum[to_size(sq.matrix.col[k])] += std::pow(sq.matrix.val[k], opt.inflation);
+        }
+        for (index_t i = 0; i < n; ++i) {
+            for (index_t k = sq.matrix.rpt[to_size(i)]; k < sq.matrix.rpt[to_size(i) + 1];
+                 ++k) {
+                const index_t j = sq.matrix.col[to_size(k)];
+                const double denom = colsum[to_size(j)];
+                const double v =
+                    denom > 0.0 ? std::pow(sq.matrix.val[to_size(k)], opt.inflation) / denom
+                                : 0.0;
+                if (v > opt.prune_threshold) {
+                    next.col.push_back(j);
+                    next.val.push_back(v);
+                }
+            }
+            next.rpt[to_size(i) + 1] = to_index(next.col.size());
+        }
+        next.validate();
+        normalize_columns(next);
+
+        // convergence: nnz pattern and values stable
+        if (next.rpt == m.rpt && next.col == m.col) {
+            double max_diff = 0.0;
+            for (std::size_t k = 0; k < next.val.size(); ++k) {
+                max_diff = std::max(max_diff, std::abs(next.val[k] - m.val[k]));
+            }
+            m = std::move(next);
+            if (max_diff < opt.convergence_tol) { break; }
+        } else {
+            m = std::move(next);
+        }
+    }
+
+    // clusters: vertices sharing an attractor row
+    result.cluster_of.assign(to_size(n), -1);
+    index_t next_cluster = 0;
+    for (index_t i = 0; i < n; ++i) {  // attractor rows have mass on row i
+        bool attractor = false;
+        for (index_t k = m.rpt[to_size(i)]; k < m.rpt[to_size(i) + 1]; ++k) {
+            if (m.col[to_size(k)] == i && m.val[to_size(k)] > 0.25) { attractor = true; }
+        }
+        if (!attractor) { continue; }
+        const index_t c = next_cluster++;
+        for (index_t k = m.rpt[to_size(i)]; k < m.rpt[to_size(i) + 1]; ++k) {
+            if (m.val[to_size(k)] > 0.1) {
+                result.cluster_of[to_size(m.col[to_size(k)])] = c;
+            }
+        }
+    }
+    // attach unassigned vertices to their own singleton clusters
+    for (index_t v = 0; v < n; ++v) {
+        if (result.cluster_of[to_size(v)] < 0) { result.cluster_of[to_size(v)] = next_cluster++; }
+    }
+    result.clusters = next_cluster;
+    return result;
+}
+
+}  // namespace nsparse::graph

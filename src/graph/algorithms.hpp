@@ -1,0 +1,57 @@
+// Graph algorithms built on SpGEMM — the paper's second motivating domain
+// (§I cites graph clustering [2] and BFS [3], the Combinatorial-BLAS view
+// of graph computation as sparse linear algebra).
+//
+// Every multiplication goes through a pluggable SpgemmFn (defaults to the
+// paper's hash SpGEMM on a caller-provided simulated device), so these
+// double as application-level workloads with the rectangular and
+// mask-heavy products graph processing produces.
+#pragma once
+
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "gpusim/algorithm.hpp"
+
+namespace nsparse::graph {
+
+/// Number of triangles in a simple undirected graph given its symmetric
+/// 0/1 adjacency matrix: sum over edges (i,j) of (A^2)_ij, divided by 6.
+/// The A^2 runs on the device through `engine`.
+wide_t triangle_count(sim::Device& dev, const CsrMatrix<double>& adjacency,
+                      const SpgemmFn<double>& engine = {});
+
+/// Multi-source BFS as iterated SpGEMM on a boolean-like semiring:
+/// frontier matrix F (n x sources) is expanded by F' = A^T F and masked by
+/// the visited set each level. Returns per-source distance vectors
+/// (-1 = unreachable).
+struct BfsResult {
+    std::vector<std::vector<index_t>> distances;  ///< [source][vertex]
+    int levels = 0;
+    wide_t spgemm_products = 0;
+    double spgemm_seconds = 0.0;
+};
+BfsResult multi_source_bfs(sim::Device& dev, const CsrMatrix<double>& adjacency,
+                           std::span<const index_t> sources,
+                           const SpgemmFn<double>& engine = {});
+
+/// Markov clustering (Van Dongen): expansion = squaring the column-
+/// stochastic matrix via SpGEMM, inflation = elementwise power + column
+/// renormalisation + pruning. Returns a cluster id per vertex.
+struct MclOptions {
+    int max_iterations = 30;
+    double inflation = 2.0;
+    double prune_threshold = 1e-4;
+    double convergence_tol = 1e-6;  ///< stop when the matrix stops changing
+};
+struct MclResult {
+    std::vector<index_t> cluster_of;  ///< per vertex
+    index_t clusters = 0;
+    int iterations = 0;
+    wide_t spgemm_products = 0;
+    double spgemm_seconds = 0.0;
+};
+MclResult markov_clustering(sim::Device& dev, const CsrMatrix<double>& adjacency,
+                            const MclOptions& opt = {}, const SpgemmFn<double>& engine = {});
+
+}  // namespace nsparse::graph

@@ -1,0 +1,55 @@
+// The evaluation dataset suite: synthetic analogues of the 12 UF-collection
+// matrices plus the 3 large graph matrices of the paper's Table II.
+//
+// Each entry records the paper's published statistics (for EXPERIMENTS.md
+// paper-vs-measured comparison) and knows how to generate its analogue at a
+// configurable scale: `scale` divides the row count while preserving the
+// row-degree distribution, so the number of intermediate products also
+// scales by ~1/scale and one CPU core can execute the simulation. The
+// default per-dataset scale keeps every matrix between roughly 2M and 35M
+// intermediate products.
+//
+// Setting the environment variable NSPARSE_SCALE to a positive value
+// multiplies every default scale by it (values < 1 grow the matrices).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse::gen {
+
+struct PaperStats {
+    wide_t rows = 0;
+    wide_t nnz = 0;
+    double nnz_per_row = 0.0;
+    index_t max_nnz_per_row = 0;
+    wide_t intermediate_products = 0;
+    wide_t nnz_of_square = 0;
+};
+
+struct DatasetSpec {
+    std::string name;
+    bool high_throughput = false;  ///< Figure 2(a)/(b) split (top-8 by nnz/row)
+    bool large_graph = false;      ///< Table III set
+    double default_scale = 1.0;
+    PaperStats paper;
+};
+
+/// The 15 datasets in Table II order.
+const std::vector<DatasetSpec>& dataset_suite();
+
+/// Spec lookup by paper name; nullopt when unknown.
+std::optional<DatasetSpec> find_dataset(const std::string& name);
+
+/// Generates the analogue of `name` at `scale` x the default scale
+/// (scale = 1 uses the per-dataset default; larger = smaller matrix).
+/// Honours NSPARSE_SCALE (multiplied on top).
+CsrMatrix<double> make_dataset(const std::string& name, double scale = 1.0);
+
+/// Effective scale that make_dataset would use (default * arg * env).
+double effective_scale(const std::string& name, double scale = 1.0);
+
+}  // namespace nsparse::gen

@@ -1,0 +1,108 @@
+// Parameterised sparse-matrix generators.
+//
+// The paper evaluates on real matrices from the UF Sparse Matrix Collection
+// plus three large graph matrices. This environment has no network or
+// dataset mirror, so the benchmark suite substitutes synthetic analogues
+// with matching *structural signatures* — row count, mean and maximum
+// nonzeros per row, and pattern class (banded FEM blocks, constant-degree
+// lattice, grid stencil, scale-free tail, R-MAT community structure) —
+// because every algorithm under study dispatches on exactly these
+// signatures (see DESIGN.md §2). Real .mtx files can be loaded instead via
+// sparse/io_matrix_market.hpp.
+//
+// All generators are deterministic in (parameters, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse::gen {
+
+/// 2-D grid where each cell connects to its von Neumann neighbours
+/// (no self loop): exactly 4 nonzeros for interior rows, fewer at the
+/// boundary unless `periodic`. Analogue of `Epidemiology` (nnz/row = max
+/// nnz/row = 4).
+CsrMatrix<double> grid2d(index_t nx, index_t ny, bool periodic, std::uint64_t seed);
+
+/// Constant-degree wrapped banded matrix: every row has exactly `diagonals`
+/// nonzeros at fixed (wrapped) offsets. Analogue of `QCD` (nnz/row = max =
+/// 39, perfectly regular).
+CsrMatrix<double> banded(index_t n, index_t diagonals, index_t spread, std::uint64_t seed);
+
+/// FEM-style block matrix: nodes of `block_size` DOFs each connect to
+/// `avg_blocks` neighbouring nodes within `bandwidth` (plus self), giving
+/// dense block_size x block_size sub-blocks. Analogues of Protein,
+/// FEM/Spheres, Cantilever, Ship, Wind Tunnel, Harbor, Accelerator.
+struct FemParams {
+    index_t nodes = 1000;        ///< number of node blocks (rows = nodes*block_size)
+    index_t block_size = 3;      ///< DOFs per node
+    double avg_blocks = 20.0;    ///< mean neighbouring node blocks per node
+    double jitter = 0.25;        ///< relative spread of the neighbour count
+    index_t bandwidth = 200;     ///< neighbour blocks live within +-bandwidth
+    std::uint64_t seed = 1;
+};
+CsrMatrix<double> fem_like(const FemParams& p);
+
+/// Rows with truncated-Pareto degrees: most rows tiny, a heavy tail up to
+/// `max_degree`. Columns drawn with locality bias `locality` in [0,1]
+/// (1 = near the diagonal, 0 = uniform). Analogues of webbase, wb-edu,
+/// Circuit (with symmetrize), Economics.
+///
+/// `hub_attach` > 0 models web graphs where edges point AT hubs: row
+/// degrees are assigned in descending order (row 0 is the biggest hub) and
+/// each non-local column draw of a *short* row attaches, with probability
+/// hub_attach, to a uniformly random row in the top `hub_band` fraction
+/// (the medium-hub band). This raises the out/in-degree correlation that
+/// gives webbase/wb-edu their large intermediate-product counts (Table II)
+/// while keeping any single output row's width bounded — pointing most
+/// in-edges at a few mega-hubs instead would make the O(nnz^2) row sort
+/// quadratically dominant, which the real matrices do not exhibit.
+struct ScaleFreeParams {
+    index_t rows = 10000;
+    double avg_degree = 4.0;
+    index_t min_degree = 1;
+    index_t max_degree = 1000;
+    double alpha = 1.8;       ///< Pareto tail exponent (smaller = heavier tail)
+    double locality = 0.0;
+    double hub_attach = 0.0;  ///< probability a short-row edge targets the hub band
+    double hub_band = 0.04;   ///< fraction of rows forming the hub band
+    double hub_band_skip = 0.003;  ///< top fraction excluded from the band: the
+                                   ///< widest rows (index pages) are not the
+                                   ///< most linked-to, and including them would
+                                   ///< concentrate quadratic-sort mass the real
+                                   ///< matrices do not show
+    std::uint64_t seed = 1;
+};
+CsrMatrix<double> scale_free(const ScaleFreeParams& p);
+
+/// Classic R-MAT generator with partition probabilities (a, b, c, d);
+/// duplicates folded. Analogue of cit-Patents.
+struct RmatParams {
+    int scale = 14;            ///< 2^scale vertices
+    double edges_per_vertex = 8.0;
+    double a = 0.57, b = 0.19, c = 0.19;  ///< d = 1 - a - b - c
+    index_t max_degree = -1;   ///< cap on row degree (-1 = uncapped); excess
+                               ///< edges of a hub row are dropped
+    bool permute_columns = false;  ///< decorrelate out- and in-degree (a patent
+                                   ///< citing many is not cited proportionally)
+    std::uint64_t seed = 1;
+};
+CsrMatrix<double> rmat(const RmatParams& p);
+
+/// Moderately regular random banded graph with degree jitter. Analogue of
+/// cage15 (nnz/row 19.2, max 47, diffusion-like regularity).
+struct RandomBandedParams {
+    index_t n = 10000;
+    double avg_degree = 19.0;
+    index_t max_degree = 47;
+    index_t bandwidth = 4000;
+    std::uint64_t seed = 1;
+};
+CsrMatrix<double> random_banded(const RandomBandedParams& p);
+
+/// Uniform random matrix: every row gets `degree` columns uniformly at
+/// random (used heavily by tests).
+CsrMatrix<double> uniform_random(index_t rows, index_t cols, index_t degree, std::uint64_t seed);
+
+}  // namespace nsparse::gen

@@ -1,0 +1,65 @@
+// Deterministic, seedable random-number generation for the workload
+// generators. PCG32 keeps results identical across platforms and standard
+// libraries (std::uniform_* distributions are not portable), so dataset
+// statistics in tests and benchmarks are exactly reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace nsparse::gen {
+
+class Pcg32 {
+public:
+    explicit Pcg32(std::uint64_t seed, std::uint64_t seq = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (seq << 1U) | 1U;
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /// Uniform 32-bit value.
+    std::uint32_t next()
+    {
+        const std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        const auto xorshifted = static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+        const auto rot = static_cast<std::uint32_t>(old >> 59U);
+        return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+    }
+
+    /// Uniform in [0, bound) without modulo bias.
+    std::uint32_t bounded(std::uint32_t bound)
+    {
+        if (bound <= 1) { return 0; }
+        const std::uint32_t threshold = (0U - bound) % bound;
+        while (true) {
+            const std::uint32_t r = next();
+            if (r >= threshold) { return r % bound; }
+        }
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next()) * (1.0 / 4294967296.0); }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Truncated Pareto sample in [lo, hi] with tail exponent alpha > 0.
+    /// Used for power-law row-degree distributions (web/circuit graphs).
+    double pareto(double lo, double hi, double alpha)
+    {
+        const double u = uniform();
+        const double la = std::pow(lo, -alpha);
+        const double ha = std::pow(hi, -alpha);
+        return std::pow(la - u * (la - ha), -1.0 / alpha);
+    }
+
+private:
+    std::uint64_t state_ = 0;
+    std::uint64_t inc_ = 0;
+};
+
+}  // namespace nsparse::gen

@@ -1,0 +1,190 @@
+#include "solver/amg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nsparse::solver {
+
+CsrMatrix<double> strength_graph(const CsrMatrix<double>& a, double theta)
+{
+    NSPARSE_EXPECTS(a.rows == a.cols, "strength_graph: matrix must be square");
+    const auto d = diagonal(a);
+    CsrMatrix<double> s;
+    s.rows = a.rows;
+    s.cols = a.cols;
+    s.rpt.assign(to_size(a.rows) + 1, 0);
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            const index_t j = a.col[to_size(k)];
+            const double v = a.val[to_size(k)];
+            const double bound =
+                theta * std::sqrt(std::abs(d[to_size(i)]) * std::abs(d[to_size(j)]));
+            if (i == j || std::abs(v) >= bound) {
+                s.col.push_back(j);
+                s.val.push_back(v);
+            }
+        }
+        s.rpt[to_size(i) + 1] = to_index(s.col.size());
+    }
+    s.validate();
+    return s;
+}
+
+CsrMatrix<double> aggregate(const CsrMatrix<double>& strength)
+{
+    const index_t n = strength.rows;
+    constexpr index_t kUnassigned = -1;
+    std::vector<index_t> agg(to_size(n), kUnassigned);
+    index_t n_agg = 0;
+
+    // Pass 1: a node whose whole strong neighbourhood is unassigned roots a
+    // new aggregate containing that neighbourhood.
+    for (index_t i = 0; i < n; ++i) {
+        if (agg[to_size(i)] != kUnassigned) { continue; }
+        bool free_nbhd = true;
+        for (const index_t j : strength.row_cols(i)) {
+            if (agg[to_size(j)] != kUnassigned) {
+                free_nbhd = false;
+                break;
+            }
+        }
+        if (!free_nbhd) { continue; }
+        agg[to_size(i)] = n_agg;
+        for (const index_t j : strength.row_cols(i)) { agg[to_size(j)] = n_agg; }
+        ++n_agg;
+    }
+    // Pass 2: attach leftovers to any aggregated strong neighbour.
+    for (index_t i = 0; i < n; ++i) {
+        if (agg[to_size(i)] != kUnassigned) { continue; }
+        for (const index_t j : strength.row_cols(i)) {
+            if (agg[to_size(j)] != kUnassigned) {
+                agg[to_size(i)] = agg[to_size(j)];
+                break;
+            }
+        }
+    }
+    // Pass 3: isolated nodes become singleton aggregates.
+    for (index_t i = 0; i < n; ++i) {
+        if (agg[to_size(i)] == kUnassigned) { agg[to_size(i)] = n_agg++; }
+    }
+
+    CsrMatrix<double> t;
+    t.rows = n;
+    t.cols = std::max<index_t>(n_agg, 1);
+    t.rpt.resize(to_size(n) + 1);
+    t.col.resize(to_size(n));
+    t.val.assign(to_size(n), 1.0);
+    for (index_t i = 0; i <= n; ++i) { t.rpt[to_size(i)] = i; }
+    for (index_t i = 0; i < n; ++i) { t.col[to_size(i)] = agg[to_size(i)]; }
+    t.validate();
+    return t;
+}
+
+AmgHierarchy::AmgHierarchy(sim::Device& dev, const CsrMatrix<double>& a, const AmgOptions& opt)
+    : opt_(opt)
+{
+    NSPARSE_EXPECTS(a.rows == a.cols, "AMG needs a square operator");
+    if (!opt_.spgemm) {
+        opt_.spgemm = [](sim::Device& d, const CsrMatrix<double>& x,
+                         const CsrMatrix<double>& y) { return hash_spgemm<double>(d, x, y); };
+    }
+    CsrMatrix<double> current = a;
+    current.sort_rows();
+    const double nnz0 = std::max<double>(1.0, static_cast<double>(a.nnz()));
+
+    while (true) {
+        AmgLevel level;
+        level.a = current;
+        level.inv_diag.resize(to_size(current.rows), 0.0);
+        const auto d = diagonal(current);
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            level.inv_diag[i] = d[i] != 0.0 ? 1.0 / d[i] : 0.0;
+        }
+        stats_.operator_complexity += static_cast<double>(current.nnz()) / nnz0;
+        levels_.push_back(std::move(level));
+        ++stats_.levels;
+
+        if (current.rows <= opt_.coarse_size ||
+            to_index(levels_.size()) >= opt_.max_levels) {
+            break;
+        }
+
+        // --- aggregation-based prolongation ---
+        const auto strength = strength_graph(current, opt_.strength_theta);
+        CsrMatrix<double> p = aggregate(strength);
+        if (p.cols >= current.rows) { break; }  // coarsening stalled
+
+        if (opt_.smoothed_aggregation) {
+            // P = (I - w D^-1 A) T  ->  T - w * (D^-1 A) * T  (one SpGEMM)
+            CsrMatrix<double> dinv_a = current;
+            std::vector<double> dinv(levels_.back().inv_diag);
+            scale_rows(dinv_a, std::span<const double>(dinv));
+            const auto at = opt_.spgemm(dev, dinv_a, p);
+            stats_.total_spgemm_products += at.stats.intermediate_products;
+            stats_.spgemm_seconds += at.stats.seconds;
+            p = csr_add(p, at.matrix, 1.0, -opt_.jacobi_omega);
+        }
+
+        // --- Galerkin product A_c = (P^T) (A P): two SpGEMMs ---
+        const auto r = transpose(p);
+        const auto ap = opt_.spgemm(dev, current, p);
+        const auto ac = opt_.spgemm(dev, r, ap.matrix);
+        stats_.total_spgemm_products +=
+            ap.stats.intermediate_products + ac.stats.intermediate_products;
+        stats_.spgemm_seconds += ap.stats.seconds + ac.stats.seconds;
+
+        levels_.back().p = std::move(p);
+        levels_.back().r = r;
+        current = ac.matrix;
+    }
+}
+
+void AmgHierarchy::cycle(std::size_t level, std::span<const double> b,
+                         std::span<double> x) const
+{
+    const AmgLevel& lv = levels_[level];
+    const auto n = to_size(lv.a.rows);
+    std::vector<double> tmp(n);
+
+    const auto jacobi = [&](int sweeps) {
+        for (int s = 0; s < sweeps; ++s) {
+            spmv(lv.a, std::span<const double>(x.data(), n), std::span<double>(tmp));
+            for (std::size_t i = 0; i < n; ++i) {
+                x[i] += opt_.jacobi_omega * lv.inv_diag[i] * (b[i] - tmp[i]);
+            }
+        }
+    };
+
+    if (level + 1 == levels_.size()) {
+        // Coarsest: a few strong Jacobi sweeps stand in for a direct solve.
+        jacobi(20);
+        return;
+    }
+
+    jacobi(opt_.pre_smooth);
+
+    // restrict residual
+    spmv(lv.a, std::span<const double>(x.data(), n), std::span<double>(tmp));
+    for (std::size_t i = 0; i < n; ++i) { tmp[i] = b[i] - tmp[i]; }
+    const auto nc = to_size(lv.p.cols);
+    std::vector<double> bc(nc);
+    std::vector<double> xc(nc, 0.0);
+    spmv(lv.r, std::span<const double>(tmp), std::span<double>(bc));
+
+    cycle(level + 1, std::span<const double>(bc), std::span<double>(xc));
+
+    // prolongate + correct
+    spmv(lv.p, std::span<const double>(xc), std::span<double>(tmp));
+    for (std::size_t i = 0; i < n; ++i) { x[i] += tmp[i]; }
+
+    jacobi(opt_.post_smooth);
+}
+
+void AmgHierarchy::v_cycle(std::span<const double> b, std::span<double> x) const
+{
+    NSPARSE_EXPECTS(!levels_.empty(), "empty hierarchy");
+    NSPARSE_EXPECTS(b.size() == to_size(levels_.front().a.rows), "v_cycle: size mismatch");
+    cycle(0, b, x);
+}
+
+}  // namespace nsparse::solver

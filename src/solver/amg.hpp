@@ -1,0 +1,82 @@
+// Smoothed-aggregation algebraic multigrid built on the paper's SpGEMM.
+//
+// The paper motivates SpGEMM with AMG (§I; [1] Bell/Dalton/Olson) and
+// names "solvers and real world applications" as future work (§VI). The
+// dominant setup cost of AMG is exactly SpGEMM: smoothing the tentative
+// prolongation (P = (I - w D^-1 A) T) and the Galerkin triple product
+// (A_c = R (A P)) — both run here through nsparse::hash_spgemm on a shared
+// simulated device, so AMG setup doubles as an application-level SpGEMM
+// workload with rectangular, non-square-pattern products.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "gpusim/algorithm.hpp"
+#include "sparse/csr_ops.hpp"
+#include "sparse/transpose.hpp"
+
+namespace nsparse::solver {
+
+struct AmgOptions {
+    /// SpGEMM engine used for prolongation smoothing and the Galerkin
+    /// products; defaults to the paper's hash SpGEMM. Swappable so the
+    /// application benchmark can compare the baseline libraries inside the
+    /// paper's motivating workload.
+    SpgemmFn<double> spgemm;
+
+    index_t max_levels = 10;
+    index_t coarse_size = 64;      ///< stop coarsening below this many rows
+    double strength_theta = 0.25;  ///< strength-of-connection threshold
+    double jacobi_omega = 0.666;   ///< prolongation smoother + cycle smoother weight
+    int pre_smooth = 1;
+    int post_smooth = 1;
+    bool smoothed_aggregation = true;  ///< false: plain (unsmoothed) aggregation
+};
+
+struct AmgLevel {
+    CsrMatrix<double> a;            ///< operator on this level
+    CsrMatrix<double> p;            ///< prolongation to this level's fine grid
+    CsrMatrix<double> r;            ///< restriction (P^T)
+    std::vector<double> inv_diag;   ///< Jacobi smoother data
+};
+
+/// Statistics of the hierarchy build — how much SpGEMM work the setup did.
+struct AmgSetupStats {
+    int levels = 0;
+    wide_t total_spgemm_products = 0;
+    double spgemm_seconds = 0.0;  ///< simulated device time in SpGEMM calls
+    double operator_complexity = 0.0;  ///< sum nnz(A_l) / nnz(A_0)
+};
+
+/// Algebraic multigrid hierarchy; apply as a V-cycle preconditioner.
+class AmgHierarchy {
+public:
+    /// Builds the hierarchy; every SpGEMM runs on `dev`.
+    AmgHierarchy(sim::Device& dev, const CsrMatrix<double>& a, const AmgOptions& opt = {});
+
+    /// One V-cycle: x <- x + M^-1 (b - A x) approximately solving A x = b.
+    void v_cycle(std::span<const double> b, std::span<double> x) const;
+
+    [[nodiscard]] const AmgSetupStats& stats() const { return stats_; }
+    [[nodiscard]] const std::vector<AmgLevel>& levels() const { return levels_; }
+
+private:
+    void cycle(std::size_t level, std::span<const double> b, std::span<double> x) const;
+
+    std::vector<AmgLevel> levels_;
+    AmgOptions opt_;
+    AmgSetupStats stats_;
+};
+
+/// Strength-of-connection filter: keeps a_ij with
+/// |a_ij| >= theta * sqrt(|a_ii| |a_jj|)  (classical SA strength).
+[[nodiscard]] CsrMatrix<double> strength_graph(const CsrMatrix<double>& a, double theta);
+
+/// Greedy aggregation over the strength graph; returns the tentative
+/// piecewise-constant prolongation T (n_fine x n_coarse).
+[[nodiscard]] CsrMatrix<double> aggregate(const CsrMatrix<double>& strength);
+
+}  // namespace nsparse::solver

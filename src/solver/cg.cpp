@@ -1,0 +1,64 @@
+#include "solver/cg.hpp"
+
+#include <algorithm>
+
+namespace nsparse::solver {
+
+CgResult conjugate_gradient(const CsrMatrix<double>& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& opt,
+                            const Preconditioner& precond)
+{
+    NSPARSE_EXPECTS(a.rows == a.cols, "cg: matrix must be square");
+    const auto n = to_size(a.rows);
+    NSPARSE_EXPECTS(b.size() == n && x.size() == n, "cg: vector size mismatch");
+
+    std::vector<double> r(n);
+    std::vector<double> z(n);
+    std::vector<double> p(n);
+    std::vector<double> ap(n);
+
+    spmv(a, std::span<const double>(x.data(), n), std::span<double>(r));
+    for (std::size_t i = 0; i < n; ++i) { r[i] = b[i] - r[i]; }
+
+    const double bnorm = std::max(norm2(std::span<const double>(b)), 1e-300);
+
+    const auto apply_precond = [&] {
+        if (precond) {
+            std::fill(z.begin(), z.end(), 0.0);
+            precond(std::span<const double>(r), std::span<double>(z));
+        } else {
+            std::copy(r.begin(), r.end(), z.begin());
+        }
+    };
+
+    apply_precond();
+    std::copy(z.begin(), z.end(), p.begin());
+    double rz = dot(std::span<const double>(r), std::span<const double>(z));
+
+    CgResult result;
+    for (int it = 0; it < opt.max_iterations; ++it) {
+        result.relative_residual = norm2(std::span<const double>(r)) / bnorm;
+        if (result.relative_residual < opt.rel_tolerance) {
+            result.converged = true;
+            return result;
+        }
+        spmv(a, std::span<const double>(p.data(), n), std::span<double>(ap));
+        const double pap = dot(std::span<const double>(p), std::span<const double>(ap));
+        if (pap <= 0.0) { break; }  // not SPD (or breakdown)
+        const double alpha = rz / pap;
+        axpy(alpha, std::span<const double>(p), std::span<double>(x));
+        axpy(-alpha, std::span<const double>(ap), std::span<double>(r));
+        apply_precond();
+        const double rz_new = dot(std::span<const double>(r), std::span<const double>(z));
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        for (std::size_t i = 0; i < n; ++i) { p[i] = z[i] + beta * p[i]; }
+        ++result.iterations;
+    }
+    result.relative_residual =
+        norm2(std::span<const double>(r)) / bnorm;
+    result.converged = result.relative_residual < opt.rel_tolerance;
+    return result;
+}
+
+}  // namespace nsparse::solver

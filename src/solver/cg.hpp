@@ -1,0 +1,31 @@
+// Conjugate gradients, optionally preconditioned with an AMG V-cycle —
+// the solver context the paper's SpGEMM accelerates (§I/§VI).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sparse/csr_ops.hpp"
+
+namespace nsparse::solver {
+
+struct CgOptions {
+    int max_iterations = 500;
+    double rel_tolerance = 1e-8;
+};
+
+struct CgResult {
+    int iterations = 0;
+    double relative_residual = 0.0;
+    bool converged = false;
+};
+
+/// z = M^-1 r; identity when empty.
+using Preconditioner = std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Solves A x = b for SPD A; x holds the initial guess on entry.
+CgResult conjugate_gradient(const CsrMatrix<double>& a, std::span<const double> b,
+                            std::span<double> x, const CgOptions& opt = {},
+                            const Preconditioner& precond = {});
+
+}  // namespace nsparse::solver

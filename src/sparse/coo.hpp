@@ -1,0 +1,126 @@
+// Coordinate (COO) sparse matrix container and CSR<->COO conversion.
+//
+// COO is the paper's second background format (§II-A) and the working
+// representation of the ESC baseline's expansion phase: one
+// (row, col, value) triple per intermediate product.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse {
+
+/// COO sparse matrix as structure-of-arrays. May contain duplicate
+/// (row, col) entries; `compress()` folds them.
+template <ValueType T>
+struct CooMatrix {
+    index_t rows = 0;
+    index_t cols = 0;
+    std::vector<index_t> row;
+    std::vector<index_t> col;
+    std::vector<T> val;
+
+    [[nodiscard]] std::size_t nnz() const { return row.size(); }
+
+    void validate() const
+    {
+        NSPARSE_EXPECTS(rows >= 0 && cols >= 0, "negative matrix dimension");
+        NSPARSE_EXPECTS(row.size() == col.size() && col.size() == val.size(),
+                        "COO arrays must have equal length");
+        for (std::size_t k = 0; k < row.size(); ++k) {
+            NSPARSE_EXPECTS(row[k] >= 0 && row[k] < rows, "COO row index out of range");
+            NSPARSE_EXPECTS(col[k] >= 0 && col[k] < cols, "COO column index out of range");
+        }
+    }
+
+    /// Sorts triples by (row, col). Stable so duplicate accumulation order
+    /// is reproducible.
+    void sort()
+    {
+        std::vector<std::size_t> perm(row.size());
+        std::iota(perm.begin(), perm.end(), std::size_t{0});
+        std::stable_sort(perm.begin(), perm.end(), [this](std::size_t a, std::size_t b) {
+            return row[a] != row[b] ? row[a] < row[b] : col[a] < col[b];
+        });
+        apply_permutation(perm);
+    }
+
+    /// Sorts and accumulates duplicate (row, col) entries into one triple.
+    void compress()
+    {
+        sort();
+        std::size_t out = 0;
+        for (std::size_t k = 0; k < row.size(); ++k) {
+            if (out > 0 && row[out - 1] == row[k] && col[out - 1] == col[k]) {
+                val[out - 1] += val[k];
+            } else {
+                row[out] = row[k];
+                col[out] = col[k];
+                val[out] = val[k];
+                ++out;
+            }
+        }
+        row.resize(out);
+        col.resize(out);
+        val.resize(out);
+    }
+
+private:
+    void apply_permutation(const std::vector<std::size_t>& perm)
+    {
+        std::vector<index_t> r(perm.size());
+        std::vector<index_t> c(perm.size());
+        std::vector<T> v(perm.size());
+        for (std::size_t k = 0; k < perm.size(); ++k) {
+            r[k] = row[perm[k]];
+            c[k] = col[perm[k]];
+            v[k] = val[perm[k]];
+        }
+        row = std::move(r);
+        col = std::move(c);
+        val = std::move(v);
+    }
+};
+
+/// CSR -> COO expansion.
+template <ValueType T>
+[[nodiscard]] CooMatrix<T> to_coo(const CsrMatrix<T>& a)
+{
+    CooMatrix<T> out;
+    out.rows = a.rows;
+    out.cols = a.cols;
+    out.row.reserve(to_size(a.nnz()));
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            out.row.push_back(i);
+        }
+    }
+    out.col = a.col;
+    out.val = a.val;
+    return out;
+}
+
+/// COO -> CSR. Requires triples sorted by row (column order within a row is
+/// preserved); duplicates are kept as-is — call `compress()` first if the
+/// output must be canonical.
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> to_csr(const CooMatrix<T>& a)
+{
+    NSPARSE_EXPECTS(std::is_sorted(a.row.begin(), a.row.end()), "COO must be sorted by row");
+    CsrMatrix<T> out;
+    out.rows = a.rows;
+    out.cols = a.cols;
+    out.rpt.assign(to_size(a.rows) + 1, 0);
+    for (const index_t r : a.row) { ++out.rpt[to_size(r) + 1]; }
+    std::partial_sum(out.rpt.begin(), out.rpt.end(), out.rpt.begin());
+    out.col = a.col;
+    out.val = a.val;
+    out.validate();
+    return out;
+}
+
+}  // namespace nsparse

@@ -1,0 +1,152 @@
+// Compressed Sparse Row (CSR) matrix container.
+//
+// CSR is the input and output format of every SpGEMM algorithm in this
+// library, exactly as in the paper (§II-A): a row-pointer array `rpt` of
+// length rows+1, and per-nonzero column-index (`col`) and value (`val`)
+// arrays of length nnz.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace nsparse {
+
+/// CSR sparse matrix. Invariants (checked by `validate()`):
+///  * rpt.size() == rows + 1, rpt.front() == 0, rpt.back() == nnz
+///  * rpt is non-decreasing
+///  * col.size() == val.size() == nnz, all col in [0, cols)
+/// Column indices within a row are *not* required to be sorted by the
+/// container itself; algorithms that need sorted rows say so and
+/// `sort_rows()` / `has_sorted_rows()` are provided.
+template <ValueType T>
+struct CsrMatrix {
+    index_t rows = 0;
+    index_t cols = 0;
+    std::vector<index_t> rpt;  ///< row pointers, size rows+1
+    std::vector<index_t> col;  ///< column indices, size nnz
+    std::vector<T> val;        ///< values, size nnz
+
+    CsrMatrix() : rpt(1, 0) {}
+
+    CsrMatrix(index_t rows_, index_t cols_, std::vector<index_t> rpt_, std::vector<index_t> col_,
+              std::vector<T> val_)
+        : rows(rows_), cols(cols_), rpt(std::move(rpt_)), col(std::move(col_)),
+          val(std::move(val_))
+    {
+        validate();
+    }
+
+    /// Empty matrix of the given shape (all-zero, nnz == 0).
+    static CsrMatrix zero(index_t rows_, index_t cols_)
+    {
+        CsrMatrix m;
+        m.rows = rows_;
+        m.cols = cols_;
+        m.rpt.assign(to_size(rows_) + 1, 0);
+        return m;
+    }
+
+    /// Identity matrix of order n.
+    static CsrMatrix identity(index_t n)
+    {
+        CsrMatrix m;
+        m.rows = m.cols = n;
+        m.rpt.resize(to_size(n) + 1);
+        std::iota(m.rpt.begin(), m.rpt.end(), index_t{0});
+        m.col.resize(to_size(n));
+        std::iota(m.col.begin(), m.col.end(), index_t{0});
+        m.val.assign(to_size(n), T{1});
+        return m;
+    }
+
+    [[nodiscard]] index_t nnz() const { return rpt.empty() ? 0 : rpt.back(); }
+
+    [[nodiscard]] index_t row_nnz(index_t i) const
+    {
+        return rpt[to_size(i) + 1] - rpt[to_size(i)];
+    }
+
+    [[nodiscard]] std::span<const index_t> row_cols(index_t i) const
+    {
+        return {col.data() + rpt[to_size(i)], to_size(row_nnz(i))};
+    }
+
+    [[nodiscard]] std::span<const T> row_vals(index_t i) const
+    {
+        return {val.data() + rpt[to_size(i)], to_size(row_nnz(i))};
+    }
+
+    /// Number of bytes the CSR arrays occupy (the figure-4 accounting uses
+    /// this for inputs/outputs resident on the simulated device).
+    [[nodiscard]] std::size_t byte_size() const
+    {
+        return rpt.size() * sizeof(index_t) + col.size() * sizeof(index_t) +
+               val.size() * sizeof(T);
+    }
+
+    /// Throws PreconditionError when a structural invariant is broken.
+    void validate() const
+    {
+        NSPARSE_EXPECTS(rows >= 0 && cols >= 0, "negative matrix dimension");
+        NSPARSE_EXPECTS(rpt.size() == to_size(rows) + 1, "rpt size must be rows+1");
+        NSPARSE_EXPECTS(rpt.front() == 0, "rpt must start at 0");
+        NSPARSE_EXPECTS(std::is_sorted(rpt.begin(), rpt.end()), "rpt must be non-decreasing");
+        NSPARSE_EXPECTS(col.size() == to_size(rpt.back()), "col size must equal nnz");
+        NSPARSE_EXPECTS(val.size() == col.size(), "val size must equal col size");
+        NSPARSE_EXPECTS(std::all_of(col.begin(), col.end(),
+                                    [this](index_t c) { return c >= 0 && c < cols; }),
+                        "column index out of range");
+    }
+
+    /// True when every row's column indices are strictly increasing
+    /// (implies no duplicate entries).
+    [[nodiscard]] bool has_sorted_rows() const
+    {
+        for (index_t i = 0; i < rows; ++i) {
+            const auto cs = row_cols(i);
+            for (std::size_t k = 1; k < cs.size(); ++k) {
+                if (cs[k] <= cs[k - 1]) { return false; }
+            }
+        }
+        return true;
+    }
+
+    /// Sorts every row by column index (stable pairing with values).
+    void sort_rows()
+    {
+        std::vector<index_t> perm;
+        std::vector<index_t> ctmp;
+        std::vector<T> vtmp;
+        for (index_t i = 0; i < rows; ++i) {
+            const std::size_t b = to_size(rpt[to_size(i)]);
+            const std::size_t n = to_size(row_nnz(i));
+            if (n < 2) { continue; }
+            perm.resize(n);
+            std::iota(perm.begin(), perm.end(), index_t{0});
+            std::sort(perm.begin(), perm.end(), [&](index_t x, index_t y) {
+                return col[b + to_size(x)] < col[b + to_size(y)];
+            });
+            ctmp.resize(n);
+            vtmp.resize(n);
+            for (std::size_t k = 0; k < n; ++k) {
+                ctmp[k] = col[b + to_size(perm[k])];
+                vtmp[k] = val[b + to_size(perm[k])];
+            }
+            std::copy(ctmp.begin(), ctmp.end(), col.begin() + static_cast<std::ptrdiff_t>(b));
+            std::copy(vtmp.begin(), vtmp.end(), val.begin() + static_cast<std::ptrdiff_t>(b));
+        }
+    }
+
+    /// Structural + numerical exact equality (useful after sort_rows()).
+    friend bool operator==(const CsrMatrix& a, const CsrMatrix& b)
+    {
+        return a.rows == b.rows && a.cols == b.cols && a.rpt == b.rpt && a.col == b.col &&
+               a.val == b.val;
+    }
+};
+
+}  // namespace nsparse

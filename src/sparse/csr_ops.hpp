@@ -1,0 +1,125 @@
+// Host-side CSR linear-algebra utilities used by the solver substrate:
+// SpMV, matrix addition, diagonal extraction and scaling. These are the
+// cheap O(nnz) companions of SpGEMM in an AMG setup — the paper's point is
+// that SpGEMM dominates, so these run as plain host code.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse {
+
+/// y = A x  (plain CSR SpMV).
+template <ValueType T>
+void spmv(const CsrMatrix<T>& a, std::span<const T> x, std::span<T> y)
+{
+    NSPARSE_EXPECTS(x.size() == to_size(a.cols), "spmv: x size mismatch");
+    NSPARSE_EXPECTS(y.size() == to_size(a.rows), "spmv: y size mismatch");
+    for (index_t i = 0; i < a.rows; ++i) {
+        T acc{0};
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            acc += a.val[to_size(k)] * x[to_size(a.col[to_size(k)])];
+        }
+        y[to_size(i)] = acc;
+    }
+}
+
+/// C = alpha*A + beta*B with sorted-row inputs; result rows sorted.
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> csr_add(const CsrMatrix<T>& a, const CsrMatrix<T>& b, T alpha = T{1},
+                                   T beta = T{1})
+{
+    NSPARSE_EXPECTS(a.rows == b.rows && a.cols == b.cols, "csr_add: shape mismatch");
+    NSPARSE_EXPECTS(a.has_sorted_rows() && b.has_sorted_rows(),
+                    "csr_add: inputs must have sorted rows");
+    CsrMatrix<T> c;
+    c.rows = a.rows;
+    c.cols = a.cols;
+    c.rpt.assign(to_size(a.rows) + 1, 0);
+    c.col.reserve(a.col.size() + b.col.size());
+    c.val.reserve(a.col.size() + b.col.size());
+    for (index_t i = 0; i < a.rows; ++i) {
+        auto ca = a.row_cols(i);
+        auto va = a.row_vals(i);
+        auto cb = b.row_cols(i);
+        auto vb = b.row_vals(i);
+        std::size_t x = 0;
+        std::size_t y = 0;
+        while (x < ca.size() || y < cb.size()) {
+            if (y == cb.size() || (x < ca.size() && ca[x] < cb[y])) {
+                c.col.push_back(ca[x]);
+                c.val.push_back(alpha * va[x]);
+                ++x;
+            } else if (x == ca.size() || cb[y] < ca[x]) {
+                c.col.push_back(cb[y]);
+                c.val.push_back(beta * vb[y]);
+                ++y;
+            } else {
+                c.col.push_back(ca[x]);
+                c.val.push_back(alpha * va[x] + beta * vb[y]);
+                ++x;
+                ++y;
+            }
+        }
+        c.rpt[to_size(i) + 1] = to_index(c.col.size());
+    }
+    c.validate();
+    return c;
+}
+
+/// Diagonal of a square matrix (zeros where absent).
+template <ValueType T>
+[[nodiscard]] std::vector<T> diagonal(const CsrMatrix<T>& a)
+{
+    NSPARSE_EXPECTS(a.rows == a.cols, "diagonal: matrix must be square");
+    std::vector<T> d(to_size(a.rows), T{0});
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            if (a.col[to_size(k)] == i) { d[to_size(i)] = a.val[to_size(k)]; }
+        }
+    }
+    return d;
+}
+
+/// Left-scales rows: A <- diag(s) * A.
+template <ValueType T>
+void scale_rows(CsrMatrix<T>& a, std::span<const T> s)
+{
+    NSPARSE_EXPECTS(s.size() == to_size(a.rows), "scale_rows: size mismatch");
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            a.val[to_size(k)] *= s[to_size(i)];
+        }
+    }
+}
+
+// --- small vector helpers (solver substrate) ---------------------------
+
+template <ValueType T>
+[[nodiscard]] T dot(std::span<const T> x, std::span<const T> y)
+{
+    NSPARSE_EXPECTS(x.size() == y.size(), "dot: size mismatch");
+    T s{0};
+    for (std::size_t i = 0; i < x.size(); ++i) { s += x[i] * y[i]; }
+    return s;
+}
+
+template <ValueType T>
+[[nodiscard]] double norm2(std::span<const T> x)
+{
+    double s = 0.0;
+    for (const T v : x) { s += static_cast<double>(v) * static_cast<double>(v); }
+    return std::sqrt(s);
+}
+
+/// y += alpha * x
+template <ValueType T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y)
+{
+    NSPARSE_EXPECTS(x.size() == y.size(), "axpy: size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) { y[i] += alpha * x[i]; }
+}
+
+}  // namespace nsparse

@@ -1,0 +1,82 @@
+// Small dense-matrix bridge used by tests: converting tiny CSR matrices to
+// dense form gives an independent O(n^3) multiplication oracle.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse {
+
+/// Row-major dense matrix of doubles (tests only; not performance code).
+struct DenseMatrix {
+    index_t rows = 0;
+    index_t cols = 0;
+    std::vector<double> data;  ///< rows*cols, row major
+
+    [[nodiscard]] double& at(index_t i, index_t j)
+    {
+        return data[to_size(i) * to_size(cols) + to_size(j)];
+    }
+    [[nodiscard]] double at(index_t i, index_t j) const
+    {
+        return data[to_size(i) * to_size(cols) + to_size(j)];
+    }
+};
+
+template <ValueType T>
+[[nodiscard]] DenseMatrix to_dense(const CsrMatrix<T>& a)
+{
+    DenseMatrix d;
+    d.rows = a.rows;
+    d.cols = a.cols;
+    d.data.assign(to_size(a.rows) * to_size(a.cols), 0.0);
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            // += rather than =: CSR input may carry duplicates.
+            d.at(i, a.col[to_size(k)]) += static_cast<double>(a.val[to_size(k)]);
+        }
+    }
+    return d;
+}
+
+[[nodiscard]] inline DenseMatrix dense_multiply(const DenseMatrix& a, const DenseMatrix& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    DenseMatrix c;
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.data.assign(to_size(a.rows) * to_size(b.cols), 0.0);
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = 0; k < a.cols; ++k) {
+            const double av = a.at(i, k);
+            if (av == 0.0) { continue; }
+            for (index_t j = 0; j < b.cols; ++j) { c.at(i, j) += av * b.at(k, j); }
+        }
+    }
+    return c;
+}
+
+/// Dense -> CSR dropping exact zeros; rows come out sorted.
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> from_dense(const DenseMatrix& d, double drop_tol = 0.0)
+{
+    CsrMatrix<T> m;
+    m.rows = d.rows;
+    m.cols = d.cols;
+    m.rpt.assign(to_size(d.rows) + 1, 0);
+    for (index_t i = 0; i < d.rows; ++i) {
+        for (index_t j = 0; j < d.cols; ++j) {
+            const double v = d.at(i, j);
+            if (std::abs(v) > drop_tol) {
+                m.col.push_back(j);
+                m.val.push_back(static_cast<T>(v));
+            }
+        }
+        m.rpt[to_size(i) + 1] = to_index(m.col.size());
+    }
+    m.validate();
+    return m;
+}
+
+}  // namespace nsparse

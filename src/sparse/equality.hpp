@@ -1,0 +1,69 @@
+// Approximate matrix comparison used by every cross-algorithm test.
+//
+// Different SpGEMM algorithms accumulate intermediate products in different
+// orders, so values agree only up to floating-point rounding; the
+// comparison is structural-exact and value-approximate with a
+// magnitude-aware tolerance.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse {
+
+/// Result of an approximate comparison: empty optional means "equal".
+template <ValueType T>
+[[nodiscard]] std::optional<std::string> compare_csr(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                                     double rel_tol = 1e-5,
+                                                     double abs_tol = 1e-30)
+{
+    const auto fail = [](const std::string& s) { return std::optional<std::string>(s); };
+    if (a.rows != b.rows || a.cols != b.cols) { return fail("shape mismatch"); }
+    if (a.rpt != b.rpt) {
+        for (std::size_t i = 0; i + 1 < a.rpt.size(); ++i) {
+            if (a.rpt[i + 1] - a.rpt[i] != b.rpt[i + 1] - b.rpt[i]) {
+                std::ostringstream os;
+                os << "row " << i << " nnz mismatch: " << (a.rpt[i + 1] - a.rpt[i]) << " vs "
+                   << (b.rpt[i + 1] - b.rpt[i]);
+                return fail(os.str());
+            }
+        }
+        return fail("rpt mismatch");
+    }
+    if (a.col != b.col) {
+        for (std::size_t k = 0; k < a.col.size(); ++k) {
+            if (a.col[k] != b.col[k]) {
+                std::ostringstream os;
+                os << "col mismatch at nz " << k << ": " << a.col[k] << " vs " << b.col[k];
+                return fail(os.str());
+            }
+        }
+    }
+    for (std::size_t k = 0; k < a.val.size(); ++k) {
+        const double x = static_cast<double>(a.val[k]);
+        const double y = static_cast<double>(b.val[k]);
+        const double scale = std::max(std::abs(x), std::abs(y));
+        if (std::abs(x - y) > abs_tol + rel_tol * scale) {
+            std::ostringstream os;
+            os << "value mismatch at nz " << k << " (col " << a.col[k] << "): " << x << " vs "
+               << y;
+            return fail(os.str());
+        }
+    }
+    return std::nullopt;
+}
+
+/// Convenience predicate form of compare_csr.
+template <ValueType T>
+[[nodiscard]] bool approx_equal(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                double rel_tol = 1e-5)
+{
+    return !compare_csr(a, b, rel_tol).has_value();
+}
+
+}  // namespace nsparse

@@ -1,0 +1,58 @@
+// Error handling: a small exception hierarchy plus contract macros.
+//
+// Following the C++ Core Guidelines (E.2, I.6): preconditions are checked
+// with NSPARSE_EXPECTS and throw on violation so callers can test error
+// paths; invariants that indicate library bugs use NSPARSE_ASSERT and abort
+// in debug builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nsparse {
+
+/// Base class of every exception thrown by this library.
+class Error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition (bad dimensions, unsorted
+/// input where sorted is required, ...).
+class PreconditionError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Malformed external data (MatrixMarket parse failures etc.).
+class ParseError : public Error {
+public:
+    using Error::Error;
+};
+
+/// The simulated device ran out of memory. Benchmarks catch this to print
+/// the "-" entries of the paper's Table III.
+class DeviceOutOfMemory : public Error {
+public:
+    using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg,
+                                            const char* file, int line)
+{
+    throw PreconditionError(std::string("precondition failed: ") + msg + " [" + expr + "] at " +
+                            file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace nsparse
+
+#define NSPARSE_EXPECTS(cond, msg)                                                      \
+    do {                                                                                \
+        if (!(cond)) {                                                                  \
+            ::nsparse::detail::throw_precondition(#cond, (msg), __FILE__, __LINE__);    \
+        }                                                                               \
+    } while (false)
+
+#define NSPARSE_ENSURES(cond, msg) NSPARSE_EXPECTS(cond, msg)

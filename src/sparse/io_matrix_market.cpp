@@ -1,0 +1,134 @@
+#include "sparse/io_matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+
+namespace nsparse {
+
+namespace {
+
+std::string lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+struct Header {
+    bool pattern = false;
+    bool symmetric = false;
+    bool skew = false;
+};
+
+Header parse_header(const std::string& line)
+{
+    std::istringstream is(line);
+    std::string banner;
+    std::string object;
+    std::string format;
+    std::string field;
+    std::string symmetry;
+    is >> banner >> object >> format >> field >> symmetry;
+    if (banner != "%%MatrixMarket") { throw ParseError("missing %%MatrixMarket banner"); }
+    if (lower(object) != "matrix") { throw ParseError("unsupported MatrixMarket object: " + object); }
+    if (lower(format) != "coordinate") {
+        throw ParseError("only coordinate format is supported, got: " + format);
+    }
+    Header h;
+    const std::string f = lower(field);
+    if (f == "pattern") {
+        h.pattern = true;
+    } else if (f != "real" && f != "integer" && f != "double") {
+        throw ParseError("unsupported MatrixMarket field: " + field);
+    }
+    const std::string s = lower(symmetry);
+    if (s == "symmetric") {
+        h.symmetric = true;
+    } else if (s == "skew-symmetric") {
+        h.symmetric = true;
+        h.skew = true;
+    } else if (s != "general") {
+        throw ParseError("unsupported MatrixMarket symmetry: " + symmetry);
+    }
+    return h;
+}
+
+}  // namespace
+
+CsrMatrix<double> read_matrix_market(std::istream& in)
+{
+    std::string line;
+    if (!std::getline(in, line)) { throw ParseError("empty MatrixMarket input"); }
+    const Header h = parse_header(line);
+
+    // Skip comments.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') { break; }
+    }
+    std::istringstream sz(line);
+    long long rows = 0;
+    long long cols = 0;
+    long long entries = 0;
+    if (!(sz >> rows >> cols >> entries)) { throw ParseError("malformed size line: " + line); }
+    if (rows < 0 || cols < 0 || entries < 0) { throw ParseError("negative size in header"); }
+
+    CooMatrix<double> coo;
+    coo.rows = to_index(rows);
+    coo.cols = to_index(cols);
+    coo.row.reserve(to_size(entries));
+    coo.col.reserve(to_size(entries));
+    coo.val.reserve(to_size(entries));
+
+    for (long long k = 0; k < entries; ++k) {
+        long long r = 0;
+        long long c = 0;
+        double v = 1.0;
+        if (!(in >> r >> c)) { throw ParseError("unexpected end of entries at " + std::to_string(k)); }
+        if (!h.pattern && !(in >> v)) { throw ParseError("missing value at entry " + std::to_string(k)); }
+        if (r < 1 || r > rows || c < 1 || c > cols) {
+            throw ParseError("entry index out of range at " + std::to_string(k));
+        }
+        coo.row.push_back(to_index(r - 1));
+        coo.col.push_back(to_index(c - 1));
+        coo.val.push_back(v);
+        if (h.symmetric && r != c) {
+            coo.row.push_back(to_index(c - 1));
+            coo.col.push_back(to_index(r - 1));
+            coo.val.push_back(h.skew ? -v : v);
+        }
+    }
+    coo.compress();
+    return to_csr(coo);
+}
+
+CsrMatrix<double> read_matrix_market_file(const std::string& path)
+{
+    std::ifstream f(path);
+    if (!f) { throw ParseError("cannot open MatrixMarket file: " + path); }
+    return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix<double>& m)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows << ' ' << m.cols << ' ' << m.nnz() << '\n';
+    out.precision(17);
+    for (index_t i = 0; i < m.rows; ++i) {
+        for (index_t k = m.rpt[to_size(i)]; k < m.rpt[to_size(i) + 1]; ++k) {
+            out << (i + 1) << ' ' << (m.col[to_size(k)] + 1) << ' ' << m.val[to_size(k)] << '\n';
+        }
+    }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix<double>& m)
+{
+    std::ofstream f(path);
+    if (!f) { throw ParseError("cannot open file for writing: " + path); }
+    write_matrix_market(f, m);
+}
+
+}  // namespace nsparse

@@ -1,0 +1,44 @@
+// MatrixMarket (.mtx) I/O.
+//
+// The paper evaluates on University-of-Florida collection matrices, which
+// are distributed in this format. The benchmarks default to synthetic
+// analogues (no network in this environment), but any real .mtx file can be
+// dropped in via the NSPARSE_MATRIX_DIR environment variable — the loaders
+// here handle the `coordinate real/integer/pattern general/symmetric`
+// subset that covers the whole evaluation set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse {
+
+/// Reads a MatrixMarket stream into CSR (rows sorted, duplicates folded,
+/// symmetric storage expanded). Throws ParseError on malformed input.
+CsrMatrix<double> read_matrix_market(std::istream& in);
+
+/// File variant; throws ParseError when the file cannot be opened.
+CsrMatrix<double> read_matrix_market_file(const std::string& path);
+
+/// Writes CSR as `coordinate real general` (1-based indices).
+void write_matrix_market(std::ostream& out, const CsrMatrix<double>& m);
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix<double>& m);
+
+/// Converts a double CSR matrix to another value type (float benchmarks).
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> convert_values(const CsrMatrix<double>& m)
+{
+    CsrMatrix<T> out;
+    out.rows = m.rows;
+    out.cols = m.cols;
+    out.rpt = m.rpt;
+    out.col = m.col;
+    out.val.reserve(m.val.size());
+    for (const double v : m.val) { out.val.push_back(static_cast<T>(v)); }
+    return out;
+}
+
+}  // namespace nsparse

@@ -1,0 +1,122 @@
+// Sequential reference SpGEMM (Gustavson's row-by-row algorithm) and the
+// intermediate-product count.
+//
+// This is the "Algorithm 1" of the paper, implemented with a dense
+// accumulator per row. It is the correctness oracle for every GPU-model
+// algorithm in this repository and is also used by tests and the dataset
+// statistics of Table II.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse {
+
+/// Number of intermediate products of row i of C = A*B
+/// (paper Algorithm 2): sum over nonzeros a_ik of nnz(b_k*).
+template <ValueType T>
+[[nodiscard]] wide_t row_intermediate_products(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                               index_t i)
+{
+    wide_t n = 0;
+    for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+        const index_t k = a.col[to_size(j)];
+        n += b.rpt[to_size(k) + 1] - b.rpt[to_size(k)];
+    }
+    return n;
+}
+
+/// Total number of intermediate products of A*B (the "Intermediate product
+/// of A^2" column of Table II when b == a). The paper's FLOPS metric is
+/// 2 * this / time.
+template <ValueType T>
+[[nodiscard]] wide_t total_intermediate_products(const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    wide_t n = 0;
+    for (index_t i = 0; i < a.rows; ++i) { n += row_intermediate_products(a, b, i); }
+    return n;
+}
+
+/// Per-row intermediate-product counts (32-bit; throws if a row overflows).
+template <ValueType T>
+[[nodiscard]] std::vector<index_t> intermediate_products_per_row(const CsrMatrix<T>& a,
+                                                                 const CsrMatrix<T>& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    std::vector<index_t> n(to_size(a.rows));
+    for (index_t i = 0; i < a.rows; ++i) { n[to_size(i)] = to_index(row_intermediate_products(a, b, i)); }
+    return n;
+}
+
+/// Sequential Gustavson SpGEMM with a dense accumulator; output rows are
+/// sorted by column index. Complexity O(intermediate products + nnz(C) log).
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> reference_spgemm(const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    CsrMatrix<T> c;
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.rpt.assign(to_size(a.rows) + 1, 0);
+
+    std::vector<T> acc(to_size(b.cols), T{0});
+    std::vector<bool> occupied(to_size(b.cols), false);
+    std::vector<index_t> touched;
+
+    for (index_t i = 0; i < a.rows; ++i) {
+        touched.clear();
+        for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+            const index_t k = a.col[to_size(j)];
+            const T av = a.val[to_size(j)];
+            for (index_t l = b.rpt[to_size(k)]; l < b.rpt[to_size(k) + 1]; ++l) {
+                const index_t cj = b.col[to_size(l)];
+                if (!occupied[to_size(cj)]) {
+                    occupied[to_size(cj)] = true;
+                    acc[to_size(cj)] = T{0};
+                    touched.push_back(cj);
+                }
+                acc[to_size(cj)] += av * b.val[to_size(l)];
+            }
+        }
+        std::sort(touched.begin(), touched.end());
+        for (const index_t cj : touched) {
+            c.col.push_back(cj);
+            c.val.push_back(acc[to_size(cj)]);
+            occupied[to_size(cj)] = false;
+        }
+        c.rpt[to_size(i) + 1] = to_index(c.col.size());
+    }
+    c.validate();
+    return c;
+}
+
+/// Per-row nnz of C = A*B without computing values (symbolic reference).
+template <ValueType T>
+[[nodiscard]] std::vector<index_t> reference_row_nnz(const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    std::vector<index_t> nnz(to_size(a.rows), 0);
+    std::vector<bool> occupied(to_size(b.cols), false);
+    std::vector<index_t> touched;
+    for (index_t i = 0; i < a.rows; ++i) {
+        touched.clear();
+        for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+            const index_t k = a.col[to_size(j)];
+            for (index_t l = b.rpt[to_size(k)]; l < b.rpt[to_size(k) + 1]; ++l) {
+                const index_t cj = b.col[to_size(l)];
+                if (!occupied[to_size(cj)]) {
+                    occupied[to_size(cj)] = true;
+                    touched.push_back(cj);
+                }
+            }
+        }
+        nnz[to_size(i)] = to_index(touched.size());
+        for (const index_t cj : touched) { occupied[to_size(cj)] = false; }
+    }
+    return nnz;
+}
+
+}  // namespace nsparse

@@ -1,0 +1,44 @@
+#include "sparse/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace nsparse {
+
+namespace {
+std::string with_commas(wide_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count != 0 && count % 3 == 0 && *it != '-') { out.push_back(','); }
+        out.push_back(*it);
+        ++count;
+    }
+    return {out.rbegin(), out.rend()};
+}
+}  // namespace
+
+std::string format_stats_header()
+{
+    std::ostringstream os;
+    os << std::left << std::setw(18) << "Name" << std::right << std::setw(12) << "Row"
+       << std::setw(14) << "Non-zero" << std::setw(10) << "Nnz/row" << std::setw(14)
+       << "Max nnz/row" << std::setw(18) << "Interm. of A^2" << std::setw(16) << "Nnz of A^2";
+    return os.str();
+}
+
+std::string format_stats_row(const MatrixStats& s)
+{
+    std::ostringstream os;
+    os << std::left << std::setw(18) << s.name << std::right << std::setw(12)
+       << with_commas(s.rows) << std::setw(14) << with_commas(s.nnz) << std::setw(10)
+       << std::fixed << std::setprecision(1) << s.nnz_per_row << std::setw(14)
+       << with_commas(s.max_nnz_per_row) << std::setw(18) << with_commas(s.intermediate_products)
+       << std::setw(16) << with_commas(s.nnz_of_square);
+    return os.str();
+}
+
+}  // namespace nsparse

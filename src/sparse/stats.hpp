@@ -1,0 +1,58 @@
+// Matrix statistics in the shape of the paper's Table II:
+// rows, nnz, mean/max nnz-per-row, intermediate products of A^2, nnz(A^2).
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+
+struct MatrixStats {
+    std::string name;
+    index_t rows = 0;
+    index_t cols = 0;
+    wide_t nnz = 0;
+    double nnz_per_row = 0.0;
+    index_t max_nnz_per_row = 0;
+    wide_t intermediate_products = 0;  ///< of A*A (Table II column 6)
+    wide_t nnz_of_square = 0;          ///< nnz(A^2)  (Table II column 7)
+};
+
+/// Structural statistics only (cheap; no squaring).
+template <ValueType T>
+[[nodiscard]] MatrixStats basic_stats(const CsrMatrix<T>& a, std::string name = {})
+{
+    MatrixStats s;
+    s.name = std::move(name);
+    s.rows = a.rows;
+    s.cols = a.cols;
+    s.nnz = a.nnz();
+    s.nnz_per_row = a.rows == 0 ? 0.0
+                                : static_cast<double>(a.nnz()) / static_cast<double>(a.rows);
+    for (index_t i = 0; i < a.rows; ++i) { s.max_nnz_per_row = std::max(s.max_nnz_per_row, a.row_nnz(i)); }
+    return s;
+}
+
+/// Full Table II row, including the A^2 columns (runs a symbolic square).
+template <ValueType T>
+[[nodiscard]] MatrixStats table2_stats(const CsrMatrix<T>& a, std::string name = {})
+{
+    MatrixStats s = basic_stats(a, std::move(name));
+    if (a.rows == a.cols) {
+        s.intermediate_products = total_intermediate_products(a, a);
+        wide_t nnzc = 0;
+        for (const index_t n : reference_row_nnz(a, a)) { nnzc += n; }
+        s.nnz_of_square = nnzc;
+    }
+    return s;
+}
+
+/// Fixed-width one-line rendering used by bench_table2_datasets.
+[[nodiscard]] std::string format_stats_row(const MatrixStats& s);
+
+/// Header matching format_stats_row.
+[[nodiscard]] std::string format_stats_header();
+
+}  // namespace nsparse

@@ -1,0 +1,81 @@
+// CSR transpose (used by property tests: (B^T A^T)^T == A B) and
+// symmetrisation helpers used by the generators.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse {
+
+/// Returns A^T in CSR with sorted rows (counting-sort based, O(nnz + n)).
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> transpose(const CsrMatrix<T>& a)
+{
+    CsrMatrix<T> t;
+    t.rows = a.cols;
+    t.cols = a.rows;
+    t.rpt.assign(to_size(a.cols) + 1, 0);
+    for (const index_t c : a.col) { ++t.rpt[to_size(c) + 1]; }
+    std::partial_sum(t.rpt.begin(), t.rpt.end(), t.rpt.begin());
+
+    t.col.resize(to_size(a.nnz()));
+    t.val.resize(to_size(a.nnz()));
+    std::vector<index_t> cursor(t.rpt.begin(), t.rpt.end() - 1);
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t k = a.rpt[to_size(i)]; k < a.rpt[to_size(i) + 1]; ++k) {
+            const index_t c = a.col[to_size(k)];
+            const index_t dst = cursor[to_size(c)]++;
+            t.col[to_size(dst)] = i;
+            t.val[to_size(dst)] = a.val[to_size(k)];
+        }
+    }
+    t.validate();
+    return t;
+}
+
+/// Returns A + A^T with duplicate positions accumulated; rows sorted.
+/// Used to symmetrise generator output (graph matrices are symmetric).
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> symmetrize(const CsrMatrix<T>& a)
+{
+    NSPARSE_EXPECTS(a.rows == a.cols, "symmetrize requires a square matrix");
+    const CsrMatrix<T> t = transpose(a);
+    CsrMatrix<T> out;
+    out.rows = a.rows;
+    out.cols = a.cols;
+    out.rpt.assign(to_size(a.rows) + 1, 0);
+    // Merge the sorted row of t with the (sorted) row of a.
+    CsrMatrix<T> as = a;
+    as.sort_rows();
+    for (index_t i = 0; i < a.rows; ++i) {
+        auto ca = as.row_cols(i);
+        auto va = as.row_vals(i);
+        auto cb = t.row_cols(i);
+        auto vb = t.row_vals(i);
+        std::size_t x = 0;
+        std::size_t y = 0;
+        while (x < ca.size() || y < cb.size()) {
+            if (y == cb.size() || (x < ca.size() && ca[x] < cb[y])) {
+                out.col.push_back(ca[x]);
+                out.val.push_back(va[x]);
+                ++x;
+            } else if (x == ca.size() || cb[y] < ca[x]) {
+                out.col.push_back(cb[y]);
+                out.val.push_back(vb[y]);
+                ++y;
+            } else {
+                out.col.push_back(ca[x]);
+                out.val.push_back(va[x] + vb[y]);
+                ++x;
+                ++y;
+            }
+        }
+        out.rpt[to_size(i) + 1] = to_index(out.col.size());
+    }
+    out.validate();
+    return out;
+}
+
+}  // namespace nsparse

@@ -1,0 +1,52 @@
+// Fundamental scalar/index types and conversion helpers shared by every
+// module in the library.
+//
+// The paper's CUDA implementation (nsparse) uses 32-bit signed indices for
+// row pointers and column indices; we follow it so that hash-table sentinel
+// values (-1) and packed 64-bit sort keys behave identically.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include "sparse/error.hpp"
+
+namespace nsparse {
+
+/// Index type used for row pointers, column indices and row counts.
+using index_t = std::int32_t;
+
+/// Widened type for nnz-products that can overflow 32 bits
+/// (e.g. Table II lists 2,078,631,615 intermediate products for cage15).
+using wide_t = std::int64_t;
+
+/// Value types accepted by every kernel in the library.
+template <typename T>
+concept ValueType = std::same_as<T, float> || std::same_as<T, double>;
+
+/// Checked narrowing from any integral to index_t.
+template <std::integral I>
+[[nodiscard]] constexpr index_t to_index(I v)
+{
+    NSPARSE_EXPECTS(std::in_range<index_t>(v), "index overflow: value does not fit in index_t");
+    return static_cast<index_t>(v);
+}
+
+/// Checked conversion from a (possibly signed) integral to std::size_t.
+template <std::integral I>
+[[nodiscard]] constexpr std::size_t to_size(I v)
+{
+    if constexpr (std::is_signed_v<I>) {
+        NSPARSE_EXPECTS(v >= 0, "negative value converted to size");
+    }
+    return static_cast<std::size_t>(v);
+}
+
+/// Sentinel marking an empty hash-table slot (column indices are >= 0).
+inline constexpr index_t kEmptySlot = -1;
+
+}  // namespace nsparse

@@ -1,0 +1,206 @@
+// Correctness of the three baseline SpGEMM implementations (ESC/CUSP,
+// cuSPARSE-like, BHSPARSE-like) against the sequential reference, plus
+// cross-algorithm agreement and baseline-specific behaviours (memory
+// profile ordering, OOM).
+#include <gtest/gtest.h>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/io_matrix_market.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+template <ValueType T>
+std::vector<NamedAlgorithm<T>> all_algorithms()
+{
+    return {
+        {"CUSP", [](sim::Device& d, const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+             return baseline::esc_spgemm<T>(d, a, b);
+         }},
+        {"cuSPARSE", [](sim::Device& d, const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+             return baseline::cusparse_spgemm<T>(d, a, b);
+         }},
+        {"BHSPARSE", [](sim::Device& d, const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+             return baseline::bhsparse_spgemm<T>(d, a, b);
+         }},
+        {"PROPOSAL", [](sim::Device& d, const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+             return hash_spgemm<T>(d, a, b);
+         }},
+    };
+}
+
+template <ValueType T>
+void expect_all_match(const CsrMatrix<T>& a, const CsrMatrix<T>& b, double tol = 2e-5)
+{
+    const auto ref = reference_spgemm(a, b);
+    for (const auto& alg : all_algorithms<T>()) {
+        SCOPED_TRACE(alg.name);
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        const auto out = alg.fn(dev, a, b);
+        const auto diff = compare_csr(out.matrix, ref, tol);
+        EXPECT_FALSE(diff.has_value()) << alg.name << ": " << *diff;
+        EXPECT_EQ(out.stats.nnz_c, ref.nnz()) << alg.name;
+        EXPECT_EQ(out.stats.intermediate_products, total_intermediate_products(a, b));
+        EXPECT_GT(out.stats.seconds, 0.0) << alg.name;
+        EXPECT_GT(out.stats.peak_bytes, 0U) << alg.name;
+    }
+}
+
+TEST(Baselines, TinyHandComputed)
+{
+    CsrMatrix<double> a(2, 2, {0, 2, 3}, {0, 1, 1}, {1, 2, 3});
+    CsrMatrix<double> b(2, 2, {0, 1, 2}, {1, 0}, {1, 4});
+    const auto ref = reference_spgemm(a, b);
+    for (const auto& alg : all_algorithms<double>()) {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        EXPECT_TRUE(approx_equal(alg.fn(dev, a, b).matrix, ref, 1e-14)) << alg.name;
+    }
+}
+
+TEST(Baselines, EmptyMatrix)
+{
+    const auto a = CsrMatrix<double>::zero(50, 50);
+    expect_all_match(a, a);
+}
+
+TEST(Baselines, Identity)
+{
+    const auto i = CsrMatrix<double>::identity(333);
+    expect_all_match(i, i);
+}
+
+TEST(Baselines, RectangularDouble)
+{
+    const auto a = gen::uniform_random(60, 90, 5, 1);
+    const auto b = gen::uniform_random(90, 40, 7, 2);
+    expect_all_match(a, b);
+}
+
+TEST(Baselines, UniformSquareDouble)
+{
+    const auto a = gen::uniform_random(700, 700, 9, 3);
+    expect_all_match(a, a);
+}
+
+TEST(Baselines, UniformSquareFloat)
+{
+    const auto a = convert_values<float>(gen::uniform_random(700, 700, 9, 3));
+    expect_all_match(a, a, 2e-4);
+}
+
+TEST(Baselines, FemLikeDenseRows)
+{
+    gen::FemParams p;
+    p.nodes = 150;
+    p.block_size = 3;
+    p.avg_blocks = 24;
+    p.bandwidth = 50;
+    p.seed = 4;
+    expect_all_match(gen::fem_like(p), gen::fem_like(p));
+}
+
+TEST(Baselines, PowerLawHubRows)
+{
+    gen::ScaleFreeParams p;
+    p.rows = 2500;
+    p.avg_degree = 4.0;
+    p.max_degree = 800;  // hub rows exercise fallback/merge paths
+    p.alpha = 1.4;
+    p.seed = 5;
+    const auto a = gen::scale_free(p);
+    expect_all_match(a, a);
+}
+
+TEST(Baselines, GridStencil)
+{
+    const auto a = gen::grid2d(40, 40, true, 6);
+    expect_all_match(a, a);
+}
+
+struct SweepParam {
+    index_t n;
+    index_t degree;
+    std::uint64_t seed;
+};
+
+class BaselineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BaselineSweep, AllAlgorithmsAgree)
+{
+    const auto [n, degree, seed] = GetParam();
+    const auto a = gen::uniform_random(n, n, degree, seed);
+    expect_all_match(a, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BaselineSweep,
+                         ::testing::Values(SweepParam{32, 2, 1}, SweepParam{128, 4, 2},
+                                           SweepParam{128, 16, 3}, SweepParam{512, 3, 4},
+                                           SweepParam{512, 24, 5}, SweepParam{2048, 6, 6}));
+
+TEST(BaselineMemory, EscUsesUpperBoundScaleMemory)
+{
+    // ESC peak memory must dominate everyone else's on a matrix with a
+    // high intermediate-products : nnz(C) ratio.
+    gen::FemParams p;
+    p.nodes = 200;
+    p.block_size = 3;
+    p.avg_blocks = 20;
+    p.bandwidth = 40;
+    p.seed = 7;
+    const auto a = gen::fem_like(p);
+
+    std::map<std::string, std::size_t> peak;
+    for (const auto& alg : all_algorithms<double>()) {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        peak[alg.name] = alg.fn(dev, a, a).stats.peak_bytes;
+    }
+    EXPECT_GT(peak["CUSP"], peak["PROPOSAL"]);
+    EXPECT_GT(peak["BHSPARSE"], peak["PROPOSAL"]);
+    EXPECT_GT(peak["cuSPARSE"], peak["PROPOSAL"]);  // Fig. 4: proposal lowest
+    EXPECT_GT(peak["CUSP"], peak["cuSPARSE"]);
+}
+
+TEST(BaselineMemory, EscThrowsDeviceOomOnSmallDevice)
+{
+    const auto a = gen::uniform_random(2000, 2000, 40, 8);  // ~3.2M products
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = 32 * 1024 * 1024;  // 32 MB
+    sim::Device dev(spec);
+    EXPECT_THROW((void)baseline::esc_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+}
+
+TEST(BaselineMemory, ProposalSurvivesWhereEscDies)
+{
+    const auto a = gen::uniform_random(2000, 2000, 40, 8);
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = 32 * 1024 * 1024;
+    {
+        sim::Device dev(spec);
+        EXPECT_THROW((void)baseline::bhsparse_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+    }
+    {
+        sim::Device dev(spec);
+        const auto out = hash_spgemm<double>(dev, a, a);  // must fit
+        EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(a, a)));
+    }
+}
+
+TEST(BaselineStats, CuSparseHasNoSetupPhase)
+{
+    const auto a = gen::uniform_random(300, 300, 6, 9);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto s = baseline::cusparse_spgemm<double>(dev, a, a).stats;
+    EXPECT_DOUBLE_EQ(s.setup_seconds, 0.0);  // Fig. 5: cuSPARSE has count/calc/malloc only
+    EXPECT_GT(s.count_seconds, 0.0);
+    EXPECT_GT(s.calc_seconds, 0.0);
+    EXPECT_GT(s.malloc_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,157 @@
+// COO container, CSR<->COO conversion, transpose, symmetrize and the dense
+// bridge.
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/transpose.hpp"
+
+namespace nsparse {
+namespace {
+
+TEST(Coo, RoundTripPreservesMatrix)
+{
+    const auto a = gen::uniform_random(50, 70, 6, 1);
+    auto coo = to_coo(a);
+    coo.validate();
+    EXPECT_EQ(coo.nnz(), to_size(a.nnz()));
+    const auto back = to_csr(coo);
+    EXPECT_TRUE(a == back);
+}
+
+TEST(Coo, SortOrdersByRowThenCol)
+{
+    CooMatrix<double> c;
+    c.rows = c.cols = 3;
+    c.row = {2, 0, 2, 0};
+    c.col = {1, 2, 0, 0};
+    c.val = {1, 2, 3, 4};
+    c.sort();
+    EXPECT_EQ(c.row, (std::vector<index_t>{0, 0, 2, 2}));
+    EXPECT_EQ(c.col, (std::vector<index_t>{0, 2, 0, 1}));
+    EXPECT_EQ(c.val, (std::vector<double>{4, 2, 3, 1}));
+}
+
+TEST(Coo, CompressFoldsDuplicates)
+{
+    CooMatrix<double> c;
+    c.rows = c.cols = 2;
+    c.row = {0, 0, 1, 0};
+    c.col = {1, 1, 0, 1};
+    c.val = {1, 2, 5, 3};
+    c.compress();
+    ASSERT_EQ(c.nnz(), 2U);
+    EXPECT_DOUBLE_EQ(c.val[0], 6.0);  // (0,1): 1+2+3
+    EXPECT_DOUBLE_EQ(c.val[1], 5.0);
+}
+
+TEST(Coo, ToCsrRequiresRowSorted)
+{
+    CooMatrix<double> c;
+    c.rows = c.cols = 2;
+    c.row = {1, 0};
+    c.col = {0, 0};
+    c.val = {1, 1};
+    EXPECT_THROW((void)to_csr(c), PreconditionError);
+}
+
+TEST(Coo, ValidateChecksRanges)
+{
+    CooMatrix<double> c;
+    c.rows = c.cols = 2;
+    c.row = {5};
+    c.col = {0};
+    c.val = {1};
+    EXPECT_THROW(c.validate(), PreconditionError);
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity)
+{
+    auto a = gen::uniform_random(40, 60, 5, 2);
+    a.sort_rows();
+    const auto tt = transpose(transpose(a));
+    EXPECT_TRUE(a == tt);
+}
+
+TEST(Transpose, MatchesDense)
+{
+    const auto a = gen::uniform_random(12, 9, 4, 3);
+    const auto t = transpose(a);
+    const auto d = to_dense(a);
+    const auto dt = to_dense(t);
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (index_t j = 0; j < a.cols; ++j) { EXPECT_EQ(d.at(i, j), dt.at(j, i)); }
+    }
+}
+
+TEST(Transpose, RowsComeOutSorted)
+{
+    const auto t = transpose(gen::uniform_random(100, 100, 8, 4));
+    EXPECT_TRUE(t.has_sorted_rows());
+}
+
+TEST(Symmetrize, ProducesSymmetricMatrix)
+{
+    const auto s = symmetrize(gen::uniform_random(80, 80, 5, 5));
+    const auto t = transpose(s);
+    EXPECT_TRUE(approx_equal(s, t, 1e-14));
+}
+
+TEST(Symmetrize, RequiresSquare)
+{
+    EXPECT_THROW((void)symmetrize(gen::uniform_random(4, 5, 2, 6)), PreconditionError);
+}
+
+TEST(Dense, MultiplyMatchesByHand)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    DenseMatrix a{2, 2, {1, 2, 3, 4}};
+    DenseMatrix b{2, 2, {5, 6, 7, 8}};
+    const auto c = dense_multiply(a, b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(Dense, CsrRoundTrip)
+{
+    auto a = gen::uniform_random(20, 30, 4, 7);
+    a.sort_rows();
+    const auto back = from_dense<double>(to_dense(a));
+    EXPECT_TRUE(approx_equal(a, back, 1e-14));
+}
+
+TEST(Equality, DetectsShapeRowColValueMismatches)
+{
+    const auto a = gen::uniform_random(10, 10, 3, 8);
+    EXPECT_FALSE(compare_csr(a, a).has_value());
+
+    auto shape = a;
+    shape.cols += 1;
+    for (auto& c : shape.col) { (void)c; }
+    EXPECT_TRUE(compare_csr(a, shape).has_value());
+
+    auto v = a;
+    v.val[0] += 1.0;
+    const auto diff = compare_csr(a, v);
+    ASSERT_TRUE(diff.has_value());
+    EXPECT_NE(diff->find("value mismatch"), std::string::npos);
+
+    auto c = a;
+    c.col[0] = (c.col[0] + 1) % c.cols;
+    EXPECT_TRUE(compare_csr(a, c).has_value());
+}
+
+TEST(Equality, RespectsRelativeTolerance)
+{
+    CsrMatrix<double> a(1, 1, {0, 1}, {0}, {1.0});
+    CsrMatrix<double> b(1, 1, {0, 1}, {0}, {1.0 + 1e-7});
+    EXPECT_TRUE(approx_equal(a, b, 1e-5));
+    EXPECT_FALSE(approx_equal(a, b, 1e-9));
+}
+
+}  // namespace
+}  // namespace nsparse

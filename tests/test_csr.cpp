@@ -1,0 +1,129 @@
+// CSR container unit tests: construction, validation, accessors, sorting.
+#include <gtest/gtest.h>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse {
+namespace {
+
+TEST(Csr, DefaultIsEmpty)
+{
+    CsrMatrix<double> m;
+    EXPECT_EQ(m.rows, 0);
+    EXPECT_EQ(m.cols, 0);
+    EXPECT_EQ(m.nnz(), 0);
+    m.validate();
+}
+
+TEST(Csr, ZeroFactory)
+{
+    const auto m = CsrMatrix<float>::zero(5, 9);
+    EXPECT_EQ(m.rows, 5);
+    EXPECT_EQ(m.cols, 9);
+    EXPECT_EQ(m.nnz(), 0);
+    for (index_t i = 0; i < 5; ++i) { EXPECT_EQ(m.row_nnz(i), 0); }
+}
+
+TEST(Csr, IdentityFactory)
+{
+    const auto m = CsrMatrix<double>::identity(4);
+    EXPECT_EQ(m.nnz(), 4);
+    for (index_t i = 0; i < 4; ++i) {
+        ASSERT_EQ(m.row_nnz(i), 1);
+        EXPECT_EQ(m.row_cols(i)[0], i);
+        EXPECT_DOUBLE_EQ(m.row_vals(i)[0], 1.0);
+    }
+    EXPECT_TRUE(m.has_sorted_rows());
+}
+
+TEST(Csr, RowAccessors)
+{
+    const CsrMatrix<double> m(3, 4, {0, 2, 2, 5}, {1, 3, 0, 2, 3}, {1, 2, 3, 4, 5});
+    EXPECT_EQ(m.nnz(), 5);
+    EXPECT_EQ(m.row_nnz(0), 2);
+    EXPECT_EQ(m.row_nnz(1), 0);
+    EXPECT_EQ(m.row_nnz(2), 3);
+    EXPECT_EQ(m.row_cols(2)[1], 2);
+    EXPECT_DOUBLE_EQ(m.row_vals(0)[1], 2.0);
+}
+
+TEST(Csr, ByteSize)
+{
+    const CsrMatrix<double> m(2, 2, {0, 1, 2}, {0, 1}, {1, 1});
+    EXPECT_EQ(m.byte_size(), 3 * sizeof(index_t) + 2 * sizeof(index_t) + 2 * sizeof(double));
+}
+
+TEST(CsrValidate, RejectsBadRptSize)
+{
+    CsrMatrix<double> m;
+    m.rows = 2;
+    m.cols = 2;
+    m.rpt = {0, 1};  // needs rows+1 = 3
+    m.col = {0};
+    m.val = {1.0};
+    EXPECT_THROW(m.validate(), PreconditionError);
+}
+
+TEST(CsrValidate, RejectsDecreasingRpt)
+{
+    CsrMatrix<double> m;
+    m.rows = 2;
+    m.cols = 2;
+    m.rpt = {0, 2, 1};
+    m.col = {0, 1};
+    m.val = {1.0, 1.0};
+    EXPECT_THROW(m.validate(), PreconditionError);
+}
+
+TEST(CsrValidate, RejectsColumnOutOfRange)
+{
+    EXPECT_THROW(CsrMatrix<double>(1, 2, {0, 1}, {2}, {1.0}), PreconditionError);
+    EXPECT_THROW(CsrMatrix<double>(1, 2, {0, 1}, {-1}, {1.0}), PreconditionError);
+}
+
+TEST(CsrValidate, RejectsValColMismatch)
+{
+    CsrMatrix<double> m;
+    m.rows = 1;
+    m.cols = 2;
+    m.rpt = {0, 1};
+    m.col = {0};
+    m.val = {1.0, 2.0};
+    EXPECT_THROW(m.validate(), PreconditionError);
+}
+
+TEST(CsrSort, SortsRowsAndDetectsUnsorted)
+{
+    CsrMatrix<double> m(2, 5, {0, 3, 5}, {4, 0, 2, 3, 1}, {40, 0, 20, 30, 10});
+    EXPECT_FALSE(m.has_sorted_rows());
+    m.sort_rows();
+    EXPECT_TRUE(m.has_sorted_rows());
+    EXPECT_EQ(m.col, (std::vector<index_t>{0, 2, 4, 1, 3}));
+    EXPECT_EQ(m.val, (std::vector<double>{0, 20, 40, 10, 30}));
+}
+
+TEST(CsrSort, DuplicateColumnsBreakSortedness)
+{
+    const CsrMatrix<double> m(1, 4, {0, 2}, {2, 2}, {1, 1});
+    EXPECT_FALSE(m.has_sorted_rows());
+}
+
+TEST(Csr, EqualityOperator)
+{
+    const auto a = CsrMatrix<double>::identity(3);
+    auto b = CsrMatrix<double>::identity(3);
+    EXPECT_TRUE(a == b);
+    b.val[1] = 2.0;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(TypeHelpers, ToIndexChecksRange)
+{
+    EXPECT_EQ(to_index(std::size_t{42}), 42);
+    EXPECT_THROW((void)to_index(std::size_t{1} << 40), PreconditionError);
+    EXPECT_THROW((void)to_size(-1), PreconditionError);
+    EXPECT_EQ(to_size(index_t{7}), 7U);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,103 @@
+// CSR linear-algebra utilities: SpMV, add, diagonal, scaling, vector ops.
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "sparse/csr_ops.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/equality.hpp"
+
+namespace nsparse {
+namespace {
+
+TEST(Spmv, MatchesDense)
+{
+    const auto a = gen::uniform_random(30, 40, 5, 1);
+    std::vector<double> x(40);
+    for (std::size_t i = 0; i < x.size(); ++i) { x[i] = 0.1 * static_cast<double>(i) - 1.0; }
+    std::vector<double> y(30);
+    spmv(a, std::span<const double>(x), std::span<double>(y));
+
+    const auto d = to_dense(a);
+    for (index_t i = 0; i < 30; ++i) {
+        double ref = 0.0;
+        for (index_t j = 0; j < 40; ++j) { ref += d.at(i, j) * x[to_size(j)]; }
+        EXPECT_NEAR(y[to_size(i)], ref, 1e-12);
+    }
+}
+
+TEST(Spmv, SizeMismatchThrows)
+{
+    const auto a = gen::uniform_random(5, 6, 2, 2);
+    std::vector<double> x(5);
+    std::vector<double> y(5);
+    EXPECT_THROW(spmv(a, std::span<const double>(x), std::span<double>(y)),
+                 PreconditionError);
+}
+
+TEST(CsrAdd, AlphaBetaCombination)
+{
+    auto a = gen::uniform_random(20, 20, 4, 3);
+    auto b = gen::uniform_random(20, 20, 4, 4);
+    a.sort_rows();
+    b.sort_rows();
+    const auto c = csr_add(a, b, 2.0, -1.0);
+    const auto da = to_dense(a);
+    const auto db = to_dense(b);
+    const auto dc = to_dense(c);
+    for (index_t i = 0; i < 20; ++i) {
+        for (index_t j = 0; j < 20; ++j) {
+            EXPECT_NEAR(dc.at(i, j), 2.0 * da.at(i, j) - db.at(i, j), 1e-12);
+        }
+    }
+    EXPECT_TRUE(c.has_sorted_rows());
+}
+
+TEST(CsrAdd, AddWithZeroMatrix)
+{
+    auto a = gen::uniform_random(10, 10, 3, 5);
+    a.sort_rows();
+    const auto z = CsrMatrix<double>::zero(10, 10);
+    EXPECT_TRUE(approx_equal(csr_add(a, z), a, 1e-14));
+}
+
+TEST(CsrAdd, ShapeMismatchThrows)
+{
+    auto a = gen::uniform_random(4, 4, 2, 1);
+    auto b = gen::uniform_random(5, 4, 2, 1);
+    a.sort_rows();
+    b.sort_rows();
+    EXPECT_THROW((void)csr_add(a, b), PreconditionError);
+}
+
+TEST(Diagonal, ExtractsAndDefaultsToZero)
+{
+    CsrMatrix<double> m(3, 3, {0, 2, 3, 4}, {0, 2, 2, 0}, {5.0, 1.0, 7.0, 2.0});
+    const auto d = diagonal(m);
+    EXPECT_DOUBLE_EQ(d[0], 5.0);
+    EXPECT_DOUBLE_EQ(d[1], 0.0);  // no (1,1) entry
+    EXPECT_DOUBLE_EQ(d[2], 0.0);  // (2,0) only
+}
+
+TEST(ScaleRows, MultipliesEachRow)
+{
+    auto m = CsrMatrix<double>::identity(4);
+    const std::vector<double> s{2, 3, 4, 5};
+    scale_rows(m, std::span<const double>(s));
+    for (index_t i = 0; i < 4; ++i) { EXPECT_DOUBLE_EQ(m.row_vals(i)[0], s[to_size(i)]); }
+}
+
+TEST(VectorOps, DotNormAxpy)
+{
+    const std::vector<double> x{1, 2, 3};
+    const std::vector<double> y{4, -5, 6};
+    EXPECT_DOUBLE_EQ(dot(std::span<const double>(x), std::span<const double>(y)), 12.0);
+    EXPECT_NEAR(norm2(std::span<const double>(x)), std::sqrt(14.0), 1e-14);
+    std::vector<double> z = y;
+    axpy(2.0, std::span<const double>(x), std::span<double>(z));
+    EXPECT_DOUBLE_EQ(z[0], 6.0);
+    EXPECT_DOUBLE_EQ(z[1], -1.0);
+    EXPECT_DOUBLE_EQ(z[2], 12.0);
+}
+
+}  // namespace
+}  // namespace nsparse

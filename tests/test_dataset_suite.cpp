@@ -1,0 +1,135 @@
+// Dataset-suite tests: the synthetic analogues must carry the structural
+// signatures of the paper's Table II matrices (scaled), and the suite
+// bookkeeping must be consistent.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "matgen/dataset_suite.hpp"
+#include "sparse/stats.hpp"
+
+namespace nsparse::gen {
+namespace {
+
+TEST(DatasetSuite, HasAllFifteenTable2Entries)
+{
+    const auto& suite = dataset_suite();
+    ASSERT_EQ(suite.size(), 15U);
+    EXPECT_EQ(suite[0].name, "Protein");
+    EXPECT_EQ(suite[11].name, "webbase");
+    EXPECT_EQ(suite[14].name, "cit-Patents");
+
+    int high = 0;
+    int large = 0;
+    for (const auto& s : suite) {
+        high += s.high_throughput ? 1 : 0;
+        large += s.large_graph ? 1 : 0;
+    }
+    EXPECT_EQ(high, 8);   // Figure 2(a)
+    EXPECT_EQ(large, 3);  // Table III
+}
+
+TEST(DatasetSuite, PaperStatsMatchTable2)
+{
+    const auto p = find_dataset("Protein");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->paper.rows, 36417);
+    EXPECT_EQ(p->paper.nnz, 4344765);
+    EXPECT_EQ(p->paper.intermediate_products, 555322659);
+    EXPECT_EQ(p->paper.nnz_of_square, 19594581);
+
+    const auto c = find_dataset("cage15");
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->paper.rows, 5154859);
+    EXPECT_EQ(c->paper.intermediate_products, 2078631615);
+}
+
+TEST(DatasetSuite, UnknownNameHandling)
+{
+    EXPECT_FALSE(find_dataset("NoSuchMatrix").has_value());
+    EXPECT_THROW((void)make_dataset("NoSuchMatrix"), PreconditionError);
+}
+
+TEST(DatasetSuite, GenerationDeterministic)
+{
+    const auto a = make_dataset("Circuit", 8.0);
+    const auto b = make_dataset("Circuit", 8.0);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(DatasetSuite, EnvScaleMultiplies)
+{
+    const double base = effective_scale("QCD");
+    ::setenv("NSPARSE_SCALE", "2.0", 1);
+    EXPECT_DOUBLE_EQ(effective_scale("QCD"), base * 2.0);
+    ::unsetenv("NSPARSE_SCALE");
+    EXPECT_DOUBLE_EQ(effective_scale("QCD"), base);
+}
+
+/// Signature check at an aggressive extra scale (keeps test time small):
+/// mean nnz/row within 35% of the paper, skew class preserved.
+class DatasetSignature : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetSignature, MatchesPaperRowStatistics)
+{
+    const std::string name = GetParam();
+    const auto spec = find_dataset(name);
+    ASSERT_TRUE(spec.has_value());
+    const auto m = make_dataset(name, 4.0);  // 4x the default scale
+    m.validate();
+    const auto s = basic_stats(m);
+
+    EXPECT_GT(s.rows, 16);
+    EXPECT_NEAR(s.nnz_per_row, spec->paper.nnz_per_row,
+                0.35 * spec->paper.nnz_per_row + 0.5)
+        << name;
+
+    // Skew class: ratio of max to mean row degree.
+    const double paper_skew =
+        static_cast<double>(spec->paper.max_nnz_per_row) / spec->paper.nnz_per_row;
+    const double our_skew = static_cast<double>(s.max_nnz_per_row) / s.nnz_per_row;
+    if (paper_skew > 100.0) {
+        EXPECT_GT(our_skew, 20.0) << name;  // heavy-tail matrices stay heavy
+    } else if (paper_skew < 3.0) {
+        EXPECT_LT(our_skew, 6.0) << name;  // regular matrices stay regular
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSignature,
+                         ::testing::Values("Protein", "FEM/Spheres", "FEM/Cantilever",
+                                           "FEM/Ship", "Wind Tunnel", "FEM/Harbor", "QCD",
+                                           "FEM/Accelerator", "Economics", "Circuit",
+                                           "Epidemiology", "webbase", "cage15", "wb-edu",
+                                           "cit-Patents"),
+                         [](const auto& param_info) {
+                             std::string n = param_info.param;
+                             for (char& c : n) {
+                                 if (c == '/' || c == ' ' || c == '-') { c = '_'; }
+                             }
+                             return n;
+                         });
+
+TEST(DatasetSuite, QcdPerfectlyRegular)
+{
+    const auto m = make_dataset("QCD", 4.0);
+    const auto s = basic_stats(m);
+    EXPECT_EQ(s.max_nnz_per_row, 39);
+    EXPECT_DOUBLE_EQ(s.nnz_per_row, 39.0);
+}
+
+TEST(DatasetSuite, EpidemiologyMaxFour)
+{
+    const auto m = make_dataset("Epidemiology", 4.0);
+    EXPECT_EQ(basic_stats(m).max_nnz_per_row, 4);
+}
+
+TEST(DatasetSuite, WebbaseKeepsAbsoluteHubSize)
+{
+    // The hub-row magnitude is the load-imbalance signature and is kept in
+    // absolute terms under scaling.
+    const auto m = make_dataset("webbase", 4.0);
+    EXPECT_GT(basic_stats(m).max_nnz_per_row, 400);
+}
+
+}  // namespace
+}  // namespace nsparse::gen

@@ -1,0 +1,87 @@
+// Device-spec portability tests (paper §VI future work): the grouping
+// derivation must adapt to other GPUs' shared-memory/occupancy limits, and
+// the algorithm must stay correct on every spec.
+#include <gtest/gtest.h>
+
+#include "core/grouping.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+TEST(DeviceSpecs, V100DoublesTheSharedTables)
+{
+    // 96 KB/block: numeric max table 96K/12 -> pow2 = 8192 (P100: 4096).
+    const auto p100 = core::GroupingPolicy::numeric(sim::DeviceSpec::pascal_p100(),
+                                                    sizeof(double));
+    const auto v100 = core::GroupingPolicy::numeric(sim::DeviceSpec::volta_v100(),
+                                                    sizeof(double));
+    EXPECT_EQ(v100.max_shared_table, 2 * p100.max_shared_table);
+    EXPECT_EQ(v100.max_shared_table, 8192);
+    // Same ladder length (it is block-size driven: 1024 halving to 64),
+    // but every TB group's table doubles.
+    ASSERT_EQ(v100.groups.size(), p100.groups.size());
+    for (std::size_t g = 1; g + 1 < v100.groups.size(); ++g) {
+        EXPECT_EQ(v100.groups[g].table_size, 2 * p100.groups[g].table_size) << g;
+    }
+}
+
+TEST(DeviceSpecs, K40SameTablesFewerBlocks)
+{
+    const auto k40 = core::GroupingPolicy::symbolic(sim::DeviceSpec::kepler_k40());
+    EXPECT_EQ(k40.max_shared_table, 8192);  // same 48 KB limit as P100
+    // K40 allows only 16 blocks/SM: the TB group ladder stops earlier.
+    const auto p100 = core::GroupingPolicy::symbolic(sim::DeviceSpec::pascal_p100());
+    EXPECT_LT(k40.groups.size(), p100.groups.size());
+    for (const auto& g : k40.groups) { EXPECT_LE(g.tb_per_sm, 16); }
+}
+
+class SpecSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpecSweep, HashSpgemmCorrectOnEverySpec)
+{
+    sim::DeviceSpec spec;
+    switch (GetParam()) {
+        case 0: spec = sim::DeviceSpec::kepler_k40(); break;
+        case 1: spec = sim::DeviceSpec::pascal_p100(); break;
+        default: spec = sim::DeviceSpec::volta_v100(); break;
+    }
+    const auto a = gen::uniform_random(600, 600, 10, 99);
+    sim::Device dev(spec);
+    const auto out = hash_spgemm<double>(dev, a, a);
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(a, a)));
+    EXPECT_GT(out.stats.gflops(), 0.0);
+}
+
+std::string spec_name(const ::testing::TestParamInfo<int>& param_info)
+{
+    if (param_info.param == 0) { return "K40"; }
+    if (param_info.param == 1) { return "P100"; }
+    return "V100";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SpecSweep, ::testing::Values(0, 1, 2), spec_name);
+
+TEST(DeviceSpecs, FasterDeviceIsFaster)
+{
+    const auto a = gen::uniform_random(2000, 2000, 12, 7);
+    sim::Device k40(sim::DeviceSpec::kepler_k40());
+    sim::Device v100(sim::DeviceSpec::volta_v100());
+    const auto tk = hash_spgemm<double>(k40, a, a).stats.seconds;
+    const auto tv = hash_spgemm<double>(v100, a, a).stats.seconds;
+    EXPECT_LT(tv, tk);
+}
+
+TEST(DeviceSpecs, ScaledCapacityFactory)
+{
+    const auto full = sim::DeviceSpec::pascal_p100();
+    const auto scaled = sim::DeviceSpec::pascal_p100_scaled(64.0);
+    EXPECT_EQ(scaled.memory_capacity, full.memory_capacity / 64);
+    EXPECT_EQ(sim::DeviceSpec::pascal_p100_scaled(0.5).memory_capacity, full.memory_capacity);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,203 @@
+// Workload-generator tests: structural signatures (degree statistics,
+// regularity, tails), determinism, parameter validation.
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "matgen/rng.hpp"
+#include "sparse/stats.hpp"
+
+namespace nsparse::gen {
+namespace {
+
+TEST(Pcg32, DeterministicAndSeedSensitive)
+{
+    Pcg32 a(1);
+    Pcg32 b(1);
+    Pcg32 c(2);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto x = a.next();
+        EXPECT_EQ(x, b.next());
+        differs |= (x != c.next());
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Pcg32, BoundedStaysInRange)
+{
+    Pcg32 r(3);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.bounded(17), 17U);
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    EXPECT_EQ(r.bounded(1), 0U);
+}
+
+TEST(Pcg32, ParetoWithinTruncation)
+{
+    Pcg32 r(4);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.pareto(2.0, 500.0, 1.5);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LE(v, 500.0);
+    }
+}
+
+TEST(Grid2d, InteriorRowsHaveExactlyFourNeighbours)
+{
+    const auto m = grid2d(10, 10, /*periodic=*/true, 1);
+    EXPECT_EQ(m.rows, 100);
+    const auto s = basic_stats(m);
+    EXPECT_EQ(s.max_nnz_per_row, 4);
+    EXPECT_DOUBLE_EQ(s.nnz_per_row, 4.0);  // Epidemiology signature
+}
+
+TEST(Grid2d, NonPeriodicBoundaryRowsSmaller)
+{
+    const auto m = grid2d(5, 5, /*periodic=*/false, 1);
+    EXPECT_EQ(m.row_nnz(0), 2);   // corner
+    EXPECT_EQ(m.row_nnz(12), 4);  // centre
+}
+
+TEST(Banded, EveryRowExactlyDiagonalsNonzeros)
+{
+    const auto m = banded(500, 39, 1, 2);
+    for (index_t i = 0; i < m.rows; ++i) { ASSERT_EQ(m.row_nnz(i), 39) << i; }  // QCD signature
+}
+
+TEST(Banded, RejectsTooManyDiagonals)
+{
+    EXPECT_THROW((void)banded(10, 11, 1, 1), PreconditionError);
+}
+
+TEST(FemLike, BlockStructureAndDegreeRange)
+{
+    FemParams p;
+    p.nodes = 200;
+    p.block_size = 3;
+    p.avg_blocks = 20;
+    p.jitter = 0.2;
+    p.bandwidth = 42;
+    p.seed = 3;
+    const auto m = fem_like(p);
+    EXPECT_EQ(m.rows, 600);
+    const auto s = basic_stats(m);
+    // mean within 25% of the target (dedup + boundary clamping shrink it)
+    EXPECT_NEAR(s.nnz_per_row, 60.0, 15.0);
+    EXPECT_LE(s.max_nnz_per_row, static_cast<index_t>(3 * (20 * 1.2 + 2) * 1.2));
+    // rows of one node block have identical sparsity pattern
+    EXPECT_EQ(m.row_nnz(0), m.row_nnz(1));
+    EXPECT_EQ(m.row_nnz(0), m.row_nnz(2));
+}
+
+TEST(ScaleFree, MeanAndTail)
+{
+    ScaleFreeParams p;
+    p.rows = 20000;
+    p.avg_degree = 4.0;
+    p.max_degree = 2000;
+    p.alpha = 1.4;
+    p.seed = 4;
+    const auto m = scale_free(p);
+    const auto s = basic_stats(m);
+    EXPECT_NEAR(s.nnz_per_row, 4.0, 1.0);
+    EXPECT_GT(s.max_nnz_per_row, 200);   // heavy tail exists (webbase signature)
+    EXPECT_LE(s.max_nnz_per_row, 2000);  // but truncated
+}
+
+TEST(ScaleFree, LocalityConcentratesNearDiagonal)
+{
+    ScaleFreeParams p;
+    p.rows = 4000;
+    p.avg_degree = 6.0;
+    p.max_degree = 100;
+    p.locality = 1.0;
+    p.seed = 5;
+    const auto m = scale_free(p);
+    const index_t window = std::max<index_t>(8, p.rows / 64);
+    for (index_t i = 0; i < m.rows; ++i) {
+        for (const index_t c : m.row_cols(i)) {
+            EXPECT_LE(std::abs(c - i), window + 1) << "row " << i;
+        }
+    }
+}
+
+TEST(Rmat, PowerLawDegreeDistribution)
+{
+    RmatParams p;
+    p.scale = 12;
+    p.edges_per_vertex = 8.0;
+    p.seed = 6;
+    const auto m = rmat(p);
+    EXPECT_EQ(m.rows, 4096);
+    const auto s = basic_stats(m);
+    EXPECT_GT(static_cast<double>(s.max_nnz_per_row), 8.0 * s.nnz_per_row);  // skew
+    EXPECT_GT(s.nnz, 0);
+}
+
+TEST(Rmat, RejectsBadProbabilities)
+{
+    RmatParams p;
+    p.a = 0.6;
+    p.b = 0.3;
+    p.c = 0.2;  // sums > 1
+    EXPECT_THROW((void)rmat(p), PreconditionError);
+}
+
+TEST(RandomBanded, DegreeCappedAndBanded)
+{
+    RandomBandedParams p;
+    p.n = 3000;
+    p.avg_degree = 19.0;
+    p.max_degree = 47;
+    p.bandwidth = 100;
+    p.seed = 7;
+    const auto m = random_banded(p);
+    const auto s = basic_stats(m);
+    EXPECT_LE(s.max_nnz_per_row, 47);  // cage15 signature
+    EXPECT_NEAR(s.nnz_per_row, 19.0, 4.0);
+    for (index_t i = 0; i < m.rows; ++i) {
+        for (const index_t c : m.row_cols(i)) { EXPECT_LE(std::abs(c - i), 100); }
+    }
+}
+
+TEST(UniformRandom, DegreeAndDeterminism)
+{
+    const auto a = uniform_random(100, 200, 10, 8);
+    const auto b = uniform_random(100, 200, 10, 8);
+    EXPECT_TRUE(a == b);
+    for (index_t i = 0; i < a.rows; ++i) { EXPECT_LE(a.row_nnz(i), 10); }
+    EXPECT_EQ(a.cols, 200);
+    EXPECT_TRUE(a.has_sorted_rows());
+}
+
+TEST(UniformRandom, RejectsDegreeAboveColumns)
+{
+    EXPECT_THROW((void)uniform_random(5, 3, 4, 1), PreconditionError);
+}
+
+TEST(Generators, AllProduceValidSortedMatrices)
+{
+    const auto check = [](const CsrMatrix<double>& m) {
+        m.validate();
+        EXPECT_TRUE(m.has_sorted_rows());
+        for (const double v : m.val) {
+            EXPECT_GE(v, 0.5);
+            EXPECT_LT(v, 1.5);
+        }
+    };
+    check(grid2d(8, 8, true, 1));
+    check(banded(64, 7, 1, 1));
+    check(fem_like({.nodes = 30, .block_size = 3, .avg_blocks = 5, .jitter = 0.2,
+                    .bandwidth = 10, .seed = 1}));
+    check(scale_free({.rows = 100, .avg_degree = 3, .min_degree = 1, .max_degree = 20,
+                      .alpha = 2.0, .locality = 0.5, .seed = 1}));
+    check(rmat({.scale = 8, .edges_per_vertex = 4, .a = 0.57, .b = 0.19, .c = 0.19, .seed = 1}));
+    check(random_banded({.n = 100, .avg_degree = 5, .max_degree = 10, .bandwidth = 20,
+                         .seed = 1}));
+}
+
+}  // namespace
+}  // namespace nsparse::gen

@@ -1,0 +1,185 @@
+// Device front-end tests: launch/synchronize, phases, block context cost
+// charging, shared-memory discipline, warp helpers.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/warp.hpp"
+
+namespace nsparse::sim {
+namespace {
+
+TEST(Device, LaunchExecutesEveryBlockOnce)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    std::vector<int> hits(100, 0);
+    dev.launch(dev.default_stream(), {100, 64, 0}, "touch", [&](BlockCtx& blk) {
+        ++hits[to_size(blk.block_idx())];
+        blk.int_ops(1, 1.0);
+    });
+    EXPECT_GT(dev.synchronize(), 0.0);
+    for (const int h : hits) { EXPECT_EQ(h, 1); }
+    EXPECT_EQ(dev.kernels_launched(), 1U);
+    EXPECT_EQ(dev.blocks_executed(), 100U);
+}
+
+TEST(Device, SynchronizeIdempotentWhenNothingPending)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    EXPECT_DOUBLE_EQ(dev.synchronize(), 0.0);
+}
+
+TEST(Device, PhaseScopesBucketTime)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    {
+        auto p = dev.phase_scope("count");
+        dev.launch(dev.default_stream(), {10, 64, 0}, "k",
+                   [](BlockCtx& b) { b.flops(64, 100.0); });
+    }
+    {
+        auto p = dev.phase_scope("calc");
+        dev.launch(dev.default_stream(), {10, 64, 0}, "k",
+                   [](BlockCtx& b) { b.flops(64, 200.0); });
+    }
+    EXPECT_GT(dev.timeline().phase("count"), 0.0);
+    EXPECT_GT(dev.timeline().phase("calc"), dev.timeline().phase("count"));
+    EXPECT_DOUBLE_EQ(dev.timeline().phase("nonexistent"), 0.0);
+    EXPECT_NEAR(dev.elapsed(),
+                dev.timeline().phase("count") + dev.timeline().phase("calc"), 1e-15);
+}
+
+TEST(Device, NestedPhaseRestoresOuter)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    {
+        auto outer = dev.phase_scope("setup");
+        {
+            auto inner = dev.phase_scope("count");
+            dev.launch(dev.default_stream(), {1, 64, 0}, "k",
+                       [](BlockCtx& b) { b.flops(1, 10.0); });
+        }
+        dev.launch(dev.default_stream(), {1, 64, 0}, "k",
+                   [](BlockCtx& b) { b.flops(1, 10.0); });
+    }
+    EXPECT_GT(dev.timeline().phase("count"), 0.0);
+    EXPECT_GT(dev.timeline().phase("setup"), 0.0);
+}
+
+TEST(Device, ResetMeasurementClearsTimelineAndPeak)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    {
+        DeviceBuffer<double> b(dev.allocator(), 1000);
+        dev.launch(dev.default_stream(), {1, 64, 0}, "k",
+                   [](BlockCtx& c) { c.flops(1, 10.0); });
+        dev.synchronize();
+    }
+    dev.reset_measurement();
+    EXPECT_DOUBLE_EQ(dev.elapsed(), 0.0);
+    EXPECT_EQ(dev.allocator().peak_bytes(), dev.allocator().live_bytes());
+    EXPECT_EQ(dev.kernels_launched(), 0U);
+}
+
+TEST(Device, StreamsGetDistinctIds)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    const auto s1 = dev.create_stream();
+    const auto s2 = dev.create_stream();
+    EXPECT_NE(s1.id, s2.id);
+    EXPECT_NE(s1.id, dev.default_stream().id);
+}
+
+TEST(Device, RejectsOversizedBlockConfig)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    EXPECT_THROW(dev.launch(dev.default_stream(), {1, 2048, 0}, "big", [](BlockCtx&) {}),
+                 PreconditionError);
+    EXPECT_THROW(dev.launch(dev.default_stream(), {1, 64, 1 << 20}, "smem", [](BlockCtx&) {}),
+                 PreconditionError);
+}
+
+TEST(BlockCtx, WorkAndSpanSemantics)
+{
+    const CostModel m;
+    LaunchConfig cfg{1, 64, 0};
+    BlockCtx blk(0, cfg, m);
+    blk.charge(32, 10.0);  // 32 lanes x 10 cycles
+    EXPECT_DOUBLE_EQ(blk.cost().work, 320.0);
+    EXPECT_DOUBLE_EQ(blk.cost().span, 10.0);
+    blk.charge_work_span(100.0, 5.0);
+    EXPECT_DOUBLE_EQ(blk.cost().work, 420.0);
+    EXPECT_DOUBLE_EQ(blk.cost().span, 15.0);
+}
+
+TEST(BlockCtx, GlobalAccessTracksBytes)
+{
+    const CostModel m;
+    LaunchConfig cfg{1, 32, 0};
+    BlockCtx blk(0, cfg, m);
+    blk.global_read(32, 8, MemPattern::kCoalesced, 2.0);
+    EXPECT_DOUBLE_EQ(blk.cost().global_bytes, 32 * 8 * 2.0);
+    EXPECT_GT(blk.cost().work, 0.0);
+}
+
+TEST(BlockCtx, RandomAccessCostsMoreThanCoalesced)
+{
+    const CostModel m;
+    EXPECT_GT(m.global_cost(4, MemPattern::kRandom), m.global_cost(4, MemPattern::kCoalesced));
+    // cost scales with bytes
+    EXPECT_GT(m.global_cost(64, MemPattern::kCoalesced), m.global_cost(4, MemPattern::kCoalesced));
+}
+
+TEST(BlockCtx, SharedAllocWithinDeclaredLimit)
+{
+    const CostModel m;
+    LaunchConfig cfg{1, 64, 1024};
+    BlockCtx blk(0, cfg, m);
+    auto s1 = blk.shared_alloc<index_t>(128);  // 512 B
+    EXPECT_EQ(s1.size(), 128U);
+    auto s2 = blk.shared_alloc<index_t>(128);  // another 512 B: exactly full
+    EXPECT_EQ(s2.size(), 128U);
+    EXPECT_THROW((void)blk.shared_alloc<index_t>(1), PreconditionError);
+}
+
+TEST(Warp, ReduceSumCorrectAndCharged)
+{
+    const CostModel m;
+    LaunchConfig cfg{1, 32, 0};
+    BlockCtx blk(0, cfg, m);
+    const std::vector<index_t> lanes{1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_EQ(warp_reduce_sum(blk, std::span<const index_t>(lanes)), 36);
+    EXPECT_GT(blk.cost().work, 0.0);
+}
+
+TEST(Warp, BlockScanExclusive)
+{
+    const CostModel m;
+    LaunchConfig cfg{1, 32, 0};
+    BlockCtx blk(0, cfg, m);
+    std::vector<index_t> v{3, 1, 4, 1, 5};
+    block_exclusive_scan(blk, std::span<index_t>(v));
+    EXPECT_EQ(v, (std::vector<index_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Device, MallocChargedToDedicatedBucket)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    {
+        auto p = dev.phase_scope("setup");
+        DeviceBuffer<double> b(dev.allocator(), 1 << 20);
+        EXPECT_GT(dev.malloc_seconds(), 0.0);
+        EXPECT_DOUBLE_EQ(dev.timeline().phase("setup"), 0.0);  // malloc not in setup
+    }
+}
+
+TEST(Device, LargerAllocationsCostMoreMallocTime)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    DeviceBuffer<double> small(dev.allocator(), 100);
+    const double t1 = dev.malloc_seconds();
+    DeviceBuffer<double> big(dev.allocator(), 10 << 20);
+    EXPECT_GT(dev.malloc_seconds() - t1, t1);
+}
+
+}  // namespace
+}  // namespace nsparse::sim

@@ -1,0 +1,135 @@
+// Simulated device memory: capacity enforcement, live/peak accounting,
+// RAII buffers, allocation-time hooks.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/device_csr.hpp"
+#include "gpusim/memory.hpp"
+#include "matgen/generators.hpp"
+
+namespace nsparse::sim {
+namespace {
+
+TEST(DeviceAllocator, TracksLiveAndPeak)
+{
+    DeviceAllocator alloc(1000);
+    alloc.allocate(300);
+    EXPECT_EQ(alloc.live_bytes(), 300U);
+    EXPECT_EQ(alloc.peak_bytes(), 300U);
+    alloc.allocate(500);
+    EXPECT_EQ(alloc.live_bytes(), 800U);
+    alloc.deallocate(300);
+    EXPECT_EQ(alloc.live_bytes(), 500U);
+    EXPECT_EQ(alloc.peak_bytes(), 800U);  // peak survives frees
+    alloc.allocate(100);
+    EXPECT_EQ(alloc.peak_bytes(), 800U);
+}
+
+TEST(DeviceAllocator, ThrowsBeyondCapacity)
+{
+    DeviceAllocator alloc(100);
+    alloc.allocate(80);
+    EXPECT_THROW(alloc.allocate(21), DeviceOutOfMemory);
+    EXPECT_EQ(alloc.live_bytes(), 80U);  // failed allocation leaves no trace
+    alloc.allocate(20);                  // exactly to capacity is fine
+}
+
+TEST(DeviceAllocator, ResetPeakToLive)
+{
+    DeviceAllocator alloc(1000);
+    alloc.allocate(600);
+    alloc.deallocate(600);
+    alloc.allocate(100);
+    alloc.reset_peak();
+    EXPECT_EQ(alloc.peak_bytes(), 100U);
+}
+
+TEST(DeviceAllocator, HooksInvoked)
+{
+    DeviceAllocator alloc(1000);
+    std::size_t allocs = 0;
+    int frees = 0;
+    alloc.set_hooks([&](std::size_t b) { allocs += b; }, [&] { ++frees; });
+    alloc.allocate(10);
+    alloc.allocate(20);
+    alloc.deallocate(10);
+    EXPECT_EQ(allocs, 30U);
+    EXPECT_EQ(frees, 1);
+}
+
+TEST(DeviceBuffer, RaiiReleasesOnDestruction)
+{
+    DeviceAllocator alloc(1 << 20);
+    {
+        DeviceBuffer<double> b(alloc, 100);
+        EXPECT_EQ(alloc.live_bytes(), 800U);
+        EXPECT_EQ(b.size(), 100U);
+    }
+    EXPECT_EQ(alloc.live_bytes(), 0U);
+}
+
+TEST(DeviceBuffer, MoveTransfersOwnership)
+{
+    DeviceAllocator alloc(1 << 20);
+    DeviceBuffer<index_t> a(alloc, 10);
+    a[3] = 42;
+    DeviceBuffer<index_t> b(std::move(a));
+    EXPECT_EQ(b[3], 42);
+    EXPECT_EQ(alloc.live_bytes(), 40U);
+    DeviceBuffer<index_t> c;
+    c = std::move(b);
+    EXPECT_EQ(c[3], 42);
+    EXPECT_EQ(alloc.live_bytes(), 40U);
+    c.release();
+    EXPECT_EQ(alloc.live_bytes(), 0U);
+}
+
+TEST(DeviceBuffer, UploadFromHostSpan)
+{
+    DeviceAllocator alloc(1 << 20);
+    const std::vector<float> host{1.0F, 2.0F, 3.0F};
+    DeviceBuffer<float> b(alloc, std::span<const float>(host));
+    EXPECT_EQ(b.to_host(), host);
+}
+
+TEST(DeviceBuffer, FillAndSpan)
+{
+    DeviceAllocator alloc(1 << 20);
+    DeviceBuffer<index_t> b(alloc, 5);
+    b.fill(-1);
+    for (const index_t v : b.span()) { EXPECT_EQ(v, -1); }
+}
+
+TEST(DeviceCsr, UploadDownloadRoundTrip)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    auto m = gen::uniform_random(40, 50, 4, 1);
+    const auto d = DeviceCsr<double>::upload(dev.allocator(), m);
+    EXPECT_EQ(d.nnz(), m.nnz());
+    EXPECT_EQ(d.rows, 40);
+    EXPECT_EQ(d.row_nnz(0), m.row_nnz(0));
+    EXPECT_TRUE(d.download() == m);
+    EXPECT_GE(dev.allocator().live_bytes(), m.byte_size());
+}
+
+TEST(DeviceCsr, UploadChargesMallocTime)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    EXPECT_DOUBLE_EQ(dev.malloc_seconds(), 0.0);
+    const auto d = DeviceCsr<double>::upload(dev.allocator(),
+                                             gen::uniform_random(100, 100, 5, 2));
+    EXPECT_GT(dev.malloc_seconds(), 0.0);
+    (void)d;
+}
+
+TEST(DeviceCsr, AllocateForKnownNnz)
+{
+    Device dev(DeviceSpec::pascal_p100());
+    auto d = DeviceCsr<float>::allocate(dev.allocator(), 10, 20, 35);
+    EXPECT_EQ(d.col.size(), 35U);
+    EXPECT_EQ(d.val.size(), 35U);
+    EXPECT_EQ(d.rpt.size(), 11U);
+}
+
+}  // namespace
+}  // namespace nsparse::sim

@@ -1,0 +1,173 @@
+// Makespan-scheduler tests: resource residency, processor sharing, span
+// floors (load imbalance), stream serialisation vs overlap, launch
+// overhead — the properties the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "gpusim/scheduler.hpp"
+
+namespace nsparse::sim {
+namespace {
+
+DeviceSpec spec() { return DeviceSpec::pascal_p100(); }
+
+KernelRecord make_kernel(std::string name, int stream, index_t blocks, int block_dim,
+                         double work, double span, std::size_t smem = 0)
+{
+    KernelRecord k;
+    k.name = std::move(name);
+    k.stream_id = stream;
+    k.cfg = {blocks, block_dim, smem};
+    k.blocks.assign(to_size(blocks), BlockCost{work, span, 0.0});
+    return k;
+}
+
+double seconds_of_cycles(double cycles)
+{
+    return cycles / (spec().clock_hz() * spec().efficiency);
+}
+
+TEST(Scheduler, EmptyBatch)
+{
+    EXPECT_DOUBLE_EQ(schedule({}, spec(), CostModel{}).makespan, 0.0);
+}
+
+TEST(Scheduler, SingleBlockBoundBySpan)
+{
+    // One block: makespan >= span regardless of tiny work.
+    const auto r = schedule({make_kernel("k", 0, 1, 128, 10.0, 1e6)}, spec(), CostModel{});
+    EXPECT_GE(r.makespan, seconds_of_cycles(1e6));
+    EXPECT_LT(r.makespan, seconds_of_cycles(1e6) * 1.5 + 1e-4);
+}
+
+TEST(Scheduler, MakespanAtLeastLaunchOverhead)
+{
+    CostModel cost;
+    const auto r = schedule({make_kernel("k", 0, 1, 64, 1.0, 1.0)}, spec(), cost);
+    EXPECT_GE(r.makespan, cost.launch_overhead_us * 1e-6);
+}
+
+TEST(Scheduler, ThroughputScalesWithSmCount)
+{
+    // Many equal blocks: time ~ total work / (SMs * rate).
+    const double work = 1e6;
+    const index_t blocks = 5600;
+    const auto r =
+        schedule({make_kernel("k", 0, blocks, 1024, work, work / 1024.0)}, spec(), CostModel{});
+    const double ideal = blocks * work / (spec().sm_rate() * spec().num_sms);
+    EXPECT_GT(r.makespan, 0.9 * ideal);
+    EXPECT_LT(r.makespan, 2.0 * ideal + 1e-3);
+}
+
+TEST(Scheduler, OneGiantBlockDominates)
+{
+    // The webbase story: 1000 tiny blocks + 1 block with 1000x the span.
+    std::vector<KernelRecord> ks;
+    auto k = make_kernel("skewed", 0, 1001, 128, 1e3, 1e3);
+    k.blocks.back() = BlockCost{1e7, 1e7, 0.0};
+    ks.push_back(std::move(k));
+    const auto r = schedule(ks, spec(), CostModel{});
+    EXPECT_GE(r.makespan, seconds_of_cycles(1e7));
+}
+
+TEST(Scheduler, SameStreamSerializes)
+{
+    std::vector<KernelRecord> ks;
+    ks.push_back(make_kernel("a", 3, 56, 1024, 1e6, 1e6 / 1024));
+    ks.push_back(make_kernel("b", 3, 56, 1024, 1e6, 1e6 / 1024));
+    const auto r = schedule(ks, spec(), CostModel{});
+    // b must start after a finishes
+    EXPECT_GE(r.kernels[1].start, r.kernels[0].finish - 1e-12);
+}
+
+TEST(Scheduler, DifferentStreamsOverlap)
+{
+    // Two kernels, each with only 8 blocks (far fewer than 56 SMs): on
+    // different streams they run concurrently; the makespan is well below
+    // the serialized sum. This is §IV-C's multi-stream effect.
+    const double work = 1e6;
+    std::vector<KernelRecord> serial;
+    serial.push_back(make_kernel("a", 1, 8, 256, work, work / 256));
+    serial.push_back(make_kernel("b", 1, 8, 256, work, work / 256));
+    std::vector<KernelRecord> streams;
+    streams.push_back(make_kernel("a", 1, 8, 256, work, work / 256));
+    streams.push_back(make_kernel("b", 2, 8, 256, work, work / 256));
+
+    const double t_serial = schedule(serial, spec(), CostModel{}).makespan;
+    const double t_streams = schedule(streams, spec(), CostModel{}).makespan;
+    EXPECT_LT(t_streams, 0.75 * t_serial);
+}
+
+TEST(Scheduler, SharedMemoryLimitsResidency)
+{
+    // Latency-bound blocks (span >> work/rate): 48KB blocks allow only one
+    // resident per SM so spans serialize; 6KB blocks co-reside and overlap
+    // their latency. This is Table I's occupancy rationale.
+    const double work = 1e4;
+    const double span = 1e5;
+    const index_t blocks = 560;
+    const auto fat = schedule({make_kernel("fat", 0, blocks, 64, work, span, 48 * 1024)},
+                              spec(), CostModel{});
+    const auto slim = schedule({make_kernel("slim", 0, blocks, 64, work, span, 6 * 1024)},
+                               spec(), CostModel{});
+    EXPECT_LT(slim.makespan, 0.2 * fat.makespan);
+}
+
+TEST(Scheduler, ThreadLimitRespected)
+{
+    // 1024-thread blocks: 2 per SM (2048 threads/SM). 112 blocks = exactly
+    // one wave on 56 SMs; 113 blocks need a second wave.
+    const double span = 1e6;
+    const auto one_wave =
+        schedule({make_kernel("w", 0, 112, 1024, 10.0, span)}, spec(), CostModel{});
+    const auto two_waves =
+        schedule({make_kernel("w", 0, 113, 1024, 10.0, span)}, spec(), CostModel{});
+    EXPECT_NEAR(two_waves.makespan, one_wave.makespan + seconds_of_cycles(span),
+                0.2 * seconds_of_cycles(span));
+}
+
+TEST(Scheduler, ZeroBlockKernelCompletes)
+{
+    std::vector<KernelRecord> ks;
+    ks.push_back(make_kernel("empty", 0, 0, 128, 0, 0));
+    ks.push_back(make_kernel("after", 0, 4, 128, 100.0, 10.0));
+    const auto r = schedule(ks, spec(), CostModel{});
+    EXPECT_GT(r.makespan, 0.0);
+    EXPECT_LE(r.kernels[0].finish, r.kernels[1].finish);
+}
+
+TEST(Scheduler, ManyTinyBlocksNoLivelock)
+{
+    // Regression: fp-underflow of remaining work used to re-fire events at
+    // an unchanged timestamp forever.
+    std::vector<KernelRecord> ks;
+    ks.push_back(make_kernel("tiny", 0, 20000, 64, 1e-7, 1e-9));
+    const auto r = schedule(ks, spec(), CostModel{});
+    EXPECT_GE(r.makespan, 0.0);
+}
+
+TEST(Scheduler, KernelTimingsConsistent)
+{
+    std::vector<KernelRecord> ks;
+    ks.push_back(make_kernel("a", 1, 10, 128, 1e5, 1e3));
+    ks.push_back(make_kernel("b", 2, 10, 128, 1e5, 1e3));
+    const auto r = schedule(ks, spec(), CostModel{});
+    for (const auto& t : r.kernels) {
+        EXPECT_LE(t.ready, t.start + 1e-15);
+        EXPECT_LE(t.start, t.finish);
+        EXPECT_LE(t.finish, r.makespan + 1e-15);
+    }
+}
+
+TEST(Scheduler, WorkConservationLowerBound)
+{
+    // Makespan can never beat total work / total device rate.
+    std::vector<KernelRecord> ks;
+    ks.push_back(make_kernel("a", 0, 1000, 256, 5e5, 5e5 / 256));
+    ks.push_back(make_kernel("b", 1, 500, 512, 1e6, 1e6 / 512));
+    const auto r = schedule(ks, spec(), CostModel{});
+    const double total_work = 1000 * 5e5 + 500 * 1e6;
+    EXPECT_GE(r.makespan, total_work / (spec().sm_rate() * spec().num_sms) * 0.99);
+}
+
+}  // namespace
+}  // namespace nsparse::sim

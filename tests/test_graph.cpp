@@ -1,0 +1,196 @@
+// Graph-algorithm substrate: triangle counting, multi-source BFS and
+// Markov clustering, all routed through the simulated-device SpGEMM.
+#include <gtest/gtest.h>
+
+#include "baselines/esc.hpp"
+#include "graph/algorithms.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/transpose.hpp"
+
+namespace nsparse::graph {
+namespace {
+
+sim::Device p100() { return sim::Device(sim::DeviceSpec::pascal_p100()); }
+
+/// Symmetric 0/1 adjacency from an edge list.
+CsrMatrix<double> from_edges(index_t n, const std::vector<std::pair<index_t, index_t>>& edges)
+{
+    CooMatrix<double> coo;
+    coo.rows = coo.cols = n;
+    for (const auto& [u, v] : edges) {
+        coo.row.push_back(u);
+        coo.col.push_back(v);
+        coo.val.push_back(1.0);
+        coo.row.push_back(v);
+        coo.col.push_back(u);
+        coo.val.push_back(1.0);
+    }
+    coo.compress();
+    auto m = to_csr(coo);
+    for (auto& v : m.val) { v = 1.0; }  // duplicate edges -> still 0/1
+    return m;
+}
+
+/// O(n^3) reference triangle counter.
+wide_t triangles_reference(const CsrMatrix<double>& a)
+{
+    wide_t t = 0;
+    for (index_t i = 0; i < a.rows; ++i) {
+        for (const index_t j : a.row_cols(i)) {
+            if (j <= i) { continue; }
+            for (const index_t k : a.row_cols(j)) {
+                if (k <= j) { continue; }
+                for (const index_t l : a.row_cols(i)) {
+                    if (l == k) { ++t; }
+                }
+            }
+        }
+    }
+    return t;
+}
+
+TEST(TriangleCount, KnownSmallGraphs)
+{
+    sim::Device dev = p100();
+    // triangle
+    EXPECT_EQ(triangle_count(dev, from_edges(3, {{0, 1}, {1, 2}, {2, 0}})), 1);
+    // square: none
+    EXPECT_EQ(triangle_count(dev, from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}})), 0);
+    // K4: 4 triangles
+    EXPECT_EQ(triangle_count(dev,
+                             from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})),
+              4);
+}
+
+TEST(TriangleCount, MatchesReferenceOnRandomGraphs)
+{
+    for (const std::uint64_t seed : {1U, 2U, 3U}) {
+        const auto a = symmetrize(gen::uniform_random(120, 120, 4, seed));
+        auto adj = a;
+        for (auto& v : adj.val) { v = 1.0; }
+        sim::Device dev = p100();
+        EXPECT_EQ(triangle_count(dev, adj), triangles_reference(adj)) << seed;
+    }
+}
+
+TEST(TriangleCount, SelfLoopsIgnored)
+{
+    sim::Device dev = p100();
+    auto g = from_edges(3, {{0, 1}, {1, 2}, {2, 0}, {0, 0}});
+    EXPECT_EQ(triangle_count(dev, g), 1);
+}
+
+TEST(TriangleCount, WorksWithBaselineEngine)
+{
+    sim::Device dev = p100();
+    const auto g = from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+    const auto esc = [](sim::Device& d, const CsrMatrix<double>& x,
+                        const CsrMatrix<double>& y) {
+        return baseline::esc_spgemm<double>(d, x, y);
+    };
+    EXPECT_EQ(triangle_count(dev, g, esc), 4);
+}
+
+TEST(Bfs, PathGraphDistances)
+{
+    // 0-1-2-3-4 path
+    const auto g = from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+    sim::Device dev = p100();
+    const std::vector<index_t> sources{0, 4};
+    const auto r = multi_source_bfs(dev, g, std::span<const index_t>(sources));
+    EXPECT_EQ(r.distances[0], (std::vector<index_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(r.distances[1], (std::vector<index_t>{4, 3, 2, 1, 0}));
+    EXPECT_EQ(r.levels, 4);
+    EXPECT_GT(r.spgemm_products, 0);
+}
+
+TEST(Bfs, DisconnectedComponentUnreachable)
+{
+    const auto g = from_edges(5, {{0, 1}, {3, 4}});
+    sim::Device dev = p100();
+    const std::vector<index_t> sources{0};
+    const auto r = multi_source_bfs(dev, g, std::span<const index_t>(sources));
+    EXPECT_EQ(r.distances[0][0], 0);
+    EXPECT_EQ(r.distances[0][1], 1);
+    EXPECT_EQ(r.distances[0][2], -1);
+    EXPECT_EQ(r.distances[0][3], -1);
+}
+
+TEST(Bfs, MatchesSequentialBfsOnRandomGraph)
+{
+    const auto a = symmetrize(gen::uniform_random(300, 300, 3, 7));
+    sim::Device dev = p100();
+    const std::vector<index_t> sources{0, 17, 250};
+    const auto r = multi_source_bfs(dev, a, std::span<const index_t>(sources));
+
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+        // sequential BFS
+        std::vector<index_t> dist(300, -1);
+        std::vector<index_t> q{sources[s]};
+        dist[to_size(sources[s])] = 0;
+        for (std::size_t head = 0; head < q.size(); ++head) {
+            const index_t u = q[head];
+            for (const index_t v : a.row_cols(u)) {
+                if (dist[to_size(v)] < 0) {
+                    dist[to_size(v)] = dist[to_size(u)] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        EXPECT_EQ(r.distances[s], dist) << "source " << sources[s];
+    }
+}
+
+TEST(Bfs, SourceOutOfRangeThrows)
+{
+    const auto g = from_edges(3, {{0, 1}});
+    sim::Device dev = p100();
+    const std::vector<index_t> sources{5};
+    EXPECT_THROW((void)multi_source_bfs(dev, g, std::span<const index_t>(sources)),
+                 PreconditionError);
+}
+
+TEST(Mcl, SeparatesTwoCliques)
+{
+    // two K4 cliques joined by one weak edge
+    std::vector<std::pair<index_t, index_t>> edges;
+    for (index_t i = 0; i < 4; ++i) {
+        for (index_t j = i + 1; j < 4; ++j) {
+            edges.emplace_back(i, j);
+            edges.emplace_back(i + 4, j + 4);
+        }
+    }
+    edges.emplace_back(3, 4);  // bridge
+    const auto g = from_edges(8, edges);
+    sim::Device dev = p100();
+    const auto r = markov_clustering(dev, g);
+    EXPECT_GE(r.clusters, 2);
+    // all of clique 1 in one cluster, all of clique 2 in another
+    for (index_t v = 1; v < 4; ++v) { EXPECT_EQ(r.cluster_of[to_size(v)], r.cluster_of[0]); }
+    for (index_t v = 5; v < 8; ++v) { EXPECT_EQ(r.cluster_of[to_size(v)], r.cluster_of[4]); }
+    EXPECT_NE(r.cluster_of[0], r.cluster_of[4]);
+}
+
+TEST(Mcl, ConvergesAndAssignsEveryVertex)
+{
+    gen::ScaleFreeParams p;
+    p.rows = 200;
+    p.avg_degree = 4.0;
+    p.max_degree = 20;
+    p.locality = 0.8;
+    p.seed = 5;
+    const auto g = symmetrize(gen::scale_free(p));
+    sim::Device dev = p100();
+    const auto r = markov_clustering(dev, g);
+    EXPECT_GT(r.iterations, 0);
+    EXPECT_GT(r.clusters, 1);
+    EXPECT_LE(r.clusters, 200);
+    for (const index_t c : r.cluster_of) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, r.clusters);
+    }
+}
+
+}  // namespace
+}  // namespace nsparse::graph

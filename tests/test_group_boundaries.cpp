@@ -1,0 +1,123 @@
+// Rows engineered to land exactly on every Table-I group boundary: the
+// full pipeline must stay correct at the edges where kernels switch
+// (pwarp<->TB, shared table sizes, global fallback), in both precisions.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/grouping.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "matgen/rng.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/io_matrix_market.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+struct BoundaryFixture {
+    CsrMatrix<double> a;  ///< block-diagonal-ish A over shared B pattern
+    CsrMatrix<double> b;
+};
+
+/// Builds A (rows with the requested product counts) and a B with constant
+/// 32-nonzero rows, so products(row i) = 32 * nnzA(row i) exactly.
+BoundaryFixture build(const std::vector<index_t>& products_per_row, std::uint64_t seed)
+{
+    constexpr index_t kBRow = 32;
+    index_t max_k = 1;
+    for (const index_t p : products_per_row) {
+        NSPARSE_EXPECTS(p % kBRow == 0, "test wants multiples of 32");
+        max_k = std::max(max_k, p / kBRow);
+    }
+    const index_t n = std::max<index_t>(to_index(products_per_row.size()), max_k + kBRow + 1);
+
+    BoundaryFixture f;
+    f.b = gen::banded(n, kBRow, 1, seed);
+
+    f.a.rows = to_index(products_per_row.size());
+    f.a.cols = n;
+    f.a.rpt.assign(products_per_row.size() + 1, 0);
+    gen::Pcg32 rng(seed + 1);
+    for (std::size_t i = 0; i < products_per_row.size(); ++i) {
+        const index_t k = products_per_row[i] / kBRow;
+        for (index_t j = 0; j < k; ++j) {
+            // spread targets so output rows are wide (exercises the tables)
+            f.a.col.push_back((j * (n / std::max<index_t>(k, 1))) % n);
+            f.a.val.push_back(rng.uniform(0.5, 1.5));
+        }
+        f.a.rpt[i + 1] = to_index(f.a.col.size());
+    }
+    f.a.validate();
+    return f;
+}
+
+TEST(GroupBoundaries, SymbolicBoundariesExact)
+{
+    // products exactly at every symbolic boundary of Table I
+    const std::vector<index_t> products{32,   64,   512,  544,  1024, 1056,
+                                        2048, 2080, 4096, 4128, 8192, 8224};
+    const auto f = build(products, 7);
+
+    // verify the engineered product counts are exact
+    const auto per_row = intermediate_products_per_row(f.a, f.b);
+    for (std::size_t i = 0; i < products.size(); ++i) {
+        ASSERT_EQ(per_row[i], products[i]) << i;
+    }
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto out = hash_spgemm<double>(dev, f.a, f.b);
+    const auto ref = reference_spgemm(f.a, f.b);
+    const auto diff = compare_csr(out.matrix, ref, 1e-10);
+    EXPECT_FALSE(diff.has_value()) << *diff;
+}
+
+TEST(GroupBoundaries, EveryGroupPopulatedAndCorrect)
+{
+    // a matrix whose rows hit all 7 symbolic groups at once
+    std::vector<index_t> products;
+    for (const index_t p : {32, 64, 288, 544, 1568, 3104, 6176, 9216, 12288}) {
+        products.push_back(p);
+        products.push_back(p);  // two rows per class
+    }
+    const auto f = build(products, 11);
+
+    const auto policy = core::GroupingPolicy::symbolic(sim::DeviceSpec::pascal_p100());
+    const auto per_row = intermediate_products_per_row(f.a, f.b);
+    std::set<int> groups_hit;
+    for (const index_t p : per_row) { groups_hit.insert(policy.group_of(p)); }
+    EXPECT_GE(groups_hit.size(), 6U);  // everything except maybe one class
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto out = hash_spgemm<double>(dev, f.a, f.b);
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(f.a, f.b), 1e-10));
+}
+
+TEST(GroupBoundaries, FloatPrecisionSameBoundaries)
+{
+    const std::vector<index_t> products{32, 64, 4096, 4128, 8192, 8224};
+    const auto f = build(products, 13);
+    const auto af = convert_values<float>(f.a);
+    const auto bf = convert_values<float>(f.b);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto out = hash_spgemm<float>(dev, af, bf);
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(af, bf), 1e-3));
+}
+
+TEST(GroupBoundaries, WithoutStreamsSameResults)
+{
+    const std::vector<index_t> products{32, 512, 1024, 8224};
+    const auto f = build(products, 17);
+    core::Options with;
+    core::Options without;
+    without.use_streams = false;
+    sim::Device d1(sim::DeviceSpec::pascal_p100());
+    sim::Device d2(sim::DeviceSpec::pascal_p100());
+    const auto c1 = hash_spgemm<double>(d1, f.a, f.b, with);
+    const auto c2 = hash_spgemm<double>(d2, f.a, f.b, without);
+    EXPECT_TRUE(c1.matrix == c2.matrix);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,168 @@
+// Grouping policy tests: the derivation of §III-D must reproduce the
+// paper's Table I exactly on the P100 spec, and row partitioning must be a
+// permutation that respects the group ranges.
+#include <gtest/gtest.h>
+
+#include "core/grouping.hpp"
+#include "gpusim/device.hpp"
+#include "matgen/rng.hpp"
+
+namespace nsparse::core {
+namespace {
+
+using sim::DeviceSpec;
+
+TEST(GroupingPolicy, SymbolicMatchesPaperTable1OnP100)
+{
+    const auto p = GroupingPolicy::symbolic(DeviceSpec::pascal_p100());
+    ASSERT_EQ(p.groups.size(), 7U);
+
+    // Table I column "(3) Num of intermediate products".
+    const struct {
+        index_t min, max;
+        int block, tb;
+    } expected[7] = {
+        {8193, -1, 1024, 2},   // group 0
+        {4097, 8192, 1024, 2}, // group 1
+        {2049, 4096, 512, 4},  // group 2
+        {1025, 2048, 256, 8},  // group 3
+        {513, 1024, 128, 16},  // group 4
+        {33, 512, 64, 32},     // group 5
+        {0, 32, 512, 4},       // group 6 (PWARP/ROW)
+    };
+    for (int g = 0; g < 7; ++g) {
+        SCOPED_TRACE(g);
+        EXPECT_EQ(p.groups[to_size(g)].min_count, expected[g].min);
+        EXPECT_EQ(p.groups[to_size(g)].max_count, expected[g].max);
+        EXPECT_EQ(p.groups[to_size(g)].block_size, expected[g].block);
+        EXPECT_EQ(p.groups[to_size(g)].tb_per_sm, expected[g].tb);
+        EXPECT_EQ(p.groups[to_size(g)].assignment,
+                  g == 6 ? Assignment::kPwarpRow : Assignment::kTbRow);
+    }
+    EXPECT_EQ(p.max_shared_table, 8192);  // 48KB / 4B -> pow2
+    EXPECT_TRUE(p.groups[0].global_table);
+}
+
+TEST(GroupingPolicy, NumericMatchesPaperTable1OnP100)
+{
+    const auto p = GroupingPolicy::numeric(DeviceSpec::pascal_p100(), sizeof(double));
+    ASSERT_EQ(p.groups.size(), 7U);
+
+    // Table I column "(6) Num of non-zero elements".
+    const struct {
+        index_t min, max;
+    } expected[7] = {
+        {4097, -1}, {2049, 4096}, {1025, 2048}, {513, 1024}, {257, 512}, {17, 256}, {0, 16},
+    };
+    for (int g = 0; g < 7; ++g) {
+        SCOPED_TRACE(g);
+        EXPECT_EQ(p.groups[to_size(g)].min_count, expected[g].min);
+        EXPECT_EQ(p.groups[to_size(g)].max_count, expected[g].max);
+    }
+    EXPECT_EQ(p.max_shared_table, 4096);  // 48KB / 12B -> pow2 (paper §III-D)
+}
+
+TEST(GroupingPolicy, FloatTablesCoincideWithDoubleOnP100)
+{
+    // prev_pow2(48K/8) == prev_pow2(48K/12) == 4096: the paper can use one
+    // Table I for both precisions.
+    const auto pf = GroupingPolicy::numeric(DeviceSpec::pascal_p100(), sizeof(float));
+    const auto pd = GroupingPolicy::numeric(DeviceSpec::pascal_p100(), sizeof(double));
+    EXPECT_EQ(pf.max_shared_table, pd.max_shared_table);
+}
+
+TEST(GroupingPolicy, GroupOfRespectsRanges)
+{
+    const auto p = GroupingPolicy::symbolic(DeviceSpec::pascal_p100());
+    EXPECT_EQ(p.group_of(0), 6);
+    EXPECT_EQ(p.group_of(32), 6);
+    EXPECT_EQ(p.group_of(33), 5);
+    EXPECT_EQ(p.group_of(512), 5);
+    EXPECT_EQ(p.group_of(513), 4);
+    EXPECT_EQ(p.group_of(1024), 4);
+    EXPECT_EQ(p.group_of(1025), 3);
+    EXPECT_EQ(p.group_of(2048), 3);
+    EXPECT_EQ(p.group_of(2049), 2);
+    EXPECT_EQ(p.group_of(4096), 2);
+    EXPECT_EQ(p.group_of(4097), 1);
+    EXPECT_EQ(p.group_of(8192), 1);
+    EXPECT_EQ(p.group_of(8193), 0);
+    EXPECT_EQ(p.group_of(1 << 20), 0);
+}
+
+TEST(GroupingPolicy, EveryCountHasExactlyOneGroup)
+{
+    for (const bool use_pwarp : {true, false}) {
+        const auto p = GroupingPolicy::symbolic(DeviceSpec::pascal_p100(), 4, use_pwarp);
+        for (index_t c = 0; c <= 20000; ++c) {
+            int containing = 0;
+            for (const auto& g : p.groups) {
+                if (g.contains(c)) { ++containing; }
+            }
+            if (c == 0 && !use_pwarp) {
+                // count 0 belongs to the (empty-range) pwarp group
+                EXPECT_EQ(p.group_of(c), p.groups.back().id);
+                continue;
+            }
+            ASSERT_EQ(containing, 1) << "count " << c << " pwarp=" << use_pwarp;
+            ASSERT_TRUE(p.groups[to_size(p.group_of(c))].contains(c)) << c;
+        }
+    }
+}
+
+TEST(GroupingPolicy, DisablingPwarpExtendsSmallestTbGroup)
+{
+    const auto p = GroupingPolicy::symbolic(DeviceSpec::pascal_p100(), 4, /*use_pwarp=*/false);
+    EXPECT_EQ(p.pwarp_border, 0);
+    EXPECT_EQ(p.group_of(1), 5);
+    EXPECT_EQ(p.group_of(32), 5);
+}
+
+TEST(GroupRows, PartitionIsAPermutation)
+{
+    sim::Device dev(DeviceSpec::pascal_p100());
+    const auto policy = GroupingPolicy::symbolic(dev.spec());
+    constexpr index_t kRows = 5000;
+    sim::DeviceBuffer<index_t> counts(dev.allocator(), to_size(kRows));
+    gen::Pcg32 rng(7);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        counts[i] = to_index(rng.bounded(20000));
+    }
+    const auto grouped = group_rows(dev, policy, counts);
+
+    ASSERT_EQ(grouped.permutation.size(), to_size(kRows));
+    ASSERT_EQ(grouped.offsets.size(), policy.groups.size() + 1);
+    EXPECT_EQ(grouped.offsets.front(), 0);
+    EXPECT_EQ(grouped.offsets.back(), kRows);
+
+    std::vector<bool> seen(to_size(kRows), false);
+    for (std::size_t g = 0; g < policy.groups.size(); ++g) {
+        for (index_t k = grouped.offsets[g]; k < grouped.offsets[g + 1]; ++k) {
+            const index_t row = grouped.permutation[to_size(k)];
+            ASSERT_FALSE(seen[to_size(row)]);
+            seen[to_size(row)] = true;
+            EXPECT_TRUE(policy.groups[g].contains(counts[to_size(row)]))
+                << "row " << row << " count " << counts[to_size(row)] << " in group " << g;
+        }
+    }
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(GroupRows, SegmentsSortedByRowIndex)
+{
+    sim::Device dev(DeviceSpec::pascal_p100());
+    const auto policy = GroupingPolicy::numeric(dev.spec(), sizeof(double));
+    constexpr index_t kRows = 1000;
+    sim::DeviceBuffer<index_t> counts(dev.allocator(), to_size(kRows));
+    gen::Pcg32 rng(11);
+    for (std::size_t i = 0; i < counts.size(); ++i) { counts[i] = to_index(rng.bounded(5000)); }
+    const auto grouped = group_rows(dev, policy, counts);
+    for (std::size_t g = 0; g < policy.groups.size(); ++g) {
+        for (index_t k = grouped.offsets[g] + 1; k < grouped.offsets[g + 1]; ++k) {
+            EXPECT_LT(grouped.permutation[to_size(k - 1)], grouped.permutation[to_size(k)]);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace nsparse::core

@@ -1,0 +1,292 @@
+// End-to-end correctness of the paper's hash SpGEMM against the sequential
+// Gustavson reference, across generators, precisions and option settings.
+#include <gtest/gtest.h>
+
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/io_matrix_market.hpp"
+#include "sparse/reference_spgemm.hpp"
+#include "sparse/transpose.hpp"
+
+namespace nsparse {
+namespace {
+
+sim::Device p100() { return sim::Device(sim::DeviceSpec::pascal_p100()); }
+
+template <ValueType T>
+void expect_matches_reference(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                              const core::Options& opt = {})
+{
+    sim::Device dev = p100();
+    const auto out = hash_spgemm<T>(dev, a, b, opt);
+    const auto ref = reference_spgemm(a, b);
+    const auto diff = compare_csr(out.matrix, ref, 2e-5);
+    EXPECT_FALSE(diff.has_value()) << *diff;
+    EXPECT_EQ(out.stats.intermediate_products, total_intermediate_products(a, b));
+    EXPECT_EQ(out.stats.nnz_c, ref.nnz());
+    EXPECT_GT(out.stats.seconds, 0.0);
+}
+
+TEST(HashSpgemm, TinyHandComputed)
+{
+    // A = [1 2; 0 3], B = [0 1; 4 0] -> C = [8 1; 12 0]
+    CsrMatrix<double> a(2, 2, {0, 2, 3}, {0, 1, 1}, {1, 2, 3});
+    CsrMatrix<double> b(2, 2, {0, 1, 2}, {1, 0}, {1, 4});
+    sim::Device dev = p100();
+    const auto c = hash_spgemm<double>(dev, a, b).matrix;
+    ASSERT_EQ(c.rows, 2);
+    ASSERT_EQ(c.cols, 2);
+    ASSERT_EQ(c.nnz(), 3);
+    EXPECT_EQ(c.col, (std::vector<index_t>{0, 1, 0}));
+    EXPECT_DOUBLE_EQ(c.val[0], 8.0);
+    EXPECT_DOUBLE_EQ(c.val[1], 1.0);
+    EXPECT_DOUBLE_EQ(c.val[2], 12.0);
+}
+
+TEST(HashSpgemm, EmptyMatrix)
+{
+    const auto a = CsrMatrix<double>::zero(10, 10);
+    expect_matches_reference(a, a);
+}
+
+TEST(HashSpgemm, EmptyRowsAndColumns)
+{
+    // Only row 3 and column 7 populated.
+    CsrMatrix<double> a(10, 10, {0, 0, 0, 0, 2, 2, 2, 2, 2, 2, 2}, {2, 7}, {1.5, -2.0});
+    expect_matches_reference(a, a);
+}
+
+TEST(HashSpgemm, IdentityTimesIdentity)
+{
+    const auto i = CsrMatrix<double>::identity(257);
+    expect_matches_reference(i, i);
+}
+
+TEST(HashSpgemm, RectangularShapes)
+{
+    const auto a = gen::uniform_random(40, 70, 6, 1);
+    const auto b = gen::uniform_random(70, 25, 4, 2);
+    expect_matches_reference(a, b);
+}
+
+TEST(HashSpgemm, MismatchedInnerDimensionThrows)
+{
+    const auto a = gen::uniform_random(10, 20, 3, 1);
+    const auto b = gen::uniform_random(30, 10, 3, 2);
+    sim::Device dev = p100();
+    EXPECT_THROW((void)hash_spgemm<double>(dev, a, b), PreconditionError);
+}
+
+TEST(HashSpgemm, SquareUniformDouble)
+{
+    const auto a = gen::uniform_random(500, 500, 12, 3);
+    expect_matches_reference(a, a);
+}
+
+TEST(HashSpgemm, SquareUniformFloat)
+{
+    const auto a = convert_values<float>(gen::uniform_random(500, 500, 12, 3));
+    expect_matches_reference(a, a);
+}
+
+TEST(HashSpgemm, DenseRowsHitLargeGroups)
+{
+    // ~160 nnz/row squared -> ~6400 products/row: exercises TB/ROW groups
+    // 1-2 in the symbolic phase and mid groups in numeric.
+    gen::FemParams p;
+    p.nodes = 120;
+    p.block_size = 4;
+    p.avg_blocks = 40;
+    p.bandwidth = 60;
+    p.seed = 5;
+    const auto a = gen::fem_like(p);
+    expect_matches_reference(a, a);
+}
+
+TEST(HashSpgemm, HubRowExercisesGlobalFallback)
+{
+    // One row with every column: squaring gives products(row) = nnz(A) >>
+    // 8192, forcing the group-0 shared attempt to fail and the global pass
+    // to run; output row nnz > 4096 also exercises numeric group 0.
+    constexpr index_t n = 9000;
+    CsrMatrix<double> a;
+    a.rows = a.cols = n;
+    a.rpt.resize(to_size(n) + 1);
+    // row 0: all columns; other rows: diagonal
+    a.rpt[0] = 0;
+    for (index_t i = 0; i < n; ++i) { a.rpt[to_size(i) + 1] = n + i; }
+    for (index_t j = 0; j < n; ++j) {
+        a.col.push_back(j);
+        a.val.push_back(1.0);
+    }
+    for (index_t i = 1; i < n; ++i) {
+        a.col.push_back(i);
+        a.val.push_back(2.0);
+    }
+    a.validate();
+    expect_matches_reference(a, a);
+}
+
+TEST(HashSpgemm, PowerLawMatrix)
+{
+    gen::ScaleFreeParams p;
+    p.rows = 3000;
+    p.avg_degree = 4.0;
+    p.max_degree = 600;
+    p.alpha = 1.5;
+    p.seed = 9;
+    const auto a = gen::scale_free(p);
+    expect_matches_reference(a, a);
+}
+
+TEST(HashSpgemm, WithoutStreams)
+{
+    core::Options opt;
+    opt.use_streams = false;
+    const auto a = gen::uniform_random(400, 400, 10, 4);
+    expect_matches_reference(a, a, opt);
+}
+
+TEST(HashSpgemm, WithoutPwarp)
+{
+    core::Options opt;
+    opt.use_pwarp = false;
+    const auto a = gen::uniform_random(400, 400, 3, 5);
+    expect_matches_reference(a, a, opt);
+}
+
+class PwarpWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PwarpWidthTest, AllWidthsCorrect)
+{
+    core::Options opt;
+    opt.pwarp_width = GetParam();
+    const auto a = gen::uniform_random(600, 600, 4, 6);
+    expect_matches_reference(a, a, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PwarpWidthTest, ::testing::Values(1, 2, 4, 8, 16));
+
+// Property sweep: (generator kind, size, degree, seed) grid.
+struct SweepParam {
+    int kind;
+    index_t n;
+    index_t degree;
+    std::uint64_t seed;
+};
+
+class SpgemmSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SpgemmSweep, MatchesReference)
+{
+    const auto [kind, n, degree, seed] = GetParam();
+    CsrMatrix<double> a;
+    switch (kind) {
+        case 0: a = gen::uniform_random(n, n, degree, seed); break;
+        case 1: {
+            gen::ScaleFreeParams p;
+            p.rows = n;
+            p.avg_degree = static_cast<double>(degree);
+            p.max_degree = n / 4;
+            p.seed = seed;
+            a = gen::scale_free(p);
+            break;
+        }
+        default: {
+            gen::RmatParams p;
+            p.scale = 0;
+            while ((index_t{1} << p.scale) < n) { ++p.scale; }
+            p.edges_per_vertex = static_cast<double>(degree);
+            p.seed = seed;
+            a = gen::rmat(p);
+            break;
+        }
+    }
+    expect_matches_reference(a, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SpgemmSweep,
+    ::testing::Values(SweepParam{0, 64, 2, 1}, SweepParam{0, 64, 8, 2},
+                      SweepParam{0, 256, 5, 3}, SweepParam{0, 1024, 3, 4},
+                      SweepParam{0, 1024, 20, 5}, SweepParam{1, 128, 3, 6},
+                      SweepParam{1, 512, 6, 7}, SweepParam{1, 2048, 4, 8},
+                      SweepParam{2, 128, 4, 9}, SweepParam{2, 512, 6, 10},
+                      SweepParam{2, 2048, 5, 11}));
+
+// Algebraic properties.
+
+TEST(HashSpgemmProperties, MultiplyByIdentityIsIdentityMap)
+{
+    const auto a = gen::uniform_random(300, 300, 7, 12);
+    const auto i = CsrMatrix<double>::identity(300);
+    sim::Device dev = p100();
+    auto ai = hash_spgemm<double>(dev, a, i).matrix;
+    auto sorted_a = a;
+    sorted_a.sort_rows();
+    EXPECT_TRUE(approx_equal(ai, sorted_a, 1e-12));
+    auto ia = hash_spgemm<double>(dev, i, a).matrix;
+    EXPECT_TRUE(approx_equal(ia, sorted_a, 1e-12));
+}
+
+TEST(HashSpgemmProperties, TransposeIdentity)
+{
+    // (B^T A^T)^T == A B
+    const auto a = gen::uniform_random(150, 200, 5, 13);
+    const auto b = gen::uniform_random(200, 120, 6, 14);
+    sim::Device dev = p100();
+    const auto ab = hash_spgemm<double>(dev, a, b).matrix;
+    const auto btat = hash_spgemm<double>(dev, transpose(b), transpose(a)).matrix;
+    EXPECT_TRUE(approx_equal(ab, transpose(btat), 1e-10));
+}
+
+TEST(HashSpgemmProperties, NnzNeverExceedsIntermediateProducts)
+{
+    for (const std::uint64_t seed : {21U, 22U, 23U}) {
+        const auto a = gen::uniform_random(400, 400, 6, seed);
+        sim::Device dev = p100();
+        const auto out = hash_spgemm<double>(dev, a, a);
+        EXPECT_LE(out.stats.nnz_c, out.stats.intermediate_products);
+        EXPECT_GE(out.stats.nnz_c, 0);
+    }
+}
+
+TEST(HashSpgemmProperties, DeterministicAcrossRuns)
+{
+    const auto a = gen::uniform_random(300, 300, 8, 30);
+    sim::Device d1 = p100();
+    sim::Device d2 = p100();
+    const auto c1 = hash_spgemm<double>(d1, a, a);
+    const auto c2 = hash_spgemm<double>(d2, a, a);
+    EXPECT_TRUE(c1.matrix == c2.matrix);
+    EXPECT_DOUBLE_EQ(c1.stats.seconds, c2.stats.seconds);
+}
+
+TEST(HashSpgemmProperties, OutputRowsAreSorted)
+{
+    const auto a = gen::uniform_random(500, 500, 9, 31);
+    sim::Device dev = p100();
+    EXPECT_TRUE(hash_spgemm<double>(dev, a, a).matrix.has_sorted_rows());
+}
+
+TEST(HashSpgemmStats, PhasesSumToTotal)
+{
+    const auto a = gen::uniform_random(400, 400, 10, 32);
+    sim::Device dev = p100();
+    const auto s = hash_spgemm<double>(dev, a, a).stats;
+    EXPECT_NEAR(s.setup_seconds + s.count_seconds + s.calc_seconds + s.malloc_seconds,
+                s.seconds, 1e-12);
+    EXPECT_GT(s.peak_bytes, 0U);
+    EXPECT_GT(s.gflops(), 0.0);
+}
+
+TEST(HashSpgemmStats, MultiplyConvenienceWrapper)
+{
+    const auto a = gen::uniform_random(100, 100, 5, 33);
+    const auto c = multiply<double>(a, a);
+    EXPECT_TRUE(approx_equal(c, reference_spgemm(a, a)));
+}
+
+}  // namespace
+}  // namespace nsparse

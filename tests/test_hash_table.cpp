@@ -1,0 +1,162 @@
+// Hash-table primitive tests (paper Algorithm 5): probing, saturation,
+// determinism, pow2 vs modulus equivalence, numeric accumulation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/hash_table.hpp"
+#include "matgen/rng.hpp"
+
+namespace nsparse::core {
+namespace {
+
+TEST(Pow2Helpers, NextPrevPow2)
+{
+    EXPECT_EQ(next_pow2(1), 1);
+    EXPECT_EQ(next_pow2(2), 2);
+    EXPECT_EQ(next_pow2(3), 4);
+    EXPECT_EQ(next_pow2(4095), 4096);
+    EXPECT_EQ(next_pow2(4097), 8192);
+    EXPECT_EQ(next_pow2(0), 1);
+    EXPECT_EQ(prev_pow2(1), 1);
+    EXPECT_EQ(prev_pow2(12288), 8192);
+    EXPECT_EQ(prev_pow2(4096), 4096);
+    EXPECT_THROW((void)prev_pow2(0), PreconditionError);
+}
+
+TEST(HashInsert, InsertFindAndCount)
+{
+    std::vector<index_t> table(64, kEmptySlot);
+    auto r = hash_insert_key(std::span<index_t>(table), 17);
+    EXPECT_TRUE(r.inserted);
+    EXPECT_FALSE(r.found);
+    EXPECT_EQ(r.probes, 1);
+
+    r = hash_insert_key(std::span<index_t>(table), 17);
+    EXPECT_FALSE(r.inserted);
+    EXPECT_TRUE(r.found);
+}
+
+TEST(HashInsert, LinearProbingResolvesCollisions)
+{
+    // keys k and k + 64/gcd collide under (key*107) & 63 when chosen so.
+    std::vector<index_t> table(8, kEmptySlot);
+    // find two keys with same slot
+    index_t k1 = 0;
+    index_t k2 = -1;
+    const index_t s1 = hash_slot(k1, 8, true);
+    for (index_t k = 1; k < 100; ++k) {
+        if (hash_slot(k, 8, true) == s1) {
+            k2 = k;
+            break;
+        }
+    }
+    ASSERT_GE(k2, 0);
+    (void)hash_insert_key(std::span<index_t>(table), k1);
+    const auto r = hash_insert_key(std::span<index_t>(table), k2);
+    EXPECT_TRUE(r.inserted);
+    EXPECT_GT(r.probes, 1);  // had to walk past the collision
+}
+
+TEST(HashInsert, SaturationReportsFull)
+{
+    std::vector<index_t> table(4, kEmptySlot);
+    for (index_t k = 0; k < 4; ++k) {
+        EXPECT_TRUE(hash_insert_key(std::span<index_t>(table), k * 13 + 1).inserted);
+    }
+    const auto r = hash_insert_key(std::span<index_t>(table), 997);
+    EXPECT_TRUE(r.full);
+    EXPECT_FALSE(r.inserted);
+    EXPECT_EQ(r.probes, 4);
+
+    // re-inserting an existing key still succeeds at full load
+    EXPECT_TRUE(hash_insert_key(std::span<index_t>(table), 1).found);
+}
+
+TEST(HashInsert, CountsDistinctKeysExactly)
+{
+    gen::Pcg32 rng(1);
+    std::vector<index_t> table(1024, kEmptySlot);
+    std::set<index_t> distinct;
+    index_t inserted = 0;
+    for (int i = 0; i < 600; ++i) {
+        const auto key = to_index(rng.bounded(400));
+        distinct.insert(key);
+        if (hash_insert_key(std::span<index_t>(table), key).inserted) { ++inserted; }
+    }
+    EXPECT_EQ(to_size(inserted), distinct.size());
+}
+
+TEST(HashInsert, Pow2AndModulusAgreeOnPow2Tables)
+{
+    std::vector<index_t> t1(256, kEmptySlot);
+    std::vector<index_t> t2(256, kEmptySlot);
+    gen::Pcg32 rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const auto key = to_index(rng.bounded(100000));
+        const auto r1 = hash_insert_key(std::span<index_t>(t1), key, true);
+        const auto r2 = hash_insert_key(std::span<index_t>(t2), key, false);
+        EXPECT_EQ(r1.inserted, r2.inserted);
+        EXPECT_EQ(r1.probes, r2.probes);
+    }
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(HashInsert, NonPow2TableWorks)
+{
+    std::vector<index_t> table(100, kEmptySlot);
+    index_t n = 0;
+    for (index_t k = 0; k < 100; ++k) {
+        if (hash_insert_key(std::span<index_t>(table), k * 7919, false).inserted) { ++n; }
+    }
+    EXPECT_EQ(n, 100);  // fills completely without losing keys
+}
+
+TEST(HashAccumulate, SumsValuesUnderSameKey)
+{
+    std::vector<index_t> keys(32, kEmptySlot);
+    std::vector<double> vals(32, 0.0);
+    auto ks = std::span<index_t>(keys);
+    auto vs = std::span<double>(vals);
+    EXPECT_TRUE(hash_accumulate(ks, vs, 5, 1.5).inserted);
+    EXPECT_TRUE(hash_accumulate(ks, vs, 5, 2.5).found);
+    EXPECT_TRUE(hash_accumulate(ks, vs, 9, 1.0).inserted);
+
+    double sum5 = 0.0;
+    for (std::size_t s = 0; s < keys.size(); ++s) {
+        if (keys[s] == 5) { sum5 = vals[s]; }
+    }
+    EXPECT_DOUBLE_EQ(sum5, 4.0);
+}
+
+TEST(HashAccumulate, MismatchedSpansThrow)
+{
+    std::vector<index_t> keys(8, kEmptySlot);
+    std::vector<double> vals(4, 0.0);
+    EXPECT_THROW((void)hash_accumulate(std::span<index_t>(keys), std::span<double>(vals),
+                                       index_t{1}, 1.0),
+                 PreconditionError);
+}
+
+TEST(HashAccumulate, FullTableReported)
+{
+    std::vector<index_t> keys(2, kEmptySlot);
+    std::vector<float> vals(2, 0.0F);
+    auto ks = std::span<index_t>(keys);
+    auto vs = std::span<float>(vals);
+    (void)hash_accumulate(ks, vs, 1, 1.0F);
+    (void)hash_accumulate(ks, vs, 2, 1.0F);
+    EXPECT_TRUE(hash_accumulate(ks, vs, 3, 1.0F).full);
+}
+
+TEST(HashSlot, MatchesPaperFormula)
+{
+    // hash = (key * HASH_SCAL) % t_size
+    EXPECT_EQ(hash_slot(10, 1024, true),
+              to_index((10ULL * kHashScale) % 1024ULL));
+    EXPECT_EQ(hash_slot(12345, 1000, false),
+              to_index((12345ULL * kHashScale) % 1000ULL));
+}
+
+}  // namespace
+}  // namespace nsparse::core

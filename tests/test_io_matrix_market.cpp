@@ -1,0 +1,146 @@
+// MatrixMarket reader/writer: round trip, symmetric/pattern variants,
+// malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matgen/generators.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/io_matrix_market.hpp"
+
+namespace nsparse {
+namespace {
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    auto a = gen::uniform_random(30, 40, 5, 1);
+    a.sort_rows();
+    std::stringstream ss;
+    write_matrix_market(ss, a);
+    const auto back = read_matrix_market(ss);
+    EXPECT_TRUE(approx_equal(a, back, 1e-14));
+}
+
+TEST(MatrixMarket, ParsesGeneralReal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 3 3\n"
+        "1 1 2.5\n"
+        "3 2 -1.0\n"
+        "2 3 4.0\n");
+    const auto m = read_matrix_market(in);
+    EXPECT_EQ(m.rows, 3);
+    EXPECT_EQ(m.cols, 3);
+    EXPECT_EQ(m.nnz(), 3);
+    EXPECT_DOUBLE_EQ(m.row_vals(0)[0], 2.5);
+    EXPECT_EQ(m.row_cols(2)[0], 1);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 1 5.0\n");
+    const auto m = read_matrix_market(in);
+    EXPECT_EQ(m.nnz(), 3);  // (0,0), (1,0) and mirrored (0,1)
+    EXPECT_DOUBLE_EQ(m.row_vals(0)[1], 5.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricNegatesMirror)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3.0\n");
+    const auto m = read_matrix_market(in);
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.row_vals(0)[0], -3.0);
+    EXPECT_DOUBLE_EQ(m.row_vals(1)[0], 3.0);
+}
+
+TEST(MatrixMarket, PatternGetsUnitValues)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const auto m = read_matrix_market(in);
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.val[0], 1.0);
+}
+
+TEST(MatrixMarket, FoldsDuplicateEntries)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "1 1 2\n"
+        "1 1 1.0\n"
+        "1 1 2.0\n");
+    const auto m = read_matrix_market(in);
+    EXPECT_EQ(m.nnz(), 1);
+    EXPECT_DOUBLE_EQ(m.val[0], 3.0);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner)
+{
+    std::istringstream in("3 3 0\n");
+    EXPECT_THROW((void)read_matrix_market(in), ParseError);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormat)
+{
+    std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+    EXPECT_THROW((void)read_matrix_market(in), ParseError);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndices)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_THROW((void)read_matrix_market(in), ParseError);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");
+    EXPECT_THROW((void)read_matrix_market(in), ParseError);
+}
+
+TEST(MatrixMarket, MissingFileThrows)
+{
+    EXPECT_THROW((void)read_matrix_market_file("/nonexistent/file.mtx"), ParseError);
+}
+
+TEST(MatrixMarket, FileRoundTrip)
+{
+    auto a = gen::uniform_random(10, 10, 3, 2);
+    a.sort_rows();
+    const std::string path = ::testing::TempDir() + "/nsparse_io_test.mtx";
+    write_matrix_market_file(path, a);
+    const auto back = read_matrix_market_file(path);
+    EXPECT_TRUE(approx_equal(a, back, 1e-14));
+}
+
+TEST(ConvertValues, DoubleToFloat)
+{
+    const auto a = gen::uniform_random(20, 20, 4, 3);
+    const auto f = convert_values<float>(a);
+    EXPECT_EQ(f.rpt, a.rpt);
+    EXPECT_EQ(f.col, a.col);
+    for (std::size_t k = 0; k < a.val.size(); ++k) {
+        EXPECT_FLOAT_EQ(f.val[k], static_cast<float>(a.val[k]));
+    }
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,91 @@
+// The memory estimator must bracket the measured device peak tightly —
+// it is the "will it fit?" answer the paper's memory-saving claim enables.
+#include <gtest/gtest.h>
+
+#include "core/memory_estimator.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/dataset_suite.hpp"
+#include "matgen/generators.hpp"
+
+namespace nsparse::core {
+namespace {
+
+template <ValueType T>
+void expect_tight(const CsrMatrix<T>& a, double slack = 0.05)
+{
+    const auto est = estimate_hash_spgemm_memory<T>(a, a);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto out = hash_spgemm<T>(dev, a, a);
+    const auto actual = out.stats.peak_bytes;
+    EXPECT_GE(static_cast<double>(est.peak) * (1.0 + slack), static_cast<double>(actual))
+        << "estimate " << est.peak << " vs actual " << actual;
+    EXPECT_LE(static_cast<double>(est.peak), static_cast<double>(actual) * (1.0 + slack))
+        << "estimate " << est.peak << " vs actual " << actual;
+}
+
+TEST(MemoryEstimator, UniformRandomDouble) { expect_tight(gen::uniform_random(800, 800, 10, 1)); }
+
+TEST(MemoryEstimator, UniformRandomFloat)
+{
+    const auto a = gen::uniform_random(800, 800, 10, 1);
+    CsrMatrix<float> f;
+    f.rows = a.rows;
+    f.cols = a.cols;
+    f.rpt = a.rpt;
+    f.col = a.col;
+    f.val.assign(a.val.begin(), a.val.end());
+    expect_tight(f);
+}
+
+TEST(MemoryEstimator, GridStencil) { expect_tight(gen::grid2d(60, 60, true, 2)); }
+
+TEST(MemoryEstimator, PowerLawWithGlobalRows)
+{
+    gen::ScaleFreeParams p;
+    p.rows = 4000;
+    p.avg_degree = 4.0;
+    p.max_degree = 1200;  // hub rows push outputs into the global groups
+    p.alpha = 1.4;
+    p.seed = 3;
+    expect_tight(gen::scale_free(p));
+}
+
+TEST(MemoryEstimator, DatasetAnalogues)
+{
+    for (const auto* name : {"QCD", "Circuit", "Economics"}) {
+        SCOPED_TRACE(name);
+        expect_tight(gen::make_dataset(name, 16.0));
+    }
+}
+
+TEST(MemoryEstimator, ComponentsAddUp)
+{
+    const auto a = gen::uniform_random(500, 500, 8, 4);
+    const auto e = estimate_hash_spgemm_memory<double>(a, a);
+    EXPECT_GT(e.inputs, 0U);
+    EXPECT_GT(e.output, 0U);
+    EXPECT_GT(e.bookkeeping, 0U);
+    EXPECT_GE(e.peak, e.inputs + e.output);
+}
+
+TEST(MemoryEstimator, PredictsOomCorrectly)
+{
+    // A device sized just below the estimate must OOM; just above must not.
+    const auto a = gen::uniform_random(600, 600, 12, 5);
+    const auto e = estimate_hash_spgemm_memory<double>(a, a);
+    {
+        sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+        spec.memory_capacity = static_cast<std::size_t>(static_cast<double>(e.peak) * 1.06);
+        sim::Device dev(spec);
+        EXPECT_NO_THROW((void)hash_spgemm<double>(dev, a, a));
+    }
+    {
+        sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+        spec.memory_capacity = static_cast<std::size_t>(static_cast<double>(e.peak) * 0.80);
+        sim::Device dev(spec);
+        EXPECT_THROW((void)hash_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+    }
+}
+
+}  // namespace
+}  // namespace nsparse::core

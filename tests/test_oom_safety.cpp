@@ -1,0 +1,98 @@
+// Failure injection: when the simulated device runs out of memory
+// mid-algorithm, RAII must release every temporary so the device can be
+// reused, and successive attempts behave identically.
+#include <gtest/gtest.h>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+template <ValueType T>
+using Runner = SpgemmOutput<T> (*)(sim::Device&, const CsrMatrix<T>&, const CsrMatrix<T>&);
+
+template <ValueType T>
+SpgemmOutput<T> run_hash(sim::Device& d, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+{
+    return hash_spgemm<T>(d, a, b);
+}
+
+class OomSafety : public ::testing::TestWithParam<const char*> {
+protected:
+    static SpgemmOutput<double> run(const std::string& name, sim::Device& dev,
+                                    const CsrMatrix<double>& a)
+    {
+        if (name == "CUSP") { return baseline::esc_spgemm<double>(dev, a, a); }
+        if (name == "cuSPARSE") { return baseline::cusparse_spgemm<double>(dev, a, a); }
+        if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<double>(dev, a, a); }
+        return hash_spgemm<double>(dev, a, a);
+    }
+};
+
+TEST_P(OomSafety, OomReleasesEverythingAndDeviceStaysUsable)
+{
+    const std::string alg = GetParam();
+    const auto big = gen::uniform_random(1500, 1500, 40, 1);   // ~2.4M products
+    const auto small = gen::uniform_random(100, 100, 4, 2);
+
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = 4 * 1024 * 1024;  // 4 MB: everything OOMs on `big`
+    sim::Device dev(spec);
+
+    const std::size_t live_before = dev.allocator().live_bytes();
+    EXPECT_THROW((void)run(alg, dev, big), DeviceOutOfMemory);
+    // All temporaries released by RAII during unwinding.
+    EXPECT_EQ(dev.allocator().live_bytes(), live_before) << alg;
+
+    // The device remains usable for a computation that fits.
+    const auto out = run(alg, dev, small);
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(small, small))) << alg;
+    EXPECT_EQ(dev.allocator().live_bytes(), live_before) << alg;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, OomSafety,
+                         ::testing::Values("CUSP", "cuSPARSE", "BHSPARSE", "PROPOSAL"));
+
+TEST(OomSafety, RepeatedAttemptsAreDeterministic)
+{
+    const auto a = gen::uniform_random(1500, 1500, 40, 1);
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = 4 * 1024 * 1024;
+    sim::Device dev(spec);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        EXPECT_THROW((void)baseline::esc_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+    }
+}
+
+TEST(OomSafety, ExactCapacityBoundary)
+{
+    // Find how much the proposal needs, then verify capacity-1 byte fails
+    // and exact capacity succeeds.
+    const auto a = gen::uniform_random(400, 400, 8, 3);
+    std::size_t peak = 0;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        peak = hash_spgemm<double>(dev, a, a).stats.peak_bytes;
+    }
+    {
+        sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+        spec.memory_capacity = peak;
+        sim::Device dev(spec);
+        EXPECT_NO_THROW((void)hash_spgemm<double>(dev, a, a));
+    }
+    {
+        sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+        spec.memory_capacity = peak - 1;
+        sim::Device dev(spec);
+        EXPECT_THROW((void)hash_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+    }
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,103 @@
+// The sequential reference SpGEMM itself is validated against the dense
+// O(n^3) oracle, plus the intermediate-product counting of Algorithm 2.
+#include <gtest/gtest.h>
+
+#include "matgen/generators.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+void expect_matches_dense(const CsrMatrix<double>& a, const CsrMatrix<double>& b)
+{
+    const auto c = reference_spgemm(a, b);
+    const auto cd = from_dense<double>(dense_multiply(to_dense(a), to_dense(b)));
+    // structural note: reference keeps structurally-nonzero entries even if
+    // the value cancels to zero, so compare densely.
+    const auto dc = to_dense(c);
+    const auto dd = dense_multiply(to_dense(a), to_dense(b));
+    for (index_t i = 0; i < c.rows; ++i) {
+        for (index_t j = 0; j < c.cols; ++j) {
+            EXPECT_NEAR(dc.at(i, j), dd.at(i, j), 1e-9) << i << "," << j;
+        }
+    }
+    (void)cd;
+}
+
+TEST(ReferenceSpgemm, MatchesDenseOracleSquare)
+{
+    for (const std::uint64_t seed : {1U, 2U, 3U}) {
+        const auto a = gen::uniform_random(30, 30, 5, seed);
+        expect_matches_dense(a, a);
+    }
+}
+
+TEST(ReferenceSpgemm, MatchesDenseOracleRectangular)
+{
+    const auto a = gen::uniform_random(14, 25, 6, 4);
+    const auto b = gen::uniform_random(25, 19, 4, 5);
+    expect_matches_dense(a, b);
+}
+
+TEST(ReferenceSpgemm, OutputSortedNoDuplicates)
+{
+    const auto a = gen::uniform_random(100, 100, 7, 6);
+    const auto c = reference_spgemm(a, a);
+    EXPECT_TRUE(c.has_sorted_rows());
+}
+
+TEST(ReferenceSpgemm, DimensionMismatchThrows)
+{
+    const auto a = gen::uniform_random(5, 6, 2, 7);
+    EXPECT_THROW((void)reference_spgemm(a, a), PreconditionError);
+}
+
+TEST(IntermediateProducts, HandComputed)
+{
+    // A row 0 references columns {0,1}; nnz(B row 0)=2, nnz(B row 1)=3.
+    CsrMatrix<double> a(2, 2, {0, 2, 3}, {0, 1, 0}, {1, 1, 1});
+    CsrMatrix<double> b(2, 3, {0, 2, 5}, {0, 1, 0, 1, 2}, {1, 1, 1, 1, 1});
+    EXPECT_EQ(row_intermediate_products(a, b, 0), 5);
+    EXPECT_EQ(row_intermediate_products(a, b, 1), 2);
+    EXPECT_EQ(total_intermediate_products(a, b), 7);
+    EXPECT_EQ(intermediate_products_per_row(a, b), (std::vector<index_t>{5, 2}));
+}
+
+TEST(IntermediateProducts, UpperBoundsOutputNnz)
+{
+    const auto a = gen::uniform_random(200, 200, 6, 8);
+    const auto per_row = intermediate_products_per_row(a, a);
+    const auto nnz = reference_row_nnz(a, a);
+    for (index_t i = 0; i < a.rows; ++i) {
+        EXPECT_LE(nnz[to_size(i)], per_row[to_size(i)]) << i;
+    }
+}
+
+TEST(IntermediateProducts, IdentitySquaredEqualsN)
+{
+    const auto i = CsrMatrix<double>::identity(123);
+    EXPECT_EQ(total_intermediate_products(i, i), 123);
+}
+
+TEST(ReferenceRowNnz, MatchesFullComputation)
+{
+    const auto a = gen::uniform_random(150, 150, 5, 9);
+    const auto nnz = reference_row_nnz(a, a);
+    const auto c = reference_spgemm(a, a);
+    for (index_t i = 0; i < a.rows; ++i) { EXPECT_EQ(nnz[to_size(i)], c.row_nnz(i)); }
+}
+
+TEST(ReferenceSpgemm, EmptyTimesAnything)
+{
+    const auto z = CsrMatrix<double>::zero(10, 20);
+    const auto b = gen::uniform_random(20, 5, 3, 10);
+    const auto c = reference_spgemm(z, b);
+    EXPECT_EQ(c.nnz(), 0);
+    EXPECT_EQ(c.rows, 10);
+    EXPECT_EQ(c.cols, 5);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,111 @@
+// Randomized scheduler invariants: for arbitrary kernel batches the
+// makespan must respect work conservation, span floors, launch overhead
+// and stream ordering — and never livelock.
+#include <gtest/gtest.h>
+
+#include "gpusim/scheduler.hpp"
+#include "matgen/rng.hpp"
+
+namespace nsparse::sim {
+namespace {
+
+struct Fuzz {
+    std::vector<KernelRecord> kernels;
+    double total_work = 0.0;
+    double max_span_cycles = 0.0;
+};
+
+Fuzz random_batch(std::uint64_t seed)
+{
+    gen::Pcg32 rng(seed);
+    Fuzz f;
+    const int n_kernels = 1 + static_cast<int>(rng.bounded(6));
+    for (int k = 0; k < n_kernels; ++k) {
+        KernelRecord rec;
+        rec.name = "fuzz" + std::to_string(k);
+        rec.stream_id = static_cast<int>(rng.bounded(3));
+        const int block_choices[] = {32, 64, 128, 256, 512, 1024};
+        rec.cfg.block_dim = block_choices[rng.bounded(6)];
+        rec.cfg.grid_dim = 1 + to_index(rng.bounded(300));
+        rec.cfg.shared_bytes = to_size(rng.bounded(48)) * 1024;
+        rec.blocks.resize(to_size(rec.cfg.grid_dim));
+        for (auto& b : rec.blocks) {
+            b.work = rng.uniform(0.0, 1e6);
+            b.span = rng.uniform(0.0, b.work);  // span cannot exceed work
+            f.total_work += b.work;
+            f.max_span_cycles = std::max(f.max_span_cycles, b.span);
+        }
+        f.kernels.push_back(std::move(rec));
+    }
+    return f;
+}
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, InvariantsHold)
+{
+    const auto spec = DeviceSpec::pascal_p100();
+    const CostModel cost;
+    const auto f = random_batch(GetParam());
+    const auto r = schedule(f.kernels, spec, cost);
+
+    // 1. work conservation: the device cannot retire faster than all SMs.
+    const double work_floor =
+        f.total_work / (spec.sm_rate() * spec.num_sms);
+    EXPECT_GE(r.makespan * (1.0 + 1e-9), work_floor);
+
+    // 2. span floor: no block finishes faster than its critical path.
+    const double span_floor = f.max_span_cycles / (spec.clock_hz() * spec.efficiency);
+    EXPECT_GE(r.makespan * (1.0 + 1e-9), span_floor);
+
+    // 3. launch overhead floor.
+    EXPECT_GE(r.makespan,
+              static_cast<double>(f.kernels.size()) * cost.launch_overhead_us * 1e-6 * 0.999);
+
+    // 4. per-kernel timing sanity + same-stream ordering.
+    for (std::size_t i = 0; i < r.kernels.size(); ++i) {
+        EXPECT_LE(r.kernels[i].ready, r.kernels[i].start + 1e-12);
+        EXPECT_LE(r.kernels[i].start, r.kernels[i].finish + 1e-12);
+        for (std::size_t j = 0; j < i; ++j) {
+            if (f.kernels[i].stream_id == f.kernels[j].stream_id) {
+                EXPECT_GE(r.kernels[i].start + 1e-12, r.kernels[j].finish)
+                    << "stream order violated: kernels " << j << " -> " << i;
+            }
+        }
+    }
+
+    // 5. determinism.
+    const auto r2 = schedule(f.kernels, spec, cost);
+    EXPECT_DOUBLE_EQ(r.makespan, r2.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U, 8U, 9U, 10U, 11U, 12U,
+                                           13U, 14U, 15U, 16U));
+
+TEST(SchedulerMonotonicity, MoreWorkNeverFaster)
+{
+    const auto spec = DeviceSpec::pascal_p100();
+    const CostModel cost;
+    auto f = random_batch(42);
+    const double before = schedule(f.kernels, spec, cost).makespan;
+    for (auto& k : f.kernels) {
+        for (auto& b : k.blocks) { b.work *= 2.0; }
+    }
+    const double after = schedule(f.kernels, spec, cost).makespan;
+    EXPECT_GE(after, before);
+}
+
+TEST(SchedulerMonotonicity, MoreSmsNeverSlower)
+{
+    auto spec = DeviceSpec::pascal_p100();
+    const CostModel cost;
+    const auto f = random_batch(43);
+    const double p100 = schedule(f.kernels, spec, cost).makespan;
+    spec.num_sms *= 2;
+    const double doubled = schedule(f.kernels, spec, cost).makespan;
+    EXPECT_LE(doubled, p100 * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace nsparse::sim

@@ -1,0 +1,147 @@
+// Kernel-trace tests: the trace records which kernels ran, which lets us
+// assert *behavioural* properties of the algorithm — which thread
+// assignment handled which rows, when the global fallback fired, and that
+// streams were used.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+struct TracedDevice {
+    sim::Device dev{sim::DeviceSpec::pascal_p100()};
+    TracedDevice() { dev.enable_trace(); }
+};
+
+TEST(Trace, ShortRowsUsePwarpKernels)
+{
+    const auto a = gen::uniform_random(2000, 2000, 2, 1);  // products/row = 4
+    TracedDevice td;
+    auto& dev = td.dev;
+    (void)hash_spgemm<double>(dev, a, a);
+    EXPECT_EQ(dev.trace().count("symbolic_pwarp"), 1U);
+    EXPECT_EQ(dev.trace().count("numeric_pwarp"), 1U);
+    EXPECT_EQ(dev.trace().count("symbolic_tb"), 0U);    // nothing above the border
+    EXPECT_EQ(dev.trace().count("symbolic_global"), 0U);
+}
+
+TEST(Trace, DisablingPwarpRoutesToTbKernels)
+{
+    const auto a = gen::uniform_random(2000, 2000, 2, 1);
+    core::Options opt;
+    opt.use_pwarp = false;
+    TracedDevice td;
+    auto& dev = td.dev;
+    (void)hash_spgemm<double>(dev, a, a, opt);
+    EXPECT_EQ(dev.trace().count("symbolic_pwarp"), 0U);
+    EXPECT_GE(dev.trace().count("symbolic_tb"), 1U);
+}
+
+TEST(Trace, HubRowTriggersGlobalFallback)
+{
+    // one full row: squaring it yields products = nnz(A) >> 8192 and an
+    // output row wider than 4096 -> both global paths must fire
+    constexpr index_t n = 9000;
+    CsrMatrix<double> a;
+    a.rows = a.cols = n;
+    a.rpt.resize(to_size(n) + 1);
+    a.rpt[0] = 0;
+    for (index_t i = 0; i < n; ++i) { a.rpt[to_size(i) + 1] = n + i; }
+    for (index_t j = 0; j < n; ++j) {
+        a.col.push_back(j);
+        a.val.push_back(1.0);
+    }
+    for (index_t i = 1; i < n; ++i) {
+        a.col.push_back(i);
+        a.val.push_back(2.0);
+    }
+    a.validate();
+
+    TracedDevice td;
+    auto& dev = td.dev;
+    (void)hash_spgemm<double>(dev, a, a);
+    EXPECT_EQ(dev.trace().count("symbolic_global"), 1U);
+    EXPECT_EQ(dev.trace().count("numeric_global"), 1U);
+}
+
+TEST(Trace, StreamsDistinctPerGroupWhenEnabled)
+{
+    gen::ScaleFreeParams p;
+    p.rows = 3000;
+    p.avg_degree = 5.0;
+    p.max_degree = 700;
+    p.alpha = 1.4;
+    p.seed = 2;
+    const auto a = gen::scale_free(p);
+
+    TracedDevice td;
+    auto& dev = td.dev;
+    (void)hash_spgemm<double>(dev, a, a);
+    std::set<int> symbolic_streams;
+    for (const auto& e : dev.trace().entries()) {
+        if (e.name.rfind("symbolic_", 0) == 0) { symbolic_streams.insert(e.stream_id); }
+    }
+    EXPECT_GE(symbolic_streams.size(), 2U);  // groups launched on own streams
+
+    TracedDevice td2;
+    auto& dev2 = td2.dev;
+    core::Options opt;
+    opt.use_streams = false;
+    (void)hash_spgemm<double>(dev2, a, a, opt);
+    std::set<int> serial_streams;
+    for (const auto& e : dev2.trace().entries()) { serial_streams.insert(e.stream_id); }
+    EXPECT_EQ(serial_streams.size(), 1U);
+}
+
+TEST(Trace, EntriesCarryScheduleTimes)
+{
+    const auto a = gen::uniform_random(400, 400, 6, 3);
+    TracedDevice td;
+    auto& dev = td.dev;
+    (void)hash_spgemm<double>(dev, a, a);
+    ASSERT_FALSE(dev.trace().empty());
+    for (const auto& e : dev.trace().entries()) {
+        EXPECT_LE(e.start, e.finish) << e.name;
+        EXPECT_GE(e.grid_dim, 0) << e.name;
+        EXPECT_GT(e.block_dim, 0) << e.name;
+        EXPECT_FALSE(e.phase.empty()) << e.name;
+    }
+}
+
+TEST(Trace, ReportListsKernelsByWorkShare)
+{
+    const auto a = gen::uniform_random(600, 600, 8, 4);
+    TracedDevice td;
+    auto& dev = td.dev;
+    (void)hash_spgemm<double>(dev, a, a);
+    const std::string rep = dev.trace().report();
+    EXPECT_NE(rep.find("count_products"), std::string::npos);
+    EXPECT_NE(rep.find('%'), std::string::npos);
+}
+
+TEST(Trace, ResetMeasurementClears)
+{
+    const auto a = gen::uniform_random(100, 100, 4, 5);
+    TracedDevice td;
+    auto& dev = td.dev;
+    (void)hash_spgemm<double>(dev, a, a);  // driver resets at entry, then records
+    EXPECT_FALSE(dev.trace().empty());
+    dev.reset_measurement();
+    EXPECT_TRUE(dev.trace().empty());
+}
+
+TEST(Trace, DisabledByDefault)
+{
+    const auto a = gen::uniform_random(100, 100, 4, 5);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    (void)hash_spgemm<double>(dev, a, a);
+    EXPECT_TRUE(dev.trace().empty());
+}
+
+}  // namespace
+}  // namespace nsparse
