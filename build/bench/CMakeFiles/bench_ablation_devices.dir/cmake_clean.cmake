@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_devices.dir/bench_ablation_devices.cpp.o"
+  "CMakeFiles/bench_ablation_devices.dir/bench_ablation_devices.cpp.o.d"
+  "bench_ablation_devices"
+  "bench_ablation_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

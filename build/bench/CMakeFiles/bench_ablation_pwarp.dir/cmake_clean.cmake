@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pwarp.dir/bench_ablation_pwarp.cpp.o"
+  "CMakeFiles/bench_ablation_pwarp.dir/bench_ablation_pwarp.cpp.o.d"
+  "bench_ablation_pwarp"
+  "bench_ablation_pwarp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pwarp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

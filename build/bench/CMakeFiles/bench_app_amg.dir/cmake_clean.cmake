@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_amg.dir/bench_app_amg.cpp.o"
+  "CMakeFiles/bench_app_amg.dir/bench_app_amg.cpp.o.d"
+  "bench_app_amg"
+  "bench_app_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_graph.dir/bench_app_graph.cpp.o"
+  "CMakeFiles/bench_app_graph.dir/bench_app_graph.cpp.o.d"
+  "bench_app_graph"
+  "bench_app_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

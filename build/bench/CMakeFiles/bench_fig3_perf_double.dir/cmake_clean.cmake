@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_perf_double.dir/bench_fig3_perf_double.cpp.o"
+  "CMakeFiles/bench_fig3_perf_double.dir/bench_fig3_perf_double.cpp.o.d"
+  "bench_fig3_perf_double"
+  "bench_fig3_perf_double.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_perf_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_memory.dir/bench_fig4_memory.cpp.o"
+  "CMakeFiles/bench_fig4_memory.dir/bench_fig4_memory.cpp.o.d"
+  "bench_fig4_memory"
+  "bench_fig4_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_breakdown_single.dir/bench_fig5_breakdown_single.cpp.o"
+  "CMakeFiles/bench_fig5_breakdown_single.dir/bench_fig5_breakdown_single.cpp.o.d"
+  "bench_fig5_breakdown_single"
+  "bench_fig5_breakdown_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_breakdown_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

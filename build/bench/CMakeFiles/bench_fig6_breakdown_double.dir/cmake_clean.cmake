@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_breakdown_double.dir/bench_fig6_breakdown_double.cpp.o"
+  "CMakeFiles/bench_fig6_breakdown_double.dir/bench_fig6_breakdown_double.cpp.o.d"
+  "bench_fig6_breakdown_double"
+  "bench_fig6_breakdown_double.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_breakdown_double.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

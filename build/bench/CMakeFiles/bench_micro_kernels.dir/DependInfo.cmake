@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kernels.cpp" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsparse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/nsparse_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nsparse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nsparse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/matgen/CMakeFiles/nsparse_matgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/nsparse_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/nsparse_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_solver.dir/amg_solver.cpp.o"
+  "CMakeFiles/amg_solver.dir/amg_solver.cpp.o.d"
+  "amg_solver"
+  "amg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

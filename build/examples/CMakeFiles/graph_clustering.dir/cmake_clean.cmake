@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_clustering.dir/graph_clustering.cpp.o"
+  "CMakeFiles/graph_clustering.dir/graph_clustering.cpp.o.d"
+  "graph_clustering"
+  "graph_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm_tool.dir/spgemm_tool.cpp.o"
+  "CMakeFiles/spgemm_tool.dir/spgemm_tool.cpp.o.d"
+  "spgemm_tool"
+  "spgemm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

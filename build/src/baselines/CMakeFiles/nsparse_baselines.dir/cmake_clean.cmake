@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsparse_baselines.dir/bhsparse.cpp.o"
+  "CMakeFiles/nsparse_baselines.dir/bhsparse.cpp.o.d"
+  "CMakeFiles/nsparse_baselines.dir/cusparse_like.cpp.o"
+  "CMakeFiles/nsparse_baselines.dir/cusparse_like.cpp.o.d"
+  "CMakeFiles/nsparse_baselines.dir/esc.cpp.o"
+  "CMakeFiles/nsparse_baselines.dir/esc.cpp.o.d"
+  "libnsparse_baselines.a"
+  "libnsparse_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsparse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

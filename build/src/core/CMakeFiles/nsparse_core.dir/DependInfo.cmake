@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/grouping.cpp" "src/core/CMakeFiles/nsparse_core.dir/grouping.cpp.o" "gcc" "src/core/CMakeFiles/nsparse_core.dir/grouping.cpp.o.d"
+  "/root/repo/src/core/spgemm.cpp" "src/core/CMakeFiles/nsparse_core.dir/spgemm.cpp.o" "gcc" "src/core/CMakeFiles/nsparse_core.dir/spgemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/nsparse_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/nsparse_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

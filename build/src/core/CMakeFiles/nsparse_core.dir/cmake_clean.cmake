@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsparse_core.dir/grouping.cpp.o"
+  "CMakeFiles/nsparse_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/nsparse_core.dir/spgemm.cpp.o"
+  "CMakeFiles/nsparse_core.dir/spgemm.cpp.o.d"
+  "libnsparse_core.a"
+  "libnsparse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsparse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/nsparse_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/nsparse_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/scheduler.cpp" "src/gpusim/CMakeFiles/nsparse_gpusim.dir/scheduler.cpp.o" "gcc" "src/gpusim/CMakeFiles/nsparse_gpusim.dir/scheduler.cpp.o.d"
+  "/root/repo/src/gpusim/trace.cpp" "src/gpusim/CMakeFiles/nsparse_gpusim.dir/trace.cpp.o" "gcc" "src/gpusim/CMakeFiles/nsparse_gpusim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/nsparse_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

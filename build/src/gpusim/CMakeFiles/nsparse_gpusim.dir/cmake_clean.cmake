@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsparse_gpusim.dir/device.cpp.o"
+  "CMakeFiles/nsparse_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/nsparse_gpusim.dir/scheduler.cpp.o"
+  "CMakeFiles/nsparse_gpusim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/nsparse_gpusim.dir/trace.cpp.o"
+  "CMakeFiles/nsparse_gpusim.dir/trace.cpp.o.d"
+  "libnsparse_gpusim.a"
+  "libnsparse_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsparse_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnsparse_gpusim.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsparse_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/nsparse_graph.dir/algorithms.cpp.o.d"
+  "libnsparse_graph.a"
+  "libnsparse_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsparse_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

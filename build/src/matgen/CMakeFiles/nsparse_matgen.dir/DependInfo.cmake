@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matgen/dataset_suite.cpp" "src/matgen/CMakeFiles/nsparse_matgen.dir/dataset_suite.cpp.o" "gcc" "src/matgen/CMakeFiles/nsparse_matgen.dir/dataset_suite.cpp.o.d"
+  "/root/repo/src/matgen/generators.cpp" "src/matgen/CMakeFiles/nsparse_matgen.dir/generators.cpp.o" "gcc" "src/matgen/CMakeFiles/nsparse_matgen.dir/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/nsparse_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsparse_matgen.dir/dataset_suite.cpp.o"
+  "CMakeFiles/nsparse_matgen.dir/dataset_suite.cpp.o.d"
+  "CMakeFiles/nsparse_matgen.dir/generators.cpp.o"
+  "CMakeFiles/nsparse_matgen.dir/generators.cpp.o.d"
+  "libnsparse_matgen.a"
+  "libnsparse_matgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsparse_matgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

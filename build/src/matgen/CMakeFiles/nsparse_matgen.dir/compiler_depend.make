@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nsparse_matgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsparse_solver.dir/amg.cpp.o"
+  "CMakeFiles/nsparse_solver.dir/amg.cpp.o.d"
+  "CMakeFiles/nsparse_solver.dir/cg.cpp.o"
+  "CMakeFiles/nsparse_solver.dir/cg.cpp.o.d"
+  "libnsparse_solver.a"
+  "libnsparse_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsparse_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

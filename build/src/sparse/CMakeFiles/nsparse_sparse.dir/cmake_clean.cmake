@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsparse_sparse.dir/io_matrix_market.cpp.o"
+  "CMakeFiles/nsparse_sparse.dir/io_matrix_market.cpp.o.d"
+  "CMakeFiles/nsparse_sparse.dir/stats.cpp.o"
+  "CMakeFiles/nsparse_sparse.dir/stats.cpp.o.d"
+  "libnsparse_sparse.a"
+  "libnsparse_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsparse_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nsparse_sparse.
+# This may be replaced when dependencies are built.

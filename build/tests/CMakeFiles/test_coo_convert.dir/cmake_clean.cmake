@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coo_convert.dir/test_coo_convert.cpp.o"
+  "CMakeFiles/test_coo_convert.dir/test_coo_convert.cpp.o.d"
+  "test_coo_convert"
+  "test_coo_convert.pdb"
+  "test_coo_convert[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coo_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr_ops.dir/test_csr_ops.cpp.o"
+  "CMakeFiles/test_csr_ops.dir/test_csr_ops.cpp.o.d"
+  "test_csr_ops"
+  "test_csr_ops.pdb"
+  "test_csr_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

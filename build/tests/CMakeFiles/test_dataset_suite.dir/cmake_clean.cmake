@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_suite.dir/test_dataset_suite.cpp.o"
+  "CMakeFiles/test_dataset_suite.dir/test_dataset_suite.cpp.o.d"
+  "test_dataset_suite"
+  "test_dataset_suite.pdb"
+  "test_dataset_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

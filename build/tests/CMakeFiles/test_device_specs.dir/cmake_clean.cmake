@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_specs.dir/test_device_specs.cpp.o"
+  "CMakeFiles/test_device_specs.dir/test_device_specs.cpp.o.d"
+  "test_device_specs"
+  "test_device_specs.pdb"
+  "test_device_specs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_device.dir/test_gpusim_device.cpp.o"
+  "CMakeFiles/test_gpusim_device.dir/test_gpusim_device.cpp.o.d"
+  "test_gpusim_device"
+  "test_gpusim_device.pdb"
+  "test_gpusim_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

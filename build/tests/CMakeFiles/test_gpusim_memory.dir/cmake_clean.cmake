@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_memory.dir/test_gpusim_memory.cpp.o"
+  "CMakeFiles/test_gpusim_memory.dir/test_gpusim_memory.cpp.o.d"
+  "test_gpusim_memory"
+  "test_gpusim_memory.pdb"
+  "test_gpusim_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim_scheduler.dir/test_gpusim_scheduler.cpp.o"
+  "CMakeFiles/test_gpusim_scheduler.dir/test_gpusim_scheduler.cpp.o.d"
+  "test_gpusim_scheduler"
+  "test_gpusim_scheduler.pdb"
+  "test_gpusim_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

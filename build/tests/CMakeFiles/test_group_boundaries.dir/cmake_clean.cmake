@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_boundaries.dir/test_group_boundaries.cpp.o"
+  "CMakeFiles/test_group_boundaries.dir/test_group_boundaries.cpp.o.d"
+  "test_group_boundaries"
+  "test_group_boundaries.pdb"
+  "test_group_boundaries[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

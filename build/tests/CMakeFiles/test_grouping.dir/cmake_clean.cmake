@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grouping.dir/test_grouping.cpp.o"
+  "CMakeFiles/test_grouping.dir/test_grouping.cpp.o.d"
+  "test_grouping"
+  "test_grouping.pdb"
+  "test_grouping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

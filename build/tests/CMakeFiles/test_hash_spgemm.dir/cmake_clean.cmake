@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_spgemm.dir/test_hash_spgemm.cpp.o"
+  "CMakeFiles/test_hash_spgemm.dir/test_hash_spgemm.cpp.o.d"
+  "test_hash_spgemm"
+  "test_hash_spgemm.pdb"
+  "test_hash_spgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_hash_spgemm.
+# This may be replaced when dependencies are built.

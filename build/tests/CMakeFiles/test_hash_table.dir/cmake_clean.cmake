@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_table.dir/test_hash_table.cpp.o"
+  "CMakeFiles/test_hash_table.dir/test_hash_table.cpp.o.d"
+  "test_hash_table"
+  "test_hash_table.pdb"
+  "test_hash_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_matrix_market.dir/test_io_matrix_market.cpp.o"
+  "CMakeFiles/test_io_matrix_market.dir/test_io_matrix_market.cpp.o.d"
+  "test_io_matrix_market"
+  "test_io_matrix_market.pdb"
+  "test_io_matrix_market[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_matrix_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_io_matrix_market.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_estimator.dir/test_memory_estimator.cpp.o"
+  "CMakeFiles/test_memory_estimator.dir/test_memory_estimator.cpp.o.d"
+  "test_memory_estimator"
+  "test_memory_estimator.pdb"
+  "test_memory_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_memory_estimator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oom_safety.dir/test_oom_safety.cpp.o"
+  "CMakeFiles/test_oom_safety.dir/test_oom_safety.cpp.o.d"
+  "test_oom_safety"
+  "test_oom_safety.pdb"
+  "test_oom_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oom_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_spgemm.dir/test_reference_spgemm.cpp.o"
+  "CMakeFiles/test_reference_spgemm.dir/test_reference_spgemm.cpp.o.d"
+  "test_reference_spgemm"
+  "test_reference_spgemm.pdb"
+  "test_reference_spgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_fuzz.dir/test_scheduler_fuzz.cpp.o"
+  "CMakeFiles/test_scheduler_fuzz.dir/test_scheduler_fuzz.cpp.o.d"
+  "test_scheduler_fuzz"
+  "test_scheduler_fuzz.pdb"
+  "test_scheduler_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

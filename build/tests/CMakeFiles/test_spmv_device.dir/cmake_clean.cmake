@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv_device.dir/test_spmv_device.cpp.o"
+  "CMakeFiles/test_spmv_device.dir/test_spmv_device.cpp.o.d"
+  "test_spmv_device"
+  "test_spmv_device.pdb"
+  "test_spmv_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_coo_convert[1]_include.cmake")
+include("/root/repo/build/tests/test_reference_spgemm[1]_include.cmake")
+include("/root/repo/build/tests/test_io_matrix_market[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim_device[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_hash_table[1]_include.cmake")
+include("/root/repo/build/tests/test_grouping[1]_include.cmake")
+include("/root/repo/build/tests/test_hash_spgemm[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_group_boundaries[1]_include.cmake")
+include("/root/repo/build/tests/test_spmv_device[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_device_specs[1]_include.cmake")
+include("/root/repo/build/tests/test_oom_safety[1]_include.cmake")
+include("/root/repo/build/tests/test_csr_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
