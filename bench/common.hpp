@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,17 @@ inline const std::vector<std::string>& algo_names()
 {
     static const std::vector<std::string> names = {"CUSP", "cuSPARSE", "BHSPARSE", "PROPOSAL"};
     return names;
+}
+
+/// Executor thread count for every benchmark run. NSPARSE_EXECUTOR_THREADS
+/// overrides (1 = the seed's sequential behaviour); default 0 lets the
+/// device use all hardware threads. Simulated results are identical either
+/// way — only host wall-clock changes.
+inline int executor_threads_from_env()
+{
+    const char* s = std::getenv("NSPARSE_EXECUTOR_THREADS");
+    if (s == nullptr) { return 0; }
+    return std::atoi(s);
 }
 
 /// Host-side constant costs scaled with the dataset (see header comment).
@@ -63,10 +75,13 @@ std::optional<SpgemmStats> run_algorithm(const std::string& name, sim::Device& d
                                          const core::Options& opt = {})
 {
     try {
-        if (name == "CUSP") { return baseline::esc_spgemm<T>(dev, a, a).stats; }
-        if (name == "cuSPARSE") { return baseline::cusparse_spgemm<T>(dev, a, a).stats; }
-        if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<T>(dev, a, a).stats; }
-        if (name == "PROPOSAL") { return hash_spgemm<T>(dev, a, a, opt).stats; }
+        core::Options o = opt;
+        if (o.executor_threads == 0) { o.executor_threads = executor_threads_from_env(); }
+        const int nt = o.executor_threads;
+        if (name == "CUSP") { return baseline::esc_spgemm<T>(dev, a, a, nt).stats; }
+        if (name == "cuSPARSE") { return baseline::cusparse_spgemm<T>(dev, a, a, nt).stats; }
+        if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<T>(dev, a, a, nt).stats; }
+        if (name == "PROPOSAL") { return hash_spgemm<T>(dev, a, a, o).stats; }
         throw PreconditionError("unknown algorithm: " + name);
     } catch (const DeviceOutOfMemory&) {
         return std::nullopt;

@@ -78,9 +78,11 @@ index_t compute_row(const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b, inde
 }  // namespace
 
 template <ValueType T>
-SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                int executor_threads)
 {
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.set_executor_threads(executor_threads);
     dev.reset_measurement();
 
     SpgemmOutput<T> out;
@@ -323,8 +325,8 @@ SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
 }
 
 template SpgemmOutput<float> bhsparse_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
-                                                    const CsrMatrix<float>&);
+                                                    const CsrMatrix<float>&, int);
 template SpgemmOutput<double> bhsparse_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
-                                                      const CsrMatrix<double>&);
+                                                      const CsrMatrix<double>&, int);
 
 }  // namespace nsparse::baseline

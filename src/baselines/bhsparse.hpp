@@ -15,14 +15,18 @@
 
 namespace nsparse::baseline {
 
+/// `executor_threads` selects how many host threads run the simulated
+/// blocks (0 = hardware_concurrency, 1 = sequential); results and
+/// simulated cycles are identical for every value.
 template <ValueType T>
-SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b);
+SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                int executor_threads = 0);
 
 extern template SpgemmOutput<float> bhsparse_spgemm<float>(sim::Device&,
                                                            const CsrMatrix<float>&,
-                                                           const CsrMatrix<float>&);
+                                                           const CsrMatrix<float>&, int);
 extern template SpgemmOutput<double> bhsparse_spgemm<double>(sim::Device&,
                                                              const CsrMatrix<double>&,
-                                                             const CsrMatrix<double>&);
+                                                             const CsrMatrix<double>&, int);
 
 }  // namespace nsparse::baseline

@@ -3,6 +3,7 @@
 // common streaming parts).
 #pragma once
 
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -56,8 +57,15 @@ inline std::vector<index_t> exclusive_scan(sim::Device& dev,
 {
     const auto rows = to_index(counts.size());
     std::vector<index_t> rpt(to_size(rows) + 1, 0);
+    // Same overflow discipline as core scan_row_pointers: accumulate wide,
+    // fail loudly instead of wrapping 32-bit row pointers.
+    wide_t running = 0;
     for (index_t i = 0; i < rows; ++i) {
-        rpt[to_size(i) + 1] = rpt[to_size(i)] + counts[to_size(i)];
+        running += counts[to_size(i)];
+        NSPARSE_ENSURES(running <= std::numeric_limits<index_t>::max(),
+                        "scanned counts exceed the 32-bit index range: row pointers "
+                        "cannot be represented (rebuild with a wider index_t)");
+        rpt[to_size(i) + 1] = static_cast<index_t>(running);
     }
     constexpr int kBlock = 256;
     const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;

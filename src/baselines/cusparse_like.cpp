@@ -31,9 +31,11 @@ constexpr index_t numeric_table_size()
 }  // namespace
 
 template <ValueType T>
-SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                int executor_threads)
 {
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.set_executor_threads(executor_threads);
     dev.reset_measurement();
 
     // Modulus hashing (the paper's §III-D contrasts its pow2 bit-ops with
@@ -281,8 +283,8 @@ SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
 }
 
 template SpgemmOutput<float> cusparse_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
-                                                    const CsrMatrix<float>&);
+                                                    const CsrMatrix<float>&, int);
 template SpgemmOutput<double> cusparse_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
-                                                      const CsrMatrix<double>&);
+                                                      const CsrMatrix<double>&, int);
 
 }  // namespace nsparse::baseline

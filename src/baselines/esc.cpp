@@ -81,9 +81,11 @@ void radix_pass(sim::Device& dev, sim::DeviceBuffer<std::uint64_t>& keys_in,
 }  // namespace
 
 template <ValueType T>
-SpgemmOutput<T> esc_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+SpgemmOutput<T> esc_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                           int executor_threads)
 {
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.set_executor_threads(executor_threads);
     dev.reset_measurement();
 
     SpgemmOutput<T> out;
@@ -245,8 +247,8 @@ SpgemmOutput<T> esc_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMat
 }
 
 template SpgemmOutput<float> esc_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
-                                               const CsrMatrix<float>&);
+                                               const CsrMatrix<float>&, int);
 template SpgemmOutput<double> esc_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
-                                                 const CsrMatrix<double>&);
+                                                 const CsrMatrix<double>&, int);
 
 }  // namespace nsparse::baseline

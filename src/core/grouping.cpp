@@ -34,7 +34,9 @@ GroupingPolicy GroupingPolicy::derive(const sim::DeviceSpec& spec, std::size_t e
     });
 
     // TB/ROW groups: halve table and block size until the per-SM block
-    // limit (32) is reached (§III-D).
+    // limit (32) is reached (§III-D). With PWARP disabled the smallest
+    // TB group absorbs the short (and empty) rows the PWARP group would
+    // have taken, so its range starts at 0.
     index_t table = p.max_shared_table;
     int block = spec.max_threads_per_block;
     int id = 1;
@@ -42,7 +44,7 @@ GroupingPolicy GroupingPolicy::derive(const sim::DeviceSpec& spec, std::size_t e
         const bool last = tb_for(block) >= spec.max_blocks_per_sm;
         p.groups.push_back(GroupInfo{
             .id = id,
-            .min_count = last ? p.pwarp_border + 1 : table / 2 + 1,
+            .min_count = last ? (use_pwarp ? p.pwarp_border + 1 : 0) : table / 2 + 1,
             .max_count = table,
             .assignment = Assignment::kTbRow,
             .block_size = block,
@@ -56,17 +58,21 @@ GroupingPolicy GroupingPolicy::derive(const sim::DeviceSpec& spec, std::size_t e
         block = std::max(block / 2, spec.warp_size * 2);
     }
 
-    // PWARP/ROW group for the short rows.
-    p.groups.push_back(GroupInfo{
-        .id = id,
-        .min_count = 0,
-        .max_count = p.pwarp_border,
-        .assignment = Assignment::kPwarpRow,
-        .block_size = 512,
-        .tb_per_sm = tb_for(512),
-        .table_size = border,  // per-row mini table (32 symbolic / 16 numeric)
-        .global_table = false,
-    });
+    // PWARP/ROW group for the short rows — only when the assignment is
+    // enabled. Emitting it disabled (max_count = 0) used to route empty
+    // rows to a kernel that was supposed to be off.
+    if (use_pwarp) {
+        p.groups.push_back(GroupInfo{
+            .id = id,
+            .min_count = 0,
+            .max_count = p.pwarp_border,
+            .assignment = Assignment::kPwarpRow,
+            .block_size = 512,
+            .tb_per_sm = tb_for(512),
+            .table_size = border,  // per-row mini table (32 symbolic / 16 numeric)
+            .global_table = false,
+        });
+    }
     return p;
 }
 
@@ -88,13 +94,13 @@ GroupingPolicy GroupingPolicy::numeric(const sim::DeviceSpec& spec, std::size_t 
 int GroupingPolicy::group_of(index_t count) const
 {
     NSPARSE_EXPECTS(count >= 0, "negative row count");
-    if (count <= pwarp_border) { return groups.back().id; }
+    if (groups.back().assignment == Assignment::kPwarpRow && count <= pwarp_border) {
+        return groups.back().id;
+    }
     // Smallest shared table that fits the count; otherwise global group 0.
     for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
         if (it->assignment == Assignment::kPwarpRow) { continue; }
-        if (!it->global_table && count <= it->max_count && count >= it->min_count) {
-            return it->id;
-        }
+        if (!it->global_table && it->contains(count)) { return it->id; }
     }
     return 0;
 }

@@ -18,6 +18,12 @@ struct Options {
 
     /// Threads per partial warp (the paper evaluated 1/2/4/8/16; 4 wins).
     int pwarp_width = 4;
+
+    /// Host threads executing simulated thread blocks (gpusim executor):
+    /// 0 = hardware_concurrency, 1 = sequential (the seed's behaviour).
+    /// Results, simulated cycles and traces are identical for every value;
+    /// only host wall-clock changes.
+    int executor_threads = 0;
 };
 
 }  // namespace nsparse::core

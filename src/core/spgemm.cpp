@@ -1,5 +1,6 @@
 #include "core/spgemm.hpp"
 
+#include <limits>
 #include <numeric>
 
 #include "core/grouping.hpp"
@@ -57,7 +58,17 @@ void scan_row_pointers(sim::Device& dev, const sim::DeviceBuffer<index_t>& row_n
 {
     const auto rows = to_index(row_nnz.size());
     rpt.assign(to_size(rows) + 1, 0);
-    for (index_t i = 0; i < rows; ++i) { rpt[to_size(i) + 1] = rpt[to_size(i)] + row_nnz[to_size(i)]; }
+    // Accumulate in wide_t: nnz(C) can exceed 32 bits even when every row
+    // fits (the large-graph workloads of Table III). Overflow must fail
+    // loudly, not wrap into negative row pointers.
+    wide_t running = 0;
+    for (index_t i = 0; i < rows; ++i) {
+        running += row_nnz[to_size(i)];
+        NSPARSE_ENSURES(running <= std::numeric_limits<index_t>::max(),
+                        "nnz(C) exceeds the 32-bit index range: the output row pointers "
+                        "cannot be represented (rebuild with a wider index_t)");
+        rpt[to_size(i) + 1] = static_cast<index_t>(running);
+    }
     constexpr int kBlock = 256;
     const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;
     dev.launch(dev.default_stream(), {grid, kBlock, 0}, "scan_rpt", [&](sim::BlockCtx& blk) {
@@ -78,6 +89,7 @@ SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMa
                             const core::Options& opt)
 {
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.set_executor_threads(opt.executor_threads);
     dev.reset_measurement();
 
     SpgemmOutput<T> out;

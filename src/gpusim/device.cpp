@@ -2,9 +2,7 @@
 
 #include <cstdio>
 
-#ifdef NSPARSE_HAVE_OPENMP
-#include <omp.h>
-#endif
+#include "gpusim/executor.hpp"
 
 namespace nsparse::sim {
 
@@ -31,18 +29,11 @@ void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
     rec.cfg = cfg;
     rec.blocks.resize(to_size(cfg.grid_dim));
 
-#if defined(NSPARSE_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 16)
-#endif
-    for (index_t b = 0; b < cfg.grid_dim; ++b) {
-        BlockCtx ctx(b, cfg, cost_);
-        fn(ctx);
-        BlockCost bc = ctx.cost();
-        bc.work += cfg.block_dim * cost_.block_prologue_per_thread;
-        bc.span += cost_.block_prologue_span;
-        rec.blocks[to_size(b)] = bc;
-    }
+    BlockExecutor::run(cfg, cost_, executor_threads_, rec.blocks, fn);
 
+    // Cross-block reductions stay on the launching thread, in block-index
+    // order, so counters and cycle totals are bit-identical for every
+    // executor thread count.
     ++kernels_launched_;
     blocks_executed_ += to_size(cfg.grid_dim);
     global_bytes_ += rec.total_global_bytes();

@@ -51,10 +51,18 @@ public:
     [[nodiscard]] Stream create_stream() { return Stream{next_stream_id_++}; }
 
     /// Executes `fn` for every thread block now, records costs for the next
-    /// synchronize(). Blocks may run on OpenMP threads; the functor must
-    /// only write block-disjoint data or use atomics.
+    /// synchronize(). Blocks may run on several host threads; the functor
+    /// must only write block-disjoint data or use atomics.
     void launch(Stream stream, const LaunchConfig& cfg, std::string name,
                 const std::function<void(BlockCtx&)>& fn);
+
+    /// How many host threads execute simulated blocks: 0 = all hardware
+    /// threads (the default), 1 = sequential (the behaviour of the seed
+    /// release), N = exactly N. Functional results, simulated cycle
+    /// counts, timelines and traces are bit-identical for every setting —
+    /// only wall-clock changes (see gpusim/executor.hpp).
+    void set_executor_threads(int n) { executor_threads_ = n; }
+    [[nodiscard]] int executor_threads() const { return executor_threads_; }
 
     /// Schedules everything launched since the previous synchronize and
     /// charges the makespan to the current phase. Returns the makespan.
@@ -119,6 +127,7 @@ private:
     std::string current_phase_ = "setup";
     std::vector<KernelRecord> pending_;
     int next_stream_id_ = 1;
+    int executor_threads_ = 0;  ///< 0 = hardware_concurrency
     std::uint64_t kernels_launched_ = 0;
     std::uint64_t blocks_executed_ = 0;
     double global_bytes_ = 0.0;

@@ -1,0 +1,98 @@
+#include "gpusim/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsparse::sim {
+
+namespace {
+
+/// Blocks are handed to workers in fixed-size chunks (like a dynamic
+/// OpenMP schedule): big enough to amortise the atomic fetch, small enough
+/// to balance the skewed per-block work of SpGEMM kernels.
+constexpr index_t kChunk = 16;
+
+void run_block(index_t b, const LaunchConfig& cfg, const CostModel& cost,
+               std::span<BlockCost> blocks, const std::function<void(BlockCtx&)>& fn)
+{
+    BlockCtx ctx(b, cfg, cost);
+    fn(ctx);
+    BlockCost bc = ctx.cost();
+    bc.work += cfg.block_dim * cost.block_prologue_per_thread;
+    bc.span += cost.block_prologue_span;
+    blocks[to_size(b)] = bc;
+}
+
+}  // namespace
+
+int BlockExecutor::resolve_threads(int requested)
+{
+    if (requested > 0) { return requested; }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void BlockExecutor::run(const LaunchConfig& cfg, const CostModel& cost, int threads,
+                        std::span<BlockCost> blocks, const std::function<void(BlockCtx&)>& fn)
+{
+    const index_t grid = cfg.grid_dim;
+    const int nt = static_cast<int>(
+        std::min<index_t>(static_cast<index_t>(resolve_threads(threads)),
+                          std::max<index_t>(grid, 1)));
+
+    // Sequential path: one thread requested, or a grid too small for a
+    // second worker to ever receive a chunk.
+    if (nt <= 1 || grid <= kChunk) {
+        for (index_t b = 0; b < grid; ++b) { run_block(b, cfg, cost, blocks, fn); }
+        return;
+    }
+
+    // Parallel path: plain std::thread workers pulling chunks off an
+    // atomic cursor (not OpenMP — uninstrumented OpenMP runtimes hide
+    // their barriers from ThreadSanitizer, which breaks `ctest -L tsan`).
+    //
+    // Exceptions must not escape a worker. Remember the error of the
+    // failing block with the lowest index — blocks below a recorded
+    // failure keep executing, so the surfaced error does not depend on
+    // which thread observed its failure first — and rethrow after join.
+    constexpr index_t kNoError = std::numeric_limits<index_t>::max();
+    std::atomic<index_t> cursor{0};
+    std::atomic<index_t> first_bad{kNoError};
+    std::exception_ptr error;
+    std::mutex error_mu;
+
+    const auto worker = [&] {
+        for (;;) {
+            const index_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+            if (begin >= grid) { return; }
+            const index_t end = std::min(grid, begin + kChunk);
+            for (index_t b = begin; b < end; ++b) {
+                if (b > first_bad.load(std::memory_order_relaxed)) { continue; }
+                try {
+                    run_block(b, cfg, cost, blocks, fn);
+                } catch (...) {
+                    const std::scoped_lock lock(error_mu);
+                    if (b < first_bad.load(std::memory_order_relaxed)) {
+                        first_bad.store(b, std::memory_order_relaxed);
+                        error = std::current_exception();
+                    }
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(to_size(nt - 1));
+    for (int t = 1; t < nt; ++t) { pool.emplace_back(worker); }
+    worker();  // the launching thread is worker 0
+    for (auto& th : pool) { th.join(); }
+
+    if (error) { std::rethrow_exception(error); }
+}
+
+}  // namespace nsparse::sim

@@ -1,0 +1,42 @@
+// Parallel block executor: runs a launched grid's block functors across a
+// pool of host threads. The real GPU fills its SMs with
+// concurrent thread blocks (§III-E); the blocks of a simulated kernel are
+// independent in exactly the same way — each writes disjoint output slots
+// or uses atomics — so the simulator may execute them on however many host
+// cores are available without changing any result.
+//
+// Determinism contract: every block's cost lands in its own
+// `blocks[block_idx]` slot and all cross-block reductions (kernel work
+// totals, global-byte counters, the makespan schedule) are computed
+// serially in block-index order afterwards. Simulated cycle counts,
+// timelines and traces are therefore bit-identical for every thread
+// count, including 1 (the sequential executor the seed shipped with).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/launch.hpp"
+
+namespace nsparse::sim {
+
+class BlockExecutor {
+public:
+    /// Host threads a request resolves to: `requested` if positive, else
+    /// std::thread::hardware_concurrency (never less than 1).
+    [[nodiscard]] static int resolve_threads(int requested);
+
+    /// Executes `fn` once per block of `cfg` on up to `threads` host
+    /// threads (resolved as above), writing each block's accumulated cost
+    /// — plus the fixed block prologue charge — into `blocks[block_idx]`.
+    ///
+    /// A functor exception aborts the remaining blocks and is rethrown on
+    /// the calling thread; when several blocks fail, the error of the
+    /// lowest block index is reported so failures do not depend on thread
+    /// timing.
+    static void run(const LaunchConfig& cfg, const CostModel& cost, int threads,
+                    std::span<BlockCost> blocks, const std::function<void(BlockCtx&)>& fn);
+};
+
+}  // namespace nsparse::sim

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstring>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,8 +21,15 @@
 
 namespace nsparse::sim {
 
-/// Tracks simulated device-memory usage. Not thread safe by design: all
-/// allocation happens on the (single) simulated host thread.
+/// Tracks simulated device-memory usage. Allocation normally happens on
+/// the simulated host thread between kernel launches, but since blocks
+/// execute on a parallel executor (gpusim/executor.hpp) the accounting —
+/// live/peak bytes and the malloc-time hooks that charge the Device's
+/// malloc bucket — is guarded by a mutex, so a kernel functor allocating
+/// scratch is safe rather than a silent data race. Note that the *order*
+/// in which concurrent allocations land in the malloc bucket is not
+/// defined; deterministic simulations must keep allocation on the host
+/// thread (all in-tree kernels do).
 class DeviceAllocator {
 public:
     /// `on_alloc(bytes)` is invoked for every allocation so the Device can
@@ -40,6 +48,7 @@ public:
     /// Registers an allocation; throws DeviceOutOfMemory beyond capacity.
     void allocate(std::size_t bytes)
     {
+        const std::scoped_lock lock(mu_);
         if (live_ + bytes > capacity_) {
             throw DeviceOutOfMemory("device out of memory: requested " + std::to_string(bytes) +
                                     " B with " + std::to_string(capacity_ - live_) +
@@ -52,19 +61,33 @@ public:
 
     void deallocate(std::size_t bytes) noexcept
     {
+        const std::scoped_lock lock(mu_);
         live_ -= std::min(live_, bytes);
         if (on_free_) { on_free_(); }
     }
 
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
-    [[nodiscard]] std::size_t live_bytes() const { return live_; }
-    [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+    [[nodiscard]] std::size_t live_bytes() const
+    {
+        const std::scoped_lock lock(mu_);
+        return live_;
+    }
+    [[nodiscard]] std::size_t peak_bytes() const
+    {
+        const std::scoped_lock lock(mu_);
+        return peak_;
+    }
 
     /// Resets the peak-watermark to the current live amount (called at the
     /// start of a measured multiply).
-    void reset_peak() { peak_ = live_; }
+    void reset_peak()
+    {
+        const std::scoped_lock lock(mu_);
+        peak_ = live_;
+    }
 
 private:
+    mutable std::mutex mu_;  ///< guards live/peak accounting and the hooks
     std::size_t capacity_;
     std::size_t live_ = 0;
     std::size_t peak_ = 0;

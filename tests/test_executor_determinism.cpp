@@ -1,0 +1,233 @@
+// The parallel block executor's contract: for any executor thread count
+// the simulated device produces bit-identical results — functional output,
+// cycle accounting, phase timelines, traces, counters and group
+// populations. Only host wall-clock may differ. These tests pin the
+// contract by comparing a sequential (1-thread) run against a parallel
+// (4-thread) run of the same workload.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc.hpp"
+#include "core/grouping.hpp"
+#include "core/spgemm.hpp"
+#include "gpusim/executor.hpp"
+#include "matgen/generators.hpp"
+#include "matgen/rng.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+constexpr int kParallel = 4;
+
+sim::Device p100() { return sim::Device(sim::DeviceSpec::pascal_p100()); }
+
+core::Options with_threads(int n)
+{
+    core::Options opt;
+    opt.executor_threads = n;
+    return opt;
+}
+
+void expect_same_stats(const SpgemmStats& a, const SpgemmStats& b)
+{
+    EXPECT_EQ(a.intermediate_products, b.intermediate_products);
+    EXPECT_EQ(a.nnz_c, b.nnz_c);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_DOUBLE_EQ(a.setup_seconds, b.setup_seconds);
+    EXPECT_DOUBLE_EQ(a.count_seconds, b.count_seconds);
+    EXPECT_DOUBLE_EQ(a.calc_seconds, b.calc_seconds);
+    EXPECT_DOUBLE_EQ(a.malloc_seconds, b.malloc_seconds);
+    EXPECT_EQ(a.peak_bytes, b.peak_bytes);
+}
+
+TEST(ExecutorDeterminism, ResolveThreads)
+{
+    EXPECT_EQ(sim::BlockExecutor::resolve_threads(1), 1);
+    EXPECT_EQ(sim::BlockExecutor::resolve_threads(7), 7);
+    EXPECT_GE(sim::BlockExecutor::resolve_threads(0), 1);
+}
+
+TEST(ExecutorDeterminism, HashSpgemmIdenticalOutputAndCycles)
+{
+    const auto a = gen::uniform_random(600, 600, 10, 17);
+    sim::Device d1 = p100();
+    sim::Device dn = p100();
+    const auto c1 = hash_spgemm<double>(d1, a, a, with_threads(1));
+    const auto cn = hash_spgemm<double>(dn, a, a, with_threads(kParallel));
+
+    EXPECT_TRUE(c1.matrix == cn.matrix);
+    expect_same_stats(c1.stats, cn.stats);
+    EXPECT_EQ(d1.kernels_launched(), dn.kernels_launched());
+    EXPECT_EQ(d1.blocks_executed(), dn.blocks_executed());
+    EXPECT_DOUBLE_EQ(d1.total_global_bytes(), dn.total_global_bytes());
+}
+
+TEST(ExecutorDeterminism, SkewedMatrixIdenticalAcrossThreadCounts)
+{
+    // Power-law rows: very uneven per-block work, the case where dynamic
+    // scheduling actually reorders block execution.
+    gen::ScaleFreeParams p;
+    p.rows = 2000;
+    p.avg_degree = 5.0;
+    p.max_degree = 500;
+    p.seed = 23;
+    const auto a = gen::scale_free(p);
+    sim::Device d1 = p100();
+    sim::Device dn = p100();
+    const auto c1 = hash_spgemm<double>(d1, a, a, with_threads(1));
+    const auto cn = hash_spgemm<double>(dn, a, a, with_threads(kParallel));
+    EXPECT_TRUE(c1.matrix == cn.matrix);
+    expect_same_stats(c1.stats, cn.stats);
+}
+
+TEST(ExecutorDeterminism, TraceIsBitIdentical)
+{
+    const auto a = gen::uniform_random(400, 400, 8, 19);
+    sim::Device d1 = p100();
+    sim::Device dn = p100();
+    d1.enable_trace();
+    dn.enable_trace();
+    // reset_measurement() inside hash_spgemm clears the trace, so both
+    // traces cover exactly the measured portion.
+    (void)hash_spgemm<double>(d1, a, a, with_threads(1));
+    (void)hash_spgemm<double>(dn, a, a, with_threads(kParallel));
+
+    const auto& e1 = d1.trace().entries();
+    const auto& en = dn.trace().entries();
+    ASSERT_EQ(e1.size(), en.size());
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(e1[i].name, en[i].name);
+        EXPECT_EQ(e1[i].phase, en[i].phase);
+        EXPECT_EQ(e1[i].stream_id, en[i].stream_id);
+        EXPECT_EQ(e1[i].grid_dim, en[i].grid_dim);
+        EXPECT_EQ(e1[i].block_dim, en[i].block_dim);
+        EXPECT_DOUBLE_EQ(e1[i].total_work, en[i].total_work);
+        EXPECT_DOUBLE_EQ(e1[i].max_span, en[i].max_span);
+        EXPECT_DOUBLE_EQ(e1[i].start, en[i].start);
+        EXPECT_DOUBLE_EQ(e1[i].finish, en[i].finish);
+    }
+}
+
+TEST(ExecutorDeterminism, GroupPopulationsIdentical)
+{
+    sim::Device d1 = p100();
+    sim::Device dn = p100();
+    d1.set_executor_threads(1);
+    dn.set_executor_threads(kParallel);
+    const auto policy = core::GroupingPolicy::symbolic(d1.spec());
+
+    constexpr index_t kRows = 5000;
+    gen::Pcg32 rng(41);
+    sim::DeviceBuffer<index_t> counts1(d1.allocator(), to_size(kRows));
+    sim::DeviceBuffer<index_t> countsn(dn.allocator(), to_size(kRows));
+    for (std::size_t i = 0; i < counts1.size(); ++i) {
+        const auto c = to_index(rng.bounded(20000));
+        counts1[i] = c;
+        countsn[i] = c;
+    }
+    const auto g1 = core::group_rows(d1, policy, counts1);
+    const auto gn = core::group_rows(dn, policy, countsn);
+
+    EXPECT_EQ(g1.offsets, gn.offsets);
+    ASSERT_EQ(g1.permutation.size(), gn.permutation.size());
+    for (std::size_t i = 0; i < g1.permutation.size(); ++i) {
+        ASSERT_EQ(g1.permutation[i], gn.permutation[i]) << "position " << i;
+    }
+    EXPECT_DOUBLE_EQ(d1.elapsed(), dn.elapsed());
+}
+
+TEST(ExecutorDeterminism, BaselinesIdenticalAcrossThreadCounts)
+{
+    const auto a = gen::uniform_random(300, 300, 6, 29);
+    {
+        sim::Device d1 = p100();
+        sim::Device dn = p100();
+        const auto c1 = baseline::esc_spgemm<double>(d1, a, a, 1);
+        const auto cn = baseline::esc_spgemm<double>(dn, a, a, kParallel);
+        EXPECT_TRUE(c1.matrix == cn.matrix);
+        expect_same_stats(c1.stats, cn.stats);
+    }
+    {
+        sim::Device d1 = p100();
+        sim::Device dn = p100();
+        const auto c1 = baseline::cusparse_spgemm<double>(d1, a, a, 1);
+        const auto cn = baseline::cusparse_spgemm<double>(dn, a, a, kParallel);
+        EXPECT_TRUE(c1.matrix == cn.matrix);
+        expect_same_stats(c1.stats, cn.stats);
+    }
+    {
+        sim::Device d1 = p100();
+        sim::Device dn = p100();
+        const auto c1 = baseline::bhsparse_spgemm<double>(d1, a, a, 1);
+        const auto cn = baseline::bhsparse_spgemm<double>(dn, a, a, kParallel);
+        EXPECT_TRUE(c1.matrix == cn.matrix);
+        expect_same_stats(c1.stats, cn.stats);
+    }
+}
+
+TEST(ExecutorDeterminism, RawLaunchChargesIdenticalCycles)
+{
+    // Uneven per-block work straight at the executor, no algorithm above.
+    const auto run = [](int threads) {
+        sim::Device dev = p100();
+        dev.set_executor_threads(threads);
+        dev.launch(dev.default_stream(), {257, 128, 0}, "uneven", [](sim::BlockCtx& blk) {
+            const auto b = blk.block_idx();
+            blk.int_ops(128, static_cast<double>(b % 37 + 1));
+            blk.global_read(128, sizeof(index_t), sim::MemPattern::kRandom);
+            if (b % 3 == 0) { blk.atomic_global(64, 2.0); }
+        });
+        dev.synchronize();
+        return dev.elapsed();
+    };
+    const double t1 = run(1);
+    EXPECT_DOUBLE_EQ(t1, run(2));
+    EXPECT_DOUBLE_EQ(t1, run(kParallel));
+    EXPECT_DOUBLE_EQ(t1, run(13));  // more threads than the schedule chunk layout
+}
+
+TEST(ExecutorDeterminism, LowestBlockExceptionWinsAndPropagates)
+{
+    // Several blocks fail; the error reported must deterministically be the
+    // lowest block index regardless of which thread hits it first.
+    for (const int threads : {1, kParallel}) {
+        sim::Device dev = p100();
+        dev.set_executor_threads(threads);
+        try {
+            dev.launch(dev.default_stream(), {200, 64, 0}, "faulty", [](sim::BlockCtx& blk) {
+                const auto b = blk.block_idx();
+                if (b == 41 || b == 77 || b == 199) {
+                    throw std::runtime_error("block " + std::to_string(b) + " failed");
+                }
+            });
+            FAIL() << "launch must rethrow the functor's exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "block 41 failed") << "threads=" << threads;
+        }
+    }
+}
+
+TEST(ExecutorDeterminism, DeviceUsableAfterFunctorThrows)
+{
+    sim::Device dev = p100();
+    dev.set_executor_threads(kParallel);
+    EXPECT_THROW(dev.launch(dev.default_stream(), {64, 64, 0}, "faulty",
+                            [](sim::BlockCtx& blk) {
+                                if (blk.block_idx() == 0) { throw std::runtime_error("boom"); }
+                            }),
+                 std::runtime_error);
+    // The failed launch was not recorded; the device keeps working.
+    const auto a = gen::uniform_random(100, 100, 4, 31);
+    const auto out = hash_spgemm<double>(dev, a, a, with_threads(kParallel));
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(a, a)));
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -99,11 +99,6 @@ TEST(GroupingPolicy, EveryCountHasExactlyOneGroup)
             for (const auto& g : p.groups) {
                 if (g.contains(c)) { ++containing; }
             }
-            if (c == 0 && !use_pwarp) {
-                // count 0 belongs to the (empty-range) pwarp group
-                EXPECT_EQ(p.group_of(c), p.groups.back().id);
-                continue;
-            }
             ASSERT_EQ(containing, 1) << "count " << c << " pwarp=" << use_pwarp;
             ASSERT_TRUE(p.groups[to_size(p.group_of(c))].contains(c)) << c;
         }
@@ -114,8 +109,37 @@ TEST(GroupingPolicy, DisablingPwarpExtendsSmallestTbGroup)
 {
     const auto p = GroupingPolicy::symbolic(DeviceSpec::pascal_p100(), 4, /*use_pwarp=*/false);
     EXPECT_EQ(p.pwarp_border, 0);
+    // No PWARP group at all: Table I minus its last row, with the smallest
+    // TB group's range widened to [0, 512].
+    ASSERT_EQ(p.groups.size(), 6U);
+    for (const auto& g : p.groups) { EXPECT_NE(g.assignment, Assignment::kPwarpRow); }
+    EXPECT_EQ(p.groups.back().min_count, 0);
+    EXPECT_EQ(p.group_of(0), 5);
     EXPECT_EQ(p.group_of(1), 5);
     EXPECT_EQ(p.group_of(32), 5);
+    EXPECT_EQ(p.group_of(512), 5);
+    EXPECT_EQ(p.group_of(513), 4);
+}
+
+TEST(GroupRows, EmptyRowsWithPwarpDisabledLandInATbGroup)
+{
+    // Regression: the disabled-PWARP policy used to keep an (empty-range)
+    // PWARP group, and empty rows were routed to its kernel even though
+    // the assignment was switched off.
+    sim::Device dev(DeviceSpec::pascal_p100());
+    const auto policy = GroupingPolicy::symbolic(dev.spec(), 4, /*use_pwarp=*/false);
+    constexpr index_t kRows = 64;
+    sim::DeviceBuffer<index_t> counts(dev.allocator(), to_size(kRows));
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        counts[i] = i % 3 == 0 ? 0 : to_index(i);  // a third of the rows empty
+    }
+    const auto grouped = group_rows(dev, policy, counts);
+    ASSERT_EQ(grouped.offsets.size(), policy.groups.size() + 1);
+    EXPECT_EQ(grouped.offsets.back(), kRows);
+    for (std::size_t g = 0; g < policy.groups.size(); ++g) {
+        if (grouped.offsets[g] == grouped.offsets[g + 1]) { continue; }
+        EXPECT_NE(policy.groups[g].assignment, Assignment::kPwarpRow);
+    }
 }
 
 TEST(GroupRows, PartitionIsAPermutation)
