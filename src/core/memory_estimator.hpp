@@ -78,4 +78,28 @@ template <ValueType T>
     return e;
 }
 
+/// Plans the row-slab split of the OOM fallback: the smallest slab count k
+/// such that the estimated per-slab footprint fits `budget_bytes`. B stays
+/// resident for every slab; everything else (A's slab, bookkeeping, the
+/// slab's share of C and of the global-table arenas) scales roughly with
+/// 1/k, so k = ceil(scaling / (budget - resident)). The caller's bounded
+/// slab-halving retries absorb the estimate being optimistic for skewed
+/// rows. Returns 0 when not even a single-row slab can fit (B alone
+/// exceeds the budget).
+template <ValueType T>
+[[nodiscard]] index_t plan_row_slabs(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                     std::size_t budget_bytes,
+                                     const sim::DeviceSpec& spec = {})
+{
+    const auto e = estimate_hash_spgemm_memory(a, b, spec);
+    const std::size_t resident = b.byte_size();
+    if (budget_bytes <= resident) { return 0; }
+    const std::size_t per_slab_budget = budget_bytes - resident;
+    const std::size_t scaling = e.peak > resident ? e.peak - resident : 0;
+    if (scaling == 0) { return 1; }
+    const std::size_t k = (scaling + per_slab_budget - 1) / per_slab_budget;
+    const std::size_t max_k = to_size(std::max<index_t>(a.rows, 1));
+    return to_index(std::min(std::max<std::size_t>(k, 1), max_k));
+}
+
 }  // namespace nsparse::core

@@ -24,6 +24,22 @@ struct Options {
     /// Results, simulated cycles and traces are identical for every value;
     /// only host wall-clock changes.
     int executor_threads = 0;
+
+    /// When the multiply runs out of device memory, retry it in row slabs
+    /// sized by the memory estimator instead of failing (the paper's
+    /// memory-saving algorithm completing where the baselines print "-",
+    /// Table III). The assembled output is bit-identical to the unchunked
+    /// result.
+    bool slab_fallback = true;
+
+    /// Bounded halvings of the slab size before the fallback gives up and
+    /// surfaces a DeviceOutOfMemory that reports the slab level reached.
+    int max_slab_retries = 8;
+
+    /// Forces slabbed execution with at least this many row slabs without
+    /// waiting for an OOM (testing / capacity benchmarks); 0 = only after
+    /// an actual OOM.
+    int force_slabs = 0;
 };
 
 }  // namespace nsparse::core

@@ -1,12 +1,15 @@
 #include "core/spgemm.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <numeric>
 
 #include "core/grouping.hpp"
+#include "core/memory_estimator.hpp"
 #include "core/numeric.hpp"
 #include "core/symbolic.hpp"
 #include "gpusim/device_csr.hpp"
+#include "sparse/csr_ops.hpp"
 
 namespace nsparse {
 
@@ -82,17 +85,24 @@ void scan_row_pointers(sim::Device& dev, const sim::DeviceBuffer<index_t>& row_n
     dev.synchronize();
 }
 
-}  // namespace
-
+/// Matrix + per-row product total of one multiply attempt.
 template <ValueType T>
-SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                            const core::Options& opt)
-{
-    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
-    dev.set_executor_threads(opt.executor_threads);
-    dev.reset_measurement();
+struct MultiplyResult {
+    CsrMatrix<T> matrix;
+    wide_t products = 0;
+};
 
-    SpgemmOutput<T> out;
+/// One full multiply (the paper's unchunked algorithm). Throws
+/// DeviceOutOfMemory when any allocation fails; every device-side
+/// temporary is released by RAII during unwinding, so the allocator's
+/// live bytes return to their pre-call value on both paths. Timing stats
+/// are snapshot while C is still device-resident — the final free is not
+/// part of the measured multiply, matching the other engines.
+template <ValueType T>
+MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                   const core::Options& opt, SpgemmStats& stats)
+{
+    MultiplyResult<T> out;
     sim::DeviceCsr<T> c;
     wide_t total_products = 0;
 
@@ -140,9 +150,109 @@ SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMa
     }
 
     out.matrix = c.download();
-    out.stats.intermediate_products = total_products;
+    out.products = total_products;
+    fill_stats_from_device(stats, dev);
+    return out;
+}
+
+/// Row-slab degradation: multiplies k contiguous row slabs of A against B
+/// and assembles C host-side, halving the slab size (bounded by
+/// opt.max_slab_retries) whenever a slab itself runs out of memory. The
+/// assembled C is bit-identical to the unchunked result because every
+/// output row is a function of its A row and B alone.
+template <ValueType T>
+MultiplyResult<T> multiply_slabbed(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                   const core::Options& opt, std::size_t live_floor,
+                                   SpgemmStats& stats)
+{
+    auto& alloc = dev.allocator();
+    const std::size_t budget =
+        alloc.capacity() > live_floor ? alloc.capacity() - live_floor : 0;
+    index_t slabs = core::plan_row_slabs(a, b, budget, dev.spec());
+    if (slabs == 0) {
+        throw DeviceOutOfMemory("device out of memory: B (" + std::to_string(b.byte_size()) +
+                                    " B) alone exceeds the free capacity (" +
+                                    std::to_string(budget) + " B); row slabbing cannot help",
+                                /*slab_level=*/std::max(opt.force_slabs, 1),
+                                /*retry_depth=*/0);
+    }
+    // Entered after an OOM (or forced): one slab would just repeat the
+    // failed attempt, so degrade to at least two.
+    slabs = std::max<index_t>({slabs, 2, opt.force_slabs});
+
+    MultiplyResult<T> res;
+    res.matrix.rows = 0;
+    res.matrix.cols = b.cols;
+    index_t slab_rows = std::max<index_t>(1, (a.rows + slabs - 1) / slabs);
+    index_t row0 = 0;
+    int retries = 0;
+    int done = 0;
+    while (row0 < a.rows) {
+        const index_t r1 = std::min<index_t>(a.rows, row0 + slab_rows);
+        try {
+            auto part = multiply_attempt(dev, slice_rows(a, row0, r1), b, opt, stats);
+            append_rows(res.matrix, part.matrix);
+            res.products += part.products;
+            row0 = r1;
+            ++done;
+        } catch (const DeviceOutOfMemory&) {
+            const index_t level = (a.rows + slab_rows - 1) / slab_rows;
+            if (slab_rows <= 1 || retries >= opt.max_slab_retries) {
+                throw DeviceOutOfMemory(
+                    "device out of memory despite row-slab fallback: slab of " +
+                        std::to_string(slab_rows) + " row(s) still does not fit after " +
+                        std::to_string(retries) + " slab halvings (capacity " +
+                        std::to_string(alloc.capacity()) + " B)",
+                    static_cast<int>(level), retries);
+            }
+            ++retries;
+            slab_rows = std::max<index_t>(1, slab_rows / 2);
+            const std::size_t at_oom = alloc.last_oom_live_bytes();
+            dev.record_memory_event("slab_retry",
+                                    at_oom > live_floor ? at_oom - live_floor : 0,
+                                    static_cast<int>((a.rows + slab_rows - 1) / slab_rows),
+                                    retries);
+        }
+    }
+    stats.fallback_slabs = done;
+    stats.fallback_retries = retries;
+    return res;
+}
+
+}  // namespace
+
+template <ValueType T>
+SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                            const core::Options& opt)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    dev.set_executor_threads(opt.executor_threads);
+    dev.reset_measurement();
+    const std::size_t live_floor = dev.allocator().live_bytes();
+
+    SpgemmOutput<T> out;
+    MultiplyResult<T> res;
+    if (opt.force_slabs > 0) {
+        res = multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
+    } else {
+        try {
+            res = multiply_attempt(dev, a, b, opt, out.stats);
+        } catch (const DeviceOutOfMemory&) {
+            if (!opt.slab_fallback) { throw; }
+            // The unwind above released every attempt-local buffer; record
+            // how much that freed, then degrade to row slabs.
+            const std::size_t at_oom = dev.allocator().last_oom_live_bytes();
+            const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
+            out.stats.fallback_bytes_freed = freed;
+            dev.record_memory_event("slab_fallback", freed, 0, 0);
+            res = multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
+        }
+    }
+    // Timing stats were snapshot by the last multiply_attempt while its
+    // buffers were still device-resident (the seed's measurement window).
+    out.matrix = std::move(res.matrix);
+    out.stats.intermediate_products = res.products;
     out.stats.nnz_c = out.matrix.nnz();
-    fill_stats_from_device(out.stats, dev);
     return out;
 }
 

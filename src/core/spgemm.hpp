@@ -12,9 +12,17 @@
 //   (6) regroup rows by output nnz                   [phase "setup"]
 //   (7) compute values, gather, sort                 [phase "calc"]
 //
-// Throws DeviceOutOfMemory when the simulated device cannot hold the
-// working set (the algorithm's whole point is that this happens much later
-// than for the baselines).
+// When the simulated device cannot hold the working set the multiply
+// degrades instead of failing: the attempt unwinds (RAII releases every
+// temporary), A is split into contiguous row slabs sized by
+// core::plan_row_slabs, and the slabs are multiplied against the resident
+// B and assembled host-side — bit-identical to the unchunked result,
+// because each output row depends only on its A row and B. Slab sizes
+// halve on repeated OOM (bounded by Options::max_slab_retries) before a
+// structured DeviceOutOfMemory carrying slab_level()/retry_depth()
+// surfaces. Options::slab_fallback = false restores the strict
+// throw-on-OOM behaviour (the baselines' only mode — the algorithm's
+// whole point is that their OOM happens much earlier).
 #pragma once
 
 #include "core/options.hpp"

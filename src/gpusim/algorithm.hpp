@@ -24,6 +24,11 @@ struct SpgemmStats {
     double malloc_seconds = 0.0; ///< cudaMalloc/cudaFree (Fig. 5/6 bucket)
     std::size_t peak_bytes = 0;  ///< device peak incl. inputs and output
 
+    // Memory-pressure fallback observability (hash_spgemm row slabs).
+    int fallback_slabs = 0;      ///< slabs C was assembled from (0 = unchunked)
+    int fallback_retries = 0;    ///< slab-size halvings before completion
+    std::size_t fallback_bytes_freed = 0;  ///< bytes reclaimed by the OOM unwind
+
     /// The paper's metric: FLOPS of squaring = 2 * intermediate products
     /// divided by execution time.
     [[nodiscard]] double gflops() const

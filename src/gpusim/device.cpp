@@ -80,6 +80,21 @@ double Device::synchronize()
     return r.makespan;
 }
 
+void Device::record_memory_event(std::string label, std::size_t bytes_freed, int slabs,
+                                 int retry_depth)
+{
+    ++memory_events_;
+    if (trace_enabled_) {
+        trace_.record(MemoryEventEntry{
+            .label = std::move(label),
+            .phase = current_phase_,
+            .bytes_freed = bytes_freed,
+            .slabs = slabs,
+            .retry_depth = retry_depth,
+        });
+    }
+}
+
 void Device::reset_measurement()
 {
     synchronize();
@@ -89,6 +104,7 @@ void Device::reset_measurement()
     kernels_launched_ = 0;
     blocks_executed_ = 0;
     global_bytes_ = 0.0;
+    memory_events_ = 0;
 }
 
 }  // namespace nsparse::sim

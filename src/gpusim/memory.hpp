@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <random>
 #include <span>
 #include <string>
 #include <vector>
@@ -20,6 +23,33 @@
 #include "sparse/types.hpp"
 
 namespace nsparse::sim {
+
+/// Deterministic allocation-fault injection: a plan installed on a
+/// DeviceAllocator makes chosen allocations fail with DeviceOutOfMemory so
+/// every OOM path is testable, not just the first upload that happens to
+/// exceed capacity. All enabled conditions apply simultaneously, on top of
+/// the real capacity check. Allocation indices are 0-based counts of
+/// allocate() calls since the plan was installed, so a sweep over
+/// [0, allocations()) of a clean run exercises every allocation site.
+struct FaultPlan {
+    /// Fail exactly the allocation with this index; -1 disables.
+    std::int64_t fail_at_alloc = -1;
+
+    /// Fail every allocation requesting more than this many bytes;
+    /// 0 disables.
+    std::size_t fail_above_bytes = 0;
+
+    /// From allocation index `shrink_after_alloc` onward the effective
+    /// capacity becomes min(capacity, shrink_to_bytes) — a device "losing"
+    /// memory mid-run (e.g. another context claiming it). -1 disables.
+    std::int64_t shrink_after_alloc = -1;
+    std::size_t shrink_to_bytes = 0;
+
+    /// Fail each allocation with this probability, drawn from a private
+    /// minstd engine seeded with `seed` — deterministic per plan install.
+    double fail_probability = 0.0;
+    std::uint64_t seed = 0;
+};
 
 /// Tracks simulated device-memory usage. Allocation normally happens on
 /// the simulated host thread between kernel launches, but since blocks
@@ -45,14 +75,39 @@ public:
         on_free_ = std::move(on_free);
     }
 
-    /// Registers an allocation; throws DeviceOutOfMemory beyond capacity.
+    /// Registers an allocation; throws DeviceOutOfMemory beyond capacity or
+    /// when the installed FaultPlan injects a failure. Every call — also a
+    /// failing one — consumes one allocation index.
     void allocate(std::size_t bytes)
     {
         const std::scoped_lock lock(mu_);
-        if (live_ + bytes > capacity_) {
-            throw DeviceOutOfMemory("device out of memory: requested " + std::to_string(bytes) +
-                                    " B with " + std::to_string(capacity_ - live_) +
-                                    " B free of " + std::to_string(capacity_) + " B");
+        const std::uint64_t idx = alloc_count_++;
+        std::size_t cap = capacity_;
+        if (plan_) {
+            if (plan_->shrink_after_alloc >= 0 &&
+                idx >= static_cast<std::uint64_t>(plan_->shrink_after_alloc)) {
+                cap = std::min(cap, plan_->shrink_to_bytes);
+            }
+            const bool inject =
+                (plan_->fail_at_alloc >= 0 &&
+                 idx == static_cast<std::uint64_t>(plan_->fail_at_alloc)) ||
+                (plan_->fail_above_bytes > 0 && bytes > plan_->fail_above_bytes) ||
+                (plan_->fail_probability > 0.0 &&
+                 std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+                     plan_->fail_probability);
+            if (inject) {
+                fail_locked(bytes, "injected device out of memory (fault plan, allocation #" +
+                                       std::to_string(idx) + "): requested " +
+                                       std::to_string(bytes) + " B");
+            }
+        }
+        // Compare without `live_ + bytes`, which wraps for huge requests and
+        // would admit an allocation that is larger than the whole device.
+        if (live_ > cap || bytes > cap - live_) {
+            fail_locked(bytes, "device out of memory: requested " + std::to_string(bytes) +
+                                   " B with " +
+                                   std::to_string(cap > live_ ? cap - live_ : 0) +
+                                   " B free of " + std::to_string(cap) + " B");
         }
         live_ += bytes;
         peak_ = std::max(peak_, live_);
@@ -62,8 +117,49 @@ public:
     void deallocate(std::size_t bytes) noexcept
     {
         const std::scoped_lock lock(mu_);
+        NSPARSE_ASSERT(bytes <= live_, "deallocate underflow: freeing more than is live");
         live_ -= std::min(live_, bytes);
         if (on_free_) { on_free_(); }
+    }
+
+    // --- fault injection -------------------------------------------------
+
+    /// Installs a fault plan and restarts the allocation index / RNG.
+    void set_fault_plan(const FaultPlan& plan)
+    {
+        const std::scoped_lock lock(mu_);
+        plan_ = plan;
+        alloc_count_ = 0;
+        rng_.seed(static_cast<std::minstd_rand::result_type>(plan.seed + 1));
+    }
+
+    /// Removes any installed plan (allocation counting continues).
+    void clear_fault_plan()
+    {
+        const std::scoped_lock lock(mu_);
+        plan_.reset();
+    }
+
+    /// allocate() calls since construction or the last set_fault_plan().
+    [[nodiscard]] std::uint64_t allocations() const
+    {
+        const std::scoped_lock lock(mu_);
+        return alloc_count_;
+    }
+
+    /// Allocations that threw (capacity and injected failures alike).
+    [[nodiscard]] std::uint64_t failed_allocations() const
+    {
+        const std::scoped_lock lock(mu_);
+        return failed_allocs_;
+    }
+
+    /// Live bytes at the moment of the most recent failed allocation —
+    /// what an OOM handler can reclaim by unwinding (0 if none failed yet).
+    [[nodiscard]] std::size_t last_oom_live_bytes() const
+    {
+        const std::scoped_lock lock(mu_);
+        return last_oom_live_;
     }
 
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -87,12 +183,26 @@ public:
     }
 
 private:
+    /// Shared failure path: records observability state, then throws.
+    [[noreturn]] void fail_locked(std::size_t bytes, std::string msg)
+    {
+        (void)bytes;
+        ++failed_allocs_;
+        last_oom_live_ = live_;
+        throw DeviceOutOfMemory(std::move(msg));
+    }
+
     mutable std::mutex mu_;  ///< guards live/peak accounting and the hooks
     std::size_t capacity_;
     std::size_t live_ = 0;
     std::size_t peak_ = 0;
     AllocHook on_alloc_;
     FreeHook on_free_;
+    std::optional<FaultPlan> plan_;
+    std::uint64_t alloc_count_ = 0;
+    std::uint64_t failed_allocs_ = 0;
+    std::size_t last_oom_live_ = 0;
+    std::minstd_rand rng_;
 };
 
 /// RAII typed device buffer. Move-only.
@@ -101,9 +211,18 @@ class DeviceBuffer {
 public:
     DeviceBuffer() = default;
 
-    DeviceBuffer(DeviceAllocator& alloc, std::size_t n) : alloc_(&alloc), data_(n)
+    /// Charges the allocator *before* committing host storage, so a
+    /// rejected allocation throws without touching host memory.
+    DeviceBuffer(DeviceAllocator& alloc, std::size_t n)
     {
-        alloc_->allocate(n * sizeof(T));
+        alloc.allocate(n * sizeof(T));
+        alloc_ = &alloc;
+        try {
+            data_.resize(n);
+        } catch (...) {
+            alloc.deallocate(n * sizeof(T));
+            throw;
+        }
     }
 
     /// Allocates and fills from a host span.

@@ -39,6 +39,14 @@ std::string Trace::report() const
            << std::setprecision(2) << a.work << std::fixed << std::setprecision(1)
            << std::setw(8) << (total_work > 0 ? 100.0 * a.work / total_work : 0.0) << "%\n";
     }
+    if (!memory_events_.empty()) {
+        os << "memory events:\n";
+        for (const auto& e : memory_events_) {
+            os << "  " << std::left << std::setw(16) << e.label << " phase=" << e.phase
+               << " slabs=" << e.slabs << " retry_depth=" << e.retry_depth
+               << " bytes_freed=" << e.bytes_freed << '\n';
+        }
+    }
     return os.str();
 }
 

@@ -25,13 +25,33 @@ struct KernelTraceEntry {
     double finish = 0.0;
 };
 
+/// A memory-pressure event (OOM hit, slab fallback engaged, slab size
+/// halved) recorded by algorithms that degrade gracefully instead of
+/// failing — the observable counterpart of Table III's "-" entries.
+struct MemoryEventEntry {
+    std::string label;           ///< e.g. "oom", "slab_fallback", "slab_retry"
+    std::string phase;           ///< device phase when the event fired
+    std::size_t bytes_freed = 0; ///< bytes reclaimed by unwinding before retry
+    int slabs = 0;               ///< row slabs in flight (0 = unchunked)
+    int retry_depth = 0;         ///< slab-size halvings so far
+};
+
 class Trace {
 public:
     void record(KernelTraceEntry entry) { entries_.push_back(std::move(entry)); }
+    void record(MemoryEventEntry event) { memory_events_.push_back(std::move(event)); }
 
     [[nodiscard]] const std::vector<KernelTraceEntry>& entries() const { return entries_; }
-    [[nodiscard]] bool empty() const { return entries_.empty(); }
-    void clear() { entries_.clear(); }
+    [[nodiscard]] const std::vector<MemoryEventEntry>& memory_events() const
+    {
+        return memory_events_;
+    }
+    [[nodiscard]] bool empty() const { return entries_.empty() && memory_events_.empty(); }
+    void clear()
+    {
+        entries_.clear();
+        memory_events_.clear();
+    }
 
     /// Total launches of a kernel by (exact) name.
     [[nodiscard]] std::size_t count(const std::string& name) const
@@ -44,11 +64,13 @@ public:
     }
 
     /// Multi-line text profile: per kernel name, aggregated launches,
-    /// blocks, work share. Sorted by work, descending.
+    /// blocks, work share (sorted by work, descending), followed by any
+    /// memory-pressure events.
     [[nodiscard]] std::string report() const;
 
 private:
     std::vector<KernelTraceEntry> entries_;
+    std::vector<MemoryEventEntry> memory_events_;
 };
 
 }  // namespace nsparse::sim

@@ -69,6 +69,44 @@ template <ValueType T>
     return c;
 }
 
+/// Copies rows [r0, r1) of `a` into a standalone CSR matrix of the same
+/// column dimension, row pointers rebased to 0. Used by the row-slab OOM
+/// fallback of `hash_spgemm` to multiply a slab of A at a time.
+template <ValueType T>
+[[nodiscard]] CsrMatrix<T> slice_rows(const CsrMatrix<T>& a, index_t r0, index_t r1)
+{
+    NSPARSE_EXPECTS(r0 >= 0 && r0 <= r1 && r1 <= a.rows, "slice_rows: bad row range");
+    CsrMatrix<T> s;
+    s.rows = r1 - r0;
+    s.cols = a.cols;
+    const index_t base = a.rpt[to_size(r0)];
+    s.rpt.resize(to_size(s.rows) + 1);
+    for (index_t i = 0; i <= s.rows; ++i) {
+        s.rpt[to_size(i)] = a.rpt[to_size(r0 + i)] - base;
+    }
+    s.col.assign(a.col.begin() + base, a.col.begin() + a.rpt[to_size(r1)]);
+    s.val.assign(a.val.begin() + base, a.val.begin() + a.rpt[to_size(r1)]);
+    return s;
+}
+
+/// Appends the rows of `part` below `c` (vertical concatenation; the
+/// column counts must agree, or `c` must still be empty). Fails loudly via
+/// to_index when the combined nnz exceeds the 32-bit index range.
+template <ValueType T>
+void append_rows(CsrMatrix<T>& c, const CsrMatrix<T>& part)
+{
+    if (c.rows == 0 && c.col.empty()) { c.cols = part.cols; }
+    NSPARSE_EXPECTS(c.cols == part.cols, "append_rows: column count mismatch");
+    const wide_t base = c.nnz();
+    c.rpt.reserve(c.rpt.size() + to_size(part.rows));
+    for (index_t i = 1; i <= part.rows; ++i) {
+        c.rpt.push_back(to_index(base + part.rpt[to_size(i)]));
+    }
+    c.col.insert(c.col.end(), part.col.begin(), part.col.end());
+    c.val.insert(c.val.end(), part.val.begin(), part.val.end());
+    c.rows += part.rows;
+}
+
 /// Diagonal of a square matrix (zeros where absent).
 template <ValueType T>
 [[nodiscard]] std::vector<T> diagonal(const CsrMatrix<T>& a)

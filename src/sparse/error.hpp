@@ -6,6 +6,8 @@
 // in debug builds.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -31,10 +33,26 @@ public:
 };
 
 /// The simulated device ran out of memory. Benchmarks catch this to print
-/// the "-" entries of the paper's Table III.
+/// the "-" entries of the paper's Table III. When the row-slab fallback of
+/// `hash_spgemm` gives up, the exception additionally reports how far the
+/// degradation got: `slab_level()` is the number of row slabs in flight
+/// when the final attempt failed (0 = the unchunked multiply) and
+/// `retry_depth()` how often the slab size was halved.
 class DeviceOutOfMemory : public Error {
 public:
     using Error::Error;
+
+    DeviceOutOfMemory(const std::string& msg, int slab_level, int retry_depth)
+        : Error(msg), slab_level_(slab_level), retry_depth_(retry_depth)
+    {
+    }
+
+    [[nodiscard]] int slab_level() const { return slab_level_; }
+    [[nodiscard]] int retry_depth() const { return retry_depth_; }
+
+private:
+    int slab_level_ = 0;
+    int retry_depth_ = 0;
 };
 
 namespace detail {
@@ -43,6 +61,13 @@ namespace detail {
 {
     throw PreconditionError(std::string("precondition failed: ") + msg + " [" + expr + "] at " +
                             file + ":" + std::to_string(line));
+}
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* msg, const char* file,
+                                     int line) noexcept
+{
+    std::fprintf(stderr, "nsparse assertion failed: %s [%s] at %s:%d\n", msg, expr, file, line);
+    std::abort();
 }
 }  // namespace detail
 
@@ -56,3 +81,17 @@ namespace detail {
     } while (false)
 
 #define NSPARSE_ENSURES(cond, msg) NSPARSE_EXPECTS(cond, msg)
+
+// Internal invariant check: violations are library bugs, not caller errors,
+// so they abort in debug builds (where NDEBUG is unset) and compile to
+// nothing in release builds — like the standard assert, but with a message.
+#ifndef NDEBUG
+#define NSPARSE_ASSERT(cond, msg)                                                       \
+    do {                                                                                \
+        if (!(cond)) {                                                                  \
+            ::nsparse::detail::assert_fail(#cond, (msg), __FILE__, __LINE__);           \
+        }                                                                               \
+    } while (false)
+#else
+#define NSPARSE_ASSERT(cond, msg) ((void)0)
+#endif

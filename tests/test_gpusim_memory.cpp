@@ -2,6 +2,10 @@
 // RAII buffers, allocation-time hooks.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "gpusim/device.hpp"
 #include "gpusim/device_csr.hpp"
 #include "gpusim/memory.hpp"
@@ -121,6 +125,109 @@ TEST(DeviceCsr, UploadChargesMallocTime)
     EXPECT_GT(dev.malloc_seconds(), 0.0);
     (void)d;
 }
+
+TEST(DeviceAllocator, HugeRequestDoesNotWrapAround)
+{
+    // live + bytes used to overflow size_t and admit an impossible request.
+    DeviceAllocator alloc(100);
+    alloc.allocate(80);
+    EXPECT_THROW(alloc.allocate(std::numeric_limits<std::size_t>::max() - 10),
+                 DeviceOutOfMemory);
+    EXPECT_EQ(alloc.live_bytes(), 80U);
+}
+
+TEST(DeviceAllocator, FaultPlanFailsExactAllocationIndex)
+{
+    DeviceAllocator alloc(1 << 20);
+    FaultPlan plan;
+    plan.fail_at_alloc = 1;
+    alloc.set_fault_plan(plan);
+    alloc.allocate(10);                                   // #0 fine
+    EXPECT_THROW(alloc.allocate(10), DeviceOutOfMemory);  // #1 injected
+    alloc.allocate(10);                                   // #2 fine again
+    EXPECT_EQ(alloc.live_bytes(), 20U);
+    EXPECT_EQ(alloc.allocations(), 3U);
+    EXPECT_EQ(alloc.failed_allocations(), 1U);
+}
+
+TEST(DeviceAllocator, FaultPlanFailsAboveByteThreshold)
+{
+    DeviceAllocator alloc(1 << 20);
+    FaultPlan plan;
+    plan.fail_above_bytes = 100;
+    alloc.set_fault_plan(plan);
+    alloc.allocate(100);  // at the threshold: fine
+    EXPECT_THROW(alloc.allocate(101), DeviceOutOfMemory);
+    alloc.clear_fault_plan();
+    alloc.allocate(101);  // plan removed
+    EXPECT_EQ(alloc.live_bytes(), 201U);
+}
+
+TEST(DeviceAllocator, FaultPlanShrinksCapacityMidRun)
+{
+    DeviceAllocator alloc(1000);
+    FaultPlan plan;
+    plan.shrink_after_alloc = 2;
+    plan.shrink_to_bytes = 300;
+    alloc.set_fault_plan(plan);
+    alloc.allocate(200);  // #0 under full capacity
+    alloc.allocate(50);   // #1
+    // #2 onward the effective capacity is 300 and 250 B are live.
+    EXPECT_THROW(alloc.allocate(100), DeviceOutOfMemory);
+    alloc.allocate(50);  // fits the shrunken capacity exactly
+    EXPECT_EQ(alloc.live_bytes(), 300U);
+}
+
+TEST(DeviceAllocator, SeededProbabilisticFaultsAreDeterministic)
+{
+    auto pattern = [](std::uint64_t seed) {
+        DeviceAllocator alloc(1 << 20);
+        FaultPlan plan;
+        plan.fail_probability = 0.5;
+        plan.seed = seed;
+        alloc.set_fault_plan(plan);
+        std::vector<bool> failed;
+        for (int i = 0; i < 32; ++i) {
+            try {
+                alloc.allocate(8);
+                failed.push_back(false);
+            } catch (const DeviceOutOfMemory&) {
+                failed.push_back(true);
+            }
+        }
+        return failed;
+    };
+    EXPECT_EQ(pattern(7), pattern(7));
+    EXPECT_NE(pattern(7), pattern(8));  // astronomically unlikely to match
+}
+
+TEST(DeviceAllocator, RecordsLiveBytesAtOom)
+{
+    DeviceAllocator alloc(100);
+    alloc.allocate(60);
+    EXPECT_THROW(alloc.allocate(60), DeviceOutOfMemory);
+    EXPECT_EQ(alloc.last_oom_live_bytes(), 60U);
+}
+
+TEST(DeviceBuffer, RejectedAllocationLeavesNoCharge)
+{
+    // The capacity charge happens before host storage is committed, so a
+    // rejected construction must leave the allocator untouched.
+    DeviceAllocator alloc(1024);
+    EXPECT_THROW(DeviceBuffer<double>(alloc, 1024), DeviceOutOfMemory);
+    EXPECT_EQ(alloc.live_bytes(), 0U);
+    DeviceBuffer<double> ok(alloc, 128);  // the full capacity is still free
+    EXPECT_EQ(alloc.live_bytes(), 1024U);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(DeviceAllocatorDeathTest, DeallocateUnderflowAbortsInDebug)
+{
+    DeviceAllocator alloc(1000);
+    alloc.allocate(10);
+    EXPECT_DEATH(alloc.deallocate(20), "underflow");
+}
+#endif
 
 TEST(DeviceCsr, AllocateForKnownNnz)
 {

@@ -70,7 +70,8 @@ TEST(MemoryEstimator, ComponentsAddUp)
 
 TEST(MemoryEstimator, PredictsOomCorrectly)
 {
-    // A device sized just below the estimate must OOM; just above must not.
+    // A device sized just below the estimate must OOM (with the row-slab
+    // fallback disabled; enabled, it degrades instead); just above must not.
     const auto a = gen::uniform_random(600, 600, 12, 5);
     const auto e = estimate_hash_spgemm_memory<double>(a, a);
     {
@@ -83,8 +84,25 @@ TEST(MemoryEstimator, PredictsOomCorrectly)
         sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
         spec.memory_capacity = static_cast<std::size_t>(static_cast<double>(e.peak) * 0.80);
         sim::Device dev(spec);
-        EXPECT_THROW((void)hash_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+        Options opt;
+        opt.slab_fallback = false;
+        EXPECT_THROW((void)hash_spgemm<double>(dev, a, a, opt), DeviceOutOfMemory);
     }
+}
+
+TEST(MemoryEstimator, PlanRowSlabs)
+{
+    const auto a = gen::uniform_random(600, 600, 12, 5);
+    const auto e = estimate_hash_spgemm_memory<double>(a, a);
+    // Ample budget: no slabbing needed.
+    EXPECT_EQ(plan_row_slabs<double>(a, a, e.peak * 2), 1);
+    // Half the scaling budget: at least two slabs.
+    const std::size_t resident = a.byte_size();
+    EXPECT_GE(plan_row_slabs<double>(a, a, resident + (e.peak - resident) / 2), 2);
+    // Budget below B itself: slabbing cannot help.
+    EXPECT_EQ(plan_row_slabs<double>(a, a, resident / 2), 0);
+    // Slab count never exceeds the row count.
+    EXPECT_LE(plan_row_slabs<double>(a, a, resident + 1), a.rows);
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 // Failure injection: when the simulated device runs out of memory
 // mid-algorithm, RAII must release every temporary so the device can be
-// reused, and successive attempts behave identically.
+// reused, and successive attempts behave identically. With the seedable
+// FaultPlan the sweep below drives an OOM through *every* allocation site
+// of every algorithm, not just the first upload that exceeds capacity.
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 #include "baselines/bhsparse.hpp"
 #include "baselines/cusparse_like.hpp"
@@ -14,24 +18,23 @@
 namespace nsparse {
 namespace {
 
-template <ValueType T>
-using Runner = SpgemmOutput<T> (*)(sim::Device&, const CsrMatrix<T>&, const CsrMatrix<T>&);
-
-template <ValueType T>
-SpgemmOutput<T> run_hash(sim::Device& d, const CsrMatrix<T>& a, const CsrMatrix<T>& b)
+core::Options no_fallback()
 {
-    return hash_spgemm<T>(d, a, b);
+    core::Options o;
+    o.slab_fallback = false;
+    return o;
 }
 
 class OomSafety : public ::testing::TestWithParam<const char*> {
 protected:
     static SpgemmOutput<double> run(const std::string& name, sim::Device& dev,
-                                    const CsrMatrix<double>& a)
+                                    const CsrMatrix<double>& a,
+                                    const core::Options& opt = {})
     {
         if (name == "CUSP") { return baseline::esc_spgemm<double>(dev, a, a); }
         if (name == "cuSPARSE") { return baseline::cusparse_spgemm<double>(dev, a, a); }
         if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<double>(dev, a, a); }
-        return hash_spgemm<double>(dev, a, a);
+        return hash_spgemm<double>(dev, a, a, opt);
     }
 };
 
@@ -42,12 +45,13 @@ TEST_P(OomSafety, OomReleasesEverythingAndDeviceStaysUsable)
     const auto small = gen::uniform_random(100, 100, 4, 2);
 
     sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
-    spec.memory_capacity = 4 * 1024 * 1024;  // 4 MB: everything OOMs on `big`
+    spec.memory_capacity = 4 * 1024 * 1024;  // 4 MB: `big` cannot run unchunked
     sim::Device dev(spec);
 
     const std::size_t live_before = dev.allocator().live_bytes();
-    EXPECT_THROW((void)run(alg, dev, big), DeviceOutOfMemory);
-    // All temporaries released by RAII during unwinding.
+    // Baselines (and the proposal with the fallback disabled) fail; all
+    // temporaries must be released by RAII during unwinding.
+    EXPECT_THROW((void)run(alg, dev, big, no_fallback()), DeviceOutOfMemory);
     EXPECT_EQ(dev.allocator().live_bytes(), live_before) << alg;
 
     // The device remains usable for a computation that fits.
@@ -73,6 +77,7 @@ TEST(OomSafety, RepeatedAttemptsAreDeterministic)
 TEST(OomSafety, ExactCapacityBoundary)
 {
     // Find how much the proposal needs, then verify capacity-1 byte fails
+    // (with the slab fallback disabled; with it on, it degrades instead)
     // and exact capacity succeeds.
     const auto a = gen::uniform_random(400, 400, 8, 3);
     std::size_t peak = 0;
@@ -90,7 +95,115 @@ TEST(OomSafety, ExactCapacityBoundary)
         sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
         spec.memory_capacity = peak - 1;
         sim::Device dev(spec);
-        EXPECT_THROW((void)hash_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+        EXPECT_THROW((void)hash_spgemm<double>(dev, a, a, no_fallback()), DeviceOutOfMemory);
+    }
+}
+
+// --- fault-injection sweep (ctest label: faults) -------------------------
+//
+// For every algorithm, fail each allocation index in turn. Each run must
+// either complete with the correct product or throw DeviceOutOfMemory; in
+// both cases the allocator's live bytes must return to the pre-call value
+// (strong leak guarantee). The proposal with its slab fallback enabled is
+// additionally expected to *survive* most transient injections.
+
+SpgemmOutput<double> run_alg(const std::string& name, sim::Device& dev,
+                             const CsrMatrix<double>& a, const core::Options& opt)
+{
+    if (name == "CUSP") { return baseline::esc_spgemm<double>(dev, a, a); }
+    if (name == "cuSPARSE") { return baseline::cusparse_spgemm<double>(dev, a, a); }
+    if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<double>(dev, a, a); }
+    return hash_spgemm<double>(dev, a, a, opt);
+}
+
+struct SweepResult {
+    int completed = 0;
+    int injections = 0;
+};
+
+/// Sweeps an injected one-shot failure across every allocation index of a
+/// clean run; returns how many injected runs still completed.
+SweepResult sweep_faults(const std::string& alg, const core::Options& opt)
+{
+    const auto a = gen::uniform_random(120, 120, 5, 7);
+    const auto expected = reference_spgemm(a, a);
+
+    // Clean run to learn the allocation schedule length.
+    std::uint64_t n_allocs = 0;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        (void)run_alg(alg, dev, a, opt);
+        n_allocs = dev.allocator().allocations();
+    }
+    EXPECT_GT(n_allocs, 0U) << alg;
+
+    int completed = 0;
+    for (std::uint64_t idx = 0; idx < n_allocs; ++idx) {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        sim::FaultPlan plan;
+        plan.fail_at_alloc = static_cast<std::int64_t>(idx);
+        dev.allocator().set_fault_plan(plan);
+        const std::size_t live_before = dev.allocator().live_bytes();
+        try {
+            const auto out = run_alg(alg, dev, a, opt);
+            EXPECT_TRUE(approx_equal(out.matrix, expected))
+                << alg << " wrong result with injected fault at allocation " << idx;
+            ++completed;
+        } catch (const DeviceOutOfMemory&) {
+            // acceptable: surfaced the injected failure
+        }
+        EXPECT_EQ(dev.allocator().live_bytes(), live_before)
+            << alg << " leaked with injected fault at allocation " << idx;
+        EXPECT_GE(dev.allocator().failed_allocations(), 1U) << alg << " @" << idx;
+    }
+    return {completed, static_cast<int>(n_allocs)};
+}
+
+class FaultSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultSweep, EveryAllocationSiteIsLeakFree)
+{
+    (void)sweep_faults(GetParam(), core::Options{});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FaultSweep,
+                         ::testing::Values("CUSP", "cuSPARSE", "BHSPARSE", "PROPOSAL"));
+
+TEST(FaultInjection, ProposalSurvivesEveryTransientFaultViaSlabFallback)
+{
+    // With the fallback enabled a single injected failure is absorbed by
+    // the row-slab retry: every injection point completes correctly.
+    const auto r = sweep_faults("PROPOSAL", core::Options{});
+    EXPECT_EQ(r.completed, r.injections);
+}
+
+TEST(FaultInjection, NoFallbackSurfacesEveryInjection)
+{
+    core::Options opt;
+    opt.slab_fallback = false;
+    const auto r = sweep_faults("PROPOSAL", opt);
+    // Without the fallback no injected failure can be absorbed.
+    EXPECT_EQ(r.completed, 0);
+}
+
+TEST(FaultInjection, ShrinkingCapacityMidRunIsLeakFree)
+{
+    const auto a = gen::uniform_random(120, 120, 5, 7);
+    const auto expected = reference_spgemm(a, a);
+    for (const std::int64_t shrink_at : {2, 5, 9}) {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        sim::FaultPlan plan;
+        plan.shrink_after_alloc = shrink_at;
+        plan.shrink_to_bytes = 600 * 1024;  // tight but workable for slabs
+        dev.allocator().set_fault_plan(plan);
+        const std::size_t live_before = dev.allocator().live_bytes();
+        try {
+            const auto out = hash_spgemm<double>(dev, a, a);
+            EXPECT_TRUE(approx_equal(out.matrix, expected)) << "shrink@" << shrink_at;
+        } catch (const DeviceOutOfMemory&) {
+            // acceptable when even slabbed execution cannot fit
+        }
+        EXPECT_EQ(dev.allocator().live_bytes(), live_before) << "shrink@" << shrink_at;
     }
 }
 

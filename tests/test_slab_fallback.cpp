@@ -1,0 +1,193 @@
+// Row-slab OOM fallback of hash_spgemm: under memory pressure the multiply
+// must degrade to row slabs and produce a bit-identical result, restore
+// the allocator's live bytes on success and failure, and report what it
+// did (stats fields, trace memory events, structured DeviceOutOfMemory) —
+// the paper's Table III asymmetry (the proposal completes where the
+// baselines print "-") made mechanical.
+#include <gtest/gtest.h>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/esc.hpp"
+#include "core/memory_estimator.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/csr_ops.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+CsrMatrix<double> pressure_matrix() { return gen::uniform_random(400, 400, 8, 3); }
+
+/// Peak bytes of the unchunked multiply at unlimited capacity.
+std::size_t unchunked_peak(const CsrMatrix<double>& a)
+{
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    return hash_spgemm<double>(dev, a, a).stats.peak_bytes;
+}
+
+sim::Device device_with_capacity(std::size_t bytes)
+{
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = bytes;
+    return sim::Device(spec);
+}
+
+TEST(SlabFallback, CompletesBitIdenticalBelowUnchunkedPeak)
+{
+    const auto a = pressure_matrix();
+    CsrMatrix<double> full;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        full = hash_spgemm<double>(dev, a, a).matrix;
+    }
+
+    const std::size_t peak = unchunked_peak(a);
+    sim::Device dev = device_with_capacity(peak * 3 / 4);
+    const std::size_t live_before = dev.allocator().live_bytes();
+    const auto out = hash_spgemm<double>(dev, a, a);
+
+    // Bit-identical assembly: same structure AND the same value bits.
+    EXPECT_EQ(out.matrix.rpt, full.rpt);
+    EXPECT_EQ(out.matrix.col, full.col);
+    EXPECT_EQ(out.matrix.val, full.val);
+
+    EXPECT_GE(out.stats.fallback_slabs, 2);
+    EXPECT_GT(out.stats.fallback_bytes_freed, 0U);
+    EXPECT_EQ(dev.allocator().live_bytes(), live_before);
+}
+
+TEST(SlabFallback, BaselinesStillThrowAtThatCapacity)
+{
+    // The Table III asymmetry: at a capacity where the proposal completes
+    // via slabs, the upper-bound-buffer baselines still go out of memory.
+    const auto a = pressure_matrix();
+    const std::size_t capacity = unchunked_peak(a) * 3 / 4;
+    {
+        sim::Device dev = device_with_capacity(capacity);
+        EXPECT_NO_THROW((void)hash_spgemm<double>(dev, a, a));
+    }
+    {
+        sim::Device dev = device_with_capacity(capacity);
+        EXPECT_THROW((void)baseline::esc_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+    }
+    {
+        sim::Device dev = device_with_capacity(capacity);
+        EXPECT_THROW((void)baseline::bhsparse_spgemm<double>(dev, a, a), DeviceOutOfMemory);
+    }
+}
+
+TEST(SlabFallback, ForcedSlabsMatchUnchunkedResult)
+{
+    const auto a = pressure_matrix();
+    CsrMatrix<double> full;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        full = hash_spgemm<double>(dev, a, a).matrix;
+    }
+    for (const int k : {2, 3, 7}) {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        core::Options opt;
+        opt.force_slabs = k;
+        const auto out = hash_spgemm<double>(dev, a, a, opt);
+        EXPECT_EQ(out.matrix.rpt, full.rpt) << k;
+        EXPECT_EQ(out.matrix.col, full.col) << k;
+        EXPECT_EQ(out.matrix.val, full.val) << k;
+        EXPECT_GE(out.stats.fallback_slabs, k) << k;
+        EXPECT_EQ(dev.allocator().live_bytes(), 0U) << k;
+    }
+}
+
+TEST(SlabFallback, StatsStayConsistentUnderFallback)
+{
+    const auto a = pressure_matrix();
+    wide_t products_full = 0;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        products_full = hash_spgemm<double>(dev, a, a).stats.intermediate_products;
+    }
+    sim::Device dev = device_with_capacity(unchunked_peak(a) * 3 / 4);
+    const auto out = hash_spgemm<double>(dev, a, a);
+    EXPECT_EQ(out.stats.intermediate_products, products_full);
+    EXPECT_EQ(out.stats.nnz_c, out.matrix.nnz());
+    EXPECT_GT(out.stats.seconds, 0.0);
+    EXPECT_LE(out.stats.peak_bytes, dev.allocator().capacity());
+}
+
+TEST(SlabFallback, RecordsMemoryEventsInTrace)
+{
+    const auto a = pressure_matrix();
+    sim::Device dev = device_with_capacity(unchunked_peak(a) * 3 / 4);
+    dev.enable_trace();
+    (void)hash_spgemm<double>(dev, a, a);
+    EXPECT_GE(dev.memory_events_recorded(), 1U);
+    const auto& events = dev.trace().memory_events();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(events.front().label, "slab_fallback");
+    EXPECT_GT(events.front().bytes_freed, 0U);
+    // The rendered profile mentions the events.
+    EXPECT_NE(dev.trace().report().find("slab_fallback"), std::string::npos);
+}
+
+TEST(SlabFallback, StructuredErrorWhenBCannotFit)
+{
+    const auto a = pressure_matrix();
+    // Not even B fits: slabbing cannot help, and the error says so.
+    sim::Device dev = device_with_capacity(a.byte_size() / 2);
+    const std::size_t live_before = dev.allocator().live_bytes();
+    try {
+        (void)hash_spgemm<double>(dev, a, a);
+        FAIL() << "expected DeviceOutOfMemory";
+    } catch (const DeviceOutOfMemory& e) {
+        EXPECT_GE(e.slab_level(), 1);
+        EXPECT_NE(std::string(e.what()).find("slab"), std::string::npos);
+    }
+    EXPECT_EQ(dev.allocator().live_bytes(), live_before);
+}
+
+TEST(SlabFallback, StructuredErrorReportsSlabLevelWhenSlabsDontFit)
+{
+    const auto a = pressure_matrix();
+    // B fits with a sliver to spare, but no slab of A's rows ever will:
+    // the fallback must bottom out and report how deep it got.
+    sim::Device dev = device_with_capacity(a.byte_size() + 256);
+    const std::size_t live_before = dev.allocator().live_bytes();
+    try {
+        (void)hash_spgemm<double>(dev, a, a);
+        FAIL() << "expected DeviceOutOfMemory";
+    } catch (const DeviceOutOfMemory& e) {
+        EXPECT_GE(e.slab_level(), 1);
+    }
+    EXPECT_EQ(dev.allocator().live_bytes(), live_before);
+}
+
+TEST(SlabFallback, DisabledFallbackPreservesSeedBehaviour)
+{
+    const auto a = pressure_matrix();
+    sim::Device dev = device_with_capacity(unchunked_peak(a) * 3 / 4);
+    core::Options opt;
+    opt.slab_fallback = false;
+    const std::size_t live_before = dev.allocator().live_bytes();
+    EXPECT_THROW((void)hash_spgemm<double>(dev, a, a, opt), DeviceOutOfMemory);
+    EXPECT_EQ(dev.allocator().live_bytes(), live_before);
+}
+
+TEST(SlabFallback, SliceAndAppendRoundTrip)
+{
+    const auto a = gen::uniform_random(123, 77, 6, 9);
+    CsrMatrix<double> rebuilt;
+    for (index_t r0 = 0; r0 < a.rows; r0 += 50) {
+        const index_t r1 = std::min<index_t>(a.rows, r0 + 50);
+        append_rows(rebuilt, slice_rows(a, r0, r1));
+    }
+    EXPECT_EQ(rebuilt.rows, a.rows);
+    EXPECT_EQ(rebuilt.cols, a.cols);
+    EXPECT_EQ(rebuilt.rpt, a.rpt);
+    EXPECT_EQ(rebuilt.col, a.col);
+    EXPECT_EQ(rebuilt.val, a.val);
+    rebuilt.validate();
+}
+
+}  // namespace
+}  // namespace nsparse
