@@ -47,7 +47,15 @@ bool completes(const Contender& c, const CsrMatrix<double>& a, double scale,
     sim::Device dev(spec, bench::scaled_cost(scale));
     core::Options opt;
     opt.slab_fallback = c.slab_fallback;
-    return bench::run_algorithm<double>(c.algorithm, dev, a, opt).has_value();
+    try {
+        return bench::run_algorithm<double>(c.algorithm, dev, a, opt).has_value();
+    } catch (const KernelFault& f) {
+        // A kernel fault at reduced capacity is a bug, not a legitimate
+        // "needs more memory" signal — it must never masquerade as one.
+        std::fprintf(stderr, "FATAL: %s faulted (not OOM) at capacity %zu: %s\n",
+                     c.label, capacity, f.what());
+        throw;
+    }
 }
 
 /// Smallest capacity in [0, hi] at which the run completes, to a

@@ -68,7 +68,9 @@ inline sim::Device make_device(double scale, bool scale_capacity = false)
 }
 
 /// One algorithm run (squaring `a`); empty optional = device out of memory
-/// (the "-" entries of Table III).
+/// (the "-" entries of Table III). A KernelFault is *not* an OOM — it means
+/// a kernel produced a wrong/impossible result — so it propagates to the
+/// caller instead of being folded into the "-" entries.
 template <ValueType T>
 std::optional<SpgemmStats> run_algorithm(const std::string& name, sim::Device& dev,
                                          const CsrMatrix<T>& a,
@@ -78,9 +80,14 @@ std::optional<SpgemmStats> run_algorithm(const std::string& name, sim::Device& d
         core::Options o = opt;
         if (o.executor_threads == 0) { o.executor_threads = executor_threads_from_env(); }
         const int nt = o.executor_threads;
-        if (name == "CUSP") { return baseline::esc_spgemm<T>(dev, a, a, nt).stats; }
-        if (name == "cuSPARSE") { return baseline::cusparse_spgemm<T>(dev, a, a, nt).stats; }
-        if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<T>(dev, a, a, nt).stats; }
+        const bool val = o.validate_inputs;
+        if (name == "CUSP") { return baseline::esc_spgemm<T>(dev, a, a, nt, val).stats; }
+        if (name == "cuSPARSE") {
+            return baseline::cusparse_spgemm<T>(dev, a, a, nt, val).stats;
+        }
+        if (name == "BHSPARSE") {
+            return baseline::bhsparse_spgemm<T>(dev, a, a, nt, val).stats;
+        }
         if (name == "PROPOSAL") { return hash_spgemm<T>(dev, a, a, o).stats; }
         throw PreconditionError("unknown algorithm: " + name);
     } catch (const DeviceOutOfMemory&) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/common.hpp"
+#include "sparse/validate.hpp"
 
 namespace nsparse::baseline {
 
@@ -79,8 +80,9 @@ index_t compute_row(const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b, inde
 
 template <ValueType T>
 SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                int executor_threads)
+                                int executor_threads, bool validate_inputs)
 {
+    if (validate_inputs) { validate_spgemm_inputs(a, b); }
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
     dev.set_executor_threads(executor_threads);
     dev.reset_measurement();
@@ -325,8 +327,8 @@ SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
 }
 
 template SpgemmOutput<float> bhsparse_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
-                                                    const CsrMatrix<float>&, int);
+                                                    const CsrMatrix<float>&, int, bool);
 template SpgemmOutput<double> bhsparse_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
-                                                      const CsrMatrix<double>&, int);
+                                                      const CsrMatrix<double>&, int, bool);
 
 }  // namespace nsparse::baseline

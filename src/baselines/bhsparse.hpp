@@ -17,16 +17,19 @@ namespace nsparse::baseline {
 
 /// `executor_threads` selects how many host threads run the simulated
 /// blocks (0 = hardware_concurrency, 1 = sequential); results and
-/// simulated cycles are identical for every value.
+/// simulated cycles are identical for every value. `validate_inputs`
+/// checks both CSR inputs up front (shared validator; throws a
+/// PreconditionError naming the violated invariant).
 template <ValueType T>
 SpgemmOutput<T> bhsparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                int executor_threads = 0);
+                                int executor_threads = 0, bool validate_inputs = false);
 
 extern template SpgemmOutput<float> bhsparse_spgemm<float>(sim::Device&,
                                                            const CsrMatrix<float>&,
-                                                           const CsrMatrix<float>&, int);
+                                                           const CsrMatrix<float>&, int, bool);
 extern template SpgemmOutput<double> bhsparse_spgemm<double>(sim::Device&,
                                                              const CsrMatrix<double>&,
-                                                             const CsrMatrix<double>&, int);
+                                                             const CsrMatrix<double>&, int,
+                                                             bool);
 
 }  // namespace nsparse::baseline

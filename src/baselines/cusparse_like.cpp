@@ -8,6 +8,7 @@
 #include "core/kernel_costs.hpp"
 #include "core/numeric.hpp"
 #include "core/symbolic.hpp"
+#include "sparse/validate.hpp"
 
 namespace nsparse::baseline {
 
@@ -32,8 +33,9 @@ constexpr index_t numeric_table_size()
 
 template <ValueType T>
 SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                int executor_threads)
+                                int executor_threads, bool validate_inputs)
 {
+    if (validate_inputs) { validate_spgemm_inputs(a, b); }
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
     dev.set_executor_threads(executor_threads);
     dev.reset_measurement();
@@ -145,7 +147,16 @@ SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
                                const index_t nz = core::detail::count_row_hashed(
                                    da, db, i, table, /*pow2=*/false, ec_sym,
                                    ec_sym.probe_global, ec_sym.insert_global, warp, 32);
-                               NSPARSE_ENSURES(nz >= 0, "global fallback table saturated");
+                               if (nz < 0) {
+                                   // csrgemm has no second fallback: a
+                                   // saturated product-sized table means
+                                   // the input lied about its structure.
+                                   throw KernelFault(
+                                       "cusparse global fallback table saturated", "count",
+                                       /*group=*/-1, i,
+                                       static_cast<std::int64_t>(table.size()),
+                                       static_cast<int>(table.size()));
+                               }
                                row_nnz[to_size(i)] = nz;
                                blk.charge_work_span(warp[0] * 32.0, warp[0]);
                            });
@@ -208,10 +219,16 @@ SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
                                    auto v = vals.subspan(to_size(w) * to_size(tnum),
                                                          to_size(tnum));
                                    std::vector<double> warp(1, 0.0);
-                                   core::detail::fill_row_hashed(
-                                       da, db, i, k, v, /*pow2=*/false, ec_num,
-                                       ec_num.probe_shared, ec_num.insert_shared,
-                                       ec_num.accum_shared, warp, 32);
+                                   if (!core::detail::fill_row_hashed(
+                                           da, db, i, k, v, /*pow2=*/false, ec_num,
+                                           ec_num.probe_shared, ec_num.insert_shared,
+                                           ec_num.accum_shared, warp, 32)) {
+                                       throw KernelFault(
+                                           "cusparse shared numeric table saturated",
+                                           "calc", /*group=*/-1, i,
+                                           static_cast<std::int64_t>(tnum),
+                                           static_cast<int>(tnum));
+                                   }
                                    const auto [ew, es] = core::detail::emit_row<T>(
                                        k, v, ctmp, i, dev.cost_model(), true, 32);
                                    const double cleanup =
@@ -244,10 +261,16 @@ SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
                                                 sim::MemPattern::kCoalesced,
                                                 static_cast<double>(k.size()) / 32.0);
                                std::vector<double> warp(1, 0.0);
-                               core::detail::fill_row_hashed(
-                                   da, db, i, k, v, /*pow2=*/false, ec_num,
-                                   ec_num.probe_global, ec_num.insert_global,
-                                   ec_num.accum_global, warp, 32);
+                               if (!core::detail::fill_row_hashed(
+                                       da, db, i, k, v, /*pow2=*/false, ec_num,
+                                       ec_num.probe_global, ec_num.insert_global,
+                                       ec_num.accum_global, warp, 32)) {
+                                   throw KernelFault(
+                                       "cusparse global numeric table saturated", "calc",
+                                       /*group=*/-1, i,
+                                       static_cast<std::int64_t>(k.size()),
+                                       static_cast<int>(k.size()));
+                               }
                                const auto [ew, es] = core::detail::emit_row<T>(
                                    k, v, ctmp, i, dev.cost_model(), false, 32);
                                blk.charge_work_span(warp[0] * 32.0 + ew, warp[0] + es);
@@ -283,8 +306,8 @@ SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
 }
 
 template SpgemmOutput<float> cusparse_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
-                                                    const CsrMatrix<float>&, int);
+                                                    const CsrMatrix<float>&, int, bool);
 template SpgemmOutput<double> cusparse_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
-                                                      const CsrMatrix<double>&, int);
+                                                      const CsrMatrix<double>&, int, bool);
 
 }  // namespace nsparse::baseline

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "baselines/common.hpp"
+#include "sparse/validate.hpp"
 
 namespace nsparse::baseline {
 
@@ -82,8 +83,9 @@ void radix_pass(sim::Device& dev, sim::DeviceBuffer<std::uint64_t>& keys_in,
 
 template <ValueType T>
 SpgemmOutput<T> esc_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                           int executor_threads)
+                           int executor_threads, bool validate_inputs)
 {
+    if (validate_inputs) { validate_spgemm_inputs(a, b); }
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
     dev.set_executor_threads(executor_threads);
     dev.reset_measurement();
@@ -247,8 +249,8 @@ SpgemmOutput<T> esc_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMat
 }
 
 template SpgemmOutput<float> esc_spgemm<float>(sim::Device&, const CsrMatrix<float>&,
-                                               const CsrMatrix<float>&, int);
+                                               const CsrMatrix<float>&, int, bool);
 template SpgemmOutput<double> esc_spgemm<double>(sim::Device&, const CsrMatrix<double>&,
-                                                 const CsrMatrix<double>&, int);
+                                                 const CsrMatrix<double>&, int, bool);
 
 }  // namespace nsparse::baseline

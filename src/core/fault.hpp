@@ -1,0 +1,68 @@
+// Per-row kernel fault containment shared by the symbolic and numeric
+// phases (the robustness counterpart of the row-slab OOM fallback).
+//
+// A saturated hash table used to be a process-killing assertion; now the
+// kernels *capture* the fault per row, the phase retries the captured rows
+// on the group-0 global-table path with doubling table sizes (bounded by
+// Options::max_row_retries), and rows that still fail are recomputed with
+// the host-side reference recourse. PhaseFaults tallies what happened so
+// SpgemmStats and the sim::Trace can surface it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace nsparse::core {
+
+/// Tally of contained kernel faults of one phase run; accumulated into
+/// SpgemmStats.faulted_rows / row_retries / host_fallback_rows.
+struct PhaseFaults {
+    int faulted_rows = 0;        ///< rows whose first kernel attempt faulted
+    int row_retries = 0;         ///< group-0 retry executions across those rows
+    int host_fallback_rows = 0;  ///< rows recomputed by the host recourse
+
+    PhaseFaults& operator+=(const PhaseFaults& o)
+    {
+        faulted_rows += o.faulted_rows;
+        row_retries += o.row_retries;
+        host_fallback_rows += o.host_fallback_rows;
+        return *this;
+    }
+};
+
+namespace detail {
+
+/// Expands Options::inject_*_row_faults into a per-row flag vector. Empty
+/// when no listed row is in [0, rows) — the common no-injection case costs
+/// one emptiness check per row in the kernels.
+inline std::vector<std::uint8_t> inject_flags(const std::vector<index_t>& rows_to_fault,
+                                              index_t rows)
+{
+    std::vector<std::uint8_t> flags;
+    for (const index_t i : rows_to_fault) {
+        if (i < 0 || i >= rows) { continue; }
+        if (flags.empty()) { flags.assign(to_size(rows), 0); }
+        flags[to_size(i)] = 1;
+    }
+    return flags;
+}
+
+/// Table size of retry `attempt` (1-based) for a row with `count` entries
+/// to hash: the group-0 base size doubled per attempt, capped well below
+/// the index range.
+[[nodiscard]] inline index_t retry_table_size(index_t base_pow2, int attempt)
+{
+    constexpr index_t kCap = index_t{1} << 30;
+    index_t size = base_pow2;
+    for (int s = 0; s < attempt; ++s) {
+        if (size >= kCap / 2) { return kCap; }
+        size *= 2;
+    }
+    return size;
+}
+
+}  // namespace detail
+
+}  // namespace nsparse::core

@@ -12,27 +12,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/grouping.hpp"
 #include "core/hash_table.hpp"
 #include "core/kernel_costs.hpp"
 #include "core/options.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/device_csr.hpp"
+#include "sparse/error.hpp"
 
 namespace nsparse::core {
 
 namespace detail {
 
 /// Functionally accumulates row i's products into the (keys, values)
-/// table, tracking per-worker cycles like count_row_hashed.
+/// table, tracking per-worker cycles like count_row_hashed. Returns false
+/// (leaving the row incomplete) if the table saturates — the caller
+/// captures the row for the fault-containment retry path.
 template <ValueType T>
-inline void fill_row_hashed(const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b, index_t i,
-                            std::span<index_t> keys, std::span<T> values, bool pow2,
-                            const ElemCosts& ec, double probe_cost, double insert_cost,
-                            double accum_cost, std::span<double> lane_cycles, int lane_div)
+[[nodiscard]] inline bool fill_row_hashed(const sim::DeviceCsr<T>& a,
+                                          const sim::DeviceCsr<T>& b, index_t i,
+                                          std::span<index_t> keys, std::span<T> values,
+                                          bool pow2, const ElemCosts& ec, double probe_cost,
+                                          double insert_cost, double accum_cost,
+                                          std::span<double> lane_cycles, int lane_div)
 {
     const index_t a_begin = a.rpt[to_size(i)];
     const index_t a_end = a.rpt[to_size(i) + 1];
@@ -45,10 +53,16 @@ inline void fill_row_hashed(const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>&
         const index_t b_end = b.rpt[to_size(d) + 1];
         const index_t len = b_end - b_begin;
         double elem_cycles = 0.0;
+        bool full = false;
         for (index_t k = b_begin; k < b_end; ++k) {
             const ProbeResult r =
                 hash_accumulate(keys, values, b.col[to_size(k)], av * b.val[to_size(k)], pow2);
-            NSPARSE_ENSURES(!r.full, "numeric hash table saturated (grouping bug)");
+            if (r.full) {
+                // Charge the fruitless full-table scan, then bail out.
+                elem_cycles += ec.elem_b + r.probes * probe_cost;
+                full = true;
+                break;
+            }
             elem_cycles += ec.elem_b + r.probes * probe_cost + accum_cost +
                            (r.inserted ? insert_cost : 0.0);
         }
@@ -60,18 +74,26 @@ inline void fill_row_hashed(const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>&
         // read_a is a broadcast scalar load: once per worker, not per lane
         lane_cycles[lane] += ec.read_a / static_cast<double>(std::max(lane_div, 1)) +
                              rounds * avg_elem;
+        if (full) { return false; }
     }
+    return true;
 }
 
 /// Gather + counting-rank sort + write of one finished row table; returns
 /// the (work, span) cycles of these steps. `workers` = parallel threads
 /// available for this row.
+///
+/// If the gathered nonzero count disagrees with the row pointers (fill
+/// faulted, or the symbolic count was wrong), nothing is written; with
+/// `nnz_mismatch` set the flag is raised and the costs still returned
+/// (fault-containment capture), otherwise a KernelFault is thrown.
 template <ValueType T>
 [[nodiscard]] inline std::pair<double, double> emit_row(std::span<const index_t> keys,
                                                         std::span<const T> values,
                                                         sim::DeviceCsr<T>& c, index_t i,
                                                         const sim::CostModel& m, bool shared,
-                                                        int workers)
+                                                        int workers,
+                                                        bool* nnz_mismatch = nullptr)
 {
     std::vector<std::pair<index_t, T>> row;
     for (std::size_t s = 0; s < keys.size(); ++s) {
@@ -79,11 +101,18 @@ template <ValueType T>
     }
     std::sort(row.begin(), row.end());
     const index_t base = c.rpt[to_size(i)];
-    NSPARSE_ENSURES(to_index(row.size()) == c.rpt[to_size(i) + 1] - base,
-                    "numeric nnz disagrees with symbolic count");
-    for (std::size_t s = 0; s < row.size(); ++s) {
-        c.col[to_size(base) + s] = row[s].first;
-        c.val[to_size(base) + s] = row[s].second;
+    const bool mismatch = to_index(row.size()) != c.rpt[to_size(i) + 1] - base;
+    if (mismatch && nnz_mismatch == nullptr) {
+        throw KernelFault("numeric nnz disagrees with symbolic count", "calc", /*group=*/-1,
+                          i, static_cast<std::int64_t>(keys.size()), /*probes=*/0);
+    }
+    if (mismatch) {
+        *nnz_mismatch = true;
+    } else {
+        for (std::size_t s = 0; s < row.size(); ++s) {
+            c.col[to_size(base) + s] = row[s].first;
+            c.val[to_size(base) + s] = row[s].second;
+        }
     }
 
     const double tsize = static_cast<double>(keys.size());
@@ -108,15 +137,24 @@ template <ValueType T>
 
 /// Launches the numeric kernels for every group; fills c.col / c.val
 /// (c.rpt must already hold the row pointers from the symbolic phase).
+/// Returns the tally of contained per-row faults (zero on a clean run).
 template <ValueType T>
-void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b,
-                   const GroupingPolicy& policy, const GroupedRows& grouped,
-                   const sim::DeviceBuffer<index_t>& row_nnz, sim::DeviceCsr<T>& c,
-                   const Options& opt)
+PhaseFaults numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                          const sim::DeviceCsr<T>& b, const GroupingPolicy& policy,
+                          const GroupedRows& grouped,
+                          const sim::DeviceBuffer<index_t>& row_nnz, sim::DeviceCsr<T>& c,
+                          const Options& opt)
 {
     const ElemCosts ec = ElemCosts::make(dev.cost_model(), /*numeric=*/true, sizeof(T));
     const sim::CostModel& m = dev.cost_model();
     const index_t* perm = grouped.permutation.data();
+
+    // Per-row fault capture (see symbolic_phase): block-disjoint writes of
+    // group id + 1 and the saturated/mismatched table size.
+    const std::vector<std::uint8_t> inject =
+        detail::inject_flags(opt.inject_numeric_row_faults, a.rows);
+    std::vector<index_t> fault_group(to_size(a.rows), 0);
+    std::vector<index_t> fault_table(to_size(a.rows), 0);
 
     // Group 0 global tables: one arena, per-row next_pow2(2*nnz) entries.
     sim::DeviceBuffer<index_t> g0_keys;
@@ -156,8 +194,8 @@ void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Devi
             const std::size_t smem = to_size(rows_per_block) * to_size(g.table_size) *
                                      (sizeof(index_t) + sizeof(T));
             dev.launch(stream, {grid, block_dim, smem}, "numeric_pwarp",
-                       [&, group_begin, size, rows_per_block, pw,
-                        tsize = g.table_size](sim::BlockCtx& blk) {
+                       [&, group_begin, size, rows_per_block, pw, tsize = g.table_size,
+                        gid = g.id](sim::BlockCtx& blk) {
                            auto keys = blk.shared_alloc<index_t>(to_size(rows_per_block) *
                                                                  to_size(tsize));
                            auto vals = blk.shared_alloc<T>(to_size(rows_per_block) *
@@ -171,16 +209,32 @@ void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Devi
                                const index_t idx = blk.block_idx() * rows_per_block + r;
                                if (idx >= size) { break; }
                                const index_t i = perm[to_size(group_begin + idx)];
+                               if (!inject.empty() && inject[to_size(i)] != 0) {
+                                   fault_group[to_size(i)] = gid + 1;
+                                   fault_table[to_size(i)] = tsize;
+                                   continue;
+                               }
                                std::fill(lane.begin(), lane.end(), 0.0);
                                auto k = keys.subspan(to_size(r) * to_size(tsize),
                                                      to_size(tsize));
                                auto v = vals.subspan(to_size(r) * to_size(tsize),
                                                      to_size(tsize));
-                               detail::fill_row_hashed(a, b, i, k, v, true, ec,
-                                                       ec.probe_shared, ec.insert_shared,
-                                                       ec.accum_shared, lane, 1);
+                               if (!detail::fill_row_hashed(a, b, i, k, v, true, ec,
+                                                            ec.probe_shared,
+                                                            ec.insert_shared,
+                                                            ec.accum_shared, lane, 1)) {
+                                   fault_group[to_size(i)] = gid + 1;
+                                   fault_table[to_size(i)] = tsize;
+                                   block_work += detail::sum(lane);
+                                   continue;
+                               }
+                               bool mismatch = false;
                                const auto [ew, es] = detail::emit_row<T>(
-                                   k, v, c, i, m, /*shared=*/true, pw);
+                                   k, v, c, i, m, /*shared=*/true, pw, &mismatch);
+                               if (mismatch) {
+                                   fault_group[to_size(i)] = gid + 1;
+                                   fault_table[to_size(i)] = tsize;
+                               }
                                block_span = std::max(block_span, detail::max_of(lane) + es);
                                block_work += detail::sum(lane) + ew;
                            }
@@ -194,8 +248,13 @@ void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Devi
             const std::size_t smem = to_size(tsize) * (sizeof(index_t) + sizeof(T));
             const int warps = g.block_size / dev.spec().warp_size;
             dev.launch(stream, {size, g.block_size, smem}, "numeric_tb",
-                       [&, group_begin, tsize, warps](sim::BlockCtx& blk) {
+                       [&, group_begin, tsize, warps, gid = g.id](sim::BlockCtx& blk) {
                            const index_t i = perm[to_size(group_begin + blk.block_idx())];
+                           if (!inject.empty() && inject[to_size(i)] != 0) {
+                               fault_group[to_size(i)] = gid + 1;
+                               fault_table[to_size(i)] = tsize;
+                               return;
+                           }
                            auto keys = blk.shared_alloc<index_t>(to_size(tsize));
                            auto vals = blk.shared_alloc<T>(to_size(tsize));
                            std::fill(keys.begin(), keys.end(), kEmptySlot);
@@ -203,12 +262,24 @@ void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Devi
                                          std::ceil(static_cast<double>(tsize) /
                                                    blk.block_dim()));
                            std::vector<double> warp_cycles(to_size(warps), 0.0);
-                           detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
-                                                   ec.probe_shared, ec.insert_shared,
-                                                   ec.accum_shared, warp_cycles,
-                                                   dev.spec().warp_size);
+                           if (!detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                        ec.probe_shared, ec.insert_shared,
+                                                        ec.accum_shared, warp_cycles,
+                                                        dev.spec().warp_size)) {
+                               fault_group[to_size(i)] = gid + 1;
+                               fault_table[to_size(i)] = tsize;
+                               blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                    detail::max_of(warp_cycles));
+                               return;
+                           }
+                           bool mismatch = false;
                            const auto [ew, es] = detail::emit_row<T>(
-                               keys, vals, c, i, m, /*shared=*/true, blk.block_dim());
+                               keys, vals, c, i, m, /*shared=*/true, blk.block_dim(),
+                               &mismatch);
+                           if (mismatch) {
+                               fault_group[to_size(i)] = gid + 1;
+                               fault_table[to_size(i)] = tsize;
+                           }
                            const double tail = dev.cost_model().barrier * 2.0;
                            // per-lane warp times -> full SIMT work is 32x
                            blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
@@ -221,9 +292,15 @@ void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Devi
         const int block = dev.spec().max_threads_per_block;
         const int warps = block / dev.spec().warp_size;
         dev.launch(stream, {size, block, 0}, "numeric_global",
-                   [&, group_begin, warps, block](sim::BlockCtx& blk) {
+                   [&, group_begin, warps, block, gid = g.id](sim::BlockCtx& blk) {
                        const auto r = to_size(blk.block_idx());
                        const index_t i = perm[to_size(group_begin) + r];
+                       const auto tsize = to_index(g0_offs[r + 1] - g0_offs[r]);
+                       if (!inject.empty() && inject[to_size(i)] != 0) {
+                           fault_group[to_size(i)] = gid + 1;
+                           fault_table[to_size(i)] = tsize;
+                           return;
+                       }
                        auto keys = g0_keys.span().subspan(g0_offs[r],
                                                           g0_offs[r + 1] - g0_offs[r]);
                        auto vals = g0_vals.span().subspan(g0_offs[r],
@@ -231,17 +308,128 @@ void numeric_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Devi
                        blk.global_write(block, sizeof(index_t), sim::MemPattern::kCoalesced,
                                         std::ceil(static_cast<double>(keys.size()) / block));
                        std::vector<double> warp_cycles(to_size(warps), 0.0);
-                       detail::fill_row_hashed(a, b, i, keys, vals, true, ec, ec.probe_global,
-                                               ec.insert_global, ec.accum_global, warp_cycles,
-                                               dev.spec().warp_size);
-                       const auto [ew, es] =
-                           detail::emit_row<T>(keys, vals, c, i, m, /*shared=*/false, block);
+                       if (!detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                    ec.probe_global, ec.insert_global,
+                                                    ec.accum_global, warp_cycles,
+                                                    dev.spec().warp_size)) {
+                           fault_group[to_size(i)] = gid + 1;
+                           fault_table[to_size(i)] = tsize;
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                detail::max_of(warp_cycles));
+                           return;
+                       }
+                       bool mismatch = false;
+                       const auto [ew, es] = detail::emit_row<T>(keys, vals, c, i, m,
+                                                                 /*shared=*/false, block,
+                                                                 &mismatch);
+                       if (mismatch) {
+                           fault_group[to_size(i)] = gid + 1;
+                           fault_table[to_size(i)] = tsize;
+                       }
                        const double tail = dev.cost_model().barrier * 2.0;
                        blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
                                             detail::max_of(warp_cycles) + es + tail);
                    });
     }
     dev.synchronize();
+
+    // --- fault containment: retry captured rows on the group-0 path -------
+    PhaseFaults pf;
+    std::vector<index_t> pending;
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (fault_group[to_size(i)] == 0) { continue; }
+        pending.push_back(i);
+        dev.record_fault_event("numeric_row_fault", fault_group[to_size(i)] - 1, i,
+                               fault_table[to_size(i)],
+                               static_cast<int>(fault_table[to_size(i)]), 0);
+    }
+    pf.faulted_rows = static_cast<int>(pending.size());
+
+    int attempt = 0;
+    while (!pending.empty() && attempt < opt.max_row_retries) {
+        // One arena; per-row table = the group-0 sizing doubled per attempt.
+        std::vector<std::size_t> offs(pending.size() + 1, 0);
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            const index_t base =
+                next_pow2(std::max<index_t>(1, row_nnz[to_size(pending[r])]) * 2);
+            offs[r + 1] = offs[r] + to_size(detail::retry_table_size(base, attempt));
+        }
+        sim::DeviceBuffer<index_t> keys_arena(dev.allocator(), offs.back());
+        sim::DeviceBuffer<T> vals_arena(dev.allocator(), offs.back());
+        keys_arena.fill(kEmptySlot);
+        std::vector<std::uint8_t> still(pending.size(), 0);
+        const int block = dev.spec().max_threads_per_block;
+        const int warps = block / dev.spec().warp_size;
+        dev.launch(dev.default_stream(), {to_index(pending.size()), block, 0},
+                   "numeric_global_retry", [&, warps, block](sim::BlockCtx& blk) {
+                       const auto r = to_size(blk.block_idx());
+                       const index_t i = pending[r];
+                       auto keys = keys_arena.span().subspan(offs[r], offs[r + 1] - offs[r]);
+                       auto vals = vals_arena.span().subspan(offs[r], offs[r + 1] - offs[r]);
+                       blk.global_write(block, sizeof(index_t), sim::MemPattern::kCoalesced,
+                                        std::ceil(static_cast<double>(keys.size()) / block));
+                       std::vector<double> warp_cycles(to_size(warps), 0.0);
+                       if (!detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                    ec.probe_global, ec.insert_global,
+                                                    ec.accum_global, warp_cycles,
+                                                    dev.spec().warp_size)) {
+                           still[r] = 1;
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                detail::max_of(warp_cycles));
+                           return;
+                       }
+                       bool mismatch = false;
+                       const auto [ew, es] = detail::emit_row<T>(keys, vals, c, i, m,
+                                                                 /*shared=*/false, block,
+                                                                 &mismatch);
+                       if (mismatch) { still[r] = 1; }
+                       const double tail = dev.cost_model().barrier * 2.0;
+                       blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
+                                            detail::max_of(warp_cycles) + es + tail);
+                   });
+        dev.synchronize();
+        pf.row_retries += static_cast<int>(pending.size());
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            dev.record_fault_event("numeric_row_retry", 0, pending[r],
+                                   to_index(offs[r + 1] - offs[r]),
+                                   static_cast<int>(offs[r + 1] - offs[r]), attempt + 1);
+        }
+        std::vector<index_t> next;
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            if (still[r] != 0) { next.push_back(pending[r]); }
+        }
+        pending = std::move(next);
+        ++attempt;
+    }
+
+    // Host reference recourse: accumulate the row in traversal order (the
+    // same order hash_accumulate applies additions, so the values are
+    // bit-identical), then write it sorted by column.
+    for (const index_t i : pending) {
+        std::unordered_map<index_t, T> acc;
+        for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+            const index_t d = a.col[to_size(j)];
+            const T av = a.val[to_size(j)];
+            for (index_t k = b.rpt[to_size(d)]; k < b.rpt[to_size(d) + 1]; ++k) {
+                acc[b.col[to_size(k)]] += av * b.val[to_size(k)];
+            }
+        }
+        std::vector<std::pair<index_t, T>> row(acc.begin(), acc.end());
+        std::sort(row.begin(), row.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        const index_t base = c.rpt[to_size(i)];
+        if (to_index(row.size()) != c.rpt[to_size(i) + 1] - base) {
+            throw KernelFault("host recourse nnz disagrees with row pointers", "calc",
+                              /*group=*/0, i, /*table_size=*/0, /*probes=*/0, attempt);
+        }
+        for (std::size_t s = 0; s < row.size(); ++s) {
+            c.col[to_size(base) + s] = row[s].first;
+            c.val[to_size(base) + s] = row[s].second;
+        }
+        ++pf.host_fallback_rows;
+        dev.record_fault_event("numeric_host_row", 0, i, 0, 0, attempt);
+    }
+    return pf;
 }
 
 }  // namespace nsparse::core

@@ -4,6 +4,10 @@
 // partial-warp width sweep: 4 is best).
 #pragma once
 
+#include <vector>
+
+#include "sparse/types.hpp"
+
 namespace nsparse::core {
 
 struct Options {
@@ -40,6 +44,26 @@ struct Options {
     /// waiting for an OOM (testing / capacity benchmarks); 0 = only after
     /// an actual OOM.
     int force_slabs = 0;
+
+    /// Bounded group-0 retries for rows whose hash kernel faulted
+    /// (saturated table, injected fault): each retry re-runs the row on a
+    /// per-row global table of doubled size. Rows still faulting after the
+    /// last retry are recomputed by the host-side reference recourse. 0 =
+    /// go straight to the host recourse.
+    int max_row_retries = 3;
+
+    /// Check CSR invariants and sortedness of both inputs before any
+    /// kernel runs (shared validator, also available to the baselines):
+    /// corrupt inputs throw a PreconditionError naming the violated
+    /// invariant instead of indexing out of bounds inside a kernel.
+    bool validate_inputs = false;
+
+    /// Test hooks: rows listed here fault on their *first* symbolic /
+    /// numeric kernel attempt (as if their hash table saturated), driving
+    /// the per-row retry and host-recourse paths deterministically.
+    /// Out-of-range entries are ignored; retries are never injected.
+    std::vector<index_t> inject_symbolic_row_faults;
+    std::vector<index_t> inject_numeric_row_faults;
 };
 
 }  // namespace nsparse::core

@@ -10,6 +10,7 @@
 #include "core/symbolic.hpp"
 #include "gpusim/device_csr.hpp"
 #include "sparse/csr_ops.hpp"
+#include "sparse/validate.hpp"
 
 namespace nsparse {
 
@@ -124,7 +125,12 @@ MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, cons
         {
             // ---- count: symbolic phase (3) ----
             auto count_phase = dev.phase_scope("count");
-            core::symbolic_phase(dev, da, db, sym_policy, sym_groups, products, row_nnz, opt);
+            const core::PhaseFaults pf =
+                core::symbolic_phase(dev, da, db, sym_policy, sym_groups, products, row_nnz,
+                                     opt);
+            stats.faulted_rows += pf.faulted_rows;
+            stats.row_retries += pf.row_retries;
+            stats.host_fallback_rows += pf.host_fallback_rows;
         }
 
         // ---- row pointers (4) + output allocation (5) ----
@@ -145,7 +151,11 @@ MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, cons
         {
             // ---- calc: numeric phase (7) ----
             auto calc_phase = dev.phase_scope("calc");
-            core::numeric_phase(dev, da, db, num_policy, num_groups, row_nnz, c, opt);
+            const core::PhaseFaults pf =
+                core::numeric_phase(dev, da, db, num_policy, num_groups, row_nnz, c, opt);
+            stats.faulted_rows += pf.faulted_rows;
+            stats.row_retries += pf.row_retries;
+            stats.host_fallback_rows += pf.host_fallback_rows;
         }
     }
 
@@ -225,6 +235,7 @@ template <ValueType T>
 SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
                             const core::Options& opt)
 {
+    if (opt.validate_inputs) { validate_spgemm_inputs(a, b); }
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
     dev.set_executor_threads(opt.executor_threads);
     dev.reset_measurement();
@@ -245,6 +256,11 @@ SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMa
             const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
             out.stats.fallback_bytes_freed = freed;
             dev.record_memory_event("slab_fallback", freed, 0, 0);
+            // Fault tallies of the abandoned attempt do not describe the
+            // slabbed run that produces the output; start them over.
+            out.stats.faulted_rows = 0;
+            out.stats.row_retries = 0;
+            out.stats.host_fallback_rows = 0;
             res = multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
         }
     }

@@ -7,18 +7,27 @@
 // *attempt* the maximum shared table; rows that saturate it are recorded
 // and re-counted with global-memory tables sized by their intermediate-
 // product count ("most of rows complete in the first phase").
+//
+// Fault containment: a row whose table saturates where the grouping says
+// it cannot (corrupt input, injected fault) is no longer a process-killing
+// assertion. The kernels capture the row, the phase retries it on the
+// group-0 global-table path with doubling tables (Options::max_row_retries
+// attempts), and the host reference recourse recounts whatever remains.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "core/fault.hpp"
 #include "core/grouping.hpp"
 #include "core/hash_table.hpp"
 #include "core/kernel_costs.hpp"
 #include "core/options.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/device_csr.hpp"
+#include "sparse/error.hpp"
 
 namespace nsparse::core {
 
@@ -74,15 +83,26 @@ template <ValueType T>
 
 /// Launches the symbolic kernels for every group; fills `row_nnz[i]` for
 /// all rows. Group-0 fallback allocations are charged to the device's
-/// current phase/malloc bucket.
+/// current phase/malloc bucket. Returns the tally of contained per-row
+/// faults (zero on a clean run).
 template <ValueType T>
-void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b,
-                    const GroupingPolicy& policy, const GroupedRows& grouped,
-                    const sim::DeviceBuffer<index_t>& products,
-                    sim::DeviceBuffer<index_t>& row_nnz, const Options& opt)
+PhaseFaults symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                           const sim::DeviceCsr<T>& b, const GroupingPolicy& policy,
+                           const GroupedRows& grouped,
+                           const sim::DeviceBuffer<index_t>& products,
+                           sim::DeviceBuffer<index_t>& row_nnz, const Options& opt)
 {
     const ElemCosts ec = ElemCosts::make(dev.cost_model(), /*numeric=*/false, sizeof(T));
     const index_t* perm = grouped.permutation.data();
+
+    // Per-row fault capture: kernels write their group id + 1 (and the
+    // saturated table size) instead of aborting. Writes are block-disjoint
+    // (each simulated block owns its rows), so this is executor-safe and
+    // does not perturb the device allocation schedule.
+    const std::vector<std::uint8_t> inject =
+        detail::inject_flags(opt.inject_symbolic_row_faults, a.rows);
+    std::vector<index_t> fault_group(to_size(a.rows), 0);
+    std::vector<index_t> fault_table(to_size(a.rows), 0);
 
     // Group 0 shared-attempt failures, collected across blocks.
     sim::DeviceBuffer<index_t> fail_flags;
@@ -107,8 +127,8 @@ void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Dev
             const std::size_t smem = to_size(rows_per_block) * to_size(g.table_size) *
                                      sizeof(index_t);
             dev.launch(stream, {grid, block_dim, smem}, "symbolic_pwarp",
-                       [&, group_begin, size, rows_per_block, pw, tsize = g.table_size](
-                           sim::BlockCtx& blk) {
+                       [&, group_begin, size, rows_per_block, pw, tsize = g.table_size,
+                        gid = g.id](sim::BlockCtx& blk) {
                            auto tables = blk.shared_alloc<index_t>(
                                to_size(rows_per_block) * to_size(tsize));
                            std::fill(tables.begin(), tables.end(), kEmptySlot);
@@ -122,13 +142,25 @@ void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Dev
                                    blk.block_idx() * rows_per_block + r;
                                if (idx >= size) { break; }
                                const index_t i = perm[to_size(group_begin + idx)];
+                               if (!inject.empty() && inject[to_size(i)] != 0) {
+                                   fault_group[to_size(i)] = gid + 1;
+                                   fault_table[to_size(i)] = tsize;
+                                   continue;
+                               }
                                std::fill(lane.begin(), lane.end(), 0.0);
                                auto table = tables.subspan(to_size(r) * to_size(tsize),
                                                            to_size(tsize));
                                const index_t nz = detail::count_row_hashed(
                                    a, b, i, table, true, ec, ec.probe_shared,
                                    ec.insert_shared, lane, 1);
-                               NSPARSE_ENSURES(nz >= 0, "pwarp table can never saturate");
+                               if (nz < 0) {
+                                   // A pwarp table cannot saturate when the
+                                   // grouping invariants hold; capture the
+                                   // row instead of trusting them.
+                                   fault_group[to_size(i)] = gid + 1;
+                                   fault_table[to_size(i)] = tsize;
+                                   continue;
+                               }
                                row_nnz[to_size(i)] = nz;
                                // pwarp-local shuffle reduce + one output write
                                const double tail =
@@ -154,8 +186,16 @@ void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Dev
         const std::size_t smem = to_size(tsize) * sizeof(index_t);
         const int warps = g.block_size / dev.spec().warp_size;
         dev.launch(stream, {size, g.block_size, smem}, "symbolic_tb",
-                   [&, group_begin, tsize, warps, attempt](sim::BlockCtx& blk) {
+                   [&, group_begin, tsize, warps, attempt, gid = g.id](sim::BlockCtx& blk) {
                        const index_t i = perm[to_size(group_begin + blk.block_idx())];
+                       if (!inject.empty() && inject[to_size(i)] != 0) {
+                           // Injected fault on the first attempt: captured
+                           // for the retry path, not the regular global
+                           // pass (fail_flags stays 0 for attempt rows).
+                           fault_group[to_size(i)] = gid + 1;
+                           fault_table[to_size(i)] = tsize;
+                           return;
+                       }
                        auto table = blk.shared_alloc<index_t>(to_size(tsize));
                        std::fill(table.begin(), table.end(), kEmptySlot);
                        blk.shared_op(blk.block_dim(),
@@ -164,11 +204,18 @@ void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Dev
                        const index_t nz = detail::count_row_hashed(
                            a, b, i, table, true, ec, ec.probe_shared, ec.insert_shared,
                            warp_cycles, dev.spec().warp_size);
-                       if (nz < 0) {
-                           // Saturated: record for the global pass and stop
-                           // (the paper: "records the row index, and
-                           // immediately terminates its execution").
+                       if (nz < 0 && attempt) {
+                           // Saturated the max shared attempt: record for
+                           // the global pass and stop (the paper: "records
+                           // the row index, and immediately terminates its
+                           // execution").
                            fail_flags[to_size(blk.block_idx())] = 1;
+                       } else if (nz < 0) {
+                           // A bounded group's table saturated, which the
+                           // grouping invariants forbid: capture the row.
+                           // (Previously an out-of-bounds fail_flags write.)
+                           fault_group[to_size(i)] = gid + 1;
+                           fault_table[to_size(i)] = tsize;
                        } else {
                            row_nnz[to_size(i)] = nz;
                        }
@@ -219,8 +266,15 @@ void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Dev
                            const index_t nz = detail::count_row_hashed(
                                a, b, i, table, true, ec, ec.probe_global, ec.insert_global,
                                warp_cycles, dev.spec().warp_size);
-                           NSPARSE_ENSURES(nz >= 0, "global symbolic table saturated");
-                           row_nnz[to_size(i)] = nz;
+                           if (nz < 0) {
+                               // products[] under-counted this row (corrupt
+                               // input): capture for the retry path.
+                               fault_group[to_size(i)] = 1;
+                               fault_table[to_size(i)] =
+                                   to_index(offs[r + 1] - offs[r]);
+                           } else {
+                               row_nnz[to_size(i)] = nz;
+                           }
                            const double tail = 2.0 * dev.cost_model().warp_shuffle +
                                                dev.cost_model().barrier;
                            blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
@@ -229,6 +283,85 @@ void symbolic_phase(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::Dev
             dev.synchronize();
         }
     }
+
+    // --- fault containment: retry captured rows on the group-0 path -------
+    PhaseFaults pf;
+    std::vector<index_t> pending;
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (fault_group[to_size(i)] == 0) { continue; }
+        pending.push_back(i);
+        dev.record_fault_event("symbolic_row_fault", fault_group[to_size(i)] - 1, i,
+                               fault_table[to_size(i)],
+                               static_cast<int>(fault_table[to_size(i)]), 0);
+    }
+    pf.faulted_rows = static_cast<int>(pending.size());
+
+    int attempt = 0;
+    while (!pending.empty() && attempt < opt.max_row_retries) {
+        // One arena; per-row table = the group-0 sizing doubled per attempt.
+        std::vector<std::size_t> offs(pending.size() + 1, 0);
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            const index_t base =
+                next_pow2(std::max<index_t>(1, products[to_size(pending[r])]));
+            offs[r + 1] = offs[r] + to_size(detail::retry_table_size(base, attempt));
+        }
+        sim::DeviceBuffer<index_t> tables(dev.allocator(), offs.back());
+        tables.fill(kEmptySlot);
+        std::vector<std::uint8_t> still(pending.size(), 0);
+        const int block = dev.spec().max_threads_per_block;
+        const int warps = block / dev.spec().warp_size;
+        dev.launch(dev.default_stream(), {to_index(pending.size()), block, 0},
+                   "symbolic_global_retry", [&, warps, block](sim::BlockCtx& blk) {
+                       const auto r = to_size(blk.block_idx());
+                       const index_t i = pending[r];
+                       auto table = tables.span().subspan(offs[r], offs[r + 1] - offs[r]);
+                       blk.global_write(block, sizeof(index_t), sim::MemPattern::kCoalesced,
+                                        std::ceil(static_cast<double>(table.size()) / block));
+                       std::vector<double> warp_cycles(to_size(warps), 0.0);
+                       const index_t nz = detail::count_row_hashed(
+                           a, b, i, table, true, ec, ec.probe_global, ec.insert_global,
+                           warp_cycles, dev.spec().warp_size);
+                       if (nz < 0) {
+                           still[r] = 1;
+                       } else {
+                           row_nnz[to_size(i)] = nz;
+                       }
+                       const double tail = 2.0 * dev.cost_model().warp_shuffle +
+                                           dev.cost_model().barrier;
+                       blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                            detail::max_of(warp_cycles) + tail);
+                   });
+        dev.synchronize();
+        pf.row_retries += static_cast<int>(pending.size());
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            dev.record_fault_event("symbolic_row_retry", 0, pending[r],
+                                   to_index(offs[r + 1] - offs[r]),
+                                   static_cast<int>(offs[r + 1] - offs[r]), attempt + 1);
+        }
+        std::vector<index_t> next;
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            if (still[r] != 0) { next.push_back(pending[r]); }
+        }
+        pending = std::move(next);
+        ++attempt;
+    }
+
+    // Host reference recourse: count a row's distinct columns directly.
+    for (const index_t i : pending) {
+        std::vector<index_t> cols;
+        for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+            const index_t d = a.col[to_size(j)];
+            for (index_t k = b.rpt[to_size(d)]; k < b.rpt[to_size(d) + 1]; ++k) {
+                cols.push_back(b.col[to_size(k)]);
+            }
+        }
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        row_nnz[to_size(i)] = to_index(cols.size());
+        ++pf.host_fallback_rows;
+        dev.record_fault_event("symbolic_host_row", 0, i, 0, 0, attempt);
+    }
+    return pf;
 }
 
 }  // namespace nsparse::core

@@ -29,6 +29,11 @@ struct SpgemmStats {
     int fallback_retries = 0;    ///< slab-size halvings before completion
     std::size_t fallback_bytes_freed = 0;  ///< bytes reclaimed by the OOM unwind
 
+    // Kernel-fault containment observability (hash_spgemm per-row retries).
+    int faulted_rows = 0;        ///< rows whose first kernel attempt faulted
+    int row_retries = 0;         ///< group-0 retry executions across those rows
+    int host_fallback_rows = 0;  ///< rows recomputed by the host reference recourse
+
     /// The paper's metric: FLOPS of squaring = 2 * intermediate products
     /// divided by execution time.
     [[nodiscard]] double gflops() const

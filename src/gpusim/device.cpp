@@ -95,6 +95,23 @@ void Device::record_memory_event(std::string label, std::size_t bytes_freed, int
     }
 }
 
+void Device::record_fault_event(std::string label, int group, index_t row, index_t table_size,
+                                int probes, int retry_depth)
+{
+    ++fault_events_;
+    if (trace_enabled_) {
+        trace_.record(FaultEventEntry{
+            .label = std::move(label),
+            .phase = current_phase_,
+            .group = group,
+            .row = row,
+            .table_size = table_size,
+            .probes = probes,
+            .retry_depth = retry_depth,
+        });
+    }
+}
+
 void Device::reset_measurement()
 {
     synchronize();
@@ -105,6 +122,7 @@ void Device::reset_measurement()
     blocks_executed_ = 0;
     global_bytes_ = 0.0;
     memory_events_ = 0;
+    fault_events_ = 0;
 }
 
 }  // namespace nsparse::sim

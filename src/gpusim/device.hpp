@@ -120,12 +120,20 @@ public:
     void record_memory_event(std::string label, std::size_t bytes_freed, int slabs,
                              int retry_depth);
 
+    /// Records a contained kernel fault (per-row capture, group-0 retry,
+    /// host recourse) under the current phase. Always counted; retained in
+    /// the trace when tracing is enabled.
+    void record_fault_event(std::string label, int group, index_t row, index_t table_size,
+                            int probes, int retry_depth);
+
     // --- counters (observability) ----------------------------------------
     [[nodiscard]] std::uint64_t kernels_launched() const { return kernels_launched_; }
     [[nodiscard]] std::uint64_t blocks_executed() const { return blocks_executed_; }
     [[nodiscard]] double total_global_bytes() const { return global_bytes_; }
     /// Memory-pressure events recorded since the last reset_measurement().
     [[nodiscard]] std::uint64_t memory_events_recorded() const { return memory_events_; }
+    /// Kernel-fault events recorded since the last reset_measurement().
+    [[nodiscard]] std::uint64_t fault_events_recorded() const { return fault_events_; }
 
 private:
     DeviceSpec spec_;
@@ -140,6 +148,7 @@ private:
     std::uint64_t blocks_executed_ = 0;
     double global_bytes_ = 0.0;
     std::uint64_t memory_events_ = 0;
+    std::uint64_t fault_events_ = 0;
     bool trace_enabled_ = false;
     Trace trace_;
 };

@@ -47,6 +47,14 @@ std::string Trace::report() const
                << " bytes_freed=" << e.bytes_freed << '\n';
         }
     }
+    if (!fault_events_.empty()) {
+        os << "fault events:\n";
+        for (const auto& e : fault_events_) {
+            os << "  " << std::left << std::setw(20) << e.label << " phase=" << e.phase
+               << " group=" << e.group << " row=" << e.row << " table=" << e.table_size
+               << " probes=" << e.probes << " retry=" << e.retry_depth << '\n';
+        }
+    }
     return os.str();
 }
 

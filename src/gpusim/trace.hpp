@@ -36,21 +36,54 @@ struct MemoryEventEntry {
     int retry_depth = 0;         ///< slab-size halvings so far
 };
 
+/// A contained kernel fault (hash-table saturation captured per row, a
+/// group-0 retry of such a row, or the host reference recourse) recorded
+/// by the fault-containment layer — the observable record that a row did
+/// *not* complete on its first kernel attempt.
+struct FaultEventEntry {
+    std::string label;        ///< e.g. "symbolic_row_fault", "numeric_row_retry"
+    std::string phase;        ///< device phase when the fault fired
+    int group = -1;           ///< Table-I group of the faulting kernel (-1 n/a)
+    index_t row = -1;         ///< output row involved
+    index_t table_size = 0;   ///< hash-table entries of the faulting/retry attempt
+    int probes = 0;           ///< probes observed (table_size for a full scan)
+    int retry_depth = 0;      ///< 0 = initial capture, k = k-th retry
+};
+
 class Trace {
 public:
     void record(KernelTraceEntry entry) { entries_.push_back(std::move(entry)); }
     void record(MemoryEventEntry event) { memory_events_.push_back(std::move(event)); }
+    void record(FaultEventEntry event) { fault_events_.push_back(std::move(event)); }
 
     [[nodiscard]] const std::vector<KernelTraceEntry>& entries() const { return entries_; }
     [[nodiscard]] const std::vector<MemoryEventEntry>& memory_events() const
     {
         return memory_events_;
     }
-    [[nodiscard]] bool empty() const { return entries_.empty() && memory_events_.empty(); }
+    [[nodiscard]] const std::vector<FaultEventEntry>& fault_events() const
+    {
+        return fault_events_;
+    }
+    [[nodiscard]] bool empty() const
+    {
+        return entries_.empty() && memory_events_.empty() && fault_events_.empty();
+    }
     void clear()
     {
         entries_.clear();
         memory_events_.clear();
+        fault_events_.clear();
+    }
+
+    /// Total fault events with the given (exact) label.
+    [[nodiscard]] std::size_t fault_count(const std::string& label) const
+    {
+        std::size_t n = 0;
+        for (const auto& e : fault_events_) {
+            if (e.label == label) { ++n; }
+        }
+        return n;
     }
 
     /// Total launches of a kernel by (exact) name.
@@ -71,6 +104,7 @@ public:
 private:
     std::vector<KernelTraceEntry> entries_;
     std::vector<MemoryEventEntry> memory_events_;
+    std::vector<FaultEventEntry> fault_events_;
 };
 
 }  // namespace nsparse::sim

@@ -1,0 +1,278 @@
+#include "matgen/adversarial.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "matgen/generators.hpp"
+#include "matgen/rng.hpp"
+
+namespace nsparse::gen {
+
+namespace {
+
+/// Sorted/deduplicated CSR from per-row column lists with positive values.
+CsrMatrix<double> assemble(index_t n, std::vector<std::vector<index_t>>& rc, Pcg32& rng)
+{
+    CsrMatrix<double> m;
+    m.rows = n;
+    m.cols = n;
+    m.rpt.assign(to_size(n) + 1, 0);
+    for (auto& cols : rc) {
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    }
+    for (index_t i = 0; i < n; ++i) {
+        for (const index_t c : rc[to_size(i)]) {
+            m.col.push_back(c);
+            m.val.push_back(rng.uniform(0.5, 1.5));
+        }
+        m.rpt[to_size(i) + 1] = to_index(m.col.size());
+    }
+    m.validate();
+    return m;
+}
+
+/// Every column of every row congruent to one residue modulo `stride`.
+/// With stride a multiple of a pow2 hash-table size, (c * 107) & (size-1)
+/// maps the whole row onto a single slot: maximal linear-probe chains in
+/// every bounded table of size <= stride (the pwarp table is 32 entries).
+AdversarialCase hash_collider(Pcg32& rng, index_t stride)
+{
+    const index_t n = stride * 8;
+    const index_t lanes = n / stride;
+    std::vector<std::vector<index_t>> rc(to_size(n));
+    for (index_t i = 0; i < n; ++i) {
+        const auto residue = to_index(rng.bounded(static_cast<std::uint32_t>(stride)));
+        const index_t degree = 2 + to_index(rng.bounded(7));  // 2..8 per row
+        for (index_t t = 0; t < degree; ++t) {
+            const auto lane = to_index(rng.bounded(static_cast<std::uint32_t>(lanes)));
+            rc[to_size(i)].push_back(residue + lane * stride);
+        }
+    }
+    AdversarialCase c;
+    c.name = "hash_collider/stride" + std::to_string(stride);
+    c.matrix = assemble(n, rc, rng);
+    return c;
+}
+
+/// Unsorted rows with duplicate columns, assembled by direct field
+/// mutation (the validating constructor would reject them). Still a
+/// well-formed CSR structurally, so the algorithms must cope — the hash
+/// accumulators merge duplicates exactly like the dense reference.
+AdversarialCase duplicate_unsorted(Pcg32& rng)
+{
+    const index_t n = 48 + to_index(rng.bounded(81));  // 48..128
+    CsrMatrix<double> m;
+    m.rows = n;
+    m.cols = n;
+    m.rpt.assign(to_size(n) + 1, 0);
+    for (index_t i = 0; i < n; ++i) {
+        const index_t degree = 1 + to_index(rng.bounded(6));
+        for (index_t t = 0; t < degree; ++t) {
+            const auto c = to_index(rng.bounded(static_cast<std::uint32_t>(n)));
+            m.col.push_back(c);
+            m.val.push_back(rng.uniform(0.5, 1.5));
+            if (rng.bounded(4) == 0) {  // explicit duplicate entry
+                m.col.push_back(c);
+                m.val.push_back(rng.uniform(0.5, 1.5));
+            }
+        }
+        m.rpt[to_size(i) + 1] = to_index(m.col.size());
+    }
+    AdversarialCase c;
+    c.name = "duplicate_unsorted";
+    c.matrix = std::move(m);
+    c.sorted = false;
+    return c;
+}
+
+/// Mostly-empty matrix: only every k-th row is populated (the first and
+/// last rows always empty), stressing the grouping's empty-row bin and
+/// the row-pointer scan over long empty runs.
+AdversarialCase empty_rows(Pcg32& rng)
+{
+    const index_t n = 150 + to_index(rng.bounded(101));
+    const index_t stride = 3 + 2 * to_index(rng.bounded(4));  // 3,5,7,9
+    std::vector<std::vector<index_t>> rc(to_size(n));
+    for (index_t i = 1; i + 1 < n; ++i) {
+        if (i % stride != 1) { continue; }
+        const index_t degree = 1 + to_index(rng.bounded(4));
+        for (index_t t = 0; t < degree; ++t) {
+            rc[to_size(i)].push_back(to_index(rng.bounded(static_cast<std::uint32_t>(n))));
+        }
+    }
+    AdversarialCase c;
+    c.name = "empty_rows/stride" + std::to_string(stride);
+    c.matrix = assemble(n, rc, rng);
+    return c;
+}
+
+/// Diagonal matrix plus one fully dense row. Squaring keeps that row
+/// dense, so with `huge` its C-row exceeds every bounded numeric table
+/// and must take the group-0 global path.
+AdversarialCase dense_row(Pcg32& rng, bool huge)
+{
+    const index_t n = huge ? 4200 : 80 + to_index(rng.bounded(33));
+    const auto dense = to_index(rng.bounded(static_cast<std::uint32_t>(n)));
+    std::vector<std::vector<index_t>> rc(to_size(n));
+    for (index_t i = 0; i < n; ++i) { rc[to_size(i)].push_back(i); }
+    for (index_t j = 0; j < n; ++j) { rc[to_size(dense)].push_back(j); }
+    AdversarialCase c;
+    c.name = huge ? "dense_row/global" : "dense_row";
+    c.matrix = assemble(n, rc, rng);
+    return c;
+}
+
+/// Rows pinned exactly on the Table-I group boundaries: boundary rows of
+/// degree d target only rows with exactly 32 nonzeros, so the row's
+/// intermediate-product count is exactly 32*d — the shared-table limits
+/// {512, 1024, 2048, 4096, 8192} and one past each.
+AdversarialCase group_boundary(Pcg32& rng)
+{
+    constexpr index_t kDegrees[] = {1, 2, 16, 17, 32, 33, 64, 65, 128, 129, 256, 257};
+    constexpr index_t kBoundaryRows = to_index(std::size(kDegrees));
+    const index_t n = 600;
+    const index_t body = n - kBoundaryRows;
+    std::vector<std::vector<index_t>> rc(to_size(n));
+    for (index_t i = 0; i < kBoundaryRows; ++i) {
+        const auto offset = to_index(rng.bounded(static_cast<std::uint32_t>(body)));
+        for (index_t j = 0; j < kDegrees[to_size(i)]; ++j) {
+            rc[to_size(i)].push_back(kBoundaryRows + (offset + j) % body);
+        }
+    }
+    for (index_t i = kBoundaryRows; i < n; ++i) {
+        // 32 distinct columns: stride 13 is coprime with n = 600.
+        for (index_t t = 0; t < 32; ++t) {
+            rc[to_size(i)].push_back((i + t * 13) % n);
+        }
+    }
+    AdversarialCase c;
+    c.name = "group_boundary";
+    c.matrix = assemble(n, rc, rng);
+    return c;
+}
+
+/// All of the above in one matrix: collider rows, empty runs and a
+/// half-dense row next to ordinary sparse rows.
+AdversarialCase mixed(Pcg32& rng)
+{
+    const index_t n = 160;
+    std::vector<std::vector<index_t>> rc(to_size(n));
+    for (index_t i = 0; i < n; ++i) {
+        switch (i % 4) {
+            case 0:  // collider row: all columns congruent mod 32
+                for (index_t t = 0; t < 5; ++t) {
+                    rc[to_size(i)].push_back((i % 32) + 32 * to_index(rng.bounded(5)));
+                }
+                break;
+            case 1:  // empty row
+                break;
+            case 2:  // ordinary sparse row
+                for (index_t t = 0; t < 1 + to_index(rng.bounded(5)); ++t) {
+                    rc[to_size(i)].push_back(to_index(rng.bounded(static_cast<std::uint32_t>(n))));
+                }
+                break;
+            default:  // half-dense row
+                for (index_t j = 0; j < n; j += 2) { rc[to_size(i)].push_back(j); }
+                break;
+        }
+    }
+    AdversarialCase c;
+    c.name = "mixed";
+    c.matrix = assemble(n, rc, rng);
+    return c;
+}
+
+}  // namespace
+
+AdversarialCase adversarial_case(std::uint64_t seed, int index)
+{
+    NSPARSE_EXPECTS(index >= 0, "adversarial case index must be non-negative");
+    // One deterministic stream per (seed, index): cases are independent, so
+    // a failing index reproduces in isolation.
+    Pcg32 rng(seed * std::uint64_t{1000003} + static_cast<std::uint64_t>(index));
+    constexpr index_t kStrides[] = {32, 64, 128};
+    switch (index % 6) {
+        case 0: return hash_collider(rng, kStrides[(index / 6) % 3]);
+        case 1: return duplicate_unsorted(rng);
+        case 2: return empty_rows(rng);
+        case 3: return dense_row(rng, index % 24 == 3);
+        case 4: return group_boundary(rng);
+        default: return mixed(rng);
+    }
+}
+
+std::vector<AdversarialCase> adversarial_suite(std::uint64_t seed, int count)
+{
+    std::vector<AdversarialCase> cases;
+    cases.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) { cases.push_back(adversarial_case(seed, i)); }
+    return cases;
+}
+
+const char* corruption_name(CsrCorruption kind)
+{
+    switch (kind) {
+        case CsrCorruption::kColumnOutOfRange: return "column_out_of_range";
+        case CsrCorruption::kNegativeColumn: return "negative_column";
+        case CsrCorruption::kNonMonotoneRpt: return "non_monotone_rpt";
+        case CsrCorruption::kRptSizeMismatch: return "rpt_size_mismatch";
+        case CsrCorruption::kRptFrontNonzero: return "rpt_front_nonzero";
+        case CsrCorruption::kColSizeMismatch: return "col_size_mismatch";
+        case CsrCorruption::kValSizeMismatch: return "val_size_mismatch";
+        case CsrCorruption::kUnsortedRow: return "unsorted_row";
+        case CsrCorruption::kDuplicateColumn: return "duplicate_column";
+    }
+    return "unknown";
+}
+
+const char* corruption_invariant(CsrCorruption kind)
+{
+    switch (kind) {
+        case CsrCorruption::kColumnOutOfRange:
+        case CsrCorruption::kNegativeColumn: return "col_in_range";
+        case CsrCorruption::kNonMonotoneRpt: return "rpt_monotone";
+        case CsrCorruption::kRptSizeMismatch: return "rpt_size";
+        case CsrCorruption::kRptFrontNonzero: return "rpt_front_zero";
+        case CsrCorruption::kColSizeMismatch: return "col_size";
+        case CsrCorruption::kValSizeMismatch: return "val_size";
+        case CsrCorruption::kUnsortedRow:
+        case CsrCorruption::kDuplicateColumn: return "rows_sorted";
+    }
+    return "unknown";
+}
+
+CsrMatrix<double> corrupt_csr(CsrCorruption kind, std::uint64_t seed)
+{
+    // Banded base guarantees interior rows with several strictly
+    // increasing columns to unsort or duplicate.
+    CsrMatrix<double> m = banded(16, 5, 1, seed);
+    // First row with at least two entries.
+    index_t wide = -1;
+    for (index_t i = 0; i < m.rows; ++i) {
+        if (m.rpt[to_size(i) + 1] - m.rpt[to_size(i)] >= 2) {
+            wide = i;
+            break;
+        }
+    }
+    NSPARSE_ENSURES(wide >= 0, "banded base must have a multi-entry row");
+    const auto k = to_size(m.rpt[to_size(wide)]);
+    switch (kind) {
+        case CsrCorruption::kColumnOutOfRange: m.col[k] = m.cols; break;
+        case CsrCorruption::kNegativeColumn: m.col[k] = -1; break;
+        case CsrCorruption::kNonMonotoneRpt: m.rpt[to_size(wide) + 1] = -1; break;
+        case CsrCorruption::kRptSizeMismatch: m.rpt.pop_back(); break;
+        case CsrCorruption::kRptFrontNonzero: m.rpt[0] = 1; break;
+        case CsrCorruption::kColSizeMismatch:
+            m.col.push_back(0);
+            m.val.push_back(1.0);
+            break;
+        case CsrCorruption::kValSizeMismatch: m.val.pop_back(); break;
+        case CsrCorruption::kUnsortedRow: std::swap(m.col[k], m.col[k + 1]); break;
+        case CsrCorruption::kDuplicateColumn: m.col[k + 1] = m.col[k]; break;
+    }
+    return m;
+}
+
+}  // namespace nsparse::gen

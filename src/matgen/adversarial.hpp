@@ -1,0 +1,69 @@
+// Adversarial-input generator for the SpGEMM fuzz harness.
+//
+// Two families:
+//  * adversarial_case / adversarial_suite — *valid* CSR matrices with
+//    pathological structure: hash-adversarial columns (all congruent under
+//    the (c*107) mod 2^k probe, so every insert collides), duplicate and
+//    unsorted columns, almost-all-empty rows, one dense row that forces the
+//    numeric group-0 global-table path, and rows pinned exactly on Table-I
+//    group boundaries. Every case is square so the harness can run C = A^2
+//    through all four algorithms against reference_spgemm.
+//  * corrupt_csr — *invalid* CSR shapes (out-of-range column, non-monotone
+//    row pointers, size mismatches, unsorted/duplicate rows) that
+//    Options::validate_inputs must reject with the named invariant.
+//
+// Deterministic in (seed, index) / (kind, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse::gen {
+
+struct AdversarialCase {
+    std::string name;          ///< pathology family + parameters
+    CsrMatrix<double> matrix;  ///< valid, square
+    bool sorted = true;        ///< false: rows intentionally unsorted / duplicated
+};
+
+/// The `index`-th case of a deterministic adversarial stream; cycles
+/// through the pathology families while varying sizes/strides by seed.
+AdversarialCase adversarial_case(std::uint64_t seed, int index);
+
+/// The first `count` cases of the stream.
+std::vector<AdversarialCase> adversarial_suite(std::uint64_t seed, int count);
+
+/// Documented corrupt-CSR shapes (see validate.hpp invariant identifiers).
+enum class CsrCorruption {
+    kColumnOutOfRange,  ///< col >= cols                    -> col_in_range
+    kNegativeColumn,    ///< col < 0                        -> col_in_range
+    kNonMonotoneRpt,    ///< rpt decreases                  -> rpt_monotone
+    kRptSizeMismatch,   ///< rpt.size() != rows+1           -> rpt_size
+    kRptFrontNonzero,   ///< rpt[0] != 0                    -> rpt_front_zero
+    kColSizeMismatch,   ///< col.size() != rpt.back()       -> col_size
+    kValSizeMismatch,   ///< val.size() != col.size()       -> val_size
+    kUnsortedRow,       ///< decreasing columns in a row    -> rows_sorted
+    kDuplicateColumn,   ///< repeated column in a row       -> rows_sorted
+};
+
+inline constexpr CsrCorruption kAllCorruptions[] = {
+    CsrCorruption::kColumnOutOfRange, CsrCorruption::kNegativeColumn,
+    CsrCorruption::kNonMonotoneRpt,   CsrCorruption::kRptSizeMismatch,
+    CsrCorruption::kRptFrontNonzero,  CsrCorruption::kColSizeMismatch,
+    CsrCorruption::kValSizeMismatch,  CsrCorruption::kUnsortedRow,
+    CsrCorruption::kDuplicateColumn,
+};
+
+[[nodiscard]] const char* corruption_name(CsrCorruption kind);
+
+/// The validate.hpp invariant identifier the corruption must trip.
+[[nodiscard]] const char* corruption_invariant(CsrCorruption kind);
+
+/// A small square matrix with exactly this corruption applied (built by
+/// direct field mutation; do NOT call validate() on the result).
+[[nodiscard]] CsrMatrix<double> corrupt_csr(CsrCorruption kind, std::uint64_t seed);
+
+}  // namespace nsparse::gen

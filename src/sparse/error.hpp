@@ -1,11 +1,24 @@
-// Error handling: a small exception hierarchy plus contract macros.
+// Error handling: a structured exception taxonomy plus contract macros.
 //
 // Following the C++ Core Guidelines (E.2, I.6): preconditions are checked
 // with NSPARSE_EXPECTS and throw on violation so callers can test error
 // paths; invariants that indicate library bugs use NSPARSE_ASSERT and abort
 // in debug builds.
+//
+// The taxonomy carries machine-readable context so callers can react
+// programmatically instead of parsing messages:
+//   PreconditionError  — caller broke a documented contract; names the
+//                        violated invariant (`invariant()`)
+//   ParseError         — malformed external data; carries the input line
+//                        number (`line()`) when known
+//   DeviceOutOfMemory  — simulated device capacity exhausted; reports how
+//                        far the row-slab degradation got
+//   KernelFault        — a kernel-level fault (hash-table saturation, nnz
+//                        mismatch) that the per-row containment layer could
+//                        not absorb; carries phase/group/row/table context
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -20,16 +33,40 @@ public:
 };
 
 /// A caller violated a documented precondition (bad dimensions, unsorted
-/// input where sorted is required, ...).
+/// input where sorted is required, ...). `invariant()` names the violated
+/// invariant with a stable machine-readable identifier ("col_in_range",
+/// "rpt_monotone", ...) when the check site provided one.
 class PreconditionError : public Error {
 public:
     using Error::Error;
+
+    PreconditionError(const std::string& msg, std::string invariant)
+        : Error(msg), invariant_(std::move(invariant))
+    {
+    }
+
+    [[nodiscard]] const std::string& invariant() const { return invariant_; }
+
+private:
+    std::string invariant_;
 };
 
-/// Malformed external data (MatrixMarket parse failures etc.).
+/// Malformed external data (MatrixMarket parse failures etc.). `line()` is
+/// the 1-based input line the parser rejected, or -1 when no line applies
+/// (e.g. a file that cannot be opened).
 class ParseError : public Error {
 public:
     using Error::Error;
+
+    ParseError(const std::string& msg, long long line)
+        : Error(msg + " (line " + std::to_string(line) + ")"), line_(line)
+    {
+    }
+
+    [[nodiscard]] long long line() const { return line_; }
+
+private:
+    long long line_ = -1;
 };
 
 /// The simulated device ran out of memory. Benchmarks catch this to print
@@ -53,6 +90,47 @@ public:
 private:
     int slab_level_ = 0;
     int retry_depth_ = 0;
+};
+
+/// A kernel-level fault the per-row containment layer could not absorb:
+/// hash-table saturation that survived every group-0 retry, or a numeric
+/// row whose nonzero count disagrees with the symbolic phase even on the
+/// host recourse path. Carries the faulting context so callers (and the
+/// capacity benchmarks, which must not mistake this for an OOM floor) can
+/// report it precisely.
+class KernelFault : public Error {
+public:
+    KernelFault(const std::string& msg, std::string phase, int group, std::int64_t row,
+                std::int64_t table_size, int probes, int retries = 0)
+        : Error(msg + " [phase=" + phase + " group=" + std::to_string(group) +
+                " row=" + std::to_string(row) + " table_size=" + std::to_string(table_size) +
+                " probes=" + std::to_string(probes) + " retries=" + std::to_string(retries) +
+                "]"),
+          phase_(std::move(phase)), group_(group), row_(row), table_size_(table_size),
+          probes_(probes), retries_(retries)
+    {
+    }
+
+    /// Device phase that faulted ("count", "calc", ...).
+    [[nodiscard]] const std::string& phase() const { return phase_; }
+    /// Table-I group id of the faulting kernel; -1 = not group-assigned.
+    [[nodiscard]] int group() const { return group_; }
+    /// Output row the fault occurred on; -1 = not row-specific.
+    [[nodiscard]] std::int64_t row() const { return row_; }
+    /// Hash-table entries of the faulting attempt; 0 = no table involved.
+    [[nodiscard]] std::int64_t table_size() const { return table_size_; }
+    /// Probe count observed at the fault (table_size for a saturated scan).
+    [[nodiscard]] int probes() const { return probes_; }
+    /// Group-0 retries performed before surfacing.
+    [[nodiscard]] int retries() const { return retries_; }
+
+private:
+    std::string phase_;
+    int group_ = -1;
+    std::int64_t row_ = -1;
+    std::int64_t table_size_ = 0;
+    int probes_ = 0;
+    int retries_ = 0;
 };
 
 namespace detail {

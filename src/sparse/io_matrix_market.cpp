@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "sparse/coo.hpp"
@@ -24,7 +25,7 @@ struct Header {
     bool skew = false;
 };
 
-Header parse_header(const std::string& line)
+Header parse_header(const std::string& line, long long lineno)
 {
     std::istringstream is(line);
     std::string banner;
@@ -33,17 +34,21 @@ Header parse_header(const std::string& line)
     std::string field;
     std::string symmetry;
     is >> banner >> object >> format >> field >> symmetry;
-    if (banner != "%%MatrixMarket") { throw ParseError("missing %%MatrixMarket banner"); }
-    if (lower(object) != "matrix") { throw ParseError("unsupported MatrixMarket object: " + object); }
+    if (banner != "%%MatrixMarket") {
+        throw ParseError("missing %%MatrixMarket banner", lineno);
+    }
+    if (lower(object) != "matrix") {
+        throw ParseError("unsupported MatrixMarket object: " + object, lineno);
+    }
     if (lower(format) != "coordinate") {
-        throw ParseError("only coordinate format is supported, got: " + format);
+        throw ParseError("only coordinate format is supported, got: " + format, lineno);
     }
     Header h;
     const std::string f = lower(field);
     if (f == "pattern") {
         h.pattern = true;
     } else if (f != "real" && f != "integer" && f != "double") {
-        throw ParseError("unsupported MatrixMarket field: " + field);
+        throw ParseError("unsupported MatrixMarket field: " + field, lineno);
     }
     const std::string s = lower(symmetry);
     if (s == "symmetric") {
@@ -52,45 +57,99 @@ Header parse_header(const std::string& line)
         h.symmetric = true;
         h.skew = true;
     } else if (s != "general") {
-        throw ParseError("unsupported MatrixMarket symmetry: " + symmetry);
+        throw ParseError("unsupported MatrixMarket symmetry: " + symmetry, lineno);
     }
     return h;
+}
+
+/// True when the line holds only whitespace.
+bool blank(const std::string& line)
+{
+    return std::all_of(line.begin(), line.end(),
+                       [](unsigned char c) { return std::isspace(c) != 0; });
 }
 
 }  // namespace
 
 CsrMatrix<double> read_matrix_market(std::istream& in)
 {
+    long long lineno = 0;
     std::string line;
-    if (!std::getline(in, line)) { throw ParseError("empty MatrixMarket input"); }
-    const Header h = parse_header(line);
+    // getline with Windows-newline tolerance: .mtx files from the Florida
+    // collection come with either line ending.
+    const auto read_line = [&]() -> bool {
+        if (!std::getline(in, line)) { return false; }
+        ++lineno;
+        if (!line.empty() && line.back() == '\r') { line.pop_back(); }
+        return true;
+    };
 
-    // Skip comments.
-    while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%') { break; }
+    if (!read_line()) { throw ParseError("empty MatrixMarket input", lineno); }
+    const Header h = parse_header(line, lineno);
+
+    // Skip comments and blank lines up to the size line.
+    bool have_size = false;
+    while (read_line()) {
+        if (line.empty() || line[0] == '%' || blank(line)) { continue; }
+        have_size = true;
+        break;
     }
-    std::istringstream sz(line);
+    if (!have_size) { throw ParseError("missing size line", lineno); }
     long long rows = 0;
     long long cols = 0;
     long long entries = 0;
-    if (!(sz >> rows >> cols >> entries)) { throw ParseError("malformed size line: " + line); }
-    if (rows < 0 || cols < 0 || entries < 0) { throw ParseError("negative size in header"); }
+    {
+        std::istringstream sz(line);
+        std::string extra;
+        if (!(sz >> rows >> cols >> entries)) {
+            throw ParseError("malformed size line: " + line, lineno);
+        }
+        if (sz >> extra) {
+            throw ParseError("trailing token on size line: " + extra, lineno);
+        }
+    }
+    if (rows < 0 || cols < 0 || entries < 0) {
+        throw ParseError("negative size in header", lineno);
+    }
+    constexpr long long kIndexMax = std::numeric_limits<index_t>::max();
+    if (rows > kIndexMax || cols > kIndexMax) {
+        throw ParseError("matrix dimensions exceed the 32-bit index range", lineno);
+    }
 
     CooMatrix<double> coo;
     coo.rows = to_index(rows);
     coo.cols = to_index(cols);
-    coo.row.reserve(to_size(entries));
-    coo.col.reserve(to_size(entries));
-    coo.val.reserve(to_size(entries));
+    // Reserve from the declared count but cap it: a corrupt count must not
+    // become a giant up-front allocation before the first entry is read.
+    const auto reserve = to_size(std::min<long long>(entries, 1LL << 20));
+    coo.row.reserve(reserve);
+    coo.col.reserve(reserve);
+    coo.val.reserve(reserve);
 
-    for (long long k = 0; k < entries; ++k) {
+    for (long long k = 0; k < entries;) {
+        if (!read_line()) {
+            throw ParseError("unexpected end of input: " + std::to_string(k) + " of " +
+                                 std::to_string(entries) + " entries read",
+                             lineno);
+        }
+        if (line.empty() || blank(line)) { continue; }
+        std::istringstream is(line);
         long long r = 0;
         long long c = 0;
         double v = 1.0;
-        if (!(in >> r >> c)) { throw ParseError("unexpected end of entries at " + std::to_string(k)); }
-        if (!h.pattern && !(in >> v)) { throw ParseError("missing value at entry " + std::to_string(k)); }
+        if (!(is >> r >> c)) {
+            throw ParseError("malformed entry (expected 'row col" +
+                                 std::string(h.pattern ? "" : " value") + "'): " + line,
+                             lineno);
+        }
+        if (!h.pattern && !(is >> v)) {
+            throw ParseError("missing or non-numeric value: " + line, lineno);
+        }
         if (r < 1 || r > rows || c < 1 || c > cols) {
-            throw ParseError("entry index out of range at " + std::to_string(k));
+            throw ParseError("entry index (" + std::to_string(r) + ", " + std::to_string(c) +
+                                 ") out of range for " + std::to_string(rows) + "x" +
+                                 std::to_string(cols),
+                             lineno);
         }
         coo.row.push_back(to_index(r - 1));
         coo.col.push_back(to_index(c - 1));
@@ -100,6 +159,7 @@ CsrMatrix<double> read_matrix_market(std::istream& in)
             coo.col.push_back(to_index(r - 1));
             coo.val.push_back(h.skew ? -v : v);
         }
+        ++k;
     }
     coo.compress();
     return to_csr(coo);

@@ -1,0 +1,123 @@
+// Up-front CSR input validation (Options::validate_inputs).
+//
+// Every SpGEMM entry point indexes `b.rpt[a.col[j]]` deep inside a kernel,
+// so a corrupt input (out-of-range column, non-monotone row pointers,
+// mismatched array sizes) turns into out-of-bounds reads far from the
+// caller. This helper is shared by the hash implementation and the three
+// baselines: with validation enabled, every documented corrupt-CSR shape
+// throws a PreconditionError *naming the violated invariant* before any
+// kernel touches the data.
+//
+// Invariant identifiers (stable, machine-readable via
+// PreconditionError::invariant()):
+//   dims_non_negative  — rows/cols >= 0
+//   rpt_size           — rpt.size() == rows + 1
+//   rpt_front_zero     — rpt.front() == 0
+//   rpt_monotone       — rpt non-decreasing
+//   col_size           — col.size() == rpt.back()
+//   val_size           — val.size() == col.size()
+//   col_in_range       — every col in [0, cols)
+//   rows_sorted        — strictly increasing columns per row (no duplicates)
+//   inner_dims_agree   — a.cols == b.rows
+#pragma once
+
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace nsparse {
+
+namespace detail {
+[[noreturn]] inline void throw_invariant(const char* which, const std::string& invariant,
+                                         const std::string& what)
+{
+    throw PreconditionError("invalid input matrix " + std::string(which) + ": " + what +
+                                " (invariant: " + invariant + ")",
+                            invariant);
+}
+}  // namespace detail
+
+/// Checks the structural CSR invariants of one input matrix; throws a
+/// PreconditionError naming the violated invariant. `which` labels the
+/// matrix in messages ("A"/"B"). With `require_sorted`, rows must have
+/// strictly increasing column indices (which also rules out duplicates).
+template <ValueType T>
+void validate_csr_input(const CsrMatrix<T>& m, const char* which, bool require_sorted = true)
+{
+    if (m.rows < 0 || m.cols < 0) {
+        detail::throw_invariant(which, "dims_non_negative",
+                                "negative dimension " + std::to_string(m.rows) + "x" +
+                                    std::to_string(m.cols));
+    }
+    if (m.rpt.size() != to_size(m.rows) + 1) {
+        detail::throw_invariant(which, "rpt_size",
+                                "rpt has " + std::to_string(m.rpt.size()) +
+                                    " entries, expected rows+1 = " +
+                                    std::to_string(to_size(m.rows) + 1));
+    }
+    if (m.rpt.front() != 0) {
+        detail::throw_invariant(which, "rpt_front_zero",
+                                "rpt[0] = " + std::to_string(m.rpt.front()) + ", expected 0");
+    }
+    for (std::size_t i = 1; i < m.rpt.size(); ++i) {
+        if (m.rpt[i] < m.rpt[i - 1]) {
+            detail::throw_invariant(which, "rpt_monotone",
+                                    "rpt decreases at row " + std::to_string(i - 1) + " (" +
+                                        std::to_string(m.rpt[i - 1]) + " -> " +
+                                        std::to_string(m.rpt[i]) + ")");
+        }
+    }
+    if (m.col.size() != to_size(m.rpt.back())) {
+        detail::throw_invariant(which, "col_size",
+                                "col has " + std::to_string(m.col.size()) +
+                                    " entries but rpt.back() = " +
+                                    std::to_string(m.rpt.back()));
+    }
+    if (m.val.size() != m.col.size()) {
+        detail::throw_invariant(which, "val_size",
+                                "val has " + std::to_string(m.val.size()) +
+                                    " entries but col has " + std::to_string(m.col.size()));
+    }
+    for (std::size_t k = 0; k < m.col.size(); ++k) {
+        if (m.col[k] < 0 || m.col[k] >= m.cols) {
+            detail::throw_invariant(which, "col_in_range",
+                                    "col[" + std::to_string(k) + "] = " +
+                                        std::to_string(m.col[k]) + " outside [0, " +
+                                        std::to_string(m.cols) + ")");
+        }
+    }
+    if (require_sorted) {
+        for (index_t i = 0; i < m.rows; ++i) {
+            const auto cs = m.row_cols(i);
+            for (std::size_t k = 1; k < cs.size(); ++k) {
+                if (cs[k] <= cs[k - 1]) {
+                    detail::throw_invariant(
+                        which, "rows_sorted",
+                        "row " + std::to_string(i) + " is not strictly increasing at entry " +
+                            std::to_string(k) + " (" + std::to_string(cs[k - 1]) + " then " +
+                            std::to_string(cs[k]) + ")");
+                }
+            }
+        }
+    }
+}
+
+/// Validates both SpGEMM operands plus the inner-dimension agreement. The
+/// shared pre-kernel gate behind Options::validate_inputs (and the
+/// baselines' validate flag).
+template <ValueType T>
+void validate_spgemm_inputs(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                            bool require_sorted = true)
+{
+    validate_csr_input(a, "A", require_sorted);
+    validate_csr_input(b, "B", require_sorted);
+    if (a.cols != b.rows) {
+        throw PreconditionError("inner dimensions disagree: A is " + std::to_string(a.rows) +
+                                    "x" + std::to_string(a.cols) + ", B is " +
+                                    std::to_string(b.rows) + "x" + std::to_string(b.cols) +
+                                    " (invariant: inner_dims_agree)",
+                                "inner_dims_agree");
+    }
+}
+
+}  // namespace nsparse

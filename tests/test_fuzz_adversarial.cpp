@@ -1,0 +1,161 @@
+// Adversarial-input fuzz harness (ctest labels: fuzz, tsan, faults).
+//
+// Drives all four algorithms over a deterministic stream of pathological
+// matrices — hash-adversarial columns, duplicate/unsorted rows, empty-row
+// runs, a dense row forcing the numeric group-0 path, rows pinned on
+// Table-I group boundaries — and checks every product against the host
+// reference. Also composes the stream with PR 2's allocation FaultPlan and
+// with the per-row kernel-fault injection hooks: under memory pressure the
+// only acceptable outcomes are a correct product or DeviceOutOfMemory,
+// never a KernelFault or a leak.
+//
+// NSPARSE_FUZZ_ITERS scales the stream (default 200 cases); the seed is
+// fixed so any failing index reproduces in isolation via
+// gen::adversarial_case(kSeed, index).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "baselines/bhsparse.hpp"
+#include "baselines/cusparse_like.hpp"
+#include "baselines/esc.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/adversarial.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+constexpr std::uint64_t kSeed = 20170814;  // nsparse @ ICPP'17
+constexpr const char* kAlgorithms[] = {"CUSP", "cuSPARSE", "BHSPARSE", "PROPOSAL"};
+
+int fuzz_iters()
+{
+    const char* s = std::getenv("NSPARSE_FUZZ_ITERS");
+    if (s == nullptr) { return 200; }
+    const int v = std::atoi(s);
+    return v > 0 ? v : 200;
+}
+
+SpgemmOutput<double> run_alg(const std::string& name, sim::Device& dev,
+                             const CsrMatrix<double>& a, const core::Options& opt = {})
+{
+    if (name == "CUSP") { return baseline::esc_spgemm<double>(dev, a, a); }
+    if (name == "cuSPARSE") { return baseline::cusparse_spgemm<double>(dev, a, a); }
+    if (name == "BHSPARSE") { return baseline::bhsparse_spgemm<double>(dev, a, a); }
+    return hash_spgemm<double>(dev, a, a, opt);
+}
+
+TEST(FuzzAdversarial, AllAlgorithmsMatchReference)
+{
+    const int iters = fuzz_iters();
+    for (int i = 0; i < iters; ++i) {
+        const auto c = gen::adversarial_case(kSeed, i);
+        const auto expected = reference_spgemm(c.matrix, c.matrix);
+        for (const char* alg : kAlgorithms) {
+            sim::Device dev(sim::DeviceSpec::pascal_p100());
+            const auto out = run_alg(alg, dev, c.matrix);
+            EXPECT_TRUE(approx_equal(out.matrix, expected, 1e-10))
+                << alg << " wrong on case #" << i << " (" << c.name << ")";
+            if (std::string(alg) == "PROPOSAL") {
+                // Valid (if hostile) inputs must never trip the fault
+                // containment: the grouping sizes every table generously
+                // enough that even all-colliding columns still fit.
+                EXPECT_EQ(out.stats.faulted_rows, 0)
+                    << "case #" << i << " (" << c.name << ")";
+                EXPECT_EQ(out.stats.host_fallback_rows, 0)
+                    << "case #" << i << " (" << c.name << ")";
+            }
+        }
+    }
+}
+
+TEST(FuzzAdversarial, ComposedWithAllocationFaults)
+{
+    // Random allocation failures on top of the adversarial stream: each
+    // run either completes correctly or surfaces DeviceOutOfMemory, and in
+    // both cases releases everything. A KernelFault here would mean a
+    // kernel consumed a half-initialised buffer.
+    const int iters = std::max(1, fuzz_iters() / 4);
+    for (int i = 0; i < iters; ++i) {
+        const auto c = gen::adversarial_case(kSeed, i);
+        const auto expected = reference_spgemm(c.matrix, c.matrix);
+        for (const char* alg : kAlgorithms) {
+            sim::Device dev(sim::DeviceSpec::pascal_p100());
+            sim::FaultPlan plan;
+            plan.fail_probability = 0.05;
+            plan.seed = kSeed + static_cast<std::uint64_t>(i);
+            dev.allocator().set_fault_plan(plan);
+            const std::size_t live_before = dev.allocator().live_bytes();
+            try {
+                const auto out = run_alg(alg, dev, c.matrix);
+                EXPECT_TRUE(approx_equal(out.matrix, expected, 1e-10))
+                    << alg << " wrong under allocation faults, case #" << i << " ("
+                    << c.name << ")";
+            } catch (const DeviceOutOfMemory&) {
+                // acceptable: the injected failure surfaced
+            } catch (const KernelFault& f) {
+                ADD_FAILURE() << alg << " raised KernelFault under allocation faults, case #"
+                              << i << " (" << c.name << "): " << f.what();
+            }
+            EXPECT_EQ(dev.allocator().live_bytes(), live_before)
+                << alg << " leaked, case #" << i << " (" << c.name << ")";
+        }
+    }
+}
+
+TEST(FuzzAdversarial, ComposedWithRowFaultInjection)
+{
+    // Kernel-level row faults injected on top of adversarial structure:
+    // the per-row retry (and, for rows that keep faulting, the host
+    // recourse) must still deliver the exact reference product.
+    const int iters = std::max(1, fuzz_iters() / 4);
+    for (int i = 0; i < iters; ++i) {
+        const auto c = gen::adversarial_case(kSeed, i);
+        const auto expected = reference_spgemm(c.matrix, c.matrix);
+        const index_t n = c.matrix.rows;
+        core::Options opt;
+        opt.inject_symbolic_row_faults = {0, n / 2};
+        opt.inject_numeric_row_faults = {n / 3, n - 1};
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        const auto out = hash_spgemm<double>(dev, c.matrix, c.matrix, opt);
+        EXPECT_TRUE(approx_equal(out.matrix, expected, 1e-10))
+            << "wrong with injected row faults, case #" << i << " (" << c.name << ")";
+        EXPECT_GT(out.stats.faulted_rows, 0) << "case #" << i << " (" << c.name << ")";
+    }
+}
+
+TEST(FuzzAdversarial, ValidateModeFlagsUnsortedInputs)
+{
+    // Every intentionally unsorted/duplicated case in the stream must be
+    // rejected by the validate_inputs gate with the rows_sorted invariant;
+    // every clean case must pass it.
+    const int iters = fuzz_iters();
+    int unsorted_seen = 0;
+    for (int i = 0; i < iters; ++i) {
+        const auto c = gen::adversarial_case(kSeed, i);
+        core::Options opt;
+        opt.validate_inputs = true;
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        if (c.sorted) {
+            EXPECT_NO_THROW((void)hash_spgemm<double>(dev, c.matrix, c.matrix, opt))
+                << "case #" << i << " (" << c.name << ")";
+        } else {
+            ++unsorted_seen;
+            try {
+                (void)hash_spgemm<double>(dev, c.matrix, c.matrix, opt);
+                ADD_FAILURE() << "unsorted case #" << i << " (" << c.name
+                              << ") passed validation";
+            } catch (const PreconditionError& e) {
+                EXPECT_EQ(e.invariant(), "rows_sorted")
+                    << "case #" << i << " (" << c.name << ")";
+            }
+        }
+    }
+    EXPECT_GT(unsorted_seen, 0);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -105,6 +105,49 @@ TEST(GroupBoundaries, FloatPrecisionSameBoundaries)
     EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(af, bf), 1e-3));
 }
 
+TEST(GroupBoundaries, BoundaryRowsNeverFault)
+{
+    // Rows sitting exactly on every shared-table limit must complete on
+    // their first kernel attempt: the grouping sizes each table for its
+    // boundary, so no boundary row may trip the fault containment.
+    const std::vector<index_t> products{32,   64,   512,  544,  1024, 1056,
+                                        2048, 2080, 4096, 4128, 8192, 8224};
+    const auto f = build(products, 23);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.enable_trace();
+    const auto out = hash_spgemm<double>(dev, f.a, f.b);
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(f.a, f.b), 1e-10));
+    EXPECT_EQ(out.stats.faulted_rows, 0);
+    EXPECT_EQ(out.stats.row_retries, 0);
+    EXPECT_EQ(out.stats.host_fallback_rows, 0);
+    EXPECT_EQ(dev.fault_events_recorded(), 0U);
+}
+
+TEST(GroupBoundaries, OnePastSharedMaxRoutesToGroupZeroWithoutFault)
+{
+    // The largest bounded symbolic group ends at 8192 products; one past
+    // it must be classified into the unbounded group 0 and complete there
+    // without engaging the per-row fault machinery.
+    const auto policy = core::GroupingPolicy::symbolic(sim::DeviceSpec::pascal_p100());
+    index_t largest_bounded = 0;
+    for (const auto& g : policy.groups) {
+        if (g.max_count > largest_bounded) { largest_bounded = g.max_count; }
+    }
+    ASSERT_GT(largest_bounded, 0);
+    EXPECT_NE(policy.group_of(largest_bounded), 0);
+    EXPECT_EQ(policy.group_of(largest_bounded + 1), 0);
+
+    // The fixture's products are multiples of 32; the next count past the
+    // boundary it can realise is +32, still group 0.
+    const auto f = build({largest_bounded, largest_bounded + 32}, 29);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.enable_trace();
+    const auto out = hash_spgemm<double>(dev, f.a, f.b);
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(f.a, f.b), 1e-10));
+    EXPECT_EQ(out.stats.faulted_rows, 0);
+    EXPECT_EQ(dev.fault_events_recorded(), 0U);
+}
+
 TEST(GroupBoundaries, WithoutStreamsSameResults)
 {
     const std::vector<index_t> products{32, 512, 1024, 8224};

@@ -121,6 +121,122 @@ TEST(MatrixMarket, MissingFileThrows)
     EXPECT_THROW((void)read_matrix_market_file("/nonexistent/file.mtx"), ParseError);
 }
 
+// --- structured ParseError with line numbers (corrupt fixtures) -----------
+
+/// Parses and returns the ParseError the input must produce.
+ParseError parse_failure(const std::string& text)
+{
+    std::istringstream in(text);
+    try {
+        (void)read_matrix_market(in);
+    } catch (const ParseError& e) {
+        return e;
+    }
+    ADD_FAILURE() << "input parsed without error:\n" << text;
+    return ParseError("unreachable");
+}
+
+TEST(MatrixMarket, BadBannerReportsLineOne)
+{
+    const auto e = parse_failure("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_NE(std::string(e.what()).find("banner"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("(line 1)"), std::string::npos);
+}
+
+TEST(MatrixMarket, MalformedSizeLineReportsItsLine)
+{
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% comment\n"
+        "% another comment\n"
+        "3 three 3\n");
+    EXPECT_EQ(e.line(), 4);
+}
+
+TEST(MatrixMarket, TrailingTokenOnSizeLineRejected)
+{
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 3 3 7\n");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+}
+
+TEST(MatrixMarket, NonNumericValueReportsEntryLine)
+{
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 2 froot\n");
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_NE(std::string(e.what()).find("value"), std::string::npos);
+}
+
+TEST(MatrixMarket, MalformedEntryReportsEntryLine)
+{
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "not-a-row 1 1.0\n");
+    EXPECT_EQ(e.line(), 3);
+}
+
+TEST(MatrixMarket, ShortFileReportsLastLine)
+{
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n");
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("1 of 3"), std::string::npos);
+}
+
+TEST(MatrixMarket, OutOfRangeEntryNamesTheIndex)
+{
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("(3, 1)"), std::string::npos);
+}
+
+TEST(MatrixMarket, HugeDeclaredEntryCountDoesNotPreallocate)
+{
+    // The declared count is a lie; the reader must fail on the truncated
+    // entries without first reserving memory for 10^15 of them.
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1000000000000000\n"
+        "1 1 1.0\n");
+    EXPECT_EQ(e.line(), 3);
+}
+
+TEST(MatrixMarket, DimensionBeyondIndexRangeRejected)
+{
+    const auto e = parse_failure(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "4294967296 2 0\n");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("index range"), std::string::npos);
+}
+
+TEST(MatrixMarket, ToleratesBlankLinesAndCrlf)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\r\n"
+        "% comment\r\n"
+        "2 2 2\r\n"
+        "\r\n"
+        "1 1 1.5\r\n"
+        "2 2 2.5\r\n");
+    const auto m = read_matrix_market(in);
+    EXPECT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.row_vals(1)[0], 2.5);
+}
+
 TEST(MatrixMarket, FileRoundTrip)
 {
     auto a = gen::uniform_random(10, 10, 3, 2);

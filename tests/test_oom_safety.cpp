@@ -151,6 +151,11 @@ SweepResult sweep_faults(const std::string& alg, const core::Options& opt)
             ++completed;
         } catch (const DeviceOutOfMemory&) {
             // acceptable: surfaced the injected failure
+        } catch (const KernelFault& f) {
+            // An allocation failure must never manifest as a kernel fault:
+            // that would mean a kernel consumed a half-initialised buffer.
+            ADD_FAILURE() << alg << " raised KernelFault for injected allocation failure @"
+                          << idx << ": " << f.what();
         }
         EXPECT_EQ(dev.allocator().live_bytes(), live_before)
             << alg << " leaked with injected fault at allocation " << idx;
@@ -202,6 +207,9 @@ TEST(FaultInjection, ShrinkingCapacityMidRunIsLeakFree)
             EXPECT_TRUE(approx_equal(out.matrix, expected)) << "shrink@" << shrink_at;
         } catch (const DeviceOutOfMemory&) {
             // acceptable when even slabbed execution cannot fit
+        } catch (const KernelFault& f) {
+            ADD_FAILURE() << "capacity shrink@" << shrink_at
+                          << " raised KernelFault instead of DeviceOutOfMemory: " << f.what();
         }
         EXPECT_EQ(dev.allocator().live_bytes(), live_before) << "shrink@" << shrink_at;
     }

@@ -1,0 +1,140 @@
+// Worst-case linear probing: hash-adversarial columns that all land on one
+// slot of the (c * 107) mod 2^k table. The primitives must charge one
+// probe per inspected slot (the cost model's currency), report saturation
+// exactly at table capacity, agree between the pow2 bit-and path and the
+// true-modulus path, and — end to end — stay correct while costing
+// measurably more simulated time than a friendly column pattern.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/hash_table.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/adversarial.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+TEST(ProbeWorstCase, LinearProbeChainChargesProbes)
+{
+    // Keys t*32 all hash to slot 0 of a 32-entry table: the t-th insert
+    // walks the t occupied slots before claiming the next one.
+    constexpr index_t kSize = 32;
+    std::vector<index_t> table(to_size(kSize), kEmptySlot);
+    for (index_t t = 0; t < kSize; ++t) {
+        const auto r = core::hash_insert_key(table, t * kSize);
+        EXPECT_TRUE(r.inserted) << "key " << t * kSize;
+        EXPECT_FALSE(r.full);
+        EXPECT_EQ(r.probes, t + 1) << "key " << t * kSize;
+    }
+    // Lookups of present keys pay the same chain length.
+    for (index_t t = 0; t < kSize; ++t) {
+        const auto r = core::hash_insert_key(table, t * kSize);
+        EXPECT_TRUE(r.found);
+        EXPECT_EQ(r.probes, t + 1);
+    }
+    // The 33rd distinct key finds no slot: saturation after a full scan.
+    const auto full = core::hash_insert_key(table, kSize * kSize);
+    EXPECT_TRUE(full.full);
+    EXPECT_FALSE(full.inserted);
+    EXPECT_EQ(full.probes, kSize);
+}
+
+TEST(ProbeWorstCase, NumericAccumulateChargesSameChain)
+{
+    constexpr index_t kSize = 32;
+    std::vector<index_t> keys(to_size(kSize), kEmptySlot);
+    std::vector<double> vals(to_size(kSize), 0.0);
+    for (index_t t = 0; t < kSize; ++t) {
+        const auto r = core::hash_accumulate<double>(keys, vals, t * kSize, 1.0);
+        EXPECT_TRUE(r.inserted);
+        EXPECT_EQ(r.probes, t + 1);
+    }
+    // Accumulating into an existing key probes the chain, then atomicAdds.
+    const auto again = core::hash_accumulate<double>(keys, vals, 31 * kSize, 2.0);
+    EXPECT_TRUE(again.found);
+    EXPECT_EQ(again.probes, kSize);
+    const auto full = core::hash_accumulate<double>(keys, vals, kSize * kSize, 1.0);
+    EXPECT_TRUE(full.full);
+    EXPECT_EQ(full.probes, kSize);
+}
+
+TEST(ProbeWorstCase, NonPow2ModulusAgrees)
+{
+    // The cuSPARSE-like baseline probes with a true modulus over a
+    // non-power-of-two table. Keys t*30 collide on slot 0 of a 30-entry
+    // table exactly like the pow2 chain: same probe counts, same
+    // saturation point.
+    constexpr index_t kSize = 30;
+    std::vector<index_t> table(to_size(kSize), kEmptySlot);
+    for (index_t t = 0; t < kSize; ++t) {
+        const auto r = core::hash_insert_key(table, t * kSize, /*pow2=*/false);
+        EXPECT_TRUE(r.inserted);
+        EXPECT_EQ(r.probes, t + 1);
+    }
+    EXPECT_TRUE(core::hash_insert_key(table, kSize * kSize, false).full);
+
+    // Same key set through both paths counts the same number of distinct
+    // columns (the symbolic phase's only functional output).
+    const std::vector<index_t> cols = {7, 107, 7, 214, 45, 107, 3, 45, 99};
+    std::vector<index_t> p2(64, kEmptySlot);
+    std::vector<index_t> np(to_size(kSize), kEmptySlot);
+    index_t distinct_p2 = 0;
+    index_t distinct_np = 0;
+    for (const index_t c : cols) {
+        distinct_p2 += core::hash_insert_key(p2, c, true).inserted ? 1 : 0;
+        distinct_np += core::hash_insert_key(np, c, false).inserted ? 1 : 0;
+    }
+    EXPECT_EQ(distinct_p2, distinct_np);
+    EXPECT_EQ(distinct_p2, 6);
+}
+
+TEST(ProbeWorstCase, AdversarialColumnsStayCorrectAndCostMore)
+{
+    // Two matrices with identical shape and nnz; the adversarial one puts
+    // every row's columns in one congruence class mod 128 (maximal chains
+    // in every bounded table), the control spreads them out. Both must be
+    // exactly correct; the adversarial run must cost more simulated time
+    // because every probe is charged to the cost model.
+    const auto adversarial = gen::adversarial_case(99, 12);  // hash_collider family
+    ASSERT_EQ(adversarial.name.rfind("hash_collider", 0), 0U) << adversarial.name;
+    const auto& a = adversarial.matrix;
+
+    // Control: same row degrees, consecutive columns (no collisions).
+    CsrMatrix<double> ctl;
+    ctl.rows = a.rows;
+    ctl.cols = a.cols;
+    ctl.rpt = a.rpt;
+    ctl.val = a.val;
+    ctl.col.resize(a.col.size());
+    for (index_t i = 0; i < a.rows; ++i) {
+        const auto base = to_size(a.rpt[to_size(i)]);
+        const auto deg = to_size(a.rpt[to_size(i) + 1]) - base;
+        for (std::size_t k = 0; k < deg; ++k) {
+            ctl.col[base + k] = to_index((to_size(i) + k) % to_size(a.cols));
+        }
+    }
+    ctl.validate();
+
+    sim::Device dev_a(sim::DeviceSpec::pascal_p100());
+    const auto out_a = hash_spgemm<double>(dev_a, a, a);
+    EXPECT_TRUE(approx_equal(out_a.matrix, reference_spgemm(a, a), 1e-10));
+    EXPECT_EQ(out_a.stats.faulted_rows, 0);
+
+    sim::Device dev_c(sim::DeviceSpec::pascal_p100());
+    const auto out_c = hash_spgemm<double>(dev_c, ctl, ctl);
+    EXPECT_TRUE(approx_equal(out_c.matrix, reference_spgemm(ctl, ctl), 1e-10));
+
+    // Normalise per intermediate product: the adversarial pattern pays
+    // more cycles for the same amount of useful work.
+    const double cost_a = out_a.stats.seconds /
+                          static_cast<double>(out_a.stats.intermediate_products);
+    const double cost_c = out_c.stats.seconds /
+                          static_cast<double>(out_c.stats.intermediate_products);
+    EXPECT_GT(cost_a, cost_c);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,167 @@
+// Per-row kernel-fault containment: rows whose hash kernel faults are
+// retried on the group-0 global-table path with doubled tables, and rows
+// that keep faulting fall back to the host reference recourse — in every
+// case the assembled product is bit-identical to the fault-free run, the
+// stats account for each contained row, and the trace records the events.
+#include <gtest/gtest.h>
+
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+const CsrMatrix<double>& test_matrix()
+{
+    static const CsrMatrix<double> a = gen::uniform_random(200, 200, 6, 5);
+    return a;
+}
+
+CsrMatrix<double> clean_product()
+{
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    return hash_spgemm<double>(dev, test_matrix(), test_matrix()).matrix;
+}
+
+TEST(RowFaultContainment, NumericInjectionRetriesBitIdentical)
+{
+    const auto& a = test_matrix();
+    core::Options opt;
+    opt.inject_numeric_row_faults = {3, 17, 50};
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.enable_trace();
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+
+    // Bit-identical, not merely approximately equal: the retry accumulates
+    // each output column in the same traversal order as the first attempt.
+    EXPECT_TRUE(out.matrix == clean_product());
+
+    EXPECT_EQ(out.stats.faulted_rows, 3);
+    EXPECT_EQ(out.stats.row_retries, 3);  // each row recovers on retry #1
+    EXPECT_EQ(out.stats.host_fallback_rows, 0);
+
+    const auto& trace = dev.trace();
+    EXPECT_GE(trace.count("numeric_global_retry"), 1U);
+    EXPECT_EQ(trace.fault_count("numeric_row_fault"), 3U);
+    EXPECT_EQ(trace.fault_count("numeric_row_retry"), 3U);
+    EXPECT_EQ(trace.fault_count("numeric_host_row"), 0U);
+    EXPECT_EQ(dev.fault_events_recorded(), 6U);
+}
+
+TEST(RowFaultContainment, SymbolicInjectionContained)
+{
+    const auto& a = test_matrix();
+    core::Options opt;
+    opt.inject_symbolic_row_faults = {0, 42, 199};
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.enable_trace();
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+
+    EXPECT_TRUE(out.matrix == clean_product());
+    EXPECT_EQ(out.stats.faulted_rows, 3);
+    EXPECT_EQ(out.stats.row_retries, 3);
+    EXPECT_EQ(out.stats.host_fallback_rows, 0);
+    EXPECT_GE(dev.trace().count("symbolic_global_retry"), 1U);
+    EXPECT_EQ(dev.trace().fault_count("symbolic_row_fault"), 3U);
+}
+
+TEST(RowFaultContainment, BothPhasesInjectedStillExact)
+{
+    const auto& a = test_matrix();
+    core::Options opt;
+    opt.inject_symbolic_row_faults = {1, 100};
+    opt.inject_numeric_row_faults = {1, 150};
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+    EXPECT_TRUE(out.matrix == clean_product());
+    EXPECT_EQ(out.stats.faulted_rows, 4);  // 2 symbolic + 2 numeric
+}
+
+TEST(RowFaultContainment, ZeroRetriesFallsBackToHost)
+{
+    // With the retry budget at zero, faulted rows go straight to the host
+    // reference recourse — still bit-identical, and accounted as such.
+    const auto& a = test_matrix();
+    core::Options opt;
+    opt.max_row_retries = 0;
+    opt.inject_numeric_row_faults = {7, 90};
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.enable_trace();
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+
+    EXPECT_TRUE(out.matrix == clean_product());
+    EXPECT_EQ(out.stats.faulted_rows, 2);
+    EXPECT_EQ(out.stats.row_retries, 0);
+    EXPECT_EQ(out.stats.host_fallback_rows, 2);
+    EXPECT_EQ(dev.trace().fault_count("numeric_host_row"), 2U);
+    EXPECT_EQ(dev.trace().count("numeric_global_retry"), 0U);
+}
+
+TEST(RowFaultContainment, InjectionMatchesHostReference)
+{
+    // Against the independent dense-accumulator reference the contained
+    // run is still exact to the usual tolerance.
+    const auto& a = test_matrix();
+    core::Options opt;
+    opt.inject_symbolic_row_faults = {10};
+    opt.inject_numeric_row_faults = {10};
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(a, a), 1e-12));
+}
+
+TEST(RowFaultContainment, CleanRunHasNoFaultEvents)
+{
+    const auto& a = test_matrix();
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.enable_trace();
+    const auto out = hash_spgemm<double>(dev, a, a);
+    EXPECT_EQ(out.stats.faulted_rows, 0);
+    EXPECT_EQ(out.stats.row_retries, 0);
+    EXPECT_EQ(out.stats.host_fallback_rows, 0);
+    EXPECT_EQ(dev.fault_events_recorded(), 0U);
+    EXPECT_TRUE(dev.trace().fault_events().empty());
+}
+
+TEST(RowFaultContainment, OutOfRangeInjectionIsIgnored)
+{
+    const auto& a = test_matrix();
+    core::Options opt;
+    opt.inject_numeric_row_faults = {-5, 200, 1 << 20};  // none in [0, rows)
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+    EXPECT_TRUE(out.matrix == clean_product());
+    EXPECT_EQ(out.stats.faulted_rows, 0);
+}
+
+TEST(RowFaultContainment, StatsResetWhenSlabFallbackReruns)
+{
+    // When the whole multiply falls back to row slabs after an OOM, the
+    // per-row fault counters restart with the slabbed run instead of
+    // double-counting the aborted attempt.
+    const auto& a = test_matrix();
+    core::Options opt;
+    opt.inject_numeric_row_faults = {3};
+    opt.force_slabs = 0;
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    sim::Device probe(spec);
+    const auto peak = hash_spgemm<double>(probe, a, a).stats.peak_bytes;
+
+    spec.memory_capacity = peak - 1;  // unchunked attempt must OOM
+    sim::Device dev(spec);
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+    EXPECT_GT(out.stats.fallback_slabs, 0);
+    EXPECT_TRUE(out.matrix == clean_product());
+    // The injected row faults in the completing slabbed run (slab-local
+    // row numbering may expose it to more than one slab).
+    EXPECT_GE(out.stats.faulted_rows, 1);
+}
+
+}  // namespace
+}  // namespace nsparse
