@@ -1,0 +1,182 @@
+// Host execution-engine scaling: wall-clock of the Figure 2 workload
+// (squaring every non-large-graph dataset with the proposal algorithm,
+// single precision) as a function of executor threads (1/2/4/hw) and
+// stream overlap on/off. Simulated results are asserted bit-identical
+// across every configuration — only wall-clock may move — and the
+// measured times are emitted as BENCH_host_scaling.json so the perf
+// trajectory of the pool/overlap path is recorded run over run.
+//
+//   bench_host_scaling [--smoke] [--out FILE]
+//
+// --smoke (or NSPARSE_HOST_SCALING_SMOKE=1) swaps the fig2 datasets for
+// one tiny synthetic matrix so the binary finishes in seconds; the
+// `perf-smoke` ctest label runs it that way to catch determinism or
+// gross-latency regressions in tier-1.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "gpusim/executor.hpp"
+#include "matgen/generators.hpp"
+
+namespace {
+
+using nsparse::CsrMatrix;
+using nsparse::SpgemmStats;
+
+struct Workload {
+    std::string name;
+    CsrMatrix<float> matrix;
+    double scale = 1.0;
+};
+
+struct RunResult {
+    int threads = 0;          ///< requested executor threads (0 = hw)
+    int resolved_threads = 0; ///< what the request resolved to
+    bool streams = false;
+    double wall_seconds = 0.0;
+    double simulated_seconds = 0.0;
+};
+
+double wall_clock_run(const std::vector<Workload>& work, int threads, bool streams,
+                      std::vector<SpgemmStats>* stats_out)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& w : work) {
+        nsparse::sim::Device dev = nsparse::bench::make_device(w.scale);
+        nsparse::core::Options opt;
+        opt.executor_threads = threads;
+        opt.use_streams = streams;
+        const auto out = nsparse::hash_spgemm<float>(dev, w.matrix, w.matrix, opt);
+        if (stats_out != nullptr) { stats_out->push_back(out.stats); }
+    }
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    return dt.count();
+}
+
+/// The determinism contract, asserted end-to-end: same simulated numbers
+/// for every thread count (within one streams setting).
+bool same_simulated_results(const std::vector<SpgemmStats>& ref,
+                            const std::vector<SpgemmStats>& got, const char* what)
+{
+    if (ref.size() != got.size()) { return false; }
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        if (ref[i].nnz_c != got[i].nnz_c ||
+            ref[i].intermediate_products != got[i].intermediate_products ||
+            ref[i].seconds != got[i].seconds || ref[i].peak_bytes != got[i].peak_bytes) {
+            std::fprintf(stderr,
+                         "FAIL: simulated results diverged (%s, dataset %zu): "
+                         "nnz %lld vs %lld, seconds %.17g vs %.17g\n",
+                         what, i, static_cast<long long>(ref[i].nnz_c),
+                         static_cast<long long>(got[i].nnz_c), ref[i].seconds,
+                         got[i].seconds);
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace nsparse;
+
+    bool smoke = false;
+    std::string out_path = "BENCH_host_scaling.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) { smoke = true; }
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) { out_path = argv[++i]; }
+    }
+    if (const char* env = std::getenv("NSPARSE_HOST_SCALING_SMOKE");
+        env != nullptr && *env != '\0' && *env != '0') {
+        smoke = true;
+    }
+
+    std::vector<Workload> work;
+    if (smoke) {
+        work.push_back({"smoke_uniform_400",
+                        convert_values<float>(gen::uniform_random(400, 400, 12, 7)), 1.0});
+    } else {
+        for (const auto& spec : gen::dataset_suite()) {
+            if (spec.large_graph) { continue; }
+            work.push_back({spec.name, bench::load_dataset<float>(spec.name),
+                            gen::effective_scale(spec.name)});
+        }
+    }
+
+    const int hw = sim::BlockExecutor::resolve_threads(0);
+    std::vector<int> thread_counts = {1, 2, 4};
+    if (hw != 1 && hw != 2 && hw != 4) { thread_counts.push_back(hw); }
+
+    std::printf("host-scaling: %zu dataset(s), hw=%d threads%s\n\n", work.size(), hw,
+                smoke ? " [smoke]" : "");
+    std::printf("%8s %8s %12s %14s %10s\n", "threads", "streams", "wall [s]", "simulated [s]",
+                "speedup");
+
+    bool ok = true;
+    std::vector<RunResult> results;
+    for (const bool streams : {false, true}) {
+        std::vector<SpgemmStats> ref_stats;
+        double wall_seq = 0.0;
+        for (const int t : thread_counts) {
+            std::vector<SpgemmStats> stats;
+            RunResult r;
+            r.threads = t;
+            r.resolved_threads = sim::BlockExecutor::resolve_threads(t);
+            r.streams = streams;
+            r.wall_seconds = wall_clock_run(work, t, streams, &stats);
+            for (const auto& s : stats) { r.simulated_seconds += s.seconds; }
+            if (ref_stats.empty()) {
+                ref_stats = stats;
+                wall_seq = r.wall_seconds;
+            } else {
+                ok = same_simulated_results(ref_stats, stats,
+                                            streams ? "streams on" : "streams off") &&
+                     ok;
+            }
+            const double speedup = r.wall_seconds > 0.0 ? wall_seq / r.wall_seconds : 0.0;
+            std::printf("%8d %8s %12.3f %14.6f %9.2fx\n", t, streams ? "on" : "off",
+                        r.wall_seconds, r.simulated_seconds, speedup);
+            results.push_back(r);
+        }
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"host_scaling\",\n  \"workload\": \"%s\",\n",
+                 smoke ? "smoke" : "fig2");
+    std::fprintf(f, "  \"datasets\": %zu,\n  \"hardware_threads\": %d,\n", work.size(), hw);
+    std::fprintf(f, "  \"determinism_ok\": %s,\n  \"results\": [\n", ok ? "true" : "false");
+    // Reference for every speedup: the 1-thread streams-off run (the
+    // seed's sequential engine).
+    double wall_ref = 0.0;
+    for (const auto& r : results) {
+        if (r.threads == 1 && !r.streams) { wall_ref = r.wall_seconds; }
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        const double speedup = r.wall_seconds > 0.0 ? wall_ref / r.wall_seconds : 0.0;
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"resolved_threads\": %d, \"streams\": %s, "
+                     "\"wall_seconds\": %.6f, \"simulated_seconds\": %.9f, "
+                     "\"speedup_vs_seq\": %.3f}%s\n",
+                     r.threads, r.resolved_threads, r.streams ? "true" : "false",
+                     r.wall_seconds, r.simulated_seconds, speedup,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!ok) {
+        std::fprintf(stderr, "host-scaling FAILED: results depend on the executor config\n");
+        return 1;
+    }
+    return 0;
+}

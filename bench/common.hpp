@@ -10,6 +10,7 @@
 // out-of-memory behaviour reproduces.
 #pragma once
 
+#include <climits>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -35,12 +36,26 @@ inline const std::vector<std::string>& algo_names()
 /// Executor thread count for every benchmark run. NSPARSE_EXECUTOR_THREADS
 /// overrides (1 = the seed's sequential behaviour); default 0 lets the
 /// device use all hardware threads. Simulated results are identical either
-/// way — only host wall-clock changes.
+/// way — only host wall-clock changes. Non-numeric values are rejected
+/// loudly (atoi used to fold them silently into 0 = "all threads");
+/// negative/huge values are clamped with a warning by
+/// BlockExecutor::resolve_threads.
 inline int executor_threads_from_env()
 {
     const char* s = std::getenv("NSPARSE_EXECUTOR_THREADS");
-    if (s == nullptr) { return 0; }
-    return std::atoi(s);
+    if (s == nullptr || *s == '\0') { return 0; }
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0') {
+        std::fprintf(stderr,
+                     "nsparse: ignoring non-numeric NSPARSE_EXECUTOR_THREADS=\"%s\" "
+                     "(using all hardware threads)\n",
+                     s);
+        return 0;
+    }
+    if (v > INT_MAX) { return INT_MAX; }  // resolve_threads clamps + warns
+    if (v < INT_MIN) { return -1; }
+    return static_cast<int>(v);
 }
 
 /// Host-side constant costs scaled with the dataset (see header comment).

@@ -239,16 +239,22 @@ SpgemmOutput<T> cusparse_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const C
                                blk.charge_work_span(block_work, block_span);
                            });
             }
+            // Declared outside the conditional: the (possibly asynchronous)
+            // cusparse_calc_global task reads these until the synchronize
+            // below joins it.
+            std::vector<std::size_t> offs;
+            sim::DeviceBuffer<index_t> gkeys;
+            sim::DeviceBuffer<T> gvals;
             if (!global_rows.empty()) {
-                std::vector<std::size_t> offs(global_rows.size() + 1, 0);
+                offs.assign(global_rows.size() + 1, 0);
                 for (std::size_t r = 0; r < global_rows.size(); ++r) {
                     offs[r + 1] =
                         offs[r] + to_size(core::next_pow2(
                                       std::max<index_t>(1, row_nnz[to_size(global_rows[r])]) *
                                       2));
                 }
-                sim::DeviceBuffer<index_t> gkeys(dev.allocator(), offs.back());
-                sim::DeviceBuffer<T> gvals(dev.allocator(), offs.back());
+                gkeys = sim::DeviceBuffer<index_t>(dev.allocator(), offs.back());
+                gvals = sim::DeviceBuffer<T>(dev.allocator(), offs.back());
                 gkeys.fill(kEmptySlot);
                 dev.launch(dev.default_stream(), {to_index(global_rows.size()), 32, 0},
                            "cusparse_calc_global",

@@ -1,8 +1,11 @@
 #include "core/grouping.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/hash_table.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/worker_pool.hpp"
 
 namespace nsparse::core {
 
@@ -114,28 +117,50 @@ GroupedRows group_rows(sim::Device& dev, const GroupingPolicy& policy,
     // Kernel 1: classify each row and histogram group sizes (global
     // atomics). Kernel 2: scatter row ids to their group segment. Both are
     // cheap streaming kernels; the paper calls this cost "setup" and shows
-    // it negligible (§IV-C).
+    // it negligible (§IV-C). The kernels are charge-only (they may run
+    // asynchronously); the functional classify/scatter happens in the
+    // parallel host loops below.
     std::vector<index_t> group_of_row(to_size(rows));
-    std::vector<index_t> sizes(to_size(n_groups), 0);
+
+    // Chunked parallel classify with per-chunk histograms. The chunk
+    // layout follows the executor thread count, but the outputs do not:
+    // classification is per-row independent and the partial histograms
+    // are reduced in ascending chunk order, so every thread count yields
+    // bit-identical sizes, offsets and permutation.
+    constexpr index_t kMinRowsPerChunk = 1024;
+    const int nt = sim::BlockExecutor::resolve_threads(dev.executor_threads());
+    const int chunks = static_cast<int>(std::max<index_t>(
+        1, std::min<index_t>(static_cast<index_t>(nt), rows / kMinRowsPerChunk)));
 
     constexpr int kBlock = 256;
     const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;
     dev.launch(dev.default_stream(), {grid, kBlock, 0}, "grouping_classify",
-               [&](sim::BlockCtx& blk) {
+               [rows](sim::BlockCtx& blk) {
                    const index_t begin = blk.block_idx() * kBlock;
                    const index_t end = std::min(rows, begin + kBlock);
                    const int lanes = static_cast<int>(end - begin);
                    if (lanes <= 0) { return; }
-                   for (index_t r = begin; r < end; ++r) {
-                       const int g = policy.group_of(counts[to_size(r)]);
-                       group_of_row[to_size(r)] = g;
-                       // (histogram accumulated on host below; charged as atomics)
-                   }
                    blk.global_read(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
                    blk.int_ops(lanes, 6.0);  // range comparisons
                    blk.atomic_global(lanes, 1.0);
                });
-    for (index_t r = 0; r < rows; ++r) { ++sizes[to_size(group_of_row[to_size(r)])]; }
+
+    std::vector<std::vector<index_t>> hist(
+        to_size(chunks), std::vector<index_t>(to_size(n_groups), 0));
+    sim::parallel_chunks(rows, chunks,
+                         [&](int c, std::int64_t begin, std::int64_t end) {
+                             auto& h = hist[to_size(c)];
+                             for (std::int64_t r = begin; r < end; ++r) {
+                                 const int g = policy.group_of(counts[to_size(r)]);
+                                 group_of_row[to_size(r)] = g;
+                                 ++h[to_size(g)];
+                             }
+                         });
+
+    std::vector<index_t> sizes(to_size(n_groups), 0);
+    for (int c = 0; c < chunks; ++c) {
+        for (index_t g = 0; g < n_groups; ++g) { sizes[to_size(g)] += hist[to_size(c)][to_size(g)]; }
+    }
 
     GroupedRows out;
     out.offsets.assign(to_size(n_groups) + 1, 0);
@@ -143,16 +168,30 @@ GroupedRows group_rows(sim::Device& dev, const GroupingPolicy& policy,
         out.offsets[to_size(g) + 1] = out.offsets[to_size(g)] + sizes[to_size(g)];
     }
 
-    // Scatter positions are precomputed sequentially (deterministic: each
-    // group segment stays sorted by row index, like a stable device scan);
-    // the kernel below charges the cost the GPU scatter would incur.
+    // Parallel stable scatter: chunk c's cursor for group g starts where
+    // the rows of chunks < c left off, so each group segment stays sorted
+    // by row index — exactly the sequential (stable) permutation, for any
+    // chunk count. The kernel below charges the cost the GPU scatter
+    // would incur.
     out.permutation = sim::DeviceBuffer<index_t>(dev.allocator(), to_size(rows));
     {
-        std::vector<index_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
-        for (index_t r = 0; r < rows; ++r) {
-            const index_t g = group_of_row[to_size(r)];
-            out.permutation[to_size(cursor[to_size(g)]++)] = r;
+        std::vector<std::vector<index_t>> cursor(to_size(chunks));
+        std::vector<index_t> running(out.offsets.begin(), out.offsets.end() - 1);
+        for (int c = 0; c < chunks; ++c) {
+            cursor[to_size(c)] = running;
+            for (index_t g = 0; g < n_groups; ++g) {
+                running[to_size(g)] += hist[to_size(c)][to_size(g)];
+            }
         }
+        sim::parallel_chunks(rows, chunks,
+                             [&](int c, std::int64_t begin, std::int64_t end) {
+                                 auto& cur = cursor[to_size(c)];
+                                 for (std::int64_t r = begin; r < end; ++r) {
+                                     const index_t g = group_of_row[to_size(r)];
+                                     out.permutation[to_size(cur[to_size(g)]++)] =
+                                         static_cast<index_t>(r);
+                                 }
+                             });
     }
     dev.launch(dev.default_stream(), {grid, kBlock, 0}, "grouping_scatter",
                [&](sim::BlockCtx& blk) {

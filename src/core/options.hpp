@@ -23,10 +23,13 @@ struct Options {
     /// Threads per partial warp (the paper evaluated 1/2/4/8/16; 4 wins).
     int pwarp_width = 4;
 
-    /// Host threads executing simulated thread blocks (gpusim executor):
-    /// 0 = hardware_concurrency, 1 = sequential (the seed's behaviour).
-    /// Results, simulated cycles and traces are identical for every value;
-    /// only host wall-clock changes.
+    /// Host threads executing simulated thread blocks on the persistent
+    /// worker pool (gpusim executor): 0 = hardware_concurrency, 1 =
+    /// sequential (the seed's behaviour), negative/huge values are
+    /// clamped with a warning. Values > 1 also overlap launches on
+    /// different simulated streams and parallelise the group_rows host
+    /// scatter. Results, simulated cycles and traces are bit-identical
+    /// for every value; only host wall-clock changes.
     int executor_threads = 0;
 
     /// When the multiply runs out of device memory, retry it in row slabs

@@ -1,10 +1,18 @@
 #include "gpusim/device.hpp"
 
 #include <cstdio>
+#include <span>
+#include <utility>
 
 #include "gpusim/executor.hpp"
+#include "gpusim/worker_pool.hpp"
 
 namespace nsparse::sim {
+
+struct Device::LaunchState {
+    std::exception_ptr error;
+    Completion done;
+};
 
 Device::Device(DeviceSpec spec, CostModel cost)
     : spec_(spec), cost_(cost), alloc_(spec.memory_capacity)
@@ -19,29 +27,116 @@ Device::Device(DeviceSpec spec, CostModel cost)
         [this]() { timeline_.add(kMallocPhase, cost_.free_base_us * 1e-6); });
 }
 
+Device::~Device()
+{
+    // Tasks still in flight reference this device's cost model and the
+    // launch-captured buffers; join them before members are destroyed. A
+    // deferred functor error has nowhere to go from a destructor.
+    try {
+        flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+}
+
 void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
                     const std::function<void(BlockCtx&)>& fn)
 {
-    cfg.validate(spec_);
+    cfg.validate(spec_);  // config errors stay synchronous (issue time)
     KernelRecord rec;
     rec.name = std::move(name);
     rec.stream_id = stream.id;
     rec.cfg = cfg;
     rec.blocks.resize(to_size(cfg.grid_dim));
-
-    BlockExecutor::run(cfg, cost_, executor_threads_, rec.blocks, fn);
-
-    // Cross-block reductions stay on the launching thread, in block-index
-    // order, so counters and cycle totals are bit-identical for every
-    // executor thread count.
-    ++kernels_launched_;
-    blocks_executed_ += to_size(cfg.grid_dim);
-    global_bytes_ += rec.total_global_bytes();
     pending_.push_back(std::move(rec));
+    // The blocks heap buffer is stable even when pending_ reallocates.
+    const std::span<BlockCost> blocks{pending_.back().blocks};
+
+    auto st = std::make_shared<LaunchState>();
+    std::shared_ptr<LaunchState> prev;
+    if (const auto it = stream_tail_.find(stream.id); it != stream_tail_.end()) {
+        prev = it->second;
+    }
+
+    const int nt = BlockExecutor::resolve_threads(executor_threads_);
+    if (nt <= 1) {
+        // Eager in-issue-order execution: the seed's sequential engine.
+        // Functor errors are still deferred to flush() so error surfacing
+        // does not depend on the thread count.
+        if (prev && !prev->done.done()) { WorkerPool::instance().wait(prev->done); }
+        stream_tail_.erase(stream.id);
+        try {
+            BlockExecutor::run(cfg, cost_, 1, blocks, fn);
+        } catch (...) {
+            st->error = std::current_exception();
+        }
+        st->done.set();
+    } else {
+        auto& pool = WorkerPool::instance();
+        pool.ensure_workers(nt - 1);
+        stream_tail_[stream.id] = st;
+        // Stream-overlapped execution: the launch becomes one pool task,
+        // chained behind its same-stream predecessor; launches on other
+        // streams run concurrently. Submitted as `blocking` so it only
+        // runs on dedicated workers: FIFO dequeue of the blocking queue
+        // means the predecessor was dequeued before this task (running or
+        // done), so the plain predecessor wait cannot deadlock — while a
+        // help-stealing thread could pick up the successor of the very
+        // launch executing on its own stack.
+        pool.submit(
+            [this, st, prev, cfg, fn, blocks, nt] {
+                if (prev) { prev->done.wait(); }
+                try {
+                    BlockExecutor::run(cfg, cost_, nt, blocks, fn);
+                } catch (...) {
+                    st->error = std::current_exception();
+                }
+                st->done.set();
+            },
+            WorkerPool::TaskKind::blocking);
+    }
+    inflight_.push_back(std::move(st));
+}
+
+void Device::flush()
+{
+    if (inflight_.empty()) { return; }
+    auto& pool = WorkerPool::instance();
+    std::exception_ptr first_error;
+    std::vector<std::size_t> failed;
+    // inflight_ aligns with the tail of pending_: records before `base`
+    // were counted by an earlier flush of this batch.
+    const std::size_t base = pending_.size() - inflight_.size();
+    for (std::size_t k = 0; k < inflight_.size(); ++k) {
+        pool.wait(inflight_[k]->done);
+        if (inflight_[k]->error != nullptr) {
+            // Move, don't copy: the worker's task lambda may release the
+            // last LaunchState reference after we clear inflight_, and
+            // that release must not destroy an exception object this
+            // thread still holds (exception refcounts live in
+            // uninstrumented libstdc++, invisible to TSan).
+            auto err = std::exchange(inflight_[k]->error, nullptr);
+            if (first_error == nullptr) { first_error = std::move(err); }
+            failed.push_back(base + k);
+        } else {
+            // Cross-launch reductions happen here, in issue order, so
+            // counters are bit-identical for every thread count.
+            const auto& rec = pending_[base + k];
+            ++kernels_launched_;
+            blocks_executed_ += rec.blocks.size();
+            global_bytes_ += rec.total_global_bytes();
+        }
+    }
+    inflight_.clear();
+    stream_tail_.clear();
+    for (auto it = failed.rbegin(); it != failed.rend(); ++it) {
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+    if (first_error != nullptr) { std::rethrow_exception(first_error); }
 }
 
 double Device::synchronize()
 {
+    flush();
     if (pending_.empty()) { return 0.0; }
 #ifdef NSPARSE_DEBUG_SYNC
     for (auto& k : pending_) {

@@ -9,14 +9,25 @@
 //   dev.launch(stream, {grid, block, smem}, "count_nnz", [&](sim::BlockCtx& blk) { ... });
 //   dev.synchronize();              // schedules the batch, advances time
 //
-// launch() executes the functor for every block immediately (functional
-// result) and records per-block costs; synchronize() runs the makespan
-// scheduler over everything launched since the previous synchronize and
-// charges the result to the current phase.
+// Execution engine: with more than one executor thread, launch() only
+// validates and enqueues — the functor runs asynchronously on the
+// process-lifetime WorkerPool, launches on *different* simulated streams
+// overlap on the host exactly as the makespan scheduler overlaps them in
+// simulated time, and launches on the *same* stream are chained in issue
+// order (CUDA stream semantics). flush() is the host-side join point: it
+// completes every in-flight launch, folds counters in stream-issue order
+// and rethrows the first deferred functor error (lowest launch index).
+// synchronize() = flush() + makespan scheduling of the joined batch.
+// With executor_threads == 1 the launch executes eagerly on the calling
+// thread — the seed's sequential engine. Either way the functional
+// results, simulated cycles, timelines and traces are bit-identical.
 #pragma once
 
+#include <exception>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -38,6 +49,7 @@ struct Stream {
 class Device {
 public:
     explicit Device(DeviceSpec spec, CostModel cost = {});
+    ~Device();
 
     Device(const Device&) = delete;
     Device& operator=(const Device&) = delete;
@@ -50,9 +62,12 @@ public:
     [[nodiscard]] Stream default_stream() const { return Stream{0}; }
     [[nodiscard]] Stream create_stream() { return Stream{next_stream_id_++}; }
 
-    /// Executes `fn` for every thread block now, records costs for the next
-    /// synchronize(). Blocks may run on several host threads; the functor
-    /// must only write block-disjoint data or use atomics.
+    /// Records a kernel for the next synchronize() and executes its
+    /// functor — eagerly with 1 executor thread, asynchronously on the
+    /// worker pool otherwise (same-stream launches stay ordered; functor
+    /// errors surface at the next flush()/synchronize()). The functor
+    /// must only write block-disjoint data or use atomics, and every
+    /// buffer it touches must stay alive until the next flush().
     void launch(Stream stream, const LaunchConfig& cfg, std::string name,
                 const std::function<void(BlockCtx&)>& fn);
 
@@ -64,22 +79,46 @@ public:
     void set_executor_threads(int n) { executor_threads_ = n; }
     [[nodiscard]] int executor_threads() const { return executor_threads_; }
 
+    /// Host-side join point: completes every in-flight asynchronous
+    /// launch, folds its counters (kernels/blocks/global bytes) in
+    /// stream-issue order, and rethrows the first deferred functor error
+    /// — deterministically the lowest launch index; the failed record is
+    /// dropped, successful ones stay pending. After flush() every
+    /// functional result written by earlier launches is visible to the
+    /// host. Does not advance simulated time.
+    void flush();
+
+    /// Launches currently in flight on the pool (observability).
+    [[nodiscard]] std::size_t inflight_launches() const { return inflight_.size(); }
+
     /// Schedules everything launched since the previous synchronize and
-    /// charges the makespan to the current phase. Returns the makespan.
+    /// charges the makespan to the current phase (flushing first).
+    /// Returns the makespan.
     double synchronize();
 
     // --- phases ---------------------------------------------------------
 
     class PhaseScope {
     public:
-        PhaseScope(Device& dev, std::string name) : dev_(dev), prev_(dev.current_phase_)
+        PhaseScope(Device& dev, std::string name)
+            : dev_(dev), prev_(dev.current_phase_), uncaught_(std::uncaught_exceptions())
         {
             dev_.synchronize();  // do not leak pending work across phases
             dev_.current_phase_ = std::move(name);
         }
-        ~PhaseScope()
+        /// May rethrow a deferred functor error from the closing
+        /// synchronize — except while already unwinding, where the
+        /// original exception wins and the deferred one is swallowed.
+        ~PhaseScope() noexcept(false)
         {
-            dev_.synchronize();
+            const bool unwinding = std::uncaught_exceptions() > uncaught_;
+            try {
+                dev_.synchronize();
+            } catch (...) {
+                dev_.current_phase_ = prev_;
+                if (!unwinding) { throw; }
+                return;
+            }
             dev_.current_phase_ = prev_;
         }
         PhaseScope(const PhaseScope&) = delete;
@@ -88,6 +127,7 @@ public:
     private:
         Device& dev_;
         std::string prev_;
+        int uncaught_;
     };
 
     [[nodiscard]] PhaseScope phase_scope(std::string name)
@@ -127,6 +167,9 @@ public:
                             int probes, int retry_depth);
 
     // --- counters (observability) ----------------------------------------
+    // Counters fold in at flush()/synchronize() (the join point), in
+    // stream-issue order, so they are bit-identical for every executor
+    // thread count.
     [[nodiscard]] std::uint64_t kernels_launched() const { return kernels_launched_; }
     [[nodiscard]] std::uint64_t blocks_executed() const { return blocks_executed_; }
     [[nodiscard]] double total_global_bytes() const { return global_bytes_; }
@@ -136,12 +179,21 @@ public:
     [[nodiscard]] std::uint64_t fault_events_recorded() const { return fault_events_; }
 
 private:
+    /// Per-launch completion + deferred error slot (defined in device.cpp).
+    struct LaunchState;
+
     DeviceSpec spec_;
     CostModel cost_;
     DeviceAllocator alloc_;
     Timeline timeline_;
     std::string current_phase_ = "setup";
     std::vector<KernelRecord> pending_;
+    /// One state per not-yet-flushed launch, aligned with the tail of
+    /// pending_ (issue order).
+    std::vector<std::shared_ptr<LaunchState>> inflight_;
+    /// Last in-flight launch per stream id — the predecessor the next
+    /// launch on that stream must wait for (CUDA stream FIFO).
+    std::unordered_map<int, std::shared_ptr<LaunchState>> stream_tail_;
     int next_stream_id_ = 1;
     int executor_threads_ = 0;  ///< 0 = hardware_concurrency
     std::uint64_t kernels_launched_ = 0;

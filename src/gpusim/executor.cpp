@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
-#include <vector>
+#include <utility>
+
+#include "gpusim/worker_pool.hpp"
 
 namespace nsparse::sim {
 
@@ -16,6 +20,8 @@ namespace {
 /// OpenMP schedule): big enough to amortise the atomic fetch, small enough
 /// to balance the skewed per-block work of SpGEMM kernels.
 constexpr index_t kChunk = 16;
+
+constexpr index_t kNoError = std::numeric_limits<index_t>::max();
 
 void run_block(index_t b, const LaunchConfig& cfg, const CostModel& cost,
                std::span<BlockCost> blocks, const std::function<void(BlockCtx&)>& fn)
@@ -28,13 +34,92 @@ void run_block(index_t b, const LaunchConfig& cfg, const CostModel& cost,
     blocks[to_size(b)] = bc;
 }
 
+/// Shared state of one parallel launch. Held via shared_ptr so chunk
+/// tasks dequeued after run() returned (possible only once the cursor is
+/// exhausted) never touch freed memory. The cost/fn references stay valid
+/// for any task that claims a chunk: claiming implies its blocks are not
+/// yet counted, so run() is still blocked in wait().
+struct RunState {
+    RunState(const LaunchConfig& c, const CostModel& m, std::span<BlockCost> b,
+             const std::function<void(BlockCtx&)>& f)
+        : cfg(c), cost(m), blocks(b), fn(f)
+    {
+    }
+
+    const LaunchConfig cfg;
+    const CostModel& cost;
+    const std::span<BlockCost> blocks;
+    const std::function<void(BlockCtx&)>& fn;
+    std::atomic<index_t> cursor{0};
+    std::atomic<index_t> first_bad{kNoError};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::atomic<index_t> completed{0};
+    Completion done;
+};
+
+/// Pulls chunks off the cursor until the grid is exhausted. Exceptions
+/// must not escape a chunk: remember the error of the failing block with
+/// the lowest index — blocks below a recorded failure keep executing, so
+/// the surfaced error does not depend on which thread observed its
+/// failure first. The thread that completes the final block fires `done`.
+void drain(RunState& st)
+{
+    const index_t grid = st.cfg.grid_dim;
+    for (;;) {
+        const index_t begin = st.cursor.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= grid) { return; }
+        const index_t end = std::min(grid, begin + kChunk);
+        for (index_t b = begin; b < end; ++b) {
+            if (b > st.first_bad.load(std::memory_order_relaxed)) { continue; }
+            try {
+                run_block(b, st.cfg, st.cost, st.blocks, st.fn);
+            } catch (...) {
+                const std::scoped_lock lock(st.error_mu);
+                if (b < st.first_bad.load(std::memory_order_relaxed)) {
+                    st.first_bad.store(b, std::memory_order_relaxed);
+                    st.error = std::current_exception();
+                }
+            }
+        }
+        const index_t n = end - begin;
+        // acq_rel: the final fetch_add observes the whole RMW chain, so
+        // every block write (and recorded error) happens-before done.set().
+        if (st.completed.fetch_add(n, std::memory_order_acq_rel) + n == grid) {
+            st.done.set();
+        }
+    }
+}
+
 }  // namespace
 
 int BlockExecutor::resolve_threads(int requested)
 {
-    if (requested > 0) { return requested; }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
+    static const int hw = [] {
+        const unsigned n = std::thread::hardware_concurrency();
+        return n == 0 ? 1 : static_cast<int>(n);
+    }();
+    if (requested < 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::fprintf(stderr,
+                         "nsparse: executor_threads/NSPARSE_EXECUTOR_THREADS=%d is negative; "
+                         "using all %d hardware threads instead\n",
+                         requested, hw);
+        }
+        return hw;
+    }
+    if (requested > WorkerPool::kMaxWorkers) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            std::fprintf(stderr,
+                         "nsparse: executor_threads/NSPARSE_EXECUTOR_THREADS=%d exceeds the "
+                         "pool ceiling; clamping to %d\n",
+                         requested, WorkerPool::kMaxWorkers);
+        }
+        return WorkerPool::kMaxWorkers;
+    }
+    return requested > 0 ? requested : hw;
 }
 
 void BlockExecutor::run(const LaunchConfig& cfg, const CostModel& cost, int threads,
@@ -52,47 +137,29 @@ void BlockExecutor::run(const LaunchConfig& cfg, const CostModel& cost, int thre
         return;
     }
 
-    // Parallel path: plain std::thread workers pulling chunks off an
-    // atomic cursor (not OpenMP — uninstrumented OpenMP runtimes hide
-    // their barriers from ThreadSanitizer, which breaks `ctest -L tsan`).
-    //
-    // Exceptions must not escape a worker. Remember the error of the
-    // failing block with the lowest index — blocks below a recorded
-    // failure keep executing, so the surfaced error does not depend on
-    // which thread observed its failure first — and rethrow after join.
-    constexpr index_t kNoError = std::numeric_limits<index_t>::max();
-    std::atomic<index_t> cursor{0};
-    std::atomic<index_t> first_bad{kNoError};
-    std::exception_ptr error;
-    std::mutex error_mu;
+    // Parallel path: chunk tasks on the persistent pool. The calling
+    // thread drains the cursor itself — completion never depends on a
+    // still-queued helper — then helps with other queued work while
+    // waiting out straggler chunks.
+    auto& pool = WorkerPool::instance();
+    pool.ensure_workers(nt - 1);
 
-    const auto worker = [&] {
-        for (;;) {
-            const index_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
-            if (begin >= grid) { return; }
-            const index_t end = std::min(grid, begin + kChunk);
-            for (index_t b = begin; b < end; ++b) {
-                if (b > first_bad.load(std::memory_order_relaxed)) { continue; }
-                try {
-                    run_block(b, cfg, cost, blocks, fn);
-                } catch (...) {
-                    const std::scoped_lock lock(error_mu);
-                    if (b < first_bad.load(std::memory_order_relaxed)) {
-                        first_bad.store(b, std::memory_order_relaxed);
-                        error = std::current_exception();
-                    }
-                }
-            }
-        }
-    };
+    auto st = std::make_shared<RunState>(cfg, cost, blocks, fn);
+    const index_t n_chunks = (grid + kChunk - 1) / kChunk;
+    const int helpers = static_cast<int>(
+        std::min<index_t>(static_cast<index_t>(nt - 1), n_chunks - 1));
+    for (int t = 0; t < helpers; ++t) {
+        pool.submit([st] { drain(*st); });
+    }
+    drain(*st);
+    pool.wait(st->done);
 
-    std::vector<std::thread> pool;
-    pool.reserve(to_size(nt - 1));
-    for (int t = 1; t < nt; ++t) { pool.emplace_back(worker); }
-    worker();  // the launching thread is worker 0
-    for (auto& th : pool) { th.join(); }
-
-    if (error) { std::rethrow_exception(error); }
+    // Take the exception out of the shared state before rethrowing: a
+    // straggler task dequeued later still releases its RunState reference,
+    // and that release must not be the one destroying an exception object
+    // this thread is reading (the exception refcount lives in
+    // uninstrumented libstdc++, invisible to TSan).
+    if (st->error) { std::rethrow_exception(std::exchange(st->error, nullptr)); }
 }
 
 }  // namespace nsparse::sim

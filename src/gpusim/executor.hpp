@@ -1,5 +1,5 @@
-// Parallel block executor: runs a launched grid's block functors across a
-// pool of host threads. The real GPU fills its SMs with
+// Parallel block executor: runs a launched grid's block functors across
+// the process-lifetime WorkerPool. The real GPU fills its SMs with
 // concurrent thread blocks (§III-E); the blocks of a simulated kernel are
 // independent in exactly the same way — each writes disjoint output slots
 // or uses atomics — so the simulator may execute them on however many host
@@ -8,9 +8,10 @@
 // Determinism contract: every block's cost lands in its own
 // `blocks[block_idx]` slot and all cross-block reductions (kernel work
 // totals, global-byte counters, the makespan schedule) are computed
-// serially in block-index order afterwards. Simulated cycle counts,
-// timelines and traces are therefore bit-identical for every thread
-// count, including 1 (the sequential executor the seed shipped with).
+// serially in launch-issue/block-index order afterwards. Simulated cycle
+// counts, timelines and traces are therefore bit-identical for every
+// thread count, including 1 (the sequential executor the seed shipped
+// with).
 #pragma once
 
 #include <functional>
@@ -24,12 +25,17 @@ namespace nsparse::sim {
 class BlockExecutor {
 public:
     /// Host threads a request resolves to: `requested` if positive, else
-    /// std::thread::hardware_concurrency (never less than 1).
+    /// std::thread::hardware_concurrency (queried once and cached, never
+    /// less than 1). Out-of-range requests — negative, or beyond
+    /// WorkerPool::kMaxWorkers — are clamped with a one-time stderr
+    /// warning instead of a silent fallback.
     [[nodiscard]] static int resolve_threads(int requested);
 
     /// Executes `fn` once per block of `cfg` on up to `threads` host
-    /// threads (resolved as above), writing each block's accumulated cost
-    /// — plus the fixed block prologue charge — into `blocks[block_idx]`.
+    /// threads (resolved as above; extra workers come from
+    /// WorkerPool::instance(), not per-launch std::threads), writing each
+    /// block's accumulated cost — plus the fixed block prologue charge —
+    /// into `blocks[block_idx]`.
     ///
     /// A functor exception aborts the remaining blocks and is rethrown on
     /// the calling thread; when several blocks fail, the error of the

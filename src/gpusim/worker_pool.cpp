@@ -1,0 +1,190 @@
+#include "gpusim/worker_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <utility>
+
+namespace nsparse::sim {
+
+WorkerPool& WorkerPool::instance()
+{
+    static WorkerPool pool;
+    return pool;
+}
+
+WorkerPool::WorkerPool(int workers)
+{
+    ensure_workers(workers);
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        const std::scoped_lock lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) { t.join(); }
+}
+
+void WorkerPool::ensure_workers(int target)
+{
+    const int clamped = std::min(target, kMaxWorkers);
+    const std::scoped_lock lock(mu_);
+    if (stop_) { return; }
+    while (static_cast<int>(threads_.size()) < clamped) {
+        threads_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+int WorkerPool::workers() const
+{
+    const std::scoped_lock lock(mu_);
+    return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::submit(Task task, TaskKind kind)
+{
+    {
+        const std::scoped_lock lock(mu_);
+        if (!stop_) {
+            (kind == TaskKind::leaf ? leaf_queue_ : blocking_queue_)
+                .push_back(std::move(task));
+            task = nullptr;
+        }
+    }
+    if (task) {
+        // Shutting down (static-destruction stragglers): run inline so the
+        // submitter still observes completion.
+        task();
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    cv_.notify_one();
+}
+
+bool WorkerPool::try_run_one()
+{
+    Task task;
+    {
+        const std::scoped_lock lock(mu_);
+        if (leaf_queue_.empty()) { return false; }
+        task = std::move(leaf_queue_.front());
+        leaf_queue_.pop_front();
+    }
+    try {
+        task();
+    } catch (...) {
+        // Tasks are required to capture their own errors; see submit().
+    }
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void WorkerPool::wait(Completion& event)
+{
+    while (!event.done()) {
+        if (!try_run_one()) {
+            // Queue empty but the event's task is still running elsewhere:
+            // sleep on the event with a short lease so a task enqueued in
+            // the meantime (e.g. a chunk helper of the very task we wait
+            // for) is picked up promptly.
+            if (event.wait_for_ms(1)) { return; }
+        }
+    }
+}
+
+void WorkerPool::worker_loop()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock lock(mu_);
+            cv_.wait(lock,
+                     [&] { return stop_ || !leaf_queue_.empty() || !blocking_queue_.empty(); });
+            if (leaf_queue_.empty() && blocking_queue_.empty()) {
+                return;  // stop requested and fully drained
+            }
+            // Leaf work first: it is guaranteed-progress and unblocks
+            // callers waiting out their own launch; blocking tasks may
+            // park this worker on a predecessor wait.
+            auto& q = leaf_queue_.empty() ? blocking_queue_ : leaf_queue_;
+            task = std::move(q.front());
+            q.pop_front();
+        }
+        try {
+            task();
+        } catch (...) {
+            // See submit(): tasks capture their own errors.
+        }
+        executed_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+namespace {
+
+struct ChunkError {
+    std::mutex mu;
+    std::exception_ptr error;
+    int first_bad = std::numeric_limits<int>::max();
+};
+
+}  // namespace
+
+void parallel_chunks(std::int64_t n, int threads,
+                     const std::function<void(int, std::int64_t, std::int64_t)>& fn)
+{
+    if (n <= 0) { return; }
+    const int chunks = static_cast<int>(
+        std::max<std::int64_t>(1, std::min<std::int64_t>(threads, n)));
+    const auto chunk_begin = [n, chunks](int c) { return n * c / chunks; };
+
+    if (chunks == 1) {
+        fn(0, 0, n);
+        return;
+    }
+
+    auto& pool = WorkerPool::instance();
+    pool.ensure_workers(chunks - 1);
+
+    struct State {
+        std::atomic<int> remaining;
+        Completion done;
+        ChunkError err;
+    };
+    auto st = std::make_shared<State>();
+    st->remaining.store(chunks, std::memory_order_relaxed);
+
+    const auto run_chunk = [st, &fn, chunk_begin](int c) {
+        try {
+            fn(c, chunk_begin(c), chunk_begin(c + 1));
+        } catch (...) {
+            const std::scoped_lock lock(st->err.mu);
+            if (c < st->err.first_bad) {
+                st->err.first_bad = c;
+                st->err.error = std::current_exception();
+            }
+        }
+        if (st->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) { st->done.set(); }
+    };
+
+    // `fn` is captured by reference: safe because this frame outlives every
+    // chunk (wait() below returns only after all chunks completed).
+    for (int c = 1; c < chunks; ++c) {
+        pool.submit([run_chunk, c] { run_chunk(c); });
+    }
+    run_chunk(0);
+    pool.wait(st->done);
+
+    // Move the exception out of the shared state before rethrowing so a
+    // worker's later release of its State reference never destroys an
+    // exception object this thread is still reading (the exception
+    // refcount lives in uninstrumented libstdc++, invisible to TSan).
+    if (st->err.error != nullptr) {
+        std::rethrow_exception(std::exchange(st->err.error, nullptr));
+    }
+}
+
+}  // namespace nsparse::sim

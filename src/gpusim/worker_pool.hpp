@@ -1,0 +1,175 @@
+// Persistent host worker pool for the simulator's execution engine.
+//
+// The seed executed every Device::launch on freshly spawned std::threads
+// and tore them down again before launch() returned. Real SpGEMM launch
+// streams are dominated by *tiny* kernels (per-group row batches, often
+// < 10 rows — §III-E of the paper), so the spawn/join overhead swamped
+// whatever parallelism the blocks offered. This pool is created once per
+// process, kept warm across launches, and shared by
+//
+//   * BlockExecutor::run       — block-chunk tasks of a single launch,
+//   * Device::launch           — whole-launch tasks for stream overlap,
+//   * core parallel host loops — e.g. the group_rows classify/scatter.
+//
+// Scheduling is a FIFO condition-variable queue with two task classes:
+//
+//   * `leaf` tasks never wait on other pool work (block chunks, host
+//     parallel_chunks). They may be run by anyone — dedicated workers or
+//     threads "helping" from inside WorkerPool::wait().
+//   * `blocking` tasks may wait on the completion of a task submitted
+//     *earlier* (a stream launch waiting on its same-stream predecessor).
+//     They run ONLY on dedicated worker threads, never via help-stealing:
+//     a thread already inside launch N's execution must not steal launch
+//     N+1 of the same stream, or it would block on a completion that its
+//     own stack frame is responsible for setting. Submitters of blocking
+//     tasks must first ensure_workers(>= 1).
+//
+// With that split, FIFO dequeue gives deadlock freedom: when a worker
+// executes a blocking task, its predecessor was dequeued earlier — either
+// finished, or being executed by a thread that only ever waits on leaf
+// work (which helpers and self-draining callers always retire). Threads
+// that must block on a Completion call WorkerPool::wait(), which runs
+// queued leaf tasks while waiting so an undersized pool still makes
+// progress.
+//
+// Like the executor, the pool deliberately uses std::thread + mutex +
+// condition_variable rather than OpenMP: uninstrumented OpenMP runtimes
+// hide their barriers from ThreadSanitizer, which would break the
+// `ctest -L tsan` gate.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nsparse::sim {
+
+/// One-shot completion event: set() exactly once, observed by any number
+/// of waiters. The mutex hand-off makes every write sequenced before
+/// set() visible to code sequenced after a successful wait()/done().
+class Completion {
+public:
+    void set()
+    {
+        // Notify while holding the mutex: a waiter may destroy this
+        // Completion as soon as it observes done_, so the notify must not
+        // touch cv_ after the flag becomes visible.
+        const std::scoped_lock lock(mu_);
+        done_ = true;
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] bool done() const
+    {
+        const std::scoped_lock lock(mu_);
+        return done_;
+    }
+
+    void wait()
+    {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [&] { return done_; });
+    }
+
+    /// Returns whether the event fired within `ms` milliseconds.
+    bool wait_for_ms(int ms)
+    {
+        std::unique_lock lock(mu_);
+        return cv_.wait_for(lock, std::chrono::milliseconds(ms), [&] { return done_; });
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
+class WorkerPool {
+public:
+    using Task = std::function<void()>;
+
+    /// Hard ceiling on pool size; requests beyond it are clamped (see
+    /// BlockExecutor::resolve_threads for the matching user-facing
+    /// warning).
+    static constexpr int kMaxWorkers = 256;
+
+    /// The process-lifetime pool every launch submits to. Starts with
+    /// zero workers; grows on demand via ensure_workers() and joins them
+    /// at process exit.
+    static WorkerPool& instance();
+
+    /// Standalone pool for unit tests; `workers` threads are spawned
+    /// immediately (clamped to [0, kMaxWorkers]).
+    explicit WorkerPool(int workers = 0);
+
+    /// Drains every queued task, then joins all workers.
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /// Grows the pool to at least `target` workers (never shrinks;
+    /// clamped to kMaxWorkers; negative is a no-op). Thread counts above
+    /// hardware_concurrency are honoured — determinism tests rely on
+    /// exercising real multi-threading even on single-core hosts.
+    void ensure_workers(int target);
+
+    [[nodiscard]] int workers() const;
+
+    /// `leaf` tasks never wait on other pool work and may be help-stolen;
+    /// `blocking` tasks may wait on earlier submissions and only ever run
+    /// on dedicated workers (see the file comment for the deadlock
+    /// argument).
+    enum class TaskKind { leaf, blocking };
+
+    /// Enqueues a task. Tasks must capture their own errors; an exception
+    /// escaping a task is swallowed by the pool (last-resort; every
+    /// in-tree task records errors into its own shared state). Blocking
+    /// tasks require at least one dedicated worker (ensure_workers).
+    void submit(Task task, TaskKind kind = TaskKind::leaf);
+
+    /// Dequeues and runs one *leaf* task on the calling thread. Returns
+    /// false when no leaf task was queued.
+    bool try_run_one();
+
+    /// Blocks until `event` fires, running queued leaf tasks on the
+    /// calling thread while waiting so the caller contributes a worker
+    /// instead of idling. Never executes blocking tasks (they may depend
+    /// on the very frame that is waiting).
+    void wait(Completion& event);
+
+    /// Tasks finished so far (observability; includes helped tasks).
+    [[nodiscard]] std::uint64_t tasks_executed() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void worker_loop();
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Task> leaf_queue_;
+    std::deque<Task> blocking_queue_;
+    std::vector<std::thread> threads_;
+    bool stop_ = false;
+    std::atomic<std::uint64_t> executed_{0};
+};
+
+/// Splits [0, n) into up to `threads` contiguous chunks and runs
+/// fn(chunk_index, begin, end) for each concurrently on the process pool
+/// (the calling thread executes chunk 0 and then helps). The chunk
+/// boundaries depend only on (n, threads); callers that need results
+/// independent of the thread count must make per-chunk outputs
+/// order-insensitive (e.g. reduce per-chunk partials in chunk order).
+/// A chunk exception is rethrown on the caller; when several chunks
+/// throw, the lowest chunk index wins.
+void parallel_chunks(std::int64_t n, int threads,
+                     const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+}  // namespace nsparse::sim

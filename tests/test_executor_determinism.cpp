@@ -195,8 +195,11 @@ TEST(ExecutorDeterminism, RawLaunchChargesIdenticalCycles)
 
 TEST(ExecutorDeterminism, LowestBlockExceptionWinsAndPropagates)
 {
-    // Several blocks fail; the error reported must deterministically be the
-    // lowest block index regardless of which thread hits it first.
+    // Several blocks fail; the error reported must deterministically be
+    // the lowest block index regardless of which thread hits it first.
+    // Functor errors surface at the flush/synchronize join point (CUDA
+    // semantics) for every thread count, including the eager 1-thread
+    // engine.
     for (const int threads : {1, kParallel}) {
         sim::Device dev = p100();
         dev.set_executor_threads(threads);
@@ -207,7 +210,8 @@ TEST(ExecutorDeterminism, LowestBlockExceptionWinsAndPropagates)
                     throw std::runtime_error("block " + std::to_string(b) + " failed");
                 }
             });
-            FAIL() << "launch must rethrow the functor's exception";
+            dev.synchronize();
+            FAIL() << "synchronize must rethrow the functor's exception";
         } catch (const std::runtime_error& e) {
             EXPECT_STREQ(e.what(), "block 41 failed") << "threads=" << threads;
         }
@@ -216,17 +220,164 @@ TEST(ExecutorDeterminism, LowestBlockExceptionWinsAndPropagates)
 
 TEST(ExecutorDeterminism, DeviceUsableAfterFunctorThrows)
 {
+    for (const int threads : {1, kParallel}) {
+        sim::Device dev = p100();
+        dev.set_executor_threads(threads);
+        EXPECT_THROW(
+            {
+                dev.launch(dev.default_stream(), {64, 64, 0}, "faulty",
+                           [](sim::BlockCtx& blk) {
+                               if (blk.block_idx() == 0) { throw std::runtime_error("boom"); }
+                           });
+                dev.synchronize();
+            },
+            std::runtime_error);
+        // The failed launch was dropped at the flush; the device keeps
+        // working.
+        EXPECT_EQ(dev.kernels_launched(), 0U);
+        const auto a = gen::uniform_random(100, 100, 4, 31);
+        const auto out = hash_spgemm<double>(dev, a, a, with_threads(threads));
+        EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(a, a)));
+    }
+}
+
+TEST(ExecutorDeterminism, StreamOverlapIdenticalAcrossThreadCounts)
+{
+    // The acceptance matrix of the execution engine: executor_threads in
+    // {1, 2, 4, hw} x streams {off, on} — all simulated results (output,
+    // cycles, timelines, traces, counters) bit-identical to the 1-thread
+    // run with the same streams setting.
+    const auto a = gen::uniform_random(400, 400, 9, 43);
+    const int hw = sim::BlockExecutor::resolve_threads(0);
+    for (const bool streams : {false, true}) {
+        sim::Device d1 = p100();
+        d1.enable_trace();
+        core::Options o1;
+        o1.executor_threads = 1;
+        o1.use_streams = streams;
+        const auto c1 = hash_spgemm<double>(d1, a, a, o1);
+
+        for (const int threads : {2, kParallel, hw}) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " streams=" + std::to_string(streams));
+            sim::Device dn = p100();
+            dn.enable_trace();
+            core::Options on;
+            on.executor_threads = threads;
+            on.use_streams = streams;
+            const auto cn = hash_spgemm<double>(dn, a, a, on);
+
+            EXPECT_TRUE(c1.matrix == cn.matrix);
+            expect_same_stats(c1.stats, cn.stats);
+            EXPECT_EQ(d1.kernels_launched(), dn.kernels_launched());
+            EXPECT_EQ(d1.blocks_executed(), dn.blocks_executed());
+            EXPECT_DOUBLE_EQ(d1.total_global_bytes(), dn.total_global_bytes());
+            const auto& e1 = d1.trace().entries();
+            const auto& en = dn.trace().entries();
+            ASSERT_EQ(e1.size(), en.size());
+            for (std::size_t i = 0; i < e1.size(); ++i) {
+                ASSERT_EQ(e1[i].name, en[i].name) << "entry " << i;
+                ASSERT_EQ(e1[i].stream_id, en[i].stream_id) << "entry " << i;
+                ASSERT_DOUBLE_EQ(e1[i].start, en[i].start) << "entry " << i;
+                ASSERT_DOUBLE_EQ(e1[i].finish, en[i].finish) << "entry " << i;
+            }
+        }
+    }
+}
+
+TEST(ExecutorDeterminism, SameStreamLaunchesStayOrdered)
+{
+    // CUDA stream FIFO on the host engine: a launch must observe the
+    // functional writes of its same-stream predecessor even when both run
+    // asynchronously on the pool; flush() is the host-side join point.
+    constexpr index_t kN = 4096;
+    constexpr int kBlock = 64;
+    constexpr index_t kGrid = kN / kBlock;
     sim::Device dev = p100();
     dev.set_executor_threads(kParallel);
-    EXPECT_THROW(dev.launch(dev.default_stream(), {64, 64, 0}, "faulty",
-                            [](sim::BlockCtx& blk) {
-                                if (blk.block_idx() == 0) { throw std::runtime_error("boom"); }
-                            }),
-                 std::runtime_error);
-    // The failed launch was not recorded; the device keeps working.
-    const auto a = gen::uniform_random(100, 100, 4, 31);
-    const auto out = hash_spgemm<double>(dev, a, a, with_threads(kParallel));
-    EXPECT_TRUE(approx_equal(out.matrix, reference_spgemm(a, a)));
+    const auto s1 = dev.create_stream();
+    const auto s2 = dev.create_stream();
+
+    std::vector<int> data(to_size(kN), 0);
+    std::vector<int> other(to_size(kN), 0);
+    for (int round = 1; round <= 3; ++round) {
+        dev.launch(s1, {kGrid, kBlock, 0}, "bump", [&, round](sim::BlockCtx& blk) {
+            const index_t begin = blk.block_idx() * kBlock;
+            for (index_t i = begin; i < begin + kBlock; ++i) {
+                // Predecessor's write must already be visible (FIFO).
+                if (data[to_size(i)] == round - 1) { data[to_size(i)] = round; }
+            }
+            blk.int_ops(kBlock, 1.0);
+        });
+        // Concurrent second stream touching disjoint data.
+        dev.launch(s2, {kGrid, kBlock, 0}, "other", [&](sim::BlockCtx& blk) {
+            const index_t begin = blk.block_idx() * kBlock;
+            for (index_t i = begin; i < begin + kBlock; ++i) { ++other[to_size(i)]; }
+            blk.int_ops(kBlock, 1.0);
+        });
+    }
+
+    EXPECT_EQ(dev.inflight_launches(), 6U);
+    dev.flush();  // join point: all functional results visible, no time charged
+    EXPECT_EQ(dev.inflight_launches(), 0U);
+    EXPECT_DOUBLE_EQ(dev.elapsed(), 0.0);
+    EXPECT_EQ(dev.kernels_launched(), 6U);
+    for (index_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(data[to_size(i)], 3) << "row " << i;
+        ASSERT_EQ(other[to_size(i)], 3) << "row " << i;
+    }
+    EXPECT_GT(dev.synchronize(), 0.0);  // scheduling still happens after flush
+}
+
+TEST(ExecutorDeterminism, ParallelGroupingMatchesSequentialReference)
+{
+    // The parallel classify/histogram/scatter in group_rows must
+    // reproduce the sequential stable grouping (each group segment sorted
+    // by row index) for every thread count.
+    const auto policy =
+        core::GroupingPolicy::symbolic(sim::DeviceSpec::pascal_p100());
+    constexpr index_t kRows = 30000;  // large enough for several chunks
+    gen::Pcg32 rng(97);
+    std::vector<index_t> counts(to_size(kRows));
+    for (auto& c : counts) {
+        // Skewed: mostly tiny rows, occasional huge ones (like SpGEMM).
+        const auto r = rng.bounded(100);
+        c = r < 90 ? to_index(rng.bounded(33)) : to_index(rng.bounded(40000));
+    }
+
+    // Host reference: stable counting sort by group id.
+    const auto n_groups = to_index(policy.groups.size());
+    std::vector<index_t> ref_offsets(to_size(n_groups) + 1, 0);
+    std::vector<index_t> ref_perm;
+    ref_perm.reserve(to_size(kRows));
+    for (index_t g = 0; g < n_groups; ++g) {
+        index_t n = 0;
+        for (index_t r = 0; r < kRows; ++r) {
+            if (policy.group_of(counts[to_size(r)]) == g) {
+                ++n;
+            }
+        }
+        ref_offsets[to_size(g) + 1] = ref_offsets[to_size(g)] + n;
+    }
+    for (index_t g = 0; g < n_groups; ++g) {
+        for (index_t r = 0; r < kRows; ++r) {
+            if (policy.group_of(counts[to_size(r)]) == g) { ref_perm.push_back(r); }
+        }
+    }
+
+    const int hw = sim::BlockExecutor::resolve_threads(0);
+    for (const int threads : {1, 2, kParallel, hw}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        sim::Device dev = p100();
+        dev.set_executor_threads(threads);
+        sim::DeviceBuffer<index_t> dcounts(dev.allocator(), counts);
+        const auto grouped = core::group_rows(dev, policy, dcounts);
+        ASSERT_EQ(grouped.offsets, ref_offsets);
+        ASSERT_EQ(grouped.permutation.size(), ref_perm.size());
+        for (std::size_t i = 0; i < ref_perm.size(); ++i) {
+            ASSERT_EQ(grouped.permutation[i], ref_perm[i]) << "position " << i;
+        }
+    }
 }
 
 }  // namespace

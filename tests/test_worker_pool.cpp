@@ -1,0 +1,222 @@
+// The persistent worker pool under the execution engine: task execution,
+// growth/clamping, drain-on-shutdown ordering, caller help, and the
+// executor's lowest-block-index exception contract on top of it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/worker_pool.hpp"
+
+namespace nsparse::sim {
+namespace {
+
+TEST(Completion, SetWaitDone)
+{
+    Completion c;
+    EXPECT_FALSE(c.done());
+    EXPECT_FALSE(c.wait_for_ms(1));
+    c.set();
+    EXPECT_TRUE(c.done());
+    c.wait();  // must not block after set
+    EXPECT_TRUE(c.wait_for_ms(1));
+}
+
+TEST(WorkerPool, ExecutesSubmittedTasks)
+{
+    WorkerPool pool(2);
+    EXPECT_EQ(pool.workers(), 2);
+
+    constexpr int kTasks = 64;
+    std::atomic<int> counter{0};
+    Completion done;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&] {
+            if (counter.fetch_add(1, std::memory_order_acq_rel) + 1 == kTasks) { done.set(); }
+        });
+    }
+    pool.wait(done);
+    EXPECT_EQ(counter.load(), kTasks);
+    EXPECT_GE(pool.tasks_executed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(WorkerPool, ShutdownDrainsQueuedTasksThenJoins)
+{
+    std::atomic<int> counter{0};
+    {
+        WorkerPool pool(1);
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&] {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                counter.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        // Destructor: queued tasks all run before the workers exit.
+    }
+    EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(WorkerPool, EnsureWorkersGrowsButNeverShrinks)
+{
+    WorkerPool pool(0);
+    EXPECT_EQ(pool.workers(), 0);
+    pool.ensure_workers(3);
+    EXPECT_EQ(pool.workers(), 3);
+    pool.ensure_workers(2);  // never shrinks
+    EXPECT_EQ(pool.workers(), 3);
+    pool.ensure_workers(-7);  // absurd requests are a no-op
+    EXPECT_EQ(pool.workers(), 3);
+}
+
+TEST(WorkerPool, CallerHelpsWhenWorkersAreBusy)
+{
+    WorkerPool pool(1);
+    Completion gate;   // holds the only worker hostage
+    Completion parked; // the hostage task reached the gate
+    pool.submit([&] {
+        parked.set();
+        gate.wait();
+    });
+    parked.wait();
+
+    constexpr int kTasks = 16;
+    std::atomic<int> counter{0};
+    Completion done;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&] {
+            if (counter.fetch_add(1, std::memory_order_acq_rel) + 1 == kTasks) { done.set(); }
+        });
+    }
+    // The only worker is blocked: wait() must run the tasks on this thread.
+    pool.wait(done);
+    EXPECT_EQ(counter.load(), kTasks);
+    gate.set();
+}
+
+TEST(WorkerPool, ProcessPoolIsPersistentAcrossLaunches)
+{
+    auto& pool = WorkerPool::instance();
+    EXPECT_EQ(&pool, &WorkerPool::instance());
+
+    Device dev(DeviceSpec::pascal_p100());
+    dev.set_executor_threads(4);
+    const auto executed_before = pool.tasks_executed();
+    for (int i = 0; i < 3; ++i) {
+        dev.launch(dev.default_stream(), {64, 64, 0}, "warm",
+                   [](BlockCtx& blk) { blk.int_ops(64, 1.0); });
+    }
+    dev.synchronize();
+    // The launches ran as pool tasks on persistent workers — no
+    // per-launch thread spawn.
+    EXPECT_GE(pool.workers(), 3);
+    EXPECT_GT(pool.tasks_executed(), executed_before);
+}
+
+TEST(WorkerPool, ResolveThreadsClampsAbsurdRequests)
+{
+    EXPECT_EQ(BlockExecutor::resolve_threads(1), 1);
+    EXPECT_EQ(BlockExecutor::resolve_threads(7), 7);
+    EXPECT_GE(BlockExecutor::resolve_threads(0), 1);
+    // Negative resolves like the default (all hardware threads).
+    EXPECT_EQ(BlockExecutor::resolve_threads(-3), BlockExecutor::resolve_threads(0));
+    // Huge requests clamp to the pool ceiling.
+    EXPECT_EQ(BlockExecutor::resolve_threads(1 << 20), WorkerPool::kMaxWorkers);
+    EXPECT_EQ(BlockExecutor::resolve_threads(WorkerPool::kMaxWorkers),
+              WorkerPool::kMaxWorkers);
+}
+
+TEST(WorkerPool, HelpingWaitNeverStealsBlockingTasks)
+{
+    // Regression: two chained stream launches on one worker. Launch B1
+    // helps while waiting out its own leaf chunks; if that help could
+    // steal the queued successor B2 (which blocks on B1's completion),
+    // B1's stack would wait on itself. The bench deadlocked exactly this
+    // way with executor_threads=2. The kind split makes the schedule
+    // deterministic: helping runs leaf tasks only.
+    WorkerPool pool(1);
+    Completion parked;
+    Completion go;
+    Completion b1_done;
+    Completion b2_done;
+    pool.submit(
+        [&] {
+            parked.set();
+            go.wait();
+        },
+        WorkerPool::TaskKind::blocking);
+    parked.wait();  // both stream tasks below enqueue behind the park
+
+    pool.submit(
+        [&] {
+            Completion leaf_done;
+            pool.submit([&] { leaf_done.set(); });
+            pool.wait(leaf_done);  // must not steal B2 from the queue
+            b1_done.set();
+        },
+        WorkerPool::TaskKind::blocking);
+    pool.submit(
+        [&] {
+            b1_done.wait();
+            b2_done.set();
+        },
+        WorkerPool::TaskKind::blocking);
+
+    go.set();
+    pool.wait(b2_done);
+    EXPECT_TRUE(b1_done.done());
+}
+
+TEST(WorkerPool, ExceptionPropagationStillLowestBlockIndex)
+{
+    // The executor's contract on top of the pool: several blocks fail,
+    // the surfaced error is deterministically the lowest block index.
+    const LaunchConfig cfg{200, 64, 0};
+    const CostModel cost;
+    std::vector<BlockCost> blocks(200);
+    try {
+        BlockExecutor::run(cfg, cost, 4, blocks, [](BlockCtx& blk) {
+            const auto b = blk.block_idx();
+            if (b == 41 || b == 77 || b == 199) {
+                throw std::runtime_error("block " + std::to_string(b) + " failed");
+            }
+        });
+        FAIL() << "run must rethrow the functor's exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "block 41 failed");
+    }
+}
+
+TEST(WorkerPool, ParallelChunksCoversRangeOnce)
+{
+    constexpr std::int64_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    parallel_chunks(kN, 4, [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+    }
+}
+
+TEST(WorkerPool, ParallelChunksLowestChunkExceptionWins)
+{
+    try {
+        parallel_chunks(1000, 4, [](int c, std::int64_t, std::int64_t) {
+            if (c >= 1) { throw std::runtime_error("chunk " + std::to_string(c)); }
+        });
+        FAIL() << "parallel_chunks must rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk 1");
+    }
+}
+
+}  // namespace
+}  // namespace nsparse::sim
