@@ -1,0 +1,200 @@
+// Batched-SpGEMM throughput: a 64-product small-matrix suite run through
+// core::spgemm_batch (one device, pooled scratch, wave overlap) versus the
+// loop-of-singles reference (fresh device + sequential schedule per
+// product, baselines/batch_reference.hpp). The paper's simulated-seconds
+// metric decides: batching must never be slower, and the win decomposes
+// into (a) overlapped wave makespans (§III-B lifted to whole products) and
+// (b) pooled scratch skipping repeated cudaMalloc (§IV-C). Batched results
+// are asserted byte-identical to the singles and bit-identical across
+// executor thread counts; emits BENCH_batch_throughput.json.
+//
+//   bench_batch [--smoke] [--out FILE]
+//
+// --smoke (or NSPARSE_BATCH_SMOKE=1) shrinks the suite to 8 products so
+// the `perf-smoke` ctest label finishes in seconds.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/batch_reference.hpp"
+#include "common.hpp"
+#include "core/spgemm_batch.hpp"
+#include "matgen/generators.hpp"
+
+namespace {
+
+using nsparse::CsrMatrix;
+
+nsparse::sim::Device make_device() { return nsparse::bench::make_device(1.0); }
+
+bool same_batched_results(const nsparse::core::SpgemmBatchOutput<double>& ref,
+                          const nsparse::core::SpgemmBatchOutput<double>& got,
+                          const char* what)
+{
+    if (ref.items.size() != got.items.size() || ref.stats.seconds != got.stats.seconds ||
+        ref.stats.makespan_seconds != got.stats.makespan_seconds ||
+        ref.stats.peak_bytes != got.stats.peak_bytes ||
+        ref.stats.scratch_hits != got.stats.scratch_hits) {
+        std::fprintf(stderr, "FAIL: batch roll-up diverged (%s): %.17g vs %.17g s\n", what,
+                     ref.stats.seconds, got.stats.seconds);
+        return false;
+    }
+    for (std::size_t k = 0; k < ref.items.size(); ++k) {
+        if (!(ref.items[k].out.matrix == got.items[k].out.matrix)) {
+            std::fprintf(stderr, "FAIL: product %zu diverged (%s)\n", k, what);
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace nsparse;
+
+    bool smoke = false;
+    std::string out_path = "BENCH_batch_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) { smoke = true; }
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) { out_path = argv[++i]; }
+    }
+    if (const char* env = std::getenv("NSPARSE_BATCH_SMOKE");
+        env != nullptr && *env != '\0' && *env != '0') {
+        smoke = true;
+    }
+
+    // 64 small products (the regime batching targets: each product leaves
+    // most of the device idle); mixed sizes exercise the pool's exact-size
+    // matching without letting it degenerate to all-hits.
+    const int products = smoke ? 8 : 64;
+    constexpr index_t kSizes[] = {256, 320, 384, 448};
+    std::vector<CsrMatrix<double>> store;
+    store.reserve(static_cast<std::size_t>(products));
+    std::vector<const CsrMatrix<double>*> as;
+    std::vector<const CsrMatrix<double>*> bs;
+    for (int k = 0; k < products; ++k) {
+        const index_t n = kSizes[static_cast<std::size_t>(k) % 4];
+        store.push_back(gen::uniform_random(n, n, 8, 20170814U + static_cast<unsigned>(k)));
+    }
+    for (const auto& m : store) {
+        as.push_back(&m);
+        bs.push_back(&m);
+    }
+
+    std::printf("batch-throughput: %d products%s\n\n", products, smoke ? " [smoke]" : "");
+
+    // Loop of singles: fresh device per product, no pooling, no overlap.
+    const auto singles_t0 = std::chrono::steady_clock::now();
+    const auto singles = baseline::batch_reference<double>(make_device, as, bs);
+    const std::chrono::duration<double> singles_wall =
+        std::chrono::steady_clock::now() - singles_t0;
+    if (singles.failed != 0) {
+        std::fprintf(stderr, "loop-of-singles failed %d product(s)\n", singles.failed);
+        return 1;
+    }
+    wide_t total_products = 0;
+    for (const auto& item : singles.items) {
+        total_products += item.out.stats.intermediate_products;
+    }
+    const double singles_gflops =
+        singles.total_seconds > 0.0
+            ? 2.0 * static_cast<double>(total_products) / singles.total_seconds / 1e9
+            : 0.0;
+
+    // Batched: one device; determinism asserted across executor thread
+    // counts (results and roll-up bit-identical — only wall-clock moves).
+    bool ok = true;
+    core::SpgemmBatchOutput<double> batched;
+    double batched_wall = 0.0;
+    for (const int threads : {1, 2}) {
+        core::Options opt;
+        opt.executor_threads = threads;
+        sim::Device dev = make_device();
+        const auto t0 = std::chrono::steady_clock::now();
+        auto got = core::spgemm_batch<double>(dev, as, bs, opt);
+        const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - t0;
+        if (got.stats.failed != 0) {
+            std::fprintf(stderr, "batched run failed %d product(s)\n", got.stats.failed);
+            return 1;
+        }
+        if (threads == 1) {
+            batched = std::move(got);
+            batched_wall = wall.count();
+        } else {
+            ok = same_batched_results(batched, got, "threads 2 vs 1") && ok;
+        }
+    }
+    for (std::size_t k = 0; k < as.size(); ++k) {
+        if (!(batched.items[k].out.matrix == singles.items[k].out.matrix)) {
+            std::fprintf(stderr, "FAIL: batched product %zu differs from its single call\n", k);
+            ok = false;
+        }
+    }
+
+    const double speedup = batched.stats.seconds > 0.0
+                               ? singles.total_seconds / batched.stats.seconds
+                               : 0.0;
+    int busy_streams = 0;
+    for (const auto& s : batched.stats.stream_occupancy) {
+        if (s.busy_seconds > 0.0) { ++busy_streams; }
+    }
+
+    std::printf("%-22s %14s %14s %10s\n", "", "simulated [s]", "gflops", "wall [s]");
+    std::printf("%-22s %14.6f %14.3f %10.3f\n", "loop of singles", singles.total_seconds,
+                singles_gflops, singles_wall.count());
+    std::printf("%-22s %14.6f %14.3f %10.3f\n", "batched", batched.stats.seconds,
+                batched.stats.gflops(), batched_wall);
+    std::printf("\nspeedup (simulated): %.2fx   waves: %d   busy streams: %d\n", speedup,
+                batched.stats.waves, busy_streams);
+    std::printf("scratch pool: %llu hit(s), %llu miss(es); malloc %.6f s vs %.6f s singles\n",
+                static_cast<unsigned long long>(batched.stats.scratch_hits),
+                static_cast<unsigned long long>(batched.stats.scratch_misses),
+                batched.stats.malloc_seconds, [&] {
+                    double s = 0.0;
+                    for (const auto& item : singles.items) {
+                        s += item.out.stats.malloc_seconds;
+                    }
+                    return s;
+                }());
+
+    if (speedup < 1.0) {
+        std::fprintf(stderr, "FAIL: batched slower than loop of singles (%.3fx)\n", speedup);
+        ok = false;
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"batch_throughput\",\n  \"workload\": \"%s\",\n",
+                 smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"products\": %d,\n  \"determinism_ok\": %s,\n", products,
+                 ok ? "true" : "false");
+    std::fprintf(f, "  \"singles_simulated_seconds\": %.9f,\n", singles.total_seconds);
+    std::fprintf(f, "  \"batched_simulated_seconds\": %.9f,\n", batched.stats.seconds);
+    std::fprintf(f, "  \"batched_makespan_seconds\": %.9f,\n", batched.stats.makespan_seconds);
+    std::fprintf(f, "  \"speedup_vs_singles\": %.3f,\n", speedup);
+    std::fprintf(f, "  \"singles_gflops\": %.3f,\n  \"batched_gflops\": %.3f,\n",
+                 singles_gflops, batched.stats.gflops());
+    std::fprintf(f, "  \"waves\": %d,\n  \"busy_streams\": %d,\n", batched.stats.waves,
+                 busy_streams);
+    std::fprintf(f, "  \"scratch_hits\": %llu,\n  \"scratch_misses\": %llu,\n",
+                 static_cast<unsigned long long>(batched.stats.scratch_hits),
+                 static_cast<unsigned long long>(batched.stats.scratch_misses));
+    std::fprintf(f, "  \"batched_wall_seconds\": %.6f,\n  \"singles_wall_seconds\": %.6f\n",
+                 batched_wall, singles_wall.count());
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!ok) {
+        std::fprintf(stderr, "batch-throughput FAILED\n");
+        return 1;
+    }
+    return 0;
+}

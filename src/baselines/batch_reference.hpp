@@ -1,0 +1,76 @@
+// Loop-of-singles batch reference: multiplies each product with an
+// independent hash_spgemm call on a FRESH device, exactly as a caller
+// without the batched API would. This is the differential oracle for the
+// batch test battery (core::spgemm_batch must match it byte for byte,
+// product by product) and the "no batching" side of bench_batch — it pays
+// a full allocator lifecycle and sequential schedule per product, which is
+// precisely the overhead spgemm_batch amortizes.
+#pragma once
+
+#include <exception>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "gpusim/algorithm.hpp"
+
+namespace nsparse::baseline {
+
+template <ValueType T>
+struct BatchReferenceItem {
+    SpgemmOutput<T> out;
+    std::exception_ptr error;   ///< null when the product succeeded
+    std::string error_message;  ///< what() of the captured error
+    [[nodiscard]] bool ok() const { return error == nullptr; }
+};
+
+template <ValueType T>
+struct BatchReferenceOutput {
+    std::vector<BatchReferenceItem<T>> items;
+    double total_seconds = 0.0;  ///< summed per-product simulated seconds
+    int failed = 0;
+};
+
+/// Runs hash_spgemm per product on its own device built by `make_device`
+/// (e.g. []{ return sim::Device(sim::DeviceSpec::pascal_p100()); }), so
+/// products share nothing — no scratch pool, no overlap, fresh peak/
+/// timeline per product. Errors are captured per item like spgemm_batch's
+/// contained mode, making the two outputs directly comparable.
+template <ValueType T, typename MakeDevice>
+BatchReferenceOutput<T> batch_reference(MakeDevice&& make_device,
+                                        std::span<const CsrMatrix<T>* const> as,
+                                        std::span<const CsrMatrix<T>* const> bs,
+                                        const core::Options& opt = {})
+{
+    NSPARSE_EXPECTS(as.size() == bs.size(), "batch A and B lists must have equal length");
+    BatchReferenceOutput<T> ref;
+    ref.items.resize(as.size());
+    for (std::size_t k = 0; k < as.size(); ++k) {
+        auto& slot = ref.items[k];
+        try {
+            sim::Device dev = make_device();
+            slot.out = hash_spgemm<T>(dev, *as[k], *bs[k], opt);
+            ref.total_seconds += slot.out.stats.seconds;
+        } catch (const Error& e) {
+            slot.error = std::current_exception();
+            slot.error_message = e.what();
+            ++ref.failed;
+        }
+    }
+    return ref;
+}
+
+/// Convenience overload for pointer vectors.
+template <ValueType T, typename MakeDevice>
+BatchReferenceOutput<T> batch_reference(MakeDevice&& make_device,
+                                        const std::vector<const CsrMatrix<T>*>& as,
+                                        const std::vector<const CsrMatrix<T>*>& bs,
+                                        const core::Options& opt = {})
+{
+    return batch_reference<T>(static_cast<MakeDevice&&>(make_device),
+                              std::span<const CsrMatrix<T>* const>(as),
+                              std::span<const CsrMatrix<T>* const>(bs), opt);
+}
+
+}  // namespace nsparse::baseline

@@ -5,6 +5,7 @@
 
 #include "core/hash_table.hpp"
 #include "gpusim/executor.hpp"
+#include "gpusim/scratch_pool.hpp"
 #include "gpusim/worker_pool.hpp"
 
 namespace nsparse::core {
@@ -173,7 +174,16 @@ GroupedRows group_rows(sim::Device& dev, const GroupingPolicy& policy,
     // by row index — exactly the sequential (stable) permutation, for any
     // chunk count. The kernel below charges the cost the GPU scatter
     // would incur.
-    out.permutation = sim::DeviceBuffer<index_t>(dev.allocator(), to_size(rows));
+    // The permutation is the algorithm's only sizeable grouping scratch
+    // (§III-A); under batched execution it is taken from the device's
+    // scratch pool so same-shape products reuse the allocation instead of
+    // paying cudaMalloc per product. Stale contents are fine: the scatter
+    // below writes every element.
+    if (auto* pool = dev.scratch_pool()) {
+        out.permutation = pool->take("grouping_perm", dev.allocator(), to_size(rows));
+    } else {
+        out.permutation = sim::DeviceBuffer<index_t>(dev.allocator(), to_size(rows));
+    }
     {
         std::vector<std::vector<index_t>> cursor(to_size(chunks));
         std::vector<index_t> running(out.offsets.begin(), out.offsets.end() - 1);

@@ -67,6 +67,29 @@ struct Options {
     /// Out-of-range entries are ignored; retries are never injected.
     std::vector<index_t> inject_symbolic_row_faults;
     std::vector<index_t> inject_numeric_row_faults;
+
+    // ---- batched execution (core::spgemm_batch) ----
+
+    /// Products scheduled concurrently per batch wave: each product in a
+    /// wave issues on a private simulated stream and the wave's kernels
+    /// are scheduled as one window, so independent products overlap like
+    /// the per-group streams of §III-B do within one product. 1 =
+    /// sequential batched execution (still pools scratch); values < 1 are
+    /// treated as 1. Results are bit-identical for every value — only the
+    /// simulated timing changes.
+    int batch_streams = 4;
+
+    /// Reuse grouping/product/row-nnz scratch buffers across the batch's
+    /// products (sim::ScratchPool): exact-size re-takes skip the simulated
+    /// cudaMalloc that §IV-C identifies as considerable on Pascal. Pooled
+    /// buffers stay live between products; the pool is dropped (and its
+    /// memory released) before any OOM slab retry and at batch end.
+    bool batch_scratch_reuse = true;
+
+    /// Rethrow the first failing product's error (lowest product index)
+    /// instead of recording it in that product's result slot and
+    /// continuing with the remaining products.
+    bool batch_fail_fast = false;
 };
 
 }  // namespace nsparse::core

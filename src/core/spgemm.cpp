@@ -1,235 +1,11 @@
 #include "core/spgemm.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <numeric>
+#include <utility>
 
-#include "core/grouping.hpp"
-#include "core/memory_estimator.hpp"
-#include "core/numeric.hpp"
-#include "core/symbolic.hpp"
-#include "gpusim/device_csr.hpp"
-#include "sparse/csr_ops.hpp"
+#include "core/spgemm_impl.hpp"
 #include "sparse/validate.hpp"
 
 namespace nsparse {
-
-namespace {
-
-/// Kernel (1): per-row intermediate-product counts (paper Algorithm 2).
-template <ValueType T>
-sim::DeviceBuffer<index_t> count_products(sim::Device& dev, const sim::DeviceCsr<T>& a,
-                                          const sim::DeviceCsr<T>& b)
-{
-    sim::DeviceBuffer<index_t> products(dev.allocator(), to_size(a.rows));
-    constexpr int kBlock = 256;
-    const index_t grid = a.rows == 0 ? 0 : (a.rows + kBlock - 1) / kBlock;
-    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "count_products",
-               [&](sim::BlockCtx& blk) {
-                   const index_t begin = blk.block_idx() * kBlock;
-                   const index_t end = std::min(a.rows, begin + kBlock);
-                   double nnz_seen = 0.0;
-                   for (index_t i = begin; i < end; ++i) {
-                       wide_t n = 0;
-                       for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
-                           const index_t d = a.col[to_size(j)];
-                           n += b.rpt[to_size(d) + 1] - b.rpt[to_size(d)];
-                       }
-                       products[to_size(i)] = to_index(n);
-                       nnz_seen += static_cast<double>(a.row_nnz(i));
-                   }
-                   const int lanes = static_cast<int>(end - begin);
-                   if (lanes <= 0) { return; }
-                   const auto& m = blk.model();
-                   // per row: rptA pair; per nonzero: colA + rptB pair
-                   blk.global_read(lanes, 2 * sizeof(index_t), sim::MemPattern::kCoalesced);
-                   blk.charge_work_span(
-                       nnz_seen * (m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced) +
-                                   m.global_cost(2 * sizeof(index_t), sim::MemPattern::kRandom)),
-                       nnz_seen / lanes *
-                           (m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced) +
-                            m.global_cost(2 * sizeof(index_t), sim::MemPattern::kRandom)));
-                   blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
-               });
-    dev.synchronize();
-    return products;
-}
-
-/// Kernel (4): exclusive scan of the per-row nnz into row pointers.
-/// Functionally done host-side; charged as a device scan.
-void scan_row_pointers(sim::Device& dev, const sim::DeviceBuffer<index_t>& row_nnz,
-                       std::vector<index_t>& rpt)
-{
-    const auto rows = to_index(row_nnz.size());
-    rpt.assign(to_size(rows) + 1, 0);
-    // Accumulate in wide_t: nnz(C) can exceed 32 bits even when every row
-    // fits (the large-graph workloads of Table III). Overflow must fail
-    // loudly, not wrap into negative row pointers.
-    wide_t running = 0;
-    for (index_t i = 0; i < rows; ++i) {
-        running += row_nnz[to_size(i)];
-        NSPARSE_ENSURES(running <= std::numeric_limits<index_t>::max(),
-                        "nnz(C) exceeds the 32-bit index range: the output row pointers "
-                        "cannot be represented (rebuild with a wider index_t)");
-        rpt[to_size(i) + 1] = static_cast<index_t>(running);
-    }
-    constexpr int kBlock = 256;
-    const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;
-    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "scan_rpt", [&](sim::BlockCtx& blk) {
-        const index_t begin = blk.block_idx() * kBlock;
-        const int lanes = static_cast<int>(std::min(rows, begin + kBlock) - begin);
-        if (lanes <= 0) { return; }
-        blk.global_read(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
-        blk.shared_op(lanes, 16.0);  // log-depth block scan
-        blk.global_write(lanes, sizeof(index_t), sim::MemPattern::kCoalesced);
-    });
-    dev.synchronize();
-}
-
-/// Matrix + per-row product total of one multiply attempt.
-template <ValueType T>
-struct MultiplyResult {
-    CsrMatrix<T> matrix;
-    wide_t products = 0;
-};
-
-/// One full multiply (the paper's unchunked algorithm). Throws
-/// DeviceOutOfMemory when any allocation fails; every device-side
-/// temporary is released by RAII during unwinding, so the allocator's
-/// live bytes return to their pre-call value on both paths. Timing stats
-/// are snapshot while C is still device-resident — the final free is not
-/// part of the measured multiply, matching the other engines.
-template <ValueType T>
-MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                   const core::Options& opt, SpgemmStats& stats)
-{
-    MultiplyResult<T> out;
-    sim::DeviceCsr<T> c;
-    wide_t total_products = 0;
-
-    {
-        // ---- setup: upload, count products (1), group rows (2) ----
-        auto phase = dev.phase_scope("setup");
-        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
-        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
-        auto products = count_products(dev, da, db);
-        for (std::size_t i = 0; i < products.size(); ++i) { total_products += products[i]; }
-
-        const auto sym_policy =
-            core::GroupingPolicy::symbolic(dev.spec(), opt.pwarp_width, opt.use_pwarp);
-        const auto sym_groups = core::group_rows(dev, sym_policy, products);
-
-        sim::DeviceBuffer<index_t> row_nnz(dev.allocator(), to_size(a.rows));
-        row_nnz.fill(0);
-
-        {
-            // ---- count: symbolic phase (3) ----
-            auto count_phase = dev.phase_scope("count");
-            const core::PhaseFaults pf =
-                core::symbolic_phase(dev, da, db, sym_policy, sym_groups, products, row_nnz,
-                                     opt);
-            stats.faulted_rows += pf.faulted_rows;
-            stats.row_retries += pf.row_retries;
-            stats.host_fallback_rows += pf.host_fallback_rows;
-        }
-
-        // ---- row pointers (4) + output allocation (5) ----
-        std::vector<index_t> rpt;
-        {
-            auto count_phase = dev.phase_scope("count");
-            scan_row_pointers(dev, row_nnz, rpt);
-        }
-        const index_t nnz_c = rpt.back();
-        c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, nnz_c);
-        std::copy(rpt.begin(), rpt.end(), c.rpt.data());
-
-        // ---- regroup by output nnz (6) ----
-        const auto num_policy = core::GroupingPolicy::numeric(dev.spec(), sizeof(T),
-                                                              opt.pwarp_width, opt.use_pwarp);
-        const auto num_groups = core::group_rows(dev, num_policy, row_nnz);
-
-        {
-            // ---- calc: numeric phase (7) ----
-            auto calc_phase = dev.phase_scope("calc");
-            const core::PhaseFaults pf =
-                core::numeric_phase(dev, da, db, num_policy, num_groups, row_nnz, c, opt);
-            stats.faulted_rows += pf.faulted_rows;
-            stats.row_retries += pf.row_retries;
-            stats.host_fallback_rows += pf.host_fallback_rows;
-        }
-    }
-
-    out.matrix = c.download();
-    out.products = total_products;
-    fill_stats_from_device(stats, dev);
-    return out;
-}
-
-/// Row-slab degradation: multiplies k contiguous row slabs of A against B
-/// and assembles C host-side, halving the slab size (bounded by
-/// opt.max_slab_retries) whenever a slab itself runs out of memory. The
-/// assembled C is bit-identical to the unchunked result because every
-/// output row is a function of its A row and B alone.
-template <ValueType T>
-MultiplyResult<T> multiply_slabbed(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                   const core::Options& opt, std::size_t live_floor,
-                                   SpgemmStats& stats)
-{
-    auto& alloc = dev.allocator();
-    const std::size_t budget =
-        alloc.capacity() > live_floor ? alloc.capacity() - live_floor : 0;
-    index_t slabs = core::plan_row_slabs(a, b, budget, dev.spec());
-    if (slabs == 0) {
-        throw DeviceOutOfMemory("device out of memory: B (" + std::to_string(b.byte_size()) +
-                                    " B) alone exceeds the free capacity (" +
-                                    std::to_string(budget) + " B); row slabbing cannot help",
-                                /*slab_level=*/std::max(opt.force_slabs, 1),
-                                /*retry_depth=*/0);
-    }
-    // Entered after an OOM (or forced): one slab would just repeat the
-    // failed attempt, so degrade to at least two.
-    slabs = std::max<index_t>({slabs, 2, opt.force_slabs});
-
-    MultiplyResult<T> res;
-    res.matrix.rows = 0;
-    res.matrix.cols = b.cols;
-    index_t slab_rows = std::max<index_t>(1, (a.rows + slabs - 1) / slabs);
-    index_t row0 = 0;
-    int retries = 0;
-    int done = 0;
-    while (row0 < a.rows) {
-        const index_t r1 = std::min<index_t>(a.rows, row0 + slab_rows);
-        try {
-            auto part = multiply_attempt(dev, slice_rows(a, row0, r1), b, opt, stats);
-            append_rows(res.matrix, part.matrix);
-            res.products += part.products;
-            row0 = r1;
-            ++done;
-        } catch (const DeviceOutOfMemory&) {
-            const index_t level = (a.rows + slab_rows - 1) / slab_rows;
-            if (slab_rows <= 1 || retries >= opt.max_slab_retries) {
-                throw DeviceOutOfMemory(
-                    "device out of memory despite row-slab fallback: slab of " +
-                        std::to_string(slab_rows) + " row(s) still does not fit after " +
-                        std::to_string(retries) + " slab halvings (capacity " +
-                        std::to_string(alloc.capacity()) + " B)",
-                    static_cast<int>(level), retries);
-            }
-            ++retries;
-            slab_rows = std::max<index_t>(1, slab_rows / 2);
-            const std::size_t at_oom = alloc.last_oom_live_bytes();
-            dev.record_memory_event("slab_retry",
-                                    at_oom > live_floor ? at_oom - live_floor : 0,
-                                    static_cast<int>((a.rows + slab_rows - 1) / slab_rows),
-                                    retries);
-        }
-    }
-    stats.fallback_slabs = done;
-    stats.fallback_retries = retries;
-    return res;
-}
-
-}  // namespace
 
 template <ValueType T>
 SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
@@ -242,12 +18,12 @@ SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMa
     const std::size_t live_floor = dev.allocator().live_bytes();
 
     SpgemmOutput<T> out;
-    MultiplyResult<T> res;
+    core::detail::MultiplyResult<T> res;
     if (opt.force_slabs > 0) {
-        res = multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
+        res = core::detail::multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
     } else {
         try {
-            res = multiply_attempt(dev, a, b, opt, out.stats);
+            res = core::detail::multiply_attempt(dev, a, b, opt, out.stats);
         } catch (const DeviceOutOfMemory&) {
             if (!opt.slab_fallback) { throw; }
             // The unwind above released every attempt-local buffer; record
@@ -261,7 +37,7 @@ SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMa
             out.stats.faulted_rows = 0;
             out.stats.row_retries = 0;
             out.stats.host_fallback_rows = 0;
-            res = multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
+            res = core::detail::multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
         }
     }
     // Timing stats were snapshot by the last multiply_attempt while its

@@ -1,0 +1,207 @@
+#include "core/spgemm_batch.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "core/spgemm_impl.hpp"
+#include "gpusim/scratch_pool.hpp"
+#include "sparse/validate.hpp"
+
+namespace nsparse::core {
+
+namespace {
+
+/// Leaves the device usable no matter how spgemm_batch exits: closes a
+/// still-open capture window (swallowing straggler errors — the primary
+/// exception already unwinding wins) and detaches the stack-local pool.
+struct BatchScopeGuard {
+    sim::Device& dev;
+    ~BatchScopeGuard()
+    {
+        if (dev.batch_capture_active()) {
+            try {
+                dev.end_batch_capture();
+            } catch (...) {  // NOLINT(bugprone-empty-catch)
+            }
+        }
+        dev.set_scratch_pool(nullptr);
+    }
+};
+
+std::string product_prefix(std::size_t k) { return "batch product " + std::to_string(k) + ": "; }
+
+}  // namespace
+
+template <ValueType T>
+SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>* const> as,
+                                  std::span<const CsrMatrix<T>* const> bs,
+                                  const core::Options& opt)
+{
+    NSPARSE_EXPECTS(as.size() == bs.size(), "batch A and B lists must have equal length");
+    const std::size_t n = as.size();
+
+    // Validate every product before any kernel runs: a malformed batch is
+    // a caller error and fails as a whole, naming the offending product.
+    for (std::size_t k = 0; k < n; ++k) {
+        if (as[k] == nullptr || bs[k] == nullptr) {
+            throw PreconditionError(product_prefix(k) + "null matrix pointer",
+                                    "non_null_inputs");
+        }
+        if (opt.validate_inputs) {
+            try {
+                validate_spgemm_inputs(*as[k], *bs[k]);
+            } catch (const PreconditionError& e) {
+                throw PreconditionError(product_prefix(k) + e.what(), e.invariant());
+            }
+        }
+        if (as[k]->cols != bs[k]->rows) {
+            throw PreconditionError(product_prefix(k) + "inner dimensions must agree (A is " +
+                                        std::to_string(as[k]->rows) + "x" +
+                                        std::to_string(as[k]->cols) + ", B is " +
+                                        std::to_string(bs[k]->rows) + "x" +
+                                        std::to_string(bs[k]->cols) + ")",
+                                    "inner_dims_agree");
+        }
+    }
+
+    dev.set_executor_threads(opt.executor_threads);
+    dev.reset_measurement();
+
+    SpgemmBatchOutput<T> out;
+    out.items.resize(n);
+    out.stats.products = static_cast<int>(n);
+    if (n == 0) { return out; }
+
+    sim::ScratchPool pool;
+    BatchScopeGuard guard{dev};
+    if (opt.batch_scratch_reuse) { dev.set_scratch_pool(&pool); }
+
+    const std::size_t wave = static_cast<std::size_t>(std::max(1, opt.batch_streams));
+    std::map<int, sim::BatchStreamUsage> stream_usage;
+    double makespan_total = 0.0;
+
+    for (std::size_t w0 = 0; w0 < n; w0 += wave) {
+        const std::size_t w1 = std::min(n, w0 + wave);
+        ++out.stats.waves;
+        dev.begin_batch_capture();
+        // Host issue order inside the wave is sequential and fixed, so
+        // the functional results — and every counter folded at the flush
+        // joins — are bit-identical for any thread count; only the
+        // window's simulated schedule overlaps the products.
+        for (std::size_t k = w0; k < w1; ++k) {
+            dev.set_batch_item(static_cast<int>(k));
+            dev.allocator().reset_peak();
+            const std::size_t live_floor = dev.allocator().live_bytes();
+            const double malloc0 = dev.malloc_seconds();
+            auto& slot = out.items[k];
+            try {
+                detail::MultiplyResult<T> res;
+                if (opt.force_slabs > 0) {
+                    res = detail::multiply_slabbed(dev, *as[k], *bs[k], opt, live_floor,
+                                                   slot.out.stats);
+                } else {
+                    try {
+                        res = detail::multiply_attempt(dev, *as[k], *bs[k], opt,
+                                                       slot.out.stats);
+                    } catch (const DeviceOutOfMemory&) {
+                        if (!opt.slab_fallback) { throw; }
+                        const std::size_t at_oom = dev.allocator().last_oom_live_bytes();
+                        const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
+                        slot.out.stats.fallback_bytes_freed = freed;
+                        dev.record_memory_event("slab_fallback", freed, 0, 0);
+                        // Fault tallies of the abandoned attempt do not
+                        // describe the slabbed rerun.
+                        slot.out.stats.faulted_rows = 0;
+                        slot.out.stats.row_retries = 0;
+                        slot.out.stats.host_fallback_rows = 0;
+                        // The retry must not compete with pooled scratch
+                        // held for products that already completed.
+                        pool.clear();
+                        res = detail::multiply_slabbed(dev, *as[k], *bs[k], opt, live_floor,
+                                                       slot.out.stats);
+                    }
+                }
+                slot.out.matrix = std::move(res.matrix);
+                slot.out.stats.intermediate_products = res.products;
+                slot.out.stats.nnz_c = slot.out.matrix.nnz();
+                slot.out.stats.peak_bytes = dev.allocator().peak_bytes();
+            } catch (const Error& e) {
+                // Contained failure: this product's slot carries the error,
+                // its neighbours run to completion untouched. Products are
+                // issued in index order, so under batch_fail_fast the first
+                // rethrow is the lowest failing index.
+                slot.error = std::current_exception();
+                slot.error_message = product_prefix(k) + e.what();
+                ++out.stats.failed;
+                if (opt.batch_fail_fast) {
+                    try {
+                        dev.end_batch_capture();
+                    } catch (...) {  // NOLINT(bugprone-empty-catch)
+                        // A straggler launch of the failed product surfaced
+                        // at the closing flush; the primary (lowest-index)
+                        // error wins.
+                    }
+                    std::rethrow_exception(slot.error);
+                }
+            }
+            slot.out.stats.malloc_seconds = dev.malloc_seconds() - malloc0;
+        }
+        const sim::BatchWindowReport report = dev.end_batch_capture();
+        makespan_total += report.makespan;
+        for (const auto& [item, usage] : report.items) {
+            if (item < 0 || static_cast<std::size_t>(item) >= n) { continue; }
+            // The timeline-derived timing fields written during capture are
+            // meaningless (scheduling was deferred); replace them with the
+            // item's share of the window schedule.
+            auto& s = out.items[static_cast<std::size_t>(item)].out.stats;
+            s.setup_seconds = usage.setup_seconds;
+            s.count_seconds = usage.count_seconds;
+            s.calc_seconds = usage.calc_seconds;
+            s.seconds = usage.busy_seconds + s.malloc_seconds;
+        }
+        for (const auto& [sid, usage] : report.streams) {
+            auto& agg = stream_usage[sid];
+            agg.kernels += usage.kernels;
+            agg.busy_seconds += usage.busy_seconds;
+        }
+    }
+
+    // Roll-up (maps are ordered and items accumulate in index order, so
+    // the floating-point sums are deterministic).
+    out.stats.makespan_seconds = makespan_total;
+    out.stats.seconds = dev.elapsed();
+    out.stats.malloc_seconds = dev.malloc_seconds();
+    out.stats.scratch_hits = pool.hits();
+    out.stats.scratch_misses = pool.misses();
+    for (const auto& item : out.items) {
+        const auto& s = item.out.stats;
+        out.stats.total_intermediate_products += s.intermediate_products;
+        out.stats.total_nnz_c += s.nnz_c;
+        out.stats.peak_bytes = std::max(out.stats.peak_bytes, s.peak_bytes);
+        out.stats.fallback_slabs += s.fallback_slabs;
+        out.stats.fallback_retries += s.fallback_retries;
+        out.stats.faulted_rows += s.faulted_rows;
+        out.stats.row_retries += s.row_retries;
+        out.stats.host_fallback_rows += s.host_fallback_rows;
+    }
+    out.stats.stream_occupancy.reserve(stream_usage.size());
+    for (const auto& [sid, usage] : stream_usage) {
+        out.stats.stream_occupancy.push_back(BatchStreamOccupancy{
+            .stream_id = sid,
+            .kernels = usage.kernels,
+            .busy_seconds = usage.busy_seconds,
+            .occupancy = makespan_total > 0.0 ? usage.busy_seconds / makespan_total : 0.0,
+        });
+    }
+    return out;
+}
+
+template SpgemmBatchOutput<float>
+spgemm_batch<float>(sim::Device&, std::span<const CsrMatrix<float>* const>,
+                    std::span<const CsrMatrix<float>* const>, const core::Options&);
+template SpgemmBatchOutput<double>
+spgemm_batch<double>(sim::Device&, std::span<const CsrMatrix<double>* const>,
+                     std::span<const CsrMatrix<double>* const>, const core::Options&);
+
+}  // namespace nsparse::core

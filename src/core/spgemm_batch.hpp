@@ -1,0 +1,134 @@
+// Batched SpGEMM: many independent products C_k = A_k * B_k against ONE
+// simulated device and the process-lifetime worker pool.
+//
+// Rationale: the paper's multi-stream optimisation (§III-B, §V-B x1.3)
+// overlaps the per-group kernels of a single product; a batch of small
+// products leaves even more of the device idle. spgemm_batch lifts the
+// same idea one level up: each product in a wave issues its kernels on a
+// private simulated stream inside a device batch-capture window, the
+// window is scheduled as a whole (independent products overlap, each
+// product's own host joins stay ordered via per-item epochs), and the
+// grouping/count scratch buffers are pooled across products so repeated
+// same-size allocations skip the considerable Pascal cudaMalloc cost
+// (§IV-C).
+//
+// Results are bit-identical to N independent hash_spgemm calls — for
+// every executor thread count, stream setting and batch_streams value —
+// because the functional work still executes in host issue order; only
+// the simulated schedule overlaps.
+//
+// Error semantics: malformed batches (null pointers, CSR invariant
+// violations under validate_inputs, inner-dimension mismatches) throw a
+// PreconditionError up front naming the offending product index. Runtime
+// failures (OOM that survives the row-slab fallback, kernel faults that
+// survive containment, nnz overflow) are captured per product in its
+// result slot — neighbouring products complete unaffected — unless
+// Options::batch_fail_fast is set, in which case the first failing
+// product (lowest index) rethrows.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "gpusim/algorithm.hpp"
+
+namespace nsparse::core {
+
+/// How busy one simulated stream was across the batch's capture windows.
+struct BatchStreamOccupancy {
+    int stream_id = 0;
+    std::uint64_t kernels = 0;
+    double busy_seconds = 0.0;
+    /// busy_seconds / total window makespan (0 when the batch was empty).
+    double occupancy = 0.0;
+};
+
+/// Roll-up over the whole batch.
+struct BatchStats {
+    int products = 0;  ///< batch size
+    int failed = 0;    ///< products whose result slot carries an error
+    int waves = 0;     ///< capture windows (ceil(products / batch_streams))
+
+    wide_t total_intermediate_products = 0;
+    wide_t total_nnz_c = 0;
+
+    double seconds = 0.0;           ///< total simulated time (windows + malloc)
+    double makespan_seconds = 0.0;  ///< summed capture-window makespans
+    double malloc_seconds = 0.0;    ///< summed cudaMalloc/cudaFree time
+    std::size_t peak_bytes = 0;     ///< max per-product device peak
+
+    // Summed per-product fallback / fault counters.
+    int fallback_slabs = 0;
+    int fallback_retries = 0;
+    int faulted_rows = 0;
+    int row_retries = 0;
+    int host_fallback_rows = 0;
+
+    // Scratch-pool effectiveness (0/0 when batch_scratch_reuse is off).
+    std::uint64_t scratch_hits = 0;
+    std::uint64_t scratch_misses = 0;
+
+    /// Per simulated stream: kernels, busy time and occupancy relative to
+    /// the summed window makespan. Sorted by stream id.
+    std::vector<BatchStreamOccupancy> stream_occupancy;
+
+    /// The paper's throughput metric over the whole batch.
+    [[nodiscard]] double gflops() const
+    {
+        return seconds <= 0.0
+                   ? 0.0
+                   : 2.0 * static_cast<double>(total_intermediate_products) / seconds / 1e9;
+    }
+};
+
+/// One product's result: either a matrix + stats (ok()) or a captured
+/// error. The per-item timing fields are derived from the batch window
+/// schedule: seconds = the item's kernel busy time + its malloc share
+/// (not a wall-clock share of the overlapped window).
+template <ValueType T>
+struct BatchItemOutput {
+    SpgemmOutput<T> out;
+    std::exception_ptr error;   ///< null when the product succeeded
+    std::string error_message;  ///< "batch product k: ..." when it failed
+    [[nodiscard]] bool ok() const { return error == nullptr; }
+};
+
+template <ValueType T>
+struct SpgemmBatchOutput {
+    std::vector<BatchItemOutput<T>> items;  ///< one per product, input order
+    BatchStats stats;
+};
+
+/// Multiplies as[k] * bs[k] for every k on one device. The spans must have
+/// equal length; duplicate pointers are fine (products are independent).
+/// Knobs: Options::batch_streams (products overlapped per wave),
+/// Options::batch_scratch_reuse, Options::batch_fail_fast, plus every
+/// single-product knob (streams, pwarp, slab fallback, fault injection...).
+template <ValueType T>
+SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>* const> as,
+                                  std::span<const CsrMatrix<T>* const> bs,
+                                  const core::Options& opt = {});
+
+extern template SpgemmBatchOutput<float>
+spgemm_batch<float>(sim::Device&, std::span<const CsrMatrix<float>* const>,
+                    std::span<const CsrMatrix<float>* const>, const core::Options&);
+extern template SpgemmBatchOutput<double>
+spgemm_batch<double>(sim::Device&, std::span<const CsrMatrix<double>* const>,
+                     std::span<const CsrMatrix<double>* const>, const core::Options&);
+
+/// Convenience overload for pointer vectors (template deduction cannot see
+/// through the vector -> span conversion).
+template <ValueType T>
+SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, const std::vector<const CsrMatrix<T>*>& as,
+                                  const std::vector<const CsrMatrix<T>*>& bs,
+                                  const core::Options& opt = {})
+{
+    return spgemm_batch<T>(dev, std::span<const CsrMatrix<T>* const>(as),
+                           std::span<const CsrMatrix<T>* const>(bs), opt);
+}
+
+}  // namespace nsparse::core

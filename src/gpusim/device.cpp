@@ -1,5 +1,6 @@
 #include "gpusim/device.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <span>
 #include <utility>
@@ -12,6 +13,9 @@ namespace nsparse::sim {
 struct Device::LaunchState {
     std::exception_ptr error;
     Completion done;
+    std::size_t record = 0;  ///< index of this launch's KernelRecord in pending_
+    int batch_item = -1;     ///< batch item tag at issue (-1 outside capture)
+    bool counted = false;    ///< counters folded (set exactly once by flush)
 };
 
 Device::Device(DeviceSpec spec, CostModel cost)
@@ -45,6 +49,13 @@ void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
     KernelRecord rec;
     rec.name = std::move(name);
     rec.stream_id = stream.id;
+    rec.phase = current_phase_;
+    if (batch_capture_) {
+        rec.batch_item = batch_item_;
+        if (const auto it = batch_epochs_.find(batch_item_); it != batch_epochs_.end()) {
+            rec.epoch = it->second;
+        }
+    }
     rec.cfg = cfg;
     rec.blocks.resize(to_size(cfg.grid_dim));
     pending_.push_back(std::move(rec));
@@ -52,6 +63,8 @@ void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
     const std::span<BlockCost> blocks{pending_.back().blocks};
 
     auto st = std::make_shared<LaunchState>();
+    st->record = pending_.size() - 1;
+    st->batch_item = pending_.back().batch_item;
     std::shared_ptr<LaunchState> prev;
     if (const auto it = stream_tail_.find(stream.id); it != stream_tail_.end()) {
         prev = it->second;
@@ -102,25 +115,39 @@ void Device::flush()
     if (inflight_.empty()) { return; }
     auto& pool = WorkerPool::instance();
     std::exception_ptr first_error;
+    int first_error_item = -1;
+    std::size_t first_error_record = 0;
     std::vector<std::size_t> failed;
-    // inflight_ aligns with the tail of pending_: records before `base`
-    // were counted by an earlier flush of this batch.
-    const std::size_t base = pending_.size() - inflight_.size();
-    for (std::size_t k = 0; k < inflight_.size(); ++k) {
-        pool.wait(inflight_[k]->done);
-        if (inflight_[k]->error != nullptr) {
+    // Each LaunchState carries its own pending_ record index and a
+    // `counted` latch, so every launch's counters fold exactly once no
+    // matter how often flush runs — batch capture keeps already-counted
+    // records pending across many flushes, which the old tail-index
+    // arithmetic (pending size minus inflight size) would double-count.
+    for (auto& st : inflight_) {
+        pool.wait(st->done);
+        if (st->error != nullptr) {
             // Move, don't copy: the worker's task lambda may release the
             // last LaunchState reference after we clear inflight_, and
             // that release must not destroy an exception object this
             // thread still holds (exception refcounts live in
             // uninstrumented libstdc++, invisible to TSan).
-            auto err = std::exchange(inflight_[k]->error, nullptr);
-            if (first_error == nullptr) { first_error = std::move(err); }
-            failed.push_back(base + k);
-        } else {
+            auto err = std::exchange(st->error, nullptr);
+            // Deterministic choice: lowest (batch item, launch index) —
+            // in a batch the lowest product index wins regardless of how
+            // streams interleaved, matching sequential execution order.
+            if (first_error == nullptr ||
+                std::pair(st->batch_item, st->record) <
+                    std::pair(first_error_item, first_error_record)) {
+                first_error = std::move(err);
+                first_error_item = st->batch_item;
+                first_error_record = st->record;
+            }
+            failed.push_back(st->record);
+        } else if (!st->counted) {
             // Cross-launch reductions happen here, in issue order, so
             // counters are bit-identical for every thread count.
-            const auto& rec = pending_[base + k];
+            st->counted = true;
+            const auto& rec = pending_[st->record];
             ++kernels_launched_;
             blocks_executed_ += rec.blocks.size();
             global_bytes_ += rec.total_global_bytes();
@@ -128,15 +155,29 @@ void Device::flush()
     }
     inflight_.clear();
     stream_tail_.clear();
+    // Drop failed records (descending, so earlier indices stay valid). No
+    // live LaunchState refers to pending_ anymore, so the index shift of
+    // later records is safe.
+    std::sort(failed.begin(), failed.end());
     for (auto it = failed.rbegin(); it != failed.rend(); ++it) {
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(*it));
     }
-    if (first_error != nullptr) { std::rethrow_exception(first_error); }
+    if (first_error != nullptr) {
+        last_error_batch_item_ = first_error_item;
+        std::rethrow_exception(first_error);
+    }
 }
 
 double Device::synchronize()
 {
     flush();
+    if (batch_capture_) {
+        // Functional join only: results are host-visible, but scheduling
+        // is deferred to end_batch_capture() so independent items overlap.
+        // The epoch bump encodes this host join for the scheduler.
+        if (batch_item_ >= 0) { ++batch_epochs_[batch_item_]; }
+        return 0.0;
+    }
     if (pending_.empty()) { return 0.0; }
 #ifdef NSPARSE_DEBUG_SYNC
     for (auto& k : pending_) {
@@ -158,7 +199,7 @@ double Device::synchronize()
             for (const auto& b : rec.blocks) { max_span = std::max(max_span, b.span); }
             trace_.record(KernelTraceEntry{
                 .name = rec.name,
-                .phase = current_phase_,
+                .phase = rec.phase,
                 .stream_id = rec.stream_id,
                 .grid_dim = rec.cfg.grid_dim,
                 .block_dim = rec.cfg.block_dim,
@@ -173,6 +214,77 @@ double Device::synchronize()
     pending_.clear();
     timeline_.add(current_phase_, r.makespan);
     return r.makespan;
+}
+
+void Device::begin_batch_capture()
+{
+    NSPARSE_EXPECTS(!batch_capture_, "batch capture already active");
+    synchronize();  // leftover pending work belongs to the previous phase
+    batch_capture_ = true;
+    batch_item_ = -1;
+    batch_epochs_.clear();
+    batch_streams_.clear();
+}
+
+void Device::set_batch_item(int item)
+{
+    NSPARSE_EXPECTS(batch_capture_, "set_batch_item outside batch capture");
+    NSPARSE_EXPECTS(item >= 0, "batch item must be non-negative");
+    batch_item_ = item;
+    if (batch_streams_.find(item) == batch_streams_.end()) {
+        batch_streams_[item] = next_stream_id_++;
+    }
+}
+
+BatchWindowReport Device::end_batch_capture()
+{
+    NSPARSE_EXPECTS(batch_capture_, "end_batch_capture without begin_batch_capture");
+    flush();
+    batch_capture_ = false;
+    batch_item_ = -1;
+    batch_epochs_.clear();
+    batch_streams_.clear();
+
+    BatchWindowReport report;
+    if (pending_.empty()) { return report; }
+    const ScheduleResult r = schedule(pending_, spec_, cost_);
+    report.makespan = r.makespan;
+    for (std::size_t k = 0; k < pending_.size(); ++k) {
+        const auto& rec = pending_[k];
+        const double busy = r.kernels[k].finish - r.kernels[k].start;
+        auto& item = report.items[rec.batch_item];
+        ++item.kernels;
+        item.busy_seconds += busy;
+        if (rec.phase == "setup") {
+            item.setup_seconds += busy;
+        } else if (rec.phase == "count") {
+            item.count_seconds += busy;
+        } else if (rec.phase == "calc") {
+            item.calc_seconds += busy;
+        }
+        auto& stream = report.streams[rec.stream_id];
+        ++stream.kernels;
+        stream.busy_seconds += busy;
+        if (trace_enabled_) {
+            double max_span = 0.0;
+            for (const auto& b : rec.blocks) { max_span = std::max(max_span, b.span); }
+            trace_.record(KernelTraceEntry{
+                .name = rec.name,
+                .phase = rec.phase,
+                .stream_id = rec.stream_id,
+                .grid_dim = rec.cfg.grid_dim,
+                .block_dim = rec.cfg.block_dim,
+                .shared_bytes = rec.cfg.shared_bytes,
+                .total_work = rec.total_work(),
+                .max_span = max_span,
+                .start = r.kernels[k].start,
+                .finish = r.kernels[k].finish,
+            });
+        }
+    }
+    pending_.clear();
+    timeline_.add(kBatchPhase, r.makespan);
+    return report;
 }
 
 void Device::record_memory_event(std::string label, std::size_t bytes_freed, int slabs,
@@ -209,6 +321,7 @@ void Device::record_fault_event(std::string label, int group, index_t row, index
 
 void Device::reset_measurement()
 {
+    NSPARSE_EXPECTS(!batch_capture_, "reset_measurement during batch capture");
     synchronize();
     trace_.clear();
     timeline_.clear();

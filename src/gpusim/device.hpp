@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include <map>
+
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/launch.hpp"
@@ -41,9 +43,36 @@
 
 namespace nsparse::sim {
 
+class ScratchPool;
+
 /// Opaque stream handle; Device::create_stream() mints them.
 struct Stream {
     int id = 0;
+};
+
+/// What one batch item (product) consumed inside a capture window, derived
+/// from the window's makespan schedule.
+struct BatchItemUsage {
+    std::uint64_t kernels = 0;
+    double busy_seconds = 0.0;   ///< sum of kernel (finish - start) durations
+    double setup_seconds = 0.0;  ///< busy attributed to the "setup" phase
+    double count_seconds = 0.0;  ///< busy attributed to the "count" phase
+    double calc_seconds = 0.0;   ///< busy attributed to the "calc" phase
+};
+
+/// Per simulated stream: launches and busy time inside a capture window.
+struct BatchStreamUsage {
+    std::uint64_t kernels = 0;
+    double busy_seconds = 0.0;
+};
+
+/// Result of Device::end_batch_capture(): the window makespan plus
+/// per-item and per-stream usage (ordered maps for deterministic
+/// iteration and bit-identical floating-point accumulation).
+struct BatchWindowReport {
+    double makespan = 0.0;
+    std::map<int, BatchItemUsage> items;
+    std::map<int, BatchStreamUsage> streams;
 };
 
 class Device {
@@ -59,7 +88,18 @@ public:
     [[nodiscard]] DeviceAllocator& allocator() { return alloc_; }
     [[nodiscard]] const DeviceAllocator& allocator() const { return alloc_; }
 
-    [[nodiscard]] Stream default_stream() const { return Stream{0}; }
+    /// Stream 0 normally; under batch capture, the per-item stream minted
+    /// by set_batch_item() so independent products never share the default
+    /// stream (which would serialize them in the makespan schedule).
+    [[nodiscard]] Stream default_stream() const
+    {
+        if (batch_capture_) {
+            if (const auto it = batch_streams_.find(batch_item_); it != batch_streams_.end()) {
+                return Stream{it->second};
+            }
+        }
+        return Stream{0};
+    }
     [[nodiscard]] Stream create_stream() { return Stream{next_stream_id_++}; }
 
     /// Records a kernel for the next synchronize() and executes its
@@ -80,21 +120,60 @@ public:
     [[nodiscard]] int executor_threads() const { return executor_threads_; }
 
     /// Host-side join point: completes every in-flight asynchronous
-    /// launch, folds its counters (kernels/blocks/global bytes) in
-    /// stream-issue order, and rethrows the first deferred functor error
-    /// — deterministically the lowest launch index; the failed record is
-    /// dropped, successful ones stay pending. After flush() every
-    /// functional result written by earlier launches is visible to the
-    /// host. Does not advance simulated time.
+    /// launch, folds its counters (kernels/blocks/global bytes) exactly
+    /// once per launch in stream-issue order — repeated flush calls (e.g.
+    /// between batch items, where capture keeps records pending) are
+    /// idempotent — and rethrows the first deferred functor error:
+    /// deterministically the lowest (batch item, launch index), so under
+    /// batch capture the lowest product index wins regardless of stream
+    /// interleaving. The failed record is dropped, successful ones stay
+    /// pending. After flush() every functional result written by earlier
+    /// launches is visible to the host. Does not advance simulated time.
     void flush();
+
+    /// Batch item of the error last rethrown by flush(), -1 when the error
+    /// was not batch-tagged (or none was thrown yet).
+    [[nodiscard]] int last_error_batch_item() const { return last_error_batch_item_; }
 
     /// Launches currently in flight on the pool (observability).
     [[nodiscard]] std::size_t inflight_launches() const { return inflight_.size(); }
 
     /// Schedules everything launched since the previous synchronize and
     /// charges the makespan to the current phase (flushing first).
-    /// Returns the makespan.
+    /// Returns the makespan. Under batch capture, synchronize() only
+    /// flushes (the functional join) and advances the current item's
+    /// epoch; scheduling is deferred to end_batch_capture() so kernels of
+    /// independent items overlap in the window's makespan.
     double synchronize();
+
+    // --- batch capture ---------------------------------------------------
+    // Batched SpGEMM runs several independent products against one device.
+    // Inside a capture window, each product's launches are tagged with its
+    // item index and a per-item epoch that advances at every synchronize
+    // (the product's host joins). end_batch_capture() schedules the whole
+    // window at once: the scheduler chains epochs within an item and lets
+    // different items overlap — the multi-stream interleaving of §V-B
+    // lifted from row groups to whole products.
+
+    /// Enters batch capture (scheduling any leftover pending work first).
+    void begin_batch_capture();
+
+    /// Tags subsequent launches with product index `item` (>= 0) and mints
+    /// the item's private default stream on first use.
+    void set_batch_item(int item);
+    [[nodiscard]] int current_batch_item() const { return batch_item_; }
+    [[nodiscard]] bool batch_capture_active() const { return batch_capture_; }
+
+    /// Flushes, schedules the captured window, charges its makespan to the
+    /// "batch" phase and leaves capture mode. Returns per-item/per-stream
+    /// usage derived from the schedule.
+    BatchWindowReport end_batch_capture();
+
+    /// Optional cross-product scratch pool consulted by allocation sites
+    /// that opt in (grouping permutation, per-row count workspaces).
+    /// The device does not own the pool; nullptr disables reuse.
+    void set_scratch_pool(ScratchPool* pool) { scratch_pool_ = pool; }
+    [[nodiscard]] ScratchPool* scratch_pool() const { return scratch_pool_; }
 
     // --- phases ---------------------------------------------------------
 
@@ -147,6 +226,11 @@ public:
     /// Name of the synthetic phase holding cudaMalloc/cudaFree time.
     static constexpr const char* kMallocPhase = "malloc";
 
+    /// Name of the synthetic phase batch-capture windows charge their
+    /// makespan to (per-phase attribution is meaningless under overlap;
+    /// end_batch_capture() reports per-item busy time instead).
+    static constexpr const char* kBatchPhase = "batch";
+
     // --- tracing ---------------------------------------------------------
 
     /// Enables per-kernel trace recording (off by default: it retains one
@@ -194,6 +278,12 @@ private:
     /// Last in-flight launch per stream id — the predecessor the next
     /// launch on that stream must wait for (CUDA stream FIFO).
     std::unordered_map<int, std::shared_ptr<LaunchState>> stream_tail_;
+    bool batch_capture_ = false;
+    int batch_item_ = -1;
+    std::unordered_map<int, int> batch_epochs_;   ///< item -> current epoch
+    std::unordered_map<int, int> batch_streams_;  ///< item -> private default stream
+    int last_error_batch_item_ = -1;
+    ScratchPool* scratch_pool_ = nullptr;
     int next_stream_id_ = 1;
     int executor_threads_ = 0;  ///< 0 = hardware_concurrency
     std::uint64_t kernels_launched_ = 0;

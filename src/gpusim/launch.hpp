@@ -128,6 +128,16 @@ private:
 struct KernelRecord {
     std::string name;
     int stream_id = 0;
+    /// Batch-capture provenance (Device::begin_batch_capture): the batch
+    /// item (product index) this launch belongs to, or -1 outside batch
+    /// mode. The scheduler serializes a record behind every earlier record
+    /// of the same item with a lower epoch — the per-product host joins —
+    /// while records of different items overlap freely.
+    int batch_item = -1;
+    int epoch = 0;
+    /// Device phase at issue time (trace attribution; outside batch mode
+    /// this always equals the phase at the next synchronize).
+    std::string phase;
     LaunchConfig cfg;
     std::vector<BlockCost> blocks;  ///< per-block costs, filled by execution
 

@@ -122,12 +122,20 @@ ScheduleResult schedule(const std::vector<KernelRecord>& kernels, const DeviceSp
     };
 
     // Effective readiness accounting for stream predecessors (resolved as
-    // predecessors finish).
+    // predecessors finish) and, under batch capture, for earlier epochs of
+    // the same batch item: a host join separated those launches, so epoch
+    // e+1 of item k cannot start before every epoch-<e+1 kernel of item k
+    // finished. Records of different items carry no mutual dependency.
     auto effective_ready = [&](std::size_t i) {
         double r = ks[i].ready;
         const int sid = ks[i].rec->stream_id;
+        const int item = ks[i].rec->batch_item;
+        const int epoch = ks[i].rec->epoch;
         for (std::size_t j = 0; j < i; ++j) {
-            if (ks[j].rec->stream_id == sid) { r = std::max(r, ks[j].finish); }
+            if (ks[j].rec->stream_id == sid ||
+                (item >= 0 && ks[j].rec->batch_item == item && ks[j].rec->epoch < epoch)) {
+                r = std::max(r, ks[j].finish);
+            }
         }
         return r;
     };

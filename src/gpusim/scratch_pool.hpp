@@ -1,0 +1,78 @@
+// Cross-product scratch reuse for batched execution.
+//
+// §IV-C observes cudaMalloc cost is considerable on Pascal; when many small
+// products run back to back, the grouping permutation, the per-row product
+// counts and the row-nnz workspace are re-allocated at the same sizes over
+// and over. The pool keeps released buffers on small per-tag free lists and
+// hands them back on an exact-size match, so a pooled take costs no
+// simulated cudaMalloc (the allocation is still live and charged — like a
+// real sub-allocating memory pool, the bytes stay resident between
+// products). A size mismatch falls through to a fresh allocation, so
+// mixed-size batches stay correct and merely amortize less.
+//
+// Contents of a reused buffer are stale by design: every in-tree consumer
+// fully (re)writes its scratch before reading it. The pool is not
+// thread-safe; takes and puts happen on the issuing host thread, like
+// allocation itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gpusim/memory.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse::sim {
+
+class ScratchPool {
+public:
+    /// Buffers retained per tag before put() starts releasing for real
+    /// (bounds pool growth on mixed-size batches).
+    static constexpr std::size_t kMaxPerTag = 8;
+
+    /// Returns a buffer of exactly `n` index_t elements: a cached
+    /// exact-size buffer when one is free (a *hit* — no simulated
+    /// cudaMalloc), otherwise a fresh allocation from `alloc` (a *miss*).
+    [[nodiscard]] DeviceBuffer<index_t> take(const std::string& tag, DeviceAllocator& alloc,
+                                             std::size_t n)
+    {
+        auto& list = cache_[tag];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i].size() == n) {
+                DeviceBuffer<index_t> buf = std::move(list[i]);
+                list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+                ++hits_;
+                return buf;
+            }
+        }
+        ++misses_;
+        return DeviceBuffer<index_t>(alloc, n);
+    }
+
+    /// Returns a buffer to the pool for later reuse; beyond kMaxPerTag the
+    /// oldest cached buffer of the tag is released (simulated cudaFree).
+    void put(const std::string& tag, DeviceBuffer<index_t> buf)
+    {
+        if (buf.empty()) { return; }
+        auto& list = cache_[tag];
+        list.push_back(std::move(buf));
+        if (list.size() > kMaxPerTag) { list.erase(list.begin()); }
+    }
+
+    /// Releases every cached buffer (e.g. before an OOM retry, so the pool
+    /// does not hold memory the retry needs).
+    void clear() { cache_.clear(); }
+
+    [[nodiscard]] std::uint64_t hits() const { return hits_; }
+    [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+private:
+    std::unordered_map<std::string, std::vector<DeviceBuffer<index_t>>> cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace nsparse::sim

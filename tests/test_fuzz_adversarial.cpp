@@ -17,10 +17,14 @@
 #include <cstdlib>
 #include <string>
 
+#include <vector>
+
+#include "baselines/batch_reference.hpp"
 #include "baselines/bhsparse.hpp"
 #include "baselines/cusparse_like.hpp"
 #include "baselines/esc.hpp"
 #include "core/spgemm.hpp"
+#include "core/spgemm_batch.hpp"
 #include "matgen/adversarial.hpp"
 #include "sparse/equality.hpp"
 #include "sparse/reference_spgemm.hpp"
@@ -124,6 +128,147 @@ TEST(FuzzAdversarial, ComposedWithRowFaultInjection)
         EXPECT_TRUE(approx_equal(out.matrix, expected, 1e-10))
             << "wrong with injected row faults, case #" << i << " (" << c.name << ")";
         EXPECT_GT(out.stats.faulted_rows, 0) << "case #" << i << " (" << c.name << ")";
+    }
+}
+
+TEST(FuzzAdversarial, BatchedMatchesSinglesOnAdversarialStream)
+{
+    // Batch differential: slice the adversarial stream into mixed batches
+    // (each spiced with an empty matrix, a 1-row product and a duplicate
+    // pointer) and require every product of core::spgemm_batch to be
+    // byte-identical to an independent hash_spgemm call — alternating
+    // executor thread counts and batch_streams across batches.
+    const int iters = fuzz_iters();
+    constexpr int kPerBatch = 6;
+    int batch_no = 0;
+    for (int i = 0; i < iters; i += kPerBatch, ++batch_no) {
+        std::vector<CsrMatrix<double>> store;
+        store.reserve(kPerBatch + 4);
+        std::vector<std::string> names;
+        for (int j = i; j < std::min(iters, i + kPerBatch); ++j) {
+            auto c = gen::adversarial_case(kSeed, j);
+            names.push_back("case #" + std::to_string(j) + " (" + c.name + ")");
+            store.push_back(std::move(c.matrix));
+        }
+        store.push_back(CsrMatrix<double>::zero(37, 37));
+        names.emplace_back("zero 37x37");
+        std::vector<const CsrMatrix<double>*> as;
+        std::vector<const CsrMatrix<double>*> bs;
+        for (const auto& m : store) {
+            as.push_back(&m);
+            bs.push_back(&m);
+        }
+        // 1-row product: a 1x16 A against the 16-col identity.
+        store.push_back(CsrMatrix<double>(1, 16, {0, 3}, {2, 7, 11}, {1.0, -2.0, 0.5}));
+        const auto* one_row = &store.back();
+        store.push_back(CsrMatrix<double>::identity(16));
+        as.push_back(one_row);
+        bs.push_back(&store.back());
+        names.emplace_back("single row x identity");
+        as.push_back(&store.front());  // duplicate pointers across products
+        bs.push_back(&store.front());
+        names.push_back(names.front() + " [duplicate]");
+
+        core::Options opt;
+        opt.executor_threads = (batch_no % 2 == 0) ? 1 : 8;
+        opt.batch_streams = (batch_no % 3 == 0) ? 1 : 4;
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        const auto batched = core::spgemm_batch<double>(dev, as, bs, opt);
+        ASSERT_EQ(batched.stats.failed, 0) << "batch starting at case #" << i;
+        for (std::size_t k = 0; k < as.size(); ++k) {
+            sim::Device single_dev(sim::DeviceSpec::pascal_p100());
+            const auto single = hash_spgemm<double>(single_dev, *as[k], *bs[k], opt);
+            ASSERT_TRUE(batched.items[k].out.matrix == single.matrix)
+                << "batched product " << k << " (" << names[k]
+                << ") differs from its single call, batch at case #" << i
+                << " threads=" << opt.executor_threads
+                << " batch_streams=" << opt.batch_streams;
+        }
+    }
+}
+
+TEST(FuzzAdversarial, BatchedComposedWithAllocationFaults)
+{
+    // FaultPlan on the shared batch device: every product either completes
+    // correctly (possibly through the row-slab fallback) or carries a
+    // DeviceOutOfMemory in its slot; neighbours never corrupt, nothing
+    // leaks, and no KernelFault escapes containment.
+    const int iters = std::max(1, fuzz_iters() / 4);
+    constexpr int kPerBatch = 4;
+    for (int i = 0; i + kPerBatch <= iters || i == 0; i += kPerBatch) {
+        std::vector<CsrMatrix<double>> store;
+        store.reserve(kPerBatch);
+        std::vector<CsrMatrix<double>> expected;
+        for (int j = i; j < i + kPerBatch; ++j) {
+            auto c = gen::adversarial_case(kSeed, j);
+            expected.push_back(reference_spgemm(c.matrix, c.matrix));
+            store.push_back(std::move(c.matrix));
+        }
+        std::vector<const CsrMatrix<double>*> ptrs;
+        for (const auto& m : store) { ptrs.push_back(&m); }
+
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        sim::FaultPlan plan;
+        plan.fail_probability = 0.05;
+        plan.seed = kSeed + static_cast<std::uint64_t>(i);
+        dev.allocator().set_fault_plan(plan);
+        const std::size_t live_before = dev.allocator().live_bytes();
+        const auto out = core::spgemm_batch<double>(dev, ptrs, ptrs);
+        for (std::size_t k = 0; k < out.items.size(); ++k) {
+            if (out.items[k].ok()) {
+                EXPECT_TRUE(approx_equal(out.items[k].out.matrix, expected[k], 1e-10))
+                    << "batch at case #" << i << " product " << k
+                    << " wrong under allocation faults";
+            } else {
+                try {
+                    std::rethrow_exception(out.items[k].error);
+                } catch (const DeviceOutOfMemory&) {
+                    // acceptable: injected failure exhausted the fallback
+                } catch (const KernelFault& f) {
+                    ADD_FAILURE() << "batch at case #" << i << " product " << k
+                                  << " raised KernelFault under allocation faults: "
+                                  << f.what();
+                }
+            }
+        }
+        EXPECT_EQ(dev.allocator().live_bytes(), live_before)
+            << "batch at case #" << i << " leaked";
+    }
+}
+
+TEST(FuzzAdversarial, BatchedComposedWithRowFaultInjection)
+{
+    // Per-row kernel-fault injection applied to every product of a batch:
+    // containment must deliver outputs byte-identical to single calls with
+    // the same injection.
+    const int iters = std::max(1, fuzz_iters() / 4);
+    constexpr int kPerBatch = 4;
+    for (int i = 0; i + kPerBatch <= iters || i == 0; i += kPerBatch) {
+        std::vector<CsrMatrix<double>> store;
+        store.reserve(kPerBatch);
+        for (int j = i; j < i + kPerBatch; ++j) {
+            store.push_back(gen::adversarial_case(kSeed, j).matrix);
+        }
+        std::vector<const CsrMatrix<double>*> ptrs;
+        for (const auto& m : store) { ptrs.push_back(&m); }
+
+        core::Options opt;
+        opt.inject_symbolic_row_faults = {0, 9};
+        opt.inject_numeric_row_faults = {1, 13};
+        const auto ref = baseline::batch_reference<double>(
+            [] { return sim::Device(sim::DeviceSpec::pascal_p100()); }, ptrs, ptrs, opt);
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        const auto got = core::spgemm_batch<double>(dev, ptrs, ptrs, opt);
+        ASSERT_EQ(got.stats.failed, 0) << "batch at case #" << i;
+        int ref_faulted = 0;
+        for (std::size_t k = 0; k < ptrs.size(); ++k) {
+            ASSERT_TRUE(ref.items[k].ok()) << "batch at case #" << i << " product " << k;
+            EXPECT_TRUE(got.items[k].out.matrix == ref.items[k].out.matrix)
+                << "batch at case #" << i << " product " << k
+                << " differs from its single call under row-fault injection";
+            ref_faulted += ref.items[k].out.stats.faulted_rows;
+        }
+        EXPECT_EQ(got.stats.faulted_rows, ref_faulted) << "batch at case #" << i;
     }
 }
 

@@ -1,0 +1,559 @@
+// Batched SpGEMM test battery (ctest labels: batch, tsan, faults).
+//
+// Differential: core::spgemm_batch must be byte-identical, product by
+// product, to N independent hash_spgemm calls (baseline::batch_reference)
+// for mixed-size batches — empty matrices, 1-row matrices, duplicate
+// pointers — across executor thread counts, stream settings and
+// batch_streams values. Determinism: results AND the stats roll-up are
+// bit-identical across thread counts. Edge cases: empty batch, batch of
+// one, inner-dimension mismatch naming the offending product, 32-bit nnz
+// overflow failing loudly in its own slot while neighbours complete.
+// Composition: allocation FaultPlans and per-row kernel-fault injection
+// behave exactly as in single-product mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/batch_reference.hpp"
+#include "core/spgemm.hpp"
+#include "core/spgemm_batch.hpp"
+#include "core/spgemm_impl.hpp"
+#include "matgen/adversarial.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/equality.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+constexpr std::uint64_t kSeed = 20170814;  // nsparse @ ICPP'17
+
+sim::Device make_p100() { return sim::Device(sim::DeviceSpec::pascal_p100()); }
+
+/// Matrices live in `store` (stable: reserved up front); as/bs point into
+/// it, including deliberate duplicate pointers.
+struct Batch {
+    std::vector<CsrMatrix<double>> store;
+    std::vector<const CsrMatrix<double>*> as;
+    std::vector<const CsrMatrix<double>*> bs;
+};
+
+/// Mixed-size batch: squares, rectangles, an all-zero A and an all-zero B,
+/// a 1-row product, identity, an adversarial case, plus a duplicate-pointer
+/// repeat of product 0.
+Batch make_mixed_batch()
+{
+    Batch b;
+    b.store.reserve(16);
+    auto keep = [&b](CsrMatrix<double> m) -> const CsrMatrix<double>* {
+        b.store.push_back(std::move(m));
+        return &b.store.back();
+    };
+    const auto* sq = keep(gen::uniform_random(300, 300, 8, kSeed + 1));
+    b.as.push_back(sq);  // product 0: square, A == B (same pointer)
+    b.bs.push_back(sq);
+    b.as.push_back(keep(gen::uniform_random(200, 120, 6, kSeed + 2)));  // product 1: rect
+    b.bs.push_back(keep(gen::uniform_random(120, 80, 5, kSeed + 3)));
+    b.as.push_back(keep(CsrMatrix<double>::zero(40, 30)));  // product 2: zero A
+    b.bs.push_back(keep(gen::uniform_random(30, 20, 4, kSeed + 4)));
+    b.as.push_back(keep(gen::uniform_random(50, 25, 3, kSeed + 5)));  // product 3: zero B
+    b.bs.push_back(keep(CsrMatrix<double>::zero(25, 10)));
+    b.as.push_back(keep(gen::uniform_random(1, 60, 12, kSeed + 6)));  // product 4: 1-row A
+    b.bs.push_back(keep(gen::uniform_random(60, 33, 4, kSeed + 7)));
+    b.as.push_back(keep(CsrMatrix<double>::identity(64)));  // product 5: identity
+    b.bs.push_back(keep(gen::uniform_random(64, 64, 6, kSeed + 8)));
+    const auto* adv = keep(gen::adversarial_case(kSeed, 7).matrix);  // product 6
+    b.as.push_back(adv);
+    b.bs.push_back(adv);
+    b.as.push_back(sq);  // product 7: duplicate pointers of product 0
+    b.bs.push_back(sq);
+    return b;
+}
+
+/// A 1xM x MxK product whose single-row intermediate-product count
+/// exceeds 2^31 (duplicate A columns are structurally valid CSR): ~1e5
+/// copies of column 0 times a B row of 3e4 entries = 3e9 products. Cheap
+/// to build and detected by the checked to_index() in kernel (1).
+void append_overflow_product(Batch& b)
+{
+    CsrMatrix<double> a;
+    a.rows = 1;
+    a.cols = 1;
+    a.col.assign(100000, 0);
+    a.val.assign(100000, 1.0);
+    a.rpt = {0, 100000};
+    CsrMatrix<double> bm;
+    bm.rows = 1;
+    bm.cols = 30000;
+    bm.col.resize(30000);
+    bm.val.assign(30000, 1.0);
+    for (index_t j = 0; j < 30000; ++j) { bm.col[to_size(j)] = j; }
+    bm.rpt = {0, 30000};
+    b.store.push_back(std::move(a));
+    b.as.push_back(&b.store.back());
+    b.store.push_back(std::move(bm));
+    b.bs.push_back(&b.store.back());
+}
+
+void expect_items_match_reference(const core::SpgemmBatchOutput<double>& got,
+                                  const baseline::BatchReferenceOutput<double>& ref,
+                                  const std::string& what)
+{
+    ASSERT_EQ(got.items.size(), ref.items.size()) << what;
+    for (std::size_t k = 0; k < got.items.size(); ++k) {
+        ASSERT_TRUE(got.items[k].ok()) << what << ": product " << k << " failed: "
+                                       << got.items[k].error_message;
+        ASSERT_TRUE(ref.items[k].ok()) << what << ": reference product " << k << " failed";
+        EXPECT_TRUE(got.items[k].out.matrix == ref.items[k].out.matrix)
+            << what << ": product " << k << " differs from its single-call result";
+        EXPECT_EQ(got.items[k].out.stats.nnz_c, ref.items[k].out.stats.nnz_c)
+            << what << ": product " << k;
+        EXPECT_EQ(got.items[k].out.stats.intermediate_products,
+                  ref.items[k].out.stats.intermediate_products)
+            << what << ": product " << k;
+    }
+}
+
+TEST(SpgemmBatch, EmptyBatchReturnsEmptyResult)
+{
+    sim::Device dev = make_p100();
+    std::vector<const CsrMatrix<double>*> none;
+    const auto out = core::spgemm_batch<double>(dev, none, none);
+    EXPECT_TRUE(out.items.empty());
+    EXPECT_EQ(out.stats.products, 0);
+    EXPECT_EQ(out.stats.failed, 0);
+    EXPECT_EQ(out.stats.waves, 0);
+    EXPECT_EQ(out.stats.gflops(), 0.0);
+    EXPECT_TRUE(out.stats.stream_occupancy.empty());
+}
+
+TEST(SpgemmBatch, BatchOfOneMatchesSingleCall)
+{
+    const auto a = gen::uniform_random(500, 400, 7, kSeed + 11);
+    const auto b = gen::uniform_random(400, 300, 5, kSeed + 12);
+    std::vector<const CsrMatrix<double>*> as{&a};
+    std::vector<const CsrMatrix<double>*> bs{&b};
+
+    sim::Device dev = make_p100();
+    const auto batched = core::spgemm_batch<double>(dev, as, bs);
+    sim::Device single_dev = make_p100();
+    const auto single = hash_spgemm<double>(single_dev, a, b);
+
+    ASSERT_EQ(batched.items.size(), 1U);
+    ASSERT_TRUE(batched.items[0].ok());
+    EXPECT_TRUE(batched.items[0].out.matrix == single.matrix);
+    EXPECT_EQ(batched.items[0].out.stats.nnz_c, single.stats.nnz_c);
+    EXPECT_EQ(batched.stats.products, 1);
+    EXPECT_EQ(batched.stats.waves, 1);
+    EXPECT_EQ(batched.stats.total_nnz_c, single.stats.nnz_c);
+    EXPECT_EQ(batched.stats.total_intermediate_products, single.stats.intermediate_products);
+    EXPECT_GT(batched.stats.makespan_seconds, 0.0);
+}
+
+TEST(SpgemmBatch, MixedSizesMatchSinglesAcrossConfigs)
+{
+    const Batch batch = make_mixed_batch();
+    for (const int threads : {1, 2, 8}) {
+        for (const bool streams : {true, false}) {
+            for (const int batch_streams : {1, 4}) {
+                core::Options opt;
+                opt.executor_threads = threads;
+                opt.use_streams = streams;
+                opt.batch_streams = batch_streams;
+                const auto ref = baseline::batch_reference<double>(make_p100, batch.as,
+                                                                   batch.bs, opt);
+                sim::Device dev = make_p100();
+                const auto got = core::spgemm_batch<double>(dev, batch.as, batch.bs, opt);
+                expect_items_match_reference(
+                    got, ref,
+                    "threads=" + std::to_string(threads) +
+                        " streams=" + std::to_string(static_cast<int>(streams)) +
+                        " batch_streams=" + std::to_string(batch_streams));
+                EXPECT_EQ(got.stats.failed, 0);
+            }
+        }
+    }
+}
+
+TEST(SpgemmBatch, DeterministicAcrossThreadCountsAndStreams)
+{
+    const Batch batch = make_mixed_batch();
+    for (const bool streams : {true, false}) {
+        core::SpgemmBatchOutput<double> base;
+        bool have_base = false;
+        for (const int threads : {1, 2, 8}) {
+            core::Options opt;
+            opt.executor_threads = threads;
+            opt.use_streams = streams;
+            sim::Device dev = make_p100();
+            auto got = core::spgemm_batch<double>(dev, batch.as, batch.bs, opt);
+            if (!have_base) {
+                base = std::move(got);
+                have_base = true;
+                continue;
+            }
+            const std::string what =
+                "threads=" + std::to_string(threads) + " vs 1, streams=" +
+                std::to_string(static_cast<int>(streams));
+            ASSERT_EQ(got.items.size(), base.items.size()) << what;
+            for (std::size_t k = 0; k < got.items.size(); ++k) {
+                EXPECT_TRUE(got.items[k].out.matrix == base.items[k].out.matrix)
+                    << what << ": product " << k;
+                // Per-item stats are bit-identical, including the
+                // schedule-derived timing (the simulated schedule depends
+                // only on issue order, which is fixed).
+                EXPECT_EQ(got.items[k].out.stats.seconds, base.items[k].out.stats.seconds)
+                    << what << ": product " << k;
+                EXPECT_EQ(got.items[k].out.stats.peak_bytes,
+                          base.items[k].out.stats.peak_bytes)
+                    << what << ": product " << k;
+            }
+            // Roll-up bit-identical: simulated time, memory, occupancy.
+            EXPECT_EQ(got.stats.seconds, base.stats.seconds) << what;
+            EXPECT_EQ(got.stats.makespan_seconds, base.stats.makespan_seconds) << what;
+            EXPECT_EQ(got.stats.malloc_seconds, base.stats.malloc_seconds) << what;
+            EXPECT_EQ(got.stats.peak_bytes, base.stats.peak_bytes) << what;
+            EXPECT_EQ(got.stats.total_nnz_c, base.stats.total_nnz_c) << what;
+            EXPECT_EQ(got.stats.total_intermediate_products,
+                      base.stats.total_intermediate_products)
+                << what;
+            EXPECT_EQ(got.stats.scratch_hits, base.stats.scratch_hits) << what;
+            EXPECT_EQ(got.stats.scratch_misses, base.stats.scratch_misses) << what;
+            ASSERT_EQ(got.stats.stream_occupancy.size(), base.stats.stream_occupancy.size())
+                << what;
+            for (std::size_t s = 0; s < got.stats.stream_occupancy.size(); ++s) {
+                EXPECT_EQ(got.stats.stream_occupancy[s].stream_id,
+                          base.stats.stream_occupancy[s].stream_id)
+                    << what;
+                EXPECT_EQ(got.stats.stream_occupancy[s].busy_seconds,
+                          base.stats.stream_occupancy[s].busy_seconds)
+                    << what;
+            }
+        }
+    }
+}
+
+TEST(SpgemmBatch, InnerDimMismatchNamesTheProduct)
+{
+    const auto ok_a = gen::uniform_random(50, 40, 4, kSeed + 21);
+    const auto ok_b = gen::uniform_random(40, 30, 4, kSeed + 22);
+    const auto bad_b = gen::uniform_random(41, 30, 4, kSeed + 23);  // 40 != 41
+    std::vector<const CsrMatrix<double>*> as{&ok_a, &ok_a, &ok_a, &ok_a};
+    std::vector<const CsrMatrix<double>*> bs{&ok_b, &ok_b, &bad_b, &ok_b};
+    sim::Device dev = make_p100();
+    try {
+        (void)core::spgemm_batch<double>(dev, as, bs);
+        FAIL() << "mismatched product must throw up front";
+    } catch (const PreconditionError& e) {
+        EXPECT_EQ(e.invariant(), "inner_dims_agree");
+        EXPECT_NE(std::string(e.what()).find("batch product 2"), std::string::npos)
+            << e.what();
+    }
+    // Nothing ran: the batch fails as a whole before any kernel.
+    EXPECT_EQ(dev.kernels_launched(), 0U);
+    EXPECT_FALSE(dev.batch_capture_active());
+}
+
+TEST(SpgemmBatch, NullPointerNamesTheProduct)
+{
+    const auto a = gen::uniform_random(20, 20, 3, kSeed + 24);
+    std::vector<const CsrMatrix<double>*> as{&a, nullptr};
+    std::vector<const CsrMatrix<double>*> bs{&a, &a};
+    sim::Device dev = make_p100();
+    try {
+        (void)core::spgemm_batch<double>(dev, as, bs);
+        FAIL() << "null pointer must throw up front";
+    } catch (const PreconditionError& e) {
+        EXPECT_EQ(e.invariant(), "non_null_inputs");
+        EXPECT_NE(std::string(e.what()).find("batch product 1"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SpgemmBatch, MismatchedListLengthsThrow)
+{
+    const auto a = gen::uniform_random(20, 20, 3, kSeed + 25);
+    std::vector<const CsrMatrix<double>*> as{&a, &a};
+    std::vector<const CsrMatrix<double>*> bs{&a};
+    sim::Device dev = make_p100();
+    EXPECT_THROW((void)core::spgemm_batch<double>(dev, as, bs), PreconditionError);
+}
+
+TEST(SpgemmBatch, NnzOverflowFailsLoudlyWithoutCorruptingNeighbours)
+{
+    // Product 1's single row generates 3e9 > 2^31 intermediate products;
+    // the checked index conversion must surface in that product's slot
+    // while products 0 and 2 complete byte-identical to their single runs.
+    Batch batch;
+    batch.store.reserve(8);
+    auto keep = [&batch](CsrMatrix<double> m) -> const CsrMatrix<double>* {
+        batch.store.push_back(std::move(m));
+        return &batch.store.back();
+    };
+    const auto* n0 = keep(gen::uniform_random(150, 150, 6, kSeed + 31));
+    batch.as.push_back(n0);
+    batch.bs.push_back(n0);
+    append_overflow_product(batch);
+    const auto* n2 = keep(gen::uniform_random(90, 70, 5, kSeed + 32));
+    batch.as.push_back(n2);
+    batch.bs.push_back(keep(gen::uniform_random(70, 40, 4, kSeed + 33)));
+
+    for (const int threads : {1, 4}) {
+        core::Options opt;
+        opt.executor_threads = threads;
+        sim::Device dev = make_p100();
+        const auto out = core::spgemm_batch<double>(dev, batch.as, batch.bs, opt);
+        ASSERT_EQ(out.items.size(), 3U);
+        EXPECT_FALSE(out.items[1].ok()) << "threads=" << threads;
+        EXPECT_EQ(out.stats.failed, 1);
+        EXPECT_NE(out.items[1].error_message.find("batch product 1"), std::string::npos)
+            << out.items[1].error_message;
+        EXPECT_NE(out.items[1].error_message.find("index overflow"), std::string::npos)
+            << out.items[1].error_message;
+        EXPECT_THROW(std::rethrow_exception(out.items[1].error), PreconditionError);
+
+        // Neighbours unharmed: byte-identical to their single-call runs.
+        sim::Device d0 = make_p100();
+        EXPECT_TRUE(out.items[0].ok());
+        EXPECT_TRUE(out.items[0].out.matrix ==
+                    hash_spgemm<double>(d0, *batch.as[0], *batch.bs[0], opt).matrix);
+        sim::Device d2 = make_p100();
+        EXPECT_TRUE(out.items[2].ok());
+        EXPECT_TRUE(out.items[2].out.matrix ==
+                    hash_spgemm<double>(d2, *batch.as[2], *batch.bs[2], opt).matrix);
+    }
+}
+
+TEST(SpgemmBatch, ScanRowPointersOverflowThrowsDirectly)
+{
+    // Unit test of kernel (4)'s guard, reachable now that the pipeline is
+    // in core::detail: three rows of 1.5e9 nnz each overflow int32 at the
+    // second row even though every individual row fits.
+    sim::Device dev = make_p100();
+    sim::DeviceBuffer<index_t> row_nnz(dev.allocator(), 3);
+    row_nnz.fill(1'500'000'000);
+    std::vector<index_t> rpt;
+    try {
+        core::detail::scan_row_pointers(dev, row_nnz, rpt);
+        FAIL() << "scan must reject a 32-bit overflowing nnz(C)";
+    } catch (const PreconditionError& e) {
+        EXPECT_NE(std::string(e.what()).find("nnz(C) exceeds the 32-bit index range"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SpgemmBatch, FailFastRethrowsLowestFailingProduct)
+{
+    // Products 1 (nnz overflow -> PreconditionError) and 3 (upload too big
+    // for a shrunken device, slab fallback off -> DeviceOutOfMemory) both
+    // fail; batch_fail_fast must surface product 1's error (lowest index).
+    Batch batch;
+    batch.store.reserve(8);
+    auto keep = [&batch](CsrMatrix<double> m) -> const CsrMatrix<double>* {
+        batch.store.push_back(std::move(m));
+        return &batch.store.back();
+    };
+    const auto* small = keep(gen::uniform_random(60, 60, 4, kSeed + 41));
+    batch.as.push_back(small);
+    batch.bs.push_back(small);
+    append_overflow_product(batch);  // product 1
+    batch.as.push_back(small);       // product 2
+    batch.bs.push_back(small);
+    const auto* big = keep(gen::uniform_random(50000, 50000, 16, kSeed + 42));  // product 3
+    batch.as.push_back(big);
+    batch.bs.push_back(big);
+
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = std::size_t{8} * 1024 * 1024;  // product 3 cannot even upload
+    core::Options opt;
+    opt.slab_fallback = false;
+
+    {
+        // Contained mode: both failures recorded, distinct types, correct slots.
+        sim::Device dev(spec);
+        const auto out = core::spgemm_batch<double>(dev, batch.as, batch.bs, opt);
+        EXPECT_EQ(out.stats.failed, 2);
+        EXPECT_TRUE(out.items[0].ok());
+        EXPECT_TRUE(out.items[2].ok());
+        EXPECT_THROW(std::rethrow_exception(out.items[1].error), PreconditionError);
+        EXPECT_THROW(std::rethrow_exception(out.items[3].error), DeviceOutOfMemory);
+        EXPECT_NE(out.items[3].error_message.find("batch product 3"), std::string::npos);
+    }
+    {
+        core::Options ff = opt;
+        ff.batch_fail_fast = true;
+        sim::Device dev(spec);
+        EXPECT_THROW((void)core::spgemm_batch<double>(dev, batch.as, batch.bs, ff),
+                     PreconditionError);  // product 1's type, not product 3's OOM
+        EXPECT_FALSE(dev.batch_capture_active());  // device left usable
+    }
+}
+
+TEST(SpgemmBatch, ComposedWithAllocationFaultPlan)
+{
+    // Random allocation failures during a batch: every product either
+    // completes correctly or carries DeviceOutOfMemory in its slot (with
+    // slab fallback disabled to keep failures observable); never a
+    // KernelFault, and the device leaks nothing once the batch returns.
+    const Batch batch = make_mixed_batch();
+    std::vector<CsrMatrix<double>> expected;
+    expected.reserve(batch.as.size());
+    for (std::size_t k = 0; k < batch.as.size(); ++k) {
+        expected.push_back(reference_spgemm(*batch.as[k], *batch.bs[k]));
+    }
+    for (int round = 0; round < 6; ++round) {
+        sim::Device dev = make_p100();
+        sim::FaultPlan plan;
+        plan.fail_probability = 0.05;
+        plan.seed = kSeed + static_cast<std::uint64_t>(round);
+        dev.allocator().set_fault_plan(plan);
+        const std::size_t live_before = dev.allocator().live_bytes();
+        core::Options opt;
+        opt.slab_fallback = false;
+        const auto out = core::spgemm_batch<double>(dev, batch.as, batch.bs, opt);
+        for (std::size_t k = 0; k < out.items.size(); ++k) {
+            if (out.items[k].ok()) {
+                EXPECT_TRUE(approx_equal(out.items[k].out.matrix, expected[k], 1e-10))
+                    << "round " << round << " product " << k;
+            } else {
+                try {
+                    std::rethrow_exception(out.items[k].error);
+                } catch (const DeviceOutOfMemory&) {
+                    // acceptable: the injected failure surfaced, contained
+                } catch (const KernelFault& f) {
+                    ADD_FAILURE() << "round " << round << " product " << k
+                                  << " raised KernelFault under allocation faults: "
+                                  << f.what();
+                }
+            }
+        }
+        EXPECT_EQ(dev.allocator().live_bytes(), live_before)
+            << "round " << round << " leaked";
+    }
+}
+
+TEST(SpgemmBatch, ComposedWithRowFaultInjectionMatchesSingles)
+{
+    // Kernel-level row faults injected into every product of the batch:
+    // the per-row retry/host-recourse containment must leave the batched
+    // outputs byte-identical to single calls with the same injection.
+    const Batch batch = make_mixed_batch();
+    core::Options opt;
+    opt.inject_symbolic_row_faults = {0, 17};
+    opt.inject_numeric_row_faults = {1, 29};
+    const auto ref = baseline::batch_reference<double>(make_p100, batch.as, batch.bs, opt);
+    sim::Device dev = make_p100();
+    const auto got = core::spgemm_batch<double>(dev, batch.as, batch.bs, opt);
+    expect_items_match_reference(got, ref, "row-fault injection");
+    EXPECT_GT(got.stats.faulted_rows, 0);
+    int ref_faulted = 0;
+    for (const auto& item : ref.items) { ref_faulted += item.out.stats.faulted_rows; }
+    EXPECT_EQ(got.stats.faulted_rows, ref_faulted);
+}
+
+TEST(SpgemmBatch, ScratchReuseTogglesWithoutChangingResults)
+{
+    // Same-shape products make the pool hit on every re-take; reuse must
+    // change only malloc time, never results.
+    std::vector<CsrMatrix<double>> store;
+    store.reserve(6);
+    std::vector<const CsrMatrix<double>*> as;
+    std::vector<const CsrMatrix<double>*> bs;
+    for (int k = 0; k < 6; ++k) {
+        store.push_back(gen::uniform_random(400, 400, 8, kSeed + 50 + static_cast<unsigned>(k)));
+    }
+    for (int k = 0; k < 6; ++k) {
+        as.push_back(&store[to_size(k)]);
+        bs.push_back(&store[to_size(k)]);
+    }
+
+    core::Options with_pool;
+    with_pool.batch_scratch_reuse = true;
+    core::Options no_pool;
+    no_pool.batch_scratch_reuse = false;
+
+    sim::Device dev1 = make_p100();
+    const auto pooled = core::spgemm_batch<double>(dev1, as, bs, with_pool);
+    sim::Device dev2 = make_p100();
+    const auto fresh = core::spgemm_batch<double>(dev2, as, bs, no_pool);
+
+    ASSERT_EQ(pooled.items.size(), fresh.items.size());
+    for (std::size_t k = 0; k < pooled.items.size(); ++k) {
+        EXPECT_TRUE(pooled.items[k].out.matrix == fresh.items[k].out.matrix)
+            << "product " << k;
+    }
+    EXPECT_GT(pooled.stats.scratch_hits, 0U);
+    EXPECT_EQ(fresh.stats.scratch_hits, 0U);
+    EXPECT_EQ(fresh.stats.scratch_misses, 0U);
+    // Pool hits skip simulated cudaMalloc calls, so the batch's malloc
+    // bucket can only shrink.
+    EXPECT_LT(pooled.stats.malloc_seconds, fresh.stats.malloc_seconds);
+}
+
+TEST(SpgemmBatch, WaveOverlapBeatsSequentialSchedule)
+{
+    // The tentpole's point: with batch_streams > 1 independent products
+    // share the device inside one window, so the summed window makespan
+    // must undercut the one-product-per-wave schedule of the same batch.
+    std::vector<CsrMatrix<double>> store;
+    store.reserve(8);
+    std::vector<const CsrMatrix<double>*> as;
+    std::vector<const CsrMatrix<double>*> bs;
+    for (int k = 0; k < 8; ++k) {
+        store.push_back(gen::uniform_random(256, 256, 6, kSeed + 70 + static_cast<unsigned>(k)));
+    }
+    for (int k = 0; k < 8; ++k) {
+        as.push_back(&store[to_size(k)]);
+        bs.push_back(&store[to_size(k)]);
+    }
+
+    core::Options wide;
+    wide.batch_streams = 4;
+    core::Options narrow;
+    narrow.batch_streams = 1;
+
+    sim::Device dev1 = make_p100();
+    const auto overlapped = core::spgemm_batch<double>(dev1, as, bs, wide);
+    sim::Device dev2 = make_p100();
+    const auto sequential = core::spgemm_batch<double>(dev2, as, bs, narrow);
+
+    ASSERT_EQ(overlapped.stats.failed, 0);
+    ASSERT_EQ(sequential.stats.failed, 0);
+    EXPECT_EQ(overlapped.stats.waves, 2);
+    EXPECT_EQ(sequential.stats.waves, 8);
+    for (std::size_t k = 0; k < as.size(); ++k) {
+        EXPECT_TRUE(overlapped.items[k].out.matrix == sequential.items[k].out.matrix)
+            << "product " << k;
+    }
+    EXPECT_LT(overlapped.stats.makespan_seconds, sequential.stats.makespan_seconds);
+    // More than one stream did real work in the overlapped run.
+    int busy_streams = 0;
+    for (const auto& s : overlapped.stats.stream_occupancy) {
+        if (s.busy_seconds > 0.0) { ++busy_streams; }
+    }
+    EXPECT_GT(busy_streams, 1);
+}
+
+TEST(SpgemmBatch, RepeatedBatchesOnOneDeviceStayIdentical)
+{
+    // Flush/capture state must fully reset between batches: running the
+    // same batch twice on one device gives bit-identical results and
+    // per-run stats (reset_measurement at entry).
+    const Batch batch = make_mixed_batch();
+    sim::Device dev = make_p100();
+    const auto first = core::spgemm_batch<double>(dev, batch.as, batch.bs);
+    const auto second = core::spgemm_batch<double>(dev, batch.as, batch.bs);
+    ASSERT_EQ(first.items.size(), second.items.size());
+    for (std::size_t k = 0; k < first.items.size(); ++k) {
+        EXPECT_TRUE(first.items[k].out.matrix == second.items[k].out.matrix)
+            << "product " << k;
+    }
+    EXPECT_EQ(first.stats.makespan_seconds, second.stats.makespan_seconds);
+    EXPECT_EQ(first.stats.total_nnz_c, second.stats.total_nnz_c);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -192,6 +192,103 @@ TEST(WorkerPool, ExceptionPropagationStillLowestBlockIndex)
     }
 }
 
+TEST(WorkerPool, RepeatedFlushFoldsCountersOnce)
+{
+    // Regression: flush() must be idempotent. Each LaunchState carries its
+    // pending_ record index and a counted latch; the old tail-index
+    // arithmetic (pending size minus inflight size) re-folded earlier
+    // records once batch capture keeps already-counted launches pending
+    // across flushes.
+    for (const int threads : {1, 4}) {
+        Device dev(DeviceSpec::pascal_p100());
+        dev.set_executor_threads(threads);
+        dev.begin_batch_capture();
+        dev.set_batch_item(0);
+        dev.launch(dev.default_stream(), {8, 64, 0}, "k0", [](BlockCtx& blk) {
+            blk.global_read(64, 4, MemPattern::kCoalesced);
+        });
+        dev.flush();
+        dev.flush();  // counted record still pending; must not re-fold
+        EXPECT_EQ(dev.kernels_launched(), 1U) << "threads=" << threads;
+        EXPECT_EQ(dev.blocks_executed(), 8U) << "threads=" << threads;
+        const double bytes_after_one = dev.total_global_bytes();
+
+        dev.set_batch_item(1);
+        dev.launch(dev.default_stream(), {8, 64, 0}, "k1", [](BlockCtx& blk) {
+            blk.global_read(64, 4, MemPattern::kCoalesced);
+        });
+        dev.flush();
+        dev.flush();
+        dev.flush();
+        EXPECT_EQ(dev.kernels_launched(), 2U) << "threads=" << threads;
+        EXPECT_EQ(dev.blocks_executed(), 16U) << "threads=" << threads;
+        EXPECT_DOUBLE_EQ(dev.total_global_bytes(), 2.0 * bytes_after_one)
+            << "threads=" << threads;
+
+        const auto report = dev.end_batch_capture();
+        EXPECT_EQ(report.items.size(), 2U);
+        // The window scheduled both records exactly once.
+        EXPECT_EQ(report.items.at(0).kernels, 1U);
+        EXPECT_EQ(report.items.at(1).kernels, 1U);
+        EXPECT_EQ(dev.kernels_launched(), 2U) << "threads=" << threads;
+    }
+}
+
+TEST(WorkerPool, RepeatedFlushAfterFailedLaunchStaysIdempotent)
+{
+    // The failed record is dropped at its first flush; later flushes must
+    // neither re-raise nor disturb the counters of the surviving launch.
+    for (const int threads : {1, 4}) {
+        Device dev(DeviceSpec::pascal_p100());
+        dev.set_executor_threads(threads);
+        dev.begin_batch_capture();
+        dev.set_batch_item(0);
+        dev.launch(dev.default_stream(), {4, 64, 0}, "ok", [](BlockCtx& blk) {
+            blk.int_ops(64, 1.0);
+        });
+        dev.launch(dev.create_stream(), {4, 64, 0}, "bad", [](BlockCtx& blk) {
+            if (blk.block_idx() == 0) { throw std::runtime_error("boom"); }
+        });
+        EXPECT_THROW(dev.flush(), std::runtime_error);
+        dev.flush();  // nothing in flight: no rethrow, no re-count
+        dev.flush();
+        EXPECT_EQ(dev.kernels_launched(), 1U) << "threads=" << threads;
+        EXPECT_EQ(dev.blocks_executed(), 4U) << "threads=" << threads;
+        const auto report = dev.end_batch_capture();
+        EXPECT_EQ(report.items.at(0).kernels, 1U);  // failed record dropped
+    }
+}
+
+TEST(WorkerPool, FlushErrorChoosesLowestBatchItem)
+{
+    // Several items' launches fail in one in-flight set: the surfaced
+    // error is deterministically the lowest (batch item, launch index),
+    // i.e. the lowest product index — regardless of issue interleaving or
+    // executor thread count.
+    for (const int threads : {1, 4}) {
+        Device dev(DeviceSpec::pascal_p100());
+        dev.set_executor_threads(threads);
+        dev.begin_batch_capture();
+        for (const int item : {2, 0, 1}) {  // deliberately out of order
+            dev.set_batch_item(item);
+            dev.launch(dev.default_stream(), {2, 64, 0},
+                       "fail" + std::to_string(item), [item](BlockCtx& blk) {
+                           if (blk.block_idx() == 0) {
+                               throw std::runtime_error("item " + std::to_string(item));
+                           }
+                       });
+        }
+        try {
+            dev.flush();
+            FAIL() << "flush must rethrow (threads=" << threads << ")";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "item 0") << "threads=" << threads;
+        }
+        EXPECT_EQ(dev.last_error_batch_item(), 0) << "threads=" << threads;
+        (void)dev.end_batch_capture();
+    }
+}
+
 TEST(WorkerPool, ParallelChunksCoversRangeOnce)
 {
     constexpr std::int64_t kN = 10000;
