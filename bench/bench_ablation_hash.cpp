@@ -31,7 +31,7 @@ int main()
         std::vector<index_t> table(4096, kEmptySlot);
         const auto inserts = static_cast<int>(load * 4096);
         long long total_probes = 0;
-        int max_probes = 0;
+        std::int64_t max_probes = 0;
         int done = 0;
         while (done < inserts) {
             const auto key = to_index(rng.next() & 0x7fffffffU);
@@ -41,8 +41,9 @@ int main()
             max_probes = std::max(max_probes, r.probes);
             ++done;
         }
-        std::printf("%8.3f %12.2f %12d\n", load,
-                    static_cast<double>(total_probes) / inserts, max_probes);
+        std::printf("%8.3f %12.2f %12lld\n", load,
+                    static_cast<double>(total_probes) / inserts,
+                    static_cast<long long>(max_probes));
     }
     std::printf("\nthe group tables keep load <= 1 by construction (count <= t_size);\n"
                 "group boundaries at powers of two mean typical load is 0.5-1.0.\n");

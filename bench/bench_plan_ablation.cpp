@@ -1,0 +1,214 @@
+// Planning-mode ablation: exact vs estimated vs hybrid symbolic planning
+// (core/estimator.hpp) over a uniform suite, two high-collision R-MAT
+// suites, and a hub-heavy R-MAT reported honestly as the regime where the
+// exact pass's cheap max-shared-table group-0 attempt is hard to beat.
+//
+// The metric split mirrors the trace phases: "busy" simulated seconds
+// (setup + count + estimate + calc — the cycles the planning mode actually
+// moves) versus total simulated seconds (adds the cudaMalloc-modelled
+// allocation constants; the estimated path pays ~2 extra pad-storage
+// allocations). Output must be byte-identical across all three modes, and
+// at the default confidence every mispredicted row must be absorbed by the
+// group-0 retry with zero host-recourse rows.
+//
+//   bench_plan_ablation [--smoke] [--out FILE]
+//
+// --smoke (or NSPARSE_PLAN_SMOKE=1) shrinks the suites so the `perf-smoke`
+// ctest label finishes in seconds; the busy-cycle win gates only apply to
+// the full-size run (the shrunken matrices sit in a different regime).
+// Emits BENCH_plan_ablation.json.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+
+namespace {
+
+using nsparse::CsrMatrix;
+using nsparse::SpgemmStats;
+
+struct Suite {
+    std::string name;
+    CsrMatrix<double> a;
+    bool expect_busy_win;  ///< gate: estimated busy < exact busy (full run only)
+};
+
+struct ModeResult {
+    SpgemmStats stats;
+    double busy = 0.0;
+};
+
+double busy_seconds(const SpgemmStats& s)
+{
+    return s.setup_seconds + s.count_seconds + s.estimate_seconds + s.calc_seconds;
+}
+
+std::vector<Suite> build_suites(bool smoke)
+{
+    using namespace nsparse;
+    std::vector<Suite> suites;
+    // Uniform: collision-light rows where the sampled model predicts nnz
+    // tightly and the skipped exact count is pure savings.
+    suites.push_back({"uniform", gen::uniform_random(smoke ? 3000 : 20000,
+                                                     smoke ? 3000 : 20000, 16, 7),
+                      true});
+    {
+        // High-collision R-MAT, hub rows capped: dense enough that the
+        // exact count pays real probe chains, capped enough that the
+        // estimator's capacity padding stays cheap.
+        gen::RmatParams p;
+        p.scale = smoke ? 10 : 12;
+        p.edges_per_vertex = 32.0;
+        p.max_degree = 1024;
+        suites.push_back({"rmat-ep32-cap1024", gen::rmat(p), true});
+    }
+    {
+        gen::RmatParams p;
+        p.scale = smoke ? 9 : 11;
+        p.edges_per_vertex = 48.0;
+        suites.push_back({"rmat-ep48", gen::rmat(p), true});
+    }
+    {
+        // Hub-heavy tail, uncapped: the regime that favours exact planning
+        // (its group-0 shared-table attempt is cheap, the estimator's
+        // padded hub tables are not). Reported, not gated.
+        gen::RmatParams p;
+        p.scale = smoke ? 11 : 14;
+        p.edges_per_vertex = 8.0;
+        suites.push_back({"rmat-hub-heavy", gen::rmat(p), false});
+    }
+    return suites;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace nsparse;
+
+    bool smoke = false;
+    std::string out_path = "BENCH_plan_ablation.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) { smoke = true; }
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) { out_path = argv[++i]; }
+    }
+    if (const char* env = std::getenv("NSPARSE_PLAN_SMOKE");
+        env != nullptr && *env != '\0' && *env != '0') {
+        smoke = true;
+    }
+
+    const auto suites = build_suites(smoke);
+    constexpr const char* kModes[] = {"exact", "estimated", "hybrid"};
+    bool ok = true;
+
+    std::printf("plan-ablation: %zu suites%s\n\n", suites.size(), smoke ? " [smoke]" : "");
+    std::printf("%-18s %-10s %12s %12s %8s %9s %7s\n", "suite", "mode", "busy [s]",
+                "total [s]", "mis/est", "retries", "host");
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"plan_ablation\",\n  \"workload\": \"%s\",\n",
+                 smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"suites\": [\n");
+
+    for (std::size_t si = 0; si < suites.size(); ++si) {
+        const Suite& suite = suites[si];
+        ModeResult res[3];
+        CsrMatrix<double> exact_c;
+        bool bytes_ok = true;
+        for (int mi = 0; mi < 3; ++mi) {
+            core::Options opt;
+            opt.plan_mode = mi == 0   ? core::PlanMode::kExact
+                            : mi == 1 ? core::PlanMode::kEstimated
+                                      : core::PlanMode::kHybrid;
+            sim::Device dev = bench::make_device(1.0);
+            auto out = hash_spgemm<double>(dev, suite.a, suite.a, opt);
+            res[mi].stats = out.stats;
+            res[mi].busy = busy_seconds(out.stats);
+            if (mi == 0) {
+                exact_c = std::move(out.matrix);
+            } else if (!(out.matrix == exact_c)) {
+                std::fprintf(stderr, "FAIL: %s/%s output differs from exact planning\n",
+                             suite.name.c_str(), kModes[mi]);
+                bytes_ok = false;
+                ok = false;
+            }
+            if (out.stats.host_fallback_rows != 0) {
+                std::fprintf(stderr,
+                             "FAIL: %s/%s needed %d host-recourse row(s) — the group-0 "
+                             "retry must absorb every misprediction\n",
+                             suite.name.c_str(), kModes[mi],
+                             out.stats.host_fallback_rows);
+                ok = false;
+            }
+            std::printf("%-18s %-10s %12.6f %12.6f %4d/%-4d %8d %6d\n", suite.name.c_str(),
+                        kModes[mi], res[mi].busy, out.stats.seconds,
+                        out.stats.mispredicted_rows, out.stats.estimated_rows,
+                        out.stats.row_retries, out.stats.host_fallback_rows);
+        }
+        const double d_est = res[0].busy > 0.0
+                                 ? 100.0 * (res[1].busy - res[0].busy) / res[0].busy
+                                 : 0.0;
+        const double d_hyb = res[0].busy > 0.0
+                                 ? 100.0 * (res[2].busy - res[0].busy) / res[0].busy
+                                 : 0.0;
+        std::printf("%-18s busy delta vs exact: estimated %+0.1f%%, hybrid %+0.1f%%\n\n",
+                    "", d_est, d_hyb);
+        if (!smoke && suite.expect_busy_win) {
+            for (int mi = 1; mi < 3; ++mi) {
+                if (res[mi].busy >= res[0].busy) {
+                    std::fprintf(stderr,
+                                 "FAIL: %s planning did not reduce busy cycles on %s "
+                                 "(%.6f s vs %.6f s exact)\n",
+                                 kModes[mi], suite.name.c_str(), res[mi].busy,
+                                 res[0].busy);
+                    ok = false;
+                }
+            }
+        }
+
+        std::fprintf(f, "    {\n      \"suite\": \"%s\",\n", suite.name.c_str());
+        std::fprintf(f, "      \"rows\": %d,\n      \"nnz\": %lld,\n", suite.a.rows,
+                     static_cast<long long>(suite.a.nnz()));
+        std::fprintf(f, "      \"gated_busy_win\": %s,\n      \"bytes_identical\": %s,\n",
+                     suite.expect_busy_win ? "true" : "false", bytes_ok ? "true" : "false");
+        for (int mi = 0; mi < 3; ++mi) {
+            const SpgemmStats& s = res[mi].stats;
+            std::fprintf(f, "      \"%s\": {\n", kModes[mi]);
+            std::fprintf(f, "        \"busy_seconds\": %.9f,\n", res[mi].busy);
+            std::fprintf(f, "        \"simulated_seconds\": %.9f,\n", s.seconds);
+            std::fprintf(f, "        \"estimate_seconds\": %.9f,\n", s.estimate_seconds);
+            std::fprintf(f, "        \"count_seconds\": %.9f,\n", s.count_seconds);
+            std::fprintf(f, "        \"estimated_rows\": %d,\n", s.estimated_rows);
+            std::fprintf(f, "        \"mispredicted_rows\": %d,\n", s.mispredicted_rows);
+            std::fprintf(f, "        \"mispredict_rate\": %.6f,\n",
+                         s.estimated_rows > 0 ? static_cast<double>(s.mispredicted_rows) /
+                                                    static_cast<double>(s.estimated_rows)
+                                              : 0.0);
+            std::fprintf(f, "        \"row_retries\": %d,\n", s.row_retries);
+            std::fprintf(f, "        \"host_fallback_rows\": %d,\n", s.host_fallback_rows);
+            std::fprintf(f, "        \"symbolic_cycles_saved\": %.1f,\n",
+                         s.symbolic_cycles_saved);
+            std::fprintf(f, "        \"peak_bytes\": %llu\n      }%s\n",
+                         static_cast<unsigned long long>(s.peak_bytes),
+                         mi + 1 < 3 ? "," : "");
+        }
+        std::fprintf(f, "    }%s\n", si + 1 < suites.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"determinism_ok\": %s\n}\n", ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (!ok) {
+        std::fprintf(stderr, "plan-ablation FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,260 @@
+#include "core/estimator.hpp"
+
+#include <bit>
+
+namespace nsparse::core {
+
+namespace {
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer) for the sample-row
+/// jitter: no RNG state, same picks on every platform and call site.
+std::uint64_t mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// Bucket index of a product count: bit_width(products), clamped.
+int bucket_of(index_t products)
+{
+    const int w = static_cast<int>(
+        std::bit_width(static_cast<std::uint32_t>(std::max<index_t>(products, 1))));
+    return std::min(w, NnzEstimateModel::kBuckets - 1);
+}
+
+/// Expected distinct count of `p` draws from a universe of `c` columns
+/// (the birthday / hash-collision model): c * (1 - (1 - 1/c)^p).
+double expected_distinct(double p, double c)
+{
+    if (c <= 1.0) { return std::min(p, 1.0); }
+    return c * (1.0 - std::exp(p * std::log1p(-1.0 / c)));
+}
+
+}  // namespace
+
+std::vector<index_t> choose_sample_rows(std::span<const index_t> products, double sample_rate)
+{
+    std::vector<index_t> all_bearing;
+    wide_t total_products = 0;
+    for (std::size_t i = 0; i < products.size(); ++i) {
+        if (products[i] <= 0) { continue; }
+        all_bearing.push_back(to_index(i));
+        total_products += products[i];
+    }
+    if (all_bearing.empty()) { return {}; }
+
+    // Span cap: sampled rows are counted exactly, and a count's span grows
+    // with the row's products — one giant row would gate the whole sample
+    // pass on its own latency, the very cost estimation exists to dodge.
+    // Rows above the cap are left to the collision-model extrapolation
+    // (their storage comes from the no-risk capacity bound anyway).
+    const index_t cap = std::max<index_t>(
+        2048, to_index(16 * (total_products / static_cast<wide_t>(all_bearing.size()))));
+    std::vector<index_t> bearing;
+    index_t hub = -1;  // largest row still under the span cap
+    wide_t hub_products = 0;
+    for (const index_t i : all_bearing) {
+        if (products[to_size(i)] > cap) { continue; }
+        bearing.push_back(i);
+        if (products[to_size(i)] > hub_products) {
+            hub_products = products[to_size(i)];
+            hub = i;
+        }
+    }
+    if (bearing.empty()) {
+        // Pathological: every row exceeds the cap. Sample the smallest row
+        // so the model still has one observation.
+        index_t smallest = all_bearing.front();
+        for (const index_t i : all_bearing) {
+            if (products[to_size(i)] < products[to_size(smallest)]) { smallest = i; }
+        }
+        return {smallest};
+    }
+
+    const double rate = std::clamp(sample_rate, 1e-6, 1.0);
+    const auto n_bearing = bearing.size();
+    // At least 8 samples (when available) so the buckets have something to
+    // average; never more than the population.
+    const std::size_t want = std::min(
+        n_bearing,
+        std::max<std::size_t>(8, static_cast<std::size_t>(
+                                     std::ceil(rate * static_cast<double>(n_bearing)))));
+
+    std::vector<index_t> picked;
+    picked.reserve(want + 1);
+    // Jittered stride over the product-bearing rows: stratified like a
+    // plain stride (every region of the matrix contributes) but the
+    // per-stratum offset breaks alignment with periodic structure.
+    const double stride = static_cast<double>(n_bearing) / static_cast<double>(want);
+    for (std::size_t s = 0; s < want; ++s) {
+        const auto lo = static_cast<std::size_t>(stride * static_cast<double>(s));
+        const auto hi = std::min(
+            n_bearing, static_cast<std::size_t>(stride * static_cast<double>(s + 1)));
+        const std::size_t width = hi > lo ? hi - lo : 1;
+        const std::size_t off = static_cast<std::size_t>(mix64(s) % width);
+        picked.push_back(bearing[std::min(lo + off, n_bearing - 1)]);
+    }
+    // The hub row dominates the scaling footprint and the worst bucket:
+    // always pin it into the sample.
+    if (hub >= 0) { picked.push_back(hub); }
+    std::sort(picked.begin(), picked.end());
+    picked.erase(std::unique(picked.begin(), picked.end()), picked.end());
+    return picked;
+}
+
+double NnzEstimateModel::predict(index_t products) const
+{
+    if (products <= 0) { return 0.0; }
+    const EstimateBucket& bkt = buckets[static_cast<std::size_t>(bucket_of(products))];
+    const double p = static_cast<double>(products);
+    if (bkt.samples > 0) { return std::min(bkt.mean_ratio * p, p); }
+    // Unsampled bucket: extrapolate with the fitted collision model.
+    return std::min(expected_distinct(p, effective_cols), p);
+}
+
+double NnzEstimateModel::padded_nnz(index_t products, double sigmas) const
+{
+    const EstimateBucket& bkt = buckets[static_cast<std::size_t>(bucket_of(products))];
+    const double p = static_cast<double>(products);
+    if (bkt.samples > 0) {
+        // Mean + `sigmas` sigma of the bucket's sampled ratios: an upper
+        // bound the group-0 retry only has to rescue the tail from.
+        return std::min(bkt.mean_ratio + sigmas * bkt.sigma(), 1.0) * p;
+    }
+    return (1.0 + 0.125 * sigmas) * expected_distinct(p, effective_cols);
+}
+
+index_t NnzEstimateModel::capacity(index_t products, index_t cols) const
+{
+    if (products <= 0) { return 0; }
+    const double bound = static_cast<double>(std::min(products, cols));
+    if (predict(products) > static_cast<double>(shared_nnz_limit)) {
+        // Predicted-global row: pad storage is cheap relative to a full
+        // recompute of a hub row, so reserve the no-risk upper bound —
+        // plan_nnz() keeps the actual hash table prediction-sized.
+        return std::max<index_t>(1, std::min(products, cols));
+    }
+    // Storage pad is wider (3 sigma) than the table pad: a bigger slot in
+    // pad storage costs nothing but memory, while a capacity overflow costs
+    // a full row recompute. Clamp to >= 1: an estimated-empty row that
+    // turns out non-empty must still get a real hash table (see the
+    // hash_slot zero-size guard).
+    return std::max<index_t>(
+        1, static_cast<index_t>(std::min(std::ceil(padded_nnz(products, 3.0)), bound)));
+}
+
+index_t NnzEstimateModel::plan_nnz(index_t products, index_t cols) const
+{
+    if (products <= 0) { return 0; }
+    const double base = predict(products);
+    const double bound = static_cast<double>(std::min(products, cols));
+    if (base > static_cast<double>(shared_nnz_limit)) {
+        // Predicted-global row: it sits in the per-row-global group no
+        // matter what, and a larger table there only costs a linear
+        // init/scan — double the 2-sigma pad so a prediction miss
+        // saturates far less often (a hub recompute is the most expensive
+        // rescue).
+        return std::max<index_t>(
+            1, static_cast<index_t>(std::min(std::ceil(2.0 * padded_nnz(products)), bound)));
+    }
+    // Predicted-shared row: padding must not push it across the
+    // shared/global boundary — that swaps a cheap shared-table kernel for
+    // a global-table one on every boundary row, which costs far more than
+    // the occasional saturate-and-rewrite it avoids. Cap at the largest
+    // shared level; the group-0 retry absorbs the tail.
+    const double padded = std::min(padded_nnz(products),
+                                   static_cast<double>(shared_nnz_limit));
+    return std::max<index_t>(
+        1, static_cast<index_t>(std::min(std::ceil(padded), bound)));
+}
+
+double NnzEstimateModel::confidence(index_t products) const
+{
+    if (products <= 0) { return 1.0; }
+    const EstimateBucket& bkt = buckets[static_cast<std::size_t>(bucket_of(products))];
+    if (bkt.samples > 0) { return bkt.confidence; }
+    // Extrapolation is worth much less than observation.
+    return 0.25 * global_confidence;
+}
+
+NnzEstimateModel fit_nnz_model(std::span<const index_t> sample_rows,
+                               std::span<const index_t> sample_products,
+                               std::span<const index_t> sample_nnz,
+                               double sample_work_cycles, const HashTableStats& probe_stats)
+{
+    NSPARSE_EXPECTS(sample_rows.size() == sample_products.size() &&
+                        sample_rows.size() == sample_nnz.size(),
+                    "sample spans must have equal length");
+    NnzEstimateModel m;
+    m.probe_stats = probe_stats;
+    if (sample_rows.empty()) { return m; }
+
+    // Per-bucket running mean/variance of the ratios (Welford).
+    wide_t total_products = 0;
+    double ratio_sum = 0.0;
+    index_t max_products = 0;
+    index_t max_products_nnz = 0;
+    for (std::size_t s = 0; s < sample_rows.size(); ++s) {
+        const index_t p = sample_products[s];
+        if (p <= 0) { continue; }
+        total_products += p;
+        const double ratio =
+            static_cast<double>(sample_nnz[s]) / static_cast<double>(p);
+        ratio_sum += ratio;
+        EstimateBucket& bkt = m.buckets[static_cast<std::size_t>(bucket_of(p))];
+        ++bkt.samples;
+        const double delta = ratio - bkt.mean_ratio;
+        bkt.mean_ratio += delta / static_cast<double>(bkt.samples);
+        bkt.m2 += delta * (ratio - bkt.mean_ratio);
+        if (p > max_products) {
+            max_products = p;
+            max_products_nnz = sample_nnz[s];
+        }
+    }
+    if (total_products == 0) { return m; }
+    m.global_mean_ratio = ratio_sum / static_cast<double>(sample_rows.size());
+    m.cost_per_product = sample_work_cycles / static_cast<double>(total_products);
+
+    // Per-bucket confidence: more samples and a tighter spread both help.
+    double conf_sum = 0.0;
+    int sampled_buckets_weight = 0;
+    for (EstimateBucket& bkt : m.buckets) {
+        if (bkt.samples == 0) { continue; }
+        const double n = static_cast<double>(bkt.samples);
+        const double cv = bkt.mean_ratio > 0.0 ? bkt.sigma() / bkt.mean_ratio : 0.0;
+        bkt.confidence = (n / (n + 2.0)) / (1.0 + cv);
+        conf_sum += bkt.confidence * n;
+        sampled_buckets_weight += bkt.samples;
+    }
+    m.global_confidence =
+        sampled_buckets_weight > 0 ? conf_sum / static_cast<double>(sampled_buckets_weight)
+                                   : 0.0;
+
+    // Fit the collision model's effective column universe from the most
+    // informative sample (largest products): the smallest c with
+    // expected_distinct(p, c) >= observed nnz. Monotone in c -> bisection.
+    {
+        const double p = static_cast<double>(max_products);
+        const double nz = static_cast<double>(std::max<index_t>(max_products_nnz, 1));
+        double lo = nz;          // c >= nnz always
+        double hi = nz * 1e6;    // effectively "no collisions"
+        if (expected_distinct(p, lo) >= nz) {
+            m.effective_cols = lo;
+        } else {
+            for (int it = 0; it < 60; ++it) {
+                const double mid = 0.5 * (lo + hi);
+                if (expected_distinct(p, mid) >= nz) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            m.effective_cols = hi;
+        }
+    }
+    return m;
+}
+
+}  // namespace nsparse::core

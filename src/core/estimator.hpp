@@ -1,0 +1,364 @@
+// Estimation-based symbolic planning (OCEAN-style: "Fast Estimation-Based
+// SpGEMM on GPU").
+//
+// Instead of counting every output row exactly, the planner samples a
+// small deterministic subset of rows, counts those exactly on per-row
+// global tables (charged to the "estimate" trace phase), and fits a
+// two-part model of the compression ratio nnz(C_i)/products_i:
+//   - per log2(products) bucket, the empirical mean and spread of the
+//     sampled ratios (rows with similar product counts collide similarly);
+//   - a birthday-style hash-collision model with an effective column
+//     universe fitted from the largest sampled row, used to extrapolate to
+//     buckets the sample did not reach (hub rows).
+// The model predicts every unsampled row's nnz, a padded planning capacity
+// (mean + 2 sigma of its bucket) and a confidence score. Underestimates
+// are absorbed bit-identically downstream by the group-0 retry safety net
+// (core/numeric_estimated.hpp), so the plan never has to be right — only
+// cheap and usually right.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/grouping.hpp"
+#include "core/hash_table.hpp"
+#include "core/kernel_costs.hpp"
+#include "core/options.hpp"
+#include "core/symbolic.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_csr.hpp"
+
+namespace nsparse::core {
+
+/// One log2(products) bucket of the sampled ratio distribution.
+struct EstimateBucket {
+    int samples = 0;
+    double mean_ratio = 0.0;  ///< mean nnz/products of the sampled rows
+    double m2 = 0.0;          ///< Welford sum of squared deviations
+    double confidence = 0.0;  ///< 0..1; grows with samples, shrinks with spread
+
+    [[nodiscard]] double sigma() const
+    {
+        return samples <= 0 ? 0.0 : std::sqrt(m2 / static_cast<double>(samples));
+    }
+};
+
+/// The fitted sample + hash-collision model.
+struct NnzEstimateModel {
+    static constexpr int kBuckets = 33;  ///< index = bit_width(products) in [1, 32]
+    std::vector<EstimateBucket> buckets =
+        std::vector<EstimateBucket>(static_cast<std::size_t>(kBuckets));
+    double effective_cols = 1.0;    ///< fitted column universe of the collision model
+    double global_mean_ratio = 1.0; ///< sample-weighted mean ratio
+    double global_confidence = 0.0; ///< sample-weighted mean bucket confidence
+    double cost_per_product = 0.0;  ///< sampled symbolic work-cycles per product
+    HashTableStats probe_stats;     ///< collision evidence from the sample pass
+    /// Largest nnz a numeric shared-memory table holds (set by the planner
+    /// from the device spec). A row whose padded prediction exceeds it runs
+    /// on a per-row global table regardless, where the quadratic emit sort
+    /// dwarfs the linear table scan — so such rows get the exact-safe
+    /// *storage* capacity min(products, cols) instead of a padded guess
+    /// (a hub-row misprediction would double the most expensive rows in
+    /// the matrix), while plan_nnz() keeps their table prediction-sized.
+    index_t shared_nnz_limit = std::numeric_limits<index_t>::max();
+
+    /// Predicted output nnz of a row with `products` intermediate products.
+    [[nodiscard]] double predict(index_t products) const;
+    /// Padded (mean + `sigmas` sigma / extrapolation-scaled) nnz
+    /// prediction, unclamped.
+    [[nodiscard]] double padded_nnz(index_t products, double sigmas = 2.0) const;
+    /// Pad *storage* reserved for the row, clamped to [1, min(products, cols)]:
+    /// the 3-sigma padded prediction (storage overflow costs a full row
+    /// recompute; slack only costs memory), or the no-risk bound above
+    /// shared_nnz_limit.
+    [[nodiscard]] index_t capacity(index_t products, index_t cols) const;
+    /// Planning nnz used for numeric grouping and hash-table sizing: the
+    /// padded prediction (doubled above shared_nnz_limit, where a bigger
+    /// global table is cheap insurance), clamped like capacity. Always
+    /// <= capacity(), so a row whose planned table held its keys can still
+    /// overflow storage only below the shared limit — never on hub rows.
+    [[nodiscard]] index_t plan_nnz(index_t products, index_t cols) const;
+    /// Confidence of the prediction for this product count (0..1).
+    [[nodiscard]] double confidence(index_t products) const;
+};
+
+/// Deterministically picks the rows the estimator counts exactly: a jittered
+/// stride over the product-bearing rows plus the largest-product hub row.
+/// Returns sorted unique row indices; empty when no row has products.
+[[nodiscard]] std::vector<index_t> choose_sample_rows(std::span<const index_t> products,
+                                                      double sample_rate);
+
+/// Fits the bucket + collision model from exactly counted sample rows.
+/// `sample_work_cycles` is the total simulated work the sample pass charged,
+/// used to calibrate cost_per_product (and through it symbolic_cycles_saved).
+[[nodiscard]] NnzEstimateModel fit_nnz_model(std::span<const index_t> sample_rows,
+                                             std::span<const index_t> sample_products,
+                                             std::span<const index_t> sample_nnz,
+                                             double sample_work_cycles,
+                                             const HashTableStats& probe_stats);
+
+namespace detail {
+
+/// Global table size for a one-off exact row count: room for every distinct
+/// column (<= min(products, cols)) at load factor <= 0.5, clamped to >= 1
+/// entry (the zero-size guard of the planner, see hash_slot).
+[[nodiscard]] inline index_t estimate_count_table(index_t products, index_t cols)
+{
+    const index_t need = std::max<index_t>(1, std::min(products, cols));
+    const index_t base = next_pow2(need);
+    return base >= (index_t{1} << 30) ? base : base * 2;
+}
+
+}  // namespace detail
+
+/// Result of one contained exact-count pass over an explicit row list.
+struct CountRowsOutcome {
+    PhaseFaults faults;
+    double work_cycles = 0.0;      ///< total kernel work charged (cost-model cycles)
+    HashTableStats probe_stats;    ///< merged probe tally across the counted rows
+};
+
+/// Counts `rows` exactly on per-row global tables, writing nnz into the
+/// host-side `nnz_out[row]`. Mirrors the group-0 containment contract of
+/// symbolic_phase: rows listed in `inject` fault on the first attempt,
+/// saturated rows retry on doubling tables (bounded by opt.max_row_retries),
+/// stragglers fall back to the host count. Charged to the device's current
+/// phase under `kernel_name`.
+template <ValueType T>
+CountRowsOutcome count_rows_contained(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                                      const sim::DeviceCsr<T>& b,
+                                      std::span<const index_t> rows,
+                                      std::span<const index_t> products,
+                                      std::span<index_t> nnz_out, const Options& opt,
+                                      const std::vector<std::uint8_t>& inject,
+                                      const char* kernel_name)
+{
+    CountRowsOutcome out;
+    if (rows.empty()) { return out; }
+    const ElemCosts ec = ElemCosts::make(dev.cost_model(), /*numeric=*/false, sizeof(T));
+
+    std::vector<index_t> pending;
+    int attempt = 0;  // 0 = the first (injectable) attempt, then doubling retries
+    std::vector<index_t> current(rows.begin(), rows.end());
+    while (!current.empty() && attempt <= opt.max_row_retries) {
+        // Symbolic tables are keys only, so most rows count in shared
+        // memory at the same probe costs as the symbolic pass this stands
+        // in for; oversized tables go to per-launch global arenas. Rows
+        // are bucketed by table size — one launch per size, with block
+        // size and declared shared bytes matched to the table, so small
+        // sampled rows pack densely on the SMs instead of every row
+        // claiming a worst-case block.
+        const std::size_t n = current.size();
+        std::vector<std::uint8_t> still(n, 0);
+        // Per-row (= per-block) outputs so the executor threads never share
+        // a cell: counts, work tallies and probe statistics all reduce
+        // host-side in row order afterwards.
+        std::vector<double> row_work(n, 0.0);
+        std::vector<HashTableStats> row_probes(n);
+        std::vector<index_t> tsizes(n);
+        std::map<index_t, std::vector<std::size_t>> buckets;  // table size -> positions
+        for (std::size_t r = 0; r < n; ++r) {
+            const index_t base =
+                detail::estimate_count_table(products[to_size(current[r])], b.cols);
+            tsizes[r] = detail::retry_table_size(base, attempt);
+            buckets[tsizes[r]].push_back(r);
+        }
+        // One arena (single allocation) backs every oversized table of the
+        // attempt; each global bucket gets a base offset into it.
+        std::map<index_t, std::size_t> arena_base;  // table size -> base offset
+        std::size_t arena_total = 0;
+        for (const auto& [tsize, pos] : buckets) {
+            if (to_size(tsize) * sizeof(index_t) > dev.spec().max_shared_per_block) {
+                arena_base[tsize] = arena_total;
+                arena_total += pos.size() * to_size(tsize);
+            }
+        }
+        sim::DeviceBuffer<index_t> arena;
+        if (arena_total > 0) {
+            arena = sim::DeviceBuffer<index_t>(dev.allocator(), arena_total);
+            arena.fill(kEmptySlot);
+        }
+        for (const auto& [tsize, pos] : buckets) {
+            const std::size_t bytes = to_size(tsize) * sizeof(index_t);
+            const bool sh = !arena_base.contains(tsize);
+            const std::size_t base = sh ? 0 : arena_base[tsize];
+            const int block = std::clamp(static_cast<int>(tsize / 4), 64,
+                                         dev.spec().max_threads_per_block);
+            const int warps = std::max(1, block / dev.spec().warp_size);
+            const sim::Stream stream =
+                opt.use_streams ? dev.create_stream() : dev.default_stream();
+            dev.launch(stream, {to_index(pos.size()), block, sh ? bytes : 0}, kernel_name,
+                       [&, &pos = pos, tsize = tsize, block, warps, sh, base,
+                        attempt](sim::BlockCtx& blk) {
+                           const auto q = to_size(blk.block_idx());
+                           const std::size_t r = pos[q];
+                           const index_t i = current[r];
+                           if (attempt == 0 && !inject.empty() && inject[to_size(i)] != 0) {
+                               still[r] = 1;
+                               return;
+                           }
+                           std::span<index_t> table;
+                           if (sh) {
+                               table = blk.shared_alloc<index_t>(to_size(tsize));
+                               std::fill(table.begin(), table.end(), kEmptySlot);
+                               blk.shared_op(block, std::ceil(static_cast<double>(tsize) /
+                                                              block));
+                           } else {
+                               table = arena.span().subspan(base + q * to_size(tsize),
+                                                            to_size(tsize));
+                               blk.global_write(block, sizeof(index_t),
+                                                sim::MemPattern::kCoalesced,
+                                                std::ceil(static_cast<double>(tsize) /
+                                                          block));
+                           }
+                           std::vector<double> warp_cycles(to_size(warps), 0.0);
+                           const index_t nz = detail::count_row_hashed(
+                               a, b, i, table, true, ec,
+                               sh ? ec.probe_shared : ec.probe_global,
+                               sh ? ec.insert_shared : ec.insert_global, warp_cycles,
+                               dev.spec().warp_size, &row_probes[r]);
+                           if (nz < 0) {
+                               still[r] = 1;
+                           } else {
+                               nnz_out[to_size(i)] = nz;
+                           }
+                           const double tail = 2.0 * dev.cost_model().warp_shuffle +
+                                               dev.cost_model().barrier;
+                           const double work = detail::sum(warp_cycles) * 32.0;
+                           row_work[r] = work;
+                           blk.charge_work_span(work, detail::max_of(warp_cycles) + tail);
+                       });
+        }
+        dev.synchronize();
+        for (std::size_t r = 0; r < n; ++r) {
+            out.work_cycles += row_work[r];
+            out.probe_stats.operations += row_probes[r].operations;
+            out.probe_stats.probes += row_probes[r].probes;
+            out.probe_stats.inserts += row_probes[r].inserts;
+        }
+        if (attempt > 0) { out.faults.row_retries += static_cast<int>(n); }
+        std::vector<index_t> next;
+        for (std::size_t r = 0; r < n; ++r) {
+            if (still[r] == 0) { continue; }
+            next.push_back(current[r]);
+            if (attempt == 0) {
+                ++out.faults.faulted_rows;
+                dev.record_fault_event("estimate_count_fault", 0, current[r], tsizes[r],
+                                       static_cast<int>(tsizes[r]), 0);
+            } else {
+                dev.record_fault_event("estimate_count_retry", 0, current[r], tsizes[r],
+                                       static_cast<int>(tsizes[r]), attempt);
+            }
+        }
+        current = std::move(next);
+        ++attempt;
+    }
+
+    // Host reference recourse: count the remaining rows directly.
+    for (const index_t i : current) {
+        std::vector<index_t> cols;
+        for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+            const index_t d = a.col[to_size(j)];
+            for (index_t k = b.rpt[to_size(d)]; k < b.rpt[to_size(d) + 1]; ++k) {
+                cols.push_back(b.col[to_size(k)]);
+            }
+        }
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        nnz_out[to_size(i)] = to_index(cols.size());
+        ++out.faults.host_fallback_rows;
+        dev.record_fault_event("estimate_host_count", 0, i, 0, 0, attempt);
+    }
+    return out;
+}
+
+/// The estimation-based row plan of one multiply: a planned output capacity
+/// per row plus which of those are exact counts vs model predictions.
+struct RowPlan {
+    std::vector<index_t> capacity;     ///< pad storage reserved per row
+    std::vector<index_t> plan_nnz;     ///< grouping / table-sizing nnz (<= capacity)
+    std::vector<std::uint8_t> exact;   ///< 1 = capacity is the exact nnz
+    std::vector<index_t> lowconf;      ///< hybrid: rows still needing an exact count
+    NnzEstimateModel model;
+    int sampled_rows = 0;
+    int estimated_rows = 0;            ///< rows planned from the model
+    double symbolic_cycles_saved = 0.0;
+    PhaseFaults sample_faults;         ///< containment tally of the sample pass
+};
+
+/// Samples, fits the model and classifies every row (run under the
+/// "estimate" phase). Rows in `lowconf` still carry capacity 0 / exact 0:
+/// the caller counts them under the shrunken symbolic pass (so the cost
+/// lands in the "count" bucket like the pass it replaces) and marks them
+/// exact. Product-free rows are exact by construction.
+template <ValueType T>
+RowPlan build_row_plan(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b,
+                       const sim::DeviceBuffer<index_t>& products, const Options& opt)
+{
+    RowPlan plan;
+    const auto rows = to_size(a.rows);
+    plan.capacity.assign(rows, 0);
+    plan.plan_nnz.assign(rows, 0);
+    plan.exact.assign(rows, 0);
+
+    const std::span<const index_t> prod(products.data(), rows);
+    const std::vector<index_t> sample = choose_sample_rows(prod, opt.estimate_sample_rate);
+    plan.sampled_rows = static_cast<int>(sample.size());
+
+    // Exact counts for the sample (honours symbolic fault injection like
+    // the pass it stands in for; injected sampled rows flow through the
+    // same containment retries and still calibrate the model).
+    const std::vector<std::uint8_t> inject =
+        detail::inject_flags(opt.inject_symbolic_row_faults, a.rows);
+    const CountRowsOutcome counted = count_rows_contained(
+        dev, a, b, sample, prod, std::span<index_t>(plan.capacity), opt, inject,
+        "estimate_sample");
+    plan.sample_faults = counted.faults;
+
+    std::vector<index_t> sample_products(sample.size());
+    std::vector<index_t> sample_nnz(sample.size());
+    for (std::size_t s = 0; s < sample.size(); ++s) {
+        sample_products[s] = prod[to_size(sample[s])];
+        sample_nnz[s] = plan.capacity[to_size(sample[s])];
+        plan.plan_nnz[to_size(sample[s])] = sample_nnz[s];
+        plan.exact[to_size(sample[s])] = 1;
+    }
+    plan.model = fit_nnz_model(sample, sample_products, sample_nnz, counted.work_cycles,
+                               counted.probe_stats);
+    // The numeric grouping's shared/global boundary: rows predicted past
+    // the largest shared table land in the per-row-global group 0.
+    plan.model.shared_nnz_limit =
+        GroupingPolicy::numeric(dev.spec(), sizeof(T), opt.pwarp_width, opt.use_pwarp)
+            .max_shared_table;
+
+    const bool hybrid = opt.plan_mode == PlanMode::kHybrid;
+    wide_t estimated_products = 0;
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (plan.exact[to_size(i)] != 0) { continue; }
+        const index_t p = prod[to_size(i)];
+        if (p <= 0) {
+            // No products, no output: exact without counting anything.
+            plan.exact[to_size(i)] = 1;
+            continue;
+        }
+        if (hybrid && plan.model.confidence(p) < opt.estimate_confidence) {
+            plan.lowconf.push_back(i);
+            continue;
+        }
+        plan.capacity[to_size(i)] = plan.model.capacity(p, b.cols);
+        plan.plan_nnz[to_size(i)] = plan.model.plan_nnz(p, b.cols);
+        ++plan.estimated_rows;
+        estimated_products += p;
+    }
+    plan.symbolic_cycles_saved =
+        plan.model.cost_per_product * static_cast<double>(estimated_products);
+    return plan;
+}
+
+}  // namespace nsparse::core

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <bit>
+#include <cstdint>
 #include <span>
 
 #include "sparse/types.hpp"
@@ -39,11 +40,44 @@ struct ProbeResult {
     bool inserted = false;  ///< key was new and claimed a slot (atomicCAS)
     bool found = false;     ///< key already present
     bool full = false;      ///< table saturated: row must fall back (group 0)
-    int probes = 0;         ///< slots inspected (cost: one table read each)
+    /// Slots inspected (cost: one table read each). 64-bit: adversarial
+    /// worst-case rows composed with group-0 doubling retries accumulate
+    /// probe totals past the 32-bit range.
+    std::int64_t probes = 0;
+};
+
+/// Cumulative probe statistics across many hash operations — the
+/// collision evidence the estimation-based planner samples. Totals are
+/// 64-bit for the same reason as ProbeResult::probes: a full-suite tally
+/// over adversarial rows overflows an int.
+struct HashTableStats {
+    std::int64_t operations = 0;  ///< inserts + lookups observed
+    std::int64_t probes = 0;      ///< total slots inspected
+    std::int64_t inserts = 0;     ///< operations that claimed a new slot
+
+    void observe(const ProbeResult& r)
+    {
+        NSPARSE_ASSERT(r.probes >= 0, "negative probe count");
+        ++operations;
+        probes += r.probes;
+        if (r.inserted) { ++inserts; }
+        NSPARSE_ASSERT(probes >= 0, "probe tally overflowed");
+    }
+
+    /// Average probe-chain length (>= 1 on any non-empty tally).
+    [[nodiscard]] double chain() const
+    {
+        return operations == 0 ? 1.0
+                               : static_cast<double>(probes) / static_cast<double>(operations);
+    }
 };
 
 [[nodiscard]] inline index_t hash_slot(index_t key, index_t table_size, bool pow2)
 {
+    // A zero-sized table would be UB here (bit-and with -1 reads out of
+    // bounds upstream; modulus divides by zero). Planner output is clamped
+    // to >= 1 entry; a violation is a library bug, not a caller error.
+    NSPARSE_ASSERT(table_size >= 1, "hash_slot requires a non-empty table");
     const std::uint32_t h = static_cast<std::uint32_t>(key) * kHashScale;
     if (pow2) { return static_cast<index_t>(h & static_cast<std::uint32_t>(table_size - 1)); }
     return static_cast<index_t>(h % static_cast<std::uint32_t>(table_size));

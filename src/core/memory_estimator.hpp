@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <span>
 
 #include "core/grouping.hpp"
 #include "core/hash_table.hpp"
@@ -24,14 +25,25 @@ struct MemoryEstimate {
     std::size_t symbolic_global = 0; ///< group-0 fallback key tables
     std::size_t numeric_global = 0;  ///< group-0 (key,value) tables
     std::size_t peak = 0;            ///< predicted allocator peak
+    /// Largest single-row footprint (its output share plus its global-table
+    /// arenas): the quantity a row-slab plan must budget for *on top of*
+    /// the mean, or a dense hub row blows the first slab.
+    std::size_t max_row = 0;
 };
 
+/// The allocation-schedule walk with the per-row output nnz supplied by the
+/// caller: exact counts reproduce estimate_hash_spgemm_memory; the
+/// estimation-based planner (core/estimator.hpp) feeds its sampled
+/// predictions through the same walk to answer "will it fit?" without the
+/// exact symbolic pass.
 template <ValueType T>
-[[nodiscard]] MemoryEstimate estimate_hash_spgemm_memory(const CsrMatrix<T>& a,
-                                                         const CsrMatrix<T>& b,
-                                                         const sim::DeviceSpec& spec = {})
+[[nodiscard]] MemoryEstimate estimate_hash_spgemm_memory_from_nnz(
+    const CsrMatrix<T>& a, const CsrMatrix<T>& b, std::span<const index_t> products,
+    std::span<const index_t> nnz, const sim::DeviceSpec& spec = {})
 {
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    NSPARSE_EXPECTS(products.size() == to_size(a.rows) && nnz.size() == to_size(a.rows),
+                    "per-row spans must cover every row of A");
     const auto sym = GroupingPolicy::symbolic(spec);
     const auto num = GroupingPolicy::numeric(spec, sizeof(T));
 
@@ -42,23 +54,26 @@ template <ValueType T>
     // products + symbolic permutation + row_nnz + numeric permutation
     e.bookkeeping = 4 * rows * sizeof(index_t);
 
-    const auto products = intermediate_products_per_row(a, b);
-    const auto nnz = reference_row_nnz(a, b);
-
     wide_t nnz_c = 0;
     for (index_t i = 0; i < a.rows; ++i) {
+        std::size_t row_bytes = to_size(nnz[to_size(i)]) * (sizeof(index_t) + sizeof(T));
         nnz_c += nnz[to_size(i)];
         // symbolic fallback: a group-0 row whose distinct-column count
         // saturates the largest shared table
         if (products[to_size(i)] > sym.max_shared_table &&
             nnz[to_size(i)] >= sym.max_shared_table) {
-            e.symbolic_global +=
+            const std::size_t t =
                 to_size(next_pow2(products[to_size(i)])) * sizeof(index_t);
+            e.symbolic_global += t;
+            row_bytes += t;
         }
         if (nnz[to_size(i)] > num.max_shared_table) {
-            e.numeric_global += to_size(next_pow2(std::max<index_t>(1, nnz[to_size(i)]) * 2)) *
-                                (sizeof(index_t) + sizeof(T));
+            const std::size_t t = to_size(next_pow2(std::max<index_t>(1, nnz[to_size(i)]) * 2)) *
+                                  (sizeof(index_t) + sizeof(T));
+            e.numeric_global += t;
+            row_bytes += t;
         }
+        e.max_row = std::max(e.max_row, row_bytes);
     }
     e.output = (rows + 1) * sizeof(index_t) +
                to_size(nnz_c) * (sizeof(index_t) + sizeof(T));
@@ -78,14 +93,28 @@ template <ValueType T>
     return e;
 }
 
+template <ValueType T>
+[[nodiscard]] MemoryEstimate estimate_hash_spgemm_memory(const CsrMatrix<T>& a,
+                                                         const CsrMatrix<T>& b,
+                                                         const sim::DeviceSpec& spec = {})
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    const auto products = intermediate_products_per_row(a, b);
+    const auto nnz = reference_row_nnz(a, b);
+    return estimate_hash_spgemm_memory_from_nnz(a, b, products, nnz, spec);
+}
+
 /// Plans the row-slab split of the OOM fallback: the smallest slab count k
 /// such that the estimated per-slab footprint fits `budget_bytes`. B stays
 /// resident for every slab; everything else (A's slab, bookkeeping, the
 /// slab's share of C and of the global-table arenas) scales roughly with
-/// 1/k, so k = ceil(scaling / (budget - resident)). The caller's bounded
-/// slab-halving retries absorb the estimate being optimistic for skewed
-/// rows. Returns 0 when not even a single-row slab can fit (B alone
-/// exceeds the budget).
+/// 1/k. The mean alone is not enough: one dense hub row can put nearly the
+/// whole scaling footprint into whichever slab holds it, so the slab that
+/// gets the largest row must fit mean-share *plus* that row — i.e.
+/// k = ceil(scaling / (budget - resident - max_row)). The caller's bounded
+/// slab-halving retries absorb the estimate still being optimistic.
+/// Returns 0 when not even a single-row slab can fit (B alone exceeds the
+/// budget).
 template <ValueType T>
 [[nodiscard]] index_t plan_row_slabs(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
                                      std::size_t budget_bytes,
@@ -97,8 +126,13 @@ template <ValueType T>
     const std::size_t per_slab_budget = budget_bytes - resident;
     const std::size_t scaling = e.peak > resident ? e.peak - resident : 0;
     if (scaling == 0) { return 1; }
-    const std::size_t k = (scaling + per_slab_budget - 1) / per_slab_budget;
     const std::size_t max_k = to_size(std::max<index_t>(a.rows, 1));
+    // Reserve the hub row's footprint out of every slab's budget; when the
+    // budget cannot even cover that row the best the plan can do is
+    // single-row slabs (the hub slab may still OOM and surface upstream).
+    if (per_slab_budget <= e.max_row) { return to_index(max_k); }
+    const std::size_t usable = per_slab_budget - e.max_row;
+    const std::size_t k = (scaling + usable - 1) / usable;
     return to_index(std::min(std::max<std::size_t>(k, 1), max_k));
 }
 

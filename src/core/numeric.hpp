@@ -59,11 +59,11 @@ template <ValueType T>
                 hash_accumulate(keys, values, b.col[to_size(k)], av * b.val[to_size(k)], pow2);
             if (r.full) {
                 // Charge the fruitless full-table scan, then bail out.
-                elem_cycles += ec.elem_b + r.probes * probe_cost;
+                elem_cycles += ec.elem_b + static_cast<double>(r.probes) * probe_cost;
                 full = true;
                 break;
             }
-            elem_cycles += ec.elem_b + r.probes * probe_cost + accum_cost +
+            elem_cycles += ec.elem_b + static_cast<double>(r.probes) * probe_cost + accum_cost +
                            (r.inserted ? insert_cost : 0.0);
         }
         const double rounds = lane_div <= 1

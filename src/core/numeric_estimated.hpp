@@ -1,0 +1,571 @@
+// Numeric materialisation under estimation-based planning (Options::
+// plan_mode != kExact).
+//
+// Without an exact symbolic pass the row pointers are not known up front,
+// so the numeric kernels write each row into *padded* storage sized by the
+// planned capacities (core/estimator.hpp), recording the actual nnz as a
+// by-product. The exact row pointers are then scanned from those actuals,
+// well-predicted rows are compacted into the final CSR with coalesced
+// copies, and the mispredicted rest — rows that overflowed their capacity
+// or saturated their planned table — is recomputed straight into the final
+// CSR by the group-0 retry machinery of PR 3 (doubling global tables,
+// bounded by Options::max_row_retries, host recourse after that).
+//
+// Byte-identity with exact planning holds because hash_accumulate adds
+// values in traversal order for any table size and every emit sorts by
+// column: the planned capacities only decide *where* a row is computed,
+// never what it contains.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/fault.hpp"
+#include "core/grouping.hpp"
+#include "core/hash_table.hpp"
+#include "core/kernel_costs.hpp"
+#include "core/numeric.hpp"
+#include "core/options.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_csr.hpp"
+#include "sparse/error.hpp"
+
+namespace nsparse::core {
+
+namespace detail {
+
+/// emit_row against padded storage: gathers/sorts the finished table like
+/// emit_row, reports the actual nnz, and writes only when the row fits its
+/// planned capacity (out spans). Returns the same (work, span) cycles as
+/// emit_row — an overflowing row still paid for discovering the overflow.
+template <ValueType T>
+[[nodiscard]] inline std::pair<double, double> emit_row_padded(
+    std::span<const index_t> keys, std::span<const T> values, std::span<index_t> out_col,
+    std::span<T> out_val, const sim::CostModel& m, bool shared, int workers, index_t* actual)
+{
+    std::vector<std::pair<index_t, T>> row;
+    for (std::size_t s = 0; s < keys.size(); ++s) {
+        if (keys[s] != kEmptySlot) { row.emplace_back(keys[s], values[s]); }
+    }
+    std::sort(row.begin(), row.end());
+    *actual = to_index(row.size());
+    if (row.size() <= out_col.size()) {
+        for (std::size_t s = 0; s < row.size(); ++s) {
+            out_col[s] = row[s].first;
+            out_val[s] = row[s].second;
+        }
+    }
+
+    const double tsize = static_cast<double>(keys.size());
+    const double nnz = static_cast<double>(row.size());
+    const double scan_access =
+        shared ? m.shared_access
+               : m.global_cost(sizeof(index_t), sim::MemPattern::kCoalesced);
+    const double rank_cmp = shared ? m.sort_compare_shared : m.sort_compare_global;
+    const double w = static_cast<double>(workers);
+    const double write =
+        m.global_cost(sizeof(index_t) + sizeof(T), sim::MemPattern::kCoalesced);
+    const double work = tsize * scan_access + nnz * nnz * rank_cmp + nnz * write;
+    const double span = std::ceil(tsize / w) * scan_access +
+                        std::ceil(nnz / w) * nnz * rank_cmp + std::ceil(nnz / w) * write;
+    return {work, span};
+}
+
+}  // namespace detail
+
+/// What the padded numeric phase established about every row.
+struct EstimatedNumericOutcome {
+    PhaseFaults faults;
+    std::vector<index_t> rewrite_rows;  ///< rows absent from pad storage (ascending)
+    int mispredicted_rows = 0;  ///< plan failed: capacity overflow or saturated table
+};
+
+/// Runs the padded numeric kernels grouped by planned capacity, repairs the
+/// counts of captured rows, and leaves `row_nnz` exact for every row.
+/// `in_pad[i]` = 1 when row i's final data sits in pad storage awaiting
+/// compaction; the complement is returned as rewrite_rows.
+template <ValueType T>
+EstimatedNumericOutcome numeric_phase_estimated(
+    sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b,
+    const GroupingPolicy& policy, const GroupedRows& grouped,
+    const std::vector<index_t>& capacity, const std::vector<index_t>& plan_nnz,
+    const std::vector<index_t>& cap_rpt, sim::DeviceBuffer<index_t>& pad_col,
+    sim::DeviceBuffer<T>& pad_val, const sim::DeviceBuffer<index_t>& products,
+    std::span<const std::uint8_t> exact, sim::DeviceBuffer<index_t>& row_nnz,
+    std::vector<std::uint8_t>& in_pad, const Options& opt)
+{
+    const ElemCosts ec = ElemCosts::make(dev.cost_model(), /*numeric=*/true, sizeof(T));
+    const sim::CostModel& m = dev.cost_model();
+    const index_t* perm = grouped.permutation.data();
+
+    EstimatedNumericOutcome out;
+    in_pad.assign(to_size(a.rows), 0);
+
+    const std::vector<std::uint8_t> inject =
+        detail::inject_flags(opt.inject_numeric_row_faults, a.rows);
+    std::vector<index_t> fault_group(to_size(a.rows), 0);
+    std::vector<index_t> fault_table(to_size(a.rows), 0);
+
+    // Group 0: per-row global (key,value) tables sized from the planning
+    // nnz (clamped >= 1 entry by the planner) — NOT from the storage
+    // capacity, which is deliberately generous for hub rows.
+    sim::DeviceBuffer<index_t> g0_keys;
+    sim::DeviceBuffer<T> g0_vals;
+    std::vector<std::size_t> g0_offs;
+    {
+        const index_t g0 = grouped.group_size(0);
+        if (g0 > 0) {
+            g0_offs.assign(to_size(g0) + 1, 0);
+            for (index_t r = 0; r < g0; ++r) {
+                const index_t i = perm[to_size(grouped.offsets[0] + r)];
+                g0_offs[to_size(r) + 1] =
+                    g0_offs[to_size(r)] +
+                    to_size(next_pow2(std::max<index_t>(1, plan_nnz[to_size(i)]) * 2));
+            }
+            g0_keys = sim::DeviceBuffer<index_t>(dev.allocator(), g0_offs.back());
+            g0_vals = sim::DeviceBuffer<T>(dev.allocator(), g0_offs.back());
+            g0_keys.fill(kEmptySlot);
+        }
+    }
+
+    // Pad-storage view of one row: the capacity-sized slot at cap_rpt[i].
+    const auto pad_row_col = [&](index_t i) {
+        return pad_col.span().subspan(to_size(cap_rpt[to_size(i)]),
+                                      to_size(capacity[to_size(i)]));
+    };
+    const auto pad_row_val = [&](index_t i) {
+        return pad_val.span().subspan(to_size(cap_rpt[to_size(i)]),
+                                      to_size(capacity[to_size(i)]));
+    };
+
+    for (const GroupInfo& g : policy.groups) {
+        const index_t size = grouped.group_size(g.id);
+        if (size == 0) { continue; }
+        const sim::Stream stream = opt.use_streams ? dev.create_stream() : dev.default_stream();
+        const index_t group_begin = grouped.offsets[to_size(g.id)];
+
+        if (g.assignment == Assignment::kPwarpRow) {
+            const int pw = policy.pwarp_width;
+            const auto max_rows_by_smem =
+                to_index(dev.spec().max_shared_per_block /
+                         (to_size(g.table_size) * (sizeof(index_t) + sizeof(T))));
+            const index_t rows_per_block =
+                std::min<index_t>(g.block_size / pw, max_rows_by_smem);
+            const int block_dim = static_cast<int>(rows_per_block) * pw;
+            const index_t grid = (size + rows_per_block - 1) / rows_per_block;
+            const std::size_t smem = to_size(rows_per_block) * to_size(g.table_size) *
+                                     (sizeof(index_t) + sizeof(T));
+            dev.launch(stream, {grid, block_dim, smem}, "numeric_est_pwarp",
+                       [&, group_begin, size, rows_per_block, pw, tsize = g.table_size,
+                        gid = g.id](sim::BlockCtx& blk) {
+                           auto keys = blk.shared_alloc<index_t>(to_size(rows_per_block) *
+                                                                 to_size(tsize));
+                           auto vals = blk.shared_alloc<T>(to_size(rows_per_block) *
+                                                           to_size(tsize));
+                           std::fill(keys.begin(), keys.end(), kEmptySlot);
+                           blk.shared_op(blk.block_dim(), static_cast<double>(tsize) / pw);
+                           double block_span = 0.0;
+                           double block_work = 0.0;
+                           std::vector<double> lane(static_cast<std::size_t>(pw));
+                           for (index_t r = 0; r < rows_per_block; ++r) {
+                               const index_t idx = blk.block_idx() * rows_per_block + r;
+                               if (idx >= size) { break; }
+                               const index_t i = perm[to_size(group_begin + idx)];
+                               if (!inject.empty() && inject[to_size(i)] != 0) {
+                                   fault_group[to_size(i)] = gid + 1;
+                                   fault_table[to_size(i)] = tsize;
+                                   continue;
+                               }
+                               std::fill(lane.begin(), lane.end(), 0.0);
+                               auto k = keys.subspan(to_size(r) * to_size(tsize),
+                                                     to_size(tsize));
+                               auto v = vals.subspan(to_size(r) * to_size(tsize),
+                                                     to_size(tsize));
+                               if (!detail::fill_row_hashed(a, b, i, k, v, true, ec,
+                                                            ec.probe_shared,
+                                                            ec.insert_shared,
+                                                            ec.accum_shared, lane, 1)) {
+                                   fault_group[to_size(i)] = gid + 1;
+                                   fault_table[to_size(i)] = tsize;
+                                   block_work += detail::sum(lane);
+                                   continue;
+                               }
+                               index_t actual = 0;
+                               const auto [ew, es] = detail::emit_row_padded<T>(
+                                   k, v, pad_row_col(i), pad_row_val(i), m,
+                                   /*shared=*/true, pw, &actual);
+                               row_nnz[to_size(i)] = actual;
+                               if (actual <= capacity[to_size(i)]) {
+                                   in_pad[to_size(i)] = 1;
+                               }
+                               block_span = std::max(block_span, detail::max_of(lane) + es);
+                               block_work += detail::sum(lane) + ew;
+                           }
+                           blk.charge_work_span(block_work, block_span);
+                       });
+            continue;
+        }
+
+        if (!g.global_table) {
+            const index_t tsize = g.table_size;
+            const std::size_t smem = to_size(tsize) * (sizeof(index_t) + sizeof(T));
+            const int warps = g.block_size / dev.spec().warp_size;
+            dev.launch(stream, {size, g.block_size, smem}, "numeric_est_tb",
+                       [&, group_begin, tsize, warps, gid = g.id](sim::BlockCtx& blk) {
+                           const index_t i = perm[to_size(group_begin + blk.block_idx())];
+                           if (!inject.empty() && inject[to_size(i)] != 0) {
+                               fault_group[to_size(i)] = gid + 1;
+                               fault_table[to_size(i)] = tsize;
+                               return;
+                           }
+                           auto keys = blk.shared_alloc<index_t>(to_size(tsize));
+                           auto vals = blk.shared_alloc<T>(to_size(tsize));
+                           std::fill(keys.begin(), keys.end(), kEmptySlot);
+                           blk.shared_op(blk.block_dim(),
+                                         std::ceil(static_cast<double>(tsize) /
+                                                   blk.block_dim()));
+                           std::vector<double> warp_cycles(to_size(warps), 0.0);
+                           if (!detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                        ec.probe_shared, ec.insert_shared,
+                                                        ec.accum_shared, warp_cycles,
+                                                        dev.spec().warp_size)) {
+                               fault_group[to_size(i)] = gid + 1;
+                               fault_table[to_size(i)] = tsize;
+                               blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                    detail::max_of(warp_cycles));
+                               return;
+                           }
+                           index_t actual = 0;
+                           const auto [ew, es] = detail::emit_row_padded<T>(
+                               keys, vals, pad_row_col(i), pad_row_val(i), m,
+                               /*shared=*/true, blk.block_dim(), &actual);
+                           row_nnz[to_size(i)] = actual;
+                           if (actual <= capacity[to_size(i)]) { in_pad[to_size(i)] = 1; }
+                           const double tail = dev.cost_model().barrier * 2.0;
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
+                                                detail::max_of(warp_cycles) + es + tail);
+                       });
+            continue;
+        }
+
+        // Group 0: per-row global tables.
+        const int block = dev.spec().max_threads_per_block;
+        const int warps = block / dev.spec().warp_size;
+        dev.launch(stream, {size, block, 0}, "numeric_est_global",
+                   [&, group_begin, warps, block, gid = g.id](sim::BlockCtx& blk) {
+                       const auto r = to_size(blk.block_idx());
+                       const index_t i = perm[to_size(group_begin) + r];
+                       const auto tsize = to_index(g0_offs[r + 1] - g0_offs[r]);
+                       if (!inject.empty() && inject[to_size(i)] != 0) {
+                           fault_group[to_size(i)] = gid + 1;
+                           fault_table[to_size(i)] = tsize;
+                           return;
+                       }
+                       auto keys = g0_keys.span().subspan(g0_offs[r],
+                                                          g0_offs[r + 1] - g0_offs[r]);
+                       auto vals = g0_vals.span().subspan(g0_offs[r],
+                                                          g0_offs[r + 1] - g0_offs[r]);
+                       blk.global_write(block, sizeof(index_t), sim::MemPattern::kCoalesced,
+                                        std::ceil(static_cast<double>(keys.size()) / block));
+                       std::vector<double> warp_cycles(to_size(warps), 0.0);
+                       if (!detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                    ec.probe_global, ec.insert_global,
+                                                    ec.accum_global, warp_cycles,
+                                                    dev.spec().warp_size)) {
+                           fault_group[to_size(i)] = gid + 1;
+                           fault_table[to_size(i)] = tsize;
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                detail::max_of(warp_cycles));
+                           return;
+                       }
+                       index_t actual = 0;
+                       const auto [ew, es] = detail::emit_row_padded<T>(
+                           keys, vals, pad_row_col(i), pad_row_val(i), m,
+                           /*shared=*/false, block, &actual);
+                       row_nnz[to_size(i)] = actual;
+                       if (actual <= capacity[to_size(i)]) { in_pad[to_size(i)] = 1; }
+                       const double tail = dev.cost_model().barrier * 2.0;
+                       blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
+                                            detail::max_of(warp_cycles) + es + tail);
+                   });
+    }
+    dev.synchronize();
+
+    // Captured rows: actual nnz still unknown (fill skipped or saturated).
+    std::vector<index_t> captured;
+    std::vector<index_t> need_count;
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (fault_group[to_size(i)] == 0) { continue; }
+        captured.push_back(i);
+        dev.record_fault_event("numeric_est_row_fault", fault_group[to_size(i)] - 1, i,
+                               fault_table[to_size(i)],
+                               static_cast<int>(fault_table[to_size(i)]), 0);
+        if (exact[to_size(i)] != 0) {
+            // The planned capacity *is* the exact count (sampled, re-counted
+            // or product-free row): no repair needed, only a value rewrite.
+            row_nnz[to_size(i)] = capacity[to_size(i)];
+        } else {
+            need_count.push_back(i);
+        }
+    }
+    out.faults.faulted_rows = static_cast<int>(captured.size());
+
+    // Count repair: exact-count the captured estimated rows so the row
+    // pointer scan sees true nnz everywhere. Tables sized from products are
+    // always sufficient, so this is one bounded pass (injection applies to
+    // first attempts only, and these rows already consumed theirs).
+    if (!need_count.empty()) {
+        const std::span<const index_t> prod(products.data(), to_size(a.rows));
+        const CountRowsOutcome repaired = count_rows_contained(
+            dev, a, b, need_count, prod, std::span<index_t>(row_nnz.data(), row_nnz.size()),
+            opt, /*inject=*/{}, "estimate_count_repair");
+        out.faults.row_retries += repaired.faults.row_retries;
+        out.faults.host_fallback_rows += repaired.faults.host_fallback_rows;
+    }
+
+    // Mispredict sweep: every estimated row the plan failed on its own
+    // terms — storage overflow (true nnz > capacity) or a saturated planned
+    // table — lands outside pad storage and needs the group-0 rewrite.
+    // Fault-injected rows are containment events, not mispredictions.
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (in_pad[to_size(i)] != 0) { continue; }
+        out.rewrite_rows.push_back(i);
+        const bool injected = !inject.empty() && inject[to_size(i)] != 0;
+        if (exact[to_size(i)] == 0 && !injected) { ++out.mispredicted_rows; }
+    }
+    return out;
+}
+
+/// Copies the well-predicted rows from pad storage into the final CSR
+/// (coalesced stream per row). Rows awaiting a rewrite are skipped.
+template <ValueType T>
+void compact_padded_rows(sim::Device& dev, const std::vector<index_t>& cap_rpt,
+                         const sim::DeviceBuffer<index_t>& pad_col,
+                         const sim::DeviceBuffer<T>& pad_val,
+                         std::span<const std::uint8_t> in_pad, sim::DeviceCsr<T>& c)
+{
+    const index_t rows = c.rows;
+    // Small tiles: many blocks per SM so the copy is bandwidth-bound on the
+    // whole device instead of gated by the heaviest tile.
+    constexpr int kRowsPerBlock = 32;
+    constexpr int kBlock = 128;
+    const index_t grid = rows == 0 ? 0 : (rows + kRowsPerBlock - 1) / kRowsPerBlock;
+    dev.launch(dev.default_stream(), {grid, kBlock, 0}, "compact_rows",
+               [&](sim::BlockCtx& blk) {
+                   const index_t begin = blk.block_idx() * kRowsPerBlock;
+                   const index_t end = std::min(rows, begin + kRowsPerBlock);
+                   double elems = 0.0;
+                   for (index_t i = begin; i < end; ++i) {
+                       if (in_pad[to_size(i)] == 0) { continue; }
+                       const index_t base = c.rpt[to_size(i)];
+                       const index_t n = c.rpt[to_size(i) + 1] - base;
+                       const auto src = to_size(cap_rpt[to_size(i)]);
+                       for (index_t s = 0; s < n; ++s) {
+                           c.col[to_size(base + s)] = pad_col[src + to_size(s)];
+                           c.val[to_size(base + s)] = pad_val[src + to_size(s)];
+                       }
+                       elems += static_cast<double>(n);
+                   }
+                   const int lanes = static_cast<int>(end - begin);
+                   if (lanes <= 0) { return; }
+                   const auto& mod = blk.model();
+                   const double unit =
+                       mod.global_cost(sizeof(index_t) + sizeof(T),
+                                       sim::MemPattern::kCoalesced) *
+                       2.0;  // read from pad + write to C
+                   // per row: both rpt bounds; all threads stride the elements
+                   blk.global_read(lanes, 2 * sizeof(index_t), sim::MemPattern::kCoalesced);
+                   blk.charge_work_span(elems * unit, elems / kBlock * unit);
+               });
+    dev.synchronize();
+}
+
+/// Recomputes the mispredicted / faulted rows straight into the final CSR
+/// (its row pointers are exact by now) on the group-0 retry path. Each
+/// row's nnz is KNOWN exactly by this point, so most rescues run in a
+/// shared table of next_pow2(nnz) entries — the same level the exact
+/// planner would have picked — and only rows past the largest shared level
+/// (or pushed there by retry doubling) pay for per-row global tables of
+/// next_pow2(2 * nnz) entries. Tables double per bounded retry, host
+/// recourse after that. Every execution tallies into row_retries — in a
+/// clean run each mispredicted row costs exactly one retry here.
+template <ValueType T>
+PhaseFaults rewrite_rows_estimated(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                                   const sim::DeviceCsr<T>& b,
+                                   const std::vector<index_t>& rows,
+                                   const sim::DeviceBuffer<index_t>& row_nnz,
+                                   sim::DeviceCsr<T>& c, const Options& opt)
+{
+    PhaseFaults pf;
+    if (rows.empty()) { return pf; }
+    const ElemCosts ec = ElemCosts::make(dev.cost_model(), /*numeric=*/true, sizeof(T));
+    const sim::CostModel& m = dev.cost_model();
+    const index_t max_shared =
+        GroupingPolicy::numeric(dev.spec(), sizeof(T), opt.pwarp_width, opt.use_pwarp)
+            .max_shared_table;
+
+    std::vector<index_t> pending = rows;
+    int attempt = 0;
+    while (!pending.empty() && attempt < opt.max_row_retries) {
+        std::vector<std::uint8_t> still(pending.size(), 0);
+        std::vector<index_t> tsizes(pending.size(), 0);
+        // Shared-eligible rows bucketed by table size (each launch declares
+        // only the shared memory it really uses); the rest go to one
+        // arena-backed global launch.
+        std::map<index_t, std::vector<std::size_t>> shared_buckets;
+        std::vector<std::size_t> global_rows;
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            const index_t nnz = std::max<index_t>(1, row_nnz[to_size(pending[r])]);
+            const index_t ts = detail::retry_table_size(next_pow2(nnz), attempt);
+            if (ts <= max_shared) {
+                shared_buckets[ts].push_back(r);
+                tsizes[r] = ts;
+            } else {
+                global_rows.push_back(r);
+            }
+        }
+
+        for (auto& [bucket_tsize, bucket] : shared_buckets) {
+            const std::size_t smem =
+                to_size(bucket_tsize) * (sizeof(index_t) + sizeof(T));
+            const int block = std::clamp(static_cast<int>(bucket_tsize / 4), 64,
+                                         dev.spec().max_threads_per_block);
+            const int warps = std::max(1, block / dev.spec().warp_size);
+            const sim::Stream stream =
+                opt.use_streams ? dev.create_stream() : dev.default_stream();
+            dev.launch(stream, {to_index(bucket.size()), block, smem},
+                       "numeric_est_rewrite",
+                       [&, &bucket = bucket, tsize = bucket_tsize,
+                        warps](sim::BlockCtx& blk) {
+                           const std::size_t r = bucket[to_size(blk.block_idx())];
+                           const index_t i = pending[r];
+                           auto keys = blk.shared_alloc<index_t>(to_size(tsize));
+                           auto vals = blk.shared_alloc<T>(to_size(tsize));
+                           std::fill(keys.begin(), keys.end(), kEmptySlot);
+                           blk.shared_op(blk.block_dim(),
+                                         std::ceil(static_cast<double>(tsize) /
+                                                   blk.block_dim()));
+                           std::vector<double> warp_cycles(to_size(warps), 0.0);
+                           if (!detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                        ec.probe_shared, ec.insert_shared,
+                                                        ec.accum_shared, warp_cycles,
+                                                        dev.spec().warp_size)) {
+                               still[r] = 1;
+                               blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                    detail::max_of(warp_cycles));
+                               return;
+                           }
+                           bool mismatch = false;
+                           const auto [ew, es] = detail::emit_row<T>(
+                               keys, vals, c, i, m, /*shared=*/true, blk.block_dim(),
+                               &mismatch);
+                           if (mismatch) { still[r] = 1; }
+                           const double tail = dev.cost_model().barrier * 2.0;
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
+                                                detail::max_of(warp_cycles) + es + tail);
+                       });
+        }
+
+        sim::DeviceBuffer<index_t> keys_arena;
+        sim::DeviceBuffer<T> vals_arena;
+        if (!global_rows.empty()) {
+            std::vector<std::size_t> offs(global_rows.size() + 1, 0);
+            for (std::size_t q = 0; q < global_rows.size(); ++q) {
+                const index_t base = next_pow2(
+                    std::max<index_t>(1, row_nnz[to_size(pending[global_rows[q]])]) * 2);
+                offs[q + 1] = offs[q] + to_size(detail::retry_table_size(base, attempt));
+                tsizes[global_rows[q]] = to_index(offs[q + 1] - offs[q]);
+            }
+            keys_arena = sim::DeviceBuffer<index_t>(dev.allocator(), offs.back());
+            vals_arena = sim::DeviceBuffer<T>(dev.allocator(), offs.back());
+            keys_arena.fill(kEmptySlot);
+            const int block = dev.spec().max_threads_per_block;
+            const int warps = block / dev.spec().warp_size;
+            const sim::Stream stream =
+                opt.use_streams ? dev.create_stream() : dev.default_stream();
+            dev.launch(stream, {to_index(global_rows.size()), block, 0},
+                       "numeric_est_rewrite",
+                       [&, offs = std::move(offs), warps, block](sim::BlockCtx& blk) {
+                           const auto q = to_size(blk.block_idx());
+                           const std::size_t r = global_rows[q];
+                           const index_t i = pending[r];
+                           auto keys =
+                               keys_arena.span().subspan(offs[q], offs[q + 1] - offs[q]);
+                           auto vals =
+                               vals_arena.span().subspan(offs[q], offs[q + 1] - offs[q]);
+                           blk.global_write(block, sizeof(index_t),
+                                            sim::MemPattern::kCoalesced,
+                                            std::ceil(static_cast<double>(keys.size()) /
+                                                      block));
+                           std::vector<double> warp_cycles(to_size(warps), 0.0);
+                           if (!detail::fill_row_hashed(a, b, i, keys, vals, true, ec,
+                                                        ec.probe_global, ec.insert_global,
+                                                        ec.accum_global, warp_cycles,
+                                                        dev.spec().warp_size)) {
+                               still[r] = 1;
+                               blk.charge_work_span(detail::sum(warp_cycles) * 32.0,
+                                                    detail::max_of(warp_cycles));
+                               return;
+                           }
+                           bool mismatch = false;
+                           const auto [ew, es] = detail::emit_row<T>(keys, vals, c, i, m,
+                                                                     /*shared=*/false,
+                                                                     block, &mismatch);
+                           if (mismatch) { still[r] = 1; }
+                           const double tail = dev.cost_model().barrier * 2.0;
+                           blk.charge_work_span(detail::sum(warp_cycles) * 32.0 + ew,
+                                                detail::max_of(warp_cycles) + es + tail);
+                       });
+        }
+        dev.synchronize();
+        pf.row_retries += static_cast<int>(pending.size());
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            dev.record_fault_event("numeric_est_rewrite", 0, pending[r], tsizes[r],
+                                   static_cast<int>(tsizes[r]), attempt + 1);
+        }
+        std::vector<index_t> next;
+        for (std::size_t r = 0; r < pending.size(); ++r) {
+            if (still[r] != 0) { next.push_back(pending[r]); }
+        }
+        pending = std::move(next);
+        ++attempt;
+    }
+
+    // Host reference recourse: accumulate in traversal order (the order
+    // hash_accumulate applies additions — bit-identical values), write
+    // sorted by column.
+    for (const index_t i : pending) {
+        std::unordered_map<index_t, T> acc;
+        for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+            const index_t d = a.col[to_size(j)];
+            const T av = a.val[to_size(j)];
+            for (index_t k = b.rpt[to_size(d)]; k < b.rpt[to_size(d) + 1]; ++k) {
+                acc[b.col[to_size(k)]] += av * b.val[to_size(k)];
+            }
+        }
+        std::vector<std::pair<index_t, T>> row(acc.begin(), acc.end());
+        std::sort(row.begin(), row.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        const index_t base = c.rpt[to_size(i)];
+        if (to_index(row.size()) != c.rpt[to_size(i) + 1] - base) {
+            throw KernelFault("estimated rewrite nnz disagrees with repaired row pointers",
+                              "calc", /*group=*/0, i, /*table_size=*/0, /*probes=*/0,
+                              attempt);
+        }
+        for (std::size_t s = 0; s < row.size(); ++s) {
+            c.col[to_size(base) + s] = row[s].first;
+            c.val[to_size(base) + s] = row[s].second;
+        }
+        ++pf.host_fallback_rows;
+        dev.record_fault_event("numeric_est_host_row", 0, i, 0, 0, attempt);
+    }
+    return pf;
+}
+
+}  // namespace nsparse::core

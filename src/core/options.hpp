@@ -10,6 +10,21 @@
 
 namespace nsparse::core {
 
+/// How the per-row output sizes that drive grouping and table sizing are
+/// obtained (flow steps (3)-(4)).
+enum class PlanMode {
+    /// The paper's exact symbolic pass counts every row (default).
+    kExact,
+    /// OCEAN-style estimation: a row sample plus a hash-collision model
+    /// predict every row's nnz; no exact symbolic pass runs. Underestimated
+    /// rows are absorbed bit-identically by the group-0 retry safety net.
+    kEstimated,
+    /// Like kEstimated, but rows whose prediction confidence falls below
+    /// Options::estimate_confidence are counted exactly by a shrunken
+    /// symbolic pass restricted to those rows.
+    kHybrid,
+};
+
 struct Options {
     /// Launch each row group's kernels on an own CUDA stream so small
     /// groups execute concurrently (§III-B: "launches multiple CUDA
@@ -54,6 +69,22 @@ struct Options {
     /// last retry are recomputed by the host-side reference recourse. 0 =
     /// go straight to the host recourse.
     int max_row_retries = 3;
+
+    /// Planning mode: exact symbolic counting (the paper), estimation-based
+    /// planning, or the hybrid that re-counts only low-confidence rows.
+    /// Every mode produces byte-identical output; only the simulated cost
+    /// and the mispredict/retry statistics differ.
+    PlanMode plan_mode = PlanMode::kExact;
+
+    /// Fraction of the (product-bearing) rows the estimator samples with an
+    /// exact count to calibrate its collision model. Clamped to (0, 1];
+    /// sampled rows always include the largest-product hub row.
+    double estimate_sample_rate = 0.05;
+
+    /// Hybrid mode: rows whose prediction confidence (0..1) is below this
+    /// threshold are counted exactly instead of trusted. 0 trusts every
+    /// prediction (equivalent to kEstimated); 1 re-counts everything.
+    double estimate_confidence = 0.5;
 
     /// Check CSR invariants and sortedness of both inputs before any
     /// kernel runs (shared validator, also available to the baselines):

@@ -37,6 +37,9 @@ SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMa
             out.stats.faulted_rows = 0;
             out.stats.row_retries = 0;
             out.stats.host_fallback_rows = 0;
+            out.stats.estimated_rows = 0;
+            out.stats.mispredicted_rows = 0;
+            out.stats.symbolic_cycles_saved = 0.0;
             res = core::detail::multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
         }
     }

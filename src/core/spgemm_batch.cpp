@@ -115,6 +115,9 @@ SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>
                         slot.out.stats.faulted_rows = 0;
                         slot.out.stats.row_retries = 0;
                         slot.out.stats.host_fallback_rows = 0;
+                        slot.out.stats.estimated_rows = 0;
+                        slot.out.stats.mispredicted_rows = 0;
+                        slot.out.stats.symbolic_cycles_saved = 0.0;
                         // The retry must not compete with pooled scratch
                         // held for products that already completed.
                         pool.clear();
@@ -158,6 +161,7 @@ SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>
             s.setup_seconds = usage.setup_seconds;
             s.count_seconds = usage.count_seconds;
             s.calc_seconds = usage.calc_seconds;
+            s.estimate_seconds = usage.estimate_seconds;
             s.seconds = usage.busy_seconds + s.malloc_seconds;
         }
         for (const auto& [sid, usage] : report.streams) {
@@ -184,6 +188,8 @@ SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>
         out.stats.faulted_rows += s.faulted_rows;
         out.stats.row_retries += s.row_retries;
         out.stats.host_fallback_rows += s.host_fallback_rows;
+        out.stats.estimated_rows += s.estimated_rows;
+        out.stats.mispredicted_rows += s.mispredicted_rows;
     }
     out.stats.stream_occupancy.reserve(stream_usage.size());
     for (const auto& [sid, usage] : stream_usage) {

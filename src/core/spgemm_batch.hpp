@@ -68,6 +68,10 @@ struct BatchStats {
     int row_retries = 0;
     int host_fallback_rows = 0;
 
+    // Summed estimation-planning counters (zero under exact planning).
+    int estimated_rows = 0;
+    int mispredicted_rows = 0;
+
     // Scratch-pool effectiveness (0/0 when batch_scratch_reuse is off).
     std::uint64_t scratch_hits = 0;
     std::uint64_t scratch_misses = 0;

@@ -7,13 +7,18 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/estimator.hpp"
 #include "core/grouping.hpp"
 #include "core/memory_estimator.hpp"
 #include "core/numeric.hpp"
+#include "core/numeric_estimated.hpp"
 #include "core/options.hpp"
 #include "core/symbolic.hpp"
 #include "gpusim/algorithm.hpp"
@@ -128,8 +133,9 @@ struct MultiplyResult {
 /// meaningless and are overwritten by the batch layer from the window
 /// schedule.
 template <ValueType T>
-MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                   const core::Options& opt, SpgemmStats& stats)
+MultiplyResult<T> multiply_attempt_exact(sim::Device& dev, const CsrMatrix<T>& a,
+                                         const CsrMatrix<T>& b, const core::Options& opt,
+                                         SpgemmStats& stats)
 {
     MultiplyResult<T> out;
     sim::DeviceCsr<T> c;
@@ -199,6 +205,137 @@ MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, cons
     out.products = total_products;
     fill_stats_from_device(stats, dev);
     return out;
+}
+
+/// One full multiply under estimation-based planning (Options::plan_mode
+/// kEstimated / kHybrid): the exact symbolic pass is replaced by the
+/// sampled row plan ("estimate" phase) — shrunk to the low-confidence rows
+/// in hybrid mode ("count" phase, like the pass it stands in for) — and
+/// the numeric phase writes into capacity-padded storage that is scanned,
+/// compacted and repaired into the final CSR (core/numeric_estimated.hpp).
+/// Output is byte-identical to multiply_attempt_exact; only the trace
+/// phases, the simulated cycle totals and the estimation stats differ.
+template <ValueType T>
+MultiplyResult<T> multiply_attempt_estimated(sim::Device& dev, const CsrMatrix<T>& a,
+                                             const CsrMatrix<T>& b, const core::Options& opt,
+                                             SpgemmStats& stats)
+{
+    MultiplyResult<T> out;
+    sim::DeviceCsr<T> c;
+    wide_t total_products = 0;
+
+    {
+        // ---- setup: upload + product counts (1), as in the exact path ----
+        auto phase = dev.phase_scope("setup");
+        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+        auto products = count_products(dev, da, db);
+        for (std::size_t i = 0; i < products.size(); ++i) { total_products += products[i]; }
+
+        // ---- estimate: sample, fit, classify (replaces grouping+count) ----
+        core::RowPlan plan;
+        auto capacity = take_index_scratch(dev, "capacity", to_size(a.rows));
+        std::vector<index_t> cap_rpt;
+        {
+            auto est_phase = dev.phase_scope("estimate");
+            plan = core::build_row_plan(dev, da, db, products, opt);
+            stats.faulted_rows += plan.sample_faults.faulted_rows;
+            stats.row_retries += plan.sample_faults.row_retries;
+            stats.host_fallback_rows += plan.sample_faults.host_fallback_rows;
+        }
+
+        // ---- count (hybrid only): exact-count the low-confidence rows ----
+        if (!plan.lowconf.empty()) {
+            auto count_phase = dev.phase_scope("count");
+            const std::span<const index_t> prod(products.data(), to_size(a.rows));
+            const core::CountRowsOutcome counted = core::count_rows_contained(
+                dev, da, db, plan.lowconf, prod, std::span<index_t>(plan.capacity), opt,
+                inject_flags(opt.inject_symbolic_row_faults, a.rows), "symbolic_lowconf");
+            for (const index_t i : plan.lowconf) {
+                plan.exact[to_size(i)] = 1;
+                plan.plan_nnz[to_size(i)] = plan.capacity[to_size(i)];
+            }
+            stats.faulted_rows += counted.faults.faulted_rows;
+            stats.row_retries += counted.faults.row_retries;
+            stats.host_fallback_rows += counted.faults.host_fallback_rows;
+        }
+
+        // ---- padded capacity scan + pad storage (planning overhead) ----
+        {
+            auto est_phase = dev.phase_scope("estimate");
+            std::copy(plan.capacity.begin(), plan.capacity.end(), capacity.data());
+            scan_row_pointers(dev, capacity, cap_rpt);
+        }
+        sim::DeviceBuffer<index_t> pad_col(dev.allocator(), to_size(cap_rpt.back()));
+        sim::DeviceBuffer<T> pad_val(dev.allocator(), to_size(cap_rpt.back()));
+
+        auto row_nnz = take_index_scratch(dev, "row_nnz", to_size(a.rows));
+        row_nnz.fill(0);
+
+        // ---- regroup by planning nnz (6): the prediction, not the
+        // deliberately generous hub storage capacity, decides which
+        // numeric kernel a row runs on. The capacity scratch already
+        // served its scan, so it carries the grouping metric now ----
+        const auto num_policy = core::GroupingPolicy::numeric(dev.spec(), sizeof(T),
+                                                              opt.pwarp_width, opt.use_pwarp);
+        std::copy(plan.plan_nnz.begin(), plan.plan_nnz.end(), capacity.data());
+        auto num_groups = core::group_rows(dev, num_policy, capacity);
+
+        core::EstimatedNumericOutcome nout;
+        {
+            // ---- calc: padded numeric (7), scan, compact, rewrite ----
+            auto calc_phase = dev.phase_scope("calc");
+            std::vector<std::uint8_t> in_pad;
+            nout = core::numeric_phase_estimated(dev, da, db, num_policy, num_groups,
+                                                 plan.capacity, plan.plan_nnz, cap_rpt,
+                                                 pad_col, pad_val, products, plan.exact,
+                                                 row_nnz, in_pad, opt);
+            stats.faulted_rows += nout.faults.faulted_rows;
+            stats.row_retries += nout.faults.row_retries;
+            stats.host_fallback_rows += nout.faults.host_fallback_rows;
+
+            std::vector<index_t> rpt;
+            scan_row_pointers(dev, row_nnz, rpt);
+            c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, rpt.back());
+            std::copy(rpt.begin(), rpt.end(), c.rpt.data());
+            core::compact_padded_rows(dev, cap_rpt, pad_col, pad_val, in_pad, c);
+            // Release pad storage before the rewrite arenas allocate: the
+            // peak of the padded pipeline stays one storage generation wide.
+            pad_col = sim::DeviceBuffer<index_t>();
+            pad_val = sim::DeviceBuffer<T>();
+
+            const core::PhaseFaults rw = core::rewrite_rows_estimated(
+                dev, da, db, nout.rewrite_rows, row_nnz, c, opt);
+            stats.row_retries += rw.row_retries;
+            stats.host_fallback_rows += rw.host_fallback_rows;
+        }
+
+        stats.estimated_rows += plan.estimated_rows;
+        stats.mispredicted_rows += nout.mispredicted_rows;
+        stats.symbolic_cycles_saved += plan.symbolic_cycles_saved;
+
+        put_index_scratch(dev, "products", std::move(products));
+        put_index_scratch(dev, "row_nnz", std::move(row_nnz));
+        put_index_scratch(dev, "capacity", std::move(capacity));
+        put_index_scratch(dev, "grouping_perm", std::move(num_groups.permutation));
+    }
+
+    out.matrix = c.download();
+    out.products = total_products;
+    fill_stats_from_device(stats, dev);
+    return out;
+}
+
+/// Planning-mode dispatch: one multiply attempt under the options' plan
+/// mode. Both paths share the OOM / row-slab degradation below.
+template <ValueType T>
+MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                   const core::Options& opt, SpgemmStats& stats)
+{
+    if (opt.plan_mode != core::PlanMode::kExact) {
+        return multiply_attempt_estimated(dev, a, b, opt, stats);
+    }
+    return multiply_attempt_exact(dev, a, b, opt, stats);
 }
 
 /// Row-slab degradation: multiplies k contiguous row slabs of A against B

@@ -37,14 +37,16 @@ namespace detail {
 /// accumulating per-lane cycles; returns the nnz or -1 if the table
 /// saturated. `lane_cycles` has one slot per parallel worker (pwarp lanes
 /// or warps); `lane_div` is the intra-worker SIMD width (1 for pwarp lanes,
-/// 32 for warps).
+/// 32 for warps). A non-null `tally` collects the probe statistics the
+/// estimation-based planner uses as collision evidence.
 template <ValueType T>
 [[nodiscard]] inline index_t count_row_hashed(const sim::DeviceCsr<T>& a,
                                               const sim::DeviceCsr<T>& b, index_t i,
                                               std::span<index_t> table, bool pow2,
                                               const ElemCosts& ec, double probe_cost,
                                               double insert_cost,
-                                              std::span<double> lane_cycles, int lane_div)
+                                              std::span<double> lane_cycles, int lane_div,
+                                              HashTableStats* tally = nullptr)
 {
     index_t nz = 0;
     const index_t a_begin = a.rpt[to_size(i)];
@@ -59,8 +61,10 @@ template <ValueType T>
         double elem_cycles = 0.0;
         for (index_t k = b_begin; k < b_end; ++k) {
             const ProbeResult r = hash_insert_key(table, b.col[to_size(k)], pow2);
+            if (tally != nullptr) { tally->observe(r); }
             if (r.full) { return -1; }
-            elem_cycles += ec.elem_b + r.probes * probe_cost + (r.inserted ? insert_cost : 0.0);
+            elem_cycles += ec.elem_b + static_cast<double>(r.probes) * probe_cost +
+                           (r.inserted ? insert_cost : 0.0);
             if (r.inserted) { ++nz; }
         }
         // Within a worker of `lane_div` SIMD lanes the row is strided:

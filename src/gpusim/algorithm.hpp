@@ -21,6 +21,7 @@ struct SpgemmStats {
     double setup_seconds = 0.0;  ///< grouping / binning / workspace prep
     double count_seconds = 0.0;  ///< symbolic phase
     double calc_seconds = 0.0;   ///< numeric phase (incl. sort/compact)
+    double estimate_seconds = 0.0;  ///< estimation-based planning phase
     double malloc_seconds = 0.0; ///< cudaMalloc/cudaFree (Fig. 5/6 bucket)
     std::size_t peak_bytes = 0;  ///< device peak incl. inputs and output
 
@@ -33,6 +34,14 @@ struct SpgemmStats {
     int faulted_rows = 0;        ///< rows whose first kernel attempt faulted
     int row_retries = 0;         ///< group-0 retry executions across those rows
     int host_fallback_rows = 0;  ///< rows recomputed by the host reference recourse
+
+    // Estimation-based planning observability (Options::plan_mode).
+    int estimated_rows = 0;      ///< rows planned from the sampled model, not counted
+    int mispredicted_rows = 0;   ///< estimated rows whose planned capacity proved wrong
+    /// Modelled symbolic work-cycles the skipped exact pass would have
+    /// spent on the rows planned from the model (device work cycles, i.e.
+    /// cost-model currency summed over lanes, not wall-clock).
+    double symbolic_cycles_saved = 0.0;
 
     /// The paper's metric: FLOPS of squaring = 2 * intermediate products
     /// divided by execution time.
@@ -50,12 +59,13 @@ struct SpgemmOutput {
 };
 
 /// Collects phase totals from the device timeline into stats (phases named
-/// "setup" / "count" / "calc" plus the device malloc bucket).
+/// "setup" / "count" / "calc" / "estimate" plus the device malloc bucket).
 inline void fill_stats_from_device(SpgemmStats& s, const sim::Device& dev)
 {
     s.setup_seconds = dev.timeline().phase("setup");
     s.count_seconds = dev.timeline().phase("count");
     s.calc_seconds = dev.timeline().phase("calc");
+    s.estimate_seconds = dev.timeline().phase("estimate");
     s.malloc_seconds = dev.timeline().phase(sim::Device::kMallocPhase);
     s.seconds = dev.elapsed();
     s.peak_bytes = dev.allocator().peak_bytes();

@@ -261,6 +261,8 @@ BatchWindowReport Device::end_batch_capture()
             item.count_seconds += busy;
         } else if (rec.phase == "calc") {
             item.calc_seconds += busy;
+        } else if (rec.phase == "estimate") {
+            item.estimate_seconds += busy;
         }
         auto& stream = report.streams[rec.stream_id];
         ++stream.kernels;

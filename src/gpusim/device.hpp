@@ -58,6 +58,7 @@ struct BatchItemUsage {
     double setup_seconds = 0.0;  ///< busy attributed to the "setup" phase
     double count_seconds = 0.0;  ///< busy attributed to the "count" phase
     double calc_seconds = 0.0;   ///< busy attributed to the "calc" phase
+    double estimate_seconds = 0.0;  ///< busy attributed to the "estimate" phase
 };
 
 /// Per simulated stream: launches and busy time inside a capture window.

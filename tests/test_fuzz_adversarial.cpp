@@ -1,4 +1,4 @@
-// Adversarial-input fuzz harness (ctest labels: fuzz, tsan, faults).
+// Adversarial-input fuzz harness (ctest labels: fuzz, tsan, faults, plan).
 //
 // Drives all four algorithms over a deterministic stream of pathological
 // matrices — hash-adversarial columns, duplicate/unsorted rows, empty-row
@@ -7,7 +7,10 @@
 // reference. Also composes the stream with PR 2's allocation FaultPlan and
 // with the per-row kernel-fault injection hooks: under memory pressure the
 // only acceptable outcomes are a correct product or DeviceOutOfMemory,
-// never a KernelFault or a leak.
+// never a KernelFault or a leak. The estimation-based planning modes run
+// the same stream at both confidence extremes and starved/rich sample
+// rates: output must stay byte-identical to exact planning with every
+// misprediction absorbed by the group-0 retry.
 //
 // NSPARSE_FUZZ_ITERS scales the stream (default 200 cases); the seed is
 // fixed so any failing index reproduces in isolation via
@@ -269,6 +272,112 @@ TEST(FuzzAdversarial, BatchedComposedWithRowFaultInjection)
             ref_faulted += ref.items[k].out.stats.faulted_rows;
         }
         EXPECT_EQ(got.stats.faulted_rows, ref_faulted) << "batch at case #" << i;
+    }
+}
+
+TEST(FuzzAdversarial, PlanModesByteIdenticalAtConfidenceExtremes)
+{
+    // Estimation-based planning over the adversarial stream — hub rows,
+    // hash colliders, dense rows, boundary-pinned rows — alternating a
+    // starved sample rate (the model sees almost nothing) with a rich one,
+    // and the confidence knob between trust-everything and trust-nothing.
+    // Whatever the plan predicts, the output must be byte-identical to
+    // exact planning, and on a clean run every misprediction must be
+    // recovered by exactly one group-0 retry (no host recourse).
+    const int iters = std::max(1, fuzz_iters() / 2);
+    for (int i = 0; i < iters; ++i) {
+        const auto c = gen::adversarial_case(kSeed, i);
+        sim::Device exact_dev(sim::DeviceSpec::pascal_p100());
+        const auto exact = hash_spgemm<double>(exact_dev, c.matrix, c.matrix);
+        for (const auto mode : {core::PlanMode::kEstimated, core::PlanMode::kHybrid}) {
+            core::Options opt;
+            opt.plan_mode = mode;
+            opt.estimate_sample_rate = (i % 2 == 0) ? 1e-6 : 0.3;
+            opt.estimate_confidence = (i % 3 == 0) ? 1.0 : 0.0;
+            sim::Device dev(sim::DeviceSpec::pascal_p100());
+            const auto out = hash_spgemm<double>(dev, c.matrix, c.matrix, opt);
+            const char* mode_name =
+                mode == core::PlanMode::kEstimated ? "estimated" : "hybrid";
+            EXPECT_TRUE(out.matrix == exact.matrix)
+                << mode_name << " plan diverges from exact on case #" << i << " ("
+                << c.name << ") rate=" << opt.estimate_sample_rate
+                << " conf=" << opt.estimate_confidence;
+            EXPECT_EQ(out.stats.row_retries, out.stats.mispredicted_rows)
+                << mode_name << " group-0 retries out of step with mispredicts, case #"
+                << i << " (" << c.name << ")";
+            EXPECT_EQ(out.stats.host_fallback_rows, 0)
+                << mode_name << " needed host recourse on case #" << i << " ("
+                << c.name << ")";
+            EXPECT_LE(out.stats.mispredicted_rows, out.stats.estimated_rows)
+                << mode_name << " case #" << i << " (" << c.name << ")";
+        }
+    }
+}
+
+TEST(FuzzAdversarial, PlanModesComposedWithAllocationFaults)
+{
+    // FaultPlan on top of estimation-based planning: the estimated path
+    // allocates pad storage the exact path never touches, and its OOM
+    // fallback re-runs through the row-slab machinery (which resets the
+    // estimation stats) — under injected allocation failures every run
+    // must still end in a correct product or DeviceOutOfMemory, never a
+    // KernelFault, and never a leak.
+    const int iters = std::max(1, fuzz_iters() / 4);
+    for (int i = 0; i < iters; ++i) {
+        const auto c = gen::adversarial_case(kSeed, i);
+        const auto expected = reference_spgemm(c.matrix, c.matrix);
+        for (const auto mode : {core::PlanMode::kEstimated, core::PlanMode::kHybrid}) {
+            core::Options opt;
+            opt.plan_mode = mode;
+            opt.estimate_confidence = (i % 2 == 0) ? 0.0 : 1.0;
+            sim::Device dev(sim::DeviceSpec::pascal_p100());
+            sim::FaultPlan plan;
+            plan.fail_probability = 0.05;
+            plan.seed = kSeed + static_cast<std::uint64_t>(i);
+            dev.allocator().set_fault_plan(plan);
+            const std::size_t live_before = dev.allocator().live_bytes();
+            try {
+                const auto out = hash_spgemm<double>(dev, c.matrix, c.matrix, opt);
+                EXPECT_TRUE(approx_equal(out.matrix, expected, 1e-10))
+                    << "estimated plan wrong under allocation faults, case #" << i
+                    << " (" << c.name << ")";
+            } catch (const DeviceOutOfMemory&) {
+                // acceptable: the injected failure surfaced
+            } catch (const KernelFault& f) {
+                ADD_FAILURE() << "estimated plan raised KernelFault under allocation "
+                                 "faults, case #"
+                              << i << " (" << c.name << "): " << f.what();
+            }
+            EXPECT_EQ(dev.allocator().live_bytes(), live_before)
+                << "estimated plan leaked, case #" << i << " (" << c.name << ")";
+        }
+    }
+}
+
+TEST(FuzzAdversarial, PlanModesComposedWithRowFaultInjection)
+{
+    // Injected kernel faults stack on top of genuine mispredictions: the
+    // retry counter then exceeds the mispredict tally (each injected row
+    // burns at least one extra attempt), but containment still delivers
+    // the exact-plan bytes.
+    const int iters = std::max(1, fuzz_iters() / 4);
+    for (int i = 0; i < iters; ++i) {
+        const auto c = gen::adversarial_case(kSeed, i);
+        const index_t n = c.matrix.rows;
+        sim::Device exact_dev(sim::DeviceSpec::pascal_p100());
+        const auto exact = hash_spgemm<double>(exact_dev, c.matrix, c.matrix);
+        core::Options opt;
+        opt.plan_mode = core::PlanMode::kEstimated;
+        opt.estimate_confidence = 0.0;
+        opt.inject_numeric_row_faults = {0, n / 2, n - 1};
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        const auto out = hash_spgemm<double>(dev, c.matrix, c.matrix, opt);
+        EXPECT_TRUE(out.matrix == exact.matrix)
+            << "estimated plan with injected row faults diverges, case #" << i << " ("
+            << c.name << ")";
+        EXPECT_GE(out.stats.row_retries, out.stats.mispredicted_rows)
+            << "case #" << i << " (" << c.name << ")";
+        EXPECT_GT(out.stats.faulted_rows, 0) << "case #" << i << " (" << c.name << ")";
     }
 }
 

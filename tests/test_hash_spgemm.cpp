@@ -275,8 +275,10 @@ TEST(HashSpgemmStats, PhasesSumToTotal)
     const auto a = gen::uniform_random(400, 400, 10, 32);
     sim::Device dev = p100();
     const auto s = hash_spgemm<double>(dev, a, a).stats;
-    EXPECT_NEAR(s.setup_seconds + s.count_seconds + s.calc_seconds + s.malloc_seconds,
+    EXPECT_NEAR(s.setup_seconds + s.count_seconds + s.estimate_seconds + s.calc_seconds +
+                    s.malloc_seconds,
                 s.seconds, 1e-12);
+    EXPECT_EQ(s.estimate_seconds, 0.0) << "exact planning must not run the estimator";
     EXPECT_GT(s.peak_bytes, 0U);
     EXPECT_GT(s.gflops(), 0.0);
 }

@@ -105,5 +105,74 @@ TEST(MemoryEstimator, PlanRowSlabs)
     EXPECT_LE(plan_row_slabs<double>(a, a, resident + 1), a.rows);
 }
 
+TEST(MemoryEstimator, MaxRowTrackedForSkewedMatrices)
+{
+    // A hub row's footprint (its output share plus its group-0 table
+    // arenas) must be reported: mean-based slab sizing alone would assign
+    // it a slab budgeted for the average row.
+    gen::ScaleFreeParams p;
+    p.rows = 3000;
+    p.avg_degree = 4.0;
+    p.max_degree = 1500;
+    p.alpha = 1.3;
+    p.seed = 17;
+    const auto a = gen::scale_free(p);
+    const auto e = estimate_hash_spgemm_memory<double>(a, a);
+    const std::size_t scaling = e.peak - a.byte_size();
+    const std::size_t mean_row = scaling / to_size(a.rows);
+    EXPECT_GT(e.max_row, 10 * mean_row)
+        << "hub row footprint should dwarf the mean on this skew";
+    EXPECT_LT(e.max_row, e.peak);
+}
+
+TEST(MemoryEstimator, SlabPlanBudgetsTheHubRowNotJustTheMean)
+{
+    // Regression for the mean-based sizing bug: pick a budget that fits
+    // mean-share slabs but not mean-share + hub. A plan ignoring max_row
+    // returns too few slabs and the run OOMs through its bounded halving
+    // retries; the fixed plan reserves the hub's footprint up front, so the
+    // skewed multiply completes WITHOUT any slab-size halvings.
+    gen::ScaleFreeParams p;
+    p.rows = 3000;
+    p.avg_degree = 4.0;
+    p.max_degree = 1500;
+    p.alpha = 1.3;
+    p.seed = 17;
+    const auto a = gen::scale_free(p);
+    const auto e = estimate_hash_spgemm_memory<double>(a, a);
+    const std::size_t resident = a.byte_size();
+    const std::size_t scaling = e.peak - resident;
+
+    // The mean-only plan for this budget would be ceil(scaling / usable)
+    // with usable = budget - resident; the fixed plan subtracts max_row
+    // first. Reverting the max_row term collapses k back to the mean-only
+    // count and this assertion fails.
+    const std::size_t budget = resident + e.max_row + scaling / 16;
+    const index_t k = plan_row_slabs<double>(a, a, budget);
+    const std::size_t mean_only_k =
+        (scaling + (budget - resident) - 1) / (budget - resident);
+    EXPECT_GT(to_size(k), mean_only_k)
+        << "plan must reserve the hub row's footprint on top of the mean";
+
+    // When the budget cannot even cover the hub row's footprint beyond B,
+    // the plan degrades to single-row slabs rather than undercounting.
+    EXPECT_EQ(plan_row_slabs<double>(a, a, resident + e.max_row / 2), a.rows);
+
+    // End to end: a device capped at that budget still completes with
+    // bit-identical output. The plan's doc allows bounded halving retries
+    // for residual per-slab optimism (heavy tails can stack several large
+    // rows into one slab); "bounded" here means at most one halving, where
+    // an unbudgeted hub costs the full retry ladder.
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = budget;
+    sim::Device dev(spec);
+    const auto out = hash_spgemm<double>(dev, a, a);
+    EXPECT_GE(out.stats.fallback_slabs, 2);
+    EXPECT_LE(out.stats.fallback_retries, 1)
+        << "slab plan should be at most one halving away once the hub is budgeted";
+    sim::Device full(sim::DeviceSpec::pascal_p100());
+    EXPECT_TRUE(out.matrix == hash_spgemm<double>(full, a, a).matrix);
+}
+
 }  // namespace
 }  // namespace nsparse::core

@@ -6,6 +6,9 @@
 // measurably more simulated time than a friendly column pattern.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "core/hash_table.hpp"
@@ -90,6 +93,61 @@ TEST(ProbeWorstCase, NonPow2ModulusAgrees)
     EXPECT_EQ(distinct_p2, distinct_np);
     EXPECT_EQ(distinct_p2, 6);
 }
+
+TEST(ProbeWorstCase, ProbeTallyIs64BitAndSurvivesIntOverflow)
+{
+    // Adversarial worst-case rows composed with group-0 doubling retries
+    // accumulate probe totals past the 32-bit range; both the per-operation
+    // count and the cumulative tally must be 64-bit.
+    static_assert(std::is_same_v<decltype(core::ProbeResult::probes), std::int64_t>,
+                  "ProbeResult::probes must be 64-bit");
+    static_assert(std::is_same_v<decltype(core::HashTableStats::probes), std::int64_t>,
+                  "HashTableStats::probes must be 64-bit");
+
+    core::HashTableStats st;
+    core::ProbeResult worst;
+    worst.inserted = true;
+    worst.probes = std::numeric_limits<std::int32_t>::max();
+    for (int k = 0; k < 4; ++k) { st.observe(worst); }
+    EXPECT_EQ(st.operations, 4);
+    EXPECT_EQ(st.inserts, 4);
+    EXPECT_EQ(st.probes,
+              4 * static_cast<std::int64_t>(std::numeric_limits<std::int32_t>::max()));
+    EXPECT_GT(st.probes, static_cast<std::int64_t>(std::numeric_limits<int>::max()));
+    EXPECT_DOUBLE_EQ(
+        st.chain(), static_cast<double>(std::numeric_limits<std::int32_t>::max()));
+}
+
+TEST(ProbeWorstCase, SingleSlotTableIsTheSmallestLegalTable)
+{
+    // The planner clamps every product-bearing row's table to >= 1 entry
+    // (the hash_slot zero-size guard's contract): a 1-slot table must
+    // insert its first key, find it again, and saturate on the second
+    // distinct key — on both the pow2 and the true-modulus path.
+    for (const bool pow2 : {true, false}) {
+        std::vector<index_t> t(1, kEmptySlot);
+        const auto first = core::hash_insert_key(t, 5, pow2);
+        EXPECT_TRUE(first.inserted);
+        EXPECT_EQ(first.probes, 1);
+        EXPECT_TRUE(core::hash_insert_key(t, 5, pow2).found);
+        EXPECT_TRUE(core::hash_insert_key(t, 6, pow2).full);
+    }
+    std::vector<index_t> keys(1, kEmptySlot);
+    std::vector<double> vals(1, 0.0);
+    EXPECT_TRUE(core::hash_accumulate<double>(keys, vals, 3, 1.5).inserted);
+    EXPECT_TRUE(core::hash_accumulate<double>(keys, vals, 3, 2.5).found);
+    EXPECT_DOUBLE_EQ(vals[0], 4.0);
+}
+
+#ifndef NDEBUG
+TEST(ProbeWorstCaseDeathTest, ZeroSizeTableTripsTheGuard)
+{
+    // A zero-sized table would bit-and with -1 / divide by zero; the guard
+    // makes the library bug loud instead of undefined.
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    EXPECT_DEATH((void)core::hash_slot(3, 0, true), "non-empty table");
+}
+#endif
 
 TEST(ProbeWorstCase, AdversarialColumnsStayCorrectAndCostMore)
 {
