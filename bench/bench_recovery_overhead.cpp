@@ -1,0 +1,214 @@
+// Recovery-overhead benchmark of the session resilience layer
+// (nsparse::Session): what does the front end cost when nothing goes
+// wrong, and what does each recovery-ladder rung cost when it does?
+//
+//   1. Zero-fault overhead — the same request sequence through the Session
+//      (admission control + ladder wiring armed) versus direct
+//      hash_spgemm on a bare device. Admission is host-side arithmetic and
+//      must not add simulated time: the gate is < 2% overhead in the
+//      paper's simulated-seconds metric (it is 0% by construction — the
+//      gate guards that property against regressions).
+//
+//   2. Time-to-recover vs fault depth — one request per ladder rung
+//      (clean / slab fallback / estimated→exact replan / host recourse),
+//      reporting the simulated seconds each recovery consumed relative to
+//      the clean run.
+//
+// Every completed request is asserted byte-identical to the clean exact
+// result and the whole suite is run twice to assert determinism; emits
+// BENCH_recovery.json with determinism_ok.
+//
+//   bench_recovery_overhead [--smoke] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "service/session.hpp"
+
+namespace {
+
+using namespace nsparse;
+
+struct DepthResult {
+    std::string name;
+    double sim_seconds = 0.0;
+    RecoveryStage stage = RecoveryStage::kPlanned;
+    bool ok = false;
+};
+
+/// One recovered request per ladder rung at a deterministic fault depth.
+std::vector<DepthResult> run_depth_suite(const CsrMatrix<double>& a, std::size_t tight_capacity,
+                                         const CsrMatrix<double>& want)
+{
+    std::vector<DepthResult> out;
+    const auto run = [&](const std::string& name, SessionConfig cfg,
+                         bool inject_alloc_fault) {
+        Session session(std::move(cfg));
+        if (inject_alloc_fault) {
+            sim::FaultPlan plan;
+            plan.fail_at_alloc = 2;
+            session.device().allocator().set_fault_plan(plan);
+        }
+        const auto res = session.multiply<double>(a, a);
+        DepthResult d;
+        d.name = name;
+        d.sim_seconds = res.out.stats.seconds;
+        d.stage = res.final_stage;
+        d.ok = res.ok() && res.out.matrix.rpt == want.rpt && res.out.matrix.col == want.col &&
+               res.out.matrix.val == want.val;
+        out.push_back(std::move(d));
+    };
+
+    run("clean", SessionConfig{}, false);
+
+    SessionConfig replan_cfg;
+    replan_cfg.options.plan_mode = core::PlanMode::kEstimated;
+    run("exact_replan", std::move(replan_cfg), true);
+
+    run("slab_fallback", SessionConfig{}, true);
+
+    SessionConfig host_cfg;
+    host_cfg.device_spec.memory_capacity = tight_capacity;
+    run("host_recourse", std::move(host_cfg), false);
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_recovery.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) { smoke = true; }
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) { out_path = argv[++i]; }
+    }
+
+    const index_t n = smoke ? 200 : 400;
+    const int repeats = smoke ? 4 : 16;
+    const auto a = gen::uniform_random(n, n, 8, 3);
+
+    CsrMatrix<double> want;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        want = hash_spgemm<double>(dev, a, a).matrix;
+    }
+    std::printf("recovery-overhead: %d x %d, %d repeat(s)%s\n\n", n, n, repeats,
+                smoke ? " [smoke]" : "");
+
+    // ---- 1. zero-fault session overhead ---------------------------------
+    // Identical per-request configuration on both paths (no scratch
+    // pooling, same options) so any simulated-seconds difference is the
+    // session front end itself.
+    core::Options opt;
+    opt.batch_scratch_reuse = false;
+
+    double direct_sim = 0.0;
+    double direct_wall = 0.0;
+    bool ok = true;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < repeats; ++r) {
+            const auto out = hash_spgemm<double>(dev, a, a, opt);
+            direct_sim += out.stats.seconds;
+            ok = ok && out.matrix.rpt == want.rpt && out.matrix.col == want.col &&
+                 out.matrix.val == want.val;
+        }
+        direct_wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                          .count();
+    }
+
+    double session_sim = 0.0;
+    double session_wall = 0.0;
+    {
+        SessionConfig cfg;
+        cfg.options = opt;
+        Session session(std::move(cfg));
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < repeats; ++r) {
+            const auto res = session.multiply<double>(a, a);
+            session_sim += res.out.stats.seconds;
+            ok = ok && res.ok() && res.out.matrix.rpt == want.rpt &&
+                 res.out.matrix.col == want.col && res.out.matrix.val == want.val;
+        }
+        session_wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                           .count();
+    }
+
+    const double overhead_pct =
+        direct_sim > 0.0 ? (session_sim - direct_sim) / direct_sim * 100.0 : 0.0;
+    std::printf("%-24s %16s %12s\n", "", "simulated [s]", "wall [s]");
+    std::printf("%-24s %16.6f %12.3f\n", "direct hash_spgemm", direct_sim, direct_wall);
+    std::printf("%-24s %16.6f %12.3f\n", "session (zero faults)", session_sim, session_wall);
+    std::printf("session overhead: %+.4f%% simulated (gate: < 2%%)\n\n", overhead_pct);
+    if (overhead_pct >= 2.0) {
+        std::fprintf(stderr, "FAIL: session overhead %.4f%% >= 2%%\n", overhead_pct);
+        ok = false;
+    }
+
+    // ---- 2. time-to-recover vs fault depth ------------------------------
+    const std::size_t tight = a.byte_size() + 256;
+    const auto depths = run_depth_suite(a, tight, want);
+    const auto depths_again = run_depth_suite(a, tight, want);
+    bool determinism_ok = depths.size() == depths_again.size();
+    const double clean_s = depths.empty() ? 0.0 : depths.front().sim_seconds;
+    std::printf("%-16s %16s %12s %14s\n", "recovery depth", "simulated [s]", "vs clean",
+                "final stage");
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        const auto& d = depths[i];
+        if (!d.ok) {
+            std::fprintf(stderr, "FAIL: depth \"%s\" did not recover byte-identically\n",
+                         d.name.c_str());
+            ok = false;
+        }
+        determinism_ok = determinism_ok && i < depths_again.size() &&
+                         depths_again[i].sim_seconds == d.sim_seconds &&
+                         depths_again[i].stage == d.stage && depths_again[i].ok == d.ok;
+        std::printf("%-16s %16.6f %11.2fx %14s\n", d.name.c_str(), d.sim_seconds,
+                    clean_s > 0.0 ? d.sim_seconds / clean_s : 0.0, to_string(d.stage));
+    }
+    if (!determinism_ok) {
+        std::fprintf(stderr, "FAIL: recovery suite is not deterministic across reruns\n");
+        ok = false;
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"recovery_overhead\",\n  \"workload\": \"%s\",\n",
+                 smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"rows\": %d,\n  \"repeats\": %d,\n", n, repeats);
+    std::fprintf(f, "  \"determinism_ok\": %s,\n", (ok && determinism_ok) ? "true" : "false");
+    std::fprintf(f, "  \"direct_simulated_seconds\": %.9f,\n", direct_sim);
+    std::fprintf(f, "  \"session_simulated_seconds\": %.9f,\n", session_sim);
+    std::fprintf(f, "  \"session_overhead_pct\": %.6f,\n", overhead_pct);
+    std::fprintf(f, "  \"direct_wall_seconds\": %.6f,\n", direct_wall);
+    std::fprintf(f, "  \"session_wall_seconds\": %.6f,\n", session_wall);
+    std::fprintf(f, "  \"recovery_depths\": [\n");
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+        const auto& d = depths[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"simulated_seconds\": %.9f, "
+                     "\"vs_clean\": %.3f, \"final_stage\": \"%s\", \"ok\": %s}%s\n",
+                     d.name.c_str(), d.sim_seconds,
+                     clean_s > 0.0 ? d.sim_seconds / clean_s : 0.0, to_string(d.stage),
+                     d.ok ? "true" : "false", i + 1 < depths.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!ok) {
+        std::fprintf(stderr, "recovery-overhead FAILED\n");
+        return 1;
+    }
+    return 0;
+}

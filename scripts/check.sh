@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 (plain build, every test) plus the
+# fault/chaos/concurrency labels under both sanitizer builds.
+#
+#   scripts/check.sh            # tier-1 + ASan/UBSan + TSan sweeps
+#   scripts/check.sh --tier1    # plain build + full ctest only
+#   scripts/check.sh --asan     # ASan/UBSan build + faults/chaos labels only
+#   scripts/check.sh --tsan     # TSan build + tsan/chaos labels only
+#
+# Build trees live under build-check/ so the developer `build/` tree is
+# never clobbered. Set NSPARSE_CHECK_JOBS to bound parallelism.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${NSPARSE_CHECK_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+run_tier1=1 run_asan=1 run_tsan=1
+case "${1:-}" in
+  --tier1) run_asan=0 run_tsan=0 ;;
+  --asan)  run_tier1=0 run_tsan=0 ;;
+  --tsan)  run_tier1=0 run_asan=0 ;;
+  "") ;;
+  *) echo "usage: scripts/check.sh [--tier1|--asan|--tsan]" >&2; exit 2 ;;
+esac
+
+configure_and_build() { # <dir> [extra cmake args...]
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+}
+
+echo "== check.sh: jobs=$jobs =="
+
+if [ "$run_tier1" = 1 ]; then
+  echo "== tier-1: plain build, full ctest =="
+  configure_and_build build-check/plain
+  ctest --test-dir build-check/plain --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_asan" = 1 ]; then
+  echo "== ASan/UBSan: faults + chaos + fuzz labels =="
+  configure_and_build build-check/asan -DNSPARSE_SANITIZE=address
+  ctest --test-dir build-check/asan --output-on-failure -j "$jobs" -L 'faults|chaos|fuzz'
+fi
+
+if [ "$run_tsan" = 1 ]; then
+  echo "== TSan: tsan + chaos labels =="
+  configure_and_build build-check/tsan -DNSPARSE_SANITIZE=thread
+  ctest --test-dir build-check/tsan --output-on-failure -j "$jobs" -L 'tsan|chaos'
+fi
+
+echo "== check.sh: all requested sweeps passed =="

@@ -115,18 +115,20 @@ template <ValueType T>
 /// slab-halving retries absorb the estimate still being optimistic.
 /// Returns 0 when not even a single-row slab can fit (B alone exceeds the
 /// budget).
-template <ValueType T>
-[[nodiscard]] index_t plan_row_slabs(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                     std::size_t budget_bytes,
-                                     const sim::DeviceSpec& spec = {})
+/// The slab-count arithmetic on a precomputed estimate: the session layer
+/// runs admission control and degradation planning off one estimate
+/// without re-walking the allocation schedule. `resident_bytes` is the
+/// footprint every slab keeps resident (B), `a_rows` bounds the slab count.
+[[nodiscard]] inline index_t plan_row_slabs_from_estimate(const MemoryEstimate& e,
+                                                          std::size_t resident_bytes,
+                                                          index_t a_rows,
+                                                          std::size_t budget_bytes)
 {
-    const auto e = estimate_hash_spgemm_memory(a, b, spec);
-    const std::size_t resident = b.byte_size();
-    if (budget_bytes <= resident) { return 0; }
-    const std::size_t per_slab_budget = budget_bytes - resident;
-    const std::size_t scaling = e.peak > resident ? e.peak - resident : 0;
+    if (budget_bytes <= resident_bytes) { return 0; }
+    const std::size_t per_slab_budget = budget_bytes - resident_bytes;
+    const std::size_t scaling = e.peak > resident_bytes ? e.peak - resident_bytes : 0;
     if (scaling == 0) { return 1; }
-    const std::size_t max_k = to_size(std::max<index_t>(a.rows, 1));
+    const std::size_t max_k = to_size(std::max<index_t>(a_rows, 1));
     // Reserve the hub row's footprint out of every slab's budget; when the
     // budget cannot even cover that row the best the plan can do is
     // single-row slabs (the hub slab may still OOM and surface upstream).
@@ -134,6 +136,15 @@ template <ValueType T>
     const std::size_t usable = per_slab_budget - e.max_row;
     const std::size_t k = (scaling + usable - 1) / usable;
     return to_index(std::min(std::max<std::size_t>(k, 1), max_k));
+}
+
+template <ValueType T>
+[[nodiscard]] index_t plan_row_slabs(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                     std::size_t budget_bytes,
+                                     const sim::DeviceSpec& spec = {})
+{
+    const auto e = estimate_hash_spgemm_memory(a, b, spec);
+    return plan_row_slabs_from_estimate(e, b.byte_size(), a.rows, budget_bytes);
 }
 
 }  // namespace nsparse::core

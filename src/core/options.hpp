@@ -4,8 +4,10 @@
 // partial-warp width sweep: 4 is best).
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "sparse/error.hpp"
 #include "sparse/types.hpp"
 
 namespace nsparse::core {
@@ -77,8 +79,9 @@ struct Options {
     PlanMode plan_mode = PlanMode::kExact;
 
     /// Fraction of the (product-bearing) rows the estimator samples with an
-    /// exact count to calibrate its collision model. Clamped to (0, 1];
-    /// sampled rows always include the largest-product hub row.
+    /// exact count to calibrate its collision model. Must be positive
+    /// (validate_options); values > 1 are clamped to 1; sampled rows always
+    /// include the largest-product hub row.
     double estimate_sample_rate = 0.05;
 
     /// Hybrid mode: rows whose prediction confidence (0..1) is below this
@@ -106,8 +109,8 @@ struct Options {
     /// are scheduled as one window, so independent products overlap like
     /// the per-group streams of §III-B do within one product. 1 =
     /// sequential batched execution (still pools scratch); values < 1 are
-    /// treated as 1. Results are bit-identical for every value — only the
-    /// simulated timing changes.
+    /// rejected by validate_options. Results are bit-identical for every
+    /// value — only the simulated timing changes.
     int batch_streams = 4;
 
     /// Reuse grouping/product/row-nnz scratch buffers across the batch's
@@ -122,5 +125,36 @@ struct Options {
     /// continuing with the remaining products.
     bool batch_fail_fast = false;
 };
+
+/// Validates the Options contract shared by every public entry point
+/// (hash_spgemm, spgemm_batch, Session): out-of-domain knobs raise a
+/// PreconditionError naming the violated invariant instead of silently
+/// misbehaving (a negative retry budget would disable containment, a
+/// non-positive sample rate would divide the estimator by zero, zero batch
+/// streams would hang the wave loop).
+inline void validate_options(const Options& opt)
+{
+    if (opt.max_slab_retries < 0) {
+        throw PreconditionError("Options::max_slab_retries must be non-negative (got " +
+                                    std::to_string(opt.max_slab_retries) + ")",
+                                "max_slab_retries_non_negative");
+    }
+    if (opt.max_row_retries < 0) {
+        throw PreconditionError("Options::max_row_retries must be non-negative (got " +
+                                    std::to_string(opt.max_row_retries) + ")",
+                                "max_row_retries_non_negative");
+    }
+    // !(x > 0) rather than x <= 0: NaN must be rejected too.
+    if (!(opt.estimate_sample_rate > 0.0)) {
+        throw PreconditionError("Options::estimate_sample_rate must be positive (got " +
+                                    std::to_string(opt.estimate_sample_rate) + ")",
+                                "estimate_sample_rate_positive");
+    }
+    if (opt.batch_streams < 1) {
+        throw PreconditionError("Options::batch_streams must be >= 1 (got " +
+                                    std::to_string(opt.batch_streams) + ")",
+                                "batch_streams_positive");
+    }
+}
 
 }  // namespace nsparse::core

@@ -11,6 +11,7 @@ template <ValueType T>
 SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
                             const core::Options& opt)
 {
+    core::validate_options(opt);
     if (opt.validate_inputs) { validate_spgemm_inputs(a, b); }
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
     dev.set_executor_threads(opt.executor_threads);
@@ -18,31 +19,8 @@ SpgemmOutput<T> hash_spgemm(sim::Device& dev, const CsrMatrix<T>& a, const CsrMa
     const std::size_t live_floor = dev.allocator().live_bytes();
 
     SpgemmOutput<T> out;
-    core::detail::MultiplyResult<T> res;
-    if (opt.force_slabs > 0) {
-        res = core::detail::multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
-    } else {
-        try {
-            res = core::detail::multiply_attempt(dev, a, b, opt, out.stats);
-        } catch (const DeviceOutOfMemory&) {
-            if (!opt.slab_fallback) { throw; }
-            // The unwind above released every attempt-local buffer; record
-            // how much that freed, then degrade to row slabs.
-            const std::size_t at_oom = dev.allocator().last_oom_live_bytes();
-            const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
-            out.stats.fallback_bytes_freed = freed;
-            dev.record_memory_event("slab_fallback", freed, 0, 0);
-            // Fault tallies of the abandoned attempt do not describe the
-            // slabbed run that produces the output; start them over.
-            out.stats.faulted_rows = 0;
-            out.stats.row_retries = 0;
-            out.stats.host_fallback_rows = 0;
-            out.stats.estimated_rows = 0;
-            out.stats.mispredicted_rows = 0;
-            out.stats.symbolic_cycles_saved = 0.0;
-            res = core::detail::multiply_slabbed(dev, a, b, opt, live_floor, out.stats);
-        }
-    }
+    core::detail::MultiplyResult<T> res =
+        core::detail::multiply_with_fallback(dev, a, b, opt, live_floor, out.stats);
     // Timing stats were snapshot by the last multiply_attempt while its
     // buffers were still device-resident (the seed's measurement window).
     out.matrix = std::move(res.matrix);

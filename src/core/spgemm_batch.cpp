@@ -38,6 +38,7 @@ SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>
                                   std::span<const CsrMatrix<T>* const> bs,
                                   const core::Options& opt)
 {
+    core::validate_options(opt);
     NSPARSE_EXPECTS(as.size() == bs.size(), "batch A and B lists must have equal length");
     const std::size_t n = as.size();
 
@@ -96,35 +97,12 @@ SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>
             const double malloc0 = dev.malloc_seconds();
             auto& slot = out.items[k];
             try {
-                detail::MultiplyResult<T> res;
-                if (opt.force_slabs > 0) {
-                    res = detail::multiply_slabbed(dev, *as[k], *bs[k], opt, live_floor,
-                                                   slot.out.stats);
-                } else {
-                    try {
-                        res = detail::multiply_attempt(dev, *as[k], *bs[k], opt,
-                                                       slot.out.stats);
-                    } catch (const DeviceOutOfMemory&) {
-                        if (!opt.slab_fallback) { throw; }
-                        const std::size_t at_oom = dev.allocator().last_oom_live_bytes();
-                        const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
-                        slot.out.stats.fallback_bytes_freed = freed;
-                        dev.record_memory_event("slab_fallback", freed, 0, 0);
-                        // Fault tallies of the abandoned attempt do not
-                        // describe the slabbed rerun.
-                        slot.out.stats.faulted_rows = 0;
-                        slot.out.stats.row_retries = 0;
-                        slot.out.stats.host_fallback_rows = 0;
-                        slot.out.stats.estimated_rows = 0;
-                        slot.out.stats.mispredicted_rows = 0;
-                        slot.out.stats.symbolic_cycles_saved = 0.0;
-                        // The retry must not compete with pooled scratch
-                        // held for products that already completed.
-                        pool.clear();
-                        res = detail::multiply_slabbed(dev, *as[k], *bs[k], opt, live_floor,
-                                                       slot.out.stats);
-                    }
-                }
+                // The retry hook drops pooled scratch before the slabbed
+                // rerun: it must not compete with buffers held for
+                // products that already completed.
+                detail::MultiplyResult<T> res = detail::multiply_with_fallback(
+                    dev, *as[k], *bs[k], opt, live_floor, slot.out.stats,
+                    [&pool](std::size_t) { pool.clear(); });
                 slot.out.matrix = std::move(res.matrix);
                 slot.out.stats.intermediate_products = res.products;
                 slot.out.stats.nnz_c = slot.out.matrix.nnz();
@@ -190,6 +168,8 @@ SpgemmBatchOutput<T> spgemm_batch(sim::Device& dev, std::span<const CsrMatrix<T>
         out.stats.host_fallback_rows += s.host_fallback_rows;
         out.stats.estimated_rows += s.estimated_rows;
         out.stats.mispredicted_rows += s.mispredicted_rows;
+        out.stats.replans += s.replans;
+        out.stats.host_recourse_products += s.host_recourse;
     }
     out.stats.stream_occupancy.reserve(stream_usage.size());
     for (const auto& [sid, usage] : stream_usage) {

@@ -72,6 +72,14 @@ struct BatchStats {
     int estimated_rows = 0;
     int mispredicted_rows = 0;
 
+    // Session recovery-ladder roll-up (zero through core::spgemm_batch;
+    // filled by Session::multiply_batch).
+    int replans = 0;            ///< summed estimated→exact replans
+    int host_recourse_products = 0;  ///< products completed by host recourse
+    int rejected = 0;           ///< products refused by admission control
+    int cancelled = 0;          ///< products stopped by cooperative cancellation
+    int deadline_exceeded = 0;  ///< products stopped by an expired budget
+
     // Scratch-pool effectiveness (0/0 when batch_scratch_reuse is off).
     std::uint64_t scratch_hits = 0;
     std::uint64_t scratch_misses = 0;

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <span>
 #include <string>
@@ -372,6 +373,11 @@ MultiplyResult<T> multiply_slabbed(sim::Device& dev, const CsrMatrix<T>& a, cons
     int done = 0;
     while (row0 < a.rows) {
         const index_t r1 = std::min<index_t>(a.rows, row0 + slab_rows);
+        // Snapshot the stats before the attempt: an abandoned slab attempt
+        // must not leak its fault/estimation tallies into the final stats,
+        // or the clean-run invariant row_retries == mispredicted_rows
+        // breaks after a recovered slab retry.
+        const SpgemmStats before_attempt = stats;
         try {
             auto part = multiply_attempt(dev, slice_rows(a, row0, r1), b, opt, stats);
             append_rows(res.matrix, part.matrix);
@@ -379,6 +385,7 @@ MultiplyResult<T> multiply_slabbed(sim::Device& dev, const CsrMatrix<T>& a, cons
             row0 = r1;
             ++done;
         } catch (const DeviceOutOfMemory&) {
+            stats = before_attempt;
             const index_t level = (a.rows + slab_rows - 1) / slab_rows;
             if (slab_rows <= 1 || retries >= opt.max_slab_retries) {
                 throw DeviceOutOfMemory(
@@ -400,6 +407,50 @@ MultiplyResult<T> multiply_slabbed(sim::Device& dev, const CsrMatrix<T>& a, cons
     stats.fallback_slabs = done;
     stats.fallback_retries = retries;
     return res;
+}
+
+/// Fault/estimation tallies of an abandoned attempt do not describe the
+/// rerun that produces the output; start them over before degrading.
+inline void reset_fault_tallies(SpgemmStats& s)
+{
+    s.faulted_rows = 0;
+    s.row_retries = 0;
+    s.host_fallback_rows = 0;
+    s.estimated_rows = 0;
+    s.mispredicted_rows = 0;
+    s.symbolic_cycles_saved = 0.0;
+}
+
+/// The escalation chain shared by hash_spgemm, spgemm_batch and the
+/// session layer: forced slabs run slabbed directly; otherwise one
+/// unchunked attempt, and on OOM (with slab_fallback enabled) the
+/// recorded degradation to row slabs. `on_slab_fallback(freed)` runs after
+/// the OOM bookkeeping and before the slabbed rerun — the batch layer
+/// drops its pooled scratch there so the retry does not compete with
+/// buffers held for completed products.
+template <ValueType T>
+MultiplyResult<T> multiply_with_fallback(
+    sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b, const core::Options& opt,
+    std::size_t live_floor, SpgemmStats& stats,
+    const std::function<void(std::size_t)>& on_slab_fallback = {})
+{
+    if (opt.force_slabs > 0) {
+        return multiply_slabbed(dev, a, b, opt, live_floor, stats);
+    }
+    try {
+        return multiply_attempt(dev, a, b, opt, stats);
+    } catch (const DeviceOutOfMemory&) {
+        if (!opt.slab_fallback) { throw; }
+        // The unwind above released every attempt-local buffer; record how
+        // much that freed, then degrade to row slabs.
+        const std::size_t at_oom = dev.allocator().last_oom_live_bytes();
+        const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
+        stats.fallback_bytes_freed = freed;
+        dev.record_memory_event("slab_fallback", freed, 0, 0);
+        reset_fault_tallies(stats);
+        if (on_slab_fallback) { on_slab_fallback(freed); }
+        return multiply_slabbed(dev, a, b, opt, live_floor, stats);
+    }
 }
 
 }  // namespace nsparse::core::detail

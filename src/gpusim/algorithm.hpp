@@ -35,6 +35,11 @@ struct SpgemmStats {
     int row_retries = 0;         ///< group-0 retry executions across those rows
     int host_fallback_rows = 0;  ///< rows recomputed by the host reference recourse
 
+    // Session recovery-ladder observability (nsparse::Session; zero when
+    // the multiply ran through the direct entry points).
+    int replans = 0;         ///< estimated→exact replans the ladder performed
+    int host_recourse = 0;   ///< 1 when the whole product fell back to the host
+
     // Estimation-based planning observability (Options::plan_mode).
     int estimated_rows = 0;      ///< rows planned from the sampled model, not counted
     int mispredicted_rows = 0;   ///< estimated rows whose planned capacity proved wrong

@@ -1,0 +1,161 @@
+// Cooperative cancellation for the simulated device.
+//
+// A CancelToken carries three independent stop causes:
+//
+//   * user cancellation  — request_cancel(reason), sticky until reset()
+//   * simulated deadline — arm_sim_deadline(seconds): the request's budget
+//                          in simulated device time
+//   * wall-clock deadline — arm_wall_budget_ms(ms): the request's budget in
+//                          host wall-clock time (steady_clock)
+//
+// The device checks the token at every kernel boundary (Device::launch):
+// cancellation is *cooperative*, a kernel already running completes, the
+// next one refuses to start. Host-side checks (the recovery ladder between
+// stages, the host-recourse row loop) use should_cancel() too, so a
+// cancelled request stops within one kernel / one recourse chunk.
+//
+// Thread safety: the flags and deadlines are atomics — worker-pool tasks
+// consult the token without locks; the reason string is mutex-guarded and
+// written once (before the sticky flag flips), read only after.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace nsparse::sim {
+
+/// Why a token says "stop".
+enum class CancelCause : int {
+    kNone = 0,
+    kUser,          ///< request_cancel() was called
+    kSimDeadline,   ///< the simulated-seconds budget expired
+    kWallDeadline,  ///< the host wall-clock budget expired
+};
+
+class CancelToken {
+public:
+    CancelToken() = default;
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /// Requests cooperative cancellation (sticky until reset()). The first
+    /// caller's reason wins; later calls are no-ops.
+    void request_cancel(std::string reason = {})
+    {
+        {
+            const std::scoped_lock lock(mu_);
+            if (cancel_requested_.load(std::memory_order_relaxed)) { return; }
+            reason_ = std::move(reason);
+        }
+        cancel_requested_.store(true, std::memory_order_release);
+    }
+
+    [[nodiscard]] bool cancel_requested() const
+    {
+        return cancel_requested_.load(std::memory_order_acquire);
+    }
+
+    [[nodiscard]] std::string reason() const
+    {
+        const std::scoped_lock lock(mu_);
+        return reason_;
+    }
+
+    /// Budgets the request in simulated device seconds, measured against
+    /// the elapsed value the checker passes in. <= 0 disarms.
+    void arm_sim_deadline(double seconds)
+    {
+        sim_deadline_.store(seconds > 0.0 ? seconds : kUnarmed, std::memory_order_release);
+    }
+
+    /// Budgets the request in host wall-clock milliseconds from now.
+    /// <= 0 disarms.
+    void arm_wall_budget_ms(std::int64_t ms)
+    {
+        if (ms <= 0) {
+            wall_deadline_ns_.store(0, std::memory_order_release);
+            return;
+        }
+        const auto now = std::chrono::steady_clock::now().time_since_epoch();
+        const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+        wall_deadline_ns_.store(now_ns + ms * 1'000'000, std::memory_order_release);
+        wall_start_ns_.store(now_ns, std::memory_order_release);
+    }
+
+    [[nodiscard]] double sim_deadline() const
+    {
+        return sim_deadline_.load(std::memory_order_acquire);
+    }
+
+    /// Host wall-clock seconds consumed since the wall budget was armed
+    /// (0 when unarmed).
+    [[nodiscard]] double wall_elapsed_seconds() const
+    {
+        if (wall_deadline_ns_.load(std::memory_order_acquire) == 0) { return 0.0; }
+        const auto now = std::chrono::steady_clock::now().time_since_epoch();
+        const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+        return static_cast<double>(now_ns - wall_start_ns_.load(std::memory_order_acquire)) *
+               1e-9;
+    }
+
+    /// Full check at a kernel boundary: user cancellation, then the
+    /// simulated budget against `sim_elapsed_seconds`, then the wall
+    /// budget against steady_clock. Returns the first tripped cause.
+    [[nodiscard]] CancelCause should_cancel(double sim_elapsed_seconds) const
+    {
+        if (cancel_requested()) { return CancelCause::kUser; }
+        const double sim_deadline = sim_deadline_.load(std::memory_order_acquire);
+        if (sim_deadline != kUnarmed && sim_elapsed_seconds >= sim_deadline) {
+            return CancelCause::kSimDeadline;
+        }
+        return wall_tripped() ? CancelCause::kWallDeadline : CancelCause::kNone;
+    }
+
+    /// Boundary check for asynchronous worker-pool tasks: user and
+    /// wall-clock causes only. The simulated clock lives on the host
+    /// thread, so async tasks never consult it — the host-side
+    /// should_cancel() at the next launch/stage boundary covers it.
+    [[nodiscard]] CancelCause should_cancel_async() const
+    {
+        if (cancel_requested()) { return CancelCause::kUser; }
+        return wall_tripped() ? CancelCause::kWallDeadline : CancelCause::kNone;
+    }
+
+    /// Disarms every deadline and clears the sticky cancellation — the
+    /// token is ready for the next request.
+    void reset()
+    {
+        {
+            const std::scoped_lock lock(mu_);
+            reason_.clear();
+        }
+        cancel_requested_.store(false, std::memory_order_release);
+        sim_deadline_.store(kUnarmed, std::memory_order_release);
+        wall_deadline_ns_.store(0, std::memory_order_release);
+        wall_start_ns_.store(0, std::memory_order_release);
+    }
+
+private:
+    [[nodiscard]] bool wall_tripped() const
+    {
+        const std::int64_t deadline = wall_deadline_ns_.load(std::memory_order_acquire);
+        if (deadline == 0) { return false; }
+        const auto now = std::chrono::steady_clock::now().time_since_epoch();
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >= deadline;
+    }
+
+    static constexpr double kUnarmed = -1.0;
+
+    std::atomic<bool> cancel_requested_{false};
+    std::atomic<double> sim_deadline_{kUnarmed};
+    std::atomic<std::int64_t> wall_deadline_ns_{0};  ///< 0 = unarmed
+    std::atomic<std::int64_t> wall_start_ns_{0};
+    mutable std::mutex mu_;
+    std::string reason_;  ///< guarded by mu_
+};
+
+}  // namespace nsparse::sim

@@ -10,6 +10,30 @@
 
 namespace nsparse::sim {
 
+namespace {
+
+/// Maps a tripped cancel cause to its structured exception. `stage` is the
+/// device phase (host-side checks) the budget ran out in.
+[[noreturn]] void throw_cancelled(CancelCause cause, const CancelToken& tok,
+                                  const std::string& stage, double sim_elapsed)
+{
+    switch (cause) {
+    case CancelCause::kUser:
+        throw OperationCancelled("operation cancelled at kernel boundary", stage, tok.reason());
+    case CancelCause::kSimDeadline:
+        throw DeadlineExceeded("simulated-time budget exceeded at kernel boundary", stage,
+                               sim_elapsed, /*wall_clock=*/false);
+    case CancelCause::kWallDeadline:
+        throw DeadlineExceeded("wall-clock budget exceeded at kernel boundary", stage,
+                               tok.wall_elapsed_seconds(), /*wall_clock=*/true);
+    case CancelCause::kNone: break;
+    }
+    NSPARSE_ASSERT(false, "throw_cancelled called without a tripped cause");
+    std::abort();
+}
+
+}  // namespace
+
 struct Device::LaunchState {
     std::exception_ptr error;
     Completion done;
@@ -46,6 +70,16 @@ void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
                     const std::function<void(BlockCtx&)>& fn)
 {
     cfg.validate(spec_);  // config errors stay synchronous (issue time)
+    // Cooperative cancellation: a request past its budget (or cancelled by
+    // the caller) stops here, at the kernel boundary, before the launch is
+    // even recorded — the buffers it would have captured unwind by RAII.
+    if (auto* tok = cancel_.load(std::memory_order_acquire)) {
+        const double sim_elapsed = timeline_.total();
+        const CancelCause cause = tok->should_cancel(sim_elapsed);
+        if (cause != CancelCause::kNone) {
+            throw_cancelled(cause, *tok, current_phase_, sim_elapsed);
+        }
+    }
     KernelRecord rec;
     rec.name = std::move(name);
     rec.stream_id = stream.id;
@@ -96,9 +130,19 @@ void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
         // help-stealing thread could pick up the successor of the very
         // launch executing on its own stack.
         pool.submit(
-            [this, st, prev, cfg, fn, blocks, nt] {
+            [this, st, prev, cfg, fn, blocks, nt, phase = current_phase_] {
                 if (prev) { prev->done.wait(); }
+                // Async boundary check (user / wall causes only — the
+                // simulated clock is host-owned): an already-queued launch
+                // of a cancelled request refuses to start; its deferred
+                // error surfaces at the next flush().
+                auto* tok = cancel_.load(std::memory_order_acquire);
+                const CancelCause cause =
+                    tok != nullptr ? tok->should_cancel_async() : CancelCause::kNone;
                 try {
+                    if (cause != CancelCause::kNone) {
+                        throw_cancelled(cause, *tok, phase, 0.0);
+                    }
                     BlockExecutor::run(cfg, cost_, nt, blocks, fn);
                 } catch (...) {
                     st->error = std::current_exception();
@@ -333,6 +377,35 @@ void Device::reset_measurement()
     global_bytes_ = 0.0;
     memory_events_ = 0;
     fault_events_ = 0;
+    // Reuse hygiene: a fresh measurement must not report the previous
+    // request's deferred-error provenance.
+    last_error_batch_item_ = -1;
+}
+
+void Device::reclaim()
+{
+    cancel_.store(nullptr, std::memory_order_release);
+    // Join every in-flight launch of the abandoned request; its deferred
+    // errors have already been reported (or superseded) upstream.
+    try {
+        flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    if (batch_capture_) {
+        try {
+            end_batch_capture();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+    }
+    // Schedule leftover pending records so the next reset_measurement()
+    // starts from an empty device (their makespan lands in the current
+    // timeline, which the next request resets anyway).
+    try {
+        synchronize();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    current_phase_ = "setup";
+    last_error_batch_item_ = -1;
 }
 
 }  // namespace nsparse::sim

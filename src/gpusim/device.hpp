@@ -33,6 +33,7 @@
 
 #include <map>
 
+#include "gpusim/cancel.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/launch.hpp"
@@ -170,6 +171,36 @@ public:
     /// usage derived from the schedule.
     BatchWindowReport end_batch_capture();
 
+    // --- cooperative cancellation ----------------------------------------
+
+    /// Installs a cancellation token consulted at every kernel boundary:
+    /// launch() throws OperationCancelled / DeadlineExceeded synchronously
+    /// when the token says stop (checking user cancellation, the simulated
+    /// deadline against elapsed() and the wall budget), and asynchronous
+    /// pool tasks refuse to start on a tripped token (user/wall causes
+    /// only — simulated time is host-owned), surfacing the error at the
+    /// next flush(). The device does not own the token; nullptr (the
+    /// default) disables all checks. Cancellation is cooperative: kernels
+    /// already running complete, so every buffer a launch captured stays
+    /// valid and the device remains reusable after reclaim().
+    void set_cancel_token(CancelToken* token)
+    {
+        cancel_.store(token, std::memory_order_release);
+    }
+    [[nodiscard]] CancelToken* cancel_token() const
+    {
+        return cancel_.load(std::memory_order_acquire);
+    }
+
+    /// Restores a usable device after a failed or cancelled request:
+    /// detaches the cancel token, joins every in-flight launch (swallowing
+    /// deferred errors of the abandoned request), closes a dangling batch
+    /// capture window, schedules leftover pending work and clears the
+    /// last-error bookkeeping. Streams, the allocator and the scratch pool
+    /// are untouched — live buffers of the caller stay live. The next
+    /// multiply starts from reset_measurement() as usual.
+    void reclaim();
+
     /// Optional cross-product scratch pool consulted by allocation sites
     /// that opt in (grouping permutation, per-row count workspaces).
     /// The device does not own the pool; nullptr disables reuse.
@@ -284,6 +315,10 @@ private:
     std::unordered_map<int, int> batch_epochs_;   ///< item -> current epoch
     std::unordered_map<int, int> batch_streams_;  ///< item -> private default stream
     int last_error_batch_item_ = -1;
+    /// Cancellation token consulted at kernel boundaries; atomic because
+    /// asynchronous pool tasks read it while the host thread may detach it
+    /// (reclaim) after their join. Not owned.
+    std::atomic<CancelToken*> cancel_{nullptr};
     ScratchPool* scratch_pool_ = nullptr;
     int next_stream_id_ = 1;
     int executor_threads_ = 0;  ///< 0 = hardware_concurrency

@@ -1,0 +1,128 @@
+#include "service/recovery.hpp"
+
+#include <algorithm>
+
+namespace nsparse {
+
+const char* to_string(RecoveryStage stage)
+{
+    switch (stage) {
+    case RecoveryStage::kAdmission: return "admission";
+    case RecoveryStage::kPlanned: return "planned";
+    case RecoveryStage::kExactReplan: return "exact_replan";
+    case RecoveryStage::kSlab: return "slab";
+    case RecoveryStage::kHostRecourse: return "host_recourse";
+    }
+    return "unknown";
+}
+
+const char* to_string(RecoveryEvent::Kind kind)
+{
+    switch (kind) {
+    case RecoveryEvent::Kind::kAdmit: return "admit";
+    case RecoveryEvent::Kind::kAnnotate: return "annotate";
+    case RecoveryEvent::Kind::kReject: return "reject";
+    case RecoveryEvent::Kind::kAttempt: return "attempt";
+    case RecoveryEvent::Kind::kEscalate: return "escalate";
+    case RecoveryEvent::Kind::kBackoff: return "backoff";
+    case RecoveryEvent::Kind::kBreakerOpen: return "breaker_open";
+    case RecoveryEvent::Kind::kBreakerProbe: return "breaker_probe";
+    case RecoveryEvent::Kind::kBreakerClose: return "breaker_close";
+    case RecoveryEvent::Kind::kBreakerJump: return "breaker_jump";
+    case RecoveryEvent::Kind::kCancelled: return "cancelled";
+    case RecoveryEvent::Kind::kDeadline: return "deadline";
+    case RecoveryEvent::Kind::kSuccess: return "success";
+    case RecoveryEvent::Kind::kFailure: return "failure";
+    }
+    return "unknown";
+}
+
+std::size_t RecoveryLog::count(RecoveryEvent::Kind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [kind](const RecoveryEvent& ev) { return ev.kind == kind; }));
+}
+
+std::string RecoveryLog::report() const
+{
+    std::string out;
+    for (const auto& ev : events_) {
+        out += to_string(ev.kind);
+        out += " stage=";
+        out += to_string(ev.stage);
+        if (ev.attempt > 0) {
+            out += " attempt=";
+            out += std::to_string(ev.attempt);
+        }
+        if (!ev.detail.empty()) {
+            out += " (";
+            out += ev.detail;
+            out += ")";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+CircuitBreaker::Decision CircuitBreaker::next_request()
+{
+    if (!open_) { return {}; }
+    ++requests_while_open_;
+    if (probe_interval_ > 0 && requests_while_open_ % probe_interval_ == 0) {
+        Decision d;
+        d.probe = true;
+        return d;
+    }
+    Decision d;
+    d.jump = true;
+    d.stage = known_good_stage_;
+    d.slabs = known_good_stage_ == RecoveryStage::kSlab ? std::max(known_good_slabs_, 2) : 0;
+    return d;
+}
+
+bool CircuitBreaker::on_fault(const std::string& signature)
+{
+    if (signature == last_signature_) {
+        ++consecutive_;
+    } else {
+        last_signature_ = signature;
+        consecutive_ = 1;
+    }
+    if (!open_ && threshold_ > 0 && consecutive_ >= threshold_) {
+        open_ = true;
+        requests_while_open_ = 0;
+        return true;
+    }
+    return false;
+}
+
+void CircuitBreaker::on_recovered(RecoveryStage stage, int slabs)
+{
+    known_good_stage_ = stage;
+    known_good_slabs_ = slabs;
+}
+
+bool CircuitBreaker::on_clean(bool probing)
+{
+    consecutive_ = 0;
+    last_signature_.clear();
+    if (open_ && probing) {
+        open_ = false;
+        requests_while_open_ = 0;
+        return true;
+    }
+    return false;
+}
+
+void CircuitBreaker::reset()
+{
+    last_signature_.clear();
+    consecutive_ = 0;
+    open_ = false;
+    requests_while_open_ = 0;
+    known_good_stage_ = RecoveryStage::kSlab;
+    known_good_slabs_ = 0;
+}
+
+}  // namespace nsparse

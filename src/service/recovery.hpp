@@ -1,0 +1,189 @@
+// The unified recovery-ladder policy engine of the session layer.
+//
+// PRs 2/3/6 built the survival mechanisms one by one — row-slab OOM
+// fallback, group-0 retry with doubling tables, host recourse, estimation
+// repair — but each escalation was hard-coded at its call site. This
+// header lifts the escalation chain into one configurable object:
+//
+//   RecoveryPolicy  — per-stage attempt budgets and which stages exist
+//   RecoveryStage   — the ladder's rungs, in escalation order
+//   RecoveryEvent / RecoveryLog — structured record of what happened to a
+//                     request (every escalation, backoff, breaker action,
+//                     cancellation and rejection)
+//   CircuitBreaker  — after K identical fault signatures, later requests
+//                     jump straight to the last known-good stage instead
+//                     of re-climbing the ladder; periodic probes re-try
+//                     the full ladder and close the breaker when clean
+//
+// The ladder itself is driven by nsparse::Session (service/session.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nsparse {
+
+/// The rungs of the recovery ladder, in escalation order.
+enum class RecoveryStage : int {
+    kAdmission = 0,   ///< admission control (rejections happen here)
+    kPlanned,         ///< the attempt under Options::plan_mode
+    kExactReplan,     ///< estimated→exact replan after a fault
+    kSlab,            ///< row-slab degradation
+    kHostRecourse,    ///< whole-product host reference recourse
+};
+
+[[nodiscard]] const char* to_string(RecoveryStage stage);
+
+/// Configurable escalation policy. The defaults reproduce the behaviour
+/// the direct entry points hard-code (slab fallback on, 8 slab halvings,
+/// 3 row retries, host recourse for rows); the session adds the
+/// estimated→exact replan, whole-product host recourse, backoff and the
+/// circuit breaker on top.
+struct RecoveryPolicy {
+    /// Attempts of the planned stage before escalating (>= 1). More than
+    /// one only helps against transient faults (probabilistic FaultPlan).
+    int max_plan_attempts = 1;
+
+    /// Replan estimated/hybrid requests with exact symbolic planning after
+    /// an OOM or kernel fault, before degrading further (estimated padding
+    /// can overshoot memory where the exact plan fits).
+    bool exact_replan = true;
+
+    /// Group-0 retries per faulted row (Options::max_row_retries override).
+    int max_row_retries = 3;
+
+    /// Slab-size halvings before the slab stage gives up
+    /// (Options::max_slab_retries override).
+    int max_slab_retries = 8;
+
+    /// Degrade to row slabs on OOM.
+    bool slab_fallback = true;
+
+    /// Complete the whole product on the host (chunked reference SpGEMM,
+    /// byte-identical) when every device stage failed.
+    bool host_recourse = true;
+
+    /// Exponential backoff before OOM-triggered escalations: sleep
+    /// min(backoff_base_ms * 2^(streak-1), backoff_max_ms) host
+    /// milliseconds, where streak counts consecutive requests of this
+    /// session that hit an OOM. 0 disables backoff (default).
+    int backoff_base_ms = 0;
+    int backoff_max_ms = 100;
+
+    /// Identical consecutive fault signatures before the breaker opens.
+    /// <= 0 disables the breaker.
+    int breaker_threshold = 3;
+
+    /// While open, every Nth request probes the full ladder; a clean probe
+    /// closes the breaker. <= 0 never probes (the breaker stays open until
+    /// reset_breaker()).
+    int breaker_probe_interval = 8;
+};
+
+/// One entry of a request's recovery log.
+struct RecoveryEvent {
+    enum class Kind : int {
+        kAdmit = 0,     ///< admission passed
+        kAnnotate,      ///< admitted, but annotated with a planned slab level
+        kReject,        ///< admission refused the request
+        kAttempt,       ///< a ladder stage started an attempt
+        kEscalate,      ///< a fault moved the request to the next stage
+        kBackoff,       ///< OOM backoff slept before the escalation
+        kBreakerOpen,   ///< the circuit breaker opened
+        kBreakerProbe,  ///< an open breaker let this request probe the ladder
+        kBreakerClose,  ///< a clean probe closed the breaker
+        kBreakerJump,   ///< the open breaker jumped to the known-good stage
+        kCancelled,     ///< cooperative cancellation stopped the request
+        kDeadline,      ///< a budget expired
+        kSuccess,       ///< the request completed
+        kFailure,       ///< every permitted stage failed
+    };
+
+    Kind kind = Kind::kAttempt;
+    RecoveryStage stage = RecoveryStage::kPlanned;
+    int attempt = 0;          ///< attempt number within the stage (1-based), 0 = n/a
+    std::string detail;       ///< human-readable context (fault signature, bytes, ...)
+    double sim_seconds = 0.0; ///< simulated seconds elapsed in the request when logged
+};
+
+[[nodiscard]] const char* to_string(RecoveryEvent::Kind kind);
+
+/// Append-only record of what the ladder did to one request.
+class RecoveryLog {
+public:
+    void append(RecoveryEvent ev) { events_.push_back(std::move(ev)); }
+
+    [[nodiscard]] const std::vector<RecoveryEvent>& events() const { return events_; }
+    [[nodiscard]] std::size_t count(RecoveryEvent::Kind kind) const;
+    [[nodiscard]] bool contains(RecoveryEvent::Kind kind) const { return count(kind) > 0; }
+
+    /// Human-readable rendering, one line per event.
+    [[nodiscard]] std::string report() const;
+
+private:
+    std::vector<RecoveryEvent> events_;
+};
+
+/// Session-level circuit breaker over fault signatures.
+///
+/// A fault signature is a short string like "oom@planned" or
+/// "kernel_fault@slab" — the fault kind at the stage it first hit. After
+/// `threshold` consecutive requests fault with the *same* signature, the
+/// breaker opens: subsequent requests skip the doomed early rungs and jump
+/// straight to the stage that last recovered (known-good), remembering its
+/// slab level. Every `probe_interval`-th request while open runs the full
+/// ladder as a probe; a clean probe closes the breaker.
+class CircuitBreaker {
+public:
+    /// What the breaker wants for the next request.
+    struct Decision {
+        bool jump = false;   ///< skip to `stage` (with `slabs` when kSlab)
+        bool probe = false;  ///< run the full ladder, report back via on_clean
+        RecoveryStage stage = RecoveryStage::kPlanned;
+        int slabs = 0;
+    };
+
+    void configure(int threshold, int probe_interval)
+    {
+        threshold_ = threshold;
+        probe_interval_ = probe_interval;
+    }
+
+    /// Consult before running a request's ladder.
+    [[nodiscard]] Decision next_request();
+
+    /// A request faulted (first fault signature). Returns true when the
+    /// breaker transitioned to open on this fault.
+    bool on_fault(const std::string& signature);
+
+    /// A faulted request recovered at `stage` (slab count when kSlab):
+    /// remember the stage as known-good for jumps.
+    void on_recovered(RecoveryStage stage, int slabs);
+
+    /// A request finished without any fault. `probing` = the request was a
+    /// breaker probe. Returns true when a clean probe just closed the
+    /// breaker.
+    bool on_clean(bool probing);
+
+    [[nodiscard]] bool open() const { return open_; }
+    [[nodiscard]] int consecutive_identical_faults() const { return consecutive_; }
+    [[nodiscard]] RecoveryStage known_good_stage() const { return known_good_stage_; }
+    [[nodiscard]] int known_good_slabs() const { return known_good_slabs_; }
+    [[nodiscard]] const std::string& last_signature() const { return last_signature_; }
+
+    /// Force-close and forget everything (Session::reset_breaker).
+    void reset();
+
+private:
+    int threshold_ = 3;
+    int probe_interval_ = 8;
+    std::string last_signature_;
+    int consecutive_ = 0;
+    bool open_ = false;
+    int requests_while_open_ = 0;
+    RecoveryStage known_good_stage_ = RecoveryStage::kSlab;
+    int known_good_slabs_ = 0;
+};
+
+}  // namespace nsparse

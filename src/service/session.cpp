@@ -1,0 +1,608 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/memory_estimator.hpp"
+#include "core/spgemm_impl.hpp"
+#include "sparse/csr_ops.hpp"
+#include "sparse/reference_spgemm.hpp"
+#include "sparse/validate.hpp"
+
+namespace nsparse {
+
+namespace {
+
+std::string product_prefix(std::size_t k) { return "batch product " + std::to_string(k) + ": "; }
+
+}  // namespace
+
+const char* to_string(RequestOutcome outcome)
+{
+    switch (outcome) {
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kRejected: return "rejected";
+    case RequestOutcome::kCancelled: return "cancelled";
+    case RequestOutcome::kDeadline: return "deadline";
+    case RequestOutcome::kFailed: return "failed";
+    }
+    return "unknown";
+}
+
+Session::Session(SessionConfig cfg)
+    : cfg_(std::move(cfg)), dev_(cfg_.device_spec, cfg_.cost_model)
+{
+    core::validate_options(cfg_.options);
+    NSPARSE_EXPECTS(cfg_.policy.max_plan_attempts >= 1,
+                    "RecoveryPolicy::max_plan_attempts must be >= 1");
+    NSPARSE_EXPECTS(cfg_.policy.max_row_retries >= 0,
+                    "RecoveryPolicy::max_row_retries must be non-negative");
+    NSPARSE_EXPECTS(cfg_.policy.max_slab_retries >= 0,
+                    "RecoveryPolicy::max_slab_retries must be non-negative");
+    breaker_.configure(cfg_.policy.breaker_threshold, cfg_.policy.breaker_probe_interval);
+    if (cfg_.record_trace) { dev_.enable_trace(); }
+    if (cfg_.options.batch_scratch_reuse) { dev_.set_scratch_pool(&scratch_); }
+}
+
+Session::~Session()
+{
+    // Join any stragglers and detach session-owned state before members
+    // are destroyed in reverse order.
+    dev_.reclaim();
+    dev_.set_scratch_pool(nullptr);
+}
+
+void Session::log_event(RecoveryLog& log, RecoveryEvent::Kind kind, RecoveryStage stage,
+                        int attempt, std::string detail)
+{
+    using Kind = RecoveryEvent::Kind;
+    RecoveryEvent ev;
+    ev.kind = kind;
+    ev.stage = stage;
+    ev.attempt = attempt;
+    ev.detail = detail;
+    ev.sim_seconds = dev_.elapsed();
+    log.append(std::move(ev));
+    // Mirror the events that describe faults and their handling into the
+    // device trace (extending the PR-3 fault-event stream); routine
+    // admit/attempt/success entries stay out of it.
+    switch (kind) {
+    case Kind::kReject:
+    case Kind::kEscalate:
+    case Kind::kBackoff:
+    case Kind::kBreakerOpen:
+    case Kind::kBreakerProbe:
+    case Kind::kBreakerClose:
+    case Kind::kBreakerJump:
+    case Kind::kCancelled:
+    case Kind::kDeadline:
+    case Kind::kFailure:
+        dev_.record_fault_event(std::string("session_") + to_string(kind),
+                                /*group=*/-1, /*row=*/-1, /*table_size=*/0, /*probes=*/0,
+                                attempt);
+        break;
+    case Kind::kAdmit:
+    case Kind::kAnnotate:
+    case Kind::kAttempt:
+    case Kind::kSuccess:
+        break;
+    }
+}
+
+void Session::check_budget(RecoveryStage stage)
+{
+    const double sim_elapsed = dev_.elapsed();
+    switch (token_.should_cancel(sim_elapsed)) {
+    case sim::CancelCause::kNone: return;
+    case sim::CancelCause::kUser:
+        throw OperationCancelled("operation cancelled between ladder stages",
+                                 to_string(stage), token_.reason());
+    case sim::CancelCause::kSimDeadline:
+        throw DeadlineExceeded("simulated-time budget exceeded between ladder stages",
+                               to_string(stage), sim_elapsed, /*wall_clock=*/false);
+    case sim::CancelCause::kWallDeadline:
+        throw DeadlineExceeded("wall-clock budget exceeded between ladder stages",
+                               to_string(stage), token_.wall_elapsed_seconds(),
+                               /*wall_clock=*/true);
+    }
+}
+
+void Session::prepare_oom_rerun(SpgemmStats& stats, std::size_t live_floor, RecoveryLog& log,
+                                RecoveryStage stage)
+{
+    const std::size_t at_oom = dev_.allocator().last_oom_live_bytes();
+    const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
+    stats.fallback_bytes_freed = freed;
+    dev_.record_memory_event("slab_fallback", freed, 0, 0);
+    core::detail::reset_fault_tallies(stats);
+    // The rerun must not compete with pooled scratch of earlier requests.
+    scratch_.clear();
+    // Exponential backoff on repeated OOM within the session.
+    if (cfg_.policy.backoff_base_ms > 0 && oom_streak_ > 0) {
+        const int shift = std::min(oom_streak_ - 1, 16);
+        const std::int64_t ms =
+            std::min<std::int64_t>(static_cast<std::int64_t>(cfg_.policy.backoff_base_ms)
+                                       << shift,
+                                   cfg_.policy.backoff_max_ms);
+        if (ms > 0) {
+            ++stats_.backoffs;
+            log_event(log, RecoveryEvent::Kind::kBackoff, stage, 0,
+                      std::to_string(ms) + " ms");
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+    }
+}
+
+void Session::cleanup_after_failure()
+{
+    dev_.reclaim();
+    scratch_.clear();
+    if (cfg_.options.batch_scratch_reuse) { dev_.set_scratch_pool(&scratch_); }
+}
+
+template <ValueType T>
+AdmissionDecision Session::admit_decision(const CsrMatrix<T>& a, const CsrMatrix<T>& b) const
+{
+    AdmissionDecision d;
+    const auto& alloc = dev_.allocator();
+    const std::size_t live = alloc.live_bytes();
+    d.available_bytes = alloc.capacity() > live ? alloc.capacity() - live : 0;
+    d.required_floor_bytes = b.byte_size();
+    d.deepest_slab_level = static_cast<int>(std::max<index_t>(a.rows, 1));
+    if (cfg_.admission == AdmissionMode::kOff) { return d; }
+
+    // Upper-bound prediction: per-row nnz can never exceed the row's
+    // intermediate products nor the output width. Feeding the bound
+    // through the allocation-schedule walk gives a peak that the real run
+    // cannot exceed — so `peak <= available` certifies the unchunked
+    // attempt, while rejection must rest on the *certain* floor below.
+    const auto products = intermediate_products_per_row(a, b);
+    std::vector<index_t> nnz_ub(to_size(a.rows));
+    for (index_t i = 0; i < a.rows; ++i) {
+        nnz_ub[to_size(i)] = std::min(products[to_size(i)], b.cols);
+    }
+    const auto est =
+        core::estimate_hash_spgemm_memory_from_nnz(a, b, products, nnz_ub, dev_.spec());
+    d.predicted_peak_bytes = est.peak;
+
+    // Certain infeasibility: B stays resident in every device path (every
+    // slab multiplies against whole B), so when B alone does not fit the
+    // free capacity, no degradation level can help.
+    if (d.required_floor_bytes >= d.available_bytes) {
+        d.admitted = false;
+        return d;
+    }
+    if (est.peak > d.available_bytes) {
+        d.planned_slab_level = static_cast<int>(core::plan_row_slabs_from_estimate(
+            est, b.byte_size(), a.rows, d.available_bytes));
+    }
+    return d;
+}
+
+template <ValueType T>
+AdmissionDecision Session::admit(const CsrMatrix<T>& a, const CsrMatrix<T>& b) const
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    return admit_decision(a, b);
+}
+
+template <ValueType T>
+RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                      const RequestBudget& budget)
+{
+    using Kind = RecoveryEvent::Kind;
+    RequestResult<T> res;
+
+    // Precondition violations are caller bugs and throw synchronously,
+    // before the request is even counted.
+    core::Options opt = cfg_.options;
+    core::validate_options(opt);
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    if (opt.validate_inputs) { validate_spgemm_inputs(a, b); }
+    ++stats_.requests;
+    // The policy owns the retry budgets on the session path.
+    opt.max_row_retries = cfg_.policy.max_row_retries;
+    opt.max_slab_retries = cfg_.policy.max_slab_retries;
+    opt.slab_fallback = cfg_.policy.slab_fallback;
+
+    // ---- layer 1: admission ---------------------------------------------
+    res.admission = admit_decision(a, b);
+    if (!res.admission.admitted) {
+        ++stats_.rejected;
+        res.outcome = RequestOutcome::kRejected;
+        res.final_stage = RecoveryStage::kAdmission;
+        log_event(res.log, Kind::kReject, RecoveryStage::kAdmission, 0,
+                  "B alone needs " + std::to_string(res.admission.required_floor_bytes) +
+                      " B of " + std::to_string(res.admission.available_bytes) + " B free");
+        try {
+            throw AdmissionRejected(
+                "admission rejected: the request cannot fit the free device capacity even "
+                "at the deepest slab level",
+                res.admission.required_floor_bytes, res.admission.available_bytes,
+                res.admission.deepest_slab_level);
+        } catch (const AdmissionRejected& e) {
+            res.error = std::current_exception();
+            res.error_message = e.what();
+        }
+        return res;
+    }
+    ++stats_.admitted;
+    log_event(res.log, Kind::kAdmit, RecoveryStage::kAdmission, 0,
+              "predicted peak " + std::to_string(res.admission.predicted_peak_bytes) +
+                  " B, available " + std::to_string(res.admission.available_bytes) + " B");
+    if (res.admission.planned_slab_level > 0) {
+        log_event(res.log, Kind::kAnnotate, RecoveryStage::kSlab, 0,
+                  "planned degradation to " +
+                      std::to_string(res.admission.planned_slab_level) + " slab(s)");
+        if (cfg_.admission == AdmissionMode::kEnforce) {
+            // Skip the doomed unchunked attempt: start at the planned level.
+            opt.force_slabs = std::max(opt.force_slabs, res.admission.planned_slab_level);
+        }
+    }
+
+    // ---- circuit breaker ------------------------------------------------
+    const CircuitBreaker::Decision dec = breaker_.next_request();
+    if (dec.probe) {
+        log_event(res.log, Kind::kBreakerProbe, RecoveryStage::kPlanned);
+    }
+    if (dec.jump) {
+        ++stats_.breaker_jumps;
+        log_event(res.log, Kind::kBreakerJump, dec.stage, 0,
+                  dec.stage == RecoveryStage::kSlab
+                      ? std::to_string(dec.slabs) + " slab(s)"
+                      : std::string(to_string(dec.stage)));
+        if (dec.stage == RecoveryStage::kSlab) {
+            opt.force_slabs = std::max(opt.force_slabs, dec.slabs);
+        } else if (dec.stage == RecoveryStage::kExactReplan) {
+            opt.plan_mode = core::PlanMode::kExact;
+        }
+    }
+
+    // ---- layer 3: arm the budgets ---------------------------------------
+    token_.arm_sim_deadline(budget.sim_seconds);
+    token_.arm_wall_budget_ms(budget.wall_ms);
+    dev_.set_cancel_token(&token_);
+    dev_.set_executor_threads(opt.executor_threads);
+    dev_.reset_measurement();
+    const std::size_t live_floor = dev_.allocator().live_bytes();
+
+    // ---- layer 2: the recovery ladder -----------------------------------
+    bool faulted = false;
+    std::string first_signature;
+    const auto note_fault = [&](const char* kind, RecoveryStage stage, bool oom) {
+        if (!faulted) {
+            faulted = true;
+            first_signature = std::string(kind) + "@" + to_string(stage);
+            if (oom) { ++oom_streak_; }
+        }
+    };
+    RecoveryStage reached =
+        opt.force_slabs > 0 ? RecoveryStage::kSlab : RecoveryStage::kPlanned;
+    const bool estimated_plan = opt.plan_mode != core::PlanMode::kExact;
+
+    try {
+        core::detail::MultiplyResult<T> mres;
+        bool have = false;
+        bool want_replan = false;
+        bool want_slab = opt.force_slabs > 0;
+        bool want_host = false;
+
+        // ---- stage: planned attempt(s) ----------------------------------
+        const int plan_attempts = std::max(1, cfg_.policy.max_plan_attempts);
+        for (int attempt = 1; !have && !want_replan && !want_slab && !want_host &&
+                              attempt <= plan_attempts;
+             ++attempt) {
+            check_budget(RecoveryStage::kPlanned);
+            log_event(res.log, Kind::kAttempt, RecoveryStage::kPlanned, attempt);
+            try {
+                mres = core::detail::multiply_attempt(dev_, a, b, opt, res.out.stats);
+                have = true;
+            } catch (const DeviceOutOfMemory&) {
+                note_fault("oom", RecoveryStage::kPlanned, /*oom=*/true);
+                prepare_oom_rerun(res.out.stats, live_floor, res.log,
+                                  RecoveryStage::kPlanned);
+                if (attempt < plan_attempts) { continue; }
+                if (estimated_plan && cfg_.policy.exact_replan) {
+                    want_replan = true;
+                } else if (cfg_.policy.slab_fallback) {
+                    want_slab = true;
+                } else if (cfg_.policy.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            } catch (const KernelFault&) {
+                note_fault("kernel_fault", RecoveryStage::kPlanned, /*oom=*/false);
+                core::detail::reset_fault_tallies(res.out.stats);
+                scratch_.clear();
+                if (estimated_plan && cfg_.policy.exact_replan) {
+                    want_replan = true;
+                } else if (cfg_.policy.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            }
+        }
+
+        // ---- stage: estimated→exact replan ------------------------------
+        if (!have && want_replan) {
+            reached = RecoveryStage::kExactReplan;
+            ++stats_.replans;
+            res.out.stats.replans += 1;
+            log_event(res.log, Kind::kEscalate, RecoveryStage::kExactReplan, 0,
+                      first_signature);
+            check_budget(RecoveryStage::kExactReplan);
+            log_event(res.log, Kind::kAttempt, RecoveryStage::kExactReplan, 1);
+            core::Options exact_opt = opt;
+            exact_opt.plan_mode = core::PlanMode::kExact;
+            try {
+                mres = core::detail::multiply_attempt(dev_, a, b, exact_opt, res.out.stats);
+                have = true;
+            } catch (const DeviceOutOfMemory&) {
+                note_fault("oom", RecoveryStage::kExactReplan, /*oom=*/true);
+                prepare_oom_rerun(res.out.stats, live_floor, res.log,
+                                  RecoveryStage::kExactReplan);
+                if (cfg_.policy.slab_fallback) {
+                    want_slab = true;
+                } else if (cfg_.policy.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            } catch (const KernelFault&) {
+                note_fault("kernel_fault", RecoveryStage::kExactReplan, /*oom=*/false);
+                core::detail::reset_fault_tallies(res.out.stats);
+                scratch_.clear();
+                if (cfg_.policy.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            }
+        }
+
+        // ---- stage: row slabs -------------------------------------------
+        int slabs_used = 0;
+        if (!have && want_slab) {
+            if (reached != RecoveryStage::kSlab) {
+                log_event(res.log, Kind::kEscalate, RecoveryStage::kSlab, 0,
+                          first_signature);
+            }
+            reached = RecoveryStage::kSlab;
+            ++stats_.slab_fallbacks;
+            check_budget(RecoveryStage::kSlab);
+            log_event(res.log, Kind::kAttempt, RecoveryStage::kSlab, 1);
+            try {
+                mres = core::detail::multiply_slabbed(dev_, a, b, opt, live_floor,
+                                                      res.out.stats);
+                have = true;
+                slabs_used = res.out.stats.fallback_slabs;
+            } catch (const DeviceOutOfMemory&) {
+                note_fault("oom", RecoveryStage::kSlab, /*oom=*/true);
+                prepare_oom_rerun(res.out.stats, live_floor, res.log, RecoveryStage::kSlab);
+                if (cfg_.policy.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            } catch (const KernelFault&) {
+                note_fault("kernel_fault", RecoveryStage::kSlab, /*oom=*/false);
+                core::detail::reset_fault_tallies(res.out.stats);
+                scratch_.clear();
+                if (cfg_.policy.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            }
+        }
+
+        // ---- stage: whole-product host recourse -------------------------
+        if (!have && want_host) {
+            log_event(res.log, Kind::kEscalate, RecoveryStage::kHostRecourse, 0,
+                      first_signature);
+            reached = RecoveryStage::kHostRecourse;
+            ++stats_.host_recourses;
+            // Chunked so cancellation/deadlines still bite between chunks;
+            // the reference kernel accumulates in ascending column order,
+            // byte-identical to the device pipeline's assembly.
+            mres.matrix.rows = 0;
+            mres.matrix.cols = b.cols;
+            mres.matrix.rpt.assign(1, 0);
+            const index_t chunk = std::max<index_t>(1, std::max<index_t>(a.rows / 16, 1024));
+            for (index_t r0 = 0; r0 < a.rows; r0 += chunk) {
+                check_budget(RecoveryStage::kHostRecourse);
+                const index_t r1 = std::min<index_t>(a.rows, r0 + chunk);
+                append_rows(mres.matrix, reference_spgemm(slice_rows(a, r0, r1), b));
+            }
+            mres.products = total_intermediate_products(a, b);
+            have = true;
+            res.out.stats.host_recourse = 1;
+            res.out.stats.host_fallback_rows += static_cast<int>(a.rows);
+            fill_stats_from_device(res.out.stats, dev_);
+        }
+
+        NSPARSE_ASSERT(have, "recovery ladder exited without a result or an exception");
+
+        // ---- success epilogue -------------------------------------------
+        res.out.matrix = std::move(mres.matrix);
+        res.out.stats.intermediate_products = mres.products;
+        res.out.stats.nnz_c = res.out.matrix.nnz();
+        res.final_stage = reached;
+        res.outcome = RequestOutcome::kCompleted;
+        ++stats_.completed;
+        log_event(res.log, Kind::kSuccess, reached);
+        if (faulted) {
+            ++stats_.recovered;
+            if (breaker_.on_fault(first_signature)) {
+                ++stats_.breaker_opens;
+                log_event(res.log, Kind::kBreakerOpen, reached, 0, first_signature);
+            }
+            breaker_.on_recovered(reached, slabs_used);
+        } else {
+            if (breaker_.on_clean(dec.probe)) {
+                ++stats_.breaker_closes;
+                log_event(res.log, Kind::kBreakerClose, reached);
+            }
+        }
+        dev_.set_cancel_token(nullptr);
+        token_.arm_sim_deadline(0.0);
+        token_.arm_wall_budget_ms(0);
+    } catch (const OperationCancelled& e) {
+        ++stats_.cancelled;
+        res.outcome = RequestOutcome::kCancelled;
+        res.final_stage = reached;
+        res.error = std::current_exception();
+        res.error_message = e.what();
+        log_event(res.log, Kind::kCancelled, reached, 0, e.stage());
+        cleanup_after_failure();
+    } catch (const DeadlineExceeded& e) {
+        ++stats_.deadline_exceeded;
+        res.outcome = RequestOutcome::kDeadline;
+        res.final_stage = reached;
+        res.error = std::current_exception();
+        res.error_message = e.what();
+        log_event(res.log, Kind::kDeadline, reached, 0, e.stage());
+        cleanup_after_failure();
+    } catch (const Error& e) {
+        ++stats_.failed;
+        res.outcome = RequestOutcome::kFailed;
+        res.final_stage = reached;
+        res.error = std::current_exception();
+        res.error_message = e.what();
+        log_event(res.log, Kind::kFailure, reached, 0,
+                  faulted ? first_signature : std::string(e.what()));
+        if (faulted && breaker_.on_fault(first_signature)) {
+            ++stats_.breaker_opens;
+            log_event(res.log, Kind::kBreakerOpen, reached, 0, first_signature);
+        }
+        cleanup_after_failure();
+    }
+    if (!faulted) { oom_streak_ = 0; }
+    return res;
+}
+
+template <ValueType T>
+RequestResult<T> Session::multiply(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                   const RequestBudget& budget)
+{
+    token_.reset();
+    return run_request(a, b, budget);
+}
+
+template <ValueType T>
+BatchRequestResult<T> Session::multiply_batch(const std::vector<const CsrMatrix<T>*>& as,
+                                              const std::vector<const CsrMatrix<T>*>& bs,
+                                              const RequestBudget& per_product)
+{
+    NSPARSE_EXPECTS(as.size() == bs.size(), "batch A and B lists must have equal length");
+    const std::size_t n = as.size();
+    // A malformed batch is a caller error and fails as a whole, naming the
+    // offending product — matching core::spgemm_batch semantics.
+    for (std::size_t k = 0; k < n; ++k) {
+        if (as[k] == nullptr || bs[k] == nullptr) {
+            throw PreconditionError(product_prefix(k) + "null matrix pointer",
+                                    "non_null_inputs");
+        }
+        if (as[k]->cols != bs[k]->rows) {
+            throw PreconditionError(product_prefix(k) + "inner dimensions must agree",
+                                    "inner_dims_agree");
+        }
+        if (cfg_.options.validate_inputs) {
+            try {
+                validate_spgemm_inputs(*as[k], *bs[k]);
+            } catch (const PreconditionError& e) {
+                throw PreconditionError(product_prefix(k) + e.what(), e.invariant());
+            }
+        }
+    }
+
+    BatchRequestResult<T> out;
+    out.items.reserve(n);
+    out.stats.products = static_cast<int>(n);
+    token_.reset();
+
+    for (std::size_t k = 0; k < n; ++k) {
+        if (token_.cancel_requested()) {
+            // Mid-batch cancellation: the remaining products fail
+            // synchronously without touching the device.
+            ++stats_.requests;
+            ++stats_.cancelled;
+            RequestResult<T> slot;
+            slot.outcome = RequestOutcome::kCancelled;
+            slot.final_stage = RecoveryStage::kAdmission;
+            try {
+                throw OperationCancelled(product_prefix(k) + "batch cancelled before start",
+                                         "admission", token_.reason());
+            } catch (const OperationCancelled& e) {
+                slot.error = std::current_exception();
+                slot.error_message = e.what();
+            }
+            slot.log.append(RecoveryEvent{RecoveryEvent::Kind::kCancelled,
+                                          RecoveryStage::kAdmission, 0, token_.reason(),
+                                          0.0});
+            out.items.push_back(std::move(slot));
+            continue;
+        }
+        out.items.push_back(run_request(*as[k], *bs[k], per_product));
+        if (!out.items.back().ok()) {
+            out.items.back().error_message =
+                product_prefix(k) + out.items.back().error_message;
+        }
+    }
+
+    // ---- roll-up --------------------------------------------------------
+    auto& bsout = out.stats;
+    for (const auto& item : out.items) {
+        const auto& s = item.out.stats;
+        if (!item.ok()) {
+            ++bsout.failed;
+            switch (item.outcome) {
+            case RequestOutcome::kRejected: ++bsout.rejected; break;
+            case RequestOutcome::kCancelled: ++bsout.cancelled; break;
+            case RequestOutcome::kDeadline: ++bsout.deadline_exceeded; break;
+            case RequestOutcome::kFailed:
+            case RequestOutcome::kCompleted: break;
+            }
+            continue;
+        }
+        bsout.total_intermediate_products += s.intermediate_products;
+        bsout.total_nnz_c += s.nnz_c;
+        bsout.seconds += s.seconds;
+        bsout.malloc_seconds += s.malloc_seconds;
+        bsout.peak_bytes = std::max(bsout.peak_bytes, s.peak_bytes);
+        bsout.fallback_slabs += s.fallback_slabs;
+        bsout.fallback_retries += s.fallback_retries;
+        bsout.faulted_rows += s.faulted_rows;
+        bsout.row_retries += s.row_retries;
+        bsout.host_fallback_rows += s.host_fallback_rows;
+        bsout.estimated_rows += s.estimated_rows;
+        bsout.mispredicted_rows += s.mispredicted_rows;
+        bsout.replans += s.replans;
+        bsout.host_recourse_products += s.host_recourse;
+    }
+    bsout.scratch_hits = scratch_.hits();
+    bsout.scratch_misses = scratch_.misses();
+    return out;
+}
+
+template RequestResult<float> Session::multiply(const CsrMatrix<float>&,
+                                                const CsrMatrix<float>&, const RequestBudget&);
+template RequestResult<double> Session::multiply(const CsrMatrix<double>&,
+                                                 const CsrMatrix<double>&,
+                                                 const RequestBudget&);
+template BatchRequestResult<float>
+Session::multiply_batch(const std::vector<const CsrMatrix<float>*>&,
+                        const std::vector<const CsrMatrix<float>*>&, const RequestBudget&);
+template BatchRequestResult<double>
+Session::multiply_batch(const std::vector<const CsrMatrix<double>*>&,
+                        const std::vector<const CsrMatrix<double>*>&, const RequestBudget&);
+template AdmissionDecision Session::admit(const CsrMatrix<float>&,
+                                          const CsrMatrix<float>&) const;
+template AdmissionDecision Session::admit(const CsrMatrix<double>&,
+                                          const CsrMatrix<double>&) const;
+
+}  // namespace nsparse

@@ -1,0 +1,241 @@
+// SpGEMM-as-a-service: a long-lived session owning one simulated device
+// and one scratch pool, admitting single and batched multiply requests
+// through three resilience layers (the ROADMAP's service front end):
+//
+//   1. Admission control — before any kernel runs, the memory estimator
+//      predicts the request's peak against the live device capacity.
+//      Requests that cannot fit even at the deepest slab level (B alone
+//      exceeds the free capacity — B stays resident in every device path,
+//      so this bound is certain, not estimated) are rejected synchronously
+//      with AdmissionRejected; over-capacity-but-slabbable requests are
+//      annotated with the planned degradation level (and, under
+//      AdmissionMode::kEnforce, start slabbed instead of burning cycles
+//      into the doomed unchunked attempt).
+//
+//   2. The unified recovery ladder (service/recovery.hpp) — planned
+//      attempt → estimated→exact replan → row slabs → whole-product host
+//      recourse, each stage budgeted by RecoveryPolicy, with exponential
+//      backoff on repeated OOM and a circuit breaker that jumps straight
+//      to the last known-good stage after repeated identical faults.
+//
+//   3. Deadlines + cooperative cancellation — per-request budgets in
+//      simulated seconds and host wall-clock, enforced by a CancelToken
+//      threaded through Device::launch and the worker-pool tasks:
+//      over-budget requests stop at kernel boundaries, surface
+//      DeadlineExceeded / OperationCancelled, and leave the device,
+//      streams and scratch pool reusable for the next request.
+//
+// Every escalation, cancellation and rejection is appended to the
+// request's RecoveryLog (and mirrored into the device trace as fault
+// events) and rolled up into SpgemmStats / BatchStats / SessionStats.
+// Recovered requests are byte-identical to a clean exact run.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/spgemm_batch.hpp"
+#include "gpusim/cancel.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/scratch_pool.hpp"
+#include "service/recovery.hpp"
+
+namespace nsparse {
+
+/// How admission control reacts to its prediction.
+enum class AdmissionMode : int {
+    kOff = 0,   ///< no prediction; every request is admitted
+    kAnnotate,  ///< predict and annotate, but never change the execution
+    kEnforce,   ///< reject infeasible requests; start slabbed when the
+                ///< prediction says the unchunked attempt is doomed
+};
+
+struct SessionConfig {
+    sim::DeviceSpec device_spec = sim::DeviceSpec::pascal_p100();
+    sim::CostModel cost_model = {};
+    /// Per-request algorithm knobs; RecoveryPolicy overrides the retry
+    /// budgets (max_row_retries / max_slab_retries) on every request.
+    core::Options options = {};
+    RecoveryPolicy policy = {};
+    AdmissionMode admission = AdmissionMode::kEnforce;
+    /// Retain per-kernel/per-event trace entries on the session device.
+    bool record_trace = false;
+};
+
+/// Per-request budgets; 0 = unlimited.
+struct RequestBudget {
+    double sim_seconds = 0.0;   ///< budget in simulated device seconds
+    std::int64_t wall_ms = 0;   ///< budget in host wall-clock milliseconds
+};
+
+/// What admission control decided for a request.
+struct AdmissionDecision {
+    bool admitted = true;
+    std::size_t predicted_peak_bytes = 0;  ///< upper-bound estimate (0 under kOff)
+    std::size_t available_bytes = 0;       ///< capacity - live bytes at admission
+    std::size_t required_floor_bytes = 0;  ///< certain floor (B stays resident)
+    /// Planned slab degradation (0 = expected to fit unchunked).
+    int planned_slab_level = 0;
+    /// Slab count the rejection bound is based on (single-row slabs).
+    int deepest_slab_level = 0;
+};
+
+/// How a request ended.
+enum class RequestOutcome : int {
+    kCompleted = 0,
+    kRejected,   ///< admission control refused it (AdmissionRejected)
+    kCancelled,  ///< cooperative cancellation (OperationCancelled)
+    kDeadline,   ///< a budget expired (DeadlineExceeded)
+    kFailed,     ///< every permitted ladder stage failed
+};
+
+[[nodiscard]] const char* to_string(RequestOutcome outcome);
+
+/// One request's result: the output (when ok()), the admission decision,
+/// the full recovery log and the structured error otherwise.
+template <ValueType T>
+struct RequestResult {
+    SpgemmOutput<T> out;
+    AdmissionDecision admission;
+    RecoveryLog log;
+    RequestOutcome outcome = RequestOutcome::kCompleted;
+    RecoveryStage final_stage = RecoveryStage::kPlanned;
+    std::exception_ptr error;   ///< null when the request succeeded
+    std::string error_message;  ///< what() of the captured error
+    [[nodiscard]] bool ok() const { return error == nullptr; }
+};
+
+/// A batched request: per-product results plus the batch roll-up.
+template <ValueType T>
+struct BatchRequestResult {
+    std::vector<RequestResult<T>> items;
+    core::BatchStats stats;
+};
+
+/// Session lifetime counters.
+struct SessionStats {
+    std::uint64_t requests = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    /// Completed after at least one fault (any rung above kPlanned ran).
+    std::uint64_t recovered = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t replans = 0;
+    std::uint64_t slab_fallbacks = 0;
+    std::uint64_t host_recourses = 0;
+    std::uint64_t backoffs = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_jumps = 0;
+    std::uint64_t breaker_closes = 0;
+};
+
+class Session {
+public:
+    explicit Session(SessionConfig cfg = {});
+    ~Session();
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// One multiply through admission, the recovery ladder and the
+    /// request budget. Precondition violations (mismatched dimensions,
+    /// invalid options, corrupt inputs under validate_inputs) throw
+    /// synchronously — they are caller bugs, not request failures; every
+    /// runtime failure is captured in the returned result.
+    template <ValueType T>
+    RequestResult<T> multiply(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                              const RequestBudget& budget = {});
+
+    /// A batch of products, each through the full ladder with its own
+    /// `per_product` budget, sharing the session device and scratch pool.
+    /// cancel() stops the in-flight product at its next kernel boundary
+    /// and fails the remaining products synchronously. Failures are
+    /// contained per product (the batch never throws on runtime errors).
+    template <ValueType T>
+    BatchRequestResult<T> multiply_batch(const std::vector<const CsrMatrix<T>*>& as,
+                                         const std::vector<const CsrMatrix<T>*>& bs,
+                                         const RequestBudget& per_product = {});
+
+    /// Dry-run admission control against the current live capacity:
+    /// what would multiply() decide right now? Never executes anything.
+    template <ValueType T>
+    [[nodiscard]] AdmissionDecision admit(const CsrMatrix<T>& a, const CsrMatrix<T>& b) const;
+
+    /// Cooperatively cancels the in-flight request (thread-safe): it stops
+    /// at its next kernel boundary with OperationCancelled. Subsequent
+    /// requests are unaffected (the token is re-armed per request).
+    void cancel(std::string reason = {}) { token_.request_cancel(std::move(reason)); }
+
+    /// The per-request cancellation token (for callers integrating their
+    /// own cancellation sources).
+    [[nodiscard]] sim::CancelToken& cancel_token() { return token_; }
+
+    [[nodiscard]] const SessionStats& stats() const { return stats_; }
+    [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
+    void reset_breaker() { breaker_.reset(); }
+
+    /// The session device (observability: trace, allocator, timeline).
+    [[nodiscard]] sim::Device& device() { return dev_; }
+    [[nodiscard]] const sim::Device& device() const { return dev_; }
+    [[nodiscard]] sim::ScratchPool& scratch_pool() { return scratch_; }
+
+private:
+    template <ValueType T>
+    RequestResult<T> run_request(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                 const RequestBudget& budget);
+
+    template <ValueType T>
+    [[nodiscard]] AdmissionDecision admit_decision(const CsrMatrix<T>& a,
+                                                   const CsrMatrix<T>& b) const;
+
+    /// Appends to the request log and mirrors escalations / breaker
+    /// actions / cancellations / rejections into the device trace.
+    void log_event(RecoveryLog& log, RecoveryEvent::Kind kind, RecoveryStage stage,
+                   int attempt = 0, std::string detail = {});
+
+    /// Throws OperationCancelled / DeadlineExceeded when the token says
+    /// stop (host-side ladder boundary check).
+    void check_budget(RecoveryStage stage);
+
+    /// OOM bookkeeping between stages: record freed bytes, reset fault
+    /// tallies, drop pooled scratch, apply the backoff policy.
+    void prepare_oom_rerun(SpgemmStats& stats, std::size_t live_floor, RecoveryLog& log,
+                           RecoveryStage stage);
+
+    /// Restores a reusable device + pool after a failed/cancelled request.
+    void cleanup_after_failure();
+
+    SessionConfig cfg_;
+    sim::Device dev_;
+    sim::ScratchPool scratch_;
+    sim::CancelToken token_;
+    CircuitBreaker breaker_;
+    SessionStats stats_;
+    /// Consecutive requests that hit at least one OOM (drives backoff).
+    int oom_streak_ = 0;
+};
+
+extern template RequestResult<float> Session::multiply(const CsrMatrix<float>&,
+                                                       const CsrMatrix<float>&,
+                                                       const RequestBudget&);
+extern template RequestResult<double> Session::multiply(const CsrMatrix<double>&,
+                                                        const CsrMatrix<double>&,
+                                                        const RequestBudget&);
+extern template BatchRequestResult<float>
+Session::multiply_batch(const std::vector<const CsrMatrix<float>*>&,
+                        const std::vector<const CsrMatrix<float>*>&, const RequestBudget&);
+extern template BatchRequestResult<double>
+Session::multiply_batch(const std::vector<const CsrMatrix<double>*>&,
+                        const std::vector<const CsrMatrix<double>*>&, const RequestBudget&);
+extern template AdmissionDecision Session::admit(const CsrMatrix<float>&,
+                                                 const CsrMatrix<float>&) const;
+extern template AdmissionDecision Session::admit(const CsrMatrix<double>&,
+                                                 const CsrMatrix<double>&) const;
+
+}  // namespace nsparse

@@ -16,8 +16,17 @@
 //   KernelFault        — a kernel-level fault (hash-table saturation, nnz
 //                        mismatch) that the per-row containment layer could
 //                        not absorb; carries phase/group/row/table context
+//   AdmissionRejected  — the session front end refused a request up front
+//                        because not even the deepest slab degradation can
+//                        fit it; carries the byte accounting of the refusal
+//   DeadlineExceeded   — a per-request budget (simulated seconds or host
+//                        wall-clock) expired; the request was cancelled at
+//                        a kernel boundary and the device stays reusable
+//   OperationCancelled — the caller cancelled the request cooperatively;
+//                        like DeadlineExceeded, the device stays reusable
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -131,6 +140,85 @@ private:
     std::int64_t table_size_ = 0;
     int probes_ = 0;
     int retries_ = 0;
+};
+
+/// The session front end rejected a request synchronously: admission
+/// control predicted that the multiply cannot fit the live device capacity
+/// even at the deepest row-slab degradation, so no cycles were burned into
+/// a doomed OOM spiral. Carries the byte accounting of the refusal:
+/// `required_bytes()` is the floor the deepest slab level still needs
+/// (dominated by the B operand, which stays resident in every slab),
+/// `available_bytes()` the free capacity at admission time and
+/// `deepest_slab_level()` the slab count the refusal is based on.
+class AdmissionRejected : public Error {
+public:
+    AdmissionRejected(const std::string& msg, std::size_t required_bytes,
+                      std::size_t available_bytes, int deepest_slab_level)
+        : Error(msg + " [required=" + std::to_string(required_bytes) +
+                " B available=" + std::to_string(available_bytes) +
+                " B deepest_slab_level=" + std::to_string(deepest_slab_level) + "]"),
+          required_bytes_(required_bytes), available_bytes_(available_bytes),
+          deepest_slab_level_(deepest_slab_level)
+    {
+    }
+
+    [[nodiscard]] std::size_t required_bytes() const { return required_bytes_; }
+    [[nodiscard]] std::size_t available_bytes() const { return available_bytes_; }
+    [[nodiscard]] int deepest_slab_level() const { return deepest_slab_level_; }
+
+private:
+    std::size_t required_bytes_ = 0;
+    std::size_t available_bytes_ = 0;
+    int deepest_slab_level_ = 0;
+};
+
+/// A per-request budget expired. The cancellation token threaded through
+/// `sim::Device::launch` stops the request at the next kernel boundary, so
+/// the device, its streams and the scratch pool remain reusable for the
+/// next request. `stage()` names where the budget ran out (a device phase
+/// like "count"/"calc", or a recovery-ladder stage like "slab"),
+/// `elapsed_seconds()` how much of the budgeted quantity was consumed and
+/// `wall_clock()` whether the host wall-clock budget tripped (true) or the
+/// simulated-seconds budget (false).
+class DeadlineExceeded : public Error {
+public:
+    DeadlineExceeded(const std::string& msg, std::string stage, double elapsed_seconds,
+                     bool wall_clock)
+        : Error(msg + " [stage=" + stage + " elapsed=" + std::to_string(elapsed_seconds) +
+                (wall_clock ? "s wall]" : "s simulated]")),
+          stage_(std::move(stage)), elapsed_seconds_(elapsed_seconds), wall_clock_(wall_clock)
+    {
+    }
+
+    [[nodiscard]] const std::string& stage() const { return stage_; }
+    [[nodiscard]] double elapsed_seconds() const { return elapsed_seconds_; }
+    [[nodiscard]] bool wall_clock() const { return wall_clock_; }
+
+private:
+    std::string stage_;
+    double elapsed_seconds_ = 0.0;
+    bool wall_clock_ = false;
+};
+
+/// The caller cancelled the request cooperatively (Session::cancel or a
+/// token the caller armed). Like DeadlineExceeded, the cancellation takes
+/// effect at a kernel boundary and leaves the device reusable. `stage()`
+/// names where the request was when the cancellation landed and `reason()`
+/// echoes the caller-supplied cancellation reason.
+class OperationCancelled : public Error {
+public:
+    OperationCancelled(const std::string& msg, std::string stage, std::string reason)
+        : Error(msg + " [stage=" + stage + (reason.empty() ? "" : " reason=" + reason) + "]"),
+          stage_(std::move(stage)), reason_(std::move(reason))
+    {
+    }
+
+    [[nodiscard]] const std::string& stage() const { return stage_; }
+    [[nodiscard]] const std::string& reason() const { return reason_; }
+
+private:
+    std::string stage_;
+    std::string reason_;
 };
 
 namespace detail {

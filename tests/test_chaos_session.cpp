@@ -1,0 +1,260 @@
+// Chaos harness for nsparse::Session (ctest label: chaos): sweeps
+// allocation FaultPlans, injected row faults, tight deadlines, mid-batch
+// cancellation and capacity pressure — alone and composed — and asserts
+// the resilience contract after every scenario: completed requests are
+// byte-identical to a clean exact run, failed requests carry the right
+// structured error, the session's outcome counters stay consistent, and
+// the device is always reusable for the next request.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "service/session.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+CsrMatrix<double> chaos_matrix() { return gen::uniform_random(200, 200, 7, 13); }
+
+std::size_t unchunked_peak(const CsrMatrix<double>& a)
+{
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    return hash_spgemm<double>(dev, a, a).stats.peak_bytes;
+}
+
+void expect_identical(const CsrMatrix<double>& got, const CsrMatrix<double>& want)
+{
+    EXPECT_EQ(got.rpt, want.rpt);
+    EXPECT_EQ(got.col, want.col);
+    EXPECT_EQ(got.val, want.val);
+}
+
+/// Outcome counters partition the requests — nothing double- or
+/// un-counted, whatever the chaos did.
+void expect_consistent(const SessionStats& s)
+{
+    EXPECT_EQ(s.requests,
+              s.completed + s.failed + s.rejected + s.cancelled + s.deadline_exceeded);
+    EXPECT_LE(s.recovered, s.completed);
+    EXPECT_LE(s.admitted, s.requests);
+}
+
+TEST(ChaosSession, FaultPlanByRowFaultsByDeadlineSweep)
+{
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+    const std::size_t peak = unchunked_peak(a);
+
+    for (const std::size_t capacity : {std::size_t{0} /* unlimited */, peak * 3 / 4}) {
+        for (const bool row_faults : {false, true}) {
+            for (const double sim_budget : {0.0, 1e-9, 1e-3}) {
+                for (const std::uint64_t seed : {1ULL, 7ULL}) {
+                    SessionConfig cfg;
+                    if (capacity != 0) { cfg.device_spec.memory_capacity = capacity; }
+                    if (row_faults) {
+                        cfg.options.inject_numeric_row_faults = {5, 17, 123};
+                    }
+                    Session session(std::move(cfg));
+
+                    sim::FaultPlan plan;
+                    plan.fail_probability = 0.02;
+                    plan.seed = seed;
+                    session.device().allocator().set_fault_plan(plan);
+
+                    RequestBudget budget;
+                    budget.sim_seconds = sim_budget;
+                    const auto res = session.multiply<double>(a, a, budget);
+                    if (res.ok()) {
+                        expect_identical(res.out.matrix, want);
+                    } else {
+                        EXPECT_NE(res.outcome, RequestOutcome::kCompleted);
+                        EXPECT_FALSE(res.error_message.empty());
+                    }
+                    expect_consistent(session.stats());
+
+                    // Reusability: chaos off, the same session completes.
+                    session.device().allocator().set_fault_plan(sim::FaultPlan{});
+                    const auto clean = session.multiply<double>(a, a);
+                    ASSERT_TRUE(clean.ok())
+                        << "capacity=" << capacity << " row_faults=" << row_faults
+                        << " budget=" << sim_budget << " seed=" << seed << ": "
+                        << clean.error_message;
+                    expect_identical(clean.out.matrix, want);
+                    expect_consistent(session.stats());
+                }
+            }
+        }
+    }
+}
+
+TEST(ChaosSession, SlabFallbackComposesWithPendingRowRetries)
+{
+    // Satellite contract: the slab rung re-runs a multiply whose rows also
+    // fault individually — the group-0 retry ladder runs *inside* each
+    // slab attempt while the OOM ladder degrades around it.
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    SessionConfig cfg;
+    cfg.device_spec.memory_capacity = unchunked_peak(a) * 3 / 4;
+    cfg.admission = AdmissionMode::kAnnotate;  // let the OOM really happen
+    cfg.options.inject_numeric_row_faults = {5, 17, 123};
+    Session session(std::move(cfg));
+
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_EQ(res.final_stage, RecoveryStage::kSlab);
+    EXPECT_GE(res.out.stats.fallback_slabs, 2);
+    EXPECT_GT(res.out.stats.faulted_rows, 0);
+    EXPECT_GT(res.out.stats.row_retries, 0);
+    expect_identical(res.out.matrix, want);
+    EXPECT_EQ(session.stats().recovered, 1U);
+}
+
+TEST(ChaosSession, EstimationRepairComposesWithAllocationFaults)
+{
+    // Satellite contract: estimation-based planning under allocation
+    // faults. Whatever path the ladder takes (clean estimated run, exact
+    // replan, slabs), the output is byte-identical and the clean-run
+    // invariant "one group-0 retry per mispredicted row" holds — no
+    // abandoned attempt leaks its tallies.
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    for (const std::uint64_t seed : {3ULL, 11ULL, 29ULL}) {
+        SessionConfig cfg;
+        cfg.options.plan_mode = core::PlanMode::kEstimated;
+        Session session(std::move(cfg));
+
+        sim::FaultPlan plan;
+        plan.fail_probability = 0.01;
+        plan.seed = seed;
+        session.device().allocator().set_fault_plan(plan);
+
+        const auto res = session.multiply<double>(a, a);
+        if (res.ok()) {
+            expect_identical(res.out.matrix, want);
+            EXPECT_EQ(res.out.stats.row_retries, res.out.stats.mispredicted_rows) << seed;
+        }
+        expect_consistent(session.stats());
+    }
+}
+
+TEST(ChaosSession, MidBatchCancellationIsMonotoneAndRecoverable)
+{
+    const auto a = gen::uniform_random(120, 120, 5, 7);
+    const auto want = reference_spgemm(a, a);
+
+    Session session;
+    constexpr std::size_t kProducts = 48;
+    const std::vector<const CsrMatrix<double>*> ms(kProducts, &a);
+
+    std::thread canceller([&session] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        session.cancel("chaos");
+    });
+    const auto out = session.multiply_batch<double>(ms, ms);
+    canceller.join();
+
+    ASSERT_EQ(out.items.size(), kProducts);
+    // Cancellation is sticky within the batch: once one product is
+    // cancelled, every later product is cancelled too.
+    bool seen_cancelled = false;
+    int cancelled = 0;
+    for (std::size_t k = 0; k < kProducts; ++k) {
+        const auto& item = out.items[k];
+        if (item.outcome == RequestOutcome::kCancelled) {
+            seen_cancelled = true;
+            ++cancelled;
+            EXPECT_THROW(std::rethrow_exception(item.error), OperationCancelled);
+        } else {
+            EXPECT_FALSE(seen_cancelled) << "completed product after a cancellation at " << k;
+            ASSERT_TRUE(item.ok()) << item.error_message;
+            expect_identical(item.out.matrix, want);
+        }
+    }
+    EXPECT_EQ(out.stats.cancelled, cancelled);
+    expect_consistent(session.stats());
+
+    // The next request re-arms the token: the session keeps working.
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    expect_identical(res.out.matrix, want);
+}
+
+TEST(ChaosSession, DeadlineSweepNeverPoisonsTheSession)
+{
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    Session session;
+    for (const double budget_s : {1e-9, 1e-6, 1e-4, 1e-2, 0.0}) {
+        RequestBudget budget;
+        budget.sim_seconds = budget_s;
+        const auto res = session.multiply<double>(a, a, budget);
+        if (res.ok()) {
+            expect_identical(res.out.matrix, want);
+        } else {
+            EXPECT_EQ(res.outcome, RequestOutcome::kDeadline);
+        }
+    }
+    // The unlimited request (budget 0) must have completed.
+    EXPECT_GE(session.stats().completed, 1U);
+    expect_consistent(session.stats());
+}
+
+TEST(ChaosSession, EverythingAtOnce)
+{
+    // The full stack: tight capacity, estimated planning, injected row
+    // faults, probabilistic allocation faults, per-product deadlines and a
+    // late cancellation — over a batch. The only promises: per-item
+    // outcomes are classified, completed items are byte-identical, the
+    // counters add up, and the session survives.
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    SessionConfig cfg;
+    cfg.device_spec.memory_capacity = unchunked_peak(a);
+    cfg.options.plan_mode = core::PlanMode::kEstimated;
+    cfg.options.inject_numeric_row_faults = {2, 9};
+    cfg.policy.backoff_base_ms = 0;
+    Session session(std::move(cfg));
+
+    sim::FaultPlan plan;
+    plan.fail_probability = 0.005;
+    plan.seed = 42;
+    session.device().allocator().set_fault_plan(plan);
+
+    const std::vector<const CsrMatrix<double>*> ms(8, &a);
+    RequestBudget budget;
+    budget.sim_seconds = 1.0;  // generous; wall budget unarmed
+    std::thread canceller([&session] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        session.cancel("chaos-late");
+    });
+    const auto out = session.multiply_batch<double>(ms, ms, budget);
+    canceller.join();
+
+    ASSERT_EQ(out.items.size(), 8U);
+    for (const auto& item : out.items) {
+        if (item.ok()) {
+            expect_identical(item.out.matrix, want);
+        } else {
+            EXPECT_FALSE(item.error_message.empty());
+            EXPECT_NE(item.outcome, RequestOutcome::kCompleted);
+        }
+    }
+    expect_consistent(session.stats());
+
+    // Chaos off: the same session still multiplies, byte-identically.
+    session.device().allocator().set_fault_plan(sim::FaultPlan{});
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    expect_identical(res.out.matrix, want);
+}
+
+}  // namespace
+}  // namespace nsparse

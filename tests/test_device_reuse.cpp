@@ -1,0 +1,204 @@
+// Device-reuse hygiene: after a DeviceOutOfMemory, a KernelFault, a
+// cancellation or a dangling batch capture, Device::reclaim() (and the
+// reset_measurement every entry point performs) must hand the next multiply
+// a device indistinguishable from a fresh one — no stale trace events, no
+// leaked counters, no dangling cancel token, byte-identical results.
+#include <gtest/gtest.h>
+
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+CsrMatrix<double> pressure_matrix() { return gen::uniform_random(400, 400, 8, 3); }
+
+std::size_t unchunked_peak(const CsrMatrix<double>& a)
+{
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    return hash_spgemm<double>(dev, a, a).stats.peak_bytes;
+}
+
+void expect_identical(const CsrMatrix<double>& got, const CsrMatrix<double>& want)
+{
+    EXPECT_EQ(got.rpt, want.rpt);
+    EXPECT_EQ(got.col, want.col);
+    EXPECT_EQ(got.val, want.val);
+}
+
+TEST(DeviceReuse, AfterDeviceOutOfMemoryWithFallbackDisabled)
+{
+    const auto a = pressure_matrix();
+    const auto small = gen::uniform_random(60, 60, 4, 11);
+    const auto want = reference_spgemm(small, small);
+
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = unchunked_peak(a) * 3 / 4;
+    sim::Device dev(spec);
+    core::Options opt;
+    opt.slab_fallback = false;
+    EXPECT_THROW((void)hash_spgemm<double>(dev, a, a, opt), DeviceOutOfMemory);
+
+    dev.reclaim();
+    EXPECT_EQ(dev.allocator().live_bytes(), 0U);
+    const auto out = hash_spgemm<double>(dev, small, small);
+    expect_identical(out.matrix, want);
+}
+
+TEST(DeviceReuse, AfterInjectedAllocationFault)
+{
+    const auto a = gen::uniform_random(120, 120, 5, 7);
+    const auto want = reference_spgemm(a, a);
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    core::Options opt;
+    opt.slab_fallback = false;
+    sim::FaultPlan plan;
+    plan.fail_at_alloc = 2;
+    dev.allocator().set_fault_plan(plan);
+    EXPECT_THROW((void)hash_spgemm<double>(dev, a, a, opt), DeviceOutOfMemory);
+
+    dev.reclaim();
+    const auto out = hash_spgemm<double>(dev, a, a);
+    expect_identical(out.matrix, want);
+}
+
+TEST(DeviceReuse, AfterKernelFaultSurfacedFromALaunch)
+{
+    const auto a = gen::uniform_random(80, 80, 5, 7);
+    const auto want = reference_spgemm(a, a);
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.set_executor_threads(1);  // eager: the fault surfaces at launch
+    try {
+        dev.launch(dev.default_stream(), {1, 32, 0}, "faulting_kernel",
+                   [](sim::BlockCtx&) {
+                       throw KernelFault("injected fault", "count", 0, 7, 64, 64);
+                   });
+        dev.synchronize();
+        FAIL() << "expected KernelFault";
+    } catch (const KernelFault& e) {
+        EXPECT_EQ(e.row(), 7);
+    }
+
+    dev.reclaim();
+    const auto out = hash_spgemm<double>(dev, a, a);
+    expect_identical(out.matrix, want);
+}
+
+TEST(DeviceReuse, AfterDeferredKernelFaultOnThePool)
+{
+    const auto a = gen::uniform_random(80, 80, 5, 7);
+    const auto want = reference_spgemm(a, a);
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.set_executor_threads(4);  // async: the fault defers to the flush
+    EXPECT_THROW(
+        {
+            dev.launch(dev.default_stream(), {1, 32, 0}, "faulting_kernel",
+                       [](sim::BlockCtx&) {
+                           throw KernelFault("injected fault", "count", 0, 7, 64, 64);
+                       });
+            dev.synchronize();
+        },
+        KernelFault);
+
+    dev.reclaim();
+    const auto out = hash_spgemm<double>(dev, a, a);
+    expect_identical(out.matrix, want);
+}
+
+TEST(DeviceReuse, TraceAndCountersResetBetweenMultiplies)
+{
+    const auto a = pressure_matrix();
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = unchunked_peak(a) * 3 / 4;
+    sim::Device dev(spec);
+    dev.enable_trace();
+
+    // First multiply recovers via slabs and records memory events.
+    (void)hash_spgemm<double>(dev, a, a);
+    EXPECT_GE(dev.memory_events_recorded(), 1U);
+    ASSERT_FALSE(dev.trace().memory_events().empty());
+
+    // The second multiply fits (smaller input): its measurement must not
+    // inherit the first one's events or counters.
+    const auto small = gen::uniform_random(60, 60, 4, 11);
+    (void)hash_spgemm<double>(dev, small, small);
+    EXPECT_EQ(dev.memory_events_recorded(), 0U);
+    EXPECT_EQ(dev.fault_events_recorded(), 0U);
+    EXPECT_TRUE(dev.trace().memory_events().empty());
+    EXPECT_TRUE(dev.trace().fault_events().empty());
+}
+
+TEST(DeviceReuse, ReclaimClosesDanglingBatchCapture)
+{
+    const auto a = gen::uniform_random(60, 60, 4, 11);
+    const auto want = reference_spgemm(a, a);
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.begin_batch_capture();
+    dev.set_batch_item(0);
+    ASSERT_TRUE(dev.batch_capture_active());
+
+    dev.reclaim();
+    EXPECT_FALSE(dev.batch_capture_active());
+    const auto out = hash_spgemm<double>(dev, a, a);
+    expect_identical(out.matrix, want);
+}
+
+TEST(DeviceReuse, ReclaimDetachesCancelToken)
+{
+    const auto a = gen::uniform_random(60, 60, 4, 11);
+    const auto want = reference_spgemm(a, a);
+
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.set_executor_threads(1);
+    sim::CancelToken token;
+    dev.set_cancel_token(&token);
+    token.request_cancel("test");
+    EXPECT_THROW(dev.launch(dev.default_stream(), {1, 32, 0}, "noop",
+                            [](sim::BlockCtx&) {}),
+                 OperationCancelled);
+
+    // reclaim() detaches the token: the sticky cancellation no longer
+    // applies to the device, only to the token's owner.
+    dev.reclaim();
+    const auto out = hash_spgemm<double>(dev, a, a);
+    expect_identical(out.matrix, want);
+}
+
+TEST(DeviceReuse, SimDeadlineTripsAtKernelBoundary)
+{
+    const auto a = gen::uniform_random(120, 120, 5, 7);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    sim::CancelToken token;
+    token.arm_sim_deadline(1e-9);
+    dev.set_cancel_token(&token);
+    try {
+        (void)hash_spgemm<double>(dev, a, a);
+        FAIL() << "expected DeadlineExceeded";
+    } catch (const DeadlineExceeded& e) {
+        EXPECT_FALSE(e.wall_clock());
+    }
+    dev.reclaim();
+    EXPECT_EQ(dev.allocator().live_bytes(), 0U);
+    const auto out = hash_spgemm<double>(dev, a, a);
+    const auto want = reference_spgemm(a, a);
+    expect_identical(out.matrix, want);
+}
+
+TEST(DeviceReuse, ReclaimIsIdempotentOnAHealthyDevice)
+{
+    const auto a = gen::uniform_random(60, 60, 4, 11);
+    const auto want = reference_spgemm(a, a);
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    dev.reclaim();
+    dev.reclaim();
+    const auto out = hash_spgemm<double>(dev, a, a);
+    expect_identical(out.matrix, want);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,466 @@
+// nsparse::Session — the resilience front end. Admission control decides
+// before any kernel runs, the recovery ladder (planned → exact replan →
+// slabs → host recourse) absorbs faults with byte-identical output, the
+// circuit breaker short-circuits repeated identical faults, and budgets
+// stop requests cooperatively while keeping the device reusable.
+#include <gtest/gtest.h>
+
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "service/session.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+CsrMatrix<double> pressure_matrix() { return gen::uniform_random(400, 400, 8, 3); }
+
+/// Peak bytes of the clean unchunked multiply, and its exact result.
+struct CleanRun {
+    CsrMatrix<double> matrix;
+    std::size_t peak = 0;
+};
+
+CleanRun clean_run(const CsrMatrix<double>& a)
+{
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    auto out = hash_spgemm<double>(dev, a, a);
+    return {std::move(out.matrix), out.stats.peak_bytes};
+}
+
+SessionConfig config_with_capacity(std::size_t bytes)
+{
+    SessionConfig cfg;
+    cfg.device_spec.memory_capacity = bytes;
+    return cfg;
+}
+
+void expect_identical(const CsrMatrix<double>& got, const CsrMatrix<double>& want)
+{
+    EXPECT_EQ(got.rpt, want.rpt);
+    EXPECT_EQ(got.col, want.col);
+    EXPECT_EQ(got.val, want.val);
+}
+
+TEST(Session, CleanMultiplyMatchesDirectEntryPoint)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    Session session;
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_EQ(res.outcome, RequestOutcome::kCompleted);
+    EXPECT_EQ(res.final_stage, RecoveryStage::kPlanned);
+    expect_identical(res.out.matrix, clean.matrix);
+    EXPECT_EQ(res.out.stats.nnz_c, res.out.matrix.nnz());
+    EXPECT_EQ(res.out.stats.replans, 0);
+    EXPECT_EQ(res.out.stats.host_recourse, 0);
+
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kAdmit));
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kSuccess));
+    EXPECT_FALSE(res.log.contains(RecoveryEvent::Kind::kEscalate));
+
+    EXPECT_EQ(session.stats().requests, 1U);
+    EXPECT_EQ(session.stats().admitted, 1U);
+    EXPECT_EQ(session.stats().completed, 1U);
+    EXPECT_EQ(session.stats().recovered, 0U);
+}
+
+TEST(Session, AdmissionRejectsWhenBAloneCannotFit)
+{
+    const auto a = pressure_matrix();
+    Session session(config_with_capacity(a.byte_size() / 2));
+
+    const auto res = session.multiply<double>(a, a);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.outcome, RequestOutcome::kRejected);
+    EXPECT_EQ(res.final_stage, RecoveryStage::kAdmission);
+    EXPECT_FALSE(res.admission.admitted);
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kReject));
+    try {
+        std::rethrow_exception(res.error);
+        FAIL() << "expected AdmissionRejected";
+    } catch (const AdmissionRejected& e) {
+        EXPECT_GE(e.required_bytes(), e.available_bytes());
+        EXPECT_GE(e.deepest_slab_level(), 1);
+    }
+    EXPECT_EQ(session.stats().rejected, 1U);
+    EXPECT_EQ(session.stats().completed, 0U);
+    // Rejection is synchronous: nothing ran, nothing leaked.
+    EXPECT_EQ(session.device().allocator().live_bytes(), 0U);
+}
+
+TEST(Session, AdmitDryRunAnnotatesPlannedDegradation)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    Session session(config_with_capacity(clean.peak * 3 / 4));
+    const AdmissionDecision d = session.admit(a, a);
+    EXPECT_TRUE(d.admitted);
+    EXPECT_GT(d.predicted_peak_bytes, d.available_bytes);
+    EXPECT_GE(d.planned_slab_level, 2);
+
+    // Under kEnforce the request starts at the planned slab level instead
+    // of burning cycles into the doomed unchunked attempt — and nothing
+    // faults, so the multiply is a clean (non-recovered) completion.
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_EQ(res.outcome, RequestOutcome::kCompleted);
+    EXPECT_EQ(res.final_stage, RecoveryStage::kSlab);
+    EXPECT_GE(res.out.stats.fallback_slabs, d.planned_slab_level);
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kAnnotate));
+    expect_identical(res.out.matrix, clean.matrix);
+    EXPECT_EQ(session.stats().recovered, 0U);
+}
+
+TEST(Session, AnnotateModePredictsButDoesNotChangeExecution)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    SessionConfig cfg = config_with_capacity(clean.peak * 3 / 4);
+    cfg.admission = AdmissionMode::kAnnotate;
+    Session session(std::move(cfg));
+
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    // The unchunked attempt ran, OOMed, and the ladder recovered via slabs.
+    EXPECT_GE(res.admission.planned_slab_level, 2);
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kEscalate));
+    EXPECT_EQ(res.final_stage, RecoveryStage::kSlab);
+    expect_identical(res.out.matrix, clean.matrix);
+    EXPECT_EQ(session.stats().recovered, 1U);
+    EXPECT_EQ(session.stats().slab_fallbacks, 1U);
+}
+
+TEST(Session, ExactReplanRecoversEstimatedPlanOom)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    SessionConfig cfg;
+    cfg.options.plan_mode = core::PlanMode::kEstimated;
+    Session session(std::move(cfg));
+
+    // A one-shot allocation fault kills the estimated attempt; the ladder
+    // replans with exact symbolic counting (the injected index is consumed,
+    // so the replan runs clean) instead of degrading to slabs.
+    sim::FaultPlan plan;
+    plan.fail_at_alloc = 2;
+    session.device().allocator().set_fault_plan(plan);
+
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_EQ(res.outcome, RequestOutcome::kCompleted);
+    EXPECT_EQ(res.final_stage, RecoveryStage::kExactReplan);
+    EXPECT_EQ(res.out.stats.replans, 1);
+    expect_identical(res.out.matrix, clean.matrix);
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kEscalate));
+    EXPECT_EQ(session.stats().replans, 1U);
+    EXPECT_EQ(session.stats().recovered, 1U);
+    // The abandoned estimated attempt must not leak its tallies into the
+    // exact rerun's stats.
+    EXPECT_EQ(res.out.stats.estimated_rows, 0);
+    EXPECT_EQ(res.out.stats.mispredicted_rows, res.out.stats.row_retries);
+}
+
+TEST(Session, ExactPlanOomEscalatesToSlabs)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    Session session;
+    sim::FaultPlan plan;
+    plan.fail_at_alloc = 2;
+    session.device().allocator().set_fault_plan(plan);
+
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    // Exact plans have nothing to replan — the ladder goes straight to
+    // slabs (which run clean: the injected index was consumed).
+    EXPECT_EQ(res.final_stage, RecoveryStage::kSlab);
+    EXPECT_EQ(res.out.stats.replans, 0);
+    expect_identical(res.out.matrix, clean.matrix);
+    EXPECT_EQ(session.stats().slab_fallbacks, 1U);
+    EXPECT_EQ(session.stats().recovered, 1U);
+}
+
+TEST(Session, HostRecourseCompletesWhenSlabsBottomOut)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    // B fits with a sliver to spare, so admission cannot prove
+    // infeasibility — but no slab of A's rows ever fits. The direct entry
+    // point throws here (test_slab_fallback); the session completes on the
+    // host, byte-identically.
+    Session session(config_with_capacity(a.byte_size() + 256));
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_EQ(res.outcome, RequestOutcome::kCompleted);
+    EXPECT_EQ(res.final_stage, RecoveryStage::kHostRecourse);
+    EXPECT_EQ(res.out.stats.host_recourse, 1);
+    EXPECT_EQ(res.out.stats.host_fallback_rows, static_cast<int>(a.rows));
+    expect_identical(res.out.matrix, clean.matrix);
+    EXPECT_EQ(session.stats().host_recourses, 1U);
+    EXPECT_EQ(session.stats().recovered, 1U);
+
+    // The device survived the whole failed ladder: a second request works.
+    const auto res2 = session.multiply<double>(a, a);
+    ASSERT_TRUE(res2.ok()) << res2.error_message;
+    expect_identical(res2.out.matrix, clean.matrix);
+    EXPECT_EQ(session.stats().completed, 2U);
+}
+
+TEST(Session, PolicyCanDisableEveryFallback)
+{
+    const auto a = pressure_matrix();
+    SessionConfig cfg = config_with_capacity(clean_run(a).peak * 3 / 4);
+    cfg.admission = AdmissionMode::kOff;  // let the unchunked attempt OOM
+    cfg.policy.slab_fallback = false;
+    cfg.policy.host_recourse = false;
+    Session session(std::move(cfg));
+
+    const auto res = session.multiply<double>(a, a);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.outcome, RequestOutcome::kFailed);
+    EXPECT_THROW(std::rethrow_exception(res.error), DeviceOutOfMemory);
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kFailure));
+    EXPECT_EQ(session.stats().failed, 1U);
+
+    // Failure cleanup restores a reusable device within the same session.
+    const auto small = gen::uniform_random(60, 60, 4, 11);
+    const auto res2 = session.multiply<double>(small, small);
+    ASSERT_TRUE(res2.ok()) << res2.error_message;
+    const auto want = reference_spgemm(small, small);
+    expect_identical(res2.out.matrix, want);
+}
+
+TEST(Session, SimDeadlineSurfacesDeadlineExceeded)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    Session session;
+    RequestBudget budget;
+    budget.sim_seconds = 1e-9;  // trips at the first kernel boundary
+    const auto res = session.multiply<double>(a, a, budget);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.outcome, RequestOutcome::kDeadline);
+    try {
+        std::rethrow_exception(res.error);
+        FAIL() << "expected DeadlineExceeded";
+    } catch (const DeadlineExceeded& e) {
+        EXPECT_FALSE(e.wall_clock());
+        EXPECT_GE(e.elapsed_seconds(), 0.0);
+    }
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kDeadline));
+    EXPECT_EQ(session.stats().deadline_exceeded, 1U);
+    EXPECT_EQ(session.device().allocator().live_bytes(), 0U);
+
+    // Budgets are per request: the next unbudgeted request completes.
+    const auto res2 = session.multiply<double>(a, a);
+    ASSERT_TRUE(res2.ok()) << res2.error_message;
+    expect_identical(res2.out.matrix, clean.matrix);
+}
+
+TEST(Session, GenerousBudgetDoesNotInterfere)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+    Session session;
+    RequestBudget budget;
+    budget.sim_seconds = 1e6;
+    budget.wall_ms = 600'000;
+    const auto res = session.multiply<double>(a, a, budget);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    expect_identical(res.out.matrix, clean.matrix);
+}
+
+TEST(Session, BreakerOpensJumpsAndClosesOnCleanProbe)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    SessionConfig cfg;
+    cfg.policy.breaker_threshold = 3;
+    cfg.policy.breaker_probe_interval = 2;
+    Session session(std::move(cfg));
+    auto& alloc = session.device().allocator();
+
+    // Three identical oom@planned faults, each recovered at the slab rung.
+    for (int i = 0; i < 3; ++i) {
+        sim::FaultPlan plan;
+        plan.fail_at_alloc = 2;
+        alloc.set_fault_plan(plan);
+        const auto res = session.multiply<double>(a, a);
+        ASSERT_TRUE(res.ok()) << res.error_message;
+        EXPECT_EQ(res.final_stage, RecoveryStage::kSlab);
+    }
+    EXPECT_TRUE(session.breaker().open());
+    EXPECT_EQ(session.stats().breaker_opens, 1U);
+    EXPECT_EQ(session.breaker().known_good_stage(), RecoveryStage::kSlab);
+
+    // Fault source fixed — the breaker's memory is what matters now.
+    alloc.set_fault_plan(sim::FaultPlan{});
+
+    // Request 4: the open breaker jumps straight to the known-good slab
+    // level; no fault, no escalation, still byte-identical.
+    const auto jumped = session.multiply<double>(a, a);
+    ASSERT_TRUE(jumped.ok()) << jumped.error_message;
+    EXPECT_TRUE(jumped.log.contains(RecoveryEvent::Kind::kBreakerJump));
+    EXPECT_FALSE(jumped.log.contains(RecoveryEvent::Kind::kEscalate));
+    EXPECT_EQ(jumped.final_stage, RecoveryStage::kSlab);
+    EXPECT_GE(jumped.out.stats.fallback_slabs, 2);
+    expect_identical(jumped.out.matrix, clean.matrix);
+    EXPECT_EQ(session.stats().breaker_jumps, 1U);
+
+    // Request 5 is the probe (every 2nd while open): it runs the full
+    // ladder, completes clean at the planned rung, and closes the breaker.
+    const auto probe = session.multiply<double>(a, a);
+    ASSERT_TRUE(probe.ok()) << probe.error_message;
+    EXPECT_TRUE(probe.log.contains(RecoveryEvent::Kind::kBreakerProbe));
+    EXPECT_TRUE(probe.log.contains(RecoveryEvent::Kind::kBreakerClose));
+    EXPECT_EQ(probe.final_stage, RecoveryStage::kPlanned);
+    EXPECT_FALSE(session.breaker().open());
+    EXPECT_EQ(session.stats().breaker_closes, 1U);
+
+    // Closed again: the next request runs the normal ladder.
+    const auto after = session.multiply<double>(a, a);
+    ASSERT_TRUE(after.ok()) << after.error_message;
+    EXPECT_FALSE(after.log.contains(RecoveryEvent::Kind::kBreakerJump));
+}
+
+TEST(Session, BackoffSleepsAndLogsOnRepeatedOom)
+{
+    const auto a = pressure_matrix();
+    SessionConfig cfg;
+    cfg.policy.backoff_base_ms = 1;
+    cfg.policy.backoff_max_ms = 2;
+    Session session(std::move(cfg));
+
+    for (int i = 0; i < 2; ++i) {
+        sim::FaultPlan plan;
+        plan.fail_at_alloc = 2;
+        session.device().allocator().set_fault_plan(plan);
+        const auto res = session.multiply<double>(a, a);
+        ASSERT_TRUE(res.ok()) << res.error_message;
+        EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kBackoff));
+    }
+    EXPECT_EQ(session.stats().backoffs, 2U);
+}
+
+TEST(Session, RecoveryLogMirrorsIntoDeviceTrace)
+{
+    const auto a = pressure_matrix();
+    SessionConfig cfg = config_with_capacity(clean_run(a).peak * 3 / 4);
+    cfg.admission = AdmissionMode::kAnnotate;  // let the OOM actually happen
+    cfg.record_trace = true;
+    Session session(std::move(cfg));
+
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kEscalate));
+    const std::string report = res.log.report();
+    EXPECT_NE(report.find("escalate"), std::string::npos);
+
+    // The escalation also landed in the device's fault-event stream.
+    bool mirrored = false;
+    for (const auto& ev : session.device().trace().fault_events()) {
+        if (ev.label.rfind("session_", 0) == 0) { mirrored = true; }
+    }
+    EXPECT_TRUE(mirrored);
+}
+
+TEST(Session, BatchContainsFailuresPerProduct)
+{
+    const auto big = pressure_matrix();
+    const auto small = gen::uniform_random(60, 60, 4, 11);
+    const auto want_small = reference_spgemm(small, small);
+
+    // Capacity admits the small products but rejects the big one outright.
+    Session session(config_with_capacity(big.byte_size() / 2));
+    const std::vector<const CsrMatrix<double>*> as = {&small, &big, &small};
+    const std::vector<const CsrMatrix<double>*> bs = {&small, &big, &small};
+    const auto out = session.multiply_batch<double>(as, bs);
+
+    ASSERT_EQ(out.items.size(), 3U);
+    ASSERT_TRUE(out.items[0].ok()) << out.items[0].error_message;
+    EXPECT_FALSE(out.items[1].ok());
+    EXPECT_EQ(out.items[1].outcome, RequestOutcome::kRejected);
+    EXPECT_NE(out.items[1].error_message.find("batch product 1"), std::string::npos);
+    ASSERT_TRUE(out.items[2].ok()) << out.items[2].error_message;
+    expect_identical(out.items[0].out.matrix, want_small);
+    expect_identical(out.items[2].out.matrix, want_small);
+
+    EXPECT_EQ(out.stats.products, 3);
+    EXPECT_EQ(out.stats.failed, 1);
+    EXPECT_EQ(out.stats.rejected, 1);
+}
+
+TEST(Session, BatchPerProductDeadlineRollsUp)
+{
+    const auto a = pressure_matrix();
+    Session session;
+    const std::vector<const CsrMatrix<double>*> ms = {&a, &a};
+    RequestBudget budget;
+    budget.sim_seconds = 1e-9;
+    const auto out = session.multiply_batch<double>(ms, ms, budget);
+    ASSERT_EQ(out.items.size(), 2U);
+    EXPECT_EQ(out.items[0].outcome, RequestOutcome::kDeadline);
+    EXPECT_EQ(out.items[1].outcome, RequestOutcome::kDeadline);
+    EXPECT_EQ(out.stats.deadline_exceeded, 2);
+    EXPECT_EQ(out.stats.failed, 2);
+
+    // The device is reusable after a fully-deadline-failed batch.
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+}
+
+TEST(Session, BatchPropagatesPreconditionErrorsSynchronously)
+{
+    const auto a = gen::uniform_random(40, 40, 4, 5);
+    const auto wrong = gen::uniform_random(30, 30, 4, 5);
+    Session session;
+    const std::vector<const CsrMatrix<double>*> as = {&a, &a};
+    const std::vector<const CsrMatrix<double>*> bs = {&a, &wrong};
+    EXPECT_THROW((void)session.multiply_batch<double>(as, bs), PreconditionError);
+    const std::vector<const CsrMatrix<double>*> with_null = {&a, nullptr};
+    EXPECT_THROW((void)session.multiply_batch<double>(as, with_null), PreconditionError);
+}
+
+TEST(Session, DimensionMismatchThrowsSynchronously)
+{
+    const auto a = gen::uniform_random(40, 40, 4, 5);
+    const auto wrong = gen::uniform_random(30, 30, 4, 5);
+    Session session;
+    EXPECT_THROW((void)session.multiply<double>(a, wrong), PreconditionError);
+    EXPECT_THROW((void)session.admit(a, wrong), PreconditionError);
+    // The failed precondition did not count a request or poison the device.
+    EXPECT_EQ(session.stats().requests, 0U);
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+}
+
+TEST(Session, FloatAndDoubleInstantiationsAgree)
+{
+    const auto a = gen::uniform_random(80, 80, 5, 7);
+    CsrMatrix<float> af;
+    af.rows = a.rows;
+    af.cols = a.cols;
+    af.rpt = a.rpt;
+    af.col = a.col;
+    af.val.assign(a.val.begin(), a.val.end());
+    Session session;
+    const auto res = session.multiply<float>(af, af);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    const auto want = reference_spgemm(af, af);
+    EXPECT_EQ(res.out.matrix.rpt, want.rpt);
+    EXPECT_EQ(res.out.matrix.col, want.col);
+    EXPECT_EQ(res.out.matrix.val, want.val);
+}
+
+}  // namespace
+}  // namespace nsparse

@@ -1,0 +1,132 @@
+// core::validate_options — every public entry point (hash_spgemm,
+// spgemm_batch, Session) rejects out-of-domain Options with a
+// PreconditionError naming the violated invariant, before any kernel runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/spgemm.hpp"
+#include "core/spgemm_batch.hpp"
+#include "matgen/generators.hpp"
+#include "service/session.hpp"
+
+namespace nsparse {
+namespace {
+
+CsrMatrix<double> tiny() { return gen::uniform_random(20, 20, 3, 5); }
+
+std::string invariant_of(const std::function<void()>& fn)
+{
+    try {
+        fn();
+    } catch (const PreconditionError& e) {
+        return e.invariant();
+    }
+    return {};
+}
+
+TEST(ValidateOptions, HashSpgemmRejectsNegativeRetryBudgets)
+{
+    const auto a = tiny();
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+
+    core::Options opt;
+    opt.max_slab_retries = -1;
+    EXPECT_EQ(invariant_of([&] { (void)hash_spgemm<double>(dev, a, a, opt); }),
+              "max_slab_retries_non_negative");
+
+    opt = {};
+    opt.max_row_retries = -3;
+    EXPECT_EQ(invariant_of([&] { (void)hash_spgemm<double>(dev, a, a, opt); }),
+              "max_row_retries_non_negative");
+}
+
+TEST(ValidateOptions, HashSpgemmRejectsNonPositiveSampleRate)
+{
+    const auto a = tiny();
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+
+    for (const double rate : {0.0, -0.5, std::nan("")}) {
+        core::Options opt;
+        opt.estimate_sample_rate = rate;
+        EXPECT_EQ(invariant_of([&] { (void)hash_spgemm<double>(dev, a, a, opt); }),
+                  "estimate_sample_rate_positive")
+            << rate;
+    }
+}
+
+TEST(ValidateOptions, BatchRejectsNonPositiveStreams)
+{
+    const auto a = tiny();
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    const std::vector<const CsrMatrix<double>*> ms = {&a};
+
+    for (const int streams : {0, -4}) {
+        core::Options opt;
+        opt.batch_streams = streams;
+        EXPECT_EQ(invariant_of([&] {
+                      (void)core::spgemm_batch<double>(dev, ms, ms, opt);
+                  }),
+                  "batch_streams_positive")
+            << streams;
+    }
+}
+
+TEST(ValidateOptions, SessionRejectsInvalidOptionsAtConstruction)
+{
+    SessionConfig cfg;
+    cfg.options.batch_streams = 0;
+    EXPECT_THROW(Session{std::move(cfg)}, PreconditionError);
+
+    SessionConfig cfg2;
+    cfg2.options.estimate_sample_rate = -1.0;
+    EXPECT_THROW(Session{std::move(cfg2)}, PreconditionError);
+}
+
+TEST(ValidateOptions, SessionRejectsInvalidPolicyAtConstruction)
+{
+    SessionConfig cfg;
+    cfg.policy.max_plan_attempts = 0;
+    EXPECT_THROW(Session{std::move(cfg)}, PreconditionError);
+
+    SessionConfig cfg2;
+    cfg2.policy.max_row_retries = -1;
+    EXPECT_THROW(Session{std::move(cfg2)}, PreconditionError);
+
+    SessionConfig cfg3;
+    cfg3.policy.max_slab_retries = -2;
+    EXPECT_THROW(Session{std::move(cfg3)}, PreconditionError);
+}
+
+TEST(ValidateOptions, EdgeValuesAreAccepted)
+{
+    const auto a = tiny();
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+
+    core::Options opt;
+    opt.max_slab_retries = 0;
+    opt.max_row_retries = 0;
+    opt.estimate_sample_rate = 1e-6;
+    opt.batch_streams = 1;
+    EXPECT_NO_THROW(core::validate_options(opt));
+    EXPECT_NO_THROW((void)hash_spgemm<double>(dev, a, a, opt));
+
+    // Over-unit sample rates are clamped, not rejected.
+    opt.estimate_sample_rate = 7.5;
+    EXPECT_NO_THROW(core::validate_options(opt));
+}
+
+TEST(ValidateOptions, ValidationRunsBeforeAnyKernel)
+{
+    const auto a = tiny();
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    core::Options opt;
+    opt.batch_streams = -1;
+    const std::vector<const CsrMatrix<double>*> ms = {&a};
+    EXPECT_THROW((void)core::spgemm_batch<double>(dev, ms, ms, opt), PreconditionError);
+    EXPECT_EQ(dev.kernels_launched(), 0U);
+    EXPECT_EQ(dev.allocator().live_bytes(), 0U);
+}
+
+}  // namespace
+}  // namespace nsparse
