@@ -1,0 +1,202 @@
+// Sharded-execution benchmark (core::spgemm_sharded): what does the
+// shard layer cost when nothing goes wrong, and how does the simulated
+// makespan scale as row shards spread over more devices?
+//
+//   1. Fault-free overhead — a single-shard, single-device sharded run
+//      versus direct hash_spgemm on a bare device. The shard layer is
+//      host-side planning plus a merge and must not add simulated time:
+//      the gate is < 3% overhead in the paper's simulated-seconds metric.
+//
+//   2. Device scaling — a fixed 16-shard decomposition of the same
+//      product over 1/2/4/8 devices, reporting the multi-device
+//      makespan, the total device-seconds (the shard-grain overhead:
+//      every shard re-uploads B and pays the per-attempt fixed costs)
+//      and the makespan speedup over one device.
+//
+// Every run is asserted byte-identical to the single-device reference
+// and the whole suite runs twice to assert determinism; emits
+// BENCH_shard_scaling.json with determinism_ok.
+//
+//   bench_shard_scaling [--smoke] [--out FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "core/spgemm_sharded.hpp"
+#include "matgen/generators.hpp"
+
+namespace {
+
+using namespace nsparse;
+
+struct ScalingResult {
+    int devices = 0;
+    int shards = 0;
+    double makespan_seconds = 0.0;
+    double total_device_seconds = 0.0;
+    double wall_seconds = 0.0;
+    bool ok = false;
+};
+
+bool bytes_identical(const CsrMatrix<double>& got, const CsrMatrix<double>& want)
+{
+    return got.rpt == want.rpt && got.col == want.col && got.val == want.val;
+}
+
+std::vector<ScalingResult> run_scaling_suite(const CsrMatrix<double>& a,
+                                             const CsrMatrix<double>& b, int shards,
+                                             const CsrMatrix<double>& want)
+{
+    std::vector<ScalingResult> out;
+    for (const int devices : {1, 2, 4, 8}) {
+        core::ShardOptions sopt;
+        sopt.devices = devices;
+        // Fixed decomposition, varying device count: the same shards
+        // spread over more devices, so the makespan curve isolates the
+        // multi-device speedup from the shard-grain overhead.
+        sopt.shards = shards;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = core::spgemm_sharded<double>(a, b, sopt);
+        ScalingResult r;
+        r.devices = devices;
+        r.shards = res.sharded.shards;
+        r.makespan_seconds = res.sharded.makespan_seconds;
+        r.total_device_seconds = res.stats.seconds;
+        r.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        r.ok = res.ok() && !res.escalated_64bit && bytes_identical(res.matrix, want);
+        out.push_back(r);
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    bool smoke = false;
+    std::string out_path = "BENCH_shard_scaling.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) { smoke = true; }
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) { out_path = argv[++i]; }
+    }
+
+    const index_t n = smoke ? 200 : 600;
+    const int repeats = smoke ? 4 : 12;
+    const auto a = gen::uniform_random(n, n, 8, 3);
+
+    CsrMatrix<double> want;
+    {
+        sim::Device dev(sim::DeviceSpec::pascal_p100());
+        want = hash_spgemm<double>(dev, a, a).matrix;
+    }
+    std::printf("shard-scaling: %d x %d, %d repeat(s)%s\n\n", n, n, repeats,
+                smoke ? " [smoke]" : "");
+
+    // ---- 1. fault-free shard-layer overhead -----------------------------
+    bool ok = true;
+    double direct_sim = 0.0;
+    double direct_wall = 0.0;
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < repeats; ++r) {
+            sim::Device dev(sim::DeviceSpec::pascal_p100());
+            const auto out = hash_spgemm<double>(dev, a, a);
+            direct_sim += out.stats.seconds;
+            ok = ok && bytes_identical(out.matrix, want);
+        }
+        direct_wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+
+    double sharded_sim = 0.0;
+    double sharded_wall = 0.0;
+    {
+        core::ShardOptions sopt;
+        sopt.devices = 1;
+        sopt.shards = 1;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < repeats; ++r) {
+            const auto res = core::spgemm_sharded<double>(a, a, sopt);
+            sharded_sim += res.stats.seconds;
+            ok = ok && res.ok() && bytes_identical(res.matrix, want);
+        }
+        sharded_wall =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+
+    const double overhead_pct =
+        direct_sim > 0.0 ? (sharded_sim - direct_sim) / direct_sim * 100.0 : 0.0;
+    std::printf("%-28s %16s %12s\n", "", "simulated [s]", "wall [s]");
+    std::printf("%-28s %16.6f %12.3f\n", "direct hash_spgemm", direct_sim, direct_wall);
+    std::printf("%-28s %16.6f %12.3f\n", "sharded (1 shard, 1 dev)", sharded_sim,
+                sharded_wall);
+    std::printf("shard-layer overhead: %+.4f%% simulated (gate: < 3%%)\n\n", overhead_pct);
+    if (overhead_pct >= 3.0) {
+        std::fprintf(stderr, "FAIL: shard-layer overhead %.4f%% >= 3%%\n", overhead_pct);
+        ok = false;
+    }
+
+    // ---- 2. device scaling ----------------------------------------------
+    const int shards = 16;
+    const auto scaling = run_scaling_suite(a, a, shards, want);
+    const auto scaling_again = run_scaling_suite(a, a, shards, want);
+    bool determinism_ok = scaling.size() == scaling_again.size();
+    const double base =
+        scaling.empty() ? 0.0 : scaling.front().makespan_seconds;
+    std::printf("%8s %8s %16s %18s %10s\n", "devices", "shards", "makespan [s]",
+                "device-total [s]", "speedup");
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        const auto& r = scaling[i];
+        if (!r.ok) {
+            std::fprintf(stderr, "FAIL: %d-device run is not byte-identical\n", r.devices);
+            ok = false;
+        }
+        determinism_ok = determinism_ok && i < scaling_again.size() &&
+                         scaling_again[i].makespan_seconds == r.makespan_seconds &&
+                         scaling_again[i].total_device_seconds == r.total_device_seconds &&
+                         scaling_again[i].shards == r.shards && scaling_again[i].ok == r.ok;
+        std::printf("%8d %8d %16.6f %18.6f %9.2fx\n", r.devices, r.shards,
+                    r.makespan_seconds, r.total_device_seconds,
+                    r.makespan_seconds > 0.0 ? base / r.makespan_seconds : 0.0);
+    }
+    if (!determinism_ok) {
+        std::fprintf(stderr, "FAIL: scaling suite is not deterministic across reruns\n");
+        ok = false;
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"shard_scaling\",\n  \"workload\": \"%s\",\n",
+                 smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"rows\": %d,\n  \"repeats\": %d,\n", n, repeats);
+    std::fprintf(f, "  \"determinism_ok\": %s,\n", (ok && determinism_ok) ? "true" : "false");
+    std::fprintf(f, "  \"direct_simulated_seconds\": %.9f,\n", direct_sim);
+    std::fprintf(f, "  \"sharded_simulated_seconds\": %.9f,\n", sharded_sim);
+    std::fprintf(f, "  \"shard_overhead_pct\": %.6f,\n", overhead_pct);
+    std::fprintf(f, "  \"scaling\": [\n");
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+        const auto& r = scaling[i];
+        std::fprintf(f,
+                     "    {\"devices\": %d, \"shards\": %d, \"makespan_seconds\": %.9f, "
+                     "\"device_total_seconds\": %.9f, \"speedup\": %.3f, \"ok\": %s}%s\n",
+                     r.devices, r.shards, r.makespan_seconds, r.total_device_seconds,
+                     r.makespan_seconds > 0.0 ? base / r.makespan_seconds : 0.0,
+                     r.ok ? "true" : "false", i + 1 < scaling.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!ok) {
+        std::fprintf(stderr, "shard-scaling FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -38,15 +38,15 @@ if [ "$run_tier1" = 1 ]; then
 fi
 
 if [ "$run_asan" = 1 ]; then
-  echo "== ASan/UBSan: faults + chaos + fuzz labels =="
+  echo "== ASan/UBSan: faults + chaos + fuzz + shard labels =="
   configure_and_build build-check/asan -DNSPARSE_SANITIZE=address
-  ctest --test-dir build-check/asan --output-on-failure -j "$jobs" -L 'faults|chaos|fuzz'
+  ctest --test-dir build-check/asan --output-on-failure -j "$jobs" -L 'faults|chaos|fuzz|shard'
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  echo "== TSan: tsan + chaos labels =="
+  echo "== TSan: tsan + chaos + shard labels =="
   configure_and_build build-check/tsan -DNSPARSE_SANITIZE=thread
-  ctest --test-dir build-check/tsan --output-on-failure -j "$jobs" -L 'tsan|chaos'
+  ctest --test-dir build-check/tsan --output-on-failure -j "$jobs" -L 'tsan|chaos|shard'
 fi
 
 echo "== check.sh: all requested sweeps passed =="

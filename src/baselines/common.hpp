@@ -58,13 +58,17 @@ inline std::vector<index_t> exclusive_scan(sim::Device& dev,
     const auto rows = to_index(counts.size());
     std::vector<index_t> rpt(to_size(rows) + 1, 0);
     // Same overflow discipline as core scan_row_pointers: accumulate wide,
-    // fail loudly instead of wrapping 32-bit row pointers.
+    // fail loudly with the same typed IndexOverflow instead of wrapping
+    // 32-bit row pointers (the baselines have no 64-bit escalation path).
     wide_t running = 0;
     for (index_t i = 0; i < rows; ++i) {
         running += counts[to_size(i)];
-        NSPARSE_ENSURES(running <= std::numeric_limits<index_t>::max(),
-                        "scanned counts exceed the 32-bit index range: row pointers "
-                        "cannot be represented (rebuild with a wider index_t)");
+        if (running > std::numeric_limits<index_t>::max()) {
+            throw IndexOverflow(
+                "scanned counts exceed the 32-bit index range: row pointers cannot be "
+                "represented by this baseline",
+                i, running);
+        }
         rpt[to_size(i) + 1] = static_cast<index_t>(running);
     }
     constexpr int kBlock = 256;

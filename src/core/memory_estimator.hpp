@@ -128,14 +128,28 @@ template <ValueType T>
     const std::size_t per_slab_budget = budget_bytes - resident_bytes;
     const std::size_t scaling = e.peak > resident_bytes ? e.peak - resident_bytes : 0;
     if (scaling == 0) { return 1; }
-    const std::size_t max_k = to_size(std::max<index_t>(a_rows, 1));
+    const std::size_t rows = to_size(std::max<index_t>(a_rows, 0));
+    const std::size_t max_k = std::max<std::size_t>(rows, 1);
     // Reserve the hub row's footprint out of every slab's budget; when the
     // budget cannot even cover that row the best the plan can do is
     // single-row slabs (the hub slab may still OOM and surface upstream).
-    if (per_slab_budget <= e.max_row) { return to_index(max_k); }
-    const std::size_t usable = per_slab_budget - e.max_row;
-    const std::size_t k = (scaling + usable - 1) / usable;
-    return to_index(std::min(std::max<std::size_t>(k, 1), max_k));
+    std::size_t k = max_k;
+    if (per_slab_budget > e.max_row) {
+        const std::size_t usable = per_slab_budget - e.max_row;
+        k = std::min(std::max<std::size_t>((scaling + usable - 1) / usable, 1), max_k);
+    }
+    // Clamp away trailing zero-row slabs: a ceil split of R rows into k
+    // slabs fills only ceil(R / ceil(R/k)) of them (R=6, k=4 yields
+    // 2-row slabs, so the 4th slab is empty). The per-slab row count —
+    // and hence the footprint — is unchanged by the clamp; only the count
+    // becomes honest. This matters when a hub row forces k = rows on a
+    // budget that barely misses: the shard planner builds on this count
+    // and must never emit an empty shard.
+    if (rows > 0) {
+        const std::size_t slab_rows = (rows + k - 1) / k;
+        k = (rows + slab_rows - 1) / slab_rows;
+    }
+    return to_index(k);
 }
 
 template <ValueType T>

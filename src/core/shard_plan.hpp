@@ -1,0 +1,193 @@
+// Row-shard planning for multi-device SpGEMM (core/spgemm_sharded.hpp).
+//
+// A shard is a contiguous row range of A multiplied against the whole of B
+// on one simulated device. The planner builds on the row-slab footprint
+// arithmetic of core/memory_estimator.hpp and adds the index-width
+// dimension: each shard's nnz upper bound (sum over its rows of
+// min(products, cols(B))) is kept within `ShardOptions::index_limit`, so
+// every shard's kernels and row-pointer scans run in 32-bit even when the
+// merged product must escalate to 64-bit row pointers.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "core/options.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse::sim {
+class Device;
+class CancelToken;
+}  // namespace nsparse::sim
+
+namespace nsparse::core {
+
+/// One planned shard: a contiguous, never-empty row range of A.
+struct ShardRange {
+    index_t row_begin = 0;
+    index_t row_end = 0;  ///< exclusive
+    /// Sum over the shard's rows of min(products, cols(B)) — an upper
+    /// bound on the shard's nnz(C) share that the real run cannot exceed.
+    wide_t nnz_upper_bound = 0;
+
+    [[nodiscard]] index_t rows() const { return row_end - row_begin; }
+};
+
+/// The planner's output: the shard list plus the width decision inputs.
+struct ShardPlan {
+    std::vector<ShardRange> shards;
+    /// Sum of the per-shard upper bounds (= the whole product's bound).
+    wide_t total_nnz_upper_bound = 0;
+    /// The merged row pointers may cross `index_limit`: the merge must be
+    /// prepared to escalate to 64-bit row pointers (whether it actually
+    /// does depends on the real nnz, decided after the shards complete).
+    bool may_escalate_64bit = false;
+
+    [[nodiscard]] int count() const { return static_cast<int>(shards.size()); }
+};
+
+/// Knobs of the sharded execution layer.
+struct ShardOptions {
+    /// Simulated devices the shards are scheduled onto (>= 1). Each device
+    /// is constructed fresh from `device_spec` / `cost_model`.
+    int devices = 2;
+
+    /// Requested shard count; 0 lets the planner decide (it still never
+    /// plans fewer than `devices` or `min_shards` shards, nor more than
+    /// rows(A)).
+    int shards = 0;
+
+    /// Memory-plan floor for the shard count (the session layer feeds the
+    /// admission planner's slab level through here); 0 = no floor.
+    index_t min_shards = 0;
+
+    /// Throw ShardFailed on the first shard whose ladder is exhausted
+    /// instead of collecting every failure into its result slot (the
+    /// spgemm_batch convention: lowest shard index wins deterministically).
+    bool fail_fast = false;
+
+    /// Per-shard multiply knobs (plan mode, executor threads, retries...).
+    core::Options options = {};
+
+    /// Per-shard recovery ladder (mirrors the session's RecoveryPolicy):
+    /// estimated→exact replan, row-slab sub-split, host recourse.
+    bool exact_replan = true;
+    bool slab_fallback = true;
+    bool host_recourse = true;
+
+    /// Re-dispatches of a ladder-exhausted shard onto the next device
+    /// (>= 0). Requeues run after the concurrent pass, in shard order.
+    int max_requeues = 1;
+
+    /// Escalation boundary for the merged row pointers. The default is the
+    /// real 32-bit range; tests lower it to exercise the 64-bit escalation
+    /// without allocating 2^31 nonzeros. Must be >= 1.
+    wide_t index_limit = std::numeric_limits<index_t>::max();
+
+    /// Per-shard budgets (0 = unlimited), enforced by a per-shard
+    /// CancelToken at kernel boundaries; an expired shard fails terminally
+    /// (no requeue) without touching its siblings.
+    double shard_sim_seconds = 0.0;
+    std::int64_t shard_wall_ms = 0;
+
+    /// External cancellation (not owned; may be null): checked between
+    /// shards and ladder stages so a session-level cancel stops the whole
+    /// sharded run cooperatively.
+    sim::CancelToken* cancel = nullptr;
+
+    /// Device template for every shard device.
+    sim::DeviceSpec device_spec = sim::DeviceSpec::pascal_p100();
+    sim::CostModel cost_model = {};
+
+    /// Retain per-kernel trace entries and roll them up (with device ids)
+    /// into ShardedOutput::trace.
+    bool record_trace = false;
+
+    /// Test hook: invoked once per device after construction (device id,
+    /// device) — fault plans, allocator shrinks etc. are installed here.
+    std::function<void(int, sim::Device&)> configure_device;
+};
+
+/// Validates the ShardOptions contract (PreconditionError naming the
+/// violated invariant, like core::validate_options which it includes).
+inline void validate_shard_options(const ShardOptions& sopt)
+{
+    validate_options(sopt.options);
+    if (sopt.devices < 1) {
+        throw PreconditionError("ShardOptions::devices must be >= 1 (got " +
+                                    std::to_string(sopt.devices) + ")",
+                                "shard_devices_positive");
+    }
+    if (sopt.shards < 0) {
+        throw PreconditionError("ShardOptions::shards must be non-negative (got " +
+                                    std::to_string(sopt.shards) + ")",
+                                "shard_count_non_negative");
+    }
+    if (sopt.min_shards < 0) {
+        throw PreconditionError("ShardOptions::min_shards must be non-negative (got " +
+                                    std::to_string(sopt.min_shards) + ")",
+                                "min_shards_non_negative");
+    }
+    if (sopt.max_requeues < 0) {
+        throw PreconditionError("ShardOptions::max_requeues must be non-negative (got " +
+                                    std::to_string(sopt.max_requeues) + ")",
+                                "max_requeues_non_negative");
+    }
+    if (sopt.index_limit < 1) {
+        throw PreconditionError("ShardOptions::index_limit must be >= 1 (got " +
+                                    std::to_string(sopt.index_limit) + ")",
+                                "index_limit_positive");
+    }
+}
+
+/// Plans the row shards of A*B. Deterministic in (A, B, sopt): the walk
+/// cuts a shard when it reaches the target row count or when adding the
+/// next row would push the shard's nnz upper bound past `index_limit`
+/// (a single row always forms a valid shard — its real nnz is bounded by
+/// cols(B), which fits 32-bit by construction). Never emits an empty
+/// shard; rows(A) == 0 yields an empty plan.
+template <ValueType T>
+[[nodiscard]] ShardPlan plan_row_shards(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                        const ShardOptions& sopt)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    validate_shard_options(sopt);
+
+    ShardPlan plan;
+    if (a.rows == 0) { return plan; }
+
+    const auto products = intermediate_products_per_row(a, b);
+    std::vector<index_t> ub(to_size(a.rows));
+    for (index_t i = 0; i < a.rows; ++i) {
+        ub[to_size(i)] = std::min(products[to_size(i)], b.cols);
+        plan.total_nnz_upper_bound += ub[to_size(i)];
+    }
+    plan.may_escalate_64bit = plan.total_nnz_upper_bound > sopt.index_limit;
+
+    const index_t k = std::min<index_t>(
+        a.rows, std::max<index_t>({static_cast<index_t>(sopt.shards),
+                                   static_cast<index_t>(sopt.devices), sopt.min_shards, 1}));
+    const index_t target_rows = (a.rows + k - 1) / k;
+
+    ShardRange cur;
+    for (index_t i = 0; i < a.rows; ++i) {
+        const wide_t row_ub = ub[to_size(i)];
+        const bool full = cur.rows() >= target_rows;
+        const bool would_overflow =
+            cur.rows() > 0 && cur.nnz_upper_bound + row_ub > sopt.index_limit;
+        if (full || would_overflow) {
+            plan.shards.push_back(cur);
+            cur = ShardRange{i, i, 0};
+        }
+        cur.row_end = i + 1;
+        cur.nnz_upper_bound += row_ub;
+    }
+    plan.shards.push_back(cur);
+    return plan;
+}
+
+}  // namespace nsparse::core

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -86,22 +87,30 @@ sim::DeviceBuffer<index_t> count_products(sim::Device& dev, const sim::DeviceCsr
 }
 
 /// Kernel (4): exclusive scan of the per-row nnz into row pointers.
-/// Functionally done host-side; charged as a device scan.
+/// Functionally done host-side; charged as a device scan. The row-pointer
+/// width P is a template parameter (the OpSparse hybrid): the default
+/// 32-bit path throws a typed IndexOverflow when the running total crosses
+/// the index range; a wide_t instantiation never overflows in practice and
+/// carries the Table-III large-graph products past 2^31 nnz.
+template <std::integral P = index_t>
 inline void scan_row_pointers(sim::Device& dev, const sim::DeviceBuffer<index_t>& row_nnz,
-                              std::vector<index_t>& rpt)
+                              std::vector<P>& rpt)
 {
     const auto rows = to_index(row_nnz.size());
     rpt.assign(to_size(rows) + 1, 0);
     // Accumulate in wide_t: nnz(C) can exceed 32 bits even when every row
     // fits (the large-graph workloads of Table III). Overflow must fail
-    // loudly, not wrap into negative row pointers.
+    // loudly with a typed error, not wrap into negative row pointers.
     wide_t running = 0;
     for (index_t i = 0; i < rows; ++i) {
         running += row_nnz[to_size(i)];
-        NSPARSE_ENSURES(running <= std::numeric_limits<index_t>::max(),
-                        "nnz(C) exceeds the 32-bit index range: the output row pointers "
-                        "cannot be represented (rebuild with a wider index_t)");
-        rpt[to_size(i) + 1] = static_cast<index_t>(running);
+        if (!std::in_range<P>(running)) {
+            throw IndexOverflow(
+                "nnz(C) exceeds the row-pointer index range: the output row pointers "
+                "cannot be represented (escalate to 64-bit row pointers or shard the rows)",
+                i, running);
+        }
+        rpt[to_size(i) + 1] = static_cast<P>(running);
     }
     constexpr int kBlock = 256;
     const index_t grid = rows == 0 ? 0 : (rows + kBlock - 1) / kBlock;

@@ -1,0 +1,441 @@
+#include "core/spgemm_sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "core/spgemm_impl.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/worker_pool.hpp"
+#include "sparse/validate.hpp"
+
+namespace nsparse::core {
+
+const char* to_string(ShardStage stage)
+{
+    switch (stage) {
+    case ShardStage::kPlanned: return "planned";
+    case ShardStage::kExactReplan: return "exact_replan";
+    case ShardStage::kSlab: return "slab";
+    case ShardStage::kHostRecourse: return "host_recourse";
+    case ShardStage::kFailed: return "failed";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// Global → shard-local row indices for the fault-injection hooks; rows
+/// outside the shard are dropped (they belong to sibling shards).
+std::vector<index_t> localize_rows(const std::vector<index_t>& rows, const ShardRange& range)
+{
+    std::vector<index_t> local;
+    for (const index_t r : rows) {
+        if (r >= range.row_begin && r < range.row_end) {
+            local.push_back(r - range.row_begin);
+        }
+    }
+    return local;
+}
+
+/// One shard's whole life on one device: arm the shard budgets, run the
+/// recovery ladder (planned attempt → estimated→exact replan → row-slab
+/// sub-split → host recourse), and capture any terminal error into the
+/// shard's stats slot instead of letting it escape — sibling shards on
+/// other devices must never observe it. Returns true on success;
+/// `requeueable` reports whether a failure may be retried on another
+/// device (budget expiries are terminal: the budget is the shard's, not
+/// the device's).
+template <ValueType T>
+bool run_one_shard(sim::Device& dev, int device_id, const ShardRange& range,
+                   const CsrMatrix<T>& a, const CsrMatrix<T>& b, const ShardOptions& sopt,
+                   ShardStats& st, core::detail::MultiplyResult<T>& out, SpgemmStats& stats,
+                   bool& requeueable)
+{
+    st.device_id = device_id;
+    out = {};
+    stats = {};
+    requeueable = false;
+
+    const CsrMatrix<T> as = slice_rows(a, range.row_begin, range.row_end);
+    core::Options opt = sopt.options;
+    opt.inject_symbolic_row_faults = localize_rows(opt.inject_symbolic_row_faults, range);
+    opt.inject_numeric_row_faults = localize_rows(opt.inject_numeric_row_faults, range);
+
+    sim::CancelToken token;
+    token.arm_sim_deadline(sopt.shard_sim_seconds);
+    token.arm_wall_budget_ms(sopt.shard_wall_ms);
+    dev.set_cancel_token(&token);
+    dev.set_executor_threads(opt.executor_threads);
+    dev.reset_measurement();
+    const std::size_t live_floor = dev.allocator().live_bytes();
+
+    // External (session-level) cancellation, then the shard's own budgets.
+    // Checked between ladder stages and host-recourse chunks; kernels in
+    // flight finish (cooperative cancellation), siblings keep running.
+    const auto check_budget = [&](ShardStage stage) {
+        if (sopt.cancel != nullptr) {
+            switch (sopt.cancel->should_cancel_async()) {
+            case sim::CancelCause::kNone:
+            case sim::CancelCause::kSimDeadline: break;
+            case sim::CancelCause::kUser:
+                throw OperationCancelled("sharded run cancelled between ladder stages",
+                                         to_string(stage), sopt.cancel->reason());
+            case sim::CancelCause::kWallDeadline:
+                throw DeadlineExceeded("wall-clock budget exceeded between ladder stages",
+                                       to_string(stage),
+                                       sopt.cancel->wall_elapsed_seconds(),
+                                       /*wall_clock=*/true);
+            }
+        }
+        const double sim_elapsed = dev.elapsed();
+        switch (token.should_cancel(sim_elapsed)) {
+        case sim::CancelCause::kNone: return;
+        case sim::CancelCause::kUser:
+            throw OperationCancelled("shard cancelled between ladder stages",
+                                     to_string(stage), token.reason());
+        case sim::CancelCause::kSimDeadline:
+            throw DeadlineExceeded("shard simulated-time budget exceeded", to_string(stage),
+                                   sim_elapsed, /*wall_clock=*/false);
+        case sim::CancelCause::kWallDeadline:
+            throw DeadlineExceeded("shard wall-clock budget exceeded", to_string(stage),
+                                   token.wall_elapsed_seconds(), /*wall_clock=*/true);
+        }
+    };
+    const auto note_oom = [&] {
+        ++st.faults;
+        const std::size_t at_oom = dev.allocator().last_oom_live_bytes();
+        const std::size_t freed = at_oom > live_floor ? at_oom - live_floor : 0;
+        stats.fallback_bytes_freed = freed;
+        dev.record_memory_event("slab_fallback", freed, 0, 0);
+        core::detail::reset_fault_tallies(stats);
+    };
+
+    try {
+        bool have = false;
+        bool want_replan = false;
+        const bool slab_first = opt.force_slabs > 0;
+        bool want_slab = slab_first;
+        bool want_host = false;
+        const bool estimated_plan = opt.plan_mode != core::PlanMode::kExact;
+
+        // ---- rung: planned attempt --------------------------------------
+        if (!want_slab) {
+            st.final_stage = ShardStage::kPlanned;
+            check_budget(ShardStage::kPlanned);
+            try {
+                out = core::detail::multiply_attempt(dev, as, b, opt, stats);
+                have = true;
+            } catch (const DeviceOutOfMemory&) {
+                note_oom();
+                if (estimated_plan && sopt.exact_replan) {
+                    want_replan = true;
+                } else if (sopt.slab_fallback) {
+                    want_slab = true;
+                } else if (sopt.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            } catch (const KernelFault&) {
+                ++st.faults;
+                core::detail::reset_fault_tallies(stats);
+                // A kernel fault is not a memory shortage: sub-splitting
+                // would refault the same row, so skip straight past slabs.
+                if (estimated_plan && sopt.exact_replan) {
+                    want_replan = true;
+                } else if (sopt.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            }
+        }
+
+        // ---- rung: estimated→exact replan -------------------------------
+        if (!have && want_replan) {
+            st.final_stage = ShardStage::kExactReplan;
+            ++st.retries;
+            stats.replans += 1;
+            check_budget(ShardStage::kExactReplan);
+            core::Options exact_opt = opt;
+            exact_opt.plan_mode = core::PlanMode::kExact;
+            try {
+                out = core::detail::multiply_attempt(dev, as, b, exact_opt, stats);
+                have = true;
+            } catch (const DeviceOutOfMemory&) {
+                note_oom();
+                if (sopt.slab_fallback) {
+                    want_slab = true;
+                } else if (sopt.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            } catch (const KernelFault&) {
+                ++st.faults;
+                core::detail::reset_fault_tallies(stats);
+                if (sopt.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            }
+        }
+
+        // ---- rung: row-slab sub-split -----------------------------------
+        if (!have && want_slab) {
+            st.final_stage = ShardStage::kSlab;
+            if (!slab_first) { ++st.retries; }
+            check_budget(ShardStage::kSlab);
+            try {
+                out = core::detail::multiply_slabbed(dev, as, b, opt, live_floor, stats);
+                have = true;
+                st.resplits = stats.fallback_slabs;
+            } catch (const DeviceOutOfMemory&) {
+                note_oom();
+                if (sopt.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            } catch (const KernelFault&) {
+                ++st.faults;
+                core::detail::reset_fault_tallies(stats);
+                if (sopt.host_recourse) {
+                    want_host = true;
+                } else {
+                    throw;
+                }
+            }
+        }
+
+        // ---- rung: whole-shard host recourse ----------------------------
+        if (!have && want_host) {
+            st.final_stage = ShardStage::kHostRecourse;
+            ++st.retries;
+            out.matrix.rows = 0;
+            out.matrix.cols = b.cols;
+            out.matrix.rpt.assign(1, 0);
+            // Chunked so cancellation and the shard budgets still bite.
+            const index_t chunk =
+                std::max<index_t>(1, std::max<index_t>(as.rows / 16, 1024));
+            for (index_t r0 = 0; r0 < as.rows; r0 += chunk) {
+                check_budget(ShardStage::kHostRecourse);
+                const index_t r1 = std::min<index_t>(as.rows, r0 + chunk);
+                append_rows(out.matrix, reference_spgemm(slice_rows(as, r0, r1), b));
+            }
+            out.products = total_intermediate_products(as, b);
+            stats.host_recourse = 1;
+            stats.host_fallback_rows += static_cast<int>(as.rows);
+            fill_stats_from_device(stats, dev);
+            have = true;
+        }
+
+        NSPARSE_ASSERT(have, "shard ladder exited without a result or an exception");
+        stats.intermediate_products = out.products;
+        stats.nnz_c = out.matrix.nnz();
+        st.sim_seconds = dev.elapsed();
+        st.error = nullptr;
+        st.error_message.clear();
+        dev.set_cancel_token(nullptr);
+        return true;
+    } catch (const OperationCancelled& e) {
+        st.error = std::current_exception();
+        st.error_message = e.what();
+    } catch (const DeadlineExceeded& e) {
+        st.error = std::current_exception();
+        st.error_message = e.what();
+    } catch (const std::exception& e) {
+        st.error = std::current_exception();
+        st.error_message = e.what();
+        requeueable = true;
+    } catch (...) {
+        st.error = std::current_exception();
+        st.error_message = "unknown shard error";
+        requeueable = true;
+    }
+    st.final_stage = ShardStage::kFailed;
+    st.sim_seconds = dev.elapsed();
+    // Joins abandoned in-flight launches and detaches the token; the
+    // device stays usable for its next shard.
+    dev.reclaim();
+    return false;
+}
+
+}  // namespace
+
+template <ValueType T>
+ShardedOutput<T> spgemm_sharded(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                const ShardOptions& sopt)
+{
+    NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    validate_shard_options(sopt);
+    if (sopt.options.validate_inputs) { validate_spgemm_inputs(a, b); }
+
+    ShardedOutput<T> out;
+    const ShardPlan plan = plan_row_shards(a, b, sopt);
+    const int n_shards = plan.count();
+    const int n_devices = sopt.devices;
+    out.sharded.devices = n_devices;
+    out.sharded.shards = n_shards;
+    if (n_shards == 0) {
+        out.matrix = CsrMatrix<T>::zero(0, b.cols);
+        return out;
+    }
+
+    std::vector<std::unique_ptr<sim::Device>> devs;
+    devs.reserve(to_size(n_devices));
+    for (int d = 0; d < n_devices; ++d) {
+        devs.push_back(std::make_unique<sim::Device>(sopt.device_spec, sopt.cost_model));
+        if (sopt.record_trace) { devs.back()->enable_trace(); }
+        if (sopt.configure_device) { sopt.configure_device(d, *devs.back()); }
+    }
+
+    out.shards.resize(to_size(n_shards));
+    std::vector<core::detail::MultiplyResult<T>> parts(to_size(n_shards));
+    std::vector<SpgemmStats> pstats(to_size(n_shards));
+    std::vector<char> requeueable(to_size(n_shards), 0);
+    for (int s = 0; s < n_shards; ++s) {
+        out.shards[to_size(s)].shard = s;
+        out.shards[to_size(s)].row_begin = plan.shards[to_size(s)].row_begin;
+        out.shards[to_size(s)].row_end = plan.shards[to_size(s)].row_end;
+    }
+
+    const auto run_shard = [&](int s, int device_id) {
+        bool rq = false;
+        run_one_shard(*devs[to_size(device_id)], device_id, plan.shards[to_size(s)], a, b,
+                      sopt, out.shards[to_size(s)], parts[to_size(s)], pstats[to_size(s)],
+                      rq);
+        requeueable[to_size(s)] = rq ? 1 : 0;
+    };
+
+    // ---- concurrent pass: static round-robin shard → device -------------
+    // Driver d runs shards d, d+D, d+2D... sequentially on device d. The
+    // static assignment (not work stealing) keeps every per-shard stat —
+    // device_id, sim_seconds, the makespan — deterministic, so the
+    // fault-injection and byte-identity tests hold for every thread count.
+    if (n_devices == 1 || n_shards == 1) {
+        for (int s = 0; s < n_shards; ++s) { run_shard(s, s % n_devices); }
+    } else {
+        auto& pool = sim::WorkerPool::instance();
+        // Drivers are blocking tasks (they wait on their device's launch
+        // completions); reserve a driver slot per device *plus* the leaf /
+        // launch workers one device's executor needs, so nested blocking
+        // launch tasks always find a dedicated worker (the pool's FIFO
+        // deadlock-freedom argument).
+        const int nt = sim::BlockExecutor::resolve_threads(sopt.options.executor_threads);
+        pool.ensure_workers(n_devices + std::max(1, nt));
+        std::atomic<int> remaining{n_devices};
+        sim::Completion done;
+        for (int d = 0; d < n_devices; ++d) {
+            pool.submit(
+                [&, d] {
+                    for (int s = d; s < n_shards; s += n_devices) { run_shard(s, d); }
+                    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                        done.set();
+                    }
+                },
+                sim::WorkerPool::TaskKind::blocking);
+        }
+        pool.wait(done);
+    }
+
+    // ---- requeue pass: re-dispatch exhausted shards ----------------------
+    // Sequential, in shard order, onto the next device round-robin — a
+    // fault pinned to one device (an injected FaultPlan, a shrunken
+    // allocator) must not kill the shard while healthy siblings exist.
+    for (int s = 0; s < n_shards; ++s) {
+        auto& st = out.shards[to_size(s)];
+        for (int r = 1; !st.ok() && requeueable[to_size(s)] != 0 && r <= sopt.max_requeues;
+             ++r) {
+            st.requeues = r;
+            ++out.sharded.requeues;
+            run_shard(s, (s % n_devices + r) % n_devices);
+            // run_shard resets st.device_id/final_stage; restore the
+            // requeue count it does not own.
+            st.requeues = r;
+        }
+    }
+
+    // ---- roll-up ---------------------------------------------------------
+    std::vector<double> device_seconds(to_size(n_devices), 0.0);
+    for (const auto& st : out.shards) {
+        out.sharded.faults += st.faults;
+        if (!st.ok()) { ++out.sharded.failed_shards; }
+        device_seconds[to_size(st.device_id)] += st.sim_seconds;
+    }
+    out.sharded.makespan_seconds =
+        *std::max_element(device_seconds.begin(), device_seconds.end());
+
+    if (out.sharded.failed_shards > 0 && sopt.fail_fast) {
+        for (const auto& st : out.shards) {
+            if (!st.ok()) {
+                throw ShardFailed("shard recovery ladder exhausted: " + st.error_message,
+                                  st.shard, st.device_id, st.error);
+            }
+        }
+    }
+
+    if (out.sharded.failed_shards == 0) {
+        for (int s = 0; s < n_shards; ++s) {
+            const auto& ps = pstats[to_size(s)];
+            out.stats.intermediate_products += ps.intermediate_products;
+            out.stats.seconds += ps.seconds;
+            out.stats.setup_seconds += ps.setup_seconds;
+            out.stats.count_seconds += ps.count_seconds;
+            out.stats.calc_seconds += ps.calc_seconds;
+            out.stats.estimate_seconds += ps.estimate_seconds;
+            out.stats.malloc_seconds += ps.malloc_seconds;
+            out.stats.peak_bytes = std::max(out.stats.peak_bytes, ps.peak_bytes);
+            out.stats.fallback_slabs += ps.fallback_slabs;
+            out.stats.fallback_retries += ps.fallback_retries;
+            out.stats.fallback_bytes_freed += ps.fallback_bytes_freed;
+            out.stats.faulted_rows += ps.faulted_rows;
+            out.stats.row_retries += ps.row_retries;
+            out.stats.host_fallback_rows += ps.host_fallback_rows;
+            out.stats.replans += ps.replans;
+            out.stats.host_recourse += ps.host_recourse;
+            out.stats.estimated_rows += ps.estimated_rows;
+            out.stats.mispredicted_rows += ps.mispredicted_rows;
+            out.stats.symbolic_cycles_saved += ps.symbolic_cycles_saved;
+        }
+
+        // ---- merge, escalating the row-pointer width when needed --------
+        wide_t total_nnz = 0;
+        for (const auto& part : parts) { total_nnz += part.matrix.nnz(); }
+        if (total_nnz > sopt.index_limit) {
+            out.escalated_64bit = true;
+            out.sharded.escalated_64bit = true;
+            // The widening's cost: rows+1 pointers grow from index_t to
+            // wide_t. Annotated on device 0 so the roll-up trace carries it.
+            devs[0]->record_memory_event(
+                "shard_escalate_64bit",
+                (to_size(a.rows) + 1) * (sizeof(wide_t) - sizeof(index_t)), n_shards, 0);
+            out.wide_matrix.rows = 0;
+            out.wide_matrix.cols = b.cols;
+            for (auto& part : parts) { append_rows(out.wide_matrix, part.matrix); }
+            out.stats.nnz_c = out.wide_matrix.nnz();
+        } else {
+            out.matrix.rows = 0;
+            out.matrix.cols = b.cols;
+            for (auto& part : parts) { append_rows(out.matrix, part.matrix); }
+            out.stats.nnz_c = out.matrix.nnz();
+        }
+    }
+
+    if (sopt.record_trace) {
+        for (int d = 0; d < n_devices; ++d) { out.trace.absorb(devs[to_size(d)]->trace(), d); }
+    }
+    return out;
+}
+
+template ShardedOutput<float> spgemm_sharded<float>(const CsrMatrix<float>&,
+                                                    const CsrMatrix<float>&,
+                                                    const ShardOptions&);
+template ShardedOutput<double> spgemm_sharded<double>(const CsrMatrix<double>&,
+                                                      const CsrMatrix<double>&,
+                                                      const ShardOptions&);
+
+}  // namespace nsparse::core

@@ -1,0 +1,132 @@
+// Multi-device row-sharded SpGEMM with shard-level fault isolation and
+// automatic 64-bit row-pointer escalation (the ROADMAP's "64-bit scale-out
+// + multi-device row sharding" item).
+//
+// A is partitioned into contiguous row shards (core/shard_plan.hpp); each
+// shard multiplies against the whole of B on one of several fresh
+// `sim::Device` instances, scheduled concurrently over the shared
+// `sim::WorkerPool`. The merged output is byte-identical to single-device
+// `hash_spgemm` for any (shard count × device count × thread count),
+// because every output row is a function of its A row and B alone and the
+// host-side merge concatenates shards in shard-index order.
+//
+// Robustness is the headline:
+//   * Each shard runs under its own recovery ladder — planned attempt →
+//     estimated→exact replan → row-slab sub-split → host recourse — so an
+//     OOM, KernelFault or injected allocation fault in one shard is
+//     captured into that shard's ShardStats slot and never aborts its
+//     siblings.
+//   * A ladder-exhausted shard is requeued (ShardOptions::max_requeues)
+//     onto the next device before it is surfaced; only then does it fail,
+//     as a structured ShardFailed — thrown for the lowest failed shard
+//     under fail_fast, collected per-slot (the spgemm_batch convention)
+//     otherwise. Deadline/cancellation failures are terminal (no requeue).
+//   * Products whose merged nnz crosses ShardOptions::index_limit (2^31
+//     by default) escalate to 64-bit row pointers automatically — the
+//     OpSparse hybrid: shard kernels stay 32-bit, the merged `rpt` widens
+//     to wide_t — annotated as a `shard_escalate_64bit` event in the
+//     stats and the rolled-up trace instead of throwing IndexOverflow.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/shard_plan.hpp"
+#include "gpusim/algorithm.hpp"
+#include "gpusim/trace.hpp"
+
+namespace nsparse::core {
+
+/// Where a shard's ladder ended (mirrors the session's RecoveryStage,
+/// without a service dependency).
+enum class ShardStage : int {
+    kPlanned = 0,   ///< the attempt under Options::plan_mode succeeded
+    kExactReplan,   ///< recovered by the estimated→exact replan
+    kSlab,          ///< recovered by the row-slab sub-split
+    kHostRecourse,  ///< recovered by the whole-shard host reference
+    kFailed,        ///< every permitted rung (and requeue) failed
+};
+
+[[nodiscard]] const char* to_string(ShardStage stage);
+
+/// One shard's fate: fault/retry accounting, the device that produced the
+/// final result, and the captured error when the ladder was exhausted.
+struct ShardStats {
+    int shard = -1;           ///< shard index (plan order)
+    index_t row_begin = 0;    ///< first row of A covered by this shard
+    index_t row_end = 0;      ///< one past the last row
+    int device_id = -1;       ///< device of the final (or last failed) attempt
+    int faults = 0;           ///< OOM / kernel faults captured by the ladder
+    int retries = 0;          ///< ladder rungs run beyond the first attempt
+    int resplits = 0;         ///< row slabs the sub-split assembled (0 = none)
+    int requeues = 0;         ///< re-dispatches onto another device
+    ShardStage final_stage = ShardStage::kPlanned;
+    /// Simulated seconds of the final attempt on its device — a
+    /// deterministic function of the shard content, independent of which
+    /// device ran it or how many host threads executed it.
+    double sim_seconds = 0.0;
+    std::exception_ptr error;   ///< null when the shard completed
+    std::string error_message;  ///< what() of the captured error
+
+    [[nodiscard]] bool ok() const { return error == nullptr; }
+};
+
+/// Run-level roll-up of the sharded execution.
+struct ShardedStats {
+    int devices = 0;        ///< devices the run was scheduled onto
+    int shards = 0;         ///< shards the plan produced
+    int failed_shards = 0;  ///< shards whose ladder (and requeues) failed
+    int requeues = 0;       ///< total cross-device re-dispatches
+    int faults = 0;         ///< total captured faults across shards
+    bool escalated_64bit = false;  ///< merged rpt widened to 64-bit
+    /// Max over devices of its summed per-shard simulated seconds — the
+    /// multi-device makespan. Deterministic: shard→device assignment is
+    /// static round-robin and requeue order is shard order.
+    double makespan_seconds = 0.0;
+};
+
+/// The sharded multiply's result. Exactly one of `matrix` /
+/// `wide_matrix` is populated on success, selected by `escalated_64bit`;
+/// on any shard failure (fail_fast off) both stay empty and the per-shard
+/// errors live in `shards`.
+template <ValueType T>
+struct ShardedOutput {
+    CsrMatrix<T> matrix;            ///< 32-bit row pointers (the common case)
+    WideCsrMatrix<T> wide_matrix;   ///< 64-bit row pointers when escalated
+    bool escalated_64bit = false;
+    /// Summed over shards (deterministic; `seconds` is total device-time,
+    /// not wall-clock — see ShardedStats::makespan_seconds).
+    SpgemmStats stats;
+    ShardedStats sharded;
+    std::vector<ShardStats> shards;
+    /// Multi-device trace roll-up (ShardOptions::record_trace): every
+    /// entry stamped with its device id, devices absorbed in id order.
+    sim::Trace trace;
+
+    [[nodiscard]] bool ok() const
+    {
+        for (const auto& s : shards) {
+            if (!s.ok()) { return false; }
+        }
+        return true;
+    }
+};
+
+/// Runs C = A*B sharded over multiple fresh simulated devices. A.cols
+/// must equal B.rows; ShardOptions are validated up front
+/// (PreconditionError). Runtime faults are contained per shard (see the
+/// file comment); with fail_fast set, the lowest ladder-exhausted shard
+/// throws ShardFailed instead of filling its slot.
+template <ValueType T>
+ShardedOutput<T> spgemm_sharded(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                const ShardOptions& sopt = {});
+
+extern template ShardedOutput<float> spgemm_sharded<float>(const CsrMatrix<float>&,
+                                                           const CsrMatrix<float>&,
+                                                           const ShardOptions&);
+extern template ShardedOutput<double> spgemm_sharded<double>(const CsrMatrix<double>&,
+                                                             const CsrMatrix<double>&,
+                                                             const ShardOptions&);
+
+}  // namespace nsparse::core

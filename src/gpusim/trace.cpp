@@ -7,6 +7,25 @@
 
 namespace nsparse::sim {
 
+void Trace::absorb(const Trace& other, int device_id)
+{
+    entries_.reserve(entries_.size() + other.entries_.size());
+    for (auto e : other.entries_) {
+        e.device_id = device_id;
+        entries_.push_back(std::move(e));
+    }
+    memory_events_.reserve(memory_events_.size() + other.memory_events_.size());
+    for (auto e : other.memory_events_) {
+        e.device_id = device_id;
+        memory_events_.push_back(std::move(e));
+    }
+    fault_events_.reserve(fault_events_.size() + other.fault_events_.size());
+    for (auto e : other.fault_events_) {
+        e.device_id = device_id;
+        fault_events_.push_back(std::move(e));
+    }
+}
+
 std::string Trace::report() const
 {
     struct Agg {

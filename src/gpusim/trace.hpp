@@ -15,6 +15,9 @@ namespace nsparse::sim {
 struct KernelTraceEntry {
     std::string name;
     std::string phase;
+    /// Device the kernel ran on in a multi-device roll-up (Trace::absorb);
+    /// -1 = single-device trace.
+    int device_id = -1;
     int stream_id = 0;
     index_t grid_dim = 0;
     int block_dim = 0;
@@ -30,6 +33,7 @@ struct KernelTraceEntry {
 /// failing — the observable counterpart of Table III's "-" entries.
 struct MemoryEventEntry {
     std::string label;           ///< e.g. "oom", "slab_fallback", "slab_retry"
+    int device_id = -1;          ///< device in a multi-device roll-up (-1 = single)
     std::string phase;           ///< device phase when the event fired
     std::size_t bytes_freed = 0; ///< bytes reclaimed by unwinding before retry
     int slabs = 0;               ///< row slabs in flight (0 = unchunked)
@@ -42,6 +46,7 @@ struct MemoryEventEntry {
 /// *not* complete on its first kernel attempt.
 struct FaultEventEntry {
     std::string label;        ///< e.g. "symbolic_row_fault", "numeric_row_retry"
+    int device_id = -1;       ///< device in a multi-device roll-up (-1 = single)
     std::string phase;        ///< device phase when the fault fired
     int group = -1;           ///< Table-I group of the faulting kernel (-1 n/a)
     index_t row = -1;         ///< output row involved
@@ -75,6 +80,12 @@ public:
         memory_events_.clear();
         fault_events_.clear();
     }
+
+    /// Appends every entry of `other` with its device_id stamped to
+    /// `device_id` — the multi-device roll-up of the sharded execution
+    /// layer (shard devices absorb in device order, so the combined trace
+    /// is deterministic given deterministic per-device traces).
+    void absorb(const Trace& other, int device_id);
 
     /// Total fault events with the given (exact) label.
     [[nodiscard]] std::size_t fault_count(const std::string& label) const

@@ -12,6 +12,7 @@ const char* to_string(RecoveryStage stage)
     case RecoveryStage::kExactReplan: return "exact_replan";
     case RecoveryStage::kSlab: return "slab";
     case RecoveryStage::kHostRecourse: return "host_recourse";
+    case RecoveryStage::kSharded: return "sharded";
     }
     return "unknown";
 }

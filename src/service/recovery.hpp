@@ -31,6 +31,8 @@ enum class RecoveryStage : int {
     kExactReplan,     ///< estimated→exact replan after a fault
     kSlab,            ///< row-slab degradation
     kHostRecourse,    ///< whole-product host reference recourse
+    kSharded,         ///< multi-device row-sharded execution (admission
+                      ///< planned it for certain-OOM / overflow requests)
 };
 
 [[nodiscard]] const char* to_string(RecoveryStage stage);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -160,23 +161,31 @@ AdmissionDecision Session::admit_decision(const CsrMatrix<T>& a, const CsrMatrix
     // attempt, while rejection must rest on the *certain* floor below.
     const auto products = intermediate_products_per_row(a, b);
     std::vector<index_t> nnz_ub(to_size(a.rows));
+    wide_t nnz_ub_total = 0;
     for (index_t i = 0; i < a.rows; ++i) {
         nnz_ub[to_size(i)] = std::min(products[to_size(i)], b.cols);
+        nnz_ub_total += nnz_ub[to_size(i)];
     }
+    d.overflow_risk = nnz_ub_total > std::numeric_limits<index_t>::max();
     const auto est =
         core::estimate_hash_spgemm_memory_from_nnz(a, b, products, nnz_ub, dev_.spec());
     d.predicted_peak_bytes = est.peak;
 
     // Certain infeasibility: B stays resident in every device path (every
     // slab multiplies against whole B), so when B alone does not fit the
-    // free capacity, no degradation level can help.
+    // free capacity, no degradation level can help on *this* device.
     if (d.required_floor_bytes >= d.available_bytes) {
         d.admitted = false;
-        return d;
-    }
-    if (est.peak > d.available_bytes) {
+    } else if (est.peak > d.available_bytes) {
         d.planned_slab_level = static_cast<int>(core::plan_row_slabs_from_estimate(
             est, b.byte_size(), a.rows, d.available_bytes));
+    }
+    // Sharded scale-out: certain-OOM requests and requests whose nnz upper
+    // bound crosses the 32-bit index range are admitted as multi-device
+    // row-sharded runs instead of rejected (or run into IndexOverflow).
+    if (cfg_.shard_devices > 0 && (!d.admitted || d.overflow_risk)) {
+        d.planned_shards = std::max(cfg_.shard_devices, d.planned_slab_level);
+        d.admitted = true;
     }
     return d;
 }
@@ -232,6 +241,7 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
     log_event(res.log, Kind::kAdmit, RecoveryStage::kAdmission, 0,
               "predicted peak " + std::to_string(res.admission.predicted_peak_bytes) +
                   " B, available " + std::to_string(res.admission.available_bytes) + " B");
+    if (res.admission.planned_shards > 0) { return run_sharded(a, b, budget, res); }
     if (res.admission.planned_slab_level > 0) {
         log_event(res.log, Kind::kAnnotate, RecoveryStage::kSlab, 0,
                   "planned degradation to " +
@@ -483,6 +493,108 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
     }
     if (!faulted) { oom_streak_ = 0; }
     return res;
+}
+
+template <ValueType T>
+RequestResult<T> Session::run_sharded(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                      const RequestBudget& budget, RequestResult<T>& res)
+{
+    using Kind = RecoveryEvent::Kind;
+    res.sharded = true;
+    res.final_stage = RecoveryStage::kSharded;
+    ++stats_.sharded_runs;
+    log_event(res.log, Kind::kAnnotate, RecoveryStage::kSharded, 0,
+              "sharded over " + std::to_string(res.admission.planned_shards) +
+                  " shard(s) on " + std::to_string(cfg_.shard_devices) + " device(s)" +
+                  (res.admission.overflow_risk ? ", 64-bit escalation possible" : ""));
+
+    core::ShardOptions sopt;
+    sopt.devices = cfg_.shard_devices;
+    sopt.min_shards = res.admission.planned_shards;
+    sopt.options = cfg_.options;
+    sopt.options.max_row_retries = cfg_.policy.max_row_retries;
+    sopt.options.max_slab_retries = cfg_.policy.max_slab_retries;
+    sopt.exact_replan = cfg_.policy.exact_replan;
+    sopt.slab_fallback = cfg_.policy.slab_fallback;
+    sopt.host_recourse = cfg_.policy.host_recourse;
+    // The request budget bounds each shard (the finest granularity the
+    // sharded layer can cancel at); the wall budget is also armed on the
+    // session token, which the shards consult as their external cancel.
+    sopt.shard_sim_seconds = budget.sim_seconds;
+    sopt.shard_wall_ms = budget.wall_ms;
+    sopt.cancel = &token_;
+    sopt.device_spec = cfg_.device_spec;
+    sopt.cost_model = cfg_.cost_model;
+    sopt.record_trace = cfg_.record_trace;
+    sopt.fail_fast = false;
+    token_.arm_wall_budget_ms(budget.wall_ms);
+
+    try {
+        log_event(res.log, Kind::kAttempt, RecoveryStage::kSharded, 1);
+        core::ShardedOutput<T> sh = core::spgemm_sharded(a, b, sopt);
+        stats_.shard_failures += static_cast<std::uint64_t>(sh.sharded.failed_shards);
+        res.shard_rollup = sh.sharded;
+        res.shard_stats = std::move(sh.shards);
+        if (res.shard_rollup.failed_shards > 0) {
+            // Surface the lowest failed shard, preserving the outcome
+            // taxonomy: cancellations and deadlines keep their kind, every
+            // other cause is wrapped in a structured ShardFailed.
+            const auto bad = std::find_if(res.shard_stats.begin(), res.shard_stats.end(),
+                                          [](const core::ShardStats& s) { return !s.ok(); });
+            NSPARSE_ASSERT(bad != res.shard_stats.end(),
+                           "failed_shards > 0 without a failed shard slot");
+            try {
+                std::rethrow_exception(bad->error);
+            } catch (const OperationCancelled&) {
+                throw;
+            } catch (const DeadlineExceeded&) {
+                throw;
+            } catch (...) {
+                throw ShardFailed("sharded request failed: " + bad->error_message,
+                                  bad->shard, bad->device_id, bad->error);
+            }
+        }
+        res.escalated_64bit = sh.escalated_64bit;
+        if (sh.escalated_64bit) {
+            ++stats_.shard_escalations;
+            res.wide_matrix = std::move(sh.wide_matrix);
+            log_event(res.log, Kind::kAnnotate, RecoveryStage::kSharded, 0,
+                      "escalated to 64-bit row pointers (nnz " +
+                          std::to_string(res.wide_matrix.nnz()) + ")");
+        } else {
+            res.out.matrix = std::move(sh.matrix);
+        }
+        res.out.stats = sh.stats;
+        res.outcome = RequestOutcome::kCompleted;
+        ++stats_.completed;
+        if (res.shard_rollup.faults > 0 || res.shard_rollup.requeues > 0) {
+            ++stats_.recovered;
+        }
+        log_event(res.log, Kind::kSuccess, RecoveryStage::kSharded, 0,
+                  std::to_string(res.shard_rollup.shards) + " shard(s), " +
+                      std::to_string(res.shard_rollup.faults) + " fault(s), " +
+                      std::to_string(res.shard_rollup.requeues) + " requeue(s)");
+    } catch (const OperationCancelled& e) {
+        ++stats_.cancelled;
+        res.outcome = RequestOutcome::kCancelled;
+        res.error = std::current_exception();
+        res.error_message = e.what();
+        log_event(res.log, Kind::kCancelled, RecoveryStage::kSharded, 0, e.stage());
+    } catch (const DeadlineExceeded& e) {
+        ++stats_.deadline_exceeded;
+        res.outcome = RequestOutcome::kDeadline;
+        res.error = std::current_exception();
+        res.error_message = e.what();
+        log_event(res.log, Kind::kDeadline, RecoveryStage::kSharded, 0, e.stage());
+    } catch (const Error& e) {
+        ++stats_.failed;
+        res.outcome = RequestOutcome::kFailed;
+        res.error = std::current_exception();
+        res.error_message = e.what();
+        log_event(res.log, Kind::kFailure, RecoveryStage::kSharded, 0, e.what());
+    }
+    token_.arm_wall_budget_ms(0);
+    return std::move(res);
 }
 
 template <ValueType T>

@@ -38,6 +38,7 @@
 
 #include "core/options.hpp"
 #include "core/spgemm_batch.hpp"
+#include "core/spgemm_sharded.hpp"
 #include "gpusim/cancel.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/scratch_pool.hpp"
@@ -63,6 +64,13 @@ struct SessionConfig {
     AdmissionMode admission = AdmissionMode::kEnforce;
     /// Retain per-kernel/per-event trace entries on the session device.
     bool record_trace = false;
+    /// Devices of the sharded scale-out path (core::spgemm_sharded).
+    /// Requests that admission would otherwise reject as certain-OOM, or
+    /// whose nnz upper bound crosses the 32-bit index range, are admitted
+    /// as multi-device row-sharded runs on this many fresh devices instead
+    /// (the session device is untouched). 0 disables sharded admission and
+    /// restores the pre-sharding rejection behaviour.
+    int shard_devices = 2;
 };
 
 /// Per-request budgets; 0 = unlimited.
@@ -81,6 +89,15 @@ struct AdmissionDecision {
     int planned_slab_level = 0;
     /// Slab count the rejection bound is based on (single-row slabs).
     int deepest_slab_level = 0;
+    /// Sharded-execution plan (0 = runs on the session device). Set when
+    /// SessionConfig::shard_devices > 0 and the request is certain-OOM on
+    /// the session device or at risk of 32-bit row-pointer overflow: the
+    /// request is admitted as a row-sharded run over at least this many
+    /// shards instead of being rejected.
+    int planned_shards = 0;
+    /// The nnz upper bound crosses the 32-bit index range: the merge may
+    /// escalate to 64-bit row pointers (RequestResult::wide_matrix).
+    bool overflow_risk = false;
 };
 
 /// How a request ended.
@@ -105,6 +122,17 @@ struct RequestResult {
     RecoveryStage final_stage = RecoveryStage::kPlanned;
     std::exception_ptr error;   ///< null when the request succeeded
     std::string error_message;  ///< what() of the captured error
+    /// The request ran on the sharded scale-out path (final_stage
+    /// kSharded): per-shard fates live in `shard_stats`, the roll-up in
+    /// `sharded`. When `escalated_64bit` is set the merged product crossed
+    /// the 32-bit index range and lives in `wide_matrix` instead of
+    /// out.matrix (the OpSparse hybrid: 64-bit row pointers, 32-bit
+    /// column indices).
+    bool sharded = false;
+    bool escalated_64bit = false;
+    WideCsrMatrix<T> wide_matrix;
+    core::ShardedStats shard_rollup;
+    std::vector<core::ShardStats> shard_stats;
     [[nodiscard]] bool ok() const { return error == nullptr; }
 };
 
@@ -133,6 +161,12 @@ struct SessionStats {
     std::uint64_t breaker_opens = 0;
     std::uint64_t breaker_jumps = 0;
     std::uint64_t breaker_closes = 0;
+    /// Requests admitted onto the sharded scale-out path.
+    std::uint64_t sharded_runs = 0;
+    /// Shards that exhausted their ladder across all sharded runs.
+    std::uint64_t shard_failures = 0;
+    /// Sharded runs whose merge escalated to 64-bit row pointers.
+    std::uint64_t shard_escalations = 0;
 };
 
 class Session {
@@ -189,6 +223,15 @@ private:
     template <ValueType T>
     RequestResult<T> run_request(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
                                  const RequestBudget& budget);
+
+    /// The sharded scale-out path of run_request: admission planned the
+    /// request onto `res.admission.planned_shards` shards across
+    /// `cfg_.shard_devices` fresh devices. Per-shard failures are mapped
+    /// back onto the request's outcome taxonomy (lowest failed shard
+    /// wins, wrapped in ShardFailed unless it was a cancellation/deadline).
+    template <ValueType T>
+    RequestResult<T> run_sharded(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                                 const RequestBudget& budget, RequestResult<T>& res);
 
     template <ValueType T>
     [[nodiscard]] AdmissionDecision admit_decision(const CsrMatrix<T>& a,

@@ -4,9 +4,17 @@
 // library, exactly as in the paper (§II-A): a row-pointer array `rpt` of
 // length rows+1, and per-nonzero column-index (`col`) and value (`val`)
 // arrays of length nnz.
+//
+// The row-pointer width is a template parameter (the OpSparse hybrid):
+// kernels and column indices stay 32-bit (`index_t`, matching the CUDA
+// implementation's sentinels and packed sort keys), while matrices whose
+// nnz crosses 2^31 — the Table-III large-graph products — use
+// `WideCsrMatrix` (64-bit `wide_t` row pointers). Per-row counts always
+// fit `index_t` because a row holds at most `cols` nonzeros.
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <numeric>
 #include <span>
 #include <vector>
@@ -15,24 +23,25 @@
 
 namespace nsparse {
 
-/// CSR sparse matrix. Invariants (checked by `validate()`):
+/// CSR sparse matrix with row pointers of integral type P. Invariants
+/// (checked by `validate()`):
 ///  * rpt.size() == rows + 1, rpt.front() == 0, rpt.back() == nnz
 ///  * rpt is non-decreasing
 ///  * col.size() == val.size() == nnz, all col in [0, cols)
 /// Column indices within a row are *not* required to be sorted by the
 /// container itself; algorithms that need sorted rows say so and
 /// `sort_rows()` / `has_sorted_rows()` are provided.
-template <ValueType T>
+template <ValueType T, std::integral P = index_t>
 struct CsrMatrix {
     index_t rows = 0;
     index_t cols = 0;
-    std::vector<index_t> rpt;  ///< row pointers, size rows+1
+    std::vector<P> rpt;        ///< row pointers, size rows+1
     std::vector<index_t> col;  ///< column indices, size nnz
     std::vector<T> val;        ///< values, size nnz
 
     CsrMatrix() : rpt(1, 0) {}
 
-    CsrMatrix(index_t rows_, index_t cols_, std::vector<index_t> rpt_, std::vector<index_t> col_,
+    CsrMatrix(index_t rows_, index_t cols_, std::vector<P> rpt_, std::vector<index_t> col_,
               std::vector<T> val_)
         : rows(rows_), cols(cols_), rpt(std::move(rpt_)), col(std::move(col_)),
           val(std::move(val_))
@@ -56,18 +65,18 @@ struct CsrMatrix {
         CsrMatrix m;
         m.rows = m.cols = n;
         m.rpt.resize(to_size(n) + 1);
-        std::iota(m.rpt.begin(), m.rpt.end(), index_t{0});
+        std::iota(m.rpt.begin(), m.rpt.end(), P{0});
         m.col.resize(to_size(n));
         std::iota(m.col.begin(), m.col.end(), index_t{0});
         m.val.assign(to_size(n), T{1});
         return m;
     }
 
-    [[nodiscard]] index_t nnz() const { return rpt.empty() ? 0 : rpt.back(); }
+    [[nodiscard]] P nnz() const { return rpt.empty() ? 0 : rpt.back(); }
 
     [[nodiscard]] index_t row_nnz(index_t i) const
     {
-        return rpt[to_size(i) + 1] - rpt[to_size(i)];
+        return static_cast<index_t>(rpt[to_size(i) + 1] - rpt[to_size(i)]);
     }
 
     [[nodiscard]] std::span<const index_t> row_cols(index_t i) const
@@ -84,8 +93,7 @@ struct CsrMatrix {
     /// this for inputs/outputs resident on the simulated device).
     [[nodiscard]] std::size_t byte_size() const
     {
-        return rpt.size() * sizeof(index_t) + col.size() * sizeof(index_t) +
-               val.size() * sizeof(T);
+        return rpt.size() * sizeof(P) + col.size() * sizeof(index_t) + val.size() * sizeof(T);
     }
 
     /// Throws PreconditionError when a structural invariant is broken.
@@ -148,5 +156,11 @@ struct CsrMatrix {
                a.val == b.val;
     }
 };
+
+/// CSR with 64-bit row pointers: the escalation target of products whose
+/// nnz crosses the 32-bit index range (kernels and column indices stay
+/// 32-bit — the OpSparse hybrid).
+template <ValueType T>
+using WideCsrMatrix = CsrMatrix<T, wide_t>;
 
 }  // namespace nsparse

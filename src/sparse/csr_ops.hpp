@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cmath>
+#include <concepts>
+#include <utility>
 #include <vector>
 
 #include "sparse/csr.hpp"
@@ -90,17 +92,28 @@ template <ValueType T>
 }
 
 /// Appends the rows of `part` below `c` (vertical concatenation; the
-/// column counts must agree, or `c` must still be empty). Fails loudly via
-/// to_index when the combined nnz exceeds the 32-bit index range.
-template <ValueType T>
-void append_rows(CsrMatrix<T>& c, const CsrMatrix<T>& part)
+/// column counts must agree, or `c` must still be empty). Works for any
+/// combination of destination/source row-pointer widths — the sharded
+/// merge concatenates 32-bit shard results into either a 32-bit or a
+/// 64-bit destination. A 32-bit destination whose combined nnz would
+/// cross the index range throws IndexOverflow (callers that cannot bound
+/// the total up front merge into a WideCsrMatrix instead).
+template <ValueType T, std::integral P, std::integral Q>
+void append_rows(CsrMatrix<T, P>& c, const CsrMatrix<T, Q>& part)
 {
     if (c.rows == 0 && c.col.empty()) { c.cols = part.cols; }
     NSPARSE_EXPECTS(c.cols == part.cols, "append_rows: column count mismatch");
     const wide_t base = c.nnz();
     c.rpt.reserve(c.rpt.size() + to_size(part.rows));
     for (index_t i = 1; i <= part.rows; ++i) {
-        c.rpt.push_back(to_index(base + part.rpt[to_size(i)]));
+        const wide_t v = base + part.rpt[to_size(i)];
+        if (!std::in_range<P>(v)) {
+            throw IndexOverflow(
+                "append_rows: combined nnz exceeds the destination row-pointer range "
+                "(merge into a WideCsrMatrix for 64-bit row pointers)",
+                c.rows + i - 1, v);
+        }
+        c.rpt.push_back(static_cast<P>(v));
     }
     c.col.insert(c.col.end(), part.col.begin(), part.col.end());
     c.val.insert(c.val.end(), part.val.begin(), part.val.end());

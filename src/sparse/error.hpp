@@ -24,12 +24,20 @@
 //                        a kernel boundary and the device stays reusable
 //   OperationCancelled — the caller cancelled the request cooperatively;
 //                        like DeadlineExceeded, the device stays reusable
+//   IndexOverflow      — a row-pointer scan crossed the representable
+//                        index range (nnz(C) past 2^31 with 32-bit row
+//                        pointers); carries the row and the running total
+//                        so planners can shard or escalate to 64-bit
+//   ShardFailed        — one shard of a sharded multiply exhausted its
+//                        recovery ladder; names the shard, the device it
+//                        last ran on and nests the causing exception
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -219,6 +227,59 @@ public:
 private:
     std::string stage_;
     std::string reason_;
+};
+
+/// A row-pointer scan crossed the representable index range: the running
+/// nnz total exceeded the width the output row pointers are stored in
+/// (32-bit `index_t` on the default path — the large-graph products of
+/// Table III can cross 2^31 intermediate nonzeros). `row()` is the output
+/// row whose count pushed the total over and `running_total()` the total
+/// at that row. The sharded execution layer catches the risk up front and
+/// escalates to 64-bit row pointers instead of surfacing this.
+class IndexOverflow : public Error {
+public:
+    IndexOverflow(const std::string& msg, std::int64_t row, std::int64_t running_total)
+        : Error(msg + " [row=" + std::to_string(row) +
+                " running_total=" + std::to_string(running_total) + "]"),
+          row_(row), running_total_(running_total)
+    {
+    }
+
+    /// Output row whose count pushed the running total past the limit.
+    [[nodiscard]] std::int64_t row() const { return row_; }
+    /// Running nnz total at that row (the first unrepresentable value).
+    [[nodiscard]] std::int64_t running_total() const { return running_total_; }
+
+private:
+    std::int64_t row_ = -1;
+    std::int64_t running_total_ = 0;
+};
+
+/// One shard of a sharded multiply failed after its whole recovery ladder
+/// (replan → sub-split → host recourse → requeue on another device) was
+/// exhausted. `shard()` is the shard index, `device()` the device the
+/// final attempt ran on and `cause()` the nested exception of that
+/// attempt. Sibling shards are unaffected; with fail-fast off, every
+/// failed shard is reported in its own result slot instead of throwing.
+class ShardFailed : public Error {
+public:
+    ShardFailed(const std::string& msg, int shard, int device, std::exception_ptr cause)
+        : Error(msg + " [shard=" + std::to_string(shard) +
+                " device=" + std::to_string(device) + "]"),
+          shard_(shard), device_(device), cause_(std::move(cause))
+    {
+    }
+
+    [[nodiscard]] int shard() const { return shard_; }
+    [[nodiscard]] int device() const { return device_; }
+    /// The exception that exhausted the shard's ladder (may be null when
+    /// the failure was synthesized, e.g. a cancelled never-started shard).
+    [[nodiscard]] const std::exception_ptr& cause() const { return cause_; }
+
+private:
+    int shard_ = -1;
+    int device_ = -1;
+    std::exception_ptr cause_;
 };
 
 namespace detail {

@@ -206,6 +206,86 @@ TEST(ChaosSession, DeadlineSweepNeverPoisonsTheSession)
     expect_consistent(session.stats());
 }
 
+TEST(ChaosSession, ShardedRescueUnderComposedChaos)
+{
+    // The sharded scale-out path under chaos: a certain-OOM capacity (B
+    // alone cannot fit, so admission re-routes onto row shards whose
+    // devices are just as small — every shard recovers through its own
+    // ladder) composed with injected row faults and a per-request budget
+    // that the shards inherit. Completed requests are byte-identical,
+    // expired ones are classified kDeadline, and the counters add up.
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    for (const bool row_faults : {false, true}) {
+        for (const double sim_budget : {0.0, 1e-9}) {
+            SessionConfig cfg;
+            cfg.device_spec.memory_capacity = a.byte_size() / 2;
+            if (row_faults) { cfg.options.inject_numeric_row_faults = {5, 17, 123}; }
+            Session session(std::move(cfg));
+
+            RequestBudget budget;
+            budget.sim_seconds = sim_budget;
+            const auto res = session.multiply<double>(a, a, budget);
+            if (res.ok()) {
+                EXPECT_TRUE(res.sharded);
+                EXPECT_EQ(res.final_stage, RecoveryStage::kSharded);
+                EXPECT_EQ(res.shard_rollup.failed_shards, 0);
+                expect_identical(res.out.matrix, want);
+            } else {
+                EXPECT_NE(res.outcome, RequestOutcome::kCompleted);
+                EXPECT_FALSE(res.error_message.empty());
+            }
+            EXPECT_EQ(session.stats().sharded_runs, 1U);
+            expect_consistent(session.stats());
+
+            // Reusability: the unlimited request on the same session
+            // completes sharded, byte-identically.
+            const auto clean = session.multiply<double>(a, a);
+            ASSERT_TRUE(clean.ok()) << "row_faults=" << row_faults
+                                    << " budget=" << sim_budget << ": "
+                                    << clean.error_message;
+            EXPECT_TRUE(clean.sharded);
+            expect_identical(clean.out.matrix, want);
+            expect_consistent(session.stats());
+        }
+    }
+}
+
+TEST(ChaosSession, ShardedRunSurvivesLateCancellation)
+{
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    SessionConfig cfg;
+    cfg.device_spec.memory_capacity = a.byte_size() / 2;  // certain-OOM: sharded
+    Session session(std::move(cfg));
+
+    std::thread canceller([&session] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        session.cancel("chaos-shard");
+    });
+    const auto res = session.multiply<double>(a, a);
+    canceller.join();
+
+    // The cancel races the shards: either it landed between ladder stages
+    // (kCancelled with the structured error) or the run finished first.
+    if (res.ok()) {
+        EXPECT_TRUE(res.sharded);
+        expect_identical(res.out.matrix, want);
+    } else {
+        EXPECT_EQ(res.outcome, RequestOutcome::kCancelled);
+        EXPECT_THROW(std::rethrow_exception(res.error), OperationCancelled);
+    }
+    expect_consistent(session.stats());
+
+    // The next request re-arms the token: the session keeps working.
+    const auto clean = session.multiply<double>(a, a);
+    ASSERT_TRUE(clean.ok()) << clean.error_message;
+    EXPECT_TRUE(clean.sharded);
+    expect_identical(clean.out.matrix, want);
+}
+
 TEST(ChaosSession, EverythingAtOnce)
 {
     // The full stack: tight capacity, estimated planning, injected row

@@ -105,6 +105,36 @@ TEST(MemoryEstimator, PlanRowSlabs)
     EXPECT_LE(plan_row_slabs<double>(a, a, resident + 1), a.rows);
 }
 
+TEST(MemoryEstimator, SlabPlanNeverCountsTrailingEmptySlabs)
+{
+    // Regression for the zero-row-slab bug: a ceil split of R rows into k
+    // slabs fills only ceil(R / ceil(R/k)) of them. The old plan reported
+    // the raw k (R=6, k=4: 2-row slabs, the 4th slab empty) — the shard
+    // planner builds on this count and must never emit an empty shard.
+    MemoryEstimate e;
+    e.peak = 1350;     // scaling footprint of 350 beyond the resident 1000
+    e.max_row = 0;
+    const std::size_t resident = 1000;
+    // per-slab budget 100 -> raw k = ceil(350/100) = 4, but 6 rows split
+    // into ceil(6/4)=2-row slabs fill only 3 slabs.
+    EXPECT_EQ(plan_row_slabs_from_estimate(e, resident, 6, resident + 100), 3);
+
+    // The fixed point holds across row/budget combinations: the returned
+    // count k* satisfies ceil(R / ceil(R/k*)) == k* (every slab non-empty).
+    for (const index_t rows : {1, 2, 5, 6, 7, 64, 1000}) {
+        for (const std::size_t budget_extra : {40U, 100U, 127U, 350U, 1000U}) {
+            const index_t k =
+                plan_row_slabs_from_estimate(e, resident, rows, resident + budget_extra);
+            ASSERT_GE(k, 1);
+            ASSERT_LE(k, rows);
+            const index_t slab_rows = (rows + k - 1) / k;
+            EXPECT_EQ((rows + slab_rows - 1) / slab_rows, k)
+                << "rows=" << rows << " budget_extra=" << budget_extra
+                << ": trailing empty slab in the plan";
+        }
+    }
+}
+
 TEST(MemoryEstimator, MaxRowTrackedForSkewedMatrices)
 {
     // A hub row's footprint (its output share plus its group-0 table

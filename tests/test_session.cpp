@@ -70,7 +70,12 @@ TEST(Session, CleanMultiplyMatchesDirectEntryPoint)
 TEST(Session, AdmissionRejectsWhenBAloneCannotFit)
 {
     const auto a = pressure_matrix();
-    Session session(config_with_capacity(a.byte_size() / 2));
+    // Sharded admission off: this test locks the pre-sharding rejection
+    // path (the sharded rescue of the same request is locked by
+    // Session.CertainOomIsAdmittedSharded).
+    auto cfg = config_with_capacity(a.byte_size() / 2);
+    cfg.shard_devices = 0;
+    Session session(cfg);
 
     const auto res = session.multiply<double>(a, a);
     EXPECT_FALSE(res.ok());
@@ -89,6 +94,62 @@ TEST(Session, AdmissionRejectsWhenBAloneCannotFit)
     EXPECT_EQ(session.stats().completed, 0U);
     // Rejection is synchronous: nothing ran, nothing leaked.
     EXPECT_EQ(session.device().allocator().live_bytes(), 0U);
+}
+
+TEST(Session, CertainOomIsAdmittedSharded)
+{
+    const auto a = pressure_matrix();
+    const auto clean = clean_run(a);
+
+    // The very request AdmissionRejectsWhenBAloneCannotFit locks as a
+    // rejection completes once sharded admission (the default) is on: the
+    // certain-OOM verdict re-routes it onto the multi-device sharded path
+    // instead of refusing it.
+    auto cfg = config_with_capacity(a.byte_size() / 2);
+    ASSERT_GT(cfg.shard_devices, 0);  // sharded admission is the default
+    Session session(cfg);
+
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_EQ(res.outcome, RequestOutcome::kCompleted);
+    EXPECT_EQ(res.final_stage, RecoveryStage::kSharded);
+    EXPECT_TRUE(res.sharded);
+    EXPECT_TRUE(res.admission.admitted);
+    EXPECT_GE(res.admission.planned_shards, cfg.shard_devices);
+    EXPECT_FALSE(res.escalated_64bit);
+    expect_identical(res.out.matrix, clean.matrix);
+
+    EXPECT_GE(res.shard_rollup.shards, res.admission.planned_shards);
+    EXPECT_EQ(res.shard_rollup.failed_shards, 0);
+    ASSERT_EQ(res.shard_stats.size(), static_cast<std::size_t>(res.shard_rollup.shards));
+    for (const auto& st : res.shard_stats) {
+        EXPECT_TRUE(st.ok()) << "shard " << st.shard << ": " << st.error_message;
+    }
+
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kAdmit));
+    EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kSuccess));
+    EXPECT_FALSE(res.log.contains(RecoveryEvent::Kind::kReject));
+    EXPECT_EQ(session.stats().sharded_runs, 1U);
+    EXPECT_EQ(session.stats().completed, 1U);
+    EXPECT_EQ(session.stats().rejected, 0U);
+    // The session device never ran the request: the shards executed on
+    // fresh devices of their own.
+    EXPECT_EQ(session.device().allocator().live_bytes(), 0U);
+}
+
+TEST(Session, ShardedAdmissionDisabledRestoresRejection)
+{
+    const auto a = pressure_matrix();
+    auto cfg = config_with_capacity(a.byte_size() / 2);
+    cfg.shard_devices = 0;
+    Session session(cfg);
+
+    const auto res = session.multiply<double>(a, a);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.outcome, RequestOutcome::kRejected);
+    EXPECT_FALSE(res.sharded);
+    EXPECT_EQ(res.admission.planned_shards, 0);
+    EXPECT_EQ(session.stats().sharded_runs, 0U);
 }
 
 TEST(Session, AdmitDryRunAnnotatesPlannedDegradation)
@@ -380,8 +441,11 @@ TEST(Session, BatchContainsFailuresPerProduct)
     const auto small = gen::uniform_random(60, 60, 4, 11);
     const auto want_small = reference_spgemm(small, small);
 
-    // Capacity admits the small products but rejects the big one outright.
-    Session session(config_with_capacity(big.byte_size() / 2));
+    // Capacity admits the small products but rejects the big one outright
+    // (sharded admission off — it would rescue the big product otherwise).
+    auto cfg = config_with_capacity(big.byte_size() / 2);
+    cfg.shard_devices = 0;
+    Session session(cfg);
     const std::vector<const CsrMatrix<double>*> as = {&small, &big, &small};
     const std::vector<const CsrMatrix<double>*> bs = {&small, &big, &small};
     const auto out = session.multiply_batch<double>(as, bs);

@@ -338,11 +338,20 @@ TEST(SpgemmBatch, ScanRowPointersOverflowThrowsDirectly)
     try {
         core::detail::scan_row_pointers(dev, row_nnz, rpt);
         FAIL() << "scan must reject a 32-bit overflowing nnz(C)";
-    } catch (const PreconditionError& e) {
-        EXPECT_NE(std::string(e.what()).find("nnz(C) exceeds the 32-bit index range"),
-                  std::string::npos)
+    } catch (const IndexOverflow& e) {
+        // Typed overflow: the row that tipped the total and the running
+        // total itself are machine-readable (the shard planner keys on
+        // them), and the message points at the 64-bit escalation.
+        EXPECT_EQ(e.row(), 1);
+        EXPECT_EQ(e.running_total(), 3'000'000'000LL);
+        EXPECT_NE(std::string(e.what()).find("row-pointer index range"), std::string::npos)
             << e.what();
     }
+    // The wide_t instantiation carries the same counts without overflow —
+    // the OpSparse hybrid's 64-bit row-pointer path.
+    std::vector<wide_t> wide_rpt;
+    core::detail::scan_row_pointers(dev, row_nnz, wide_rpt);
+    EXPECT_EQ(wide_rpt.back(), 4'500'000'000LL);
 }
 
 TEST(SpgemmBatch, FailFastRethrowsLowestFailingProduct)

@@ -1,0 +1,511 @@
+// Sharded SpGEMM test battery (ctest labels: shard, faults, tsan).
+//
+// Differential: core::spgemm_sharded must be byte-identical to a single
+// hash_spgemm call for every (device count x shard count x executor
+// thread count) — each output row depends only on its A row and B, and
+// the merge concatenates shards in shard order. Robustness: an injected
+// allocation fault on one device is contained in that device's shards
+// (ladder recovery or cross-device requeue) while siblings run
+// untouched; an exhausted ladder surfaces a structured ShardFailed with
+// shard/device attribution; shard budgets are terminal (no requeue).
+// Scale: a lowered ShardOptions::index_limit drives the 64-bit
+// row-pointer escalation round-trip without allocating 2^31 nonzeros.
+//
+// NSPARSE_SHARD_STRESS scales the escalation/identity matrix sizes
+// (default 1).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "core/spgemm_sharded.hpp"
+#include "matgen/generators.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+constexpr std::uint64_t kSeed = 20170814;  // nsparse @ ICPP'17
+
+int stress_factor()
+{
+    const char* s = std::getenv("NSPARSE_SHARD_STRESS");
+    if (s == nullptr) { return 1; }
+    const int v = std::atoi(s);
+    return v >= 1 ? v : 1;
+}
+
+/// The single-device ground truth every sharded run must reproduce
+/// byte-for-byte.
+CsrMatrix<double> reference_product(const CsrMatrix<double>& a, const CsrMatrix<double>& b)
+{
+    sim::Device dev(sim::DeviceSpec::pascal_p100());
+    return hash_spgemm<double>(dev, a, b).matrix;
+}
+
+void expect_bytes_identical(const CsrMatrix<double>& got, const CsrMatrix<double>& want,
+                            const std::string& what)
+{
+    ASSERT_EQ(got.rows, want.rows) << what;
+    ASSERT_EQ(got.cols, want.cols) << what;
+    EXPECT_EQ(got.rpt, want.rpt) << what;
+    EXPECT_EQ(got.col, want.col) << what;
+    EXPECT_EQ(got.val, want.val) << what;
+}
+
+/// A FaultPlan that makes every allocation beyond a few KB fail — the
+/// device has "lost" its memory to another context. B cannot even be
+/// uploaded, so every rung that touches the device OOMs and only the
+/// host recourse (or a requeue onto a healthy device) can finish.
+void shrink_device(sim::Device& dev)
+{
+    sim::FaultPlan plan;
+    plan.shrink_after_alloc = 0;
+    plan.shrink_to_bytes = 4096;
+    dev.allocator().set_fault_plan(plan);
+}
+
+// ---------------------------------------------------------------------------
+// planner
+// ---------------------------------------------------------------------------
+
+TEST(ShardPlan, EmptyMatrixYieldsEmptyPlanAndEmptyProduct)
+{
+    const auto a = CsrMatrix<double>::zero(0, 7);
+    const auto b = gen::uniform_random(7, 5, 2, kSeed);
+
+    core::ShardOptions sopt;
+    sopt.devices = 3;
+    EXPECT_EQ(core::plan_row_shards(a, b, sopt).count(), 0);
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    EXPECT_TRUE(out.ok());
+    EXPECT_EQ(out.sharded.shards, 0);
+    EXPECT_EQ(out.matrix.rows, 0);
+    EXPECT_EQ(out.matrix.cols, 5);
+    EXPECT_EQ(out.matrix.nnz(), 0);
+}
+
+TEST(ShardPlan, SingleRowIsOneShardRegardlessOfRequests)
+{
+    const auto a = gen::uniform_random(1, 50, 10, kSeed + 1);
+    const auto b = gen::uniform_random(50, 40, 4, kSeed + 2);
+
+    core::ShardOptions sopt;
+    sopt.devices = 4;
+    sopt.shards = 8;
+    const auto plan = core::plan_row_shards(a, b, sopt);
+    ASSERT_EQ(plan.count(), 1);
+    EXPECT_EQ(plan.shards[0].row_begin, 0);
+    EXPECT_EQ(plan.shards[0].row_end, 1);
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    ASSERT_TRUE(out.ok());
+    expect_bytes_identical(out.matrix, reference_product(a, b), "single-row shard");
+}
+
+TEST(ShardPlan, ShardsAreContiguousNonEmptyAndHonourMinShards)
+{
+    const auto a = gen::uniform_random(100, 100, 6, kSeed + 3);
+    const auto b = gen::uniform_random(100, 90, 5, kSeed + 4);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.min_shards = 10;
+    const auto plan = core::plan_row_shards(a, b, sopt);
+    ASSERT_GE(plan.count(), 10);
+    ASSERT_LE(plan.count(), 100);
+
+    index_t next = 0;
+    wide_t ub_sum = 0;
+    for (const auto& sh : plan.shards) {
+        EXPECT_EQ(sh.row_begin, next);
+        EXPECT_GT(sh.rows(), 0);  // never an empty shard
+        next = sh.row_end;
+        ub_sum += sh.nnz_upper_bound;
+    }
+    EXPECT_EQ(next, a.rows);
+    EXPECT_EQ(ub_sum, plan.total_nnz_upper_bound);
+}
+
+TEST(ShardPlan, IndexLimitCutsKeepEveryMultiRowShardWithinTheLimit)
+{
+    const auto a = gen::uniform_random(120, 120, 8, kSeed + 5);
+    const auto b = gen::uniform_random(120, 110, 7, kSeed + 6);
+
+    core::ShardOptions sopt;
+    sopt.devices = 1;
+    sopt.index_limit = 300;  // far below the product's total upper bound
+    const auto plan = core::plan_row_shards(a, b, sopt);
+    EXPECT_TRUE(plan.may_escalate_64bit);
+    EXPECT_GT(plan.count(), 1);
+    for (const auto& sh : plan.shards) {
+        // A single row is always a valid shard (its real nnz is bounded by
+        // cols(B)); any multi-row shard must respect the cut.
+        if (sh.rows() > 1) { EXPECT_LE(sh.nnz_upper_bound, sopt.index_limit); }
+    }
+}
+
+TEST(ShardPlan, InvalidOptionsAndShapesAreRejectedUpFront)
+{
+    const auto a = gen::uniform_random(10, 20, 3, kSeed + 7);
+    const auto b = gen::uniform_random(20, 10, 3, kSeed + 8);
+
+    core::ShardOptions sopt;
+    sopt.devices = 0;
+    EXPECT_THROW(core::spgemm_sharded<double>(a, b, sopt), PreconditionError);
+    sopt.devices = 2;
+    sopt.max_requeues = -1;
+    EXPECT_THROW(core::spgemm_sharded<double>(a, b, sopt), PreconditionError);
+    sopt.max_requeues = 1;
+    sopt.index_limit = 0;
+    EXPECT_THROW(core::spgemm_sharded<double>(a, b, sopt), PreconditionError);
+    sopt.index_limit = 1;
+    sopt.shards = -1;
+    EXPECT_THROW(core::spgemm_sharded<double>(a, b, sopt), PreconditionError);
+
+    const auto wrong = gen::uniform_random(30, 5, 2, kSeed + 9);
+    EXPECT_THROW(core::spgemm_sharded<double>(a, wrong, core::ShardOptions{}),
+                 PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// byte identity + determinism
+// ---------------------------------------------------------------------------
+
+TEST(SpgemmSharded, ByteIdenticalAcrossDevicesShardsAndThreads)
+{
+    const int stress = stress_factor();
+    // Odd row count: shards are uneven, the last shard is short.
+    const auto a = gen::uniform_random(257 * stress, 257 * stress, 6, kSeed + 10);
+    const auto b = gen::uniform_random(257 * stress, 263 * stress, 5, kSeed + 11);
+    const auto want = reference_product(a, b);
+    const wide_t want_products = total_intermediate_products(a, b);
+
+    for (const int devices : {1, 2, 4}) {
+        for (const int shards : {0, 3, 7}) {
+            for (const int threads : {1, 8}) {
+                core::ShardOptions sopt;
+                sopt.devices = devices;
+                sopt.shards = shards;
+                sopt.options.executor_threads = threads;
+                const std::string what = "devices=" + std::to_string(devices) +
+                                         " shards=" + std::to_string(shards) +
+                                         " threads=" + std::to_string(threads);
+
+                const auto out = core::spgemm_sharded<double>(a, b, sopt);
+                ASSERT_TRUE(out.ok()) << what;
+                EXPECT_FALSE(out.escalated_64bit) << what;
+                expect_bytes_identical(out.matrix, want, what);
+                EXPECT_EQ(out.stats.nnz_c, want.nnz()) << what;
+                EXPECT_EQ(out.stats.intermediate_products, want_products) << what;
+                EXPECT_EQ(out.sharded.devices, devices) << what;
+                EXPECT_GE(out.sharded.shards, std::max(1, std::max(devices, shards)))
+                    << what;
+                EXPECT_EQ(out.sharded.failed_shards, 0) << what;
+                EXPECT_EQ(out.sharded.faults, 0) << what;
+                EXPECT_EQ(out.sharded.requeues, 0) << what;
+                for (const auto& st : out.shards) {
+                    EXPECT_EQ(st.final_stage, core::ShardStage::kPlanned) << what;
+                    EXPECT_TRUE(st.ok()) << what;
+                }
+            }
+        }
+    }
+}
+
+TEST(SpgemmSharded, PerShardTimingIsDeterministicAcrossThreadCounts)
+{
+    const auto a = gen::uniform_random(200, 200, 7, kSeed + 12);
+    const auto b = gen::uniform_random(200, 180, 6, kSeed + 13);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 5;
+
+    sopt.options.executor_threads = 1;
+    const auto seq = core::spgemm_sharded<double>(a, b, sopt);
+    sopt.options.executor_threads = 8;
+    const auto par = core::spgemm_sharded<double>(a, b, sopt);
+
+    ASSERT_TRUE(seq.ok());
+    ASSERT_TRUE(par.ok());
+    ASSERT_EQ(seq.shards.size(), par.shards.size());
+    for (std::size_t s = 0; s < seq.shards.size(); ++s) {
+        // Static round-robin: the assignment itself is deterministic...
+        EXPECT_EQ(seq.shards[s].device_id, par.shards[s].device_id) << "shard " << s;
+        // ...and simulated time is a function of the shard content only.
+        EXPECT_EQ(seq.shards[s].sim_seconds, par.shards[s].sim_seconds) << "shard " << s;
+    }
+    EXPECT_EQ(seq.sharded.makespan_seconds, par.sharded.makespan_seconds);
+    EXPECT_EQ(seq.stats.seconds, par.stats.seconds);
+    expect_bytes_identical(par.matrix, seq.matrix, "thread-count determinism");
+}
+
+// ---------------------------------------------------------------------------
+// fault isolation
+// ---------------------------------------------------------------------------
+
+TEST(SpgemmSharded, ShrunkenDeviceRecoversViaLadderWithoutTouchingSiblings)
+{
+    const auto a = gen::uniform_random(160, 160, 6, kSeed + 14);
+    const auto b = gen::uniform_random(160, 150, 5, kSeed + 15);
+    const auto want = reference_product(a, b);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 4;
+    sopt.max_requeues = 0;  // the ladder alone must absorb the fault
+    sopt.configure_device = [](int id, sim::Device& dev) {
+        if (id == 1) { shrink_device(dev); }
+    };
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    ASSERT_TRUE(out.ok());
+    expect_bytes_identical(out.matrix, want, "ladder recovery");
+    EXPECT_GT(out.sharded.faults, 0);
+    EXPECT_EQ(out.sharded.failed_shards, 0);
+    for (const auto& st : out.shards) {
+        ASSERT_TRUE(st.ok()) << "shard " << st.shard << ": " << st.error_message;
+        if (st.device_id == 1) {
+            // B cannot even be uploaded: planned and slab rungs OOM, the
+            // host recourse finishes the shard.
+            EXPECT_EQ(st.final_stage, core::ShardStage::kHostRecourse)
+                << "shard " << st.shard;
+            EXPECT_GT(st.faults, 0) << "shard " << st.shard;
+        } else {
+            // Siblings on the healthy device never see the fault.
+            EXPECT_EQ(st.final_stage, core::ShardStage::kPlanned) << "shard " << st.shard;
+            EXPECT_EQ(st.faults, 0) << "shard " << st.shard;
+        }
+    }
+}
+
+TEST(SpgemmSharded, LadderOffShardsRequeueOntoHealthySibling)
+{
+    const auto a = gen::uniform_random(160, 160, 6, kSeed + 16);
+    const auto b = gen::uniform_random(160, 150, 5, kSeed + 17);
+    const auto want = reference_product(a, b);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 4;
+    sopt.exact_replan = false;
+    sopt.slab_fallback = false;
+    sopt.host_recourse = false;
+    sopt.max_requeues = 1;
+    sopt.configure_device = [](int id, sim::Device& dev) {
+        if (id == 1) { shrink_device(dev); }
+    };
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    ASSERT_TRUE(out.ok());
+    expect_bytes_identical(out.matrix, want, "requeue recovery");
+    EXPECT_EQ(out.sharded.failed_shards, 0);
+    EXPECT_EQ(out.sharded.requeues, 2);  // shards 1 and 3 started on device 1
+    for (const auto& st : out.shards) {
+        ASSERT_TRUE(st.ok()) << "shard " << st.shard << ": " << st.error_message;
+        // Every completed attempt ends on the healthy device: shards that
+        // started on device 1 were re-dispatched to device 0.
+        EXPECT_EQ(st.device_id, 0) << "shard " << st.shard;
+        const bool started_on_faulty = st.shard % 2 == 1;
+        EXPECT_EQ(st.requeues, started_on_faulty ? 1 : 0) << "shard " << st.shard;
+        EXPECT_EQ(st.final_stage, core::ShardStage::kPlanned) << "shard " << st.shard;
+    }
+}
+
+TEST(SpgemmSharded, ExhaustedLadderFillsSlotsWithStructuredErrors)
+{
+    const auto a = gen::uniform_random(120, 120, 5, kSeed + 18);
+    const auto b = gen::uniform_random(120, 110, 4, kSeed + 19);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 4;
+    sopt.exact_replan = false;
+    sopt.slab_fallback = false;
+    sopt.host_recourse = false;
+    sopt.max_requeues = 1;
+    sopt.fail_fast = false;
+    sopt.configure_device = [](int, sim::Device& dev) { shrink_device(dev); };
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    EXPECT_FALSE(out.ok());
+    EXPECT_EQ(out.sharded.failed_shards, out.sharded.shards);
+    // Neither width of the merged product exists on failure.
+    EXPECT_EQ(out.matrix.nnz(), 0);
+    EXPECT_EQ(out.wide_matrix.nnz(), 0);
+    for (const auto& st : out.shards) {
+        EXPECT_EQ(st.final_stage, core::ShardStage::kFailed) << "shard " << st.shard;
+        EXPECT_EQ(st.requeues, 1) << "shard " << st.shard;  // the requeue also failed
+        EXPECT_FALSE(st.error_message.empty()) << "shard " << st.shard;
+        ASSERT_NE(st.error, nullptr) << "shard " << st.shard;
+        EXPECT_THROW(std::rethrow_exception(st.error), DeviceOutOfMemory)
+            << "shard " << st.shard;
+    }
+}
+
+TEST(SpgemmSharded, FailFastThrowsShardFailedForTheLowestShard)
+{
+    const auto a = gen::uniform_random(120, 120, 5, kSeed + 20);
+    const auto b = gen::uniform_random(120, 110, 4, kSeed + 21);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 4;
+    sopt.exact_replan = false;
+    sopt.slab_fallback = false;
+    sopt.host_recourse = false;
+    sopt.max_requeues = 0;
+    sopt.fail_fast = true;
+    sopt.configure_device = [](int, sim::Device& dev) { shrink_device(dev); };
+
+    try {
+        core::spgemm_sharded<double>(a, b, sopt);
+        FAIL() << "expected ShardFailed";
+    } catch (const ShardFailed& e) {
+        EXPECT_EQ(e.shard(), 0);   // lowest failed shard wins deterministically
+        EXPECT_EQ(e.device(), 0);  // shard 0 ran (and died) on device 0
+        ASSERT_NE(e.cause(), nullptr);
+        EXPECT_THROW(std::rethrow_exception(e.cause()), DeviceOutOfMemory);
+        EXPECT_NE(std::string(e.what()).find("shard=0"), std::string::npos) << e.what();
+    }
+}
+
+TEST(SpgemmSharded, InjectedRowFaultsAreAbsorbedInsideTheOwningShard)
+{
+    const auto a = gen::uniform_random(200, 200, 6, kSeed + 22);
+    const auto b = gen::uniform_random(200, 180, 5, kSeed + 23);
+    const auto want = reference_product(a, b);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 4;
+    // Global row indices: the shard layer localizes them, so only the
+    // owning shard sees its row fault (one symbolic, one numeric).
+    sopt.options.inject_symbolic_row_faults = {150};
+    sopt.options.inject_numeric_row_faults = {10};
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    ASSERT_TRUE(out.ok());
+    expect_bytes_identical(out.matrix, want, "row-fault absorption");
+    // Per-row retries absorb the faults inside multiply_attempt: the
+    // ladder never engages, but the roll-up still reports the rows.
+    EXPECT_EQ(out.stats.faulted_rows, 2);
+    EXPECT_GT(out.stats.row_retries, 0);
+    for (const auto& st : out.shards) {
+        EXPECT_EQ(st.final_stage, core::ShardStage::kPlanned) << "shard " << st.shard;
+    }
+}
+
+TEST(SpgemmSharded, ShardSimBudgetExpiryIsTerminalAndNeverRequeued)
+{
+    const auto a = gen::uniform_random(150, 150, 6, kSeed + 24);
+    const auto b = gen::uniform_random(150, 140, 5, kSeed + 25);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 4;
+    sopt.max_requeues = 3;
+    // Far below any shard's simulated cost: the first kernel boundary
+    // inside the attempt trips the per-shard deadline.
+    sopt.shard_sim_seconds = 1e-12;
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    EXPECT_FALSE(out.ok());
+    // The budget is the shard's own, not the device's: requeueing cannot
+    // buy more time, so no requeue is attempted.
+    EXPECT_EQ(out.sharded.requeues, 0);
+    for (const auto& st : out.shards) {
+        EXPECT_FALSE(st.ok()) << "shard " << st.shard;
+        EXPECT_EQ(st.requeues, 0) << "shard " << st.shard;
+        ASSERT_NE(st.error, nullptr) << "shard " << st.shard;
+        EXPECT_THROW(std::rethrow_exception(st.error), DeadlineExceeded)
+            << "shard " << st.shard;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 64-bit escalation + trace roll-up
+// ---------------------------------------------------------------------------
+
+TEST(SpgemmSharded, LoweredIndexLimitEscalatesTo64BitRowPointers)
+{
+    const int stress = stress_factor();
+    const auto a = gen::uniform_random(300 * stress, 300 * stress, 8, kSeed + 26);
+    const auto b = gen::uniform_random(300 * stress, 280 * stress, 7, kSeed + 27);
+    const auto want = reference_product(a, b);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.index_limit = 2000;  // well below nnz(C): force the escalation
+    sopt.record_trace = true;
+    ASSERT_GT(static_cast<wide_t>(want.nnz()), sopt.index_limit)
+        << "test workload must cross the lowered limit";
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out.escalated_64bit);
+    EXPECT_TRUE(out.sharded.escalated_64bit);
+
+    // The 32-bit slot stays empty; the wide matrix carries the product,
+    // byte-identical to the single-device reference up to the pointer
+    // width (col/val are the very same kernels' output).
+    EXPECT_EQ(out.matrix.nnz(), 0);
+    ASSERT_EQ(out.wide_matrix.rows, want.rows);
+    ASSERT_EQ(out.wide_matrix.cols, want.cols);
+    ASSERT_EQ(out.wide_matrix.rpt.size(), want.rpt.size());
+    for (std::size_t i = 0; i < want.rpt.size(); ++i) {
+        EXPECT_EQ(out.wide_matrix.rpt[i], static_cast<wide_t>(want.rpt[i])) << "row " << i;
+    }
+    EXPECT_EQ(out.wide_matrix.col, want.col);
+    EXPECT_EQ(out.wide_matrix.val, want.val);
+    EXPECT_EQ(out.stats.nnz_c, want.nnz());
+
+    // The escalation is annotated: a shard_escalate_64bit memory event on
+    // device 0 carrying the widening's byte cost.
+    bool annotated = false;
+    for (const auto& ev : out.trace.memory_events()) {
+        if (ev.label == "shard_escalate_64bit") {
+            annotated = true;
+            EXPECT_EQ(ev.device_id, 0);
+            EXPECT_EQ(ev.bytes_freed,
+                      (to_size(a.rows) + 1) * (sizeof(wide_t) - sizeof(index_t)));
+            EXPECT_EQ(ev.slabs, out.sharded.shards);
+        }
+    }
+    EXPECT_TRUE(annotated) << "shard_escalate_64bit memory event missing from the trace";
+}
+
+TEST(SpgemmSharded, TraceRollupStampsEveryEntryWithItsDevice)
+{
+    const auto a = gen::uniform_random(180, 180, 6, kSeed + 28);
+    const auto b = gen::uniform_random(180, 170, 5, kSeed + 29);
+
+    core::ShardOptions sopt;
+    sopt.devices = 2;
+    sopt.shards = 4;
+    sopt.record_trace = true;
+
+    const auto out = core::spgemm_sharded<double>(a, b, sopt);
+    ASSERT_TRUE(out.ok());
+    ASSERT_FALSE(out.trace.entries().empty());
+
+    bool saw_dev[2] = {false, false};
+    int last_device = -1;
+    for (const auto& e : out.trace.entries()) {
+        ASSERT_GE(e.device_id, 0);
+        ASSERT_LT(e.device_id, 2);
+        saw_dev[e.device_id] = true;
+        // Devices absorb in id order: the roll-up is grouped by device.
+        EXPECT_GE(e.device_id, last_device);
+        last_device = e.device_id;
+    }
+    EXPECT_TRUE(saw_dev[0]);
+    EXPECT_TRUE(saw_dev[1]);
+}
+
+}  // namespace
+}  // namespace nsparse
