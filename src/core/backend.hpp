@@ -1,0 +1,48 @@
+// Execution backends of the hash SpGEMM pipeline.
+//
+// The same symbolic/numeric algorithm (Options, planning modes, fault
+// containment, the OOM recovery ladder) runs on either of two backends:
+//
+//   * kSimulated — the paper reproduction: kernels execute as block
+//     functors on the virtual Pascal device and every result is charged
+//     simulated cycles (gpusim/). This is the default and the backend all
+//     figure/table benchmarks model.
+//   * kNative — the kernels run directly on the host worker pool
+//     (sim::WorkerPool) with thread-private hash tables; the metric is
+//     wall-clock, not simulated cycles (core/backend_native.hpp).
+//
+// Both backends produce byte-identical CSR output for every plan mode and
+// thread count — the backend only decides *how fast* and *what the timing
+// stats mean*, never what C contains.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace nsparse::core {
+
+enum class BackendKind {
+    kSimulated,  ///< virtual Pascal device, simulated cycles (the paper)
+    kNative,     ///< host threads, wall-clock performance
+};
+
+[[nodiscard]] constexpr const char* to_string(BackendKind b)
+{
+    switch (b) {
+    case BackendKind::kSimulated: return "simulated";
+    case BackendKind::kNative: return "native";
+    }
+    return "unknown";
+}
+
+/// Parses a backend name ("simulated" / "native", as printed by to_string);
+/// nullopt on anything else so callers can report the bad value themselves
+/// (bench flags, env overrides).
+[[nodiscard]] constexpr std::optional<BackendKind> parse_backend(std::string_view name)
+{
+    if (name == "simulated") { return BackendKind::kSimulated; }
+    if (name == "native") { return BackendKind::kNative; }
+    return std::nullopt;
+}
+
+}  // namespace nsparse::core

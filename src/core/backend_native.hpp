@@ -1,0 +1,1060 @@
+// Native CPU backend of the hash SpGEMM pipeline (BackendKind::kNative).
+//
+// The same two-phase hash algorithm as the simulated backend — count
+// products, symbolic count, row-pointer scan, allocate C, numeric
+// accumulate/gather/sort — but the per-row hash kernels execute directly
+// on the host worker pool (sim::parallel_chunks) instead of as simulated
+// thread blocks. The metric here is wall-clock: no grouping, no cost-model
+// arithmetic, no makespan scheduling. Each chunk owns a reusable
+// thread-private hash workspace (NativeWorkspace) whose occupied slots are
+// reset after every row, so steady-state rows allocate nothing.
+//
+// Byte-identity with the simulated backend holds for every plan mode and
+// thread count because (a) hash_accumulate semantics — values added per
+// key in traversal order (j over A's row, k over B's row) — do not depend
+// on the table size, (b) every emit path sorts by column, and (c) the
+// symbolic distinct-count is order-independent. Table sizing here only
+// decides how many probes a row pays, never what C contains. Chunk
+// boundaries depend only on (rows, threads) and all cross-chunk
+// reductions (product totals, fault lists, the row-pointer carry) are
+// folded in row order, so results are also identical for any thread count.
+//
+// What stays on the simulated device: allocation. A/B uploads, the
+// products/row_nnz/capacity scratch, pad storage and C itself go through
+// sim::DeviceAllocator, so admission control, the FaultPlan injection
+// hooks, peak-memory accounting and the OOM slab ladder behave exactly as
+// on the simulated backend. Thread-private hash tables are plain host
+// memory — the analogue of (uncharged) shared memory. Estimation-based
+// planning (build_row_plan, the hybrid low-confidence recount) also runs
+// through the simulated helpers: plans and estimation stats are identical
+// by construction, and only the heavy numeric work runs natively.
+//
+// Cancellation is cooperative at phase boundaries (Device::check_cancel on
+// the host thread — the Timeline is not thread-safe), matching the
+// kernel-boundary granularity of the simulated backend.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/estimator.hpp"
+#include "core/fault.hpp"
+#include "core/hash_table.hpp"
+#include "core/multiply_result.hpp"
+#include "core/options.hpp"
+#include "core/scratch.hpp"
+#include "gpusim/algorithm.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_csr.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/worker_pool.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/error.hpp"
+
+namespace nsparse::core::detail {
+
+/// Native hash-table size for a row expecting up to `n` distinct columns:
+/// power of two (bit-and probing), load factor <= 0.5, capped like
+/// retry_table_size. Never saturates when the bound is honest (distinct
+/// <= n < table size, so an empty slot always exists within the probe
+/// bound).
+[[nodiscard]] inline index_t native_table_size(index_t n)
+{
+    constexpr index_t kCap = index_t{1} << 30;
+    const index_t base = next_pow2(std::max<index_t>(1, n));
+    return base >= kCap / 2 ? kCap : base * 2;
+}
+
+/// Thread-private hash workspace of one worker chunk, reused across all
+/// its rows. Invariant between rows: every slot of `keys` is kEmptySlot —
+/// clear_touched() resets only the slots the previous row occupied, so the
+/// per-row cost is O(row work), not O(table size), and steady-state rows
+/// allocate nothing.
+template <ValueType T>
+struct NativeWorkspace {
+    std::vector<index_t> keys;
+    std::vector<T> vals;
+    std::vector<index_t> touched;      ///< occupied slots, insertion order
+    /// Sorted (key << 32 | slot) of the last computed row. Packing the
+    /// column into the high half makes the sort an 8-byte branch-free
+    /// compare instead of a 16-byte pair compare — the gather/sort is the
+    /// hottest part of the numeric phase. Columns are non-negative index_t,
+    /// so unsigned 64-bit order equals column order.
+    std::vector<std::uint64_t> order;
+    std::vector<std::uint64_t> order_tmp;  ///< radix scatter buffer
+    std::vector<std::uint32_t> hist;       ///< radix bucket histogram
+
+    void ensure(index_t table_size)
+    {
+        if (to_index(keys.size()) < table_size) {
+            keys.resize(to_size(table_size), kEmptySlot);
+            vals.resize(to_size(table_size));
+        }
+    }
+
+    void clear_touched()
+    {
+        for (const index_t t : touched) { keys[to_size(t)] = kEmptySlot; }
+        touched.clear();
+    }
+
+    /// Sorts `order` by column (the high 32 bits). Column keys are unique
+    /// within a row, so any comparison tie-breaking is irrelevant and the
+    /// result equals std::sort's. Large rows use an LSB-first stable radix
+    /// sort (11-bit digits, pass count from the column range) — per-row
+    /// std::sort is the single hottest piece of the whole numeric phase,
+    /// and the radix version is ~3x cheaper at fig2 row sizes. Small rows
+    /// keep std::sort: a 2048-bucket histogram costs more than the sort.
+    void sort_order(index_t cols)
+    {
+        constexpr std::size_t kSmallRow = 64;
+        if (order.size() < kSmallRow) {
+            std::sort(order.begin(), order.end());
+            return;
+        }
+        const int bits =
+            cols <= 1 ? 1 : static_cast<int>(std::bit_width(static_cast<std::uint32_t>(cols - 1)));
+        const int passes = (bits + 10) / 11;
+        for (int p = 0; p < passes; ++p) {
+            const int shift = 32 + 11 * p;
+            hist.assign(2049, 0);
+            for (const std::uint64_t o : order) { ++hist[((o >> shift) & 2047u) + 1]; }
+            for (std::size_t bkt = 1; bkt <= 2048; ++bkt) { hist[bkt] += hist[bkt - 1]; }
+            order_tmp.resize(order.size());
+            for (const std::uint64_t o : order) {
+                order_tmp[hist[(o >> shift) & 2047u]++] = o;
+            }
+            order.swap(order_tmp);
+        }
+    }
+
+    /// Writes the last computed row (ws.order from native_compute_row) to
+    /// `col`/`val` in column order. Valid until the next row is computed:
+    /// clear_touched() resets keys only, the value slots order points at
+    /// stay intact.
+    void emit(index_t* col, T* val) const
+    {
+        for (std::size_t s = 0; s < order.size(); ++s) {
+            col[s] = static_cast<index_t>(order[s] >> 32);
+            val[s] = vals[static_cast<std::size_t>(order[s] & 0xffffffffu)];
+        }
+    }
+};
+
+/// Symbolic count of row i's distinct columns on a table of `tsize` slots
+/// (probe-bounded like hash_insert_key). Returns the nnz, or -1 if the
+/// table saturated (the caller feeds the row to the retry machinery). The
+/// workspace is left clear either way.
+template <ValueType T>
+[[nodiscard]] inline index_t native_count_row(const sim::DeviceCsr<T>& a,
+                                              const sim::DeviceCsr<T>& b, index_t i,
+                                              index_t tsize, NativeWorkspace<T>& ws)
+{
+    ws.ensure(tsize);
+    index_t* const keys = ws.keys.data();
+    const index_t* const arpt = a.rpt.data();
+    const index_t* const acol = a.col.data();
+    const index_t* const brpt = b.rpt.data();
+    const index_t* const bcol = b.col.data();
+    index_t nz = 0;
+    bool full = false;
+    const index_t a_end = arpt[i + 1];
+    for (index_t j = arpt[i]; j < a_end && !full; ++j) {
+        const index_t d = acol[j];
+        const index_t b_end = brpt[d + 1];
+        for (index_t k = brpt[d]; k < b_end; ++k) {
+            const index_t key = bcol[k];
+            index_t h = hash_slot(key, tsize, /*pow2=*/true);
+            index_t probes = 0;
+            for (;;) {
+                if (probes++ >= tsize) {
+                    full = true;
+                    break;
+                }
+                const index_t cur = keys[h];
+                if (cur == key) { break; }
+                if (cur == kEmptySlot) {
+                    keys[h] = key;
+                    ws.touched.push_back(h);
+                    ++nz;
+                    break;
+                }
+                h = (h + 1) & (tsize - 1);
+            }
+            if (full) { break; }
+        }
+    }
+    ws.clear_touched();
+    return full ? -1 : nz;
+}
+
+/// Computes row i completely — accumulate products in traversal order,
+/// gather the occupied slots, sort by column — leaving the finished row in
+/// ws.order/ws.vals for NativeWorkspace::emit. Returns the row's nnz, or
+/// -1 if the table saturated (ws cleared). Value bit-identity with the
+/// simulated kernels: additions land per key in exactly the traversal
+/// order hash_accumulate applies them, and sorting permutes finished sums
+/// only.
+template <ValueType T>
+[[nodiscard]] inline index_t native_compute_row(const sim::DeviceCsr<T>& a,
+                                                const sim::DeviceCsr<T>& b, index_t i,
+                                                index_t tsize, NativeWorkspace<T>& ws)
+{
+    ws.ensure(tsize);
+    index_t* const keys = ws.keys.data();
+    T* const vals = ws.vals.data();
+    const index_t* const arpt = a.rpt.data();
+    const index_t* const acol = a.col.data();
+    const T* const aval = a.val.data();
+    const index_t* const brpt = b.rpt.data();
+    const index_t* const bcol = b.col.data();
+    const T* const bval = b.val.data();
+    bool full = false;
+    const index_t a_end = arpt[i + 1];
+    for (index_t j = arpt[i]; j < a_end && !full; ++j) {
+        const index_t d = acol[j];
+        const T av = aval[j];
+        const index_t b_end = brpt[d + 1];
+        for (index_t k = brpt[d]; k < b_end; ++k) {
+            const index_t key = bcol[k];
+            const T prod = av * bval[k];
+            index_t h = hash_slot(key, tsize, /*pow2=*/true);
+            index_t probes = 0;
+            for (;;) {
+                if (probes++ >= tsize) {
+                    full = true;
+                    break;
+                }
+                const index_t cur = keys[h];
+                if (cur == key) {
+                    vals[h] += prod;
+                    break;
+                }
+                if (cur == kEmptySlot) {
+                    keys[h] = key;
+                    vals[h] = prod;
+                    ws.touched.push_back(h);
+                    break;
+                }
+                h = (h + 1) & (tsize - 1);
+            }
+            if (full) { break; }
+        }
+    }
+    if (full) {
+        ws.clear_touched();
+        return -1;
+    }
+    ws.order.clear();
+    for (const index_t t : ws.touched) {
+        ws.order.push_back(
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(keys[t])) << 32) |
+            static_cast<std::uint32_t>(t));
+    }
+    ws.sort_order(b.cols);
+    ws.clear_touched();
+    return to_index(ws.order.size());
+}
+
+/// Hard cap on the number of B-row lists the k-way merge kernels carry on
+/// the stack. Below the cap, a per-row cost model decides merge vs hash:
+/// the merge pays O(k) head scans per output but eliminates the hash
+/// probes and — on the numeric side — the per-row sort and gather, so it
+/// wins exactly when k is small relative to the row's duplicate ratio.
+inline constexpr index_t kMergeMaxK = 64;
+/// Symbolic merge gate: the merge count advances every product once plus
+/// one O(k) scan per output (P + k*nnz), the hash count pays ~2 units per
+/// product plus the touch/clear (2P + 2nnz); merging wins when k <=
+/// products/nnz + 3, and since the duplicate ratio is >= 1, k <= 4 is
+/// always safe without knowing nnz up front.
+inline constexpr index_t kMergeMaxKCount = 4;
+
+/// Numeric merge-vs-hash choice for a row with `k` B-lists, `nnz` output
+/// entries (known from the symbolic phase) and `products` intermediate
+/// products: merge work ~ k*nnz head scans, hash work ~ 2 units per probe
+/// plus ~8 per output for the gather/sort/emit it avoids.
+[[nodiscard]] inline bool merge_beats_hash(index_t k, index_t nnz, index_t products)
+{
+    return static_cast<wide_t>(k) * nnz <=
+           2 * static_cast<wide_t>(products) + 8 * static_cast<wide_t>(nnz);
+}
+
+/// True when every row has strictly increasing column indices (sorted,
+/// duplicate-free) — the precondition for the merge kernels below.
+template <ValueType T>
+[[nodiscard]] inline bool rows_strictly_sorted(const sim::DeviceCsr<T>& m)
+{
+    const index_t* const rpt = m.rpt.data();
+    const index_t* const col = m.col.data();
+    for (index_t i = 0; i < m.rows; ++i) {
+        for (index_t k = rpt[i] + 1; k < rpt[i + 1]; ++k) {
+            if (col[k] <= col[k - 1]) { return false; }
+        }
+    }
+    return true;
+}
+
+/// Merge-based symbolic count of row i: the <= kMergeMaxK strictly-sorted
+/// B rows that A's row selects are k-way merged, counting each distinct
+/// column once. Exact by construction — no table, so no saturation — and
+/// only used for rows the sized hash tables could not fault on either.
+template <ValueType T>
+[[nodiscard]] inline index_t native_merge_count_row(const sim::DeviceCsr<T>& a,
+                                                    const sim::DeviceCsr<T>& b, index_t i)
+{
+    const index_t* const arpt = a.rpt.data();
+    const index_t* const acol = a.col.data();
+    const index_t* const brpt = b.rpt.data();
+    const index_t* const bcol = b.col.data();
+    index_t heads[kMergeMaxK];
+    index_t ends[kMergeMaxK];
+    index_t k = 0;
+    const index_t a_end = arpt[i + 1];
+    for (index_t j = arpt[i]; j < a_end; ++j) {
+        const index_t d = acol[j];
+        if (brpt[d] == brpt[d + 1]) { continue; }
+        heads[k] = brpt[d];
+        ends[k] = brpt[d + 1];
+        ++k;
+    }
+    if (k == 1) { return ends[0] - heads[0]; }
+    if (k == 2) {
+        index_t h0 = heads[0];
+        index_t h1 = heads[1];
+        index_t nz = 0;
+        while (h0 < ends[0] && h1 < ends[1]) {
+            const index_t c0 = bcol[h0];
+            const index_t c1 = bcol[h1];
+            h0 += c0 <= c1 ? 1 : 0;
+            h1 += c1 <= c0 ? 1 : 0;
+            ++nz;
+        }
+        return nz + (ends[0] - h0) + (ends[1] - h1);
+    }
+    index_t nz = 0;
+    while (k > 0) {
+        index_t mink = bcol[heads[0]];
+        for (index_t l = 1; l < k; ++l) { mink = std::min(mink, bcol[heads[l]]); }
+        for (index_t l = 0; l < k;) {
+            if (bcol[heads[l]] == mink && ++heads[l] == ends[l]) {
+                for (index_t m = l; m + 1 < k; ++m) {
+                    heads[m] = heads[m + 1];
+                    ends[m] = ends[m + 1];
+                }
+                --k;
+                continue;
+            }
+            ++l;
+        }
+        ++nz;
+    }
+    return nz;
+}
+
+/// Merge-based numeric row: k-way merge of the scaled B rows straight into
+/// the output slice, already in column order — no hash table, no sort, no
+/// gather. Writes at most `cap` entries but keeps counting, returning the
+/// true nnz (callers treat a mismatch like a kernel fault; a partially
+/// written slice is always rewritten by the retry ladder).
+///
+/// Value bit-identity with the hash kernels: for one output column, at
+/// most one product comes from each selected B row (strictly sorted rows
+/// have no duplicate columns), and the match scan below visits lists in
+/// A-row storage order — exactly the order hash_accumulate applies the
+/// additions. The first match assigns rather than adding to zero so a
+/// leading -0.0 product survives exactly as the hash insert stores it.
+template <ValueType T>
+[[nodiscard]] inline index_t native_merge_row(const sim::DeviceCsr<T>& a,
+                                              const sim::DeviceCsr<T>& b, index_t i,
+                                              index_t* col, T* val, index_t cap)
+{
+    const index_t* const arpt = a.rpt.data();
+    const index_t* const acol = a.col.data();
+    const T* const aval = a.val.data();
+    const index_t* const brpt = b.rpt.data();
+    const index_t* const bcol = b.col.data();
+    const T* const bval = b.val.data();
+    index_t heads[kMergeMaxK];
+    index_t ends[kMergeMaxK];
+    T avs[kMergeMaxK];
+    index_t k = 0;
+    const index_t a_end = arpt[i + 1];
+    for (index_t j = arpt[i]; j < a_end; ++j) {
+        const index_t d = acol[j];
+        if (brpt[d] == brpt[d + 1]) { continue; }
+        heads[k] = brpt[d];
+        ends[k] = brpt[d + 1];
+        avs[k] = aval[j];
+        ++k;
+    }
+    if (k == 1) {
+        const index_t n = ends[0] - heads[0];
+        const T av = avs[0];
+        for (index_t s = 0; s < n && s < cap; ++s) {
+            col[s] = bcol[heads[0] + s];
+            val[s] = av * bval[heads[0] + s];
+        }
+        return n;
+    }
+    if (k == 2) {
+        // Two-pointer merge; an equal-key pair sums list 0's product first
+        // (A-row storage order), matching the general scan and the hash
+        // kernels exactly.
+        index_t h0 = heads[0];
+        index_t h1 = heads[1];
+        const T av0 = avs[0];
+        const T av1 = avs[1];
+        index_t nz = 0;
+        while (h0 < ends[0] && h1 < ends[1]) {
+            const index_t c0 = bcol[h0];
+            const index_t c1 = bcol[h1];
+            index_t ckey;
+            T v;
+            if (c0 < c1) {
+                ckey = c0;
+                v = av0 * bval[h0];
+                ++h0;
+            } else if (c1 < c0) {
+                ckey = c1;
+                v = av1 * bval[h1];
+                ++h1;
+            } else {
+                ckey = c0;
+                v = av0 * bval[h0] + av1 * bval[h1];
+                ++h0;
+                ++h1;
+            }
+            if (nz < cap) {
+                col[nz] = ckey;
+                val[nz] = v;
+            }
+            ++nz;
+        }
+        for (; h0 < ends[0]; ++h0) {
+            if (nz < cap) {
+                col[nz] = bcol[h0];
+                val[nz] = av0 * bval[h0];
+            }
+            ++nz;
+        }
+        for (; h1 < ends[1]; ++h1) {
+            if (nz < cap) {
+                col[nz] = bcol[h1];
+                val[nz] = av1 * bval[h1];
+            }
+            ++nz;
+        }
+        return nz;
+    }
+    index_t nz = 0;
+    while (k > 0) {
+        index_t mink = bcol[heads[0]];
+        for (index_t l = 1; l < k; ++l) { mink = std::min(mink, bcol[heads[l]]); }
+        T sum{};
+        bool first = true;
+        for (index_t l = 0; l < k;) {
+            if (bcol[heads[l]] == mink) {
+                const T prod = avs[l] * bval[heads[l]];
+                sum = first ? prod : sum + prod;
+                first = false;
+                if (++heads[l] == ends[l]) {
+                    for (index_t m = l; m + 1 < k; ++m) {
+                        heads[m] = heads[m + 1];
+                        ends[m] = ends[m + 1];
+                        avs[m] = avs[m + 1];
+                    }
+                    --k;
+                    continue;
+                }
+            }
+            ++l;
+        }
+        if (nz < cap) {
+            col[nz] = mink;
+            val[nz] = sum;
+        }
+        ++nz;
+    }
+    return nz;
+}
+
+/// Host reference recourse of one row, bit-identical to the simulated
+/// recourse: accumulate in traversal order (the order hash_accumulate
+/// applies additions), sort by column.
+template <ValueType T>
+[[nodiscard]] inline std::vector<std::pair<index_t, T>> native_host_row(
+    const sim::DeviceCsr<T>& a, const sim::DeviceCsr<T>& b, index_t i)
+{
+    std::unordered_map<index_t, T> acc;
+    for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+        const index_t d = a.col[to_size(j)];
+        const T av = a.val[to_size(j)];
+        for (index_t k = b.rpt[to_size(d)]; k < b.rpt[to_size(d) + 1]; ++k) {
+            acc[b.col[to_size(k)]] += av * b.val[to_size(k)];
+        }
+    }
+    std::vector<std::pair<index_t, T>> row(acc.begin(), acc.end());
+    std::sort(row.begin(), row.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    return row;
+}
+
+/// Per-row intermediate-product counts on host threads; returns the grand
+/// total (per-chunk partials folded in chunk = row order).
+template <ValueType T>
+[[nodiscard]] inline wide_t native_count_products(const sim::DeviceCsr<T>& a,
+                                                  const sim::DeviceCsr<T>& b,
+                                                  sim::DeviceBuffer<index_t>& products,
+                                                  int threads)
+{
+    std::vector<wide_t> part(to_size(std::max(threads, 1)), 0);
+    sim::parallel_chunks(a.rows, threads, [&](int ci, std::int64_t lo, std::int64_t hi) {
+        wide_t sum = 0;
+        for (std::int64_t ii = lo; ii < hi; ++ii) {
+            const auto i = static_cast<index_t>(ii);
+            wide_t n = 0;
+            for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+                const index_t d = a.col[to_size(j)];
+                n += b.rpt[to_size(d) + 1] - b.rpt[to_size(d)];
+            }
+            products[to_size(i)] = to_index(n);
+            sum += n;
+        }
+        part[to_size(ci)] = sum;
+    });
+    wide_t total = 0;
+    for (const wide_t s : part) { total += s; }
+    return total;
+}
+
+/// Chunked exclusive scan of per-row counts into row pointers: per-chunk
+/// partial sums, a sequential carry across chunks, then per-chunk prefix
+/// writes. Chunk boundaries depend only on (rows, threads), so the result
+/// — and the typed IndexOverflow for an overflowing total (running counts
+/// are monotone, so the lowest throwing chunk holds the globally first
+/// overflowing row, which parallel_chunks' lowest-chunk-wins rethrow
+/// surfaces) — matches the sequential scan exactly.
+inline void native_scan_row_pointers(std::span<const index_t> counts,
+                                     std::vector<index_t>& rpt, int threads)
+{
+    const auto rows = to_index(counts.size());
+    rpt.assign(to_size(rows) + 1, 0);
+    if (rows == 0) { return; }
+    std::vector<wide_t> chunk_sum(to_size(std::max(threads, 1)), 0);
+    sim::parallel_chunks(rows, threads, [&](int ci, std::int64_t lo, std::int64_t hi) {
+        wide_t s = 0;
+        for (std::int64_t ii = lo; ii < hi; ++ii) { s += counts[static_cast<std::size_t>(ii)]; }
+        chunk_sum[to_size(ci)] = s;
+    });
+    std::vector<wide_t> chunk_base(chunk_sum.size(), 0);
+    for (std::size_t ci = 1; ci < chunk_sum.size(); ++ci) {
+        chunk_base[ci] = chunk_base[ci - 1] + chunk_sum[ci - 1];
+    }
+    sim::parallel_chunks(rows, threads, [&](int ci, std::int64_t lo, std::int64_t hi) {
+        wide_t running = chunk_base[to_size(ci)];
+        for (std::int64_t ii = lo; ii < hi; ++ii) {
+            running += counts[static_cast<std::size_t>(ii)];
+            if (!std::in_range<index_t>(running)) {
+                throw IndexOverflow(
+                    "nnz(C) exceeds the row-pointer index range: the output row pointers "
+                    "cannot be represented (escalate to 64-bit row pointers or shard the "
+                    "rows)",
+                    static_cast<index_t>(ii), running);
+            }
+            rpt[static_cast<std::size_t>(ii) + 1] = static_cast<index_t>(running);
+        }
+    });
+}
+
+/// Native symbolic phase: every row counted in parallel — short rows of a
+/// sorted B through the exact merge kernel, the rest with a thread-private
+/// table sized from its product bound (cannot saturate unless injected) —
+/// then the same containment ladder as the simulated phase — bounded
+/// doubling retries, host recourse — run sequentially on the (rare)
+/// captured rows. Kernel choice never changes counts or fault semantics:
+/// both kernels are exact for honestly bounded rows, and injected rows
+/// always take the ladder.
+template <ValueType T>
+PhaseFaults native_symbolic(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                            const sim::DeviceCsr<T>& b,
+                            const sim::DeviceBuffer<index_t>& products,
+                            sim::DeviceBuffer<index_t>& row_nnz, const Options& opt,
+                            int threads, bool merge_ok)
+{
+    const std::vector<std::uint8_t> inject =
+        inject_flags(opt.inject_symbolic_row_faults, a.rows);
+    std::vector<std::uint8_t> faulted(to_size(a.rows), 0);
+    const auto table_for = [&](index_t i) {
+        return native_table_size(std::min(products[to_size(i)], b.cols));
+    };
+    sim::parallel_chunks(a.rows, threads, [&](int, std::int64_t lo, std::int64_t hi) {
+        NativeWorkspace<T> ws;
+        for (std::int64_t ii = lo; ii < hi; ++ii) {
+            const auto i = static_cast<index_t>(ii);
+            if (!inject.empty() && inject[to_size(i)] != 0) {
+                faulted[to_size(i)] = 1;
+                continue;
+            }
+            if (merge_ok && a.rpt[to_size(i) + 1] - a.rpt[to_size(i)] <= kMergeMaxKCount) {
+                row_nnz[to_size(i)] = native_merge_count_row(a, b, i);
+                continue;
+            }
+            const index_t nz = native_count_row(a, b, i, table_for(i), ws);
+            if (nz < 0) {
+                faulted[to_size(i)] = 1;
+                continue;
+            }
+            row_nnz[to_size(i)] = nz;
+        }
+    });
+
+    PhaseFaults pf;
+    std::vector<index_t> pending;
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (faulted[to_size(i)] == 0) { continue; }
+        pending.push_back(i);
+        dev.record_fault_event("symbolic_row_fault", 0, i, table_for(i),
+                               static_cast<int>(table_for(i)), 0);
+    }
+    pf.faulted_rows = static_cast<int>(pending.size());
+
+    int attempt = 0;
+    NativeWorkspace<T> ws;
+    while (!pending.empty() && attempt < opt.max_row_retries) {
+        std::vector<index_t> next;
+        for (const index_t i : pending) {
+            const index_t base = next_pow2(std::max<index_t>(1, products[to_size(i)]));
+            const index_t ts = retry_table_size(base, attempt);
+            const index_t nz = native_count_row(a, b, i, ts, ws);
+            if (nz < 0) {
+                next.push_back(i);
+            } else {
+                row_nnz[to_size(i)] = nz;
+            }
+            dev.record_fault_event("symbolic_row_retry", 0, i, ts, static_cast<int>(ts),
+                                   attempt + 1);
+        }
+        pf.row_retries += static_cast<int>(pending.size());
+        pending = std::move(next);
+        ++attempt;
+    }
+
+    for (const index_t i : pending) {
+        std::vector<index_t> cols;
+        for (index_t j = a.rpt[to_size(i)]; j < a.rpt[to_size(i) + 1]; ++j) {
+            const index_t d = a.col[to_size(j)];
+            for (index_t k = b.rpt[to_size(d)]; k < b.rpt[to_size(d) + 1]; ++k) {
+                cols.push_back(b.col[to_size(k)]);
+            }
+        }
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        row_nnz[to_size(i)] = to_index(cols.size());
+        ++pf.host_fallback_rows;
+        dev.record_fault_event("symbolic_host_row", 0, i, 0, 0, attempt);
+    }
+    return pf;
+}
+
+/// Native numeric phase: every row computed in parallel and written
+/// straight into its disjoint slice of C — short rows of a sorted B merge
+/// directly in column order, the rest accumulate/gather/sort through a
+/// thread-private table — then the containment ladder for captured rows
+/// (injection, saturation, nnz mismatch).
+template <ValueType T>
+PhaseFaults native_numeric(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                           const sim::DeviceCsr<T>& b,
+                           const sim::DeviceBuffer<index_t>& products,
+                           const sim::DeviceBuffer<index_t>& row_nnz, sim::DeviceCsr<T>& c,
+                           const Options& opt, int threads, bool merge_ok)
+{
+    const std::vector<std::uint8_t> inject =
+        inject_flags(opt.inject_numeric_row_faults, a.rows);
+    std::vector<std::uint8_t> faulted(to_size(a.rows), 0);
+    const auto table_for = [&](index_t i) {
+        return native_table_size(std::max<index_t>(1, row_nnz[to_size(i)]));
+    };
+    // Compute-then-emit: the row is only written when its nnz agrees with
+    // the symbolic count (disjoint slices of C, so concurrent emits are
+    // race-free).
+    const auto compute_and_write = [&](index_t i, index_t ts, NativeWorkspace<T>& ws) {
+        const index_t nz = native_compute_row(a, b, i, ts, ws);
+        const index_t base = c.rpt[to_size(i)];
+        if (nz < 0 || nz != c.rpt[to_size(i) + 1] - base) { return false; }
+        ws.emit(c.col.data() + base, c.val.data() + base);
+        return true;
+    };
+
+    sim::parallel_chunks(a.rows, threads, [&](int, std::int64_t lo, std::int64_t hi) {
+        NativeWorkspace<T> ws;
+        for (std::int64_t ii = lo; ii < hi; ++ii) {
+            const auto i = static_cast<index_t>(ii);
+            if (!inject.empty() && inject[to_size(i)] != 0) {
+                faulted[to_size(i)] = 1;
+                continue;
+            }
+            const index_t k = a.rpt[to_size(i) + 1] - a.rpt[to_size(i)];
+            if (merge_ok && k <= kMergeMaxK) {
+                const index_t base = c.rpt[to_size(i)];
+                const index_t expect = c.rpt[to_size(i) + 1] - base;
+                if (merge_beats_hash(k, expect, products[to_size(i)])) {
+                    if (native_merge_row(a, b, i, c.col.data() + base, c.val.data() + base,
+                                         expect) != expect) {
+                        faulted[to_size(i)] = 1;  // unreachable with exact counts; defensive
+                    }
+                    continue;
+                }
+            }
+            if (!compute_and_write(i, table_for(i), ws)) { faulted[to_size(i)] = 1; }
+        }
+    });
+
+    PhaseFaults pf;
+    std::vector<index_t> pending;
+    for (index_t i = 0; i < a.rows; ++i) {
+        if (faulted[to_size(i)] == 0) { continue; }
+        pending.push_back(i);
+        dev.record_fault_event("numeric_row_fault", 0, i, table_for(i),
+                               static_cast<int>(table_for(i)), 0);
+    }
+    pf.faulted_rows = static_cast<int>(pending.size());
+
+    int attempt = 0;
+    NativeWorkspace<T> ws;
+    while (!pending.empty() && attempt < opt.max_row_retries) {
+        std::vector<index_t> next;
+        for (const index_t i : pending) {
+            const index_t base = next_pow2(std::max<index_t>(1, row_nnz[to_size(i)]) * 2);
+            const index_t ts = retry_table_size(base, attempt);
+            if (!compute_and_write(i, ts, ws)) { next.push_back(i); }
+            dev.record_fault_event("numeric_row_retry", 0, i, ts, static_cast<int>(ts),
+                                   attempt + 1);
+        }
+        pf.row_retries += static_cast<int>(pending.size());
+        pending = std::move(next);
+        ++attempt;
+    }
+
+    for (const index_t i : pending) {
+        const auto row = native_host_row(a, b, i);
+        const index_t base = c.rpt[to_size(i)];
+        if (to_index(row.size()) != c.rpt[to_size(i) + 1] - base) {
+            throw KernelFault("host recourse nnz disagrees with row pointers", "calc",
+                              /*group=*/0, i, /*table_size=*/0, /*probes=*/0, attempt);
+        }
+        for (std::size_t s = 0; s < row.size(); ++s) {
+            c.col[to_size(base) + s] = row[s].first;
+            c.val[to_size(base) + s] = row[s].second;
+        }
+        ++pf.host_fallback_rows;
+        dev.record_fault_event("numeric_host_row", 0, i, 0, 0, attempt);
+    }
+    return pf;
+}
+
+/// One full native multiply under exact planning: the mirror of
+/// multiply_attempt_exact with the kernels run on host threads. Grouping
+/// is skipped entirely — it only decides simulated kernel shapes, never
+/// output bytes (every native row gets an adequately sized private table).
+template <ValueType T>
+MultiplyResult<T> multiply_attempt_native_exact(sim::Device& dev, const CsrMatrix<T>& a,
+                                                const CsrMatrix<T>& b, const Options& opt,
+                                                SpgemmStats& stats)
+{
+    const int threads = sim::BlockExecutor::resolve_threads(dev.executor_threads());
+    MultiplyResult<T> out;
+    sim::DeviceCsr<T> c;
+    wide_t total_products = 0;
+
+    {
+        auto phase = dev.phase_scope("setup");
+        dev.check_cancel();
+        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+        const bool merge_ok = rows_strictly_sorted(db);
+        auto products = take_index_scratch(dev, "products", to_size(a.rows));
+        total_products = native_count_products(da, db, products, threads);
+
+        auto row_nnz = take_index_scratch(dev, "row_nnz", to_size(a.rows));
+        row_nnz.fill(0);
+        {
+            auto count_phase = dev.phase_scope("count");
+            dev.check_cancel();
+            const PhaseFaults pf =
+                native_symbolic(dev, da, db, products, row_nnz, opt, threads, merge_ok);
+            stats.faulted_rows += pf.faulted_rows;
+            stats.row_retries += pf.row_retries;
+            stats.host_fallback_rows += pf.host_fallback_rows;
+        }
+
+        std::vector<index_t> rpt;
+        native_scan_row_pointers(std::span<const index_t>(row_nnz.data(), row_nnz.size()),
+                                 rpt, threads);
+        const index_t nnz_c = rpt.back();
+        c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, nnz_c);
+        std::copy(rpt.begin(), rpt.end(), c.rpt.data());
+
+        {
+            auto calc_phase = dev.phase_scope("calc");
+            dev.check_cancel();
+            const PhaseFaults pf =
+                native_numeric(dev, da, db, products, row_nnz, c, opt, threads, merge_ok);
+            stats.faulted_rows += pf.faulted_rows;
+            stats.row_retries += pf.row_retries;
+            stats.host_fallback_rows += pf.host_fallback_rows;
+        }
+
+        put_index_scratch(dev, "products", std::move(products));
+        put_index_scratch(dev, "row_nnz", std::move(row_nnz));
+    }
+
+    dev.check_cancel();
+    // Stats before the moving download: take_download releases C's device
+    // allocation, and that free must not be charged to the measured run.
+    fill_stats_from_device(stats, dev);
+    out.matrix = c.take_download();
+    out.products = total_products;
+    return out;
+}
+
+/// One full native multiply under estimation-based planning. Planning
+/// (build_row_plan and the hybrid low-confidence recount) is delegated to
+/// the simulated helpers — the plan, its estimation stats, and the
+/// sample's simulated cost are identical to the simulated backend by
+/// construction, and the sample is a small fraction of the rows — while
+/// the padded numeric pass, the compaction and the mispredict rewrites run
+/// natively. Output bytes never depend on the plan (capacities only decide
+/// where a row is computed), so byte-identity holds for every mode.
+template <ValueType T>
+MultiplyResult<T> multiply_attempt_native_estimated(sim::Device& dev, const CsrMatrix<T>& a,
+                                                    const CsrMatrix<T>& b,
+                                                    const Options& opt, SpgemmStats& stats)
+{
+    const int threads = sim::BlockExecutor::resolve_threads(dev.executor_threads());
+    MultiplyResult<T> out;
+    sim::DeviceCsr<T> c;
+    wide_t total_products = 0;
+
+    {
+        auto phase = dev.phase_scope("setup");
+        dev.check_cancel();
+        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+        auto products = take_index_scratch(dev, "products", to_size(a.rows));
+        total_products = native_count_products(da, db, products, threads);
+
+        RowPlan plan;
+        {
+            auto est_phase = dev.phase_scope("estimate");
+            plan = build_row_plan(dev, da, db, products, opt);
+            stats.faulted_rows += plan.sample_faults.faulted_rows;
+            stats.row_retries += plan.sample_faults.row_retries;
+            stats.host_fallback_rows += plan.sample_faults.host_fallback_rows;
+        }
+        if (!plan.lowconf.empty()) {
+            auto count_phase = dev.phase_scope("count");
+            const std::span<const index_t> prod(products.data(), to_size(a.rows));
+            const CountRowsOutcome counted = count_rows_contained(
+                dev, da, db, plan.lowconf, prod, std::span<index_t>(plan.capacity), opt,
+                inject_flags(opt.inject_symbolic_row_faults, a.rows), "symbolic_lowconf");
+            for (const index_t i : plan.lowconf) {
+                plan.exact[to_size(i)] = 1;
+                plan.plan_nnz[to_size(i)] = plan.capacity[to_size(i)];
+            }
+            stats.faulted_rows += counted.faults.faulted_rows;
+            stats.row_retries += counted.faults.row_retries;
+            stats.host_fallback_rows += counted.faults.host_fallback_rows;
+        }
+
+        // Padded capacity scan + pad storage, as in the simulated path.
+        auto capacity = take_index_scratch(dev, "capacity", to_size(a.rows));
+        std::copy(plan.capacity.begin(), plan.capacity.end(), capacity.data());
+        std::vector<index_t> cap_rpt;
+        native_scan_row_pointers(
+            std::span<const index_t>(capacity.data(), capacity.size()), cap_rpt, threads);
+        sim::DeviceBuffer<index_t> pad_col(dev.allocator(), to_size(cap_rpt.back()));
+        sim::DeviceBuffer<T> pad_val(dev.allocator(), to_size(cap_rpt.back()));
+
+        auto row_nnz = take_index_scratch(dev, "row_nnz", to_size(a.rows));
+        row_nnz.fill(0);
+
+        const std::vector<std::uint8_t> inject =
+            inject_flags(opt.inject_numeric_row_faults, a.rows);
+        std::vector<std::uint8_t> in_pad(to_size(a.rows), 0);
+        std::vector<std::uint8_t> faulted(to_size(a.rows), 0);
+        int mispredicted = 0;
+        std::vector<index_t> rewrite_rows;
+        {
+            // ---- calc: native padded pass, scan, compact, rewrite ----
+            auto calc_phase = dev.phase_scope("calc");
+            dev.check_cancel();
+
+            sim::parallel_chunks(a.rows, threads, [&](int, std::int64_t lo, std::int64_t hi) {
+                NativeWorkspace<T> ws;
+                for (std::int64_t ii = lo; ii < hi; ++ii) {
+                    const auto i = static_cast<index_t>(ii);
+                    if (!inject.empty() && inject[to_size(i)] != 0) {
+                        faulted[to_size(i)] = 1;
+                        continue;
+                    }
+                    const index_t ts = native_table_size(std::max(
+                        plan.plan_nnz[to_size(i)], plan.capacity[to_size(i)]));
+                    const index_t actual = native_compute_row(da, db, i, ts, ws);
+                    if (actual < 0) {
+                        // Saturated the planned table (gross underestimate):
+                        // captured like the simulated kernels capture it.
+                        faulted[to_size(i)] = 1;
+                        continue;
+                    }
+                    row_nnz[to_size(i)] = actual;
+                    if (actual <= plan.capacity[to_size(i)]) {
+                        const auto base = to_size(cap_rpt[to_size(i)]);
+                        ws.emit(pad_col.data() + base, pad_val.data() + base);
+                        in_pad[to_size(i)] = 1;
+                    }
+                }
+            });
+
+            // Captured rows: repair the counts so the scan sees true nnz
+            // everywhere (exact rows already know theirs), then classify.
+            NativeWorkspace<T> ws;
+            for (index_t i = 0; i < a.rows; ++i) {
+                if (faulted[to_size(i)] == 0) { continue; }
+                const index_t ts = native_table_size(
+                    std::max(plan.plan_nnz[to_size(i)], plan.capacity[to_size(i)]));
+                dev.record_fault_event("numeric_est_row_fault", 0, i, ts,
+                                       static_cast<int>(ts), 0);
+                if (plan.exact[to_size(i)] != 0) {
+                    row_nnz[to_size(i)] = plan.capacity[to_size(i)];
+                } else {
+                    const index_t nz = native_count_row(
+                        da, db, i, native_table_size(std::min(products[to_size(i)], b.cols)),
+                        ws);
+                    NSPARSE_ASSERT(nz >= 0, "product-bounded count table saturated");
+                    row_nnz[to_size(i)] = nz;
+                }
+            }
+            for (index_t i = 0; i < a.rows; ++i) {
+                if (in_pad[to_size(i)] != 0) { continue; }
+                rewrite_rows.push_back(i);
+                stats.faulted_rows += faulted[to_size(i)] != 0 ? 1 : 0;
+                const bool injected = !inject.empty() && inject[to_size(i)] != 0;
+                if (plan.exact[to_size(i)] == 0 && !injected && faulted[to_size(i)] == 0) {
+                    ++mispredicted;
+                }
+                if (plan.exact[to_size(i)] == 0 && faulted[to_size(i)] != 0 && !injected) {
+                    ++mispredicted;  // saturated planned table
+                }
+            }
+
+            std::vector<index_t> rpt;
+            native_scan_row_pointers(
+                std::span<const index_t>(row_nnz.data(), row_nnz.size()), rpt, threads);
+            c = sim::DeviceCsr<T>::allocate(dev.allocator(), a.rows, b.cols, rpt.back());
+            std::copy(rpt.begin(), rpt.end(), c.rpt.data());
+
+            // Compact the well-predicted rows from pad storage (disjoint
+            // coalesced copies), release the pads, then recompute the rest
+            // straight into the final CSR.
+            sim::parallel_chunks(a.rows, threads, [&](int, std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t ii = lo; ii < hi; ++ii) {
+                    const auto i = static_cast<index_t>(ii);
+                    if (in_pad[to_size(i)] == 0) { continue; }
+                    const index_t base = c.rpt[to_size(i)];
+                    const index_t n = c.rpt[to_size(i) + 1] - base;
+                    const auto src = to_size(cap_rpt[to_size(i)]);
+                    for (index_t s = 0; s < n; ++s) {
+                        c.col[to_size(base + s)] = pad_col[src + to_size(s)];
+                        c.val[to_size(base + s)] = pad_val[src + to_size(s)];
+                    }
+                }
+            });
+            pad_col = sim::DeviceBuffer<index_t>();
+            pad_val = sim::DeviceBuffer<T>();
+
+            if (!rewrite_rows.empty()) {
+                std::vector<std::uint8_t> still(rewrite_rows.size(), 0);
+                sim::parallel_chunks(
+                    to_index(rewrite_rows.size()), threads,
+                    [&](int, std::int64_t lo, std::int64_t hi) {
+                        NativeWorkspace<T> rws;
+                        for (std::int64_t rr = lo; rr < hi; ++rr) {
+                            const index_t i = rewrite_rows[static_cast<std::size_t>(rr)];
+                            const index_t ts = native_table_size(
+                                std::max<index_t>(1, row_nnz[to_size(i)]));
+                            const index_t nz = native_compute_row(da, db, i, ts, rws);
+                            const index_t base = c.rpt[to_size(i)];
+                            if (nz >= 0 && nz == c.rpt[to_size(i) + 1] - base) {
+                                rws.emit(c.col.data() + base, c.val.data() + base);
+                            } else {
+                                still[static_cast<std::size_t>(rr)] = 1;
+                            }
+                        }
+                    });
+                stats.row_retries += static_cast<int>(rewrite_rows.size());
+                for (std::size_t r = 0; r < rewrite_rows.size(); ++r) {
+                    const index_t ts = native_table_size(
+                        std::max<index_t>(1, row_nnz[to_size(rewrite_rows[r])]));
+                    dev.record_fault_event("numeric_est_rewrite", 0, rewrite_rows[r], ts,
+                                           static_cast<int>(ts), 1);
+                }
+                for (std::size_t r = 0; r < rewrite_rows.size(); ++r) {
+                    if (still[r] == 0) { continue; }
+                    const index_t i = rewrite_rows[r];
+                    const auto row = native_host_row(da, db, i);
+                    const index_t base = c.rpt[to_size(i)];
+                    if (to_index(row.size()) != c.rpt[to_size(i) + 1] - base) {
+                        throw KernelFault(
+                            "estimated rewrite nnz disagrees with repaired row pointers",
+                            "calc", /*group=*/0, i, /*table_size=*/0, /*probes=*/0, 1);
+                    }
+                    for (std::size_t s = 0; s < row.size(); ++s) {
+                        c.col[to_size(base) + s] = row[s].first;
+                        c.val[to_size(base) + s] = row[s].second;
+                    }
+                    ++stats.host_fallback_rows;
+                    dev.record_fault_event("numeric_est_host_row", 0, i, 0, 0, 1);
+                }
+            }
+        }
+
+        stats.estimated_rows += plan.estimated_rows;
+        stats.mispredicted_rows += mispredicted;
+        stats.symbolic_cycles_saved += plan.symbolic_cycles_saved;
+
+        put_index_scratch(dev, "products", std::move(products));
+        put_index_scratch(dev, "row_nnz", std::move(row_nnz));
+        put_index_scratch(dev, "capacity", std::move(capacity));
+    }
+
+    dev.check_cancel();
+    // Stats before the moving download: take_download releases C's device
+    // allocation, and that free must not be charged to the measured run.
+    fill_stats_from_device(stats, dev);
+    out.matrix = c.take_download();
+    out.products = total_products;
+    return out;
+}
+
+/// Planning-mode dispatch of the native backend, mirroring
+/// multiply_attempt; called from multiply_attempt when
+/// Options::backend == BackendKind::kNative, so the slab ladder, batch and
+/// session layers compose with the native path unchanged.
+template <ValueType T>
+MultiplyResult<T> multiply_attempt_native(sim::Device& dev, const CsrMatrix<T>& a,
+                                          const CsrMatrix<T>& b, const Options& opt,
+                                          SpgemmStats& stats)
+{
+    if (opt.plan_mode != PlanMode::kExact) {
+        return multiply_attempt_native_estimated(dev, a, b, opt, stats);
+    }
+    return multiply_attempt_native_exact(dev, a, b, opt, stats);
+}
+
+}  // namespace nsparse::core::detail

@@ -1,0 +1,16 @@
+// Result of one multiply attempt, shared by the simulated pipeline
+// (core/spgemm_impl.hpp) and the native backend (core/backend_native.hpp).
+#pragma once
+
+#include "sparse/csr.hpp"
+
+namespace nsparse::core::detail {
+
+/// Matrix + per-row product total of one multiply attempt.
+template <ValueType T>
+struct MultiplyResult {
+    CsrMatrix<T> matrix;
+    wide_t products = 0;
+};
+
+}  // namespace nsparse::core::detail

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "sparse/error.hpp"
 #include "sparse/types.hpp"
 
@@ -28,6 +29,21 @@ enum class PlanMode {
 };
 
 struct Options {
+    /// Where the pipeline executes: kSimulated runs every kernel on the
+    /// virtual Pascal device and reports simulated cycles (the paper
+    /// reproduction, the default); kNative runs the same hash kernels
+    /// directly on the host worker pool with thread-private tables and
+    /// wall-clock as the metric. Output is byte-identical either way for
+    /// every plan mode and thread count (core/backend.hpp).
+    BackendKind backend = BackendKind::kSimulated;
+
+    /// Suppress the library's one-time stderr warnings (executor_threads
+    /// clamping in sim::BlockExecutor::resolve_threads) for this run —
+    /// benches writing JSON to stdout want a clean stderr too. The env
+    /// variable NSPARSE_QUIET (non-empty, not "0") has the same effect
+    /// process-wide. Quiet never changes resolved values, only reporting.
+    bool quiet = false;
+
     /// Launch each row group's kernels on an own CUDA stream so small
     /// groups execute concurrently (§III-B: "launches multiple CUDA
     /// kernels with different CUDA streams for each group").

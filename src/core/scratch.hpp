@@ -1,0 +1,36 @@
+// Pool-aware index-workspace helpers shared by the simulated pipeline
+// (core/spgemm_impl.hpp) and the native backend (core/backend_native.hpp):
+// per-product scratch (product counts, row nnz, grouping permutations) is
+// taken from the device's ScratchPool when one is installed (batched
+// execution / Session) so exact-size re-takes skip the simulated cudaMalloc
+// cost, and handed back after the multiply.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/scratch_pool.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse::core::detail {
+
+/// Takes an index workspace from the device's scratch pool when one is
+/// installed (batched execution), else allocates fresh.
+inline sim::DeviceBuffer<index_t> take_index_scratch(sim::Device& dev, const char* tag,
+                                                     std::size_t n)
+{
+    if (auto* pool = dev.scratch_pool()) { return pool->take(tag, dev.allocator(), n); }
+    return sim::DeviceBuffer<index_t>(dev.allocator(), n);
+}
+
+/// Returns a workspace to the scratch pool (no-op without a pool — the
+/// buffer is then freed by RAII as before).
+inline void put_index_scratch(sim::Device& dev, const char* tag,
+                              sim::DeviceBuffer<index_t>&& buf)
+{
+    if (auto* pool = dev.scratch_pool()) { pool->put(tag, std::move(buf)); }
+}
+
+}  // namespace nsparse::core::detail

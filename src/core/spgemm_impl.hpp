@@ -16,12 +16,15 @@
 #include <utility>
 #include <vector>
 
+#include "core/backend_native.hpp"
 #include "core/estimator.hpp"
 #include "core/grouping.hpp"
 #include "core/memory_estimator.hpp"
+#include "core/multiply_result.hpp"
 #include "core/numeric.hpp"
 #include "core/numeric_estimated.hpp"
 #include "core/options.hpp"
+#include "core/scratch.hpp"
 #include "core/symbolic.hpp"
 #include "gpusim/algorithm.hpp"
 #include "gpusim/device_csr.hpp"
@@ -29,23 +32,6 @@
 #include "sparse/csr_ops.hpp"
 
 namespace nsparse::core::detail {
-
-/// Takes an index workspace from the device's scratch pool when one is
-/// installed (batched execution), else allocates fresh.
-inline sim::DeviceBuffer<index_t> take_index_scratch(sim::Device& dev, const char* tag,
-                                                     std::size_t n)
-{
-    if (auto* pool = dev.scratch_pool()) { return pool->take(tag, dev.allocator(), n); }
-    return sim::DeviceBuffer<index_t>(dev.allocator(), n);
-}
-
-/// Returns a workspace to the scratch pool (no-op without a pool — the
-/// buffer is then freed by RAII as before).
-inline void put_index_scratch(sim::Device& dev, const char* tag,
-                              sim::DeviceBuffer<index_t>&& buf)
-{
-    if (auto* pool = dev.scratch_pool()) { pool->put(tag, std::move(buf)); }
-}
 
 /// Kernel (1): per-row intermediate-product counts (paper Algorithm 2).
 template <ValueType T>
@@ -124,13 +110,6 @@ inline void scan_row_pointers(sim::Device& dev, const sim::DeviceBuffer<index_t>
     });
     dev.synchronize();
 }
-
-/// Matrix + per-row product total of one multiply attempt.
-template <ValueType T>
-struct MultiplyResult {
-    CsrMatrix<T> matrix;
-    wide_t products = 0;
-};
 
 /// One full multiply (the paper's unchunked algorithm). Throws
 /// DeviceOutOfMemory when any allocation fails; every device-side
@@ -211,9 +190,11 @@ MultiplyResult<T> multiply_attempt_exact(sim::Device& dev, const CsrMatrix<T>& a
         put_index_scratch(dev, "grouping_perm", std::move(num_groups.permutation));
     }
 
-    out.matrix = c.download();
-    out.products = total_products;
+    // Stats before the moving download: take_download releases C's device
+    // allocation, and that free must not be charged to the measured run.
     fill_stats_from_device(stats, dev);
+    out.matrix = c.take_download();
+    out.products = total_products;
     return out;
 }
 
@@ -330,18 +311,25 @@ MultiplyResult<T> multiply_attempt_estimated(sim::Device& dev, const CsrMatrix<T
         put_index_scratch(dev, "grouping_perm", std::move(num_groups.permutation));
     }
 
-    out.matrix = c.download();
-    out.products = total_products;
+    // Stats before the moving download: take_download releases C's device
+    // allocation, and that free must not be charged to the measured run.
     fill_stats_from_device(stats, dev);
+    out.matrix = c.take_download();
+    out.products = total_products;
     return out;
 }
 
-/// Planning-mode dispatch: one multiply attempt under the options' plan
-/// mode. Both paths share the OOM / row-slab degradation below.
+/// Backend and planning-mode dispatch: one multiply attempt under the
+/// options' backend and plan mode. All paths share the OOM / row-slab
+/// degradation below (the native backend charges the same allocator), and
+/// produce byte-identical C for every combination (core/backend.hpp).
 template <ValueType T>
 MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
                                    const core::Options& opt, SpgemmStats& stats)
 {
+    if (opt.backend == core::BackendKind::kNative) {
+        return multiply_attempt_native(dev, a, b, opt, stats);
+    }
     if (opt.plan_mode != core::PlanMode::kExact) {
         return multiply_attempt_estimated(dev, a, b, opt, stats);
     }

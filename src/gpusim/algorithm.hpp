@@ -23,6 +23,12 @@ struct SpgemmStats {
     double calc_seconds = 0.0;   ///< numeric phase (incl. sort/compact)
     double estimate_seconds = 0.0;  ///< estimation-based planning phase
     double malloc_seconds = 0.0; ///< cudaMalloc/cudaFree (Fig. 5/6 bucket)
+    /// Host wall-clock of the whole multiply (hash_spgemm measures it for
+    /// both backends). On the simulated backend this is simulator overhead,
+    /// not a modelled quantity; on the native backend it IS the metric —
+    /// there `seconds` and the per-phase buckets only reflect the simulated
+    /// allocation charges, not kernel time (core/backend.hpp).
+    double wall_seconds = 0.0;
     std::size_t peak_bytes = 0;  ///< device peak incl. inputs and output
 
     // Memory-pressure fallback observability (hash_spgemm row slabs).

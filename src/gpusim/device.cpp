@@ -66,13 +66,8 @@ Device::~Device()
     }
 }
 
-void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
-                    const std::function<void(BlockCtx&)>& fn)
+void Device::check_cancel()
 {
-    cfg.validate(spec_);  // config errors stay synchronous (issue time)
-    // Cooperative cancellation: a request past its budget (or cancelled by
-    // the caller) stops here, at the kernel boundary, before the launch is
-    // even recorded — the buffers it would have captured unwind by RAII.
     if (auto* tok = cancel_.load(std::memory_order_acquire)) {
         const double sim_elapsed = timeline_.total();
         const CancelCause cause = tok->should_cancel(sim_elapsed);
@@ -80,6 +75,16 @@ void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
             throw_cancelled(cause, *tok, current_phase_, sim_elapsed);
         }
     }
+}
+
+void Device::launch(Stream stream, const LaunchConfig& cfg, std::string name,
+                    const std::function<void(BlockCtx&)>& fn)
+{
+    cfg.validate(spec_);  // config errors stay synchronous (issue time)
+    // Cooperative cancellation: a request past its budget (or cancelled by
+    // the caller) stops here, at the kernel boundary, before the launch is
+    // even recorded — the buffers it would have captured unwind by RAII.
+    check_cancel();
     KernelRecord rec;
     rec.name = std::move(name);
     rec.stream_id = stream.id;

@@ -192,6 +192,15 @@ public:
         return cancel_.load(std::memory_order_acquire);
     }
 
+    /// Consults the installed cancel token against the current simulated
+    /// elapsed time and throws OperationCancelled / DeadlineExceeded when
+    /// it says stop; no-op without a token. launch() calls this at every
+    /// kernel boundary; the native backend calls it between phases on the
+    /// host thread (the same cooperative granularity — rows already being
+    /// computed complete). Must be called from the host thread that owns
+    /// the device: it reads the timeline.
+    void check_cancel();
+
     /// Restores a usable device after a failed or cancelled request:
     /// detaches the cancel token, joins every in-flight launch (swallowing
     /// deferred errors of the abandoned request), closes a dangling batch

@@ -55,6 +55,21 @@ struct DeviceCsr {
         return rpt[to_size(i) + 1] - rpt[to_size(i)];
     }
 
+    /// Moving download for a device CSR that is not needed afterwards:
+    /// hands the storage straight to the host matrix and releases the
+    /// device allocation. Byte-identical to download() minus the copy.
+    [[nodiscard]] CsrMatrix<T> take_download()
+    {
+        CsrMatrix<T> m;
+        m.rows = rows;
+        m.cols = cols;
+        m.rpt = rpt.take_host();
+        m.col = col.take_host();
+        m.val = val.take_host();
+        m.validate();
+        return m;
+    }
+
     /// "cudaMemcpy D2H" back to a host CSR matrix.
     [[nodiscard]] CsrMatrix<T> download() const
     {

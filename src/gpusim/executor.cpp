@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <limits>
 #include <memory>
@@ -13,6 +15,23 @@
 #include "gpusim/worker_pool.hpp"
 
 namespace nsparse::sim {
+
+namespace {
+
+std::atomic<bool> g_quiet{false};
+
+}  // namespace
+
+void set_warnings_quiet(bool quiet) { g_quiet.store(quiet, std::memory_order_relaxed); }
+
+bool warnings_quiet()
+{
+    static const bool env_quiet = [] {
+        const char* v = std::getenv("NSPARSE_QUIET");
+        return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+    }();
+    return env_quiet || g_quiet.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -101,7 +120,7 @@ int BlockExecutor::resolve_threads(int requested)
     }();
     if (requested < 0) {
         static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
+        if (!warnings_quiet() && !warned.exchange(true)) {
             std::fprintf(stderr,
                          "nsparse: executor_threads/NSPARSE_EXECUTOR_THREADS=%d is negative; "
                          "using all %d hardware threads instead\n",
@@ -111,7 +130,7 @@ int BlockExecutor::resolve_threads(int requested)
     }
     if (requested > WorkerPool::kMaxWorkers) {
         static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
+        if (!warnings_quiet() && !warned.exchange(true)) {
             std::fprintf(stderr,
                          "nsparse: executor_threads/NSPARSE_EXECUTOR_THREADS=%d exceeds the "
                          "pool ceiling; clamping to %d\n",

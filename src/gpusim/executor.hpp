@@ -22,6 +22,15 @@
 
 namespace nsparse::sim {
 
+/// Process-wide switch for the library's one-time stderr warnings (the
+/// resolve_threads clamp notices): true suppresses them. Also enabled by
+/// the env variable NSPARSE_QUIET (non-empty, not "0"). Suppression never
+/// changes resolved values, and does not consume the one-time latch — a
+/// warning silenced while quiet still fires once if quiet is later turned
+/// off and the condition recurs.
+void set_warnings_quiet(bool quiet);
+[[nodiscard]] bool warnings_quiet();
+
 class BlockExecutor {
 public:
     /// Host threads a request resolves to: `requested` if positive, else

@@ -271,6 +271,21 @@ public:
     /// Copies contents back to a host vector ("cudaMemcpy D2H").
     [[nodiscard]] std::vector<T> to_host() const { return data_; }
 
+    /// Moves the contents to a host vector and releases the device
+    /// allocation in one step ("cudaMemcpy D2H + cudaFree" without the
+    /// host-side copy). The buffer is empty afterwards.
+    [[nodiscard]] std::vector<T> take_host()
+    {
+        std::vector<T> out = std::move(data_);
+        if (alloc_ != nullptr) {
+            alloc_->deallocate(out.size() * sizeof(T));
+            alloc_ = nullptr;
+        }
+        data_.clear();
+        data_.shrink_to_fit();
+        return out;
+    }
+
 private:
     void swap(DeviceBuffer& other) noexcept
     {

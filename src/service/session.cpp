@@ -8,6 +8,7 @@
 
 #include "core/memory_estimator.hpp"
 #include "core/spgemm_impl.hpp"
+#include "gpusim/executor.hpp"
 #include "sparse/csr_ops.hpp"
 #include "sparse/reference_spgemm.hpp"
 #include "sparse/validate.hpp"
@@ -43,6 +44,7 @@ Session::Session(SessionConfig cfg)
     NSPARSE_EXPECTS(cfg_.policy.max_slab_retries >= 0,
                     "RecoveryPolicy::max_slab_retries must be non-negative");
     breaker_.configure(cfg_.policy.breaker_threshold, cfg_.policy.breaker_probe_interval);
+    if (cfg_.options.quiet) { sim::set_warnings_quiet(true); }
     if (cfg_.record_trace) { dev_.enable_trace(); }
     if (cfg_.options.batch_scratch_reuse) { dev_.set_scratch_pool(&scratch_); }
 }

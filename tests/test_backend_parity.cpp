@@ -1,0 +1,290 @@
+// Backend-parity harness (ctest labels: backend, tsan, faults).
+//
+// The native CPU backend's contract is byte-identity: for every plan mode,
+// thread count, fault-injection pattern and memory-pressure level, the CSR
+// it produces must equal the simulated backend's output exactly — same row
+// pointers, same column order, same bits in every value (core/backend.hpp
+// states the argument; this file enforces it). The sweep runs the
+// adversarial pathology stream (hash-adversarial columns, duplicate and
+// unsorted rows, dense rows, group-boundary rows) through:
+//
+//   * backend x thread-count {1, 2, 8} differential runs under exact
+//     planning,
+//   * backend x plan-mode {exact, estimated, hybrid} differential runs,
+//     including misprediction-heavy starved-sample settings,
+//   * the fault-injection hooks (symbolic + numeric row faults) and the
+//     allocator FaultPlan composed with the native path — recovery must
+//     reproduce the same bytes and the same containment tallies,
+//   * the row-slab OOM ladder on a shrunken-capacity device,
+//   * the Session front end with Options::backend = kNative, including a
+//     deterministic sim-seconds deadline (native elapsed time advances
+//     through the allocation hooks only, so the budget trips at the same
+//     phase boundary on every run),
+//   * the estimation-path clean-run invariant and the quiet-knob API.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/spgemm.hpp"
+#include "gpusim/executor.hpp"
+#include "matgen/adversarial.hpp"
+#include "matgen/generators.hpp"
+#include "service/session.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+constexpr std::uint64_t kSeed = 20170814;  // nsparse @ ICPP'17
+constexpr int kThreadSweep[] = {1, 2, 8};
+
+sim::Device p100() { return sim::Device(sim::DeviceSpec::pascal_p100()); }
+
+core::Options native_opt(int threads, core::Options base = {})
+{
+    base.backend = core::BackendKind::kNative;
+    base.executor_threads = threads;
+    return base;
+}
+
+/// The ground truth every configuration must reproduce bit-for-bit: one
+/// single-threaded simulated exact run.
+SpgemmOutput<double> simulated_reference(const CsrMatrix<double>& a,
+                                         const core::Options& base = {})
+{
+    core::Options opt = base;
+    opt.backend = core::BackendKind::kSimulated;
+    opt.executor_threads = 1;
+    sim::Device dev = p100();
+    return hash_spgemm<double>(dev, a, a, opt);
+}
+
+TEST(BackendParity, NativeMatchesSimulatedAcrossThreads)
+{
+    const auto suite = gen::adversarial_suite(kSeed, 30);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto& a = suite[i].matrix;
+        const auto ref = simulated_reference(a);
+        for (const int threads : kThreadSweep) {
+            sim::Device dev = p100();
+            const auto out = hash_spgemm<double>(dev, a, a, native_opt(threads));
+            EXPECT_TRUE(out.matrix == ref.matrix)
+                << "native(threads=" << threads << ") diverged on case #" << i << " ("
+                << suite[i].name << ")";
+            EXPECT_EQ(out.stats.intermediate_products, ref.stats.intermediate_products);
+            EXPECT_EQ(out.stats.nnz_c, ref.stats.nnz_c);
+            // Valid-but-hostile inputs never trip the containment ladder
+            // on the native path either: every thread-private table is
+            // sized for its row's worst case.
+            EXPECT_EQ(out.stats.faulted_rows, 0) << "case #" << i;
+            EXPECT_EQ(out.stats.host_fallback_rows, 0) << "case #" << i;
+            EXPECT_GE(out.stats.wall_seconds, 0.0);
+        }
+    }
+}
+
+TEST(BackendParity, NativeMatchesSimulatedAcrossPlanModes)
+{
+    const auto suite = gen::adversarial_suite(kSeed ^ 0x9e3779b9, 12);
+    // Starved sample + full confidence maximises mispredictions; the rich
+    // hybrid setting exercises the low-confidence exact recount.
+    struct ModeCase {
+        core::PlanMode mode;
+        double sample_rate;
+        double confidence;
+    };
+    const ModeCase modes[] = {
+        {core::PlanMode::kExact, 0.05, 0.5},
+        {core::PlanMode::kEstimated, 0.02, 0.0},
+        {core::PlanMode::kEstimated, 0.25, 0.0},
+        {core::PlanMode::kHybrid, 0.05, 0.9},
+    };
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto& a = suite[i].matrix;
+        const auto ref = simulated_reference(a);
+        for (const auto& mc : modes) {
+            for (const int threads : kThreadSweep) {
+                core::Options opt = native_opt(threads);
+                opt.plan_mode = mc.mode;
+                opt.estimate_sample_rate = mc.sample_rate;
+                opt.estimate_confidence = mc.confidence;
+                sim::Device dev = p100();
+                const auto out = hash_spgemm<double>(dev, a, a, opt);
+                EXPECT_TRUE(out.matrix == ref.matrix)
+                    << "native plan_mode=" << static_cast<int>(mc.mode)
+                    << " sample=" << mc.sample_rate << " threads=" << threads
+                    << " diverged on case #" << i << " (" << suite[i].name << ")";
+            }
+        }
+    }
+}
+
+TEST(BackendParity, RowFaultInjectionReproducesSimulatedRecovery)
+{
+    const auto suite = gen::adversarial_suite(kSeed ^ 0x51ed2701, 10);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto& a = suite[i].matrix;
+        const auto clean = simulated_reference(a);
+
+        core::Options inj;
+        inj.inject_symbolic_row_faults = {0, 3, 5};
+        inj.inject_numeric_row_faults = {1, 4};
+        const auto sim_out = simulated_reference(a, inj);
+        // Injection never changes bytes on the simulated backend...
+        ASSERT_TRUE(sim_out.matrix == clean.matrix) << "case #" << i;
+
+        for (const int threads : kThreadSweep) {
+            sim::Device dev = p100();
+            const auto out = hash_spgemm<double>(dev, a, a, native_opt(threads, inj));
+            // ...nor on the native backend, and both ladders contain the
+            // same rows with the same effort.
+            EXPECT_TRUE(out.matrix == clean.matrix)
+                << "native(threads=" << threads << ") diverged under injection on case #"
+                << i << " (" << suite[i].name << ")";
+            EXPECT_EQ(out.stats.faulted_rows, sim_out.stats.faulted_rows) << "case #" << i;
+            EXPECT_EQ(out.stats.row_retries, sim_out.stats.row_retries) << "case #" << i;
+            EXPECT_EQ(out.stats.host_fallback_rows, sim_out.stats.host_fallback_rows)
+                << "case #" << i;
+        }
+    }
+}
+
+TEST(BackendParity, NativePlanModesAbsorbInjectedFaults)
+{
+    const auto suite = gen::adversarial_suite(kSeed ^ 0x2545f491, 8);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto& a = suite[i].matrix;
+        const auto ref = simulated_reference(a);
+        for (const auto mode : {core::PlanMode::kEstimated, core::PlanMode::kHybrid}) {
+            core::Options opt = native_opt(2);
+            opt.plan_mode = mode;
+            opt.estimate_sample_rate = 0.05;
+            opt.inject_symbolic_row_faults = {2};
+            opt.inject_numeric_row_faults = {0, 6};
+            sim::Device dev = p100();
+            const auto out = hash_spgemm<double>(dev, a, a, opt);
+            EXPECT_TRUE(out.matrix == ref.matrix)
+                << "native estimated injection diverged on case #" << i << " ("
+                << suite[i].name << ")";
+            EXPECT_GE(out.stats.faulted_rows, 1) << "case #" << i;
+        }
+    }
+}
+
+TEST(BackendParity, AllocationFaultPlanComposesWithNativePath)
+{
+    const auto c = gen::adversarial_case(kSeed, 7);
+    const auto ref = simulated_reference(c.matrix);
+    for (std::int64_t fail_at = 0; fail_at < 12; ++fail_at) {
+        sim::Device dev = p100();
+        sim::FaultPlan plan;
+        plan.fail_at_alloc = fail_at;
+        dev.allocator().set_fault_plan(plan);
+        try {
+            const auto out = hash_spgemm<double>(dev, c.matrix, c.matrix, native_opt(2));
+            EXPECT_TRUE(out.matrix == ref.matrix)
+                << "native under fail_at_alloc=" << fail_at << " diverged";
+        } catch (const DeviceOutOfMemory&) {
+            // Acceptable when the slab ladder itself is starved; the
+            // allocator must balance its books either way.
+        }
+        dev.allocator().set_fault_plan(sim::FaultPlan{});
+        dev.reclaim();
+        EXPECT_EQ(dev.allocator().live_bytes(), 0u) << "leak at fail_at=" << fail_at;
+    }
+}
+
+TEST(BackendParity, SlabFallbackProducesIdenticalBytesNatively)
+{
+    // A device too small for the unchunked attempt: the OOM unwind must
+    // engage the row-slab ladder with the native backend doing the slab
+    // work, and still reproduce the reference bytes.
+    const auto a = gen::uniform_random(600, 600, 24, /*seed=*/11);
+    const auto ref = simulated_reference(a);
+    sim::DeviceSpec spec = sim::DeviceSpec::pascal_p100();
+    spec.memory_capacity = 220 * 1024;
+    sim::Device dev{spec};
+    const auto out = hash_spgemm<double>(dev, a, a, native_opt(2));
+    EXPECT_TRUE(out.matrix == ref.matrix);
+    EXPECT_GE(out.stats.fallback_slabs, 2);
+}
+
+TEST(BackendParity, SessionRunsNativeBackendThroughTheLadder)
+{
+    SessionConfig cfg;
+    cfg.options.backend = core::BackendKind::kNative;
+    cfg.options.executor_threads = 2;
+    Session session(cfg);
+    const auto suite = gen::adversarial_suite(kSeed ^ 0x7f4a7c15, 6);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto& a = suite[i].matrix;
+        const auto ref = simulated_reference(a);
+        const auto res = session.multiply<double>(a, a);
+        ASSERT_TRUE(res.ok()) << res.error_message;
+        EXPECT_EQ(res.outcome, RequestOutcome::kCompleted);
+        EXPECT_TRUE(res.out.matrix == ref.matrix) << "session native diverged on case #"
+                                                  << i << " (" << suite[i].name << ")";
+    }
+}
+
+TEST(BackendParity, SessionDeadlineTripsDeterministicallyOnNative)
+{
+    // Native elapsed simulated time advances only through the allocation
+    // hooks, so a sub-microsecond sim budget reliably trips at the first
+    // post-upload cancellation point — same boundary on every run.
+    SessionConfig cfg;
+    cfg.options.backend = core::BackendKind::kNative;
+    Session session(cfg);
+    const auto a = gen::uniform_random(300, 300, 16, /*seed=*/5);
+    RequestBudget budget;
+    budget.sim_seconds = 1e-9;
+    const auto res = session.multiply<double>(a, a, budget);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.outcome, RequestOutcome::kDeadline);
+
+    // The session stays usable for the next (unbudgeted) request.
+    const auto ok = session.multiply<double>(a, a);
+    ASSERT_TRUE(ok.ok()) << ok.error_message;
+    EXPECT_TRUE(ok.out.matrix == simulated_reference(a).matrix);
+}
+
+TEST(BackendParity, CleanEstimatedRunChargesOneRetryPerMisprediction)
+{
+    // Clean-run invariant shared with the simulated backend: every
+    // mispredicted row is repaired by exactly one rewrite pass.
+    const auto a = gen::uniform_random(500, 500, 20, /*seed=*/23);
+    core::Options opt = native_opt(2);
+    opt.plan_mode = core::PlanMode::kEstimated;
+    opt.estimate_sample_rate = 0.02;
+    opt.estimate_confidence = 0.0;
+    sim::Device dev = p100();
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+    EXPECT_TRUE(out.matrix == simulated_reference(a).matrix);
+    EXPECT_GT(out.stats.estimated_rows, 0);
+    EXPECT_EQ(out.stats.row_retries, out.stats.mispredicted_rows);
+    EXPECT_EQ(out.stats.faulted_rows, 0);
+    EXPECT_EQ(out.stats.host_fallback_rows, 0);
+}
+
+TEST(BackendParity, QuietKnobSuppressesWithoutConsumingTheLatch)
+{
+    // API smoke: the switch reads back, the env override composes with it,
+    // and a quiet run still resolves threads to the same values.
+    const bool before = sim::warnings_quiet();
+    sim::set_warnings_quiet(true);
+    EXPECT_TRUE(sim::warnings_quiet());
+
+    const auto a = gen::uniform_random(100, 100, 8, /*seed=*/3);
+    core::Options opt = native_opt(-3);  // negative: would warn when loud
+    opt.quiet = true;
+    sim::Device dev = p100();
+    const auto out = hash_spgemm<double>(dev, a, a, opt);
+    EXPECT_TRUE(out.matrix == simulated_reference(a).matrix);
+
+    sim::set_warnings_quiet(before);
+    EXPECT_EQ(sim::warnings_quiet(), before);
+}
+
+}  // namespace
+}  // namespace nsparse
