@@ -1,0 +1,268 @@
+// Service-layer throughput benchmark: what does the operand/plan cache
+// buy on workloads that actually repeat operands?
+//
+//   1. A^k chain — P_i = P_{i-1} * A through one cached session, then the
+//      identical chain again: the warm pass serves grouping, symbolic
+//      planning and operand residency from the cache. Reports per-request
+//      simulated-latency p50/p99 for the cold and warm passes, the cache
+//      hit rates, and gates (--gate) the warm-over-cold p50 speedup at
+//      >= 1.15x. Every warm product is asserted byte-identical to its
+//      cold counterpart.
+//
+//   2. AMG triple product — the smoothed-aggregation hierarchy of a 2-D
+//      Poisson operator built through solver::session_spgemm, twice on the
+//      same session: the second setup's Galerkin products (A*P, R*(AP))
+//      and prolongation smoothing re-submit content-identical operands and
+//      run warm. Reports the setup SpGEMM seconds cold vs warm and the
+//      session's plan hit rate.
+//
+// The whole suite runs twice and asserts identical simulated numbers;
+// emits BENCH_service_throughput.json with determinism_ok.
+//
+//   bench_service_throughput [--smoke] [--gate] [--out FILE]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "service/session.hpp"
+#include "solver/amg.hpp"
+
+namespace {
+
+using namespace nsparse;
+
+double percentile(std::vector<double> v, double p)
+{
+    if (v.empty()) { return 0.0; }
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+struct ChainResult {
+    std::vector<double> cold_s;  ///< per-request simulated seconds, cold pass
+    std::vector<double> warm_s;  ///< same requests, warm pass
+    double plan_hit_rate = 0.0;
+    double residency_hit_rate = 0.0;
+    bool identical = true;  ///< every warm product == its cold counterpart
+};
+
+/// P_i = P_{i-1} * A for i = 1..k, twice through one cached session.
+ChainResult run_chain(const CsrMatrix<double>& a, int k)
+{
+    ChainResult r;
+    SessionConfig cfg;
+    cfg.cache.enabled = true;
+    Session session(std::move(cfg));
+
+    std::vector<CsrMatrix<double>> cold_products;
+    const CsrMatrix<double>* left = &a;
+    for (int i = 0; i < k; ++i) {
+        auto res = session.multiply<double>(*left, a);
+        if (!res.ok()) {
+            std::fprintf(stderr, "chain cold product %d failed: %s\n", i,
+                         res.error_message.c_str());
+            r.identical = false;
+            return r;
+        }
+        r.cold_s.push_back(res.out.stats.seconds);
+        cold_products.push_back(std::move(res.out.matrix));
+        left = &cold_products.back();
+    }
+
+    left = &a;
+    for (int i = 0; i < k; ++i) {
+        const auto res = session.multiply<double>(*left, a);
+        if (!res.ok()) {
+            std::fprintf(stderr, "chain warm product %d failed: %s\n", i,
+                         res.error_message.c_str());
+            r.identical = false;
+            return r;
+        }
+        r.warm_s.push_back(res.out.stats.seconds);
+        r.identical = r.identical && res.out.matrix.rpt == cold_products[to_size(i)].rpt &&
+                      res.out.matrix.col == cold_products[to_size(i)].col &&
+                      res.out.matrix.val == cold_products[to_size(i)].val;
+        left = &cold_products[to_size(i)];
+    }
+
+    const auto& s = session.stats();
+    const auto plan_total = s.cache_hits + s.cache_misses;
+    const auto res_total = s.cache_residency_hits + s.cache_residency_misses;
+    r.plan_hit_rate = plan_total > 0
+                          ? static_cast<double>(s.cache_hits) / static_cast<double>(plan_total)
+                          : 0.0;
+    r.residency_hit_rate = res_total > 0 ? static_cast<double>(s.cache_residency_hits) /
+                                               static_cast<double>(res_total)
+                                         : 0.0;
+    return r;
+}
+
+CsrMatrix<double> poisson2d(index_t n)
+{
+    CsrMatrix<double> m;
+    m.rows = m.cols = n * n;
+    m.rpt.assign(to_size(m.rows) + 1, 0);
+    const auto at = [n](index_t x, index_t y) { return y * n + x; };
+    for (index_t y = 0; y < n; ++y) {
+        for (index_t x = 0; x < n; ++x) {
+            const auto push = [&](index_t xx, index_t yy, double v) {
+                if (xx < 0 || xx >= n || yy < 0 || yy >= n) { return; }
+                m.col.push_back(at(xx, yy));
+                m.val.push_back(v);
+            };
+            push(x, y - 1, -1.0);
+            push(x - 1, y, -1.0);
+            push(x, y, 4.0);
+            push(x + 1, y, -1.0);
+            push(x, y + 1, -1.0);
+            m.rpt[to_size(at(x, y)) + 1] = to_index(m.col.size());
+        }
+    }
+    m.validate();
+    return m;
+}
+
+struct AmgResult {
+    double cold_spgemm_s = 0.0;
+    double warm_spgemm_s = 0.0;
+    double plan_hit_rate = 0.0;
+    bool ok = true;
+};
+
+/// Two identical hierarchy builds through one cached session: the second
+/// one re-submits every setup operand and runs warm.
+AmgResult run_amg(const CsrMatrix<double>& a)
+{
+    AmgResult r;
+    SessionConfig cfg;
+    cfg.cache.enabled = true;
+    Session session(std::move(cfg));
+
+    solver::AmgOptions opt;
+    opt.spgemm = solver::session_spgemm(session);
+
+    const solver::AmgHierarchy cold(session.device(), a, opt);
+    r.cold_spgemm_s = cold.stats().spgemm_seconds;
+    const solver::AmgHierarchy warm(session.device(), a, opt);
+    r.warm_spgemm_s = warm.stats().spgemm_seconds;
+    r.ok = cold.stats().levels == warm.stats().levels &&
+           cold.stats().total_spgemm_products == warm.stats().total_spgemm_products;
+
+    const auto& s = session.stats();
+    const auto plan_total = s.cache_hits + s.cache_misses;
+    r.plan_hit_rate = plan_total > 0
+                          ? static_cast<double>(s.cache_hits) / static_cast<double>(plan_total)
+                          : 0.0;
+    return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    bool smoke = false;
+    bool gate = false;
+    std::string out_path = "BENCH_service_throughput.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) { smoke = true; }
+        if (std::strcmp(argv[i], "--gate") == 0) { gate = true; }
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) { out_path = argv[++i]; }
+    }
+
+    const index_t n = smoke ? 200 : 400;
+    const int k = smoke ? 6 : 8;
+    const index_t grid = smoke ? 16 : 24;
+    const auto a = gen::uniform_random(n, n, 8, 3);
+    const auto pois = poisson2d(grid);
+    std::printf("service-throughput: A^%d chain on %d x %d, AMG on %d x %d%s\n\n", k + 1, n,
+                n, grid * grid, grid * grid, smoke ? " [smoke]" : "");
+
+    bool ok = true;
+
+    // ---- 1. A^k chain: cold vs warm pass --------------------------------
+    const auto chain = run_chain(a, k);
+    const auto chain_again = run_chain(a, k);
+    bool determinism_ok = chain.cold_s == chain_again.cold_s &&
+                          chain.warm_s == chain_again.warm_s &&
+                          chain.identical == chain_again.identical;
+    if (!chain.identical) {
+        std::fprintf(stderr, "FAIL: warm chain products differ from cold bytes\n");
+        ok = false;
+    }
+    const double cold_p50 = percentile(chain.cold_s, 0.50);
+    const double cold_p99 = percentile(chain.cold_s, 0.99);
+    const double warm_p50 = percentile(chain.warm_s, 0.50);
+    const double warm_p99 = percentile(chain.warm_s, 0.99);
+    const double speedup_p50 = warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
+    std::printf("%-18s %14s %14s\n", "A^k chain", "p50 [ms]", "p99 [ms]");
+    std::printf("%-18s %14.4f %14.4f\n", "cold pass", cold_p50 * 1e3, cold_p99 * 1e3);
+    std::printf("%-18s %14.4f %14.4f\n", "warm pass", warm_p50 * 1e3, warm_p99 * 1e3);
+    std::printf("warm speedup: x%.3f p50 (gate: >= 1.15x)\n", speedup_p50);
+    std::printf("hit rates: plan %.0f%%, residency %.0f%%\n\n", chain.plan_hit_rate * 100.0,
+                chain.residency_hit_rate * 100.0);
+    if (gate && speedup_p50 < 1.15) {
+        std::fprintf(stderr, "FAIL: warm p50 speedup x%.3f below the 1.15x gate\n",
+                     speedup_p50);
+        ok = false;
+    }
+
+    // ---- 2. AMG triple product: cold vs warm setup ----------------------
+    const auto amg = run_amg(pois);
+    const auto amg_again = run_amg(pois);
+    determinism_ok = determinism_ok && amg.cold_spgemm_s == amg_again.cold_spgemm_s &&
+                     amg.warm_spgemm_s == amg_again.warm_spgemm_s;
+    if (!amg.ok) {
+        std::fprintf(stderr, "FAIL: warm AMG setup diverged from the cold hierarchy\n");
+        ok = false;
+    }
+    const double amg_speedup =
+        amg.warm_spgemm_s > 0.0 ? amg.cold_spgemm_s / amg.warm_spgemm_s : 0.0;
+    std::printf("%-18s %14s\n", "AMG setup", "SpGEMM [ms]");
+    std::printf("%-18s %14.4f\n", "cold build", amg.cold_spgemm_s * 1e3);
+    std::printf("%-18s %14.4f\n", "warm build", amg.warm_spgemm_s * 1e3);
+    std::printf("warm speedup: x%.3f, plan hit rate %.0f%%\n", amg_speedup,
+                amg.plan_hit_rate * 100.0);
+    if (!determinism_ok) {
+        std::fprintf(stderr, "FAIL: suite is not deterministic across reruns\n");
+        ok = false;
+    }
+
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"service_throughput\",\n  \"workload\": \"%s\",\n",
+                 smoke ? "smoke" : "full");
+    std::fprintf(f, "  \"determinism_ok\": %s,\n", (ok && determinism_ok) ? "true" : "false");
+    std::fprintf(f, "  \"chain\": {\n");
+    std::fprintf(f, "    \"rows\": %d,\n    \"products\": %d,\n", n, k);
+    std::fprintf(f, "    \"cold_p50_seconds\": %.9f,\n    \"cold_p99_seconds\": %.9f,\n",
+                 cold_p50, cold_p99);
+    std::fprintf(f, "    \"warm_p50_seconds\": %.9f,\n    \"warm_p99_seconds\": %.9f,\n",
+                 warm_p50, warm_p99);
+    std::fprintf(f, "    \"warm_speedup_p50\": %.4f,\n", speedup_p50);
+    std::fprintf(f, "    \"plan_hit_rate\": %.4f,\n", chain.plan_hit_rate);
+    std::fprintf(f, "    \"residency_hit_rate\": %.4f,\n", chain.residency_hit_rate);
+    std::fprintf(f, "    \"byte_identical\": %s\n  },\n", chain.identical ? "true" : "false");
+    std::fprintf(f, "  \"amg\": {\n");
+    std::fprintf(f, "    \"grid\": %d,\n", grid);
+    std::fprintf(f, "    \"cold_spgemm_seconds\": %.9f,\n", amg.cold_spgemm_s);
+    std::fprintf(f, "    \"warm_spgemm_seconds\": %.9f,\n", amg.warm_spgemm_s);
+    std::fprintf(f, "    \"warm_speedup\": %.4f,\n", amg_speedup);
+    std::fprintf(f, "    \"plan_hit_rate\": %.4f\n  }\n}\n", amg.plan_hit_rate);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+
+    if (!ok) {
+        std::fprintf(stderr, "service-throughput FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -38,15 +38,15 @@ if [ "$run_tier1" = 1 ]; then
 fi
 
 if [ "$run_asan" = 1 ]; then
-  echo "== ASan/UBSan: faults + chaos + fuzz + shard + backend labels =="
+  echo "== ASan/UBSan: faults + chaos + fuzz + shard + backend + cache labels =="
   configure_and_build build-check/asan -DNSPARSE_SANITIZE=address
-  ctest --test-dir build-check/asan --output-on-failure -j "$jobs" -L 'faults|chaos|fuzz|shard|backend'
+  ctest --test-dir build-check/asan --output-on-failure -j "$jobs" -L 'faults|chaos|fuzz|shard|backend|cache'
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  echo "== TSan: tsan + chaos + shard + backend labels =="
+  echo "== TSan: tsan + chaos + shard + backend + cache labels =="
   configure_and_build build-check/tsan -DNSPARSE_SANITIZE=thread
-  ctest --test-dir build-check/tsan --output-on-failure -j "$jobs" -L 'tsan|chaos|shard|backend'
+  ctest --test-dir build-check/tsan --output-on-failure -j "$jobs" -L 'tsan|chaos|shard|backend|cache'
 fi
 
 echo "== check.sh: all requested sweeps passed =="

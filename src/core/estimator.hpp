@@ -361,4 +361,52 @@ RowPlan build_row_plan(sim::Device& dev, const sim::DeviceCsr<T>& a, const sim::
     return plan;
 }
 
+/// Plans every row from an already-fitted model without re-sampling (the
+/// operand cache's warm estimated path): no exact count pass runs, so
+/// sampled_rows is 0 and every product-bearing row is either planned from
+/// the model or (hybrid, low confidence) queued for the caller's shrunken
+/// exact count — the same downstream contract as build_row_plan. The
+/// shared/global boundary is re-derived from the *current* options, so a
+/// model captured under different pwarp knobs still classifies correctly.
+/// Output is byte-identical to a sampled plan because the repair pipeline
+/// absorbs any plan bit-identically; only the estimation stats differ.
+template <ValueType T>
+RowPlan build_row_plan_from_model(sim::Device& dev, const sim::DeviceCsr<T>& a,
+                                  const sim::DeviceCsr<T>& b,
+                                  const sim::DeviceBuffer<index_t>& products,
+                                  const Options& opt, const NnzEstimateModel& model)
+{
+    RowPlan plan;
+    const auto rows = to_size(a.rows);
+    plan.capacity.assign(rows, 0);
+    plan.plan_nnz.assign(rows, 0);
+    plan.exact.assign(rows, 0);
+    plan.model = model;
+    plan.model.shared_nnz_limit =
+        GroupingPolicy::numeric(dev.spec(), sizeof(T), opt.pwarp_width, opt.use_pwarp)
+            .max_shared_table;
+
+    const std::span<const index_t> prod(products.data(), rows);
+    const bool hybrid = opt.plan_mode == PlanMode::kHybrid;
+    wide_t estimated_products = 0;
+    for (index_t i = 0; i < a.rows; ++i) {
+        const index_t p = prod[to_size(i)];
+        if (p <= 0) {
+            plan.exact[to_size(i)] = 1;
+            continue;
+        }
+        if (hybrid && plan.model.confidence(p) < opt.estimate_confidence) {
+            plan.lowconf.push_back(i);
+            continue;
+        }
+        plan.capacity[to_size(i)] = plan.model.capacity(p, b.cols);
+        plan.plan_nnz[to_size(i)] = plan.model.plan_nnz(p, b.cols);
+        ++plan.estimated_rows;
+        estimated_products += p;
+    }
+    plan.symbolic_cycles_saved =
+        plan.model.cost_per_product * static_cast<double>(estimated_products);
+    return plan;
+}
+
 }  // namespace nsparse::core

@@ -24,6 +24,7 @@
 #include "core/numeric.hpp"
 #include "core/numeric_estimated.hpp"
 #include "core/options.hpp"
+#include "core/plan_cache.hpp"
 #include "core/scratch.hpp"
 #include "core/symbolic.hpp"
 #include "gpusim/algorithm.hpp"
@@ -124,7 +125,8 @@ inline void scan_row_pointers(sim::Device& dev, const sim::DeviceBuffer<index_t>
 template <ValueType T>
 MultiplyResult<T> multiply_attempt_exact(sim::Device& dev, const CsrMatrix<T>& a,
                                          const CsrMatrix<T>& b, const core::Options& opt,
-                                         SpgemmStats& stats)
+                                         SpgemmStats& stats,
+                                         const AttemptCache<T>& cache = {})
 {
     MultiplyResult<T> out;
     sim::DeviceCsr<T> c;
@@ -132,28 +134,57 @@ MultiplyResult<T> multiply_attempt_exact(sim::Device& dev, const CsrMatrix<T>& a
 
     {
         // ---- setup: upload, count products (1), group rows (2) ----
+        // Cache-resident operands stand in for the uploads; cached product
+        // counts stand in for kernel 1 (byte-identical: the kernel is a
+        // pure function of the pair).
         auto phase = dev.phase_scope("setup");
-        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
-        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
-        auto products = count_products(dev, da, db);
-        for (std::size_t i = 0; i < products.size(); ++i) { total_products += products[i]; }
-
-        const auto sym_policy =
-            core::GroupingPolicy::symbolic(dev.spec(), opt.pwarp_width, opt.use_pwarp);
-        auto sym_groups = core::group_rows(dev, sym_policy, products);
+        sim::DeviceCsr<T> owned_a;
+        sim::DeviceCsr<T> owned_b;
+        const sim::DeviceCsr<T>* da = cache.resident_a;
+        const sim::DeviceCsr<T>* db = cache.resident_b;
+        if (da == nullptr) {
+            owned_a = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+            da = &owned_a;
+        }
+        if (db == nullptr) {
+            owned_b = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+            db = &owned_b;
+        }
+        sim::DeviceBuffer<index_t> products;
+        if (cache.warm != nullptr) {
+            products = take_index_scratch(dev, "products", to_size(a.rows));
+            std::copy(cache.warm->products.begin(), cache.warm->products.end(),
+                      products.data());
+            total_products = cache.warm->total_products;
+        } else {
+            products = count_products(dev, *da, *db);
+            for (std::size_t i = 0; i < products.size(); ++i) {
+                total_products += products[i];
+            }
+        }
 
         auto row_nnz = take_index_scratch(dev, "row_nnz", to_size(a.rows));
-        row_nnz.fill(0);
-
-        {
-            // ---- count: symbolic phase (3) ----
-            auto count_phase = dev.phase_scope("count");
-            const core::PhaseFaults pf =
-                core::symbolic_phase(dev, da, db, sym_policy, sym_groups, products, row_nnz,
-                                     opt);
-            stats.faulted_rows += pf.faulted_rows;
-            stats.row_retries += pf.row_retries;
-            stats.host_fallback_rows += pf.host_fallback_rows;
+        const bool warm_nnz = cache.warm != nullptr && cache.warm->has_row_nnz;
+        if (warm_nnz) {
+            // ---- warm path: the cached histogram IS the symbolic result;
+            // skip symbolic grouping and the count pass entirely ----
+            std::copy(cache.warm->row_nnz.begin(), cache.warm->row_nnz.end(),
+                      row_nnz.data());
+        } else {
+            const auto sym_policy =
+                core::GroupingPolicy::symbolic(dev.spec(), opt.pwarp_width, opt.use_pwarp);
+            auto sym_groups = core::group_rows(dev, sym_policy, products);
+            row_nnz.fill(0);
+            {
+                // ---- count: symbolic phase (3) ----
+                auto count_phase = dev.phase_scope("count");
+                const core::PhaseFaults pf = core::symbolic_phase(
+                    dev, *da, *db, sym_policy, sym_groups, products, row_nnz, opt);
+                stats.faulted_rows += pf.faulted_rows;
+                stats.row_retries += pf.row_retries;
+                stats.host_fallback_rows += pf.host_fallback_rows;
+            }
+            put_index_scratch(dev, "grouping_perm", std::move(sym_groups.permutation));
         }
 
         // ---- row pointers (4) + output allocation (5) ----
@@ -169,16 +200,46 @@ MultiplyResult<T> multiply_attempt_exact(sim::Device& dev, const CsrMatrix<T>& a
         // ---- regroup by output nnz (6) ----
         const auto num_policy = core::GroupingPolicy::numeric(dev.spec(), sizeof(T),
                                                               opt.pwarp_width, opt.use_pwarp);
-        auto num_groups = core::group_rows(dev, num_policy, row_nnz);
+        core::GroupedRows num_groups;
+        const bool adopt_grouping =
+            warm_nnz && cache.warm->has_grouping &&
+            cache.warm->grouping_pwarp_width == opt.pwarp_width &&
+            cache.warm->grouping_use_pwarp == opt.use_pwarp;
+        if (adopt_grouping) {
+            // The cached permutation equals what group_rows would scatter
+            // from the identical row_nnz under the identical policy.
+            num_groups.permutation =
+                take_index_scratch(dev, "grouping_perm", cache.warm->num_perm.size());
+            std::copy(cache.warm->num_perm.begin(), cache.warm->num_perm.end(),
+                      num_groups.permutation.data());
+            num_groups.offsets = cache.warm->num_offsets;
+        } else {
+            num_groups = core::group_rows(dev, num_policy, row_nnz);
+        }
 
         {
             // ---- calc: numeric phase (7) ----
             auto calc_phase = dev.phase_scope("calc");
             const core::PhaseFaults pf =
-                core::numeric_phase(dev, da, db, num_policy, num_groups, row_nnz, c, opt);
+                core::numeric_phase(dev, *da, *db, num_policy, num_groups, row_nnz, c, opt);
             stats.faulted_rows += pf.faulted_rows;
             stats.row_retries += pf.row_retries;
             stats.host_fallback_rows += pf.host_fallback_rows;
+        }
+
+        if (cache.capture != nullptr) {
+            auto& cap = *cache.capture;
+            cap.products.assign(products.data(), products.data() + products.size());
+            cap.total_products = total_products;
+            cap.row_nnz.assign(row_nnz.data(), row_nnz.data() + row_nnz.size());
+            cap.has_row_nnz = true;
+            cap.num_perm.assign(num_groups.permutation.data(),
+                                num_groups.permutation.data() +
+                                    num_groups.permutation.size());
+            cap.num_offsets = num_groups.offsets;
+            cap.grouping_pwarp_width = opt.pwarp_width;
+            cap.grouping_use_pwarp = opt.use_pwarp;
+            cap.has_grouping = true;
         }
 
         // Hand the per-product workspaces back for the next product (pool
@@ -186,7 +247,6 @@ MultiplyResult<T> multiply_attempt_exact(sim::Device& dev, const CsrMatrix<T>& a
         // exception skips this, releasing them by RAII instead.
         put_index_scratch(dev, "products", std::move(products));
         put_index_scratch(dev, "row_nnz", std::move(row_nnz));
-        put_index_scratch(dev, "grouping_perm", std::move(sym_groups.permutation));
         put_index_scratch(dev, "grouping_perm", std::move(num_groups.permutation));
     }
 
@@ -209,7 +269,8 @@ MultiplyResult<T> multiply_attempt_exact(sim::Device& dev, const CsrMatrix<T>& a
 template <ValueType T>
 MultiplyResult<T> multiply_attempt_estimated(sim::Device& dev, const CsrMatrix<T>& a,
                                              const CsrMatrix<T>& b, const core::Options& opt,
-                                             SpgemmStats& stats)
+                                             SpgemmStats& stats,
+                                             const AttemptCache<T>& cache = {})
 {
     MultiplyResult<T> out;
     sim::DeviceCsr<T> c;
@@ -218,21 +279,51 @@ MultiplyResult<T> multiply_attempt_estimated(sim::Device& dev, const CsrMatrix<T
     {
         // ---- setup: upload + product counts (1), as in the exact path ----
         auto phase = dev.phase_scope("setup");
-        const auto da = sim::DeviceCsr<T>::upload(dev.allocator(), a);
-        const auto db = sim::DeviceCsr<T>::upload(dev.allocator(), b);
-        auto products = count_products(dev, da, db);
-        for (std::size_t i = 0; i < products.size(); ++i) { total_products += products[i]; }
+        sim::DeviceCsr<T> owned_a;
+        sim::DeviceCsr<T> owned_b;
+        const sim::DeviceCsr<T>* pda = cache.resident_a;
+        const sim::DeviceCsr<T>* pdb = cache.resident_b;
+        if (pda == nullptr) {
+            owned_a = sim::DeviceCsr<T>::upload(dev.allocator(), a);
+            pda = &owned_a;
+        }
+        if (pdb == nullptr) {
+            owned_b = sim::DeviceCsr<T>::upload(dev.allocator(), b);
+            pdb = &owned_b;
+        }
+        const sim::DeviceCsr<T>& da = *pda;
+        const sim::DeviceCsr<T>& db = *pdb;
+        sim::DeviceBuffer<index_t> products;
+        if (cache.warm != nullptr) {
+            products = take_index_scratch(dev, "products", to_size(a.rows));
+            std::copy(cache.warm->products.begin(), cache.warm->products.end(),
+                      products.data());
+            total_products = cache.warm->total_products;
+        } else {
+            products = count_products(dev, da, db);
+            for (std::size_t i = 0; i < products.size(); ++i) {
+                total_products += products[i];
+            }
+        }
 
-        // ---- estimate: sample, fit, classify (replaces grouping+count) ----
+        // ---- estimate: sample, fit, classify (replaces grouping+count);
+        // a cached model skips the sampling pass and classifies every row
+        // directly (re-sampling would only refit what is already fitted) ----
         core::RowPlan plan;
         auto capacity = take_index_scratch(dev, "capacity", to_size(a.rows));
         std::vector<index_t> cap_rpt;
+        const bool warm_model = cache.warm != nullptr && cache.warm->has_model;
         {
             auto est_phase = dev.phase_scope("estimate");
-            plan = core::build_row_plan(dev, da, db, products, opt);
-            stats.faulted_rows += plan.sample_faults.faulted_rows;
-            stats.row_retries += plan.sample_faults.row_retries;
-            stats.host_fallback_rows += plan.sample_faults.host_fallback_rows;
+            if (warm_model) {
+                plan = core::build_row_plan_from_model(dev, da, db, products, opt,
+                                                       cache.warm->model);
+            } else {
+                plan = core::build_row_plan(dev, da, db, products, opt);
+                stats.faulted_rows += plan.sample_faults.faulted_rows;
+                stats.row_retries += plan.sample_faults.row_retries;
+                stats.host_fallback_rows += plan.sample_faults.host_fallback_rows;
+            }
         }
 
         // ---- count (hybrid only): exact-count the low-confidence rows ----
@@ -305,6 +396,21 @@ MultiplyResult<T> multiply_attempt_estimated(sim::Device& dev, const CsrMatrix<T
         stats.mispredicted_rows += nout.mispredicted_rows;
         stats.symbolic_cycles_saved += plan.symbolic_cycles_saved;
 
+        if (cache.capture != nullptr) {
+            // row_nnz holds the *repaired* per-row nnz by now (it produced
+            // C's row pointers), so the capture is exact — a later exact-
+            // mode warm run can adopt it just like an exact capture. The
+            // numeric grouping of this path keys on plan_nnz, not row_nnz,
+            // so it is not transferable (has_grouping stays false).
+            auto& cap = *cache.capture;
+            cap.products.assign(products.data(), products.data() + products.size());
+            cap.total_products = total_products;
+            cap.row_nnz.assign(row_nnz.data(), row_nnz.data() + row_nnz.size());
+            cap.has_row_nnz = true;
+            cap.model = plan.model;
+            cap.has_model = true;
+        }
+
         put_index_scratch(dev, "products", std::move(products));
         put_index_scratch(dev, "row_nnz", std::move(row_nnz));
         put_index_scratch(dev, "capacity", std::move(capacity));
@@ -323,17 +429,22 @@ MultiplyResult<T> multiply_attempt_estimated(sim::Device& dev, const CsrMatrix<T
 /// options' backend and plan mode. All paths share the OOM / row-slab
 /// degradation below (the native backend charges the same allocator), and
 /// produce byte-identical C for every combination (core/backend.hpp).
+/// `cache` threads warm/capture plan artifacts and resident operands
+/// through the simulated paths (service operand cache); the default keeps
+/// every existing caller a cold run. The native backend plans its own way
+/// and ignores the cache — byte-identity across backends is unaffected.
 template <ValueType T>
 MultiplyResult<T> multiply_attempt(sim::Device& dev, const CsrMatrix<T>& a, const CsrMatrix<T>& b,
-                                   const core::Options& opt, SpgemmStats& stats)
+                                   const core::Options& opt, SpgemmStats& stats,
+                                   const AttemptCache<T>& cache = {})
 {
     if (opt.backend == core::BackendKind::kNative) {
         return multiply_attempt_native(dev, a, b, opt, stats);
     }
     if (opt.plan_mode != core::PlanMode::kExact) {
-        return multiply_attempt_estimated(dev, a, b, opt, stats);
+        return multiply_attempt_estimated(dev, a, b, opt, stats, cache);
     }
-    return multiply_attempt_exact(dev, a, b, opt, stats);
+    return multiply_attempt_exact(dev, a, b, opt, stats, cache);
 }
 
 /// Row-slab degradation: multiplies k contiguous row slabs of A against B

@@ -217,10 +217,13 @@ public:
     {
         alloc.allocate(n * sizeof(T));
         alloc_ = &alloc;
+        charged_ = n * sizeof(T);
         try {
             data_.resize(n);
         } catch (...) {
             alloc.deallocate(n * sizeof(T));
+            alloc_ = nullptr;
+            charged_ = 0;
             throw;
         }
     }
@@ -250,14 +253,31 @@ public:
     void release() noexcept
     {
         if (alloc_ != nullptr) {
-            alloc_->deallocate(data_.size() * sizeof(T));
+            alloc_->deallocate(charged_);
             alloc_ = nullptr;
         }
+        charged_ = 0;
         data_.clear();
         data_.shrink_to_fit();
     }
 
     [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+    /// Elements the underlying allocation can hold. Equals size() unless
+    /// reshape() shrank the logical view; the charge against the device
+    /// stays at this capacity either way (a sub-allocating pool keeps the
+    /// whole block resident).
+    [[nodiscard]] std::size_t capacity_elems() const { return charged_ / sizeof(T); }
+
+    /// Resizes the logical view within the existing allocation — no device
+    /// charge changes and no reallocation happens (`n` must fit the
+    /// capacity). Grown tail elements are value-initialized, not stale.
+    void reshape(std::size_t n)
+    {
+        NSPARSE_ASSERT(n * sizeof(T) <= charged_, "reshape beyond buffer capacity");
+        if (data_.capacity() < n) { data_.reserve(charged_ / sizeof(T)); }
+        data_.resize(n);
+    }
     [[nodiscard]] bool empty() const { return data_.empty(); }
     [[nodiscard]] T* data() { return data_.data(); }
     [[nodiscard]] const T* data() const { return data_.data(); }
@@ -278,9 +298,10 @@ public:
     {
         std::vector<T> out = std::move(data_);
         if (alloc_ != nullptr) {
-            alloc_->deallocate(out.size() * sizeof(T));
+            alloc_->deallocate(charged_);
             alloc_ = nullptr;
         }
+        charged_ = 0;
         data_.clear();
         data_.shrink_to_fit();
         return out;
@@ -291,9 +312,11 @@ private:
     {
         std::swap(alloc_, other.alloc_);
         std::swap(data_, other.data_);
+        std::swap(charged_, other.charged_);
     }
 
     DeviceAllocator* alloc_ = nullptr;
+    std::size_t charged_ = 0;  ///< bytes charged against the allocator
     std::vector<T> data_;
 };
 

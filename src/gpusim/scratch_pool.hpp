@@ -33,20 +33,41 @@ public:
     /// (bounds pool growth on mixed-size batches).
     static constexpr std::size_t kMaxPerTag = 8;
 
-    /// Returns a buffer of exactly `n` index_t elements: a cached
-    /// exact-size buffer when one is free (a *hit* — no simulated
-    /// cudaMalloc), otherwise a fresh allocation from `alloc` (a *miss*).
+    /// Slack tolerated by a near-miss reuse: a cached buffer up to 25%
+    /// larger than the request is reshaped down and handed back instead of
+    /// paying a fresh simulated cudaMalloc. Bounded so a huge stale buffer
+    /// never camps on a tiny request's charge.
+    static constexpr std::size_t kSlackNum = 1;
+    static constexpr std::size_t kSlackDen = 4;
+
+    /// Returns a buffer of exactly `n` index_t elements: a cached buffer
+    /// whose allocation fits `n` exactly when one is free, else the
+    /// smallest cached buffer within the bounded slack (both a *hit* — no
+    /// simulated cudaMalloc), otherwise a fresh allocation from `alloc`
+    /// (a *miss*). Reused buffers are reshaped to exactly `n` elements so
+    /// consumers that iterate `buf.size()` never see a stale tail.
     [[nodiscard]] DeviceBuffer<index_t> take(const std::string& tag, DeviceAllocator& alloc,
                                              std::size_t n)
     {
         auto& list = cache_[tag];
+        std::size_t best = list.size();
         for (std::size_t i = 0; i < list.size(); ++i) {
-            if (list[i].size() == n) {
-                DeviceBuffer<index_t> buf = std::move(list[i]);
-                list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
-                ++hits_;
-                return buf;
+            const std::size_t cap = list[i].capacity_elems();
+            if (cap == n) {
+                best = i;
+                break;  // exact match always wins (preserves pre-slack behaviour)
             }
+            if (cap > n && cap - n <= n * kSlackNum / kSlackDen &&
+                (best == list.size() || cap < list[best].capacity_elems())) {
+                best = i;
+            }
+        }
+        if (best < list.size()) {
+            DeviceBuffer<index_t> buf = std::move(list[best]);
+            list.erase(list.begin() + static_cast<std::ptrdiff_t>(best));
+            if (buf.size() != n) { buf.reshape(n); }
+            ++hits_;
+            return buf;
         }
         ++misses_;
         return DeviceBuffer<index_t>(alloc, n);

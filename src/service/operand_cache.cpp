@@ -1,0 +1,161 @@
+#include "service/operand_cache.hpp"
+
+#include <utility>
+
+namespace nsparse {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+}  // namespace
+
+template <ValueType T>
+OperandFingerprint fingerprint_operand(const CsrMatrix<T>& m)
+{
+    // Two independent FNV-1a streams (different offset bases) over the
+    // same bytes give a 128-bit fingerprint; a collision would need both
+    // 64-bit streams to collide simultaneously.
+    const struct {
+        index_t rows, cols, nnz;
+        std::uint32_t elem;
+    } header{m.rows, m.cols, m.nnz(), static_cast<std::uint32_t>(sizeof(T))};
+    std::uint64_t lo = 14695981039346656037ULL;
+    std::uint64_t hi = 0x9E3779B97F4A7C15ULL;
+    const auto mix = [&](const void* data, std::size_t n) {
+        lo = fnv1a(lo, data, n);
+        hi = fnv1a(hi, data, n);
+    };
+    mix(&header, sizeof(header));
+    mix(m.rpt.data(), m.rpt.size() * sizeof(index_t));
+    mix(m.col.data(), m.col.size() * sizeof(index_t));
+    mix(m.val.data(), m.val.size() * sizeof(T));
+    OperandFingerprint fp{lo, hi};
+    // A fingerprint of exactly {0,0} would read as "absent"; nudge it.
+    if (!fp.valid()) { fp.lo = 1; }
+    return fp;
+}
+
+const core::detail::CachedPlanArtifacts* OperandCache::find_plan(const OperandPairKey& key)
+{
+    const auto it = plans_.find(key);
+    if (it == plans_.end()) {
+        ++stats_.plan_misses;
+        return nullptr;
+    }
+    ++stats_.plan_hits;
+    it->second.tick = ++tick_;
+    return &it->second.art;
+}
+
+void OperandCache::insert_plan(const OperandPairKey& key, core::detail::CachedPlanArtifacts art,
+                               std::vector<CacheEviction>* evicted)
+{
+    const std::size_t bytes = art.byte_size();
+    auto [it, fresh] = plans_.try_emplace(key);
+    if (!fresh) { plan_bytes_ -= it->second.bytes; }
+    it->second.art = std::move(art);
+    it->second.bytes = bytes;
+    it->second.tick = ++tick_;
+    plan_bytes_ += bytes;
+    evict_plans_over_budget(evicted);
+}
+
+void OperandCache::pin_plan(const OperandPairKey& key)
+{
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) { ++it->second.pins; }
+}
+
+void OperandCache::unpin_plan(const OperandPairKey& key)
+{
+    const auto it = plans_.find(key);
+    if (it != plans_.end() && it->second.pins > 0) { --it->second.pins; }
+}
+
+void OperandCache::evict_plans_over_budget(std::vector<CacheEviction>* evicted)
+{
+    while (plan_bytes_ > cfg_.plan_budget_bytes) {
+        auto victim = plans_.end();
+        for (auto it = plans_.begin(); it != plans_.end(); ++it) {
+            if (it->second.pins > 0) { continue; }
+            if (victim == plans_.end() || it->second.tick < victim->second.tick) {
+                victim = it;
+            }
+        }
+        if (victim == plans_.end()) { return; }  // everything pinned: stall
+        if (evicted != nullptr) {
+            evicted->push_back({false, victim->first.a.lo, victim->second.bytes});
+        }
+        plan_bytes_ -= victim->second.bytes;
+        ++stats_.plan_evictions;
+        plans_.erase(victim);
+    }
+}
+
+bool OperandCache::evict_residency_lru(std::vector<CacheEviction>* evicted)
+{
+    // Evict the globally-least-recently-used unpinned entry across both
+    // element widths.
+    const auto oldest_tick = [](const auto& map, std::uint64_t best) {
+        for (const auto& [fp, e] : map) {
+            if (e.pins == 0 && e.tick < best) { best = e.tick; }
+        }
+        return best;
+    };
+    const std::uint64_t none = tick_ + 1;
+    const std::uint64_t best_f = oldest_tick(res_f_, none);
+    const std::uint64_t best_d = oldest_tick(res_d_, none);
+    if (best_f == none && best_d == none) { return false; }
+    return best_f <= best_d ? evict_one_lru(res_f_, evicted) : evict_one_lru(res_d_, evicted);
+}
+
+void OperandCache::evict_residency_over_budget(std::vector<CacheEviction>* evicted)
+{
+    while (residency_bytes_ > cfg_.residency_budget_bytes) {
+        if (!evict_residency_lru(evicted)) { return; }  // everything pinned: stall
+    }
+}
+
+std::vector<CacheEviction> OperandCache::evict_residency_to(std::size_t target_bytes)
+{
+    std::vector<CacheEviction> out;
+    while (residency_bytes_ > target_bytes) {
+        if (!evict_residency_lru(&out)) { break; }  // only pinned entries remain
+    }
+    return out;
+}
+
+std::size_t OperandCache::invalidate_residency()
+{
+    const std::size_t n = res_f_.size() + res_d_.size();
+    res_f_.clear();
+    res_d_.clear();
+    residency_bytes_ = 0;
+    stats_.invalidations += n;
+    return n;
+}
+
+void OperandCache::clear()
+{
+    plans_.clear();
+    plan_bytes_ = 0;
+    res_f_.clear();
+    res_d_.clear();
+    residency_bytes_ = 0;
+}
+
+template OperandFingerprint fingerprint_operand(const CsrMatrix<float>&);
+template OperandFingerprint fingerprint_operand(const CsrMatrix<double>&);
+
+}  // namespace nsparse

@@ -1,0 +1,278 @@
+// Content-addressed operand cache of the session layer (ROADMAP
+// "plan/operand caching + QoS").
+//
+// Operands are keyed by a 128-bit content fingerprint over their CSR bytes
+// (rpt, col, val) plus dimensions and element width — NOT by pointer, so a
+// caller that mutates a matrix in place and resubmits it gets a clean miss
+// instead of a stale artifact. Two stores hang off the fingerprints:
+//
+//   plan artifacts — host-side core::detail::CachedPlanArtifacts keyed by
+//     the (fpA, fpB) pair: product counts, exact row-nnz histogram,
+//     numeric grouping, fitted estimation model. Bounded by a host byte
+//     budget with LRU eviction (pinned entries are never evicted).
+//
+//   device residency — uploaded DeviceCsr copies keyed per operand, so a
+//     warm request skips the H2D upload. Bounded by a device byte budget
+//     with LRU eviction; evicted and invalidated under memory pressure
+//     and after device reclaim (the session orders eviction *before* the
+//     slab-fallback rung of the recovery ladder).
+//
+// The cache itself is policy-free bookkeeping: the Session decides when to
+// consult, insert, pin, evict and invalidate, and logs every hit, miss and
+// eviction as session_cache_* events (service/session.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan_cache.hpp"
+#include "gpusim/device_csr.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace nsparse {
+
+/// 128-bit FNV-1a content fingerprint of one CSR operand.
+struct OperandFingerprint {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    [[nodiscard]] bool operator==(const OperandFingerprint&) const = default;
+    [[nodiscard]] bool valid() const { return lo != 0 || hi != 0; }
+};
+
+/// Key of a plan-artifact entry: the fingerprints of both operands.
+struct OperandPairKey {
+    OperandFingerprint a;
+    OperandFingerprint b;
+
+    [[nodiscard]] bool operator==(const OperandPairKey&) const = default;
+};
+
+struct OperandFingerprintHash {
+    [[nodiscard]] std::size_t operator()(const OperandFingerprint& f) const
+    {
+        return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9E3779B97F4A7C15ULL));
+    }
+};
+
+struct OperandPairKeyHash {
+    [[nodiscard]] std::size_t operator()(const OperandPairKey& k) const
+    {
+        const OperandFingerprintHash h;
+        return h(k.a) ^ (h(k.b) * 0x100000001B3ULL + 0x9E3779B9U);
+    }
+};
+
+/// Fingerprints the full content of `m`: dims, element width and the raw
+/// bytes of rpt/col/val. Deterministic across runs and processes.
+template <ValueType T>
+[[nodiscard]] OperandFingerprint fingerprint_operand(const CsrMatrix<T>& m);
+
+struct OperandCacheConfig {
+    /// Master switch. Off (the default) keeps every request cold — the
+    /// cache changes admission inputs (resident bytes raise live_bytes)
+    /// and mirrors events into the trace, so it is strictly opt-in.
+    bool enabled = false;
+
+    /// Host bytes of retained plan artifacts before LRU eviction.
+    std::size_t plan_budget_bytes = std::size_t{64} << 20;
+
+    /// Device bytes of retained operand residency before LRU eviction;
+    /// 0 disables residency entirely (plan artifacts still cached).
+    std::size_t residency_budget_bytes = std::size_t{256} << 20;
+};
+
+/// One eviction the cache performed (for session logging).
+struct CacheEviction {
+    bool residency = false;  ///< false: plan artifacts
+    std::uint64_t key_lo = 0;
+    std::size_t bytes = 0;
+};
+
+/// Lifetime counters; hit/miss pairs partition the respective lookups.
+struct OperandCacheStats {
+    std::uint64_t plan_hits = 0;
+    std::uint64_t plan_misses = 0;
+    std::uint64_t plan_evictions = 0;
+    std::uint64_t residency_hits = 0;
+    std::uint64_t residency_misses = 0;
+    std::uint64_t residency_evictions = 0;
+    std::uint64_t invalidations = 0;  ///< entries dropped by invalidate_residency
+};
+
+class OperandCache {
+public:
+    explicit OperandCache(OperandCacheConfig cfg = {}) : cfg_(cfg) {}
+
+    [[nodiscard]] const OperandCacheConfig& config() const { return cfg_; }
+    [[nodiscard]] const OperandCacheStats& stats() const { return stats_; }
+
+    // ---- plan artifacts (keyed by operand pair) -------------------------
+
+    /// Looks up the pair's artifacts, counting a hit or miss and bumping
+    /// LRU recency. The pointer stays valid until the entry is evicted
+    /// (pin it across any insert_plan call to guarantee that).
+    [[nodiscard]] const core::detail::CachedPlanArtifacts* find_plan(const OperandPairKey& key);
+
+    /// Inserts (or replaces) the pair's artifacts, then evicts unpinned
+    /// plan entries in LRU order until the host budget holds. Evictions
+    /// are appended to `evicted` when non-null.
+    void insert_plan(const OperandPairKey& key, core::detail::CachedPlanArtifacts art,
+                     std::vector<CacheEviction>* evicted = nullptr);
+
+    void pin_plan(const OperandPairKey& key);
+    void unpin_plan(const OperandPairKey& key);
+
+    [[nodiscard]] std::size_t plan_bytes() const { return plan_bytes_; }
+    [[nodiscard]] std::size_t plan_entries() const { return plans_.size(); }
+
+    // ---- device residency (keyed per operand) ---------------------------
+
+    /// Looks up a resident device copy, counting a hit or miss and
+    /// bumping recency. Valid until evicted or invalidated.
+    template <ValueType T>
+    [[nodiscard]] const sim::DeviceCsr<T>* find_resident(const OperandFingerprint& fp)
+    {
+        auto& map = residency_map<T>();
+        const auto it = map.find(fp);
+        if (it == map.end()) {
+            ++stats_.residency_misses;
+            return nullptr;
+        }
+        ++stats_.residency_hits;
+        it->second.tick = ++tick_;
+        return &it->second.csr;
+    }
+
+    /// Inserts a resident copy (replacing any previous one), then evicts
+    /// unpinned residency in LRU order until the device budget holds.
+    /// No-op (drops `csr`) when residency is disabled by config.
+    template <ValueType T>
+    void insert_resident(const OperandFingerprint& fp, sim::DeviceCsr<T> csr,
+                         std::vector<CacheEviction>* evicted = nullptr)
+    {
+        if (cfg_.residency_budget_bytes == 0) { return; }
+        auto& map = residency_map<T>();
+        const std::size_t bytes = residency_bytes_of(csr);
+        auto [it, fresh] = map.try_emplace(fp);
+        if (!fresh) { residency_bytes_ -= it->second.bytes; }
+        it->second.csr = std::move(csr);
+        it->second.bytes = bytes;
+        it->second.tick = ++tick_;
+        residency_bytes_ += bytes;
+        evict_residency_over_budget(evicted);
+    }
+
+    template <ValueType T>
+    void pin_resident(const OperandFingerprint& fp)
+    {
+        const auto it = residency_map<T>().find(fp);
+        if (it != residency_map<T>().end()) { ++it->second.pins; }
+    }
+
+    template <ValueType T>
+    void unpin_resident(const OperandFingerprint& fp)
+    {
+        const auto it = residency_map<T>().find(fp);
+        if (it != residency_map<T>().end() && it->second.pins > 0) { --it->second.pins; }
+    }
+
+    /// Evicts unpinned residency entries in LRU order until at most
+    /// `target_bytes` remain resident (0 = evict everything unpinned).
+    /// Used by the session under device-memory pressure, before the slab
+    /// rung of the recovery ladder.
+    std::vector<CacheEviction> evict_residency_to(std::size_t target_bytes);
+
+    /// Drops every residency entry, pinned or not (device reclaim makes
+    /// the device state suspect). Returns the number of entries dropped.
+    std::size_t invalidate_residency();
+
+    [[nodiscard]] std::size_t residency_bytes() const { return residency_bytes_; }
+    [[nodiscard]] std::size_t residency_entries() const
+    {
+        return res_f_.size() + res_d_.size();
+    }
+
+    /// Drops everything (plans + residency) without counting evictions.
+    void clear();
+
+private:
+    struct PlanEntry {
+        core::detail::CachedPlanArtifacts art;
+        std::size_t bytes = 0;
+        std::uint64_t tick = 0;
+        int pins = 0;
+    };
+
+    template <ValueType T>
+    struct ResidencyEntry {
+        sim::DeviceCsr<T> csr;
+        std::size_t bytes = 0;
+        std::uint64_t tick = 0;
+        int pins = 0;
+    };
+
+    template <ValueType T>
+    [[nodiscard]] std::unordered_map<OperandFingerprint, ResidencyEntry<T>,
+                                     OperandFingerprintHash>&
+    residency_map()
+    {
+        if constexpr (std::is_same_v<T, float>) {
+            return res_f_;
+        } else {
+            return res_d_;
+        }
+    }
+
+    template <ValueType T>
+    [[nodiscard]] static std::size_t residency_bytes_of(const sim::DeviceCsr<T>& c)
+    {
+        return (c.rpt.size() + c.col.size()) * sizeof(index_t) + c.val.size() * sizeof(T);
+    }
+
+    void evict_plans_over_budget(std::vector<CacheEviction>* evicted);
+    void evict_residency_over_budget(std::vector<CacheEviction>* evicted);
+    bool evict_residency_lru(std::vector<CacheEviction>* evicted);
+
+    /// Removes the least-recently-used unpinned entry of `map`; returns
+    /// false when every entry is pinned (eviction stalls rather than
+    /// touching in-flight operands).
+    template <ValueType T>
+    bool evict_one_lru(
+        std::unordered_map<OperandFingerprint, ResidencyEntry<T>, OperandFingerprintHash>& map,
+        std::vector<CacheEviction>* evicted)
+    {
+        auto victim = map.end();
+        for (auto it = map.begin(); it != map.end(); ++it) {
+            if (it->second.pins > 0) { continue; }
+            if (victim == map.end() || it->second.tick < victim->second.tick) { victim = it; }
+        }
+        if (victim == map.end()) { return false; }
+        if (evicted != nullptr) {
+            evicted->push_back({true, victim->first.lo, victim->second.bytes});
+        }
+        residency_bytes_ -= victim->second.bytes;
+        ++stats_.residency_evictions;
+        map.erase(victim);
+        return true;
+    }
+
+    OperandCacheConfig cfg_;
+    OperandCacheStats stats_;
+    std::unordered_map<OperandPairKey, PlanEntry, OperandPairKeyHash> plans_;
+    std::unordered_map<OperandFingerprint, ResidencyEntry<float>, OperandFingerprintHash>
+        res_f_;
+    std::unordered_map<OperandFingerprint, ResidencyEntry<double>, OperandFingerprintHash>
+        res_d_;
+    std::size_t plan_bytes_ = 0;
+    std::size_t residency_bytes_ = 0;
+    std::uint64_t tick_ = 0;
+};
+
+extern template OperandFingerprint fingerprint_operand(const CsrMatrix<float>&);
+extern template OperandFingerprint fingerprint_operand(const CsrMatrix<double>&);
+
+}  // namespace nsparse

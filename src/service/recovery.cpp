@@ -34,6 +34,9 @@ const char* to_string(RecoveryEvent::Kind kind)
     case RecoveryEvent::Kind::kDeadline: return "deadline";
     case RecoveryEvent::Kind::kSuccess: return "success";
     case RecoveryEvent::Kind::kFailure: return "failure";
+    case RecoveryEvent::Kind::kCacheHit: return "cache_hit";
+    case RecoveryEvent::Kind::kCacheMiss: return "cache_miss";
+    case RecoveryEvent::Kind::kCacheEvict: return "cache_evict";
     }
     return "unknown";
 }

@@ -100,6 +100,9 @@ struct RecoveryEvent {
         kDeadline,      ///< a budget expired
         kSuccess,       ///< the request completed
         kFailure,       ///< every permitted stage failed
+        kCacheHit,      ///< operand cache served plan artifacts / residency
+        kCacheMiss,     ///< operand cache had nothing for the request
+        kCacheEvict,    ///< the cache evicted or invalidated an entry
     };
 
     Kind kind = Kind::kAttempt;

@@ -34,7 +34,7 @@ const char* to_string(RequestOutcome outcome)
 }
 
 Session::Session(SessionConfig cfg)
-    : cfg_(std::move(cfg)), dev_(cfg_.device_spec, cfg_.cost_model)
+    : cfg_(std::move(cfg)), dev_(cfg_.device_spec, cfg_.cost_model), cache_(cfg_.cache)
 {
     core::validate_options(cfg_.options);
     NSPARSE_EXPECTS(cfg_.policy.max_plan_attempts >= 1,
@@ -47,6 +47,28 @@ Session::Session(SessionConfig cfg)
     if (cfg_.options.quiet) { sim::set_warnings_quiet(true); }
     if (cfg_.record_trace) { dev_.enable_trace(); }
     if (cfg_.options.batch_scratch_reuse) { dev_.set_scratch_pool(&scratch_); }
+    tenants_.push_back({TenantConfig{"default", 1, 0}, TenantStats{}});
+}
+
+TenantId Session::register_tenant(TenantConfig cfg)
+{
+    NSPARSE_EXPECTS(cfg.weight >= 1, "TenantConfig::weight must be >= 1");
+    tenants_.push_back({std::move(cfg), TenantStats{}});
+    return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+const TenantStats& Session::tenant_stats(TenantId id) const
+{
+    NSPARSE_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < tenants_.size(),
+                    "unknown tenant id");
+    return tenants_[static_cast<std::size_t>(id)].stats;
+}
+
+const TenantConfig& Session::tenant_config(TenantId id) const
+{
+    NSPARSE_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < tenants_.size(),
+                    "unknown tenant id");
+    return tenants_[static_cast<std::size_t>(id)].cfg;
 }
 
 Session::~Session()
@@ -82,6 +104,9 @@ void Session::log_event(RecoveryLog& log, RecoveryEvent::Kind kind, RecoveryStag
     case Kind::kCancelled:
     case Kind::kDeadline:
     case Kind::kFailure:
+    case Kind::kCacheHit:
+    case Kind::kCacheMiss:
+    case Kind::kCacheEvict:
         dev_.record_fault_event(std::string("session_") + to_string(kind),
                                 /*group=*/-1, /*row=*/-1, /*table_size=*/0, /*probes=*/0,
                                 attempt);
@@ -138,11 +163,31 @@ void Session::prepare_oom_rerun(SpgemmStats& stats, std::size_t live_floor, Reco
     }
 }
 
-void Session::cleanup_after_failure()
+void Session::evict_cache_for_pressure(RecoveryLog& log, RecoveryStage stage)
+{
+    for (const CacheEviction& e : cache_.evict_residency_to(0)) {
+        ++stats_.cache_evictions;
+        log_event(log, RecoveryEvent::Kind::kCacheEvict, stage, 0,
+                  "oom pressure: resident operand, " + std::to_string(e.bytes) + " B");
+    }
+}
+
+void Session::cleanup_after_failure(RecoveryLog* log)
 {
     dev_.reclaim();
     scratch_.clear();
     if (cfg_.options.batch_scratch_reuse) { dev_.set_scratch_pool(&scratch_); }
+    // reclaim() dropped every device allocation, so any resident operand
+    // copy is gone with it — invalidate rather than serve stale handles.
+    const std::size_t dropped = cache_.invalidate_residency();
+    if (dropped > 0) {
+        stats_.cache_invalidations += dropped;
+        if (log != nullptr) {
+            log_event(*log, RecoveryEvent::Kind::kCacheEvict, RecoveryStage::kAdmission, 0,
+                      "invalidated " + std::to_string(dropped) +
+                          " resident operand(s) after device reclaim");
+        }
+    }
 }
 
 template <ValueType T>
@@ -211,8 +256,13 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
     core::Options opt = cfg_.options;
     core::validate_options(opt);
     NSPARSE_EXPECTS(a.cols == b.rows, "inner dimensions must agree");
+    NSPARSE_EXPECTS(budget.tenant >= 0 &&
+                        static_cast<std::size_t>(budget.tenant) < tenants_.size(),
+                    "unknown tenant id");
     if (opt.validate_inputs) { validate_spgemm_inputs(a, b); }
     ++stats_.requests;
+    Tenant& ten = tenants_[static_cast<std::size_t>(budget.tenant)];
+    ++ten.stats.requests;
     // The policy owns the retry budgets on the session path.
     opt.max_row_retries = cfg_.policy.max_row_retries;
     opt.max_slab_retries = cfg_.policy.max_slab_retries;
@@ -222,6 +272,7 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
     res.admission = admit_decision(a, b);
     if (!res.admission.admitted) {
         ++stats_.rejected;
+        ++ten.stats.rejected;
         res.outcome = RequestOutcome::kRejected;
         res.final_stage = RecoveryStage::kAdmission;
         log_event(res.log, Kind::kReject, RecoveryStage::kAdmission, 0,
@@ -240,6 +291,7 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
         return res;
     }
     ++stats_.admitted;
+    ++ten.stats.admitted;
     log_event(res.log, Kind::kAdmit, RecoveryStage::kAdmission, 0,
               "predicted peak " + std::to_string(res.admission.predicted_peak_bytes) +
                   " B, available " + std::to_string(res.admission.available_bytes) + " B");
@@ -270,6 +322,90 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
         } else if (dec.stage == RecoveryStage::kExactReplan) {
             opt.plan_mode = core::PlanMode::kExact;
         }
+    }
+
+    // ---- operand cache consult ------------------------------------------
+    // Only the planned rung runs warm: slab-forced and escalated attempts
+    // stay cold (their shapes differ from the cached artifacts), and the
+    // native backend manages its own memory.
+    core::detail::AttemptCache<T> ac;
+    core::detail::CachedPlanArtifacts captured;
+    OperandPairKey cache_key;
+    OperandFingerprint fp_a, fp_b;
+    const bool cache_active = cfg_.cache.enabled &&
+                              opt.backend == core::BackendKind::kSimulated &&
+                              opt.force_slabs == 0;
+    bool plan_pinned = false;
+    bool pinned_a = false;
+    bool pinned_b = false;
+    const auto release_cache_pins = [&] {
+        if (plan_pinned) {
+            cache_.unpin_plan(cache_key);
+            plan_pinned = false;
+        }
+        if (pinned_a) {
+            cache_.unpin_resident<T>(fp_a);
+            pinned_a = false;
+        }
+        if (pinned_b) {
+            cache_.unpin_resident<T>(fp_b);
+            pinned_b = false;
+        }
+    };
+    // The first rung of the memory-pressure ladder: drop the in-flight
+    // residency pins and evict every unpinned resident operand, so a
+    // degraded rerun competes only with its own allocations.
+    const auto shed_residency = [&](RecoveryStage stage, RecoveryLog& log) {
+        if (!cache_active) { return; }
+        if (pinned_a) {
+            cache_.unpin_resident<T>(fp_a);
+            pinned_a = false;
+        }
+        if (pinned_b) {
+            cache_.unpin_resident<T>(fp_b);
+            pinned_b = false;
+        }
+        ac.resident_a = nullptr;
+        ac.resident_b = nullptr;
+        evict_cache_for_pressure(log, stage);
+    };
+    if (cache_active) {
+        fp_a = fingerprint_operand(a);
+        fp_b = fingerprint_operand(b);
+        cache_key = {fp_a, fp_b};
+        const auto* warm = cache_.find_plan(cache_key);
+        if (warm != nullptr) {
+            ++stats_.cache_hits;
+            ++ten.stats.cache_hits;
+            ac.warm = warm;
+            cache_.pin_plan(cache_key);
+            plan_pinned = true;
+        } else {
+            ++stats_.cache_misses;
+            ++ten.stats.cache_misses;
+            ac.capture = &captured;
+        }
+        ac.resident_a = cache_.find_resident<T>(fp_a);
+        ac.resident_b = cache_.find_resident<T>(fp_b);
+        if (ac.resident_a != nullptr) {
+            ++stats_.cache_residency_hits;
+            cache_.pin_resident<T>(fp_a);
+            pinned_a = true;
+        } else {
+            ++stats_.cache_residency_misses;
+        }
+        if (ac.resident_b != nullptr) {
+            ++stats_.cache_residency_hits;
+            cache_.pin_resident<T>(fp_b);
+            pinned_b = true;
+        } else {
+            ++stats_.cache_residency_misses;
+        }
+        log_event(res.log, warm != nullptr ? Kind::kCacheHit : Kind::kCacheMiss,
+                  RecoveryStage::kPlanned, 0,
+                  std::string("plan ") + (warm != nullptr ? "hit" : "miss") +
+                      ", resident A " + (ac.resident_a != nullptr ? "hit" : "miss") +
+                      ", resident B " + (ac.resident_b != nullptr ? "hit" : "miss"));
     }
 
     // ---- layer 3: arm the budgets ---------------------------------------
@@ -309,12 +445,13 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
             check_budget(RecoveryStage::kPlanned);
             log_event(res.log, Kind::kAttempt, RecoveryStage::kPlanned, attempt);
             try {
-                mres = core::detail::multiply_attempt(dev_, a, b, opt, res.out.stats);
+                mres = core::detail::multiply_attempt(dev_, a, b, opt, res.out.stats, ac);
                 have = true;
             } catch (const DeviceOutOfMemory&) {
                 note_fault("oom", RecoveryStage::kPlanned, /*oom=*/true);
                 prepare_oom_rerun(res.out.stats, live_floor, res.log,
                                   RecoveryStage::kPlanned);
+                shed_residency(RecoveryStage::kPlanned, res.log);
                 if (attempt < plan_attempts) { continue; }
                 if (estimated_plan && cfg_.policy.exact_replan) {
                     want_replan = true;
@@ -357,6 +494,7 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
                 note_fault("oom", RecoveryStage::kExactReplan, /*oom=*/true);
                 prepare_oom_rerun(res.out.stats, live_floor, res.log,
                                   RecoveryStage::kExactReplan);
+                shed_residency(RecoveryStage::kExactReplan, res.log);
                 if (cfg_.policy.slab_fallback) {
                     want_slab = true;
                 } else if (cfg_.policy.host_recourse) {
@@ -395,6 +533,7 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
             } catch (const DeviceOutOfMemory&) {
                 note_fault("oom", RecoveryStage::kSlab, /*oom=*/true);
                 prepare_oom_rerun(res.out.stats, live_floor, res.log, RecoveryStage::kSlab);
+                shed_residency(RecoveryStage::kSlab, res.log);
                 if (cfg_.policy.host_recourse) {
                     want_host = true;
                 } else {
@@ -446,9 +585,45 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
         res.final_stage = reached;
         res.outcome = RequestOutcome::kCompleted;
         ++stats_.completed;
+        ++ten.stats.completed;
+        ten.stats.sim_seconds += res.out.stats.seconds;
         log_event(res.log, Kind::kSuccess, reached);
+
+        // ---- operand cache adoption -------------------------------------
+        release_cache_pins();
+        if (cache_active && reached == RecoveryStage::kPlanned) {
+            std::vector<CacheEviction> evs;
+            if (ac.capture != nullptr && captured.has_row_nnz) {
+                cache_.insert_plan(cache_key, std::move(captured), &evs);
+            }
+            // Residency uploads happen after the stats snapshot, so they
+            // are never charged to the request's measured timings; a full
+            // device swallows the upload rather than failing the request.
+            try {
+                if (ac.resident_a == nullptr && cfg_.cache.residency_budget_bytes > 0) {
+                    cache_.insert_resident<T>(
+                        fp_a, sim::DeviceCsr<T>::upload(dev_.allocator(), a), &evs);
+                }
+                if (fp_b != fp_a && ac.resident_b == nullptr &&
+                    cfg_.cache.residency_budget_bytes > 0) {
+                    cache_.insert_resident<T>(
+                        fp_b, sim::DeviceCsr<T>::upload(dev_.allocator(), b), &evs);
+                }
+            } catch (const DeviceOutOfMemory&) {
+                // no room to keep the operands resident — a cache miss
+                // next time, never a failure now
+            }
+            for (const CacheEviction& e : evs) {
+                ++stats_.cache_evictions;
+                log_event(res.log, Kind::kCacheEvict, reached, 0,
+                          std::string(e.residency ? "resident operand" : "plan artifacts") +
+                              " (lru), " + std::to_string(e.bytes) + " B");
+            }
+        }
+
         if (faulted) {
             ++stats_.recovered;
+            ++ten.stats.recovered;
             if (breaker_.on_fault(first_signature)) {
                 ++stats_.breaker_opens;
                 log_event(res.log, Kind::kBreakerOpen, reached, 0, first_signature);
@@ -465,22 +640,27 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
         token_.arm_wall_budget_ms(0);
     } catch (const OperationCancelled& e) {
         ++stats_.cancelled;
+        ++ten.stats.cancelled;
         res.outcome = RequestOutcome::kCancelled;
         res.final_stage = reached;
         res.error = std::current_exception();
         res.error_message = e.what();
         log_event(res.log, Kind::kCancelled, reached, 0, e.stage());
-        cleanup_after_failure();
+        release_cache_pins();
+        cleanup_after_failure(&res.log);
     } catch (const DeadlineExceeded& e) {
         ++stats_.deadline_exceeded;
+        ++ten.stats.deadline_exceeded;
         res.outcome = RequestOutcome::kDeadline;
         res.final_stage = reached;
         res.error = std::current_exception();
         res.error_message = e.what();
         log_event(res.log, Kind::kDeadline, reached, 0, e.stage());
-        cleanup_after_failure();
+        release_cache_pins();
+        cleanup_after_failure(&res.log);
     } catch (const Error& e) {
         ++stats_.failed;
+        ++ten.stats.failed;
         res.outcome = RequestOutcome::kFailed;
         res.final_stage = reached;
         res.error = std::current_exception();
@@ -491,7 +671,8 @@ RequestResult<T> Session::run_request(const CsrMatrix<T>& a, const CsrMatrix<T>&
             ++stats_.breaker_opens;
             log_event(res.log, Kind::kBreakerOpen, reached, 0, first_signature);
         }
-        cleanup_after_failure();
+        release_cache_pins();
+        cleanup_after_failure(&res.log);
     }
     if (!faulted) { oom_streak_ = 0; }
     return res;
@@ -502,6 +683,7 @@ RequestResult<T> Session::run_sharded(const CsrMatrix<T>& a, const CsrMatrix<T>&
                                       const RequestBudget& budget, RequestResult<T>& res)
 {
     using Kind = RecoveryEvent::Kind;
+    Tenant& ten = tenants_[static_cast<std::size_t>(budget.tenant)];
     res.sharded = true;
     res.final_stage = RecoveryStage::kSharded;
     ++stats_.sharded_runs;
@@ -569,8 +751,11 @@ RequestResult<T> Session::run_sharded(const CsrMatrix<T>& a, const CsrMatrix<T>&
         res.out.stats = sh.stats;
         res.outcome = RequestOutcome::kCompleted;
         ++stats_.completed;
+        ++ten.stats.completed;
+        ten.stats.sim_seconds += res.out.stats.seconds;
         if (res.shard_rollup.faults > 0 || res.shard_rollup.requeues > 0) {
             ++stats_.recovered;
+            ++ten.stats.recovered;
         }
         log_event(res.log, Kind::kSuccess, RecoveryStage::kSharded, 0,
                   std::to_string(res.shard_rollup.shards) + " shard(s), " +
@@ -578,18 +763,21 @@ RequestResult<T> Session::run_sharded(const CsrMatrix<T>& a, const CsrMatrix<T>&
                       std::to_string(res.shard_rollup.requeues) + " requeue(s)");
     } catch (const OperationCancelled& e) {
         ++stats_.cancelled;
+        ++ten.stats.cancelled;
         res.outcome = RequestOutcome::kCancelled;
         res.error = std::current_exception();
         res.error_message = e.what();
         log_event(res.log, Kind::kCancelled, RecoveryStage::kSharded, 0, e.stage());
     } catch (const DeadlineExceeded& e) {
         ++stats_.deadline_exceeded;
+        ++ten.stats.deadline_exceeded;
         res.outcome = RequestOutcome::kDeadline;
         res.error = std::current_exception();
         res.error_message = e.what();
         log_event(res.log, Kind::kDeadline, RecoveryStage::kSharded, 0, e.stage());
     } catch (const Error& e) {
         ++stats_.failed;
+        ++ten.stats.failed;
         res.outcome = RequestOutcome::kFailed;
         res.error = std::current_exception();
         res.error_message = e.what();
@@ -612,7 +800,18 @@ BatchRequestResult<T> Session::multiply_batch(const std::vector<const CsrMatrix<
                                               const std::vector<const CsrMatrix<T>*>& bs,
                                               const RequestBudget& per_product)
 {
+    return multiply_batch(as, bs, std::vector<TenantId>{}, per_product);
+}
+
+template <ValueType T>
+BatchRequestResult<T> Session::multiply_batch(const std::vector<const CsrMatrix<T>*>& as,
+                                              const std::vector<const CsrMatrix<T>*>& bs,
+                                              const std::vector<TenantId>& tenants,
+                                              const RequestBudget& per_product)
+{
     NSPARSE_EXPECTS(as.size() == bs.size(), "batch A and B lists must have equal length");
+    NSPARSE_EXPECTS(tenants.empty() || tenants.size() == as.size(),
+                    "tenant list must be empty or match the batch length");
     const std::size_t n = as.size();
     // A malformed batch is a caller error and fails as a whole, naming the
     // offending product — matching core::spgemm_batch semantics.
@@ -634,17 +833,62 @@ BatchRequestResult<T> Session::multiply_batch(const std::vector<const CsrMatrix<
         }
     }
 
+    // ---- per-item tenants + the QoS wave schedule -----------------------
+    std::vector<TenantId> ids(n, per_product.tenant);
+    if (!tenants.empty()) { ids = tenants; }
+    for (const TenantId t : ids) {
+        NSPARSE_EXPECTS(t >= 0 && static_cast<std::size_t>(t) < tenants_.size(),
+                        "unknown tenant id");
+    }
+
+    // Weighted-deficit round-robin: each tenant keeps a FIFO queue of its
+    // items; rounds visit tenants in (priority desc, id asc) order, adding
+    // `weight` credits and draining that many queued items. Weight decides
+    // the share, priority only the order within a round, and every tenant
+    // with weight >= 1 progresses every round — no starvation.
+    std::vector<TenantId> order;
+    std::vector<std::vector<std::size_t>> queues(tenants_.size());
+    for (std::size_t k = 0; k < n; ++k) {
+        const auto t = static_cast<std::size_t>(ids[k]);
+        if (queues[t].empty()) { order.push_back(ids[k]); }
+        queues[t].push_back(k);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](TenantId x, TenantId y) {
+        const int px = tenants_[static_cast<std::size_t>(x)].cfg.priority;
+        const int py = tenants_[static_cast<std::size_t>(y)].cfg.priority;
+        return px != py ? px > py : x < y;
+    });
+    std::vector<std::size_t> schedule;
+    schedule.reserve(n);
+    std::vector<std::size_t> head(tenants_.size(), 0);
+    std::vector<int> credit(tenants_.size(), 0);
+    while (schedule.size() < n) {
+        for (const TenantId t : order) {
+            const auto ti = static_cast<std::size_t>(t);
+            if (head[ti] >= queues[ti].size()) { continue; }
+            credit[ti] += tenants_[ti].cfg.weight;
+            while (credit[ti] >= 1 && head[ti] < queues[ti].size()) {
+                schedule.push_back(queues[ti][head[ti]++]);
+                --credit[ti];
+            }
+            if (head[ti] >= queues[ti].size()) { credit[ti] = 0; }
+        }
+    }
+
     BatchRequestResult<T> out;
-    out.items.reserve(n);
+    out.items.resize(n);
     out.stats.products = static_cast<int>(n);
     token_.reset();
 
-    for (std::size_t k = 0; k < n; ++k) {
+    for (const std::size_t k : schedule) {
         if (token_.cancel_requested()) {
             // Mid-batch cancellation: the remaining products fail
             // synchronously without touching the device.
             ++stats_.requests;
             ++stats_.cancelled;
+            Tenant& ten = tenants_[static_cast<std::size_t>(ids[k])];
+            ++ten.stats.requests;
+            ++ten.stats.cancelled;
             RequestResult<T> slot;
             slot.outcome = RequestOutcome::kCancelled;
             slot.final_stage = RecoveryStage::kAdmission;
@@ -658,13 +902,14 @@ BatchRequestResult<T> Session::multiply_batch(const std::vector<const CsrMatrix<
             slot.log.append(RecoveryEvent{RecoveryEvent::Kind::kCancelled,
                                           RecoveryStage::kAdmission, 0, token_.reason(),
                                           0.0});
-            out.items.push_back(std::move(slot));
+            out.items[k] = std::move(slot);
             continue;
         }
-        out.items.push_back(run_request(*as[k], *bs[k], per_product));
-        if (!out.items.back().ok()) {
-            out.items.back().error_message =
-                product_prefix(k) + out.items.back().error_message;
+        RequestBudget item_budget = per_product;
+        item_budget.tenant = ids[k];
+        out.items[k] = run_request(*as[k], *bs[k], item_budget);
+        if (!out.items[k].ok()) {
+            out.items[k].error_message = product_prefix(k) + out.items[k].error_message;
         }
     }
 
@@ -714,6 +959,14 @@ Session::multiply_batch(const std::vector<const CsrMatrix<float>*>&,
 template BatchRequestResult<double>
 Session::multiply_batch(const std::vector<const CsrMatrix<double>*>&,
                         const std::vector<const CsrMatrix<double>*>&, const RequestBudget&);
+template BatchRequestResult<float>
+Session::multiply_batch(const std::vector<const CsrMatrix<float>*>&,
+                        const std::vector<const CsrMatrix<float>*>&,
+                        const std::vector<TenantId>&, const RequestBudget&);
+template BatchRequestResult<double>
+Session::multiply_batch(const std::vector<const CsrMatrix<double>*>&,
+                        const std::vector<const CsrMatrix<double>*>&,
+                        const std::vector<TenantId>&, const RequestBudget&);
 template AdmissionDecision Session::admit(const CsrMatrix<float>&,
                                           const CsrMatrix<float>&) const;
 template AdmissionDecision Session::admit(const CsrMatrix<double>&,

@@ -42,6 +42,7 @@
 #include "gpusim/cancel.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/scratch_pool.hpp"
+#include "service/operand_cache.hpp"
 #include "service/recovery.hpp"
 
 namespace nsparse {
@@ -71,12 +72,61 @@ struct SessionConfig {
     /// (the session device is untouched). 0 disables sharded admission and
     /// restores the pre-sharding rejection behaviour.
     int shard_devices = 2;
+    /// Operand/plan caching (service/operand_cache.hpp). Disabled by
+    /// default: resident operands change admission inputs and cache events
+    /// are mirrored into the trace, so warm-path behaviour is opt-in.
+    OperandCacheConfig cache = {};
+};
+
+/// Handle of a registered tenant (index into the session's tenant table;
+/// tenant 0 is the pre-registered default every request uses unless told
+/// otherwise).
+using TenantId = int;
+
+/// Multi-tenant QoS knobs of one tenant.
+struct TenantConfig {
+    std::string name = "tenant";
+    /// Batch-wave share under weighted-deficit scheduling: each round a
+    /// tenant earns `weight` credits and drains that many of its queued
+    /// products. Must be >= 1, so every tenant progresses every round —
+    /// a heavy tenant gets a bigger share, never the whole device.
+    int weight = 1;
+    /// Service order within a round (higher first; ties by TenantId).
+    /// Priority orders, it does not starve: scheduling shares are decided
+    /// by weight alone.
+    int priority = 0;
+};
+
+/// Per-tenant roll-up (the same partition invariant as SessionStats:
+/// requests == completed + failed + rejected + cancelled +
+/// deadline_exceeded, and summing any field across tenants yields the
+/// session-wide counter).
+struct TenantStats {
+    std::uint64_t requests = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t cache_hits = 0;    ///< plan-artifact hits of this tenant
+    std::uint64_t cache_misses = 0;  ///< plan-artifact misses of this tenant
+    double sim_seconds = 0.0;        ///< simulated device time consumed
+
+    [[nodiscard]] double cache_hit_rate() const
+    {
+        const auto total = cache_hits + cache_misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(cache_hits) / static_cast<double>(total);
+    }
 };
 
 /// Per-request budgets; 0 = unlimited.
 struct RequestBudget {
     double sim_seconds = 0.0;   ///< budget in simulated device seconds
     std::int64_t wall_ms = 0;   ///< budget in host wall-clock milliseconds
+    TenantId tenant = 0;        ///< accounting/QoS tenant of the request
 };
 
 /// What admission control decided for a request.
@@ -167,6 +217,17 @@ struct SessionStats {
     std::uint64_t shard_failures = 0;
     /// Sharded runs whose merge escalated to 64-bit row pointers.
     std::uint64_t shard_escalations = 0;
+    /// Operand-cache traffic (plan-artifact consults; hits + misses equals
+    /// the cache-eligible requests).
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    /// Resident-operand consults (two per cache-eligible request: A and B).
+    std::uint64_t cache_residency_hits = 0;
+    std::uint64_t cache_residency_misses = 0;
+    /// Entries the cache evicted (LRU budget pressure or the OOM rung).
+    std::uint64_t cache_evictions = 0;
+    /// Residency entries invalidated after device reclaim.
+    std::uint64_t cache_invalidations = 0;
 };
 
 class Session {
@@ -196,6 +257,27 @@ public:
                                          const std::vector<const CsrMatrix<T>*>& bs,
                                          const RequestBudget& per_product = {});
 
+    /// Multi-tenant batch: item k is accounted to `tenants[k]` and the
+    /// wave order is decided by weighted-deficit round-robin over the
+    /// participating tenants (each round a tenant earns `weight` credits
+    /// and drains that many queued products, high priority served first
+    /// within the round), so one heavy tenant cannot starve the others.
+    /// Results land in submission-order slots regardless of wave order.
+    /// An empty `tenants` vector accounts every item to
+    /// `per_product.tenant` (equivalent to the overload above).
+    template <ValueType T>
+    BatchRequestResult<T> multiply_batch(const std::vector<const CsrMatrix<T>*>& as,
+                                         const std::vector<const CsrMatrix<T>*>& bs,
+                                         const std::vector<TenantId>& tenants,
+                                         const RequestBudget& per_product = {});
+
+    /// Registers a QoS tenant (weight >= 1); returns its handle. Tenant 0
+    /// ("default", weight 1, priority 0) is pre-registered.
+    TenantId register_tenant(TenantConfig cfg);
+    [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
+    [[nodiscard]] const TenantStats& tenant_stats(TenantId id) const;
+    [[nodiscard]] const TenantConfig& tenant_config(TenantId id) const;
+
     /// Dry-run admission control against the current live capacity:
     /// what would multiply() decide right now? Never executes anything.
     template <ValueType T>
@@ -218,6 +300,10 @@ public:
     [[nodiscard]] sim::Device& device() { return dev_; }
     [[nodiscard]] const sim::Device& device() const { return dev_; }
     [[nodiscard]] sim::ScratchPool& scratch_pool() { return scratch_; }
+
+    /// The operand/plan cache (observability + manual invalidation).
+    [[nodiscard]] OperandCache& operand_cache() { return cache_; }
+    [[nodiscard]] const OperandCache& operand_cache() const { return cache_; }
 
 private:
     template <ValueType T>
@@ -251,8 +337,16 @@ private:
     void prepare_oom_rerun(SpgemmStats& stats, std::size_t live_floor, RecoveryLog& log,
                            RecoveryStage stage);
 
-    /// Restores a reusable device + pool after a failed/cancelled request.
-    void cleanup_after_failure();
+    /// The OOM rung of the operand cache: evicts every unpinned resident
+    /// operand (LRU order) before the ladder degrades to row slabs, and
+    /// logs each eviction. Called from the templated request path after
+    /// the in-flight pins are dropped.
+    void evict_cache_for_pressure(RecoveryLog& log, RecoveryStage stage);
+
+    /// Restores a reusable device + pool after a failed/cancelled request;
+    /// resident operands are invalidated (the reclaim makes device state
+    /// suspect), logged into `log` when provided.
+    void cleanup_after_failure(RecoveryLog* log = nullptr);
 
     SessionConfig cfg_;
     sim::Device dev_;
@@ -260,6 +354,12 @@ private:
     sim::CancelToken token_;
     CircuitBreaker breaker_;
     SessionStats stats_;
+    OperandCache cache_;
+    struct Tenant {
+        TenantConfig cfg;
+        TenantStats stats;
+    };
+    std::vector<Tenant> tenants_;
     /// Consecutive requests that hit at least one OOM (drives backoff).
     int oom_streak_ = 0;
 };
@@ -276,6 +376,14 @@ Session::multiply_batch(const std::vector<const CsrMatrix<float>*>&,
 extern template BatchRequestResult<double>
 Session::multiply_batch(const std::vector<const CsrMatrix<double>*>&,
                         const std::vector<const CsrMatrix<double>*>&, const RequestBudget&);
+extern template BatchRequestResult<float>
+Session::multiply_batch(const std::vector<const CsrMatrix<float>*>&,
+                        const std::vector<const CsrMatrix<float>*>&,
+                        const std::vector<TenantId>&, const RequestBudget&);
+extern template BatchRequestResult<double>
+Session::multiply_batch(const std::vector<const CsrMatrix<double>*>&,
+                        const std::vector<const CsrMatrix<double>*>&,
+                        const std::vector<TenantId>&, const RequestBudget&);
 extern template AdmissionDecision Session::admit(const CsrMatrix<float>&,
                                                  const CsrMatrix<float>&) const;
 extern template AdmissionDecision Session::admit(const CsrMatrix<double>&,

@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <cmath>
 
+#include "service/session.hpp"
+
 namespace nsparse::solver {
+
+SpgemmFn<double> session_spgemm(Session& session)
+{
+    return [&session](sim::Device& /*dev*/, const CsrMatrix<double>& a,
+                      const CsrMatrix<double>& b) {
+        auto res = session.multiply(a, b);
+        if (!res.ok()) { std::rethrow_exception(res.error); }
+        return std::move(res.out);
+    };
+}
 
 CsrMatrix<double> strength_graph(const CsrMatrix<double>& a, double theta)
 {

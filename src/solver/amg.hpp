@@ -18,6 +18,10 @@
 #include "sparse/csr_ops.hpp"
 #include "sparse/transpose.hpp"
 
+namespace nsparse {
+class Session;
+}
+
 namespace nsparse::solver {
 
 struct AmgOptions {
@@ -78,5 +82,16 @@ private:
 /// Greedy aggregation over the strength graph; returns the tentative
 /// piecewise-constant prolongation T (n_fine x n_coarse).
 [[nodiscard]] CsrMatrix<double> aggregate(const CsrMatrix<double>& strength);
+
+/// Adapts a service-layer Session into AmgOptions::spgemm, so every setup
+/// SpGEMM (prolongation smoothing and the Galerkin triple product) runs
+/// through admission, the recovery ladder and — when enabled — the operand
+/// cache. The Galerkin products repeat operands across levels (A P shares A
+/// with the smoothing product's D^-1 A pattern; R (A P) reuses R = P^T
+/// every cycle rebuild), which is exactly the warm-plan workload the cache
+/// targets. The Device& handed to the callable is ignored: the session owns
+/// its device, and the returned stats are drawn from it. Requests that do
+/// not complete rethrow the session's captured error.
+[[nodiscard]] SpgemmFn<double> session_spgemm(Session& session);
 
 }  // namespace nsparse::solver

@@ -286,6 +286,119 @@ TEST(ChaosSession, ShardedRunSurvivesLateCancellation)
     expect_identical(clean.out.matrix, want);
 }
 
+TEST(ChaosSession, TwoTenantQosUnderPressureAndCancellation)
+{
+    // Two tenants with opposed weights and priorities share one session
+    // under capacity pressure, with the operand cache on. The weighted-
+    // deficit scheduler may reorder the waves, but: results land in
+    // submission slots, the low-priority tenant still completes everything
+    // within its (generous) deadline budget, and the per-tenant counters
+    // partition the session counters exactly — before and after a batch
+    // that a racing cancel tears mid-flight.
+    const auto a = chaos_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    SessionConfig cfg;
+    cfg.device_spec.memory_capacity = unchunked_peak(a) * 3 / 2;
+    cfg.cache.enabled = true;
+    Session session(std::move(cfg));
+
+    const TenantId heavy = session.register_tenant({"heavy", 3, +5});
+    const TenantId light = session.register_tenant({"light", 1, -5});
+
+    const auto tenant_sums_match_session = [&session] {
+        TenantStats sum;
+        for (std::size_t t = 0; t < session.tenant_count(); ++t) {
+            const auto& ts = session.tenant_stats(static_cast<TenantId>(t));
+            sum.requests += ts.requests;
+            sum.admitted += ts.admitted;
+            sum.rejected += ts.rejected;
+            sum.completed += ts.completed;
+            sum.failed += ts.failed;
+            sum.cancelled += ts.cancelled;
+            sum.deadline_exceeded += ts.deadline_exceeded;
+            sum.recovered += ts.recovered;
+            sum.cache_hits += ts.cache_hits;
+            sum.cache_misses += ts.cache_misses;
+            // Per-tenant partition: every request of the tenant is
+            // classified exactly once.
+            EXPECT_EQ(ts.requests, ts.completed + ts.failed + ts.rejected +
+                                       ts.cancelled + ts.deadline_exceeded)
+                << "tenant " << t;
+        }
+        const auto& s = session.stats();
+        EXPECT_EQ(sum.requests, s.requests);
+        EXPECT_EQ(sum.admitted, s.admitted);
+        EXPECT_EQ(sum.rejected, s.rejected);
+        EXPECT_EQ(sum.completed, s.completed);
+        EXPECT_EQ(sum.failed, s.failed);
+        EXPECT_EQ(sum.cancelled, s.cancelled);
+        EXPECT_EQ(sum.deadline_exceeded, s.deadline_exceeded);
+        EXPECT_EQ(sum.recovered, s.recovered);
+        EXPECT_EQ(sum.cache_hits, s.cache_hits);
+        EXPECT_EQ(sum.cache_misses, s.cache_misses);
+    };
+
+    // Phase 1: 12 products, 8 heavy / 4 light, interleaved submission.
+    const std::vector<const CsrMatrix<double>*> ms(12, &a);
+    std::vector<TenantId> ids;
+    for (int k = 0; k < 12; ++k) { ids.push_back(k % 3 == 2 ? light : heavy); }
+    RequestBudget budget;
+    budget.sim_seconds = 1.0;  // generous: nobody should miss a deadline
+
+    const auto out = session.multiply_batch<double>(ms, ms, ids, budget);
+    ASSERT_EQ(out.items.size(), 12U);
+    for (std::size_t k = 0; k < out.items.size(); ++k) {
+        ASSERT_TRUE(out.items[k].ok())
+            << "product " << k << " (tenant " << ids[k] << "): "
+            << out.items[k].error_message;
+        expect_identical(out.items[k].out.matrix, want);
+    }
+    EXPECT_EQ(session.tenant_stats(heavy).requests, 8U);
+    EXPECT_EQ(session.tenant_stats(heavy).completed, 8U);
+    EXPECT_EQ(session.tenant_stats(light).requests, 4U);
+    // Low weight + low priority means served last in every wave, never
+    // starved out of its deadline budget.
+    EXPECT_EQ(session.tenant_stats(light).completed, 4U);
+    EXPECT_EQ(session.tenant_stats(light).deadline_exceeded, 0U);
+    EXPECT_GT(session.tenant_stats(light).sim_seconds, 0.0);
+    // Everybody multiplied the same pair: one cold miss, eleven warm hits,
+    // partitioned across the tenants.
+    const auto& s1 = session.stats();
+    EXPECT_EQ(s1.cache_hits + s1.cache_misses, 12U);
+    EXPECT_EQ(s1.cache_misses, 1U);
+    EXPECT_GT(session.tenant_stats(heavy).cache_hit_rate(), 0.0);
+    tenant_sums_match_session();
+
+    // Phase 2: the same mix with a racing mid-batch cancellation. The torn
+    // batch must still classify every item and keep the partition exact.
+    std::thread canceller([&session] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        session.cancel("chaos-qos");
+    });
+    const auto out2 = session.multiply_batch<double>(ms, ms, ids, budget);
+    canceller.join();
+
+    ASSERT_EQ(out2.items.size(), 12U);
+    for (const auto& item : out2.items) {
+        if (item.ok()) {
+            expect_identical(item.out.matrix, want);
+        } else {
+            EXPECT_EQ(item.outcome, RequestOutcome::kCancelled);
+            EXPECT_THROW(std::rethrow_exception(item.error), OperationCancelled);
+        }
+    }
+    expect_consistent(session.stats());
+    tenant_sums_match_session();
+
+    // The next request re-arms the token and the default tenant absorbs it.
+    const auto clean = session.multiply<double>(a, a);
+    ASSERT_TRUE(clean.ok()) << clean.error_message;
+    expect_identical(clean.out.matrix, want);
+    EXPECT_EQ(session.tenant_stats(0).requests, 1U);
+    tenant_sums_match_session();
+}
+
 TEST(ChaosSession, EverythingAtOnce)
 {
     // The full stack: tight capacity, estimated planning, injected row

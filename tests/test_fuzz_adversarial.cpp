@@ -29,6 +29,7 @@
 #include "core/spgemm.hpp"
 #include "core/spgemm_batch.hpp"
 #include "matgen/adversarial.hpp"
+#include "service/session.hpp"
 #include "sparse/equality.hpp"
 #include "sparse/reference_spgemm.hpp"
 
@@ -379,6 +380,55 @@ TEST(FuzzAdversarial, PlanModesComposedWithRowFaultInjection)
             << "case #" << i << " (" << c.name << ")";
         EXPECT_GT(out.stats.faulted_rows, 0) << "case #" << i << " (" << c.name << ")";
     }
+}
+
+TEST(FuzzAdversarial, CacheChurnOnAdversarialStream)
+{
+    // Cache-churn mode: the whole adversarial stream flows through ONE
+    // session whose operand cache is squeezed into tiny budgets, composed
+    // with per-row kernel-fault injection, and every third iteration
+    // resubmits an operand from two requests ago so plan/residency entries
+    // are consulted mid-churn. Whatever mix of hit, miss, eviction and
+    // row-fault recovery a request sees, its bytes must equal an uncached
+    // single call with the same options on a fresh device.
+    const int iters = std::max(1, fuzz_iters() / 4);
+
+    SessionConfig cfg;
+    cfg.cache.enabled = true;
+    cfg.cache.plan_budget_bytes = std::size_t{64} << 10;
+    cfg.cache.residency_budget_bytes = std::size_t{256} << 10;
+    cfg.options.inject_numeric_row_faults = {3, 31};
+    Session session(std::move(cfg));
+
+    core::Options ref_opt;
+    ref_opt.inject_numeric_row_faults = {3, 31};
+
+    std::uint64_t completed = 0;
+    for (int j = 0; j < iters; ++j) {
+        const int idx = (j % 3 == 2) ? j - 2 : j;  // revisit two requests back
+        const auto c = gen::adversarial_case(kSeed, idx);
+        const auto res = session.multiply<double>(c.matrix, c.matrix);
+        ASSERT_TRUE(res.ok()) << "iteration " << j << " case #" << idx << " ("
+                              << c.name << "): " << res.error_message;
+        ++completed;
+        sim::Device ref_dev(sim::DeviceSpec::pascal_p100());
+        const auto ref = hash_spgemm<double>(ref_dev, c.matrix, c.matrix, ref_opt);
+        ASSERT_TRUE(res.out.matrix == ref.matrix)
+            << "cached session diverges from uncached single call, iteration " << j
+            << " case #" << idx << " (" << c.name << ")";
+    }
+
+    const auto& s = session.stats();
+    const auto& cs = session.operand_cache().stats();
+    // Every request was cache-eligible: the plan consults partition exactly.
+    EXPECT_EQ(s.cache_hits + s.cache_misses, completed);
+    EXPECT_EQ(s.cache_residency_hits + s.cache_residency_misses, 2 * completed);
+    // The revisits found warm entries, and the tiny budgets forced churn.
+    EXPECT_GT(s.cache_hits, 0U);
+    EXPECT_GT(cs.plan_evictions + cs.residency_evictions, 0U);
+    // Budgets held at every insert: what remains resident fits.
+    EXPECT_LE(session.operand_cache().plan_bytes(), std::size_t{64} << 10);
+    EXPECT_LE(session.operand_cache().residency_bytes(), std::size_t{256} << 10);
 }
 
 TEST(FuzzAdversarial, ValidateModeFlagsUnsortedInputs)

@@ -9,6 +9,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/device_csr.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/scratch_pool.hpp"
 #include "matgen/generators.hpp"
 
 namespace nsparse::sim {
@@ -236,6 +237,105 @@ TEST(DeviceCsr, AllocateForKnownNnz)
     EXPECT_EQ(d.col.size(), 35U);
     EXPECT_EQ(d.val.size(), 35U);
     EXPECT_EQ(d.rpt.size(), 11U);
+}
+
+TEST(DeviceBuffer, ReshapeWithinChargedCapacity)
+{
+    DeviceAllocator alloc(1U << 20);
+    DeviceBuffer<index_t> buf(alloc, 100);
+    const std::size_t charged = alloc.live_bytes();
+    EXPECT_EQ(buf.capacity_elems(), 100U);
+    buf.reshape(60);
+    EXPECT_EQ(buf.size(), 60U);
+    EXPECT_EQ(buf.capacity_elems(), 100U);        // charge unchanged
+    EXPECT_EQ(alloc.live_bytes(), charged);       // no device traffic
+    buf.reshape(100);                              // back up to the charge
+    EXPECT_EQ(buf.size(), 100U);
+    EXPECT_EQ(alloc.live_bytes(), charged);
+}
+
+TEST(ScratchPool, ExactMatchIsPreferredOverSlack)
+{
+    // Regression for the bounded-slack free lists: an exact-size cached
+    // buffer must win even when a slack-eligible larger one is also free,
+    // preserving the pre-slack hit/miss accounting byte for byte.
+    DeviceAllocator alloc(1U << 20);
+    ScratchPool pool;
+    pool.put("t", DeviceBuffer<index_t>(alloc, 125));  // within 25% of 100
+    pool.put("t", DeviceBuffer<index_t>(alloc, 100));  // exact
+    auto buf = pool.take("t", alloc, 100);
+    EXPECT_EQ(pool.hits(), 1U);
+    EXPECT_EQ(pool.misses(), 0U);
+    EXPECT_EQ(buf.capacity_elems(), 100U);  // the exact buffer, not the 125
+    EXPECT_EQ(buf.size(), 100U);
+}
+
+TEST(ScratchPool, BoundedSlackReusesNearMisses)
+{
+    // The tentpole regression this PR locks: a request within 25% of a
+    // cached buffer's allocation reuses it (reshaped down, no simulated
+    // cudaMalloc), while an oversize buffer beyond the bound stays cached
+    // and the request pays a fresh allocation.
+    DeviceAllocator alloc(1U << 20);
+    ScratchPool pool;
+
+    pool.put("t", DeviceBuffer<index_t>(alloc, 125));
+    auto near = pool.take("t", alloc, 100);  // 125 <= 100 + 100/4: slack hit
+    EXPECT_EQ(pool.hits(), 1U);
+    EXPECT_EQ(pool.misses(), 0U);
+    EXPECT_EQ(near.size(), 100U);             // reshaped: no stale tail
+    EXPECT_EQ(near.capacity_elems(), 125U);   // still the 125-element charge
+
+    pool.put("t", DeviceBuffer<index_t>(alloc, 126));
+    auto far = pool.take("t", alloc, 100);  // 126 > 100 + 100/4: miss
+    EXPECT_EQ(pool.hits(), 1U);
+    EXPECT_EQ(pool.misses(), 1U);
+    EXPECT_EQ(far.capacity_elems(), 100U);  // fresh allocation
+
+    // A smaller cached buffer never serves a larger request.
+    pool.clear();
+    pool.put("t", DeviceBuffer<index_t>(alloc, 90));
+    auto grow = pool.take("t", alloc, 100);
+    EXPECT_EQ(pool.misses(), 2U);
+    EXPECT_EQ(grow.capacity_elems(), 100U);
+}
+
+TEST(ScratchPool, SlackPicksSmallestEligibleBuffer)
+{
+    DeviceAllocator alloc(1U << 20);
+    ScratchPool pool;
+    pool.put("t", DeviceBuffer<index_t>(alloc, 124));
+    pool.put("t", DeviceBuffer<index_t>(alloc, 110));
+    pool.put("t", DeviceBuffer<index_t>(alloc, 120));
+    auto buf = pool.take("t", alloc, 100);
+    EXPECT_EQ(pool.hits(), 1U);
+    EXPECT_EQ(buf.capacity_elems(), 110U);  // smallest within slack wins
+    EXPECT_EQ(buf.size(), 100U);
+}
+
+TEST(ScratchPool, SlackReuseCountsLockBatchAmortization)
+{
+    // Reuse-count lock for drifting sizes: rows shrink a few percent per
+    // product (an A^k-chain shape). The old exact-size-only lists missed
+    // every take after the first; bounded slack turns all of them into
+    // hits until the request size drifts out of the 25% window.
+    DeviceAllocator alloc(1U << 20);
+    ScratchPool pool;
+    const std::size_t sizes[] = {1000, 980, 955, 930, 900, 870, 830, 800};
+    {
+        auto first = pool.take("rows", alloc, sizes[0]);
+        EXPECT_EQ(pool.misses(), 1U);
+        pool.put("rows", std::move(first));
+    }
+    for (std::size_t i = 1; i < std::size(sizes); ++i) {
+        auto buf = pool.take("rows", alloc, sizes[i]);
+        EXPECT_EQ(buf.size(), sizes[i]);
+        pool.put("rows", std::move(buf));
+    }
+    // Every drifted take reuses the original 1000-element buffer: its
+    // capacity stays within 25% of each request down to 800.
+    EXPECT_EQ(pool.hits(), 7U);
+    EXPECT_EQ(pool.misses(), 1U);
 }
 
 }  // namespace

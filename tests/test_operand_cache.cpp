@@ -1,0 +1,350 @@
+// Differential cache-correctness battery for the session operand cache
+// (ctest label: cache). The contract under test: a warm request — plan
+// artifacts, grouping, estimation model and device residency all served
+// from the cache — produces bytes identical to the cold request, across
+// every plan mode, backend and executor thread count; hit/miss/evict
+// accounting partitions exactly; eviction composes with FaultPlan OOM
+// (the cache is the first rung of the memory-pressure ladder); device
+// reclaim invalidates residency; and the key is operand *content*, not
+// the pointer the caller happens to resubmit.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/spgemm.hpp"
+#include "matgen/generators.hpp"
+#include "service/session.hpp"
+#include "sparse/reference_spgemm.hpp"
+
+namespace nsparse {
+namespace {
+
+CsrMatrix<double> cache_matrix() { return gen::uniform_random(200, 200, 7, 13); }
+
+void expect_identical(const CsrMatrix<double>& got, const CsrMatrix<double>& want)
+{
+    EXPECT_EQ(got.rpt, want.rpt);
+    EXPECT_EQ(got.col, want.col);
+    EXPECT_EQ(got.val, want.val);
+}
+
+SessionConfig cached_config()
+{
+    SessionConfig cfg;
+    cfg.cache.enabled = true;
+    return cfg;
+}
+
+TEST(OperandCache, ColdVsWarmByteIdentitySweep)
+{
+    // The tentpole differential: for every plan mode x backend x thread
+    // count, the warm request's bytes equal the cold request's bytes,
+    // and both equal the host reference.
+    const auto a = cache_matrix();
+    const auto want = reference_spgemm(a, a);
+
+    for (const auto mode :
+         {core::PlanMode::kExact, core::PlanMode::kEstimated, core::PlanMode::kHybrid}) {
+        for (const auto backend : {core::BackendKind::kSimulated, core::BackendKind::kNative}) {
+            for (const int threads : {1, 2, 8}) {
+                SessionConfig cfg = cached_config();
+                cfg.options.plan_mode = mode;
+                cfg.options.backend = backend;
+                cfg.options.executor_threads = threads;
+                Session session(std::move(cfg));
+
+                const auto cold = session.multiply<double>(a, a);
+                ASSERT_TRUE(cold.ok())
+                    << "cold mode=" << static_cast<int>(mode)
+                    << " backend=" << static_cast<int>(backend) << " threads=" << threads
+                    << ": " << cold.error_message;
+                const auto warm = session.multiply<double>(a, a);
+                ASSERT_TRUE(warm.ok())
+                    << "warm mode=" << static_cast<int>(mode)
+                    << " backend=" << static_cast<int>(backend) << " threads=" << threads
+                    << ": " << warm.error_message;
+
+                expect_identical(cold.out.matrix, want);
+                expect_identical(warm.out.matrix, cold.out.matrix);
+
+                if (backend == core::BackendKind::kSimulated) {
+                    // Second request of the same pair is a plan hit.
+                    EXPECT_EQ(session.stats().cache_misses, 1U);
+                    EXPECT_EQ(session.stats().cache_hits, 1U);
+                    EXPECT_TRUE(warm.log.contains(RecoveryEvent::Kind::kCacheHit));
+                    EXPECT_TRUE(cold.log.contains(RecoveryEvent::Kind::kCacheMiss));
+                } else {
+                    // The native backend manages host memory itself: the
+                    // cache never consults, so no hit/miss is recorded.
+                    EXPECT_EQ(session.stats().cache_hits + session.stats().cache_misses, 0U);
+                }
+            }
+        }
+    }
+}
+
+TEST(OperandCache, WarmRequestIsCheaperAndHitsResidency)
+{
+    const auto a = cache_matrix();
+    Session session(cached_config());
+
+    const auto cold = session.multiply<double>(a, a);
+    ASSERT_TRUE(cold.ok()) << cold.error_message;
+    // A*A: both operands share one fingerprint -> one residency entry.
+    EXPECT_EQ(session.operand_cache().residency_entries(), 1U);
+    EXPECT_EQ(session.operand_cache().plan_entries(), 1U);
+
+    const auto warm = session.multiply<double>(a, a);
+    ASSERT_TRUE(warm.ok()) << warm.error_message;
+    expect_identical(warm.out.matrix, cold.out.matrix);
+    // Warm run skips the H2D uploads and the symbolic count: simulated
+    // time strictly drops.
+    EXPECT_LT(warm.out.stats.seconds, cold.out.stats.seconds);
+    EXPECT_EQ(session.stats().cache_residency_hits, 2U);  // A and B, warm only
+    EXPECT_EQ(session.stats().cache_residency_misses, 2U);
+}
+
+TEST(OperandCache, AccountingInvariantsPartitionExactly)
+{
+    const auto a = cache_matrix();
+    const auto b = gen::uniform_random(200, 200, 5, 29);
+    Session session(cached_config());
+
+    (void)session.multiply<double>(a, a);  // plan miss
+    (void)session.multiply<double>(a, b);  // plan miss (different pair)
+    (void)session.multiply<double>(a, a);  // plan hit
+    (void)session.multiply<double>(b, a);  // plan miss (order matters)
+    (void)session.multiply<double>(a, b);  // plan hit
+
+    const auto& s = session.stats();
+    const auto& cs = session.operand_cache().stats();
+    // Every eligible request consults the plan store once and the
+    // residency store twice; the pairs partition the lookups.
+    EXPECT_EQ(s.cache_hits + s.cache_misses, 5U);
+    EXPECT_EQ(s.cache_hits, 2U);
+    EXPECT_EQ(s.cache_residency_hits + s.cache_residency_misses, 10U);
+    // The session mirrors of the cache's own counters agree.
+    EXPECT_EQ(cs.plan_hits, s.cache_hits);
+    EXPECT_EQ(cs.plan_misses, s.cache_misses);
+    EXPECT_EQ(cs.residency_hits, s.cache_residency_hits);
+    EXPECT_EQ(cs.residency_misses, s.cache_residency_misses);
+    EXPECT_EQ(s.cache_evictions, cs.plan_evictions + cs.residency_evictions);
+    EXPECT_EQ(session.operand_cache().plan_entries(), 3U);   // (a,a) (a,b) (b,a)
+    EXPECT_EQ(session.operand_cache().residency_entries(), 2U);  // a, b
+}
+
+TEST(OperandCache, TinyBudgetsChurnWithoutCorruption)
+{
+    // Budgets too small to retain anything: every request is a miss, every
+    // insert evicts, byte-identity holds throughout, and the byte
+    // accounting returns to zero.
+    const auto a = cache_matrix();
+    const auto want = reference_spgemm(a, a);
+    SessionConfig cfg = cached_config();
+    cfg.cache.plan_budget_bytes = 1;
+    cfg.cache.residency_budget_bytes = 1;
+    Session session(std::move(cfg));
+
+    for (int i = 0; i < 3; ++i) {
+        const auto res = session.multiply<double>(a, a);
+        ASSERT_TRUE(res.ok()) << "round " << i << ": " << res.error_message;
+        expect_identical(res.out.matrix, want);
+        EXPECT_TRUE(res.log.contains(RecoveryEvent::Kind::kCacheEvict)) << i;
+    }
+    const auto& s = session.stats();
+    EXPECT_EQ(s.cache_hits, 0U);
+    EXPECT_EQ(s.cache_misses, 3U);
+    EXPECT_GE(s.cache_evictions, 6U);  // one plan + one residency per round
+    EXPECT_EQ(session.operand_cache().plan_entries(), 0U);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 0U);
+    EXPECT_EQ(session.operand_cache().plan_bytes(), 0U);
+    EXPECT_EQ(session.operand_cache().residency_bytes(), 0U);
+}
+
+TEST(OperandCache, EvictionComposesWithFaultPlanOom)
+{
+    // A FaultPlan OOM lands in the warm request's planned attempt: the
+    // ladder's first memory rung evicts the resident operands (logged as
+    // session_cache_evict) before degrading, and the recovered product is
+    // still byte-identical.
+    const auto a = cache_matrix();
+    const auto want = reference_spgemm(a, a);
+    Session session(cached_config());
+
+    const auto cold = session.multiply<double>(a, a);
+    ASSERT_TRUE(cold.ok()) << cold.error_message;
+    ASSERT_EQ(session.operand_cache().residency_entries(), 1U);
+
+    sim::FaultPlan plan;
+    plan.fail_at_alloc = 0;  // the warm attempt's first allocation OOMs
+    session.device().allocator().set_fault_plan(plan);
+    const auto warm = session.multiply<double>(a, a);
+    session.device().allocator().set_fault_plan(sim::FaultPlan{});
+
+    ASSERT_TRUE(warm.ok()) << warm.error_message;
+    expect_identical(warm.out.matrix, want);
+    EXPECT_NE(warm.final_stage, RecoveryStage::kPlanned);  // it really escalated
+    EXPECT_TRUE(warm.log.contains(RecoveryEvent::Kind::kCacheEvict));
+    EXPECT_GE(session.stats().cache_evictions, 1U);
+    // The pressure rung emptied the residency store; the recovered request
+    // did not re-adopt (only kPlanned completions insert).
+    EXPECT_EQ(session.operand_cache().residency_entries(), 0U);
+    EXPECT_EQ(session.stats().recovered, 1U);
+
+    // Chaos off: the next request re-populates and the session keeps going.
+    const auto again = session.multiply<double>(a, a);
+    ASSERT_TRUE(again.ok()) << again.error_message;
+    expect_identical(again.out.matrix, want);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 1U);
+}
+
+TEST(OperandCache, ReclaimInvalidatesResidency)
+{
+    // A failed request reclaims the device; every resident operand is
+    // dropped (pinned or not) so no later request can consume a handle
+    // into reclaimed state.
+    const auto a = cache_matrix();
+    const auto want = reference_spgemm(a, a);
+    Session session(cached_config());
+
+    ASSERT_TRUE(session.multiply<double>(a, a).ok());
+    ASSERT_EQ(session.operand_cache().residency_entries(), 1U);
+
+    // The doomed request is a *cold* pair (symbolic + numeric, many kernel
+    // boundaries), so a 1e-12 simulated budget trips deterministically.
+    const auto b = gen::uniform_random(200, 200, 5, 29);
+    RequestBudget tiny;
+    tiny.sim_seconds = 1e-12;
+    const auto doomed = session.multiply<double>(a, b, tiny);
+    ASSERT_FALSE(doomed.ok());
+    ASSERT_EQ(doomed.outcome, RequestOutcome::kDeadline);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 0U);
+    EXPECT_GE(session.stats().cache_invalidations, 1U);
+    EXPECT_TRUE(doomed.log.contains(RecoveryEvent::Kind::kCacheEvict));
+
+    // Plan artifacts are host-side and survive the reclaim: the next
+    // request is a plan hit with a residency miss, and byte-identical.
+    const auto after = session.multiply<double>(a, a);
+    ASSERT_TRUE(after.ok()) << after.error_message;
+    expect_identical(after.out.matrix, want);
+    EXPECT_EQ(session.stats().cache_hits, 1U);
+    EXPECT_EQ(session.stats().cache_misses, 2U);
+}
+
+TEST(OperandCache, MutatedOperandSamePointerMissesByContent)
+{
+    // The caller mutates a matrix in place and resubmits the same object:
+    // the fingerprint (not the address) is the key, so the request is a
+    // clean miss and the product reflects the *new* values.
+    auto a = cache_matrix();
+    Session session(cached_config());
+
+    ASSERT_TRUE(session.multiply<double>(a, a).ok());
+    EXPECT_EQ(session.stats().cache_misses, 1U);
+
+    a.val[0] += 1.5;  // same object, same pointers, different content
+    const auto res = session.multiply<double>(a, a);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    expect_identical(res.out.matrix, reference_spgemm(a, a));
+    EXPECT_EQ(session.stats().cache_hits, 0U);
+    EXPECT_EQ(session.stats().cache_misses, 2U);
+    // Both generations coexist under distinct fingerprints.
+    EXPECT_EQ(session.operand_cache().plan_entries(), 2U);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 2U);
+
+    // Another in-place mutation: a third generation, still keyed apart.
+    a.val.back() *= -2.0;
+    const auto res2 = session.multiply<double>(a, a);
+    ASSERT_TRUE(res2.ok()) << res2.error_message;
+    expect_identical(res2.out.matrix, reference_spgemm(a, a));
+    EXPECT_EQ(session.stats().cache_hits, 0U);
+    EXPECT_EQ(session.stats().cache_misses, 3U);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 3U);
+}
+
+TEST(OperandCache, DistinctCopiesWithEqualContentHit)
+{
+    // The converse of the mutation case: a bitwise-equal copy at a
+    // different address is the same operand.
+    const auto a = cache_matrix();
+    const CsrMatrix<double> copy = a;
+    Session session(cached_config());
+
+    ASSERT_TRUE(session.multiply<double>(a, a).ok());
+    const auto res = session.multiply<double>(copy, copy);
+    ASSERT_TRUE(res.ok()) << res.error_message;
+    EXPECT_EQ(session.stats().cache_hits, 1U);
+    EXPECT_EQ(session.stats().cache_misses, 1U);
+    expect_identical(res.out.matrix, reference_spgemm(a, a));
+}
+
+TEST(OperandCache, ResidencyDisabledStillCachesPlans)
+{
+    const auto a = cache_matrix();
+    SessionConfig cfg = cached_config();
+    cfg.cache.residency_budget_bytes = 0;
+    Session session(std::move(cfg));
+
+    const auto cold = session.multiply<double>(a, a);
+    const auto warm = session.multiply<double>(a, a);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(warm.ok());
+    expect_identical(warm.out.matrix, cold.out.matrix);
+    EXPECT_EQ(session.stats().cache_hits, 1U);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 0U);
+    EXPECT_EQ(session.stats().cache_residency_hits, 0U);
+    EXPECT_EQ(session.stats().cache_residency_misses, 4U);
+}
+
+TEST(OperandCache, DisabledByDefaultNeverConsults)
+{
+    const auto a = cache_matrix();
+    Session session;  // default config: cache off
+    ASSERT_TRUE(session.multiply<double>(a, a).ok());
+    ASSERT_TRUE(session.multiply<double>(a, a).ok());
+    const auto& s = session.stats();
+    EXPECT_EQ(s.cache_hits + s.cache_misses, 0U);
+    EXPECT_EQ(s.cache_residency_hits + s.cache_residency_misses, 0U);
+    EXPECT_EQ(session.operand_cache().plan_entries(), 0U);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 0U);
+}
+
+TEST(OperandCache, WarmBatchSharesTheSessionCache)
+{
+    // A batch over repeated operands: first occurrence misses, the rest
+    // hit, and every product is byte-identical to the reference.
+    const auto a = cache_matrix();
+    const auto want = reference_spgemm(a, a);
+    Session session(cached_config());
+
+    const std::vector<const CsrMatrix<double>*> ms(6, &a);
+    const auto out = session.multiply_batch<double>(ms, ms);
+    ASSERT_EQ(out.items.size(), 6U);
+    for (const auto& item : out.items) {
+        ASSERT_TRUE(item.ok()) << item.error_message;
+        expect_identical(item.out.matrix, want);
+    }
+    EXPECT_EQ(session.stats().cache_misses, 1U);
+    EXPECT_EQ(session.stats().cache_hits, 5U);
+}
+
+TEST(OperandCache, FloatOperandsCacheIndependently)
+{
+    const auto ad = cache_matrix();
+    CsrMatrix<float> a(ad.rows, ad.cols, ad.rpt, ad.col,
+                       std::vector<float>(ad.val.begin(), ad.val.end()));
+    Session session(cached_config());
+
+    const auto cold = session.multiply<float>(a, a);
+    const auto warm = session.multiply<float>(a, a);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm.out.matrix.rpt, cold.out.matrix.rpt);
+    EXPECT_EQ(warm.out.matrix.col, cold.out.matrix.col);
+    EXPECT_EQ(warm.out.matrix.val, cold.out.matrix.val);
+    EXPECT_EQ(session.stats().cache_hits, 1U);
+    EXPECT_EQ(session.operand_cache().residency_entries(), 1U);
+}
+
+}  // namespace
+}  // namespace nsparse
